@@ -1,0 +1,92 @@
+// Ablation: workload-weighted internal property selection (the Section II
+// extension) vs the paper's uniform greedy (Algorithm 1).
+//
+// Scenario: two bridge properties chain overlapping bands of communities;
+// the balance cap admits either bridge as internal (together with the
+// community-local property) but not both. The workload only queries
+// bridgeB. Uniform greedy breaks the tie blindly and picks bridgeA;
+// weighted MPC picks bridgeB and localizes the whole workload.
+
+#include "bench_util.h"
+
+#include "exec/query_classifier.h"
+#include "mpc/weighted_selector.h"
+
+namespace {
+
+using namespace mpc;
+
+rdf::RdfGraph ContentionGraph() {
+  rdf::GraphBuilder builder;
+  auto cv = [](uint32_t c, uint32_t i) {
+    return "<t:c" + std::to_string(c) + "v" + std::to_string(i) + ">";
+  };
+  const uint32_t kCommunities = 64, kSize = 10;
+  for (uint32_t c = 0; c < kCommunities; ++c) {
+    for (uint32_t i = 0; i + 1 < kSize; ++i) {
+      builder.Add(cv(c, i), "<t:local>", cv(c, i + 1));
+    }
+  }
+  // bridgeA: communities 0..5; bridgeB: 3..8 (overlap 3..5). Either one
+  // plus local makes a 60-vertex WCC; both together make 90 > cap.
+  for (uint32_t c = 0; c < 5; ++c) {
+    builder.Add(cv(c, 0), "<t:bridgeA>", cv(c + 1, 0));
+  }
+  for (uint32_t c = 3; c < 8; ++c) {
+    builder.Add(cv(c, 0), "<t:bridgeB>", cv(c + 1, 0));
+  }
+  return builder.Build();
+}
+
+}  // namespace
+
+int main() {
+  rdf::RdfGraph graph = ContentionGraph();
+  // |V| = 640; k=10, eps=0 -> cap 64: one 6-community band fits, the
+  // 9-community union of both bands does not.
+  std::cout << "=== Ablation: workload-weighted vs uniform MPC ===\n"
+            << "contention graph: " << graph.num_vertices()
+            << " vertices, cap = " << core::BalanceCap(graph, 10, 0.0)
+            << "\n\n";
+
+  std::vector<sparql::QueryGraph> workload;
+  for (int i = 0; i < 20; ++i) {
+    workload.push_back(bench::MustParse(
+        "SELECT * WHERE { ?a <t:bridgeB> ?b . ?b <t:local> ?c . ?c "
+        "<t:local> ?d . }"));
+  }
+
+  auto evaluate = [&](const char* name, core::SelectionStrategy strategy) {
+    core::MpcOptions options;
+    options.k = 10;
+    options.epsilon = 0.0;
+    options.strategy = strategy;
+    if (strategy == core::SelectionStrategy::kWeighted) {
+      options.property_weights =
+          core::ComputeWorkloadPropertyWeights(workload, graph);
+    }
+    core::MpcPartitioner partitioner(options);
+    core::MpcRunStats stats;
+    partition::Partitioning p =
+        partitioner.PartitionWithStats(graph, &stats);
+    size_t ieq = 0;
+    for (const sparql::QueryGraph& q : workload) {
+      ieq += exec::ClassifyQuery(q, p, graph).independently_executable();
+    }
+    rdf::PropertyId bridge_a = graph.property_dict().Lookup("<t:bridgeA>");
+    rdf::PropertyId bridge_b = graph.property_dict().Lookup("<t:bridgeB>");
+    std::cout << name << ": |Lin| = " << stats.selection.num_internal
+              << ", bridgeA internal = "
+              << (stats.selection.internal[bridge_a] ? "yes" : "no ")
+              << ", bridgeB internal = "
+              << (stats.selection.internal[bridge_b] ? "yes" : "no ")
+              << ", workload IEQ = "
+              << FormatDouble(100.0 * ieq / workload.size(), 1) << "%\n";
+  };
+  evaluate("uniform ", core::SelectionStrategy::kGreedy);
+  evaluate("weighted", core::SelectionStrategy::kWeighted);
+  std::cout << "\n(expected: both internalize one bridge; only the "
+               "weighted run internalizes the one the workload uses, "
+               "making every query independently executable)\n";
+  return 0;
+}

@@ -1,0 +1,153 @@
+#ifndef MPC_BENCH_BENCH_UTIL_H_
+#define MPC_BENCH_BENCH_UTIL_H_
+
+#include <algorithm>
+#include <cstdlib>
+#include <iomanip>
+#include <iostream>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/string_util.h"
+#include "common/timer.h"
+#include "exec/cluster.h"
+#include "exec/distributed_executor.h"
+#include "exec/query_classifier.h"
+#include "mpc/mpc_partitioner.h"
+#include "partition/edge_cut_partitioner.h"
+#include "partition/subject_hash_partitioner.h"
+#include "partition/vp_partitioner.h"
+#include "sparql/parser.h"
+#include "sparql/shape.h"
+#include "workload/datasets.h"
+
+namespace mpc::bench {
+
+inline constexpr uint32_t kSites = 8;
+inline constexpr double kEpsilon = 0.1;
+
+/// The four partitioning strategies of the paper's evaluation, by table
+/// name.
+inline std::vector<std::string> StrategyNames() {
+  return {"MPC", "Subject_Hash", "VP", "METIS"};
+}
+
+/// Builds the named strategy's partitioning; also reports wall time.
+inline partition::Partitioning RunStrategy(const std::string& name,
+                                           const rdf::RdfGraph& graph,
+                                           double* millis,
+                                           uint64_t seed = 1) {
+  Timer timer;
+  partition::Partitioning result;
+  if (name == "MPC") {
+    core::MpcOptions options;
+    options.k = kSites;
+    options.epsilon = kEpsilon;
+    options.seed = seed;
+    result = core::MpcPartitioner(options).Partition(graph);
+  } else if (name == "MPC-Exact") {
+    core::MpcOptions options;
+    options.k = kSites;
+    options.epsilon = kEpsilon;
+    options.seed = seed;
+    options.strategy = core::SelectionStrategy::kExact;
+    result = core::MpcPartitioner(options).Partition(graph);
+  } else {
+    partition::PartitionerOptions options{
+        .k = kSites, .epsilon = kEpsilon, .seed = seed};
+    if (name == "Subject_Hash") {
+      result = partition::SubjectHashPartitioner(options).Partition(graph);
+    } else if (name == "VP") {
+      result = partition::VpPartitioner(options).Partition(graph);
+    } else if (name == "METIS") {
+      result = partition::EdgeCutPartitioner(options).Partition(graph);
+    } else {
+      std::cerr << "unknown strategy " << name << "\n";
+      std::abort();
+    }
+  }
+  if (millis != nullptr) *millis = timer.ElapsedMillis();
+  return result;
+}
+
+inline sparql::QueryGraph MustParse(const std::string& text) {
+  Result<sparql::QueryGraph> q = sparql::SparqlParser::Parse(text);
+  if (!q.ok()) {
+    std::cerr << "query parse failed: " << q.status().ToString() << "\n"
+              << text << "\n";
+    std::abort();
+  }
+  return std::move(q).value();
+}
+
+/// IEQ share (%) of `queries` under `partitioning`. For vertex-disjoint
+/// partitionings this is the Section V-A classifier; for VP it is the
+/// single-site locality test. `stars_only` restricts credit to star
+/// queries (the plain Subject_Hash / METIS columns of Table III, before
+/// their "+" crossing-property extension).
+inline double IeqPercent(const std::vector<workload::NamedQuery>& queries,
+                         const partition::Partitioning& partitioning,
+                         const rdf::RdfGraph& graph,
+                         bool stars_only = false) {
+  if (queries.empty()) return 0.0;
+  size_t ieq = 0;
+  for (const workload::NamedQuery& nq : queries) {
+    sparql::QueryGraph q = MustParse(nq.sparql);
+    bool independent;
+    if (partitioning.kind() == partition::PartitioningKind::kEdgeDisjoint) {
+      independent = exec::IsVpLocalQuery(q, partitioning, graph);
+    } else if (stars_only) {
+      independent = sparql::IsStarQuery(q);
+    } else {
+      independent = exec::ClassifyQuery(q, partitioning, graph)
+                        .independently_executable();
+    }
+    ieq += independent;
+  }
+  return 100.0 * static_cast<double>(ieq) /
+         static_cast<double>(queries.size());
+}
+
+/// Five-number summary used by Fig. 8's candlesticks.
+struct Quartiles {
+  double min = 0, q1 = 0, median = 0, q3 = 0, max = 0;
+};
+
+inline Quartiles Summarize(std::vector<double> values) {
+  Quartiles q;
+  if (values.empty()) return q;
+  std::sort(values.begin(), values.end());
+  auto at = [&](double frac) {
+    size_t idx = static_cast<size_t>(frac * (values.size() - 1));
+    return values[idx];
+  };
+  q.min = values.front();
+  q.q1 = at(0.25);
+  q.median = at(0.5);
+  q.q3 = at(0.75);
+  q.max = values.back();
+  return q;
+}
+
+/// Fixed-width cell helpers for the table printers.
+inline void Cell(const std::string& text, int width) {
+  std::cout << std::right << std::setw(width) << text;
+}
+inline void LeftCell(const std::string& text, int width) {
+  std::cout << std::left << std::setw(width) << text;
+}
+
+/// Scale factor from argv[1] (default 1.0) so every bench can be run
+/// smaller/larger: `./table2_partition_quality 0.25`.
+inline double ScaleFromArgs(int argc, char** argv, double fallback = 1.0) {
+  if (argc > 1) {
+    double value = std::atof(argv[1]);
+    if (value > 0) return value;
+  }
+  return fallback;
+}
+
+}  // namespace mpc::bench
+
+#endif  // MPC_BENCH_BENCH_UTIL_H_

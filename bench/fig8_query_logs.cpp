@@ -1,0 +1,74 @@
+// Fig. 8: online performance over real query logs (WatDiv / DBpedia /
+// LGD analogues): per-strategy five-number summary (min, Q1, median,
+// Q3, max) of query response times over a sampled log, matching the
+// paper's candlestick plots.
+
+#include "bench_util.h"
+
+namespace {
+
+void RunDataset(mpc::workload::DatasetId id, double scale,
+                size_t log_size) {
+  using namespace mpc;
+  workload::GeneratedDataset d = workload::MakeDataset(id, scale);
+  std::vector<workload::NamedQuery> log =
+      workload::MakeQueryLog(id, d.graph, log_size);
+
+  std::cout << "--- " << d.name << " (" << log.size() << " queries) ---\n";
+  bench::LeftCell("Strategy", 14);
+  for (const char* c : {"min", "Q1", "median", "Q3", "max", "IEQ%"}) {
+    bench::Cell(c, 11);
+  }
+  std::cout << "\n";
+
+  for (const std::string& strategy : bench::StrategyNames()) {
+    exec::Cluster cluster = exec::Cluster::Build(
+        bench::RunStrategy(strategy, d.graph, nullptr));
+    exec::DistributedExecutor::Options options;
+    options.max_rows = 200000;  // per-site safety valve for huge scans
+    exec::DistributedExecutor executor(cluster, d.graph, options);
+
+    std::vector<double> times;
+    size_t independent = 0;
+    times.reserve(log.size());
+    for (const workload::NamedQuery& nq : log) {
+      sparql::QueryGraph q = bench::MustParse(nq.sparql);
+      exec::ExecutionStats stats;
+      auto result = executor.Execute(q, &stats);
+      if (!result.ok()) {
+        std::cerr << nq.name << " failed: " << result.status().ToString()
+                  << "\n";
+        std::exit(1);
+      }
+      times.push_back(stats.total_millis);
+      independent += stats.independent;
+    }
+    bench::Quartiles quartiles = bench::Summarize(times);
+    bench::LeftCell(strategy, 14);
+    bench::Cell(FormatDouble(quartiles.min, 1), 11);
+    bench::Cell(FormatDouble(quartiles.q1, 1), 11);
+    bench::Cell(FormatDouble(quartiles.median, 1), 11);
+    bench::Cell(FormatDouble(quartiles.q3, 1), 11);
+    bench::Cell(FormatDouble(quartiles.max, 1), 11);
+    bench::Cell(FormatDouble(100.0 * independent / log.size(), 1) + "%",
+                11);
+    std::cout << "\n";
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const double scale = mpc::bench::ScaleFromArgs(argc, argv, 0.5);
+  const size_t log_size = argc > 2 ? std::atoi(argv[2]) : 1000;
+  std::cout << "=== Fig. 8: Online Performance over Query Logs (k=8, "
+               "scale "
+            << scale << ") ===\n";
+  RunDataset(mpc::workload::DatasetId::kWatdiv, scale, log_size);
+  RunDataset(mpc::workload::DatasetId::kDbpedia, scale, log_size);
+  RunDataset(mpc::workload::DatasetId::kLgd, scale, log_size);
+  std::cout << "(paper shape: minima/Q1 similar across vertex-disjoint "
+               "strategies;\n maxima/Q3 diverge sharply with MPC best; "
+               "LGD gaps smallest — its log is almost all stars)\n";
+  return 0;
+}

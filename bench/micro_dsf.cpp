@@ -1,0 +1,82 @@
+// Microbenchmark for the Section IV-D design choice: disjoint-set-forest
+// based WCC tracking (with lazy trial merges) versus recomputing WCCs
+// from scratch per candidate — the bottleneck of Algorithm 1 lines 3/8.
+
+#include <benchmark/benchmark.h>
+
+#include "common/random.h"
+#include "dsf/disjoint_set_forest.h"
+#include "rdf/types.h"
+
+namespace {
+
+using mpc::Rng;
+using mpc::dsf::DisjointSetForest;
+using mpc::rdf::Triple;
+
+std::vector<Triple> RandomEdges(size_t n, size_t m, uint64_t seed) {
+  Rng rng(seed);
+  std::vector<Triple> edges;
+  edges.reserve(m);
+  for (size_t i = 0; i < m; ++i) {
+    edges.emplace_back(static_cast<uint32_t>(rng.Below(n)), 0,
+                       static_cast<uint32_t>(rng.Below(n)));
+  }
+  return edges;
+}
+
+void BM_DsfBuild(benchmark::State& state) {
+  const size_t n = state.range(0);
+  auto edges = RandomEdges(n, n * 2, 7);
+  for (auto _ : state) {
+    DisjointSetForest forest(n);
+    forest.AddEdges(edges);
+    benchmark::DoNotOptimize(forest.max_component_size());
+  }
+  state.SetItemsProcessed(state.iterations() * edges.size());
+}
+BENCHMARK(BM_DsfBuild)->Arg(1 << 12)->Arg(1 << 15)->Arg(1 << 18);
+
+void BM_TrialMerge(benchmark::State& state) {
+  const size_t n = state.range(0);
+  auto base_edges = RandomEdges(n, n, 7);
+  auto candidate = RandomEdges(n, n / 16 + 1, 8);
+  DisjointSetForest base(n);
+  base.AddEdges(base_edges);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        mpc::dsf::TrialMergeMaxComponent(base, candidate));
+  }
+  state.SetItemsProcessed(state.iterations() * candidate.size());
+}
+BENCHMARK(BM_TrialMerge)->Arg(1 << 12)->Arg(1 << 15)->Arg(1 << 18);
+
+// The naive alternative Section IV-D replaces: rebuild the forest from
+// scratch for every candidate evaluation.
+void BM_NaiveRecompute(benchmark::State& state) {
+  const size_t n = state.range(0);
+  auto base_edges = RandomEdges(n, n, 7);
+  auto candidate = RandomEdges(n, n / 16 + 1, 8);
+  for (auto _ : state) {
+    DisjointSetForest forest(n);
+    forest.AddEdges(base_edges);
+    forest.AddEdges(candidate);
+    benchmark::DoNotOptimize(forest.max_component_size());
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          (base_edges.size() + candidate.size()));
+}
+BENCHMARK(BM_NaiveRecompute)->Arg(1 << 12)->Arg(1 << 15)->Arg(1 << 18);
+
+void BM_MaxWccOfEdges(benchmark::State& state) {
+  auto edges = RandomEdges(1 << 16, state.range(0), 9);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(mpc::dsf::MaxWccOfEdges(edges));
+  }
+  state.SetItemsProcessed(state.iterations() * edges.size());
+}
+BENCHMARK(BM_MaxWccOfEdges)->Arg(1 << 10)->Arg(1 << 14);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,82 @@
+// Microbenchmark for the hand-rolled multilevel min edge-cut partitioner
+// (the METIS stand-in): throughput across sizes and k, plus the quality
+// margin over random partitioning reported as a counter.
+
+#include <benchmark/benchmark.h>
+
+#include "common/random.h"
+#include "metis/coarsen.h"
+#include "metis/csr_graph.h"
+#include "metis/initial_partition.h"
+#include "metis/partitioner.h"
+
+namespace {
+
+using mpc::Rng;
+using namespace mpc::metis;
+
+CsrGraph CommunityGraph(size_t n, uint64_t seed) {
+  Rng rng(seed);
+  std::vector<WeightedEdge> edges;
+  const size_t community = 50;
+  edges.reserve(n * 3);
+  for (size_t i = 0; i < n * 3; ++i) {
+    uint32_t u = static_cast<uint32_t>(rng.Below(n));
+    uint32_t v;
+    if (rng.Chance(0.92)) {
+      uint64_t base = (u / community) * community;
+      v = static_cast<uint32_t>(
+          base + rng.Below(std::min<uint64_t>(community, n - base)));
+    } else {
+      v = static_cast<uint32_t>(rng.Below(n));
+    }
+    edges.push_back({u, v, 1});
+  }
+  return CsrGraph::FromEdges(n, edges);
+}
+
+void BM_MultilevelPartition(benchmark::State& state) {
+  const size_t n = state.range(0);
+  const uint32_t k = static_cast<uint32_t>(state.range(1));
+  CsrGraph graph = CommunityGraph(n, 11);
+  MlpOptions options;
+  options.k = k;
+  options.epsilon = 0.1;
+  MultilevelPartitioner partitioner(options);
+
+  uint64_t cut = 0, random_cut = 0;
+  for (auto _ : state) {
+    auto part = partitioner.Partition(graph);
+    benchmark::DoNotOptimize(part.data());
+    cut = EdgeCut(graph, part);
+  }
+  Rng rng(12);
+  random_cut = EdgeCut(graph, RandomPartition(graph, k, rng));
+  state.counters["edge_cut"] = static_cast<double>(cut);
+  state.counters["random_cut"] = static_cast<double>(random_cut);
+  state.counters["cut_vs_random"] =
+      random_cut == 0 ? 0.0
+                      : static_cast<double>(cut) /
+                            static_cast<double>(random_cut);
+  state.SetItemsProcessed(state.iterations() * graph.num_adjacencies());
+}
+BENCHMARK(BM_MultilevelPartition)
+    ->Args({1 << 13, 8})
+    ->Args({1 << 15, 8})
+    ->Args({1 << 15, 16})
+    ->Unit(benchmark::kMillisecond);
+
+void BM_Coarsening(benchmark::State& state) {
+  CsrGraph graph = CommunityGraph(state.range(0), 13);
+  for (auto _ : state) {
+    Rng rng(14);
+    auto hierarchy = CoarsenToSize(graph, 512, rng);
+    benchmark::DoNotOptimize(hierarchy.size());
+  }
+}
+BENCHMARK(BM_Coarsening)->Arg(1 << 13)->Arg(1 << 15)
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

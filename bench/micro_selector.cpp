@@ -1,0 +1,61 @@
+// Microbenchmark for the internal-property selection heuristics: forward
+// greedy (Algorithm 1) vs backward removal (Section IV-E heuristic 2) on
+// community graphs with few vs many properties — the regimes where the
+// paper switches between them.
+
+#include <benchmark/benchmark.h>
+
+#include "common/random.h"
+#include "mpc/selector.h"
+#include "rdf/graph.h"
+
+namespace {
+
+using mpc::Rng;
+
+mpc::rdf::RdfGraph CommunityGraph(size_t vertices, size_t edges,
+                                  size_t properties, uint64_t seed) {
+  Rng rng(seed);
+  mpc::rdf::GraphBuilder builder;
+  const size_t community = 40;
+  for (size_t i = 0; i < edges; ++i) {
+    uint64_t u = rng.Below(vertices);
+    uint64_t v;
+    if (rng.Chance(0.9)) {
+      uint64_t base = (u / community) * community;
+      v = base + rng.Below(std::min<uint64_t>(community, vertices - base));
+    } else {
+      v = rng.Below(vertices);
+    }
+    builder.Add("<t:v" + std::to_string(u) + ">",
+                "<t:p" + std::to_string(rng.Below(properties)) + ">",
+                "<t:v" + std::to_string(v) + ">");
+  }
+  return builder.Build();
+}
+
+void BM_GreedySelector(benchmark::State& state) {
+  auto graph = CommunityGraph(20000, 60000, state.range(0), 3);
+  mpc::core::SelectorOptions options{.k = 8, .epsilon = 0.1};
+  mpc::core::GreedySelector selector(options);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(selector.Select(graph).num_internal);
+  }
+}
+BENCHMARK(BM_GreedySelector)->Arg(16)->Arg(64)->Arg(256)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_BackwardSelector(benchmark::State& state) {
+  auto graph = CommunityGraph(20000, 60000, state.range(0), 3);
+  mpc::core::SelectorOptions options{.k = 8, .epsilon = 0.1};
+  mpc::core::BackwardSelector selector(options);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(selector.Select(graph).num_internal);
+  }
+}
+BENCHMARK(BM_BackwardSelector)->Arg(16)->Arg(64)->Arg(256)
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

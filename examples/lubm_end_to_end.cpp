@@ -1,0 +1,117 @@
+// End-to-end comparison on the LUBM analogue: partition with all four
+// strategies (MPC / Subject_Hash / METIS / VP), classify and execute the
+// 14 benchmark queries, and print a per-query comparison — a miniature of
+// the paper's Tables II-IV and Fig. 7.
+//
+//   ./build/examples/lubm_end_to_end [num_universities]
+
+#include <cstdlib>
+#include <iomanip>
+#include <iostream>
+#include <memory>
+#include <vector>
+
+#include "common/string_util.h"
+#include "exec/cluster.h"
+#include "exec/distributed_executor.h"
+#include "mpc/mpc_partitioner.h"
+#include "partition/edge_cut_partitioner.h"
+#include "partition/subject_hash_partitioner.h"
+#include "partition/vp_partitioner.h"
+#include "sparql/parser.h"
+#include "workload/lubm.h"
+
+int main(int argc, char** argv) {
+  using namespace mpc;
+
+  workload::LubmOptions lubm_options;
+  if (argc > 1) lubm_options.num_universities = std::atoi(argv[1]);
+  workload::GeneratedDataset dataset = workload::MakeLubm(lubm_options);
+  const rdf::RdfGraph& graph = dataset.graph;
+  std::cout << "LUBM: " << FormatWithCommas(graph.num_vertices())
+            << " entities, " << FormatWithCommas(graph.num_edges())
+            << " triples, " << graph.num_properties() << " properties\n\n";
+
+  const uint32_t k = 8;
+  const double epsilon = 0.1;
+
+  struct Strategy {
+    std::string name;
+    exec::Cluster cluster;
+  };
+  std::vector<Strategy> strategies;
+
+  {
+    core::MpcOptions options;
+    options.k = k;
+    options.epsilon = epsilon;
+    core::MpcPartitioner mpc(options);
+    strategies.push_back({"MPC", exec::Cluster::Build(mpc.Partition(graph))});
+  }
+  {
+    partition::PartitionerOptions options{.k = k, .epsilon = epsilon};
+    partition::SubjectHashPartitioner hash(options);
+    strategies.push_back(
+        {"Subject_Hash", exec::Cluster::Build(hash.Partition(graph))});
+  }
+  {
+    partition::PartitionerOptions options{.k = k, .epsilon = epsilon};
+    partition::EdgeCutPartitioner metis(options);
+    strategies.push_back(
+        {"METIS", exec::Cluster::Build(metis.Partition(graph))});
+  }
+  {
+    partition::PartitionerOptions options{.k = k, .epsilon = epsilon};
+    partition::VpPartitioner vp(options);
+    strategies.push_back({"VP", exec::Cluster::Build(vp.Partition(graph))});
+  }
+
+  std::cout << std::left << std::setw(14) << "strategy" << std::right
+            << std::setw(10) << "|Lcross|" << std::setw(12) << "|Ec|"
+            << std::setw(10) << "balance" << "\n";
+  for (const Strategy& s : strategies) {
+    const auto& p = s.cluster.partitioning();
+    std::cout << std::left << std::setw(14) << s.name << std::right
+              << std::setw(10) << p.num_crossing_properties()
+              << std::setw(12) << p.num_crossing_edges() << std::setw(10)
+              << FormatDouble(p.BalanceRatio(), 2) << "\n";
+  }
+
+  std::cout << "\n"
+            << std::left << std::setw(6) << "query" << std::setw(7)
+            << "shape";
+  for (const Strategy& s : strategies) {
+    std::cout << std::right << std::setw(16) << (s.name + " ms");
+  }
+  std::cout << std::setw(10) << "results" << "\n";
+
+  for (const workload::NamedQuery& nq : dataset.benchmark_queries) {
+    Result<sparql::QueryGraph> query =
+        sparql::SparqlParser::Parse(nq.sparql);
+    if (!query.ok()) {
+      std::cerr << nq.name << ": " << query.status().ToString() << "\n";
+      return 1;
+    }
+    std::cout << std::left << std::setw(6) << nq.name << std::setw(7)
+              << (nq.is_star ? "star" : "other");
+    size_t results = 0;
+    for (const Strategy& s : strategies) {
+      exec::DistributedExecutor executor(s.cluster, graph);
+      exec::ExecutionStats stats;
+      auto result = executor.Execute(*query, &stats);
+      if (!result.ok()) {
+        std::cerr << "\n" << nq.name << " failed on " << s.name << ": "
+                  << result.status().ToString() << "\n";
+        return 1;
+      }
+      results = result->num_rows();
+      std::cout << std::right << std::setw(13)
+                << FormatDouble(stats.total_millis, 1)
+                << (stats.independent ? "  u" : " *j");
+    }
+    std::cout << std::setw(10) << results << "\n";
+  }
+  std::cout << "\n  (u = union-only / independent, *j = needed "
+               "inter-partition join)\n";
+  return 0;
+}

@@ -1,0 +1,112 @@
+// Property-graph partitioning — the paper's Section VII outlook in
+// action. Builds a Neo4j-style social/commerce property graph, maps it to
+// RDF with the direct mapping, and runs MPC on it, showing both regimes:
+// relationship-rich graphs partition well; a single-label graph leaves
+// MPC nothing to internalize.
+//
+//   ./build/examples/property_graph_partitioning
+
+#include <iostream>
+
+#include "common/random.h"
+#include "pg/pg_to_rdf.h"
+#include "pg/property_graph.h"
+
+int main() {
+  using namespace mpc;
+
+  // A labeled property graph: customers in regional communities,
+  // products, orders. Relationship labels: KNOWS (intra-community),
+  // PLACED / CONTAINS (local), SHIPPED_WITH (cross-region, rare).
+  pg::PropertyGraph graph;
+  Rng rng(7);
+  const int kRegions = 24, kCustomersPerRegion = 12, kProducts = 72;
+
+  for (int p = 0; p < kProducts; ++p) {
+    (void)graph.AddVertex("prod" + std::to_string(p), "Product",
+                          {{"sku", "SKU" + std::to_string(p)}});
+  }
+  std::vector<std::string> last_order_of_region(kRegions);
+  for (int r = 0; r < kRegions; ++r) {
+    for (int c = 0; c < kCustomersPerRegion; ++c) {
+      std::string id = "cust" + std::to_string(r) + "_" + std::to_string(c);
+      (void)graph.AddVertex(id, "Customer",
+                            {{"region", std::to_string(r)}});
+      if (c > 0) {
+        (void)graph.AddEdgeById(
+            "cust" + std::to_string(r) + "_" + std::to_string(c - 1), id,
+            "KNOWS");
+      }
+      // Each customer placed an order containing region-local products...
+      std::string order = "ord" + id;
+      (void)graph.AddVertex(order, "Order", {{"total", "99"}});
+      (void)graph.AddEdgeById(id, order, "PLACED");
+      // ...of products from this region's disjoint catalog slice.
+      int base = r * (kProducts / kRegions);
+      (void)graph.AddEdgeById(
+          order,
+          "prod" + std::to_string(base + c % (kProducts / kRegions)),
+          "CONTAINS");
+      last_order_of_region[r] = order;
+    }
+  }
+  // Rare cross-region consolidation shipments.
+  for (int r = 0; r + 1 < kRegions; ++r) {
+    (void)graph.AddEdgeById(last_order_of_region[r],
+                            last_order_of_region[r + 1], "SHIPPED_WITH",
+                            {{"carrier", "ACME"}});
+  }
+
+  std::cout << "Property graph: " << graph.num_vertices() << " vertices, "
+            << graph.num_edges() << " edges, labels:";
+  for (const std::string& label : graph.EdgeLabels()) {
+    std::cout << " " << label;
+  }
+  std::cout << "\n\n";
+
+  core::MpcOptions options;
+  options.k = 4;
+  options.epsilon = 0.3;
+  Result<pg::PgPartitionResult> result =
+      pg::PartitionPropertyGraph(graph, options);
+  if (!result.ok()) {
+    std::cerr << result.status().ToString() << "\n";
+    return 1;
+  }
+  std::cout << "MPC over the mapped RDF graph (k=4):\n"
+            << "  crossing properties: " << result->num_crossing_properties
+            << "\n  crossing edges:      " << result->num_crossing_edges
+            << "\n  balance ratio:       " << result->balance_ratio
+            << "\n  crossing edge labels:";
+  for (const std::string& label : result->crossing_edge_labels) {
+    std::cout << " " << label;
+  }
+  std::cout << "\n  (KNOWS/PLACED/CONTAINS stay internal; only the rare "
+               "cross-region SHIPPED_WITH may cross)\n\n";
+
+  // The Section VII caveat: collapse every relationship to one label and
+  // MPC has nothing left to internalize.
+  pg::PropertyGraph flat;
+  for (int i = 0; i < 200; ++i) {
+    (void)flat.AddVertex("n" + std::to_string(i), "Node");
+  }
+  for (int i = 0; i < 600; ++i) {
+    (void)flat.AddEdgeById(
+        "n" + std::to_string(rng.Below(200)),
+        "n" + std::to_string(rng.Below(200)), "RELATED");
+  }
+  Result<pg::PgPartitionResult> flat_result =
+      pg::PartitionPropertyGraph(flat, options);
+  if (!flat_result.ok()) {
+    std::cerr << flat_result.status().ToString() << "\n";
+    return 1;
+  }
+  std::cout << "Single-label graph (the property-graph regime the paper "
+               "warns about):\n  crossing edge labels:";
+  for (const std::string& label : flat_result->crossing_edge_labels) {
+    std::cout << " " << label;
+  }
+  std::cout << "\n  -> every label crosses; MPC degenerates to plain min "
+               "edge-cut, as Section VII predicts.\n";
+  return 0;
+}

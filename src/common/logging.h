@@ -1,0 +1,43 @@
+#ifndef MPC_COMMON_LOGGING_H_
+#define MPC_COMMON_LOGGING_H_
+
+#include <iostream>
+#include <sstream>
+#include <string>
+
+namespace mpc {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarning = 2, kError = 3 };
+
+/// Global log threshold; messages below it are dropped. Benchmarks raise
+/// this to kWarning so timed regions are not polluted by I/O.
+LogLevel GetLogLevel();
+void SetLogLevel(LogLevel level);
+
+namespace internal {
+
+/// Stream-style log line; flushes on destruction. Not thread-buffered —
+/// the library is single-threaded per site, matching the paper's setup.
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* file, int line);
+  ~LogMessage();
+
+  template <typename T>
+  LogMessage& operator<<(const T& value) {
+    if (enabled_) stream_ << value;
+    return *this;
+  }
+
+ private:
+  bool enabled_;
+  std::ostringstream stream_;
+};
+
+}  // namespace internal
+}  // namespace mpc
+
+#define MPC_LOG(level)                                        \
+  ::mpc::internal::LogMessage(::mpc::LogLevel::k##level, __FILE__, __LINE__)
+
+#endif  // MPC_COMMON_LOGGING_H_

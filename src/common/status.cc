@@ -1,0 +1,39 @@
+#include "common/status.h"
+
+namespace mpc {
+
+const char* StatusCodeName(StatusCode code) {
+  switch (code) {
+    case StatusCode::kOk:
+      return "Ok";
+    case StatusCode::kInvalidArgument:
+      return "InvalidArgument";
+    case StatusCode::kParseError:
+      return "ParseError";
+    case StatusCode::kNotFound:
+      return "NotFound";
+    case StatusCode::kOutOfRange:
+      return "OutOfRange";
+    case StatusCode::kCapacityExceeded:
+      return "CapacityExceeded";
+    case StatusCode::kUnsupported:
+      return "Unsupported";
+    case StatusCode::kInternal:
+      return "Internal";
+    case StatusCode::kIoError:
+      return "IoError";
+  }
+  return "Unknown";
+}
+
+std::string Status::ToString() const {
+  if (ok()) return "Ok";
+  std::string out = StatusCodeName(code_);
+  if (!message_.empty()) {
+    out += ": ";
+    out += message_;
+  }
+  return out;
+}
+
+}  // namespace mpc

@@ -1,0 +1,71 @@
+#include "common/string_util.h"
+
+#include <cmath>
+#include <cstdio>
+
+namespace mpc {
+
+std::string_view StripWhitespace(std::string_view s) {
+  size_t begin = 0;
+  while (begin < s.size() &&
+         (s[begin] == ' ' || s[begin] == '\t' || s[begin] == '\r' ||
+          s[begin] == '\n')) {
+    ++begin;
+  }
+  size_t end = s.size();
+  while (end > begin &&
+         (s[end - 1] == ' ' || s[end - 1] == '\t' || s[end - 1] == '\r' ||
+          s[end - 1] == '\n')) {
+    --end;
+  }
+  return s.substr(begin, end - begin);
+}
+
+std::vector<std::string_view> Split(std::string_view s, char delim) {
+  std::vector<std::string_view> parts;
+  size_t start = 0;
+  while (true) {
+    size_t pos = s.find(delim, start);
+    if (pos == std::string_view::npos) {
+      parts.push_back(s.substr(start));
+      break;
+    }
+    parts.push_back(s.substr(start, pos - start));
+    start = pos + 1;
+  }
+  return parts;
+}
+
+bool StartsWith(std::string_view s, std::string_view prefix) {
+  return s.size() >= prefix.size() && s.substr(0, prefix.size()) == prefix;
+}
+
+bool EndsWith(std::string_view s, std::string_view suffix) {
+  return s.size() >= suffix.size() &&
+         s.substr(s.size() - suffix.size()) == suffix;
+}
+
+std::string FormatWithCommas(uint64_t value) {
+  std::string digits = std::to_string(value);
+  std::string out;
+  out.reserve(digits.size() + digits.size() / 3);
+  int count = 0;
+  for (auto it = digits.rbegin(); it != digits.rend(); ++it) {
+    if (count != 0 && count % 3 == 0) out.push_back(',');
+    out.push_back(*it);
+    ++count;
+  }
+  return std::string(out.rbegin(), out.rend());
+}
+
+std::string FormatDouble(double value, int precision) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", precision, value);
+  return buf;
+}
+
+std::string FormatMillis(double ms) {
+  return FormatWithCommas(static_cast<uint64_t>(std::llround(ms)));
+}
+
+}  // namespace mpc

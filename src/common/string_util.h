@@ -1,0 +1,35 @@
+#ifndef MPC_COMMON_STRING_UTIL_H_
+#define MPC_COMMON_STRING_UTIL_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace mpc {
+
+/// Removes leading and trailing ASCII whitespace.
+std::string_view StripWhitespace(std::string_view s);
+
+/// Splits `s` on `delim`, keeping empty fields.
+std::vector<std::string_view> Split(std::string_view s, char delim);
+
+/// True if `s` starts with `prefix`.
+bool StartsWith(std::string_view s, std::string_view prefix);
+
+/// True if `s` ends with `suffix`.
+bool EndsWith(std::string_view s, std::string_view suffix);
+
+/// Formats a count with thousands separators ("1,234,567") as the paper's
+/// tables print dataset statistics.
+std::string FormatWithCommas(uint64_t value);
+
+/// Formats a double with `precision` digits after the decimal point.
+std::string FormatDouble(double value, int precision);
+
+/// Formats a millisecond duration the way the experiment tables print them
+/// (integers with comma separators, e.g. "34,512").
+std::string FormatMillis(double ms);
+
+}  // namespace mpc
+
+#endif  // MPC_COMMON_STRING_UTIL_H_

@@ -1,0 +1,41 @@
+#ifndef MPC_COMMON_TIMER_H_
+#define MPC_COMMON_TIMER_H_
+
+#include <chrono>
+#include <cstdint>
+
+namespace mpc {
+
+/// Wall-clock stopwatch used for the per-stage timings (QDT/LET/JT) that
+/// the paper reports in Tables IV-V and the offline timings of Table VI.
+class Timer {
+ public:
+  Timer() : start_(Clock::now()) {}
+
+  void Reset() { start_ = Clock::now(); }
+
+  /// Elapsed time since construction or the last Reset(), in milliseconds.
+  double ElapsedMillis() const {
+    return std::chrono::duration<double, std::milli>(Clock::now() - start_)
+        .count();
+  }
+
+  /// Elapsed time in microseconds.
+  double ElapsedMicros() const {
+    return std::chrono::duration<double, std::micro>(Clock::now() - start_)
+        .count();
+  }
+
+  /// Elapsed time in seconds.
+  double ElapsedSeconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace mpc
+
+#endif  // MPC_COMMON_TIMER_H_

@@ -1,0 +1,150 @@
+#include "dsf/disjoint_set_forest.h"
+
+#include <algorithm>
+#include <cassert>
+#include <unordered_map>
+
+namespace mpc::dsf {
+
+DisjointSetForest::DisjointSetForest(size_t n)
+    : parent_(n),
+      rank_(n, 0),
+      size_(n, 1),
+      max_component_size_(n == 0 ? 0 : 1),
+      num_components_(n) {
+  for (size_t i = 0; i < n; ++i) parent_[i] = static_cast<uint32_t>(i);
+}
+
+uint32_t DisjointSetForest::Find(uint32_t x) {
+  assert(x < parent_.size());
+  uint32_t root = x;
+  while (parent_[root] != root) root = parent_[root];
+  // Path compression: point every node on the path at the root.
+  while (parent_[x] != root) {
+    uint32_t next = parent_[x];
+    parent_[x] = root;
+    x = next;
+  }
+  return root;
+}
+
+uint32_t DisjointSetForest::FindNoCompress(uint32_t x) const {
+  assert(x < parent_.size());
+  while (parent_[x] != x) x = parent_[x];
+  return x;
+}
+
+bool DisjointSetForest::Union(uint32_t a, uint32_t b) {
+  uint32_t ra = Find(a);
+  uint32_t rb = Find(b);
+  if (ra == rb) return false;
+  // Union by rank; ties grow the rank of the surviving root.
+  if (rank_[ra] < rank_[rb]) std::swap(ra, rb);
+  parent_[rb] = ra;
+  size_[ra] += size_[rb];
+  if (rank_[ra] == rank_[rb]) ++rank_[ra];
+  max_component_size_ = std::max<size_t>(max_component_size_, size_[ra]);
+  --num_components_;
+  return true;
+}
+
+void DisjointSetForest::AddEdges(std::span<const rdf::Triple> edges) {
+  for (const rdf::Triple& t : edges) {
+    Union(t.subject, t.object);
+  }
+}
+
+std::vector<uint32_t> DisjointSetForest::ComponentLabels() {
+  std::vector<uint32_t> labels(parent_.size());
+  std::unordered_map<uint32_t, uint32_t> root_to_label;
+  root_to_label.reserve(num_components_);
+  for (size_t v = 0; v < parent_.size(); ++v) {
+    uint32_t root = Find(static_cast<uint32_t>(v));
+    auto [it, inserted] = root_to_label.emplace(
+        root, static_cast<uint32_t>(root_to_label.size()));
+    labels[v] = it->second;
+  }
+  return labels;
+}
+
+namespace {
+
+/// Tiny array-backed union-find over dense local ids; used by the two
+/// touched-vertices-only computations below.
+class LocalForest {
+ public:
+  /// Returns the local id for `key`, creating a singleton of weight
+  /// `initial_size` on first sight.
+  uint32_t LocalId(uint32_t key, uint32_t initial_size) {
+    auto [it, inserted] = ids_.emplace(
+        key, static_cast<uint32_t>(parent_.size()));
+    if (inserted) {
+      parent_.push_back(it->second);
+      size_.push_back(initial_size);
+      max_size_ = std::max<size_t>(max_size_, initial_size);
+    }
+    return it->second;
+  }
+
+  uint32_t Find(uint32_t x) {
+    uint32_t root = x;
+    while (parent_[root] != root) root = parent_[root];
+    while (parent_[x] != root) {
+      uint32_t next = parent_[x];
+      parent_[x] = root;
+      x = next;
+    }
+    return root;
+  }
+
+  void Union(uint32_t a, uint32_t b) {
+    uint32_t ra = Find(a);
+    uint32_t rb = Find(b);
+    if (ra == rb) return;
+    // Union by size (weights differ, so size beats rank here).
+    if (size_[ra] < size_[rb]) std::swap(ra, rb);
+    parent_[rb] = ra;
+    size_[ra] += size_[rb];
+    max_size_ = std::max<size_t>(max_size_, size_[ra]);
+  }
+
+  size_t max_size() const { return max_size_; }
+
+ private:
+  std::unordered_map<uint32_t, uint32_t> ids_;
+  std::vector<uint32_t> parent_;
+  std::vector<uint32_t> size_;
+  size_t max_size_ = 0;
+};
+
+}  // namespace
+
+size_t MaxWccOfEdges(std::span<const rdf::Triple> edges) {
+  LocalForest forest;
+  for (const rdf::Triple& t : edges) {
+    uint32_t a = forest.LocalId(t.subject, 1);
+    uint32_t b = forest.LocalId(t.object, 1);
+    forest.Union(a, b);
+  }
+  return forest.max_size();
+}
+
+size_t TrialMergeMaxComponent(const DisjointSetForest& base,
+                              std::span<const rdf::Triple> edges) {
+  // Roots of `base` act as supervertices weighted by their component
+  // sizes; the candidate property's edges union them locally.
+  LocalForest forest;
+  for (const rdf::Triple& t : edges) {
+    uint32_t root_s = base.FindNoCompress(t.subject);
+    uint32_t root_o = base.FindNoCompress(t.object);
+    if (root_s == root_o) continue;  // already one component in base
+    uint32_t a = forest.LocalId(
+        root_s, static_cast<uint32_t>(base.SizeOfRoot(root_s)));
+    uint32_t b = forest.LocalId(
+        root_o, static_cast<uint32_t>(base.SizeOfRoot(root_o)));
+    forest.Union(a, b);
+  }
+  return std::max(base.max_component_size(), forest.max_size());
+}
+
+}  // namespace mpc::dsf

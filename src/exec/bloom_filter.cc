@@ -1,0 +1,45 @@
+#include "exec/bloom_filter.h"
+
+#include <algorithm>
+
+#include "common/hash.h"
+
+namespace mpc::exec {
+
+namespace {
+
+/// Next power of two >= x (so probe positions are a cheap mask).
+uint64_t NextPow2(uint64_t x) {
+  uint64_t p = 1;
+  while (p < x) p <<= 1;
+  return p;
+}
+
+}  // namespace
+
+BloomFilter::BloomFilter(size_t expected_items) {
+  // ~9.6 bits per item targets ~1% FPR with 7 probes.
+  uint64_t bits = NextPow2(std::max<uint64_t>(
+      256, static_cast<uint64_t>(expected_items) * 10));
+  bits_.assign(bits, false);
+  mask_ = bits - 1;
+}
+
+uint64_t BloomFilter::Probe(uint32_t value, uint32_t i) const {
+  uint64_t h1 = HashU64(value);
+  uint64_t h2 = HashU64(static_cast<uint64_t>(value) | (1ULL << 40));
+  return (h1 + static_cast<uint64_t>(i) * (h2 | 1)) & mask_;
+}
+
+void BloomFilter::Insert(uint32_t value) {
+  for (uint32_t i = 0; i < kNumProbes; ++i) bits_[Probe(value, i)] = true;
+}
+
+bool BloomFilter::MayContain(uint32_t value) const {
+  for (uint32_t i = 0; i < kNumProbes; ++i) {
+    if (!bits_[Probe(value, i)]) return false;
+  }
+  return true;
+}
+
+}  // namespace mpc::exec

@@ -1,0 +1,41 @@
+#ifndef MPC_EXEC_BLOOM_FILTER_H_
+#define MPC_EXEC_BLOOM_FILTER_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace mpc::exec {
+
+/// Fixed-size Bloom filter over 32-bit ids, used for the WORQ-style [24]
+/// join-reduction option of the distributed executor: the coordinator
+/// builds a filter over the join-key values of one subquery's bindings
+/// and ships it to the sites evaluating the other subqueries, which drop
+/// rows whose key cannot join before shipping them back.
+class BloomFilter {
+ public:
+  /// Sizes the filter for `expected_items` at roughly 1% false positives
+  /// (~9.6 bits/item, 7 hash probes), with a small floor.
+  explicit BloomFilter(size_t expected_items);
+
+  void Insert(uint32_t value);
+
+  /// False means definitely absent; true means probably present.
+  bool MayContain(uint32_t value) const;
+
+  /// Wire size in bytes (shipped to sites by the executor's cost model).
+  size_t ByteSize() const { return bits_.size() / 8; }
+
+ private:
+  /// Probe positions derive from two independent 64-bit mixes
+  /// (Kirsch-Mitzenmacher double hashing).
+  uint64_t Probe(uint32_t value, uint32_t i) const;
+
+  std::vector<bool> bits_;
+  uint64_t mask_ = 0;
+  static constexpr uint32_t kNumProbes = 7;
+};
+
+}  // namespace mpc::exec
+
+#endif  // MPC_EXEC_BLOOM_FILTER_H_

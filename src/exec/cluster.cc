@@ -1,0 +1,43 @@
+#include "exec/cluster.h"
+
+#include <algorithm>
+
+#include "common/timer.h"
+
+namespace mpc::exec {
+
+Cluster Cluster::Build(partition::Partitioning partitioning) {
+  Cluster cluster;
+  cluster.partitioning_ = std::move(partitioning);
+  cluster.stores_.reserve(cluster.partitioning_.k());
+  cluster.num_properties_ =
+      cluster.partitioning_.crossing_property_mask().size();
+  cluster.property_present_.assign(
+      static_cast<size_t>(cluster.partitioning_.k()) *
+          cluster.num_properties_,
+      false);
+  double max_millis = 0.0;
+  for (uint32_t i = 0; i < cluster.partitioning_.k(); ++i) {
+    const partition::Partition& p = cluster.partitioning_.partition(i);
+    std::vector<rdf::Triple> triples = p.internal_edges;
+    triples.insert(triples.end(), p.crossing_edges.begin(),
+                   p.crossing_edges.end());
+    for (const rdf::Triple& t : triples) {
+      cluster.property_present_[i * cluster.num_properties_ + t.property] =
+          true;
+    }
+    Timer timer;
+    cluster.stores_.emplace_back(std::move(triples));
+    max_millis = std::max(max_millis, timer.ElapsedMillis());
+  }
+  cluster.loading_millis_ = max_millis;
+  return cluster;
+}
+
+size_t Cluster::MemoryUsage() const {
+  size_t bytes = 0;
+  for (const store::TripleStore& s : stores_) bytes += s.MemoryUsage();
+  return bytes;
+}
+
+}  // namespace mpc::exec

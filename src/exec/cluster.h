@@ -1,0 +1,57 @@
+#ifndef MPC_EXEC_CLUSTER_H_
+#define MPC_EXEC_CLUSTER_H_
+
+#include <memory>
+#include <vector>
+
+#include "partition/partitioning.h"
+#include "rdf/graph.h"
+#include "store/triple_store.h"
+
+namespace mpc::exec {
+
+/// An in-process stand-in for the paper's 8-machine deployment: k
+/// TripleStore instances, one per partition, each holding that
+/// partition's internal edges plus crossing-edge replicas. Loading time
+/// (index construction) is measured per site; the reported figure is the
+/// maximum across sites, matching parallel loading on a real cluster.
+class Cluster {
+ public:
+  /// Builds the per-site stores from a materialized partitioning. The
+  /// partitioning is moved in and retained (the executor needs its
+  /// crossing-property mask).
+  static Cluster Build(partition::Partitioning partitioning);
+
+  uint32_t k() const { return partitioning_.k(); }
+  const store::TripleStore& site(uint32_t i) const { return stores_[i]; }
+  const partition::Partitioning& partitioning() const {
+    return partitioning_;
+  }
+
+  /// True iff site i stores at least one triple with property p. The
+  /// executor uses this to localize queries: a sub-BGP requiring a
+  /// property absent at a site cannot match there, so the site is not
+  /// contacted at all (the "localization" the paper defers as future
+  /// work, in its simplest sound form).
+  bool SiteHasProperty(uint32_t i, rdf::PropertyId p) const {
+    return p < num_properties_ && property_present_[i * num_properties_ + p];
+  }
+
+  /// Max per-site index build time, ms (the Table VI "Loading" analogue).
+  double loading_millis() const { return loading_millis_; }
+
+  /// Sum of store footprints in bytes.
+  size_t MemoryUsage() const;
+
+ private:
+  partition::Partitioning partitioning_;
+  std::vector<store::TripleStore> stores_;
+  /// Row-major [site][property] presence bitmap.
+  std::vector<bool> property_present_;
+  size_t num_properties_ = 0;
+  double loading_millis_ = 0.0;
+};
+
+}  // namespace mpc::exec
+
+#endif  // MPC_EXEC_CLUSTER_H_

@@ -1,0 +1,46 @@
+#include "exec/decomposer.h"
+
+#include "sparql/shape.h"
+
+namespace mpc::exec {
+
+Decomposition DecomposeQuery(const sparql::QueryGraph& query,
+                             const std::vector<bool>& crossing_pattern) {
+  sparql::QueryComponents components =
+      sparql::DecomposeAfterRemoval(query, crossing_pattern);
+
+  // Seed each WCC's subquery with its internal (non-crossing) patterns
+  // (Algorithm 2 line 2).
+  std::vector<std::vector<size_t>> per_component(components.num_components);
+  for (size_t i = 0; i < query.num_patterns(); ++i) {
+    if (crossing_pattern[i]) continue;
+    uint32_t c = components.vertex_component[query.SubjectVertex(i)];
+    per_component[c].push_back(i);
+  }
+
+  // Reattach crossing edges one by one (lines 3-12).
+  for (size_t i = 0; i < query.num_patterns(); ++i) {
+    if (!crossing_pattern[i]) continue;
+    uint32_t cs = components.vertex_component[query.SubjectVertex(i)];
+    uint32_t co = components.vertex_component[query.ObjectVertex(i)];
+    if (cs == co) {
+      per_component[cs].push_back(i);  // becomes Type-I extended
+    } else if (components.component_size[cs] <=
+               components.component_size[co]) {
+      per_component[co].push_back(i);  // becomes Type-II extended
+    } else {
+      per_component[cs].push_back(i);
+    }
+  }
+
+  // Keep subqueries that own at least one pattern (lines 13-15: a
+  // single-vertex WCC with no edges is dropped; its bindings are covered
+  // by whichever subquery took its incident edges).
+  Decomposition result;
+  for (std::vector<size_t>& sub : per_component) {
+    if (!sub.empty()) result.subqueries.push_back(std::move(sub));
+  }
+  return result;
+}
+
+}  // namespace mpc::exec

@@ -1,0 +1,36 @@
+#ifndef MPC_EXEC_DECOMPOSER_H_
+#define MPC_EXEC_DECOMPOSER_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "exec/query_classifier.h"
+#include "sparql/query_graph.h"
+
+namespace mpc::exec {
+
+/// A decomposition of a non-IEQ into independently executable subqueries
+/// (Algorithm 2). Each subquery is a list of pattern indices into the
+/// original query; every original pattern appears in exactly one
+/// subquery.
+struct Decomposition {
+  std::vector<std::vector<size_t>> subqueries;
+
+  size_t num_subqueries() const { return subqueries.size(); }
+};
+
+/// Algorithm 2: removes crossing-property / variable-predicate edges,
+/// takes the WCCs as seed subqueries, then reattaches each removed edge —
+/// to its WCC when both endpoints agree (making it Type-I extended), or
+/// to the endpoint's larger WCC otherwise (making it Type-II extended).
+/// Single-vertex WCCs that receive no edges are dropped (their matches
+/// are subsumed, cf. the q'_3 discussion of Fig. 6).
+///
+/// `crossing_pattern` comes from ClassifyQuery. Also correct (and used)
+/// for IEQs, where it returns a single subquery with every pattern.
+Decomposition DecomposeQuery(const sparql::QueryGraph& query,
+                             const std::vector<bool>& crossing_pattern);
+
+}  // namespace mpc::exec
+
+#endif  // MPC_EXEC_DECOMPOSER_H_

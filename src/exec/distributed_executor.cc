@@ -1,0 +1,344 @@
+#include "exec/distributed_executor.h"
+
+#include <algorithm>
+
+#include "common/timer.h"
+#include "exec/bloom_filter.h"
+#include "exec/join.h"
+#include "sparql/parser.h"
+
+namespace mpc::exec {
+
+using store::BgpMatcher;
+using store::BindingTable;
+using store::ResolvedQuery;
+
+DistributedExecutor::DistributedExecutor(const Cluster& cluster,
+                                         const rdf::RdfGraph& graph,
+                                         Options options)
+    : cluster_(cluster), graph_(graph), options_(options) {}
+
+Result<BindingTable> DistributedExecutor::Execute(
+    const sparql::QueryGraph& query, ExecutionStats* stats) const {
+  *stats = ExecutionStats{};
+  if (cluster_.partitioning().kind() ==
+      partition::PartitioningKind::kEdgeDisjoint) {
+    return ExecuteVp(query, stats);
+  }
+  return ExecuteVertexDisjoint(query, stats);
+}
+
+Result<BindingTable> DistributedExecutor::ExecuteText(
+    const std::string& text, ExecutionStats* stats) const {
+  Result<sparql::QueryGraph> query = sparql::SparqlParser::Parse(text);
+  if (!query.ok()) return query.status();
+  return Execute(*query, stats);
+}
+
+Result<BindingTable> DistributedExecutor::ExecuteVertexDisjoint(
+    const sparql::QueryGraph& query, ExecutionStats* stats) const {
+  // --- QDT: classify, decompose, resolve, dispatch. ---
+  Timer timer;
+  Classification cls =
+      ClassifyQuery(query, cluster_.partitioning(), graph_);
+  stats->cls = cls.cls;
+  stats->independent = cls.independently_executable();
+
+  Decomposition decomposition;
+  if (stats->independent) {
+    // One subquery holding every pattern; union-only execution.
+    decomposition.subqueries.emplace_back();
+    for (size_t i = 0; i < query.num_patterns(); ++i) {
+      decomposition.subqueries.back().push_back(i);
+    }
+  } else {
+    decomposition = DecomposeQuery(query, cls.crossing_pattern);
+  }
+  stats->num_subqueries = decomposition.num_subqueries();
+
+  ResolvedQuery resolved = store::ResolveQuery(query, graph_);
+  const double classify_millis = timer.ElapsedMillis();
+
+  // --- LET: each subquery on each site; sites run in parallel, so a
+  // subquery costs its slowest site; subqueries run back-to-back.
+  // Localization: a site lacking any required property of a subquery is
+  // skipped entirely (it cannot hold a match of that sub-BGP). ---
+  BgpMatcher::Options matcher_options;
+  matcher_options.max_results = options_.max_rows;
+
+  std::vector<bool> site_contacted(cluster_.k(), false);
+  // Bloom-join reduction state: per query variable, a filter over the
+  // values already bound by earlier subqueries.
+  std::vector<std::unique_ptr<BloomFilter>> var_filters(resolved.num_vars);
+  const bool use_bloom =
+      options_.bloom_reduction && !stats->independent &&
+      decomposition.num_subqueries() > 1;
+
+  // Evaluation order: most selective subquery first, so its (small)
+  // bindings can reduce the rest. Selectivity estimate: the minimum
+  // per-pattern candidate count, using global property frequencies and a
+  // strong bonus for constant subjects/objects.
+  std::vector<size_t> order(decomposition.num_subqueries());
+  for (size_t i = 0; i < order.size(); ++i) order[i] = i;
+  if (use_bloom) {
+    auto estimate = [&](const std::vector<size_t>& sub) -> uint64_t {
+      uint64_t best = UINT64_MAX;
+      for (size_t idx : sub) {
+        const store::ResolvedPattern& p = resolved.patterns[idx];
+        uint64_t e = p.p_is_var ? graph_.num_edges()
+                                : graph_.PropertyFrequency(p.p);
+        if (!p.s_is_var || !p.o_is_var) e = e / 64 + 1;
+        best = std::min(best, e);
+      }
+      return best;
+    };
+    std::sort(order.begin(), order.end(), [&](size_t a, size_t b) {
+      return estimate(decomposition.subqueries[a]) <
+             estimate(decomposition.subqueries[b]);
+    });
+  }
+  // Variables shared with later subqueries (only those are worth
+  // filtering): remaining_uses[v] = number of not-yet-evaluated
+  // subqueries using variable v.
+  std::vector<uint32_t> remaining_uses(resolved.num_vars, 0);
+  auto subquery_vars = [&](const std::vector<size_t>& sub) {
+    std::vector<uint32_t> vars;
+    for (size_t idx : sub) {
+      const store::ResolvedPattern& p = resolved.patterns[idx];
+      if (p.s_is_var) vars.push_back(p.s);
+      if (p.p_is_var) vars.push_back(p.p);
+      if (p.o_is_var) vars.push_back(p.o);
+    }
+    std::sort(vars.begin(), vars.end());
+    vars.erase(std::unique(vars.begin(), vars.end()), vars.end());
+    return vars;
+  };
+  for (const std::vector<size_t>& sub : decomposition.subqueries) {
+    for (uint32_t v : subquery_vars(sub)) ++remaining_uses[v];
+  }
+
+  std::vector<BindingTable> subquery_results;
+  subquery_results.resize(decomposition.num_subqueries());
+  for (size_t subquery_index : order) {
+    const std::vector<size_t>& sub =
+        decomposition.subqueries[subquery_index];
+    for (uint32_t v : subquery_vars(sub)) --remaining_uses[v];
+    // Constant properties this subquery requires.
+    std::vector<rdf::PropertyId> required;
+    for (size_t idx : sub) {
+      const store::ResolvedPattern& p = resolved.patterns[idx];
+      if (!p.p_is_var && !p.impossible) required.push_back(p.p);
+    }
+    double slowest_site = 0.0;
+    BindingTable merged;
+    for (uint32_t site = 0; site < cluster_.k(); ++site) {
+      if (options_.site_pruning) {
+        bool relevant = true;
+        for (rdf::PropertyId p : required) {
+          if (!cluster_.SiteHasProperty(site, p)) {
+            relevant = false;
+            break;
+          }
+        }
+        if (!relevant) {
+          ++stats->sites_pruned;
+          continue;
+        }
+      }
+      site_contacted[site] = true;
+      ++stats->sites_evaluated;
+      Timer site_timer;
+      BindingTable local = BgpMatcher::Evaluate(
+          cluster_.site(site), resolved, sub, matcher_options);
+      if (use_bloom) {
+        // Drop rows whose join keys cannot match any earlier subquery's
+        // bindings; this happens site-side, before shipping.
+        size_t kept = 0;
+        for (size_t r = 0; r < local.rows.size(); ++r) {
+          bool may_join = true;
+          for (size_t col = 0; col < local.var_ids.size(); ++col) {
+            const auto& filter = var_filters[local.var_ids[col]];
+            if (filter != nullptr &&
+                !filter->MayContain(local.rows[r][col])) {
+              may_join = false;
+              break;
+            }
+          }
+          if (may_join) {
+            // Guard against self-move: moving rows[r] onto itself would
+            // leave an empty row behind.
+            if (kept != r) local.rows[kept] = std::move(local.rows[r]);
+            ++kept;
+          }
+        }
+        stats->bloom_dropped_rows += local.rows.size() - kept;
+        local.rows.resize(kept);
+      }
+      slowest_site = std::max(slowest_site, site_timer.ElapsedMillis());
+      stats->local_rows += local.num_rows();
+      if (merged.var_ids.empty()) merged.var_ids = local.var_ids;
+      for (auto& row : local.rows) merged.rows.push_back(std::move(row));
+      // Shipping this site's table to the coordinator.
+      stats->shipped_bytes += local.ByteSize();
+    }
+    if (merged.var_ids.empty()) {
+      // Every site pruned (or k = 0): synthesize the empty table with
+      // the right columns so downstream joins see the schema.
+      merged = BgpMatcher::Evaluate(cluster_.site(0), resolved, sub,
+                                    BgpMatcher::Options{.max_results = 0});
+    }
+    stats->local_eval_millis += slowest_site;
+    // Union semantics (Definition 3.7): replicas may produce the same
+    // match at two sites; dedupe.
+    merged.Deduplicate();
+    if (use_bloom) {
+      // Publish filters for join variables still needed by later
+      // subqueries, sized by distinct values (filters are broadcast to
+      // the k sites, which the byte accounting charges below). Very
+      // large key sets are not worth shipping.
+      constexpr size_t kMaxFilterKeys = 65536;
+      for (size_t col = 0; col < merged.var_ids.size(); ++col) {
+        uint32_t var = merged.var_ids[col];
+        if (remaining_uses[var] == 0 || var_filters[var] != nullptr) {
+          continue;
+        }
+        std::vector<uint32_t> keys;
+        keys.reserve(merged.num_rows());
+        for (const auto& row : merged.rows) keys.push_back(row[col]);
+        std::sort(keys.begin(), keys.end());
+        keys.erase(std::unique(keys.begin(), keys.end()), keys.end());
+        if (keys.size() > kMaxFilterKeys) continue;
+        auto filter = std::make_unique<BloomFilter>(keys.size());
+        for (uint32_t key : keys) filter->Insert(key);
+        stats->shipped_bytes += filter->ByteSize() * cluster_.k();
+        var_filters[var] = std::move(filter);
+      }
+    }
+    subquery_results[subquery_index] = std::move(merged);
+  }
+  size_t contacted = 0;
+  for (bool c : site_contacted) contacted += c;
+  stats->decomposition_millis =
+      classify_millis + options_.network.DispatchMillis(contacted);
+  stats->network_millis = options_.network.TransferMillis(
+      stats->shipped_bytes, stats->sites_evaluated);
+
+  // --- JT: coordinator-side join (0 when independent). ---
+  BindingTable final_table;
+  if (stats->independent) {
+    final_table = std::move(subquery_results.front());
+  } else {
+    timer.Reset();
+    final_table = JoinAll(std::move(subquery_results));
+    final_table.Deduplicate();
+    stats->join_millis = timer.ElapsedMillis();
+  }
+
+  final_table.SortColumnsAscending();
+  if (query.limit() != SIZE_MAX && final_table.rows.size() > query.limit()) {
+    final_table.rows.resize(query.limit());
+  }
+  stats->num_results = final_table.num_rows();
+  stats->total_millis = stats->decomposition_millis +
+                        stats->local_eval_millis + stats->join_millis +
+                        stats->network_millis;
+  return final_table;
+}
+
+Result<BindingTable> DistributedExecutor::ExecuteVp(
+    const sparql::QueryGraph& query, ExecutionStats* stats) const {
+  Timer timer;
+  const partition::Partitioning& partitioning = cluster_.partitioning();
+  const bool local = IsVpLocalQuery(query, partitioning, graph_);
+  stats->independent = local;
+  stats->cls = local ? IeqClass::kInternal : IeqClass::kNonIeq;
+
+  ResolvedQuery resolved = store::ResolveQuery(query, graph_);
+  stats->decomposition_millis =
+      timer.ElapsedMillis() + options_.network.DispatchMillis(cluster_.k());
+
+  BgpMatcher::Options matcher_options;
+  matcher_options.max_results = options_.max_rows;
+
+  BindingTable final_table;
+  if (local) {
+    // All predicates live at one site: run the whole BGP there.
+    uint32_t home = 0;
+    for (const std::string& pred : query.ConstantPredicates()) {
+      rdf::PropertyId p = graph_.property_dict().Lookup(pred);
+      if (p != rdf::kInvalidVertex) {
+        home = partitioning.PropertyHome(p);
+        break;
+      }
+    }
+    stats->num_subqueries = 1;
+    Timer site_timer;
+    final_table = BgpMatcher::EvaluateAll(cluster_.site(home), resolved,
+                                          matcher_options);
+    stats->local_eval_millis = site_timer.ElapsedMillis();
+    stats->local_rows = final_table.num_rows();
+    stats->shipped_bytes = final_table.ByteSize();
+    stats->network_millis =
+        options_.network.TransferMillis(stats->shipped_bytes, 1);
+  } else {
+    // Cloud-style plan: every triple pattern is scanned at its property's
+    // home site (or every site for variable predicates), shipped to the
+    // coordinator, and joined there.
+    stats->num_subqueries = query.num_patterns();
+    std::vector<BindingTable> pattern_tables;
+    for (size_t i = 0; i < query.num_patterns(); ++i) {
+      const sparql::TriplePattern& pattern = query.patterns()[i];
+      std::vector<size_t> one{i};
+      BindingTable merged;
+      double slowest = 0.0;
+      auto eval_site = [&](uint32_t site) {
+        Timer site_timer;
+        BindingTable t = BgpMatcher::Evaluate(cluster_.site(site), resolved,
+                                              one, matcher_options);
+        slowest = std::max(slowest, site_timer.ElapsedMillis());
+        stats->local_rows += t.num_rows();
+        stats->shipped_bytes += t.ByteSize();
+        if (merged.var_ids.empty()) merged.var_ids = t.var_ids;
+        for (auto& row : t.rows) merged.rows.push_back(std::move(row));
+      };
+      if (pattern.predicate.is_variable()) {
+        for (uint32_t site = 0; site < cluster_.k(); ++site) {
+          eval_site(site);
+        }
+      } else {
+        rdf::PropertyId p =
+            graph_.property_dict().Lookup(pattern.predicate.text);
+        if (p == rdf::kInvalidVertex) {
+          // Property absent from the data: empty table with the
+          // pattern's variables as columns.
+          merged = BgpMatcher::Evaluate(cluster_.site(0), resolved, one,
+                                        matcher_options);
+          merged.rows.clear();
+        } else {
+          eval_site(partitioning.PropertyHome(p));
+        }
+      }
+      stats->local_eval_millis += slowest;
+      merged.Deduplicate();
+      pattern_tables.push_back(std::move(merged));
+    }
+    stats->network_millis = options_.network.TransferMillis(
+        stats->shipped_bytes, query.num_patterns());
+    timer.Reset();
+    final_table = JoinAll(std::move(pattern_tables));
+    final_table.Deduplicate();
+    stats->join_millis = timer.ElapsedMillis();
+  }
+
+  final_table.SortColumnsAscending();
+  if (query.limit() != SIZE_MAX && final_table.rows.size() > query.limit()) {
+    final_table.rows.resize(query.limit());
+  }
+  stats->num_results = final_table.num_rows();
+  stats->total_millis = stats->decomposition_millis +
+                        stats->local_eval_millis + stats->join_millis +
+                        stats->network_millis;
+  return final_table;
+}
+
+}  // namespace mpc::exec

@@ -1,0 +1,93 @@
+#include "exec/explain.h"
+
+#include <sstream>
+
+#include "exec/decomposer.h"
+#include "sparql/shape.h"
+
+namespace mpc::exec {
+
+namespace {
+
+std::string TermText(const sparql::QueryTerm& term) {
+  return term.is_variable() ? "?" + term.text : term.text;
+}
+
+std::string PatternText(const sparql::TriplePattern& pattern) {
+  return TermText(pattern.subject) + " " + TermText(pattern.predicate) +
+         " " + TermText(pattern.object) + " .";
+}
+
+}  // namespace
+
+std::string ExplainQuery(const sparql::QueryGraph& query,
+                         const partition::Partitioning& partitioning,
+                         const rdf::RdfGraph& graph,
+                         const Cluster* cluster) {
+  std::ostringstream out;
+  Classification cls = ClassifyQuery(query, partitioning, graph);
+
+  out << "query: " << query.num_patterns() << " patterns, "
+      << query.num_variables() << " variables, "
+      << (sparql::IsStarQuery(query) ? "star" : "non-star") << "\n";
+  out << "class: " << IeqClassName(cls.cls) << " -> "
+      << (cls.independently_executable()
+              ? "independent execution (per-site union, no join)"
+              : "decompose + inter-partition join")
+      << "\n";
+  if (cls.num_crossing_patterns > 0) {
+    out << "crossing patterns (" << cls.num_crossing_patterns << "):\n";
+    for (size_t i = 0; i < query.num_patterns(); ++i) {
+      if (cls.crossing_pattern[i]) {
+        out << "  [" << i << "] " << PatternText(query.patterns()[i])
+            << "\n";
+      }
+    }
+  }
+
+  Decomposition decomposition;
+  if (cls.independently_executable()) {
+    decomposition.subqueries.emplace_back();
+    for (size_t i = 0; i < query.num_patterns(); ++i) {
+      decomposition.subqueries.back().push_back(i);
+    }
+  } else {
+    decomposition = DecomposeQuery(query, cls.crossing_pattern);
+    out << "decomposition: " << decomposition.num_subqueries()
+        << " subqueries\n";
+  }
+
+  for (size_t s = 0; s < decomposition.num_subqueries(); ++s) {
+    const std::vector<size_t>& sub = decomposition.subqueries[s];
+    sparql::QueryGraph extracted = sparql::ExtractSubquery(query, sub);
+    Classification sub_cls =
+        ClassifyQuery(extracted, partitioning, graph);
+    out << "subquery " << s << " (" << IeqClassName(sub_cls.cls) << "):\n";
+    for (size_t idx : sub) {
+      out << "  [" << idx << "] " << PatternText(query.patterns()[idx])
+          << "\n";
+    }
+    if (cluster != nullptr) {
+      // Sites that survive property-presence localization.
+      out << "  sites:";
+      for (uint32_t site = 0; site < cluster->k(); ++site) {
+        bool relevant = true;
+        for (size_t idx : sub) {
+          const sparql::QueryTerm& pred = query.patterns()[idx].predicate;
+          if (pred.is_variable()) continue;
+          rdf::PropertyId p = graph.property_dict().Lookup(pred.text);
+          if (p != rdf::kInvalidVertex &&
+              !cluster->SiteHasProperty(site, p)) {
+            relevant = false;
+            break;
+          }
+        }
+        if (relevant) out << " " << site;
+      }
+      out << "\n";
+    }
+  }
+  return out.str();
+}
+
+}  // namespace mpc::exec

@@ -1,0 +1,103 @@
+#include "exec/join.h"
+
+#include <algorithm>
+#include <unordered_map>
+
+namespace mpc::exec {
+
+using store::BindingTable;
+
+BindingTable HashJoin(const BindingTable& left, const BindingTable& right) {
+  // Shared variables and their column positions on both sides.
+  std::vector<std::pair<size_t, size_t>> shared;  // (left col, right col)
+  std::vector<size_t> right_extra;                // right cols to append
+  for (size_t rc = 0; rc < right.var_ids.size(); ++rc) {
+    size_t lc = left.ColumnOf(right.var_ids[rc]);
+    if (lc == SIZE_MAX) {
+      right_extra.push_back(rc);
+    } else {
+      shared.emplace_back(lc, rc);
+    }
+  }
+
+  BindingTable out;
+  out.var_ids = left.var_ids;
+  for (size_t rc : right_extra) out.var_ids.push_back(right.var_ids[rc]);
+
+  if (left.rows.empty() || right.rows.empty()) return out;
+
+  // Build side: hash the right table by its shared-variable key.
+  std::unordered_map<uint64_t, std::vector<size_t>> build;
+  auto key_of = [&](const std::vector<uint32_t>& row,
+                    bool is_right) -> uint64_t {
+    uint64_t h = 0xcbf29ce484222325ULL;
+    for (const auto& [lc, rc] : shared) {
+      uint32_t v = row[is_right ? rc : lc];
+      h ^= v;
+      h *= 0x100000001b3ULL;
+    }
+    return h;
+  };
+  build.reserve(right.rows.size());
+  for (size_t i = 0; i < right.rows.size(); ++i) {
+    build[key_of(right.rows[i], true)].push_back(i);
+  }
+
+  for (const std::vector<uint32_t>& lrow : left.rows) {
+    auto it = build.find(key_of(lrow, false));
+    if (it == build.end()) continue;
+    for (size_t ri : it->second) {
+      const std::vector<uint32_t>& rrow = right.rows[ri];
+      // Verify the key columns (hash collisions).
+      bool match = true;
+      for (const auto& [lc, rc] : shared) {
+        if (lrow[lc] != rrow[rc]) {
+          match = false;
+          break;
+        }
+      }
+      if (!match) continue;
+      std::vector<uint32_t> out_row = lrow;
+      for (size_t rc : right_extra) out_row.push_back(rrow[rc]);
+      out.rows.push_back(std::move(out_row));
+    }
+  }
+  return out;
+}
+
+BindingTable JoinAll(std::vector<BindingTable> tables) {
+  if (tables.empty()) return BindingTable{};
+  // Start from the smallest table.
+  size_t start = 0;
+  for (size_t i = 1; i < tables.size(); ++i) {
+    if (tables[i].num_rows() < tables[start].num_rows()) start = i;
+  }
+  BindingTable acc = std::move(tables[start]);
+  tables.erase(tables.begin() + start);
+
+  while (!tables.empty()) {
+    // Prefer tables sharing a variable with acc; among them the smallest.
+    size_t best = SIZE_MAX;
+    bool best_shared = false;
+    for (size_t i = 0; i < tables.size(); ++i) {
+      bool shares = false;
+      for (uint32_t v : tables[i].var_ids) {
+        if (acc.ColumnOf(v) != SIZE_MAX) {
+          shares = true;
+          break;
+        }
+      }
+      if (best == SIZE_MAX ||
+          std::make_tuple(!shares, tables[i].num_rows()) <
+              std::make_tuple(!best_shared, tables[best].num_rows())) {
+        best = i;
+        best_shared = shares;
+      }
+    }
+    acc = HashJoin(acc, tables[best]);
+    tables.erase(tables.begin() + best);
+  }
+  return acc;
+}
+
+}  // namespace mpc::exec

@@ -1,0 +1,26 @@
+#ifndef MPC_EXEC_JOIN_H_
+#define MPC_EXEC_JOIN_H_
+
+#include <vector>
+
+#include "store/bgp_matcher.h"
+
+namespace mpc::exec {
+
+/// Hash join of two binding tables on their shared variables. With no
+/// shared variables this degenerates to a cross product (needed when a
+/// subquery binds no variables, e.g. an all-constant pattern acting as an
+/// existence filter). Output columns: left's columns followed by right's
+/// non-shared columns.
+store::BindingTable HashJoin(const store::BindingTable& left,
+                             const store::BindingTable& right);
+
+/// Joins all tables left-deep, at each step preferring a next table that
+/// shares a variable with the accumulated result (avoiding premature
+/// cross products) and among those the smallest one. This is the
+/// coordinator-side inter-partition join of Section V-B2.
+store::BindingTable JoinAll(std::vector<store::BindingTable> tables);
+
+}  // namespace mpc::exec
+
+#endif  // MPC_EXEC_JOIN_H_

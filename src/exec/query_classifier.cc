@@ -1,0 +1,129 @@
+#include "exec/query_classifier.h"
+
+#include "sparql/shape.h"
+
+namespace mpc::exec {
+
+const char* IeqClassName(IeqClass cls) {
+  switch (cls) {
+    case IeqClass::kInternal:
+      return "internal";
+    case IeqClass::kExtendedTypeI:
+      return "extended-type-I";
+    case IeqClass::kExtendedTypeII:
+      return "extended-type-II";
+    case IeqClass::kNonIeq:
+      return "non-IEQ";
+  }
+  return "?";
+}
+
+Classification ClassifyQuery(const sparql::QueryGraph& query,
+                             const partition::Partitioning& partitioning,
+                             const rdf::RdfGraph& graph) {
+  Classification result;
+  result.crossing_pattern.assign(query.num_patterns(), false);
+
+  const auto& patterns = query.patterns();
+  for (size_t i = 0; i < patterns.size(); ++i) {
+    const sparql::QueryTerm& pred = patterns[i].predicate;
+    bool crossing;
+    if (pred.is_variable()) {
+      // Footnote 1: a variable predicate can match any property,
+      // including crossing ones; treat conservatively as crossing.
+      crossing = true;
+    } else {
+      rdf::PropertyId p = graph.property_dict().Lookup(pred.text);
+      crossing =
+          (p != rdf::kInvalidVertex) && partitioning.IsCrossingProperty(p);
+    }
+    if (crossing) {
+      result.crossing_pattern[i] = true;
+      ++result.num_crossing_patterns;
+    }
+  }
+
+  if (result.num_crossing_patterns == 0) {
+    result.cls = IeqClass::kInternal;
+    return result;
+  }
+
+  sparql::QueryComponents components =
+      sparql::DecomposeAfterRemoval(query, result.crossing_pattern);
+
+  if (components.num_components == 1) {
+    result.cls = IeqClass::kExtendedTypeI;
+    return result;
+  }
+
+  // Count multi-vertex WCCs; Type-II allows at most one (the core q_i).
+  uint32_t core = UINT32_MAX;
+  size_t num_multi = 0;
+  for (uint32_t c = 0; c < components.num_components; ++c) {
+    if (components.component_size[c] >= 2) {
+      core = c;
+      ++num_multi;
+    }
+  }
+  if (num_multi > 1) {
+    result.cls = IeqClass::kNonIeq;
+    return result;
+  }
+
+  if (num_multi == 1) {
+    // Every crossing edge must touch the core (condition 2 of
+    // Definition 5.3: no crossing edges between two satellites).
+    for (size_t i = 0; i < patterns.size(); ++i) {
+      if (!result.crossing_pattern[i]) continue;
+      uint32_t cs = components.vertex_component[query.SubjectVertex(i)];
+      uint32_t co = components.vertex_component[query.ObjectVertex(i)];
+      if (cs != core && co != core) {
+        result.cls = IeqClass::kNonIeq;
+        return result;
+      }
+    }
+    result.cls = IeqClass::kExtendedTypeII;
+    return result;
+  }
+
+  // All WCCs are singletons: every pattern is crossing. Type-II holds iff
+  // some vertex (the chosen core) touches every edge — i.e. the query is
+  // a star of crossing edges.
+  for (uint32_t candidate :
+       {query.SubjectVertex(0), query.ObjectVertex(0)}) {
+    bool covers_all = true;
+    for (size_t i = 0; i < patterns.size(); ++i) {
+      if (query.SubjectVertex(i) != candidate &&
+          query.ObjectVertex(i) != candidate) {
+        covers_all = false;
+        break;
+      }
+    }
+    if (covers_all) {
+      result.cls = IeqClass::kExtendedTypeII;
+      return result;
+    }
+  }
+  result.cls = IeqClass::kNonIeq;
+  return result;
+}
+
+bool IsVpLocalQuery(const sparql::QueryGraph& query,
+                    const partition::Partitioning& partitioning,
+                    const rdf::RdfGraph& graph) {
+  if (query.has_variable_predicate()) return false;
+  uint32_t home = UINT32_MAX;
+  for (const std::string& pred : query.ConstantPredicates()) {
+    rdf::PropertyId p = graph.property_dict().Lookup(pred);
+    if (p == rdf::kInvalidVertex) continue;  // matches nothing anywhere
+    uint32_t site = partitioning.PropertyHome(p);
+    if (home == UINT32_MAX) {
+      home = site;
+    } else if (home != site) {
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace mpc::exec

@@ -1,0 +1,95 @@
+#include "metis/coarsen.h"
+
+#include <algorithm>
+#include <numeric>
+
+namespace mpc::metis {
+
+std::vector<uint32_t> HeavyEdgeMatching(const CsrGraph& graph, Rng& rng) {
+  const size_t n = graph.num_vertices();
+  std::vector<uint32_t> match(n);
+  std::iota(match.begin(), match.end(), 0);
+  std::vector<uint32_t> order(n);
+  std::iota(order.begin(), order.end(), 0);
+  std::shuffle(order.begin(), order.end(), rng);
+
+  std::vector<bool> matched(n, false);
+  for (uint32_t v : order) {
+    if (matched[v]) continue;
+    uint32_t best = v;
+    uint64_t best_weight = 0;
+    for (const Adjacency& a : graph.Neighbors(v)) {
+      if (matched[a.neighbor] || a.neighbor == v) continue;
+      if (a.weight > best_weight) {
+        best_weight = a.weight;
+        best = a.neighbor;
+      }
+    }
+    if (best != v) {
+      match[v] = best;
+      match[best] = v;
+      matched[best] = true;
+    }
+    matched[v] = true;
+  }
+  return match;
+}
+
+CoarseLevel ContractMatching(const CsrGraph& graph,
+                             const std::vector<uint32_t>& match) {
+  const size_t n = graph.num_vertices();
+  CoarseLevel level;
+  level.fine_to_coarse.assign(n, UINT32_MAX);
+
+  // Assign coarse ids: the lower-numbered endpoint of each pair claims the
+  // next id; its partner reuses it.
+  uint32_t next_id = 0;
+  for (uint32_t v = 0; v < n; ++v) {
+    if (level.fine_to_coarse[v] != UINT32_MAX) continue;
+    uint32_t partner = match[v];
+    level.fine_to_coarse[v] = next_id;
+    level.fine_to_coarse[partner] = next_id;  // partner may equal v
+    ++next_id;
+  }
+
+  std::vector<uint64_t> coarse_weights(next_id, 0);
+  for (uint32_t v = 0; v < n; ++v) {
+    coarse_weights[level.fine_to_coarse[v]] += graph.VertexWeight(v);
+  }
+
+  std::vector<WeightedEdge> coarse_edges;
+  coarse_edges.reserve(graph.num_adjacencies() / 2);
+  for (uint32_t v = 0; v < n; ++v) {
+    uint32_t cv = level.fine_to_coarse[v];
+    for (const Adjacency& a : graph.Neighbors(v)) {
+      uint32_t cu = level.fine_to_coarse[a.neighbor];
+      // Emit each undirected edge once (from the smaller fine endpoint)
+      // and drop edges internal to a supervertex.
+      if (cv == cu || v > a.neighbor) continue;
+      coarse_edges.push_back({cv, cu, a.weight});
+    }
+  }
+  level.graph =
+      CsrGraph::FromEdges(next_id, coarse_edges, std::move(coarse_weights));
+  return level;
+}
+
+std::vector<CoarseLevel> CoarsenToSize(const CsrGraph& graph,
+                                       size_t target_vertices, Rng& rng) {
+  std::vector<CoarseLevel> hierarchy;
+  const CsrGraph* current = &graph;
+  while (current->num_vertices() > target_vertices) {
+    std::vector<uint32_t> match = HeavyEdgeMatching(*current, rng);
+    CoarseLevel level = ContractMatching(*current, match);
+    // Stop if matching stalled (e.g. star graphs where HEM saturates).
+    if (level.graph.num_vertices() >
+        current->num_vertices() * 9 / 10) {
+      break;
+    }
+    hierarchy.push_back(std::move(level));
+    current = &hierarchy.back().graph;
+  }
+  return hierarchy;
+}
+
+}  // namespace mpc::metis

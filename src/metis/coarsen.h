@@ -1,0 +1,40 @@
+#ifndef MPC_METIS_COARSEN_H_
+#define MPC_METIS_COARSEN_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/random.h"
+#include "metis/csr_graph.h"
+
+namespace mpc::metis {
+
+/// One level of the coarsening hierarchy: the coarse graph plus the map
+/// from each fine vertex to its coarse supervertex.
+struct CoarseLevel {
+  CsrGraph graph;
+  std::vector<uint32_t> fine_to_coarse;
+};
+
+/// Heavy-edge matching: visits vertices in random order; each unmatched
+/// vertex matches the unmatched neighbor reachable over the heaviest edge
+/// (standard METIS HEM). Returns match[v] = partner (v itself when
+/// unmatched).
+std::vector<uint32_t> HeavyEdgeMatching(const CsrGraph& graph, Rng& rng);
+
+/// Contracts a matching into the coarse graph: matched pairs fuse into a
+/// supervertex whose weight is the pair's weight sum; parallel coarse
+/// edges combine their weights.
+CoarseLevel ContractMatching(const CsrGraph& graph,
+                             const std::vector<uint32_t>& match);
+
+/// Repeatedly matches and contracts until the graph has at most
+/// `target_vertices` vertices or a round shrinks it by less than 10%.
+/// Returns the hierarchy from finest (index 0, the input's first
+/// contraction) to coarsest.
+std::vector<CoarseLevel> CoarsenToSize(const CsrGraph& graph,
+                                       size_t target_vertices, Rng& rng);
+
+}  // namespace mpc::metis
+
+#endif  // MPC_METIS_COARSEN_H_

@@ -1,0 +1,105 @@
+#include "metis/initial_partition.h"
+
+#include <algorithm>
+#include <deque>
+#include <numeric>
+
+namespace mpc::metis {
+
+std::vector<uint32_t> GreedyGrowPartition(const CsrGraph& graph, uint32_t k,
+                                          Rng& rng) {
+  const size_t n = graph.num_vertices();
+  std::vector<uint32_t> part(n, UINT32_MAX);
+  if (k == 0) return part;
+  if (k == 1) {
+    std::fill(part.begin(), part.end(), 0);
+    return part;
+  }
+
+  const double target =
+      static_cast<double>(graph.total_vertex_weight()) / k;
+
+  std::vector<uint32_t> order(n);
+  std::iota(order.begin(), order.end(), 0);
+  std::shuffle(order.begin(), order.end(), rng);
+  size_t seed_cursor = 0;
+
+  std::vector<uint64_t> part_weight(k, 0);
+
+  // Grow the first k-1 regions; the last region takes what remains.
+  for (uint32_t p = 0; p + 1 < k; ++p) {
+    // Find an unassigned seed.
+    while (seed_cursor < n && part[order[seed_cursor]] != UINT32_MAX) {
+      ++seed_cursor;
+    }
+    if (seed_cursor >= n) break;
+
+    std::deque<uint32_t> frontier;
+    frontier.push_back(order[seed_cursor]);
+    while (part_weight[p] < target) {
+      uint32_t v = UINT32_MAX;
+      while (!frontier.empty()) {
+        uint32_t cand = frontier.front();
+        frontier.pop_front();
+        if (part[cand] == UINT32_MAX) {
+          v = cand;
+          break;
+        }
+      }
+      if (v == UINT32_MAX) {
+        // Region can't grow further (component exhausted); restart from a
+        // fresh unassigned seed so the region keeps filling toward target.
+        while (seed_cursor < n && part[order[seed_cursor]] != UINT32_MAX) {
+          ++seed_cursor;
+        }
+        if (seed_cursor >= n) break;
+        frontier.push_back(order[seed_cursor]);
+        continue;
+      }
+      part[v] = p;
+      part_weight[p] += graph.VertexWeight(v);
+      for (const Adjacency& a : graph.Neighbors(v)) {
+        if (part[a.neighbor] == UINT32_MAX) frontier.push_back(a.neighbor);
+      }
+    }
+  }
+
+  // Remaining vertices: sweep into the currently lightest partition. This
+  // both fills the last region and absorbs disconnected leftovers.
+  for (uint32_t v : order) {
+    if (part[v] != UINT32_MAX) continue;
+    uint32_t lightest = 0;
+    for (uint32_t p = 1; p < k; ++p) {
+      if (part_weight[p] < part_weight[lightest]) lightest = p;
+    }
+    part[v] = lightest;
+    part_weight[lightest] += graph.VertexWeight(v);
+  }
+  return part;
+}
+
+std::vector<uint32_t> RandomPartition(const CsrGraph& graph, uint32_t k,
+                                      Rng& rng) {
+  const size_t n = graph.num_vertices();
+  std::vector<uint32_t> part(n);
+  if (k <= 1) {
+    std::fill(part.begin(), part.end(), 0);
+    return part;
+  }
+  // Weighted round-robin over a shuffled order keeps weights balanced.
+  std::vector<uint32_t> order(n);
+  std::iota(order.begin(), order.end(), 0);
+  std::shuffle(order.begin(), order.end(), rng);
+  std::vector<uint64_t> part_weight(k, 0);
+  for (uint32_t v : order) {
+    uint32_t lightest = 0;
+    for (uint32_t p = 1; p < k; ++p) {
+      if (part_weight[p] < part_weight[lightest]) lightest = p;
+    }
+    part[v] = lightest;
+    part_weight[lightest] += graph.VertexWeight(v);
+  }
+  return part;
+}
+
+}  // namespace mpc::metis

@@ -1,0 +1,27 @@
+#ifndef MPC_METIS_INITIAL_PARTITION_H_
+#define MPC_METIS_INITIAL_PARTITION_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/random.h"
+#include "metis/csr_graph.h"
+
+namespace mpc::metis {
+
+/// Greedy graph growing: grows k regions breadth-first from random seeds,
+/// each until it reaches the balanced weight total/k, preferring frontier
+/// vertices with the most connections into the growing region (GGGP).
+/// Leftover vertices are swept into the lightest partitions. Produces a
+/// valid assignment for any graph, connected or not.
+std::vector<uint32_t> GreedyGrowPartition(const CsrGraph& graph, uint32_t k,
+                                          Rng& rng);
+
+/// Random balanced assignment, used as a quality floor in tests and as a
+/// fallback when k >= n.
+std::vector<uint32_t> RandomPartition(const CsrGraph& graph, uint32_t k,
+                                      Rng& rng);
+
+}  // namespace mpc::metis
+
+#endif  // MPC_METIS_INITIAL_PARTITION_H_

@@ -1,0 +1,54 @@
+#include "metis/partitioner.h"
+
+#include <algorithm>
+
+#include "common/random.h"
+#include "metis/coarsen.h"
+#include "metis/initial_partition.h"
+#include "metis/refine.h"
+
+namespace mpc::metis {
+
+std::vector<uint32_t> MultilevelPartitioner::Partition(
+    const CsrGraph& graph) const {
+  const size_t n = graph.num_vertices();
+  std::vector<uint32_t> part(n, 0);
+  if (n == 0 || options_.k <= 1) return part;
+
+  Rng rng(options_.seed);
+  RefineOptions refine_opts{.k = options_.k,
+                            .epsilon = options_.epsilon,
+                            .max_passes = options_.refine_passes};
+
+  const size_t coarsen_target = std::max<size_t>(
+      64, options_.coarsen_target_per_part * options_.k);
+
+  std::vector<CoarseLevel> hierarchy =
+      CoarsenToSize(graph, coarsen_target, rng);
+
+  const CsrGraph& coarsest =
+      hierarchy.empty() ? graph : hierarchy.back().graph;
+
+  std::vector<uint32_t> coarse_part =
+      GreedyGrowPartition(coarsest, options_.k, rng);
+  RefinePartition(coarsest, refine_opts, &coarse_part);
+  EnforceBalance(coarsest, refine_opts, &coarse_part);
+
+  // Project back up through the hierarchy, refining at every level.
+  for (size_t level = hierarchy.size(); level-- > 0;) {
+    const CsrGraph& fine_graph =
+        (level == 0) ? graph : hierarchy[level - 1].graph;
+    const std::vector<uint32_t>& fine_to_coarse =
+        hierarchy[level].fine_to_coarse;
+    std::vector<uint32_t> fine_part(fine_graph.num_vertices());
+    for (uint32_t v = 0; v < fine_part.size(); ++v) {
+      fine_part[v] = coarse_part[fine_to_coarse[v]];
+    }
+    RefinePartition(fine_graph, refine_opts, &fine_part);
+    EnforceBalance(fine_graph, refine_opts, &fine_part);
+    coarse_part = std::move(fine_part);
+  }
+  return coarse_part;
+}
+
+}  // namespace mpc::metis

@@ -1,0 +1,137 @@
+#include "metis/refine.h"
+
+#include <algorithm>
+#include <cassert>
+#include <limits>
+
+namespace mpc::metis {
+
+namespace {
+
+uint64_t BalanceCap(const CsrGraph& graph, const RefineOptions& options) {
+  double cap = (1.0 + options.epsilon) *
+               static_cast<double>(graph.total_vertex_weight()) /
+               static_cast<double>(options.k);
+  return static_cast<uint64_t>(cap);
+}
+
+std::vector<uint64_t> PartitionWeights(const CsrGraph& graph,
+                                       const std::vector<uint32_t>& part,
+                                       uint32_t k) {
+  std::vector<uint64_t> weight(k, 0);
+  for (uint32_t v = 0; v < graph.num_vertices(); ++v) {
+    weight[part[v]] += graph.VertexWeight(v);
+  }
+  return weight;
+}
+
+}  // namespace
+
+void RefinePartition(const CsrGraph& graph, const RefineOptions& options,
+                     std::vector<uint32_t>* part_ptr) {
+  std::vector<uint32_t>& part = *part_ptr;
+  const size_t n = graph.num_vertices();
+  const uint32_t k = options.k;
+  if (k <= 1 || n == 0) return;
+
+  const uint64_t cap = BalanceCap(graph, options);
+  std::vector<uint64_t> weight = PartitionWeights(graph, part, k);
+
+  // conn[p] rebuilt per vertex: total edge weight from v into partition p.
+  std::vector<uint64_t> conn(k, 0);
+  std::vector<uint32_t> touched;
+  touched.reserve(k);
+
+  for (int pass = 0; pass < options.max_passes; ++pass) {
+    bool moved_any = false;
+    for (uint32_t v = 0; v < n; ++v) {
+      const uint32_t from = part[v];
+      // Gather connectivity to each adjacent partition.
+      for (uint32_t p : touched) conn[p] = 0;
+      touched.clear();
+      bool boundary = false;
+      for (const Adjacency& a : graph.Neighbors(v)) {
+        uint32_t p = part[a.neighbor];
+        if (conn[p] == 0) touched.push_back(p);
+        conn[p] += a.weight;
+        if (p != from) boundary = true;
+      }
+      if (!boundary) continue;
+
+      // Best destination: maximize gain = conn[to] - conn[from]; respect
+      // the weight cap on the destination.
+      const uint64_t vw = graph.VertexWeight(v);
+      uint32_t best_to = from;
+      int64_t best_gain = 0;
+      uint64_t best_dest_weight = 0;
+      for (uint32_t to : touched) {
+        if (to == from) continue;
+        if (weight[to] + vw > cap) continue;
+        int64_t gain = static_cast<int64_t>(conn[to]) -
+                       static_cast<int64_t>(conn[from]);
+        bool better =
+            gain > best_gain ||
+            // Zero-gain move accepted only when it strictly improves
+            // balance (moves weight from a heavier to a lighter side).
+            (gain == 0 && best_to == from && weight[to] + vw < weight[from]);
+        if (better || (gain == best_gain && best_to != from &&
+                       weight[to] < best_dest_weight)) {
+          best_gain = gain;
+          best_to = to;
+          best_dest_weight = weight[to];
+        }
+      }
+      if (best_to != from) {
+        weight[from] -= vw;
+        weight[best_to] += vw;
+        part[v] = best_to;
+        moved_any = true;
+      }
+    }
+    if (!moved_any) break;
+  }
+}
+
+void EnforceBalance(const CsrGraph& graph, const RefineOptions& options,
+                    std::vector<uint32_t>* part_ptr) {
+  std::vector<uint32_t>& part = *part_ptr;
+  const size_t n = graph.num_vertices();
+  const uint32_t k = options.k;
+  if (k <= 1 || n == 0) return;
+
+  const uint64_t cap = BalanceCap(graph, options);
+  std::vector<uint64_t> weight = PartitionWeights(graph, part, k);
+
+  // Vertices of each partition, heaviest-connectivity-inside last so we
+  // evict the loosest-attached vertices first.
+  for (uint32_t p = 0; p < k; ++p) {
+    if (weight[p] <= cap) continue;
+    // Collect members with their internal connectivity.
+    std::vector<std::pair<uint64_t, uint32_t>> members;  // (internal_w, v)
+    for (uint32_t v = 0; v < n; ++v) {
+      if (part[v] != p) continue;
+      uint64_t internal = 0;
+      for (const Adjacency& a : graph.Neighbors(v)) {
+        if (part[a.neighbor] == p) internal += a.weight;
+      }
+      members.emplace_back(internal, v);
+    }
+    std::sort(members.begin(), members.end());
+    for (const auto& [internal, v] : members) {
+      if (weight[p] <= cap) break;
+      // Single supervertex heavier than the cap cannot be fixed by moves.
+      const uint64_t vw = graph.VertexWeight(v);
+      if (vw > cap) continue;
+      uint32_t lightest = (p == 0) ? 1 : 0;
+      for (uint32_t q = 0; q < k; ++q) {
+        if (q != p && weight[q] < weight[lightest]) lightest = q;
+      }
+      if (weight[lightest] + vw > cap) continue;  // nowhere to put it
+      part[v] = lightest;
+      weight[p] -= vw;
+      weight[lightest] += vw;
+    }
+  }
+}
+
+}  // namespace mpc::metis

@@ -1,0 +1,36 @@
+#ifndef MPC_METIS_REFINE_H_
+#define MPC_METIS_REFINE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "metis/csr_graph.h"
+
+namespace mpc::metis {
+
+struct RefineOptions {
+  uint32_t k = 2;
+  /// Per-partition weight cap: (1 + epsilon) * total / k.
+  double epsilon = 0.05;
+  /// Maximum greedy passes over the boundary per level.
+  int max_passes = 8;
+};
+
+/// Greedy k-way boundary refinement in the Fiduccia–Mattheyses spirit:
+/// each pass scans boundary vertices and moves a vertex to the adjacent
+/// partition with the highest cut-weight gain, subject to the balance cap.
+/// Zero-gain moves are taken only when they improve balance, which lets
+/// the refiner escape plateaus without oscillating. Mutates `part`.
+void RefinePartition(const CsrGraph& graph, const RefineOptions& options,
+                     std::vector<uint32_t>* part);
+
+/// Forces every partition under the (1+epsilon)*total/k cap by evicting
+/// the cheapest boundary vertices from overweight partitions into the
+/// lightest partitions. Called after refinement as a safety net; no-op
+/// when already balanced.
+void EnforceBalance(const CsrGraph& graph, const RefineOptions& options,
+                    std::vector<uint32_t>* part);
+
+}  // namespace mpc::metis
+
+#endif  // MPC_METIS_REFINE_H_

@@ -1,0 +1,45 @@
+#include "mpc/coarsener.h"
+
+#include <cassert>
+
+#include "dsf/disjoint_set_forest.h"
+
+namespace mpc::core {
+
+CoarsenedGraph CoarsenByInternalProperties(
+    const rdf::RdfGraph& graph, const std::vector<bool>& internal_mask) {
+  assert(internal_mask.size() == graph.num_properties());
+
+  // WCCs of G[L_in] via union-find over the internal-property edges.
+  dsf::DisjointSetForest forest(graph.num_vertices());
+  for (size_t p = 0; p < internal_mask.size(); ++p) {
+    if (!internal_mask[p]) continue;
+    forest.AddEdges(graph.EdgesWithProperty(static_cast<rdf::PropertyId>(p)));
+  }
+
+  CoarsenedGraph result;
+  result.vertex_to_super = forest.ComponentLabels();
+  result.num_supervertices = forest.num_components();
+
+  std::vector<uint64_t> super_weights(result.num_supervertices, 0);
+  for (size_t v = 0; v < graph.num_vertices(); ++v) {
+    ++super_weights[result.vertex_to_super[v]];
+  }
+
+  // Only crossing-candidate (non-internal) property edges survive in G_c.
+  std::vector<metis::WeightedEdge> edges;
+  for (size_t p = 0; p < internal_mask.size(); ++p) {
+    if (internal_mask[p]) continue;
+    for (const rdf::Triple& t :
+         graph.EdgesWithProperty(static_cast<rdf::PropertyId>(p))) {
+      uint32_t su = result.vertex_to_super[t.subject];
+      uint32_t sv = result.vertex_to_super[t.object];
+      if (su != sv) edges.push_back({su, sv, 1});
+    }
+  }
+  result.graph = metis::CsrGraph::FromEdges(result.num_supervertices, edges,
+                                            std::move(super_weights));
+  return result;
+}
+
+}  // namespace mpc::core

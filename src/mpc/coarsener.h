@@ -1,0 +1,32 @@
+#ifndef MPC_MPC_COARSENER_H_
+#define MPC_MPC_COARSENER_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "metis/csr_graph.h"
+#include "rdf/graph.h"
+
+namespace mpc::core {
+
+/// The coarsened graph G_c of Section IV-B: every WCC of the
+/// internal-property-induced subgraph G[L_in] collapses into one
+/// supervertex (weight = number of original vertices, so the balance
+/// constraint carries over), and only non-internal-property edges remain,
+/// combined into weighted supervertex edges.
+struct CoarsenedGraph {
+  metis::CsrGraph graph;
+  /// vertex_to_super[v]: the supervertex holding original vertex v.
+  std::vector<uint32_t> vertex_to_super;
+  size_t num_supervertices = 0;
+};
+
+/// Coarsens `graph` by the WCCs of G[L_in], where internal_mask[p] marks
+/// p ∈ L_in. Theorem 2 guarantees the induced partitioning keeps every
+/// internal-property edge internal: the supervertex is atomic.
+CoarsenedGraph CoarsenByInternalProperties(
+    const rdf::RdfGraph& graph, const std::vector<bool>& internal_mask);
+
+}  // namespace mpc::core
+
+#endif  // MPC_MPC_COARSENER_H_

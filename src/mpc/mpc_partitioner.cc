@@ -1,0 +1,76 @@
+#include "mpc/mpc_partitioner.h"
+
+#include "common/timer.h"
+#include "metis/partitioner.h"
+#include "mpc/coarsener.h"
+
+namespace mpc::core {
+
+std::unique_ptr<InternalPropertySelector> MpcPartitioner::MakeSelector()
+    const {
+  SelectorOptions selector_options;
+  selector_options.k = options_.k;
+  selector_options.epsilon = options_.epsilon;
+  selector_options.backward_candidates = options_.backward_candidates;
+  selector_options.exact_node_budget = options_.exact_node_budget;
+  switch (options_.strategy) {
+    case SelectionStrategy::kGreedy:
+      return std::make_unique<GreedySelector>(selector_options);
+    case SelectionStrategy::kBackward:
+      return std::make_unique<BackwardSelector>(selector_options);
+    case SelectionStrategy::kExact:
+      return std::make_unique<ExactSelector>(selector_options);
+    case SelectionStrategy::kWeighted:
+      return std::make_unique<WeightedGreedySelector>(
+          selector_options, options_.property_weights);
+    case SelectionStrategy::kAuto:
+      return std::make_unique<AutoSelector>(selector_options,
+                                            options_.auto_threshold);
+  }
+  return std::make_unique<AutoSelector>(selector_options,
+                                        options_.auto_threshold);
+}
+
+partition::Partitioning MpcPartitioner::Partition(
+    const rdf::RdfGraph& graph) const {
+  MpcRunStats stats;
+  return PartitionWithStats(graph, &stats);
+}
+
+partition::Partitioning MpcPartitioner::PartitionWithStats(
+    const rdf::RdfGraph& graph, MpcRunStats* stats) const {
+  Timer timer;
+  std::unique_ptr<InternalPropertySelector> selector = MakeSelector();
+  stats->selection = selector->Select(graph);
+  stats->selection_millis = timer.ElapsedMillis();
+
+  timer.Reset();
+  CoarsenedGraph coarse =
+      CoarsenByInternalProperties(graph, stats->selection.internal);
+  stats->num_supervertices = coarse.num_supervertices;
+  stats->coarsening_millis = timer.ElapsedMillis();
+
+  timer.Reset();
+  metis::MlpOptions mlp_options;
+  mlp_options.k = options_.k;
+  mlp_options.epsilon = options_.epsilon;
+  mlp_options.seed = options_.seed;
+  metis::MultilevelPartitioner mlp(mlp_options);
+  std::vector<uint32_t> super_part = mlp.Partition(coarse.graph);
+  stats->metis_millis = timer.ElapsedMillis();
+
+  timer.Reset();
+  partition::VertexAssignment assignment;
+  assignment.k = options_.k;
+  assignment.part.resize(graph.num_vertices());
+  for (size_t v = 0; v < graph.num_vertices(); ++v) {
+    assignment.part[v] = super_part[coarse.vertex_to_super[v]];
+  }
+  partition::Partitioning result =
+      partition::Partitioning::MaterializeVertexDisjoint(
+          graph, std::move(assignment));
+  stats->materialize_millis = timer.ElapsedMillis();
+  return result;
+}
+
+}  // namespace mpc::core

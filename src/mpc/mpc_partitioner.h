@@ -1,0 +1,91 @@
+#ifndef MPC_MPC_MPC_PARTITIONER_H_
+#define MPC_MPC_MPC_PARTITIONER_H_
+
+#include <memory>
+#include <string>
+
+#include "mpc/selector.h"
+#include "mpc/weighted_selector.h"
+#include "partition/partitioner.h"
+
+namespace mpc::core {
+
+/// Which internal-property selection algorithm MPC runs.
+enum class SelectionStrategy {
+  /// Algorithm 1 (forward greedy with DSF optimization).
+  kGreedy,
+  /// Section IV-E backward-removal heuristic for property-rich graphs.
+  kBackward,
+  /// Branch-and-bound optimum (the paper's MPC-Exact).
+  kExact,
+  /// Workload-weighted greedy (the Section II extension): maximizes the
+  /// total query-log weight of internal properties. Requires
+  /// MpcOptions::property_weights.
+  kWeighted,
+  /// Greedy below a property-count threshold, backward above it.
+  kAuto,
+};
+
+struct MpcOptions {
+  uint32_t k = 8;
+  /// Imbalance tolerance epsilon of Definition 4.1.
+  double epsilon = 0.1;
+  uint64_t seed = 1;
+  SelectionStrategy strategy = SelectionStrategy::kAuto;
+  /// Property-count threshold for kAuto.
+  size_t auto_threshold = 512;
+  int backward_candidates = 16;
+  size_t exact_node_budget = 4'000'000;
+  /// kWeighted only: per-property workload weights (see
+  /// ComputeWorkloadPropertyWeights); indices follow the graph's
+  /// property dictionary.
+  std::vector<double> property_weights;
+};
+
+/// Per-run diagnostics surfaced by PartitionWithStats.
+struct MpcRunStats {
+  SelectionResult selection;
+  size_t num_supervertices = 0;
+  double selection_millis = 0.0;
+  double coarsening_millis = 0.0;
+  double metis_millis = 0.0;
+  double materialize_millis = 0.0;
+};
+
+/// The paper's contribution (Section IV): Minimum Property-Cut
+/// partitioning. Pipeline:
+///   1. select internal properties L_in maximizing |L_in| under
+///      Cost(L_in) <= (1+eps)|V|/k        (Algorithm 1 / variants);
+///   2. coarsen G by the WCCs of G[L_in] into supervertex graph G_c;
+///   3. run the multilevel min edge-cut partitioner on G_c;
+///   4. uncoarsen: each original vertex inherits its supervertex's
+///      partition.
+/// No internal-property edge can cross partitions (Theorem 2), so
+/// |L_cross| <= |L| - |L_in|.
+class MpcPartitioner : public partition::Partitioner {
+ public:
+  explicit MpcPartitioner(MpcOptions options) : options_(options) {}
+
+  std::string name() const override {
+    return options_.strategy == SelectionStrategy::kExact ? "MPC-Exact"
+                                                          : "MPC";
+  }
+
+  partition::Partitioning Partition(
+      const rdf::RdfGraph& graph) const override;
+
+  /// Like Partition but also reports stage timings and selection stats.
+  partition::Partitioning PartitionWithStats(const rdf::RdfGraph& graph,
+                                             MpcRunStats* stats) const;
+
+  const MpcOptions& options() const { return options_; }
+
+ private:
+  std::unique_ptr<InternalPropertySelector> MakeSelector() const;
+
+  MpcOptions options_;
+};
+
+}  // namespace mpc::core
+
+#endif  // MPC_MPC_MPC_PARTITIONER_H_

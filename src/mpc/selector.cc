@@ -1,0 +1,289 @@
+#include "mpc/selector.h"
+
+#include <algorithm>
+#include <cassert>
+#include <queue>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "dsf/disjoint_set_forest.h"
+
+namespace mpc::core {
+
+size_t BalanceCap(const rdf::RdfGraph& graph, uint32_t k, double epsilon) {
+  if (k == 0) return graph.num_vertices();
+  double cap = (1.0 + epsilon) * static_cast<double>(graph.num_vertices()) /
+               static_cast<double>(k);
+  return static_cast<size_t>(cap);
+}
+
+namespace {
+
+SelectionResult MakeEmptyResult(size_t num_properties) {
+  SelectionResult result;
+  result.internal.assign(num_properties, false);
+  return result;
+}
+
+}  // namespace
+
+SelectionResult GreedySelector::Select(const rdf::RdfGraph& graph) const {
+  const size_t num_props = graph.num_properties();
+  const size_t cap = BalanceCap(graph, options_.k, options_.epsilon);
+  SelectionResult result = MakeEmptyResult(num_props);
+
+  // Lines 2-4 of Algorithm 1: per-property WCC cost; prune properties
+  // that alone exceed the cap (Section IV-E heuristic 1).
+  struct Candidate {
+    size_t cached_cost;  // lower bound on Cost(L_in ∪ {p})
+    size_t frequency;
+    rdf::PropertyId property;
+    // Min-heap by cost; ties prefer more frequent (more edges become
+    // internal), then lower id for determinism.
+    bool operator>(const Candidate& o) const {
+      if (cached_cost != o.cached_cost) return cached_cost > o.cached_cost;
+      if (frequency != o.frequency) return frequency < o.frequency;
+      return property > o.property;
+    }
+  };
+  std::priority_queue<Candidate, std::vector<Candidate>,
+                      std::greater<Candidate>>
+      heap;
+  for (size_t p = 0; p < num_props; ++p) {
+    auto edges = graph.EdgesWithProperty(static_cast<rdf::PropertyId>(p));
+    size_t single_cost = dsf::MaxWccOfEdges(edges);
+    if (single_cost > cap) {
+      ++result.pruned_properties;
+      continue;
+    }
+    heap.push({std::max<size_t>(single_cost, 1), edges.size(),
+               static_cast<rdf::PropertyId>(p)});
+  }
+
+  // Lines 5-16: repeatedly select the property minimizing
+  // Cost(L_in ∪ {p}). Lazy evaluation: cached costs only become stale
+  // upward (monotone), so if a recomputed top is still no worse than the
+  // next cached entry it is the exact argmin.
+  dsf::DisjointSetForest base(graph.num_vertices());
+  while (!heap.empty()) {
+    Candidate top = heap.top();
+    heap.pop();
+    auto edges = graph.EdgesWithProperty(top.property);
+    size_t fresh_cost = dsf::TrialMergeMaxComponent(base, edges);
+    ++result.iterations;
+    if (fresh_cost > cap) continue;  // infeasible now; forever infeasible
+    if (!heap.empty()) {
+      Candidate next = heap.top();
+      if (Candidate{fresh_cost, top.frequency, top.property} > next) {
+        // Stale: push back with refreshed bound and re-examine.
+        heap.push({fresh_cost, top.frequency, top.property});
+        continue;
+      }
+    }
+    // Commit p_opt (lines 15-16).
+    base.AddEdges(edges);
+    result.internal[top.property] = true;
+    ++result.num_internal;
+    result.final_cost = std::max(result.final_cost,
+                                 base.max_component_size());
+  }
+  if (result.num_internal == 0) result.final_cost = 0;
+  return result;
+}
+
+SelectionResult BackwardSelector::Select(const rdf::RdfGraph& graph) const {
+  const size_t num_props = graph.num_properties();
+  const size_t cap = BalanceCap(graph, options_.k, options_.epsilon);
+  SelectionResult result = MakeEmptyResult(num_props);
+
+  // Start with every property internal (Section IV-E heuristic 2).
+  std::vector<bool> selected(num_props, true);
+  size_t num_selected = num_props;
+
+  while (true) {
+    ++result.iterations;
+    // Rebuild the forest over the currently selected properties.
+    dsf::DisjointSetForest forest(graph.num_vertices());
+    for (size_t p = 0; p < num_props; ++p) {
+      if (!selected[p]) continue;
+      forest.AddEdges(graph.EdgesWithProperty(static_cast<rdf::PropertyId>(p)));
+    }
+    const size_t cost = forest.max_component_size();
+    if (cost <= cap || num_selected == 0) {
+      result.final_cost = num_selected == 0 ? 0 : cost;
+      break;
+    }
+
+    // Identify the largest component's root and the second-largest
+    // component size (the floor any removal can reach this step).
+    uint32_t giant_root = 0;
+    size_t second_max = 0;
+    {
+      std::unordered_set<uint32_t> seen_roots;
+      size_t best = 0;
+      for (uint32_t v = 0; v < graph.num_vertices(); ++v) {
+        uint32_t root = forest.Find(v);
+        if (!seen_roots.insert(root).second) continue;
+        size_t size = forest.SizeOfRoot(root);
+        if (size > best) {
+          second_max = best;
+          best = size;
+          giant_root = root;
+        } else if (size > second_max) {
+          second_max = size;
+        }
+      }
+    }
+
+    // Candidates: properties with edges inside the giant component,
+    // ranked by their edge count there (removing a heavy property is the
+    // likeliest to shatter it).
+    std::unordered_map<rdf::PropertyId, size_t> in_giant;
+    for (size_t p = 0; p < num_props; ++p) {
+      if (!selected[p]) continue;
+      auto edges = graph.EdgesWithProperty(static_cast<rdf::PropertyId>(p));
+      size_t count = 0;
+      for (const rdf::Triple& t : edges) {
+        // An edge of a selected property touching the giant WCC lies
+        // entirely inside it.
+        if (forest.Find(t.subject) == giant_root) ++count;
+      }
+      if (count > 0) in_giant.emplace(static_cast<rdf::PropertyId>(p), count);
+    }
+    assert(!in_giant.empty());
+
+    std::vector<std::pair<size_t, rdf::PropertyId>> ranked;
+    ranked.reserve(in_giant.size());
+    for (auto [p, count] : in_giant) ranked.emplace_back(count, p);
+    std::sort(ranked.begin(), ranked.end(),
+              [](const auto& a, const auto& b) {
+                if (a.first != b.first) return a.first > b.first;
+                return a.second < b.second;
+              });
+    const size_t num_candidates =
+        std::min<size_t>(ranked.size(),
+                         static_cast<size_t>(options_.backward_candidates));
+
+    // Exact evaluation of each candidate, restricted to the giant
+    // component: removing p can only split the giant; everything else is
+    // unchanged, so new_cost = max(second_max, maxWCC(giant minus p)).
+    rdf::PropertyId best_property = ranked[0].second;
+    size_t best_new_cost = SIZE_MAX;
+    for (size_t c = 0; c < num_candidates; ++c) {
+      rdf::PropertyId candidate = ranked[c].second;
+      dsf::DisjointSetForest local(graph.num_vertices());
+      for (size_t p = 0; p < num_props; ++p) {
+        if (!selected[p] || p == candidate) continue;
+        for (const rdf::Triple& t :
+             graph.EdgesWithProperty(static_cast<rdf::PropertyId>(p))) {
+          if (forest.Find(t.subject) != giant_root) continue;
+          local.Union(t.subject, t.object);
+        }
+      }
+      // local's max component counts singletons as 1, which is correct:
+      // giant vertices isolated by the removal become singleton WCCs.
+      size_t new_cost = std::max(second_max, local.max_component_size());
+      if (new_cost < best_new_cost) {
+        best_new_cost = new_cost;
+        best_property = candidate;
+      }
+    }
+    selected[best_property] = false;
+    --num_selected;
+  }
+
+  result.internal = std::move(selected);
+  result.num_internal = num_selected;
+  return result;
+}
+
+SelectionResult ExactSelector::Select(const rdf::RdfGraph& graph) const {
+  const size_t num_props = graph.num_properties();
+  const size_t cap = BalanceCap(graph, options_.k, options_.epsilon);
+
+  // Seed the incumbent with the greedy solution: strong bound, and the
+  // fallback answer if the node budget runs out.
+  GreedySelector greedy(options_);
+  SelectionResult best = greedy.Select(graph);
+  best.optimal = false;
+
+  // Feasible properties only; a property infeasible alone is infeasible
+  // in any superset (monotonicity).
+  struct Prop {
+    rdf::PropertyId id;
+    size_t single_cost;
+  };
+  std::vector<Prop> props;
+  for (size_t p = 0; p < num_props; ++p) {
+    size_t cost = dsf::MaxWccOfEdges(
+        graph.EdgesWithProperty(static_cast<rdf::PropertyId>(p)));
+    if (cost <= cap) props.push_back({static_cast<rdf::PropertyId>(p), cost});
+  }
+  // Decide high-conflict (expensive) properties first: failures prune
+  // whole subtrees early.
+  std::sort(props.begin(), props.end(), [](const Prop& a, const Prop& b) {
+    return a.single_cost > b.single_cost;
+  });
+
+  size_t nodes = 0;
+  bool budget_exhausted = false;
+  std::vector<bool> current(num_props, false);
+
+  // DFS with an explicit copy of the forest per include-branch. The
+  // include branch is explored first so good incumbents arrive early.
+  auto dfs = [&](auto&& self, size_t index, size_t count,
+                 const dsf::DisjointSetForest& forest) -> void {
+    if (budget_exhausted) return;
+    if (++nodes > options_.exact_node_budget) {
+      budget_exhausted = true;
+      return;
+    }
+    if (count + (props.size() - index) <= best.num_internal) return;
+    if (index == props.size()) {
+      // count > best.num_internal is guaranteed by the bound above.
+      best.internal = current;
+      best.num_internal = count;
+      best.final_cost = forest.max_component_size();
+      return;
+    }
+    const Prop& prop = props[index];
+    auto edges = graph.EdgesWithProperty(prop.id);
+    if (dsf::TrialMergeMaxComponent(forest, edges) <= cap) {
+      dsf::DisjointSetForest extended = forest;  // copy, then commit
+      extended.AddEdges(edges);
+      current[prop.id] = true;
+      self(self, index + 1, count + 1, extended);
+      current[prop.id] = false;
+    }
+    self(self, index + 1, count, forest);
+  };
+
+  dsf::DisjointSetForest root(graph.num_vertices());
+  dfs(dfs, 0, 0, root);
+
+  best.iterations = nodes;
+  best.optimal = !budget_exhausted;
+  // final_cost of the greedy seed may be stale if exact found nothing
+  // better; recompute for consistency.
+  if (best.num_internal > 0) {
+    dsf::DisjointSetForest check(graph.num_vertices());
+    for (size_t p = 0; p < num_props; ++p) {
+      if (best.internal[p]) {
+        check.AddEdges(graph.EdgesWithProperty(static_cast<rdf::PropertyId>(p)));
+      }
+    }
+    best.final_cost = check.max_component_size();
+  } else {
+    best.final_cost = 0;
+  }
+  return best;
+}
+
+SelectionResult AutoSelector::Select(const rdf::RdfGraph& graph) const {
+  if (graph.num_properties() <= auto_threshold_) {
+    return GreedySelector(options_).Select(graph);
+  }
+  return BackwardSelector(options_).Select(graph);
+}
+
+}  // namespace mpc::core

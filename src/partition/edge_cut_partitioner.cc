@@ -1,0 +1,24 @@
+#include "partition/edge_cut_partitioner.h"
+
+#include "metis/csr_graph.h"
+#include "metis/partitioner.h"
+
+namespace mpc::partition {
+
+Partitioning EdgeCutPartitioner::Partition(const rdf::RdfGraph& graph) const {
+  metis::CsrGraph structure =
+      metis::CsrGraph::FromTriples(graph.num_vertices(), graph.triples());
+  metis::MlpOptions mlp_options;
+  mlp_options.k = options_.k;
+  mlp_options.epsilon = options_.epsilon;
+  mlp_options.seed = options_.seed;
+  metis::MultilevelPartitioner partitioner(mlp_options);
+
+  VertexAssignment assignment;
+  assignment.k = options_.k;
+  assignment.part = partitioner.Partition(structure);
+  return Partitioning::MaterializeVertexDisjoint(graph,
+                                                 std::move(assignment));
+}
+
+}  // namespace mpc::partition

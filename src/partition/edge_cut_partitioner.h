@@ -1,0 +1,27 @@
+#ifndef MPC_PARTITION_EDGE_CUT_PARTITIONER_H_
+#define MPC_PARTITION_EDGE_CUT_PARTITIONER_H_
+
+#include "partition/partitioner.h"
+
+namespace mpc::partition {
+
+/// Minimum edge-cut baseline ("METIS" in the paper's tables, used by
+/// EAGRE [39], H-RDF-3X [16] and TriAD [13]): drops edge labels and
+/// directions, then runs the multilevel k-way partitioner to minimize
+/// crossing edges under the (1+epsilon)|V|/k balance constraint.
+class EdgeCutPartitioner : public Partitioner {
+ public:
+  explicit EdgeCutPartitioner(PartitionerOptions options)
+      : options_(options) {}
+
+  std::string name() const override { return "METIS"; }
+
+  Partitioning Partition(const rdf::RdfGraph& graph) const override;
+
+ private:
+  PartitionerOptions options_;
+};
+
+}  // namespace mpc::partition
+
+#endif  // MPC_PARTITION_EDGE_CUT_PARTITIONER_H_

@@ -1,0 +1,201 @@
+#include "partition/partition_io.h"
+
+#include <algorithm>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include "common/string_util.h"
+#include "rdf/ntriples.h"
+
+namespace mpc::partition {
+
+namespace {
+
+constexpr const char* kManifestName = "manifest.txt";
+constexpr const char* kAssignmentName = "assignment.txt";
+
+std::string PartitionFileName(uint32_t i) {
+  return "partition_" + std::to_string(i) + ".nt";
+}
+
+void WriteTriple(std::ofstream& out, const rdf::RdfGraph& graph,
+                 const rdf::Triple& t) {
+  out << graph.VertexName(t.subject) << ' '
+      << graph.PropertyName(t.property) << ' '
+      << graph.VertexName(t.object) << " .\n";
+}
+
+}  // namespace
+
+Status PartitionIo::Save(const rdf::RdfGraph& graph,
+                         const Partitioning& partitioning,
+                         const std::string& dir) {
+  std::error_code ec;
+  std::filesystem::create_directories(dir, ec);
+  if (ec) return Status::IoError("cannot create " + dir + ": " + ec.message());
+
+  const bool vertex_disjoint =
+      partitioning.kind() == PartitioningKind::kVertexDisjoint;
+
+  // Manifest: header lines "key value"; crossing properties one per line
+  // after the "crossing:" marker.
+  {
+    std::ofstream out(dir + "/" + kManifestName, std::ios::binary);
+    if (!out) return Status::IoError("cannot write manifest in " + dir);
+    out << "kind " << (vertex_disjoint ? "vertex-disjoint" : "edge-disjoint")
+        << "\n";
+    out << "k " << partitioning.k() << "\n";
+    out << "vertices " << graph.num_vertices() << "\n";
+    out << "properties " << graph.num_properties() << "\n";
+    out << "crossing:\n";
+    for (rdf::PropertyId p : partitioning.CrossingProperties()) {
+      out << graph.PropertyName(p) << "\n";
+    }
+    if (!out) return Status::IoError("manifest write failed in " + dir);
+  }
+
+  if (vertex_disjoint) {
+    std::ofstream out(dir + "/" + kAssignmentName, std::ios::binary);
+    if (!out) return Status::IoError("cannot write assignment in " + dir);
+    const auto& part = partitioning.assignment().part;
+    for (size_t v = 0; v < part.size(); ++v) {
+      out << graph.VertexName(static_cast<rdf::VertexId>(v)) << '\t'
+          << part[v] << '\n';
+    }
+    if (!out) return Status::IoError("assignment write failed in " + dir);
+  }
+
+  for (uint32_t i = 0; i < partitioning.k(); ++i) {
+    std::ofstream out(dir + "/" + PartitionFileName(i), std::ios::binary);
+    if (!out) {
+      return Status::IoError("cannot write partition file " +
+                             PartitionFileName(i));
+    }
+    const Partition& p = partitioning.partition(i);
+    for (const rdf::Triple& t : p.internal_edges) WriteTriple(out, graph, t);
+    for (const rdf::Triple& t : p.crossing_edges) WriteTriple(out, graph, t);
+    if (!out) {
+      return Status::IoError("write failed for " + PartitionFileName(i));
+    }
+  }
+  return Status::Ok();
+}
+
+Result<Partitioning> PartitionIo::Load(const rdf::RdfGraph& graph,
+                                       const std::string& dir) {
+  std::ifstream manifest(dir + "/" + kManifestName, std::ios::binary);
+  if (!manifest) {
+    return Status::IoError("cannot open " + dir + "/" + kManifestName);
+  }
+  std::string kind;
+  uint32_t k = 0;
+  size_t vertices = 0;
+  std::string line;
+  while (std::getline(manifest, line)) {
+    std::istringstream in(line);
+    std::string key;
+    in >> key;
+    if (key == "kind") {
+      in >> kind;
+    } else if (key == "k") {
+      in >> k;
+    } else if (key == "vertices") {
+      in >> vertices;
+    } else if (key == "crossing:") {
+      break;  // remainder is the crossing list; recomputed on load
+    }
+  }
+  if (k == 0) return Status::ParseError("manifest missing k in " + dir);
+
+  if (kind == "vertex-disjoint") {
+    if (vertices != graph.num_vertices()) {
+      return Status::InvalidArgument(
+          "graph has " + std::to_string(graph.num_vertices()) +
+          " vertices but the saved partitioning covers " +
+          std::to_string(vertices));
+    }
+    std::ifstream in(dir + "/" + kAssignmentName, std::ios::binary);
+    if (!in) {
+      return Status::IoError("cannot open " + dir + "/" + kAssignmentName);
+    }
+    VertexAssignment assignment;
+    assignment.k = k;
+    assignment.part.assign(graph.num_vertices(), UINT32_MAX);
+    size_t line_no = 0;
+    while (std::getline(in, line)) {
+      ++line_no;
+      if (line.empty()) continue;
+      size_t tab = line.find('\t');
+      if (tab == std::string::npos) {
+        return Status::ParseError("assignment line " +
+                                  std::to_string(line_no) + ": no tab");
+      }
+      std::string_view lexical(line.data(), tab);
+      rdf::VertexId v = graph.vertex_dict().Lookup(lexical);
+      if (v == rdf::kInvalidVertex) {
+        return Status::NotFound("assignment line " + std::to_string(line_no) +
+                                ": vertex not in graph: " +
+                                std::string(lexical));
+      }
+      uint32_t p = static_cast<uint32_t>(
+          std::strtoul(line.c_str() + tab + 1, nullptr, 10));
+      if (p >= k) {
+        return Status::OutOfRange("assignment line " +
+                                  std::to_string(line_no) +
+                                  ": partition out of range");
+      }
+      assignment.part[v] = p;
+    }
+    for (uint32_t p : assignment.part) {
+      if (p == UINT32_MAX) {
+        return Status::InvalidArgument(
+            "saved assignment does not cover every vertex of the graph");
+      }
+    }
+    return Partitioning::MaterializeVertexDisjoint(graph,
+                                                   std::move(assignment));
+  }
+
+  if (kind == "edge-disjoint") {
+    // Rebuild the triple assignment by parsing each site file and
+    // locating its triples in the (sorted) graph.
+    std::vector<uint32_t> triple_part(graph.num_edges(), UINT32_MAX);
+    const auto& triples = graph.triples();
+    for (uint32_t i = 0; i < k; ++i) {
+      rdf::GraphBuilder builder;
+      Status st = rdf::NTriplesParser::ParseFile(
+          dir + "/" + PartitionFileName(i), &builder);
+      if (!st.ok()) return st;
+      rdf::RdfGraph site = builder.Build();
+      for (const rdf::Triple& t : site.triples()) {
+        rdf::VertexId s = graph.vertex_dict().Lookup(site.VertexName(t.subject));
+        rdf::PropertyId p =
+            graph.property_dict().Lookup(site.PropertyName(t.property));
+        rdf::VertexId o = graph.vertex_dict().Lookup(site.VertexName(t.object));
+        if (s == rdf::kInvalidVertex || p == rdf::kInvalidVertex ||
+            o == rdf::kInvalidVertex) {
+          return Status::NotFound("site triple not present in graph");
+        }
+        rdf::Triple key(s, p, o);
+        auto it = std::lower_bound(triples.begin(), triples.end(), key);
+        if (it == triples.end() || !(*it == key)) {
+          return Status::NotFound("site triple not present in graph");
+        }
+        triple_part[it - triples.begin()] = i;
+      }
+    }
+    for (uint32_t p : triple_part) {
+      if (p == UINT32_MAX) {
+        return Status::InvalidArgument(
+            "saved site files do not cover every triple of the graph");
+      }
+    }
+    return Partitioning::MaterializeEdgeDisjoint(graph, k, triple_part);
+  }
+
+  return Status::ParseError("unknown partitioning kind '" + kind + "'");
+}
+
+}  // namespace mpc::partition

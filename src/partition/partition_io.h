@@ -1,0 +1,41 @@
+#ifndef MPC_PARTITION_PARTITION_IO_H_
+#define MPC_PARTITION_PARTITION_IO_H_
+
+#include <string>
+
+#include "common/status.h"
+#include "partition/partitioning.h"
+#include "rdf/graph.h"
+
+namespace mpc::partition {
+
+/// On-disk layout of a saved partitioning, as a deployment would ship it
+/// to sites:
+///
+///   <dir>/manifest.txt           k, kind, |V|, |L|, crossing properties
+///   <dir>/assignment.txt         one "vertex-lexical <tab> partition" line
+///                                per vertex (vertex-disjoint only)
+///   <dir>/partition_<i>.nt       N-Triples per site: internal edges
+///                                followed by crossing-edge replicas
+///
+/// Lexical forms (not dense ids) are stored, so a saved partitioning can
+/// be reloaded against a graph whose dictionary assigns different ids —
+/// or against a freshly re-parsed copy of the data.
+class PartitionIo {
+ public:
+  /// Writes `partitioning` (over `graph`) into `dir`, creating it.
+  static Status Save(const rdf::RdfGraph& graph,
+                     const Partitioning& partitioning,
+                     const std::string& dir);
+
+  /// Reloads a vertex-disjoint partitioning saved by Save() and
+  /// re-materializes it against `graph` (which must contain the same
+  /// triples, e.g. re-parsed from the original file). Edge-disjoint
+  /// (VP) partitionings are reconstructed from the per-site files.
+  static Result<Partitioning> Load(const rdf::RdfGraph& graph,
+                                   const std::string& dir);
+};
+
+}  // namespace mpc::partition
+
+#endif  // MPC_PARTITION_PARTITION_IO_H_

@@ -1,0 +1,38 @@
+#ifndef MPC_PARTITION_PARTITIONER_H_
+#define MPC_PARTITION_PARTITIONER_H_
+
+#include <memory>
+#include <string>
+
+#include "partition/partitioning.h"
+#include "rdf/graph.h"
+
+namespace mpc::partition {
+
+/// Common options shared by every partitioning strategy. k and epsilon
+/// are the parameters of Definition 4.1 (number of sites, imbalance
+/// tolerance); seed makes randomized strategies reproducible.
+struct PartitionerOptions {
+  uint32_t k = 8;
+  double epsilon = 0.1;
+  uint64_t seed = 1;
+};
+
+/// Strategy interface: given an RDF graph, produce a materialized
+/// partitioning. Implementations: MpcPartitioner (the paper's
+/// contribution), SubjectHashPartitioner, EdgeCutPartitioner ("METIS"),
+/// VpPartitioner.
+class Partitioner {
+ public:
+  virtual ~Partitioner() = default;
+
+  /// Strategy name as printed in the experiment tables
+  /// ("MPC", "Subject_Hash", "METIS", "VP").
+  virtual std::string name() const = 0;
+
+  virtual Partitioning Partition(const rdf::RdfGraph& graph) const = 0;
+};
+
+}  // namespace mpc::partition
+
+#endif  // MPC_PARTITION_PARTITIONER_H_

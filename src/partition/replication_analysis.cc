@@ -1,0 +1,117 @@
+#include "partition/replication_analysis.h"
+
+#include <algorithm>
+#include <cassert>
+#include <queue>
+#include <span>
+#include <unordered_set>
+
+namespace mpc::partition {
+
+namespace {
+
+/// Undirected adjacency over triple indices, built once per analysis.
+class Adjacency {
+ public:
+  explicit Adjacency(const rdf::RdfGraph& graph) {
+    offsets_.assign(graph.num_vertices() + 1, 0);
+    const auto& triples = graph.triples();
+    for (const rdf::Triple& t : triples) {
+      ++offsets_[t.subject + 1];
+      if (t.object != t.subject) ++offsets_[t.object + 1];
+    }
+    for (size_t v = 0; v < graph.num_vertices(); ++v) {
+      offsets_[v + 1] += offsets_[v];
+    }
+    incident_.resize(offsets_.back());
+    std::vector<uint64_t> cursor(offsets_.begin(), offsets_.end() - 1);
+    for (size_t i = 0; i < triples.size(); ++i) {
+      incident_[cursor[triples[i].subject]++] = i;
+      if (triples[i].object != triples[i].subject) {
+        incident_[cursor[triples[i].object]++] = i;
+      }
+    }
+  }
+
+  std::span<const size_t> Incident(rdf::VertexId v) const {
+    return std::span<const size_t>(incident_.data() + offsets_[v],
+                                   offsets_[v + 1] - offsets_[v]);
+  }
+
+ private:
+  std::vector<uint64_t> offsets_;
+  std::vector<size_t> incident_;
+};
+
+}  // namespace
+
+std::vector<ReplicationCost> AnalyzeKHopReplication(
+    const rdf::RdfGraph& graph, const Partitioning& partitioning,
+    uint32_t max_hops) {
+  assert(partitioning.kind() == PartitioningKind::kVertexDisjoint);
+  Adjacency adjacency(graph);
+  const auto& triples = graph.triples();
+
+  std::vector<ReplicationCost> costs;
+  costs.reserve(max_hops);
+  // Per site and hop level: frontier of foreign vertices whose incident
+  // edges get replicated at the next level.
+  const uint32_t k = partitioning.k();
+  std::vector<std::unordered_set<size_t>> stored(k);
+  std::vector<std::unordered_set<rdf::VertexId>> visited(k);
+  std::vector<std::vector<rdf::VertexId>> frontier(k);
+
+  // Level 1: the partitioning's own state — internal edges + crossing
+  // replicas; frontier = extended vertices.
+  for (uint32_t site = 0; site < k; ++site) {
+    const Partition& p = partitioning.partition(site);
+    for (const rdf::Triple& t : p.internal_edges) {
+      auto it = std::lower_bound(triples.begin(), triples.end(), t);
+      stored[site].insert(static_cast<size_t>(it - triples.begin()));
+    }
+    for (const rdf::Triple& t : p.crossing_edges) {
+      auto it = std::lower_bound(triples.begin(), triples.end(), t);
+      stored[site].insert(static_cast<size_t>(it - triples.begin()));
+    }
+    for (rdf::VertexId v : p.extended_vertices) {
+      visited[site].insert(v);
+      frontier[site].push_back(v);
+    }
+  }
+
+  for (uint32_t hop = 1; hop <= max_hops; ++hop) {
+    if (hop > 1) {
+      // Expand: replicate all edges incident to the frontier; the new
+      // frontier is their still-unvisited endpoints.
+      for (uint32_t site = 0; site < k; ++site) {
+        std::vector<rdf::VertexId> next;
+        for (rdf::VertexId v : frontier[site]) {
+          for (size_t ti : adjacency.Incident(v)) {
+            stored[site].insert(ti);
+            const rdf::Triple& t = triples[ti];
+            for (rdf::VertexId u : {t.subject, t.object}) {
+              if (visited[site].insert(u).second) next.push_back(u);
+            }
+          }
+        }
+        frontier[site] = std::move(next);
+      }
+    }
+    ReplicationCost cost;
+    cost.hops = hop;
+    for (uint32_t site = 0; site < k; ++site) {
+      cost.stored_triples += stored[site].size();
+      cost.max_site_triples =
+          std::max<uint64_t>(cost.max_site_triples, stored[site].size());
+    }
+    cost.replication_ratio =
+        graph.num_edges() == 0
+            ? 1.0
+            : static_cast<double>(cost.stored_triples) /
+                  static_cast<double>(graph.num_edges());
+    costs.push_back(cost);
+  }
+  return costs;
+}
+
+}  // namespace mpc::partition

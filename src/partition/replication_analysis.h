@@ -1,0 +1,39 @@
+#ifndef MPC_PARTITION_REPLICATION_ANALYSIS_H_
+#define MPC_PARTITION_REPLICATION_ANALYSIS_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "partition/partitioning.h"
+#include "rdf/graph.h"
+
+namespace mpc::partition {
+
+/// Space-cost analysis of h-hop replication (Section I-A): the paper's
+/// partitioning model replicates only crossing edges (1-hop); systems
+/// like H-RDF-3X and WARP replicate the h-hop neighborhood of crossing-
+/// edge endpoints to localize longer queries, at a growing space and
+/// consistency cost. This computes that cost without changing the
+/// executor's semantics.
+struct ReplicationCost {
+  uint32_t hops = 1;
+  /// Total triples stored across all sites (owned + replicated).
+  uint64_t stored_triples = 0;
+  /// stored_triples / |E|.
+  double replication_ratio = 0.0;
+  /// Largest single-site triple count (the per-machine memory driver).
+  uint64_t max_site_triples = 0;
+};
+
+/// Computes the storage cost of h-hop replication for h = 1..max_hops
+/// over a vertex-disjoint partitioning. h=1 reproduces the partitioning's
+/// own crossing-edge replication; h>1 additionally replicates, at each
+/// site, every edge reachable within h-1 undirected hops from the site's
+/// extended vertices (the standard h-hop guarantee construction).
+std::vector<ReplicationCost> AnalyzeKHopReplication(
+    const rdf::RdfGraph& graph, const Partitioning& partitioning,
+    uint32_t max_hops);
+
+}  // namespace mpc::partition
+
+#endif  // MPC_PARTITION_REPLICATION_ANALYSIS_H_

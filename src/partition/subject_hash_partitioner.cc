@@ -1,0 +1,26 @@
+#include "partition/subject_hash_partitioner.h"
+
+#include "common/hash.h"
+
+namespace mpc::partition {
+
+Partitioning SubjectHashPartitioner::Partition(
+    const rdf::RdfGraph& graph) const {
+  VertexAssignment assignment;
+  assignment.k = options_.k;
+  assignment.part.resize(graph.num_vertices());
+  for (size_t v = 0; v < graph.num_vertices(); ++v) {
+    // Hash the lexical form (not the dense id) so the assignment matches
+    // what a real system computes from the raw IRI, independent of
+    // dictionary insertion order. The seed salts the hash so different
+    // runs can draw different hash partitionings.
+    uint64_t h = HashCombine(
+        HashString(graph.VertexName(static_cast<rdf::VertexId>(v))),
+        options_.seed);
+    assignment.part[v] = static_cast<uint32_t>(h % options_.k);
+  }
+  return Partitioning::MaterializeVertexDisjoint(graph,
+                                                 std::move(assignment));
+}
+
+}  // namespace mpc::partition

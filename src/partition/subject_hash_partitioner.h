@@ -1,0 +1,27 @@
+#ifndef MPC_PARTITION_SUBJECT_HASH_PARTITIONER_H_
+#define MPC_PARTITION_SUBJECT_HASH_PARTITIONER_H_
+
+#include "partition/partitioner.h"
+
+namespace mpc::partition {
+
+/// Subject_Hash baseline (SHAPE [21][22], AdPart [3]): every vertex is
+/// assigned to partition hash(lexical form) mod k, so each subject's
+/// outgoing star lands on one site. Vertex-disjoint with 1-hop crossing
+/// edge replication, like all baselines in Table II.
+class SubjectHashPartitioner : public Partitioner {
+ public:
+  explicit SubjectHashPartitioner(PartitionerOptions options)
+      : options_(options) {}
+
+  std::string name() const override { return "Subject_Hash"; }
+
+  Partitioning Partition(const rdf::RdfGraph& graph) const override;
+
+ private:
+  PartitionerOptions options_;
+};
+
+}  // namespace mpc::partition
+
+#endif  // MPC_PARTITION_SUBJECT_HASH_PARTITIONER_H_

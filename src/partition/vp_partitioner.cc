@@ -1,0 +1,25 @@
+#include "partition/vp_partitioner.h"
+
+#include "common/hash.h"
+
+namespace mpc::partition {
+
+Partitioning VpPartitioner::Partition(const rdf::RdfGraph& graph) const {
+  const auto& triples = graph.triples();
+  std::vector<uint32_t> triple_part(triples.size());
+  // Property -> partition via salted string hash, one lookup per property.
+  std::vector<uint32_t> home(graph.num_properties());
+  for (size_t p = 0; p < home.size(); ++p) {
+    uint64_t h = HashCombine(
+        HashString(graph.PropertyName(static_cast<rdf::PropertyId>(p))),
+        options_.seed);
+    home[p] = static_cast<uint32_t>(h % options_.k);
+  }
+  for (size_t i = 0; i < triples.size(); ++i) {
+    triple_part[i] = home[triples[i].property];
+  }
+  return Partitioning::MaterializeEdgeDisjoint(graph, options_.k,
+                                               triple_part);
+}
+
+}  // namespace mpc::partition

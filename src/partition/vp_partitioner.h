@@ -1,0 +1,28 @@
+#ifndef MPC_PARTITION_VP_PARTITIONER_H_
+#define MPC_PARTITION_VP_PARTITIONER_H_
+
+#include "partition/partitioner.h"
+
+namespace mpc::partition {
+
+/// VP baseline (HadoopRDF [17], S2RDF [31], WORQ [24]): edge-disjoint
+/// vertical partitioning — all triples with the same property go to the
+/// same partition, chosen as hash(property) mod k. No crossing edges or
+/// crossing properties exist, but vertices are scattered across sites, so
+/// a query is independently executable only when every one of its
+/// properties happens to live on a single site.
+class VpPartitioner : public Partitioner {
+ public:
+  explicit VpPartitioner(PartitionerOptions options) : options_(options) {}
+
+  std::string name() const override { return "VP"; }
+
+  Partitioning Partition(const rdf::RdfGraph& graph) const override;
+
+ private:
+  PartitionerOptions options_;
+};
+
+}  // namespace mpc::partition
+
+#endif  // MPC_PARTITION_VP_PARTITIONER_H_

@@ -1,0 +1,108 @@
+#include "pg/pg_to_rdf.h"
+
+#include <string>
+
+namespace mpc::pg {
+
+namespace {
+
+std::string VertexIri(const PgMappingOptions& options,
+                      const std::string& id) {
+  return "<" + options.ns + "/v/" + id + ">";
+}
+std::string LabelIri(const PgMappingOptions& options,
+                     const std::string& label) {
+  return "<" + options.ns + "/label/" + label + ">";
+}
+std::string RelIri(const PgMappingOptions& options,
+                   const std::string& label) {
+  return "<" + options.ns + "/rel/" + label + ">";
+}
+std::string KeyIri(const PgMappingOptions& options, const std::string& key) {
+  return "<" + options.ns + "/key/" + key + ">";
+}
+std::string Literal(const std::string& value) { return "\"" + value + "\""; }
+
+constexpr const char* kRdfType =
+    "<http://www.w3.org/1999/02/22-rdf-syntax-ns#type>";
+
+}  // namespace
+
+rdf::RdfGraph ToRdfGraph(const PropertyGraph& graph,
+                         const PgMappingOptions& options) {
+  rdf::GraphBuilder builder;
+  for (const PgVertex& v : graph.vertices()) {
+    const std::string vertex = VertexIri(options, v.id);
+    if (options.emit_vertex_labels && !v.label.empty()) {
+      builder.Add(vertex, kRdfType, LabelIri(options, v.label));
+    }
+    if (options.emit_vertex_attributes) {
+      for (const Attribute& a : v.attributes) {
+        builder.Add(vertex, KeyIri(options, a.key), Literal(a.value));
+      }
+    }
+  }
+  size_t edge_counter = 0;
+  for (const PgEdge& e : graph.edges()) {
+    const std::string source =
+        VertexIri(options, graph.vertices()[e.source].id);
+    const std::string target =
+        VertexIri(options, graph.vertices()[e.target].id);
+    if (options.reify_attributed_edges && !e.attributes.empty()) {
+      const std::string node =
+          "<" + options.ns + "/e/" + std::to_string(edge_counter) + ">";
+      builder.Add(node, "<" + options.ns + "/from>", source);
+      builder.Add(node, "<" + options.ns + "/to>", target);
+      builder.Add(node, kRdfType, RelIri(options, e.label));
+      for (const Attribute& a : e.attributes) {
+        builder.Add(node, KeyIri(options, a.key), Literal(a.value));
+      }
+    } else {
+      builder.Add(source, RelIri(options, e.label), target);
+    }
+    ++edge_counter;
+  }
+  return builder.Build();
+}
+
+Result<PgPartitionResult> PartitionPropertyGraph(
+    const PropertyGraph& graph, const core::MpcOptions& options,
+    const PgMappingOptions& mapping) {
+  if (graph.num_vertices() == 0) {
+    return Status::InvalidArgument("empty property graph");
+  }
+  rdf::RdfGraph rdf_graph = ToRdfGraph(graph, mapping);
+  core::MpcPartitioner partitioner(options);
+  partition::Partitioning partitioning = partitioner.Partition(rdf_graph);
+
+  PgPartitionResult result;
+  result.num_crossing_properties = partitioning.num_crossing_properties();
+  result.num_crossing_edges = partitioning.num_crossing_edges();
+  result.balance_ratio = partitioning.BalanceRatio();
+
+  const std::string rel_prefix = "<" + mapping.ns + "/rel/";
+  for (rdf::PropertyId p : partitioning.CrossingProperties()) {
+    const std::string& name = rdf_graph.PropertyName(p);
+    if (name.rfind(rel_prefix, 0) == 0) {
+      result.crossing_edge_labels.push_back(
+          name.substr(rel_prefix.size(),
+                      name.size() - rel_prefix.size() - 1));
+    }
+  }
+
+  for (const PgVertex& v : graph.vertices()) {
+    rdf::VertexId mapped =
+        rdf_graph.vertex_dict().Lookup(VertexIri(mapping, v.id));
+    if (mapped == rdf::kInvalidVertex) {
+      // An isolated vertex with no label/attribute triples never entered
+      // the RDF graph; place it on partition 0.
+      result.vertex_partition.emplace(v.id, 0);
+    } else {
+      result.vertex_partition.emplace(
+          v.id, partitioning.assignment().part[mapped]);
+    }
+  }
+  return result;
+}
+
+}  // namespace mpc::pg

@@ -1,0 +1,57 @@
+#include "pg/property_graph.h"
+
+#include <algorithm>
+
+namespace mpc::pg {
+
+Result<uint32_t> PropertyGraph::AddVertex(std::string id, std::string label,
+                                          std::vector<Attribute> attributes) {
+  auto [it, inserted] =
+      index_.emplace(id, static_cast<uint32_t>(vertices_.size()));
+  if (!inserted) {
+    return Status::InvalidArgument("duplicate vertex id: " + id);
+  }
+  vertices_.push_back(
+      PgVertex{std::move(id), std::move(label), std::move(attributes)});
+  return it->second;
+}
+
+Result<uint32_t> PropertyGraph::AddEdge(uint32_t source, uint32_t target,
+                                        std::string label,
+                                        std::vector<Attribute> attributes) {
+  if (source >= vertices_.size() || target >= vertices_.size()) {
+    return Status::OutOfRange("edge endpoint index out of range");
+  }
+  edges_.push_back(PgEdge{source, target, std::move(label),
+                          std::move(attributes)});
+  return static_cast<uint32_t>(edges_.size() - 1);
+}
+
+Result<uint32_t> PropertyGraph::AddEdgeById(const std::string& source_id,
+                                            const std::string& target_id,
+                                            std::string label,
+                                            std::vector<Attribute> attributes) {
+  Result<uint32_t> source = IndexOf(source_id);
+  if (!source.ok()) return source.status();
+  Result<uint32_t> target = IndexOf(target_id);
+  if (!target.ok()) return target.status();
+  return AddEdge(*source, *target, std::move(label), std::move(attributes));
+}
+
+Result<uint32_t> PropertyGraph::IndexOf(const std::string& id) const {
+  auto it = index_.find(id);
+  if (it == index_.end()) {
+    return Status::NotFound("unknown vertex id: " + id);
+  }
+  return it->second;
+}
+
+std::vector<std::string> PropertyGraph::EdgeLabels() const {
+  std::vector<std::string> labels;
+  for (const PgEdge& e : edges_) labels.push_back(e.label);
+  std::sort(labels.begin(), labels.end());
+  labels.erase(std::unique(labels.begin(), labels.end()), labels.end());
+  return labels;
+}
+
+}  // namespace mpc::pg

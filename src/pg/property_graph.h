@@ -1,0 +1,76 @@
+#ifndef MPC_PG_PROPERTY_GRAPH_H_
+#define MPC_PG_PROPERTY_GRAPH_H_
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/status.h"
+
+namespace mpc::pg {
+
+/// A key -> value attribute of a vertex or edge. Values are opaque
+/// strings (the partitioner never interprets them).
+struct Attribute {
+  std::string key;
+  std::string value;
+};
+
+/// A labeled property-graph vertex.
+struct PgVertex {
+  std::string id;     // user-supplied, unique
+  std::string label;  // e.g. "Person"
+  std::vector<Attribute> attributes;
+};
+
+/// A labeled, attributed, directed edge between two vertices (by index).
+struct PgEdge {
+  uint32_t source = 0;
+  uint32_t target = 0;
+  std::string label;  // e.g. "FOLLOWS"
+  std::vector<Attribute> attributes;
+};
+
+/// A minimal labeled property graph (Neo4j-style), the data model the
+/// paper's Section VII names as MPC's next target: "MPC can be further
+/// extended to property graphs, but its superiority in those graphs may
+/// not be as high ... [they] have a small number of edge labels, each
+/// covering many edges."
+class PropertyGraph {
+ public:
+  /// Adds a vertex; ids must be unique. Returns its dense index.
+  Result<uint32_t> AddVertex(std::string id, std::string label,
+                             std::vector<Attribute> attributes = {});
+
+  /// Adds an edge between existing vertex indices.
+  Result<uint32_t> AddEdge(uint32_t source, uint32_t target,
+                           std::string label,
+                           std::vector<Attribute> attributes = {});
+
+  /// Adds an edge by vertex ids (must already exist).
+  Result<uint32_t> AddEdgeById(const std::string& source_id,
+                               const std::string& target_id,
+                               std::string label,
+                               std::vector<Attribute> attributes = {});
+
+  size_t num_vertices() const { return vertices_.size(); }
+  size_t num_edges() const { return edges_.size(); }
+  const std::vector<PgVertex>& vertices() const { return vertices_; }
+  const std::vector<PgEdge>& edges() const { return edges_; }
+
+  /// Dense index for a vertex id, or an error.
+  Result<uint32_t> IndexOf(const std::string& id) const;
+
+  /// Distinct edge labels (the analogue of RDF's property set).
+  std::vector<std::string> EdgeLabels() const;
+
+ private:
+  std::vector<PgVertex> vertices_;
+  std::vector<PgEdge> edges_;
+  std::unordered_map<std::string, uint32_t> index_;
+};
+
+}  // namespace mpc::pg
+
+#endif  // MPC_PG_PROPERTY_GRAPH_H_

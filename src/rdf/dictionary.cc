@@ -1,0 +1,36 @@
+#include "rdf/dictionary.h"
+
+namespace mpc::rdf {
+
+uint32_t Dictionary::Intern(std::string_view term) {
+  auto it = index_.find(term);
+  if (it != index_.end()) return it->second;
+  uint32_t id = static_cast<uint32_t>(terms_.size());
+  terms_.emplace_back(term);
+  // The key view must point into the stored string, not the caller's
+  // buffer, so the map stays valid after the caller's string dies.
+  index_.emplace(std::string_view(terms_.back()), id);
+  return id;
+}
+
+uint32_t Dictionary::Lookup(std::string_view term) const {
+  auto it = index_.find(term);
+  return it == index_.end() ? kInvalidVertex : it->second;
+}
+
+TermKind Dictionary::KindOf(uint32_t id) const {
+  const std::string& t = terms_[id];
+  if (!t.empty() && t[0] == '"') return TermKind::kLiteral;
+  if (t.size() >= 2 && t[0] == '_' && t[1] == ':') return TermKind::kBlank;
+  return TermKind::kIri;
+}
+
+size_t Dictionary::MemoryUsage() const {
+  size_t bytes = terms_.size() * sizeof(std::string);
+  for (const auto& t : terms_) bytes += t.capacity();
+  // unordered_map node overhead estimate: key view + value + bucket ptr.
+  bytes += index_.size() * (sizeof(std::string_view) + sizeof(uint32_t) + 16);
+  return bytes;
+}
+
+}  // namespace mpc::rdf

@@ -1,0 +1,59 @@
+#ifndef MPC_RDF_DICTIONARY_H_
+#define MPC_RDF_DICTIONARY_H_
+
+#include <cstdint>
+#include <deque>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+
+#include "rdf/types.h"
+
+namespace mpc::rdf {
+
+/// Interns RDF term lexical forms into dense 32-bit ids. Two independent
+/// dictionaries are used per graph: one for vertices (subjects/objects)
+/// and one for properties, matching the id spaces of Definition 3.1.
+///
+/// The stored lexical form is the canonical N-Triples token, e.g.
+/// "<http://example.org/x>", "\"literal\"" or "_:b0", so round-tripping a
+/// file through parse + serialize is byte-identical modulo ordering.
+class Dictionary {
+ public:
+  Dictionary() = default;
+
+  // Movable but not copyable: graphs share dictionaries by reference.
+  Dictionary(const Dictionary&) = delete;
+  Dictionary& operator=(const Dictionary&) = delete;
+  Dictionary(Dictionary&&) = default;
+  Dictionary& operator=(Dictionary&&) = default;
+
+  /// Returns the id of `term`, inserting it if new. Ids are assigned
+  /// densely in first-seen order.
+  uint32_t Intern(std::string_view term);
+
+  /// Returns the id of `term` or kInvalidVertex when absent.
+  uint32_t Lookup(std::string_view term) const;
+
+  /// Returns the lexical form for `id`. `id` must be in range.
+  const std::string& Lexical(uint32_t id) const { return terms_[id]; }
+
+  /// Classifies the stored lexical form of `id`.
+  TermKind KindOf(uint32_t id) const;
+
+  size_t size() const { return terms_.size(); }
+  bool empty() const { return terms_.empty(); }
+
+  /// Approximate heap footprint in bytes (for the offline loading report).
+  size_t MemoryUsage() const;
+
+ private:
+  // Deque keeps element addresses stable under growth, so the string_view
+  // keys in index_ (which point into the stored strings) never dangle.
+  std::deque<std::string> terms_;
+  std::unordered_map<std::string_view, uint32_t> index_;
+};
+
+}  // namespace mpc::rdf
+
+#endif  // MPC_RDF_DICTIONARY_H_

@@ -1,0 +1,177 @@
+#include "rdf/ntriples.h"
+
+#include <fstream>
+#include <sstream>
+
+#include "common/string_util.h"
+
+namespace mpc::rdf {
+
+namespace {
+
+/// Scans one RDF term starting at s[pos]. On success advances *pos past
+/// the term and returns the term's token (including delimiters).
+Status ScanTerm(std::string_view s, size_t* pos, std::string_view* term,
+                bool allow_literal) {
+  size_t i = *pos;
+  if (i >= s.size()) return Status::ParseError("unexpected end of line");
+  const size_t start = i;
+  char c = s[i];
+  if (c == '<') {
+    // IRI: everything up to the closing '>'.
+    size_t end = s.find('>', i + 1);
+    if (end == std::string_view::npos) {
+      return Status::ParseError("unterminated IRI");
+    }
+    *term = s.substr(start, end - start + 1);
+    *pos = end + 1;
+    return Status::Ok();
+  }
+  if (c == '_' && i + 1 < s.size() && s[i + 1] == ':') {
+    // Blank node label: _:[A-Za-z0-9_.-]+ (pragmatic superset).
+    i += 2;
+    size_t lbl = i;
+    while (i < s.size() && s[i] != ' ' && s[i] != '\t') ++i;
+    if (i == lbl) return Status::ParseError("empty blank node label");
+    *term = s.substr(start, i - start);
+    *pos = i;
+    return Status::Ok();
+  }
+  if (c == '"') {
+    if (!allow_literal) {
+      return Status::ParseError("literal not allowed in this position");
+    }
+    // Literal body with backslash escapes.
+    ++i;
+    while (i < s.size()) {
+      if (s[i] == '\\') {
+        i += 2;
+        continue;
+      }
+      if (s[i] == '"') break;
+      ++i;
+    }
+    if (i >= s.size()) return Status::ParseError("unterminated literal");
+    ++i;  // past the closing quote
+    // Optional language tag or datatype suffix.
+    if (i < s.size() && s[i] == '@') {
+      ++i;
+      while (i < s.size() && s[i] != ' ' && s[i] != '\t') ++i;
+    } else if (i + 1 < s.size() && s[i] == '^' && s[i + 1] == '^') {
+      i += 2;
+      if (i >= s.size() || s[i] != '<') {
+        return Status::ParseError("malformed datatype IRI");
+      }
+      size_t end = s.find('>', i + 1);
+      if (end == std::string_view::npos) {
+        return Status::ParseError("unterminated datatype IRI");
+      }
+      i = end + 1;
+    }
+    *term = s.substr(start, i - start);
+    *pos = i;
+    return Status::Ok();
+  }
+  return Status::ParseError("unexpected character '" + std::string(1, c) +
+                            "'");
+}
+
+void SkipSpaces(std::string_view s, size_t* pos) {
+  while (*pos < s.size() && (s[*pos] == ' ' || s[*pos] == '\t')) ++(*pos);
+}
+
+}  // namespace
+
+Status NTriplesParser::ParseLine(std::string_view line, GraphBuilder* builder,
+                                 bool* is_triple) {
+  *is_triple = false;
+  std::string_view s = StripWhitespace(line);
+  if (s.empty() || s[0] == '#') return Status::Ok();
+
+  size_t pos = 0;
+  std::string_view subject, property, object;
+  MPC_RETURN_IF_ERROR(ScanTerm(s, &pos, &subject, /*allow_literal=*/false));
+  SkipSpaces(s, &pos);
+  MPC_RETURN_IF_ERROR(ScanTerm(s, &pos, &property, /*allow_literal=*/false));
+  if (!property.empty() && property[0] == '_') {
+    return Status::ParseError("blank node not allowed as predicate");
+  }
+  SkipSpaces(s, &pos);
+  MPC_RETURN_IF_ERROR(ScanTerm(s, &pos, &object, /*allow_literal=*/true));
+  SkipSpaces(s, &pos);
+  if (pos >= s.size() || s[pos] != '.') {
+    return Status::ParseError("missing terminating '.'");
+  }
+  ++pos;
+  SkipSpaces(s, &pos);
+  if (pos != s.size()) {
+    return Status::ParseError("trailing characters after '.'");
+  }
+
+  builder->Add(subject, property, object);
+  *is_triple = true;
+  return Status::Ok();
+}
+
+Status NTriplesParser::ParseDocument(std::string_view text,
+                                     GraphBuilder* builder) {
+  size_t line_no = 0;
+  size_t start = 0;
+  while (start <= text.size()) {
+    size_t end = text.find('\n', start);
+    std::string_view line = (end == std::string_view::npos)
+                                ? text.substr(start)
+                                : text.substr(start, end - start);
+    ++line_no;
+    bool is_triple = false;
+    Status st = ParseLine(line, builder, &is_triple);
+    if (!st.ok()) {
+      return Status::ParseError("line " + std::to_string(line_no) + ": " +
+                                st.message());
+    }
+    if (end == std::string_view::npos) break;
+    start = end + 1;
+  }
+  return Status::Ok();
+}
+
+Status NTriplesParser::ParseFile(const std::string& path,
+                                 GraphBuilder* builder) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return Status::IoError("cannot open " + path);
+  std::string line;
+  size_t line_no = 0;
+  while (std::getline(in, line)) {
+    ++line_no;
+    bool is_triple = false;
+    Status st = ParseLine(line, builder, &is_triple);
+    if (!st.ok()) {
+      return Status::ParseError(path + ":" + std::to_string(line_no) + ": " +
+                                st.message());
+    }
+  }
+  return Status::Ok();
+}
+
+std::string SerializeNTriples(const RdfGraph& graph) {
+  std::string out;
+  for (const Triple& t : graph.triples()) {
+    out += graph.VertexName(t.subject);
+    out += ' ';
+    out += graph.PropertyName(t.property);
+    out += ' ';
+    out += graph.VertexName(t.object);
+    out += " .\n";
+  }
+  return out;
+}
+
+Status WriteNTriplesFile(const RdfGraph& graph, const std::string& path) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) return Status::IoError("cannot open " + path + " for writing");
+  out << SerializeNTriples(graph);
+  if (!out) return Status::IoError("write failed for " + path);
+  return Status::Ok();
+}
+
+}  // namespace mpc::rdf

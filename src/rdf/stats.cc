@@ -1,0 +1,38 @@
+#include "rdf/stats.h"
+
+#include <algorithm>
+
+namespace mpc::rdf {
+
+DatasetStats ComputeStats(const std::string& name, const RdfGraph& graph) {
+  DatasetStats stats;
+  stats.name = name;
+  stats.num_entities = graph.num_vertices();
+  stats.num_triples = graph.num_edges();
+  stats.num_properties = graph.num_properties();
+  return stats;
+}
+
+std::vector<uint64_t> PropertyHistogram(const RdfGraph& graph) {
+  std::vector<uint64_t> freq(graph.num_properties());
+  for (size_t p = 0; p < freq.size(); ++p) {
+    freq[p] = graph.PropertyFrequency(static_cast<PropertyId>(p));
+  }
+  std::sort(freq.begin(), freq.end(), std::greater<uint64_t>());
+  return freq;
+}
+
+double TopPropertyShare(const RdfGraph& graph) {
+  if (graph.num_edges() == 0) return 0.0;
+  uint64_t max_freq = 0;
+  for (size_t p = 0; p < graph.num_properties(); ++p) {
+    max_freq =
+        std::max(max_freq,
+                 static_cast<uint64_t>(
+                     graph.PropertyFrequency(static_cast<PropertyId>(p))));
+  }
+  return static_cast<double>(max_freq) /
+         static_cast<double>(graph.num_edges());
+}
+
+}  // namespace mpc::rdf

@@ -1,0 +1,33 @@
+#ifndef MPC_RDF_STATS_H_
+#define MPC_RDF_STATS_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "rdf/graph.h"
+
+namespace mpc::rdf {
+
+/// The dataset statistics row the paper prints in Table I.
+struct DatasetStats {
+  std::string name;
+  uint64_t num_entities = 0;
+  uint64_t num_triples = 0;
+  uint64_t num_properties = 0;
+};
+
+/// Computes Table I statistics for `graph`.
+DatasetStats ComputeStats(const std::string& name, const RdfGraph& graph);
+
+/// Property frequency histogram: freq[p] = number of edges labeled p,
+/// sorted descending. Useful for inspecting long-tail distributions.
+std::vector<uint64_t> PropertyHistogram(const RdfGraph& graph);
+
+/// Skew of the property distribution: fraction of edges carried by the
+/// single most frequent property.
+double TopPropertyShare(const RdfGraph& graph);
+
+}  // namespace mpc::rdf
+
+#endif  // MPC_RDF_STATS_H_

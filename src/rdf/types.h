@@ -1,0 +1,64 @@
+#ifndef MPC_RDF_TYPES_H_
+#define MPC_RDF_TYPES_H_
+
+#include <cstdint>
+#include <functional>
+#include <limits>
+
+namespace mpc::rdf {
+
+/// Dictionary-encoded vertex identifier (subjects and objects share one
+/// id space, as in Definition 3.1 where V covers all subjects and objects).
+using VertexId = uint32_t;
+
+/// Dictionary-encoded property (edge label) identifier.
+using PropertyId = uint32_t;
+
+inline constexpr VertexId kInvalidVertex =
+    std::numeric_limits<VertexId>::max();
+inline constexpr PropertyId kInvalidProperty =
+    std::numeric_limits<PropertyId>::max();
+
+/// A dictionary-encoded RDF triple: one directed, labeled edge
+/// subject --property--> object.
+struct Triple {
+  VertexId subject = kInvalidVertex;
+  PropertyId property = kInvalidProperty;
+  VertexId object = kInvalidVertex;
+
+  Triple() = default;
+  Triple(VertexId s, PropertyId p, VertexId o)
+      : subject(s), property(p), object(o) {}
+
+  bool operator==(const Triple& other) const = default;
+
+  /// Ordering by (property, subject, object); the graph keeps its edge
+  /// array in this order so each property's edges form one contiguous run.
+  bool operator<(const Triple& other) const {
+    if (property != other.property) return property < other.property;
+    if (subject != other.subject) return subject < other.subject;
+    return object < other.object;
+  }
+};
+
+/// The syntactic category of an RDF term. Blank nodes and IRIs behave
+/// identically for partitioning; literals can only appear as objects.
+enum class TermKind : uint8_t { kIri, kLiteral, kBlank };
+
+}  // namespace mpc::rdf
+
+namespace std {
+template <>
+struct hash<mpc::rdf::Triple> {
+  size_t operator()(const mpc::rdf::Triple& t) const {
+    uint64_t h = (static_cast<uint64_t>(t.subject) << 32) | t.object;
+    h ^= static_cast<uint64_t>(t.property) * 0x9e3779b97f4a7c15ULL;
+    h ^= h >> 29;
+    h *= 0xbf58476d1ce4e5b9ULL;
+    h ^= h >> 32;
+    return static_cast<size_t>(h);
+  }
+};
+}  // namespace std
+
+#endif  // MPC_RDF_TYPES_H_

@@ -1,0 +1,29 @@
+#ifndef MPC_SPARQL_PARSER_H_
+#define MPC_SPARQL_PARSER_H_
+
+#include <string_view>
+
+#include "common/status.h"
+#include "sparql/query_graph.h"
+
+namespace mpc::sparql {
+
+/// Recursive-descent parser for the SPARQL BGP fragment the paper's
+/// evaluation uses (Definition 3.5):
+///
+///   [PREFIX pfx: <iri>]*
+///   SELECT (?var+ | *) WHERE { triple-pattern ('.' triple-pattern)* '.'? }
+///
+/// Terms: variables (?x / $x), IRIs (<...>), prefixed names (pfx:local),
+/// literals with optional @lang / ^^<datatype>, and the 'a' keyword for
+/// rdf:type. FILTER / OPTIONAL / UNION are out of scope — the paper
+/// studies BGP queries only.
+class SparqlParser {
+ public:
+  /// Parses `text` into a QueryGraph.
+  static Result<QueryGraph> Parse(std::string_view text);
+};
+
+}  // namespace mpc::sparql
+
+#endif  // MPC_SPARQL_PARSER_H_

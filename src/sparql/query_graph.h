@@ -1,0 +1,146 @@
+#ifndef MPC_SPARQL_QUERY_GRAPH_H_
+#define MPC_SPARQL_QUERY_GRAPH_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "rdf/types.h"
+
+namespace mpc::sparql {
+
+/// A term in a triple pattern: either a constant (IRI/literal, stored in
+/// canonical N-Triples lexical form) or a variable (Definition 3.5's
+/// V_Var / L_Var).
+struct QueryTerm {
+  enum class Kind : uint8_t { kConstant, kVariable };
+
+  Kind kind = Kind::kConstant;
+  /// Constant: canonical lexical form ("<http://...>", "\"lit\"").
+  /// Variable: name without the '?' sigil.
+  std::string text;
+  /// Variables: dense per-query id, assigned by QueryGraphBuilder.
+  uint32_t var_id = UINT32_MAX;
+
+  bool is_variable() const { return kind == Kind::kVariable; }
+
+  static QueryTerm Constant(std::string lexical) {
+    QueryTerm t;
+    t.kind = Kind::kConstant;
+    t.text = std::move(lexical);
+    return t;
+  }
+  static QueryTerm Variable(std::string name) {
+    QueryTerm t;
+    t.kind = Kind::kVariable;
+    t.text = std::move(name);
+    return t;
+  }
+};
+
+/// One triple pattern (an edge of the query graph).
+struct TriplePattern {
+  QueryTerm subject;
+  QueryTerm predicate;
+  QueryTerm object;
+};
+
+/// A SPARQL BGP query represented as a graph (Definition 3.5): query
+/// vertices are the distinct subject/object terms, edges are the triple
+/// patterns. Vertex identity: variables by name, constants by lexical
+/// form.
+class QueryGraph {
+ public:
+  const std::vector<TriplePattern>& patterns() const { return patterns_; }
+  size_t num_patterns() const { return patterns_.size(); }
+
+  /// All distinct variables (vertex and predicate position), by var_id.
+  const std::vector<std::string>& variables() const { return variables_; }
+  size_t num_variables() const { return variables_.size(); }
+
+  /// SELECTed variable ids; empty means SELECT * (all variables).
+  const std::vector<uint32_t>& projection() const { return projection_; }
+
+  /// Number of distinct query vertices (subject/object terms).
+  size_t num_vertices() const { return num_vertices_; }
+
+  /// Query-vertex id of pattern i's subject/object, in [0, num_vertices).
+  uint32_t SubjectVertex(size_t i) const { return subject_vertex_[i]; }
+  uint32_t ObjectVertex(size_t i) const { return object_vertex_[i]; }
+
+  /// True if any pattern has a variable predicate.
+  bool has_variable_predicate() const { return has_variable_predicate_; }
+
+  /// SELECT DISTINCT? (the engine's union semantics already deduplicate
+  /// full rows; DISTINCT additionally applies to the projection).
+  bool distinct() const { return distinct_; }
+
+  /// LIMIT clause; SIZE_MAX when absent.
+  size_t limit() const { return limit_; }
+
+  /// Distinct constant predicate lexical forms used by the query.
+  std::vector<std::string> ConstantPredicates() const;
+
+  /// Serializes back to SPARQL text (for logging and tests).
+  std::string ToString() const;
+
+ private:
+  friend class QueryGraphBuilder;
+
+  std::vector<TriplePattern> patterns_;
+  std::vector<std::string> variables_;
+  std::vector<uint32_t> projection_;
+  std::vector<uint32_t> subject_vertex_;
+  std::vector<uint32_t> object_vertex_;
+  size_t num_vertices_ = 0;
+  bool has_variable_predicate_ = false;
+  bool distinct_ = false;
+  size_t limit_ = SIZE_MAX;
+};
+
+/// Assembles a QueryGraph from patterns, assigning variable ids and query
+/// vertex ids. Rejects queries where one variable appears in both a
+/// predicate and a subject/object position (unsupported — the paper's
+/// workloads never do this, and the two positions draw from different
+/// dictionaries here).
+class QueryGraphBuilder {
+ public:
+  QueryGraphBuilder& Add(QueryTerm subject, QueryTerm predicate,
+                         QueryTerm object);
+
+  /// Convenience for tests/generators: each string is "?name" for a
+  /// variable or a canonical lexical form for a constant.
+  QueryGraphBuilder& AddPattern(const std::string& subject,
+                                const std::string& predicate,
+                                const std::string& object);
+
+  /// Restricts the projection; call once per variable. Unknown names are
+  /// rejected at Build().
+  QueryGraphBuilder& Select(const std::string& var_name);
+
+  QueryGraphBuilder& Distinct(bool distinct = true);
+  QueryGraphBuilder& Limit(size_t limit);
+
+  Result<QueryGraph> Build();
+
+ private:
+  std::vector<TriplePattern> patterns_;
+  std::vector<std::string> selected_;
+  bool distinct_ = false;
+  size_t limit_ = SIZE_MAX;
+};
+
+/// Parses "?name" / lexical-form shorthand used by AddPattern.
+QueryTerm ParseTermShorthand(const std::string& text);
+
+/// Builds a standalone QueryGraph from a subset of `query`'s patterns
+/// (e.g. one subquery of an Algorithm 2 decomposition). Variable ids and
+/// query-vertex ids are re-assigned densely within the extracted query;
+/// variable *names* are preserved, so bindings can be correlated by name.
+QueryGraph ExtractSubquery(const QueryGraph& query,
+                           const std::vector<size_t>& pattern_indices);
+
+}  // namespace mpc::sparql
+
+#endif  // MPC_SPARQL_QUERY_GRAPH_H_

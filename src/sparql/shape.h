@@ -1,0 +1,38 @@
+#ifndef MPC_SPARQL_SHAPE_H_
+#define MPC_SPARQL_SHAPE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "sparql/query_graph.h"
+
+namespace mpc::sparql {
+
+/// True if the query is a star: one central query vertex incident to
+/// every edge (the only class existing vertex-disjoint approaches can
+/// execute independently, per Section I-A). Single-pattern queries are
+/// stars. Self-loop-only queries count (the single vertex is central).
+bool IsStarQuery(const QueryGraph& query);
+
+/// True if the query graph (all patterns as undirected edges over query
+/// vertices) is weakly connected. The paper assumes connected queries;
+/// generators and the executor check with this.
+bool IsWeaklyConnected(const QueryGraph& query);
+
+/// Weakly-connected-component decomposition of the query *after removing*
+/// the patterns flagged in `removed` (size num_patterns). Returns, for
+/// each query vertex, its component id in [0, num_components); vertices
+/// isolated by the removal form their own singleton components.
+struct QueryComponents {
+  std::vector<uint32_t> vertex_component;  // size num_vertices
+  uint32_t num_components = 0;
+  /// Vertices per component.
+  std::vector<uint32_t> component_size;
+};
+
+QueryComponents DecomposeAfterRemoval(const QueryGraph& query,
+                                      const std::vector<bool>& removed);
+
+}  // namespace mpc::sparql
+
+#endif  // MPC_SPARQL_SHAPE_H_

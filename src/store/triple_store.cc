@@ -1,0 +1,165 @@
+#include "store/triple_store.h"
+
+#include <algorithm>
+
+namespace mpc::store {
+
+namespace {
+
+using rdf::kInvalidProperty;
+using rdf::kInvalidVertex;
+using rdf::PropertyId;
+using rdf::Triple;
+using rdf::VertexId;
+
+struct PsoLess {
+  bool operator()(const Triple& a, const Triple& b) const {
+    if (a.property != b.property) return a.property < b.property;
+    if (a.subject != b.subject) return a.subject < b.subject;
+    return a.object < b.object;
+  }
+};
+struct PosLess {
+  bool operator()(const Triple& a, const Triple& b) const {
+    if (a.property != b.property) return a.property < b.property;
+    if (a.object != b.object) return a.object < b.object;
+    return a.subject < b.subject;
+  }
+};
+struct SpoLess {
+  bool operator()(const Triple& a, const Triple& b) const {
+    if (a.subject != b.subject) return a.subject < b.subject;
+    if (a.property != b.property) return a.property < b.property;
+    return a.object < b.object;
+  }
+};
+struct OspLess {
+  bool operator()(const Triple& a, const Triple& b) const {
+    if (a.object != b.object) return a.object < b.object;
+    if (a.subject != b.subject) return a.subject < b.subject;
+    return a.property < b.property;
+  }
+};
+
+template <typename Less>
+std::span<const Triple> EqualRange(const std::vector<Triple>& index,
+                                   const Triple& lo_key,
+                                   const Triple& hi_key, Less less) {
+  auto lo = std::lower_bound(index.begin(), index.end(), lo_key, less);
+  auto hi = std::upper_bound(lo, index.end(), hi_key, less);
+  return std::span<const Triple>(&*index.begin() + (lo - index.begin()),
+                                 static_cast<size_t>(hi - lo));
+}
+
+}  // namespace
+
+TripleStore::TripleStore(std::vector<rdf::Triple> triples) {
+  std::sort(triples.begin(), triples.end(), PsoLess());
+  triples.erase(std::unique(triples.begin(), triples.end()), triples.end());
+  pso_ = triples;  // copy
+  pos_ = triples;
+  std::sort(pos_.begin(), pos_.end(), PosLess());
+  spo_ = triples;
+  std::sort(spo_.begin(), spo_.end(), SpoLess());
+  osp_ = std::move(triples);
+  std::sort(osp_.begin(), osp_.end(), OspLess());
+}
+
+std::span<const Triple> TripleStore::PsoRange(PropertyId p) const {
+  if (pso_.empty()) return {};
+  return EqualRange(pso_, Triple(0, p, 0),
+                    Triple(kInvalidVertex, p, kInvalidVertex), PsoLess());
+}
+
+std::span<const Triple> TripleStore::PsoRange(PropertyId p,
+                                              VertexId s) const {
+  if (pso_.empty()) return {};
+  return EqualRange(pso_, Triple(s, p, 0), Triple(s, p, kInvalidVertex),
+                    PsoLess());
+}
+
+std::span<const Triple> TripleStore::PosRange(PropertyId p,
+                                              VertexId o) const {
+  if (pos_.empty()) return {};
+  return EqualRange(pos_, Triple(0, p, o), Triple(kInvalidVertex, p, o),
+                    PosLess());
+}
+
+std::span<const Triple> TripleStore::SpoRange(VertexId s) const {
+  if (spo_.empty()) return {};
+  return EqualRange(spo_, Triple(s, 0, 0),
+                    Triple(s, kInvalidProperty, kInvalidVertex), SpoLess());
+}
+
+std::span<const Triple> TripleStore::OspRange(VertexId o) const {
+  if (osp_.empty()) return {};
+  return EqualRange(osp_, Triple(0, 0, o),
+                    Triple(kInvalidVertex, kInvalidProperty, o), OspLess());
+}
+
+std::span<const Triple> TripleStore::OspRange(VertexId o,
+                                              VertexId s) const {
+  if (osp_.empty()) return {};
+  return EqualRange(osp_, Triple(s, 0, o), Triple(s, kInvalidProperty, o),
+                    OspLess());
+}
+
+size_t TripleStore::PropertyCount(PropertyId p) const {
+  return PsoRange(p).size();
+}
+
+bool TripleStore::Scan(
+    VertexId s, PropertyId p, VertexId o,
+    const std::function<bool(const rdf::Triple&)>& fn) const {
+  const bool bs = s != kInvalidVertex;
+  const bool bp = p != kInvalidProperty;
+  const bool bo = o != kInvalidVertex;
+
+  auto emit_filtered = [&](std::span<const Triple> range) {
+    for (const Triple& t : range) {
+      if (bs && t.subject != s) continue;
+      if (bo && t.object != o) continue;
+      if (bp && t.property != p) continue;
+      if (!fn(t)) return false;
+    }
+    return true;
+  };
+
+  if (bp && bs) return emit_filtered(PsoRange(p, s));  // filters o
+  if (bp && bo) return emit_filtered(PosRange(p, o));
+  if (bp) return emit_filtered(PsoRange(p));
+  if (bs && bo) return emit_filtered(OspRange(o, s));  // filters p
+  if (bs) return emit_filtered(SpoRange(s));  // filters p, o
+  if (bo) return emit_filtered(OspRange(o));  // filters p
+  return emit_filtered(std::span<const Triple>(pso_));
+}
+
+size_t TripleStore::EstimateCardinality(VertexId s, PropertyId p,
+                                        VertexId o) const {
+  const bool bs = s != kInvalidVertex;
+  const bool bp = p != kInvalidProperty;
+  const bool bo = o != kInvalidVertex;
+  if (bp && bs && bo) {
+    // Point lookup: 0 or 1.
+    auto range = PsoRange(p, s);
+    for (const Triple& t : range) {
+      if (t.object == o) return 1;
+    }
+    return 0;
+  }
+  if (bp && bs) return PsoRange(p, s).size();
+  if (bp && bo) return PosRange(p, o).size();
+  if (bp) return PsoRange(p).size();
+  if (bs && bo) return OspRange(o, s).size();
+  if (bs) return SpoRange(s).size();
+  if (bo) return OspRange(o).size();
+  return num_triples();
+}
+
+size_t TripleStore::MemoryUsage() const {
+  return (pso_.capacity() + pos_.capacity() + spo_.capacity() +
+          osp_.capacity()) *
+         sizeof(Triple);
+}
+
+}  // namespace mpc::store

@@ -1,0 +1,69 @@
+#ifndef MPC_STORE_TRIPLE_STORE_H_
+#define MPC_STORE_TRIPLE_STORE_H_
+
+#include <cstdint>
+#include <functional>
+#include <span>
+#include <vector>
+
+#include "rdf/types.h"
+
+namespace mpc::store {
+
+/// The per-site RDF engine standing in for gStore [40]: an in-memory
+/// triple store over globally dictionary-encoded ids, with four
+/// sort-order indexes (PSO, POS, SPO, OSP) answering every bound/unbound
+/// combination of a triple pattern with binary search.
+///
+/// One instance holds one partition F_i = E_i ∪ E_i^c (internal edges
+/// plus crossing-edge replicas) in the vertex-disjoint setting, or the
+/// property shards of a VP site.
+class TripleStore {
+ public:
+  TripleStore() = default;
+
+  /// Builds the three indexes from a partition's triples (duplicates are
+  /// removed; replicas of the same edge appear once per site).
+  explicit TripleStore(std::vector<rdf::Triple> triples);
+
+  size_t num_triples() const { return pso_.size(); }
+
+  /// Number of triples with property p (0 if absent here).
+  size_t PropertyCount(rdf::PropertyId p) const;
+
+  /// Enumerates triples matching the pattern; kInvalidVertex /
+  /// kInvalidProperty mean "unbound". Returns false from the callback to
+  /// stop early; Scan returns false iff stopped early.
+  bool Scan(rdf::VertexId s, rdf::PropertyId p, rdf::VertexId o,
+            const std::function<bool(const rdf::Triple&)>& fn) const;
+
+  /// Estimated number of matches for the pattern, used by the matcher's
+  /// pattern ordering. Exact for (p), (p,s), (p,o), (s), (o) and (s,o)
+  /// prefixes; num_triples() for fully unbound.
+  size_t EstimateCardinality(rdf::VertexId s, rdf::PropertyId p,
+                             rdf::VertexId o) const;
+
+  /// Approximate heap footprint in bytes (for the loading report).
+  size_t MemoryUsage() const;
+
+ private:
+  std::span<const rdf::Triple> PsoRange(rdf::PropertyId p) const;
+  std::span<const rdf::Triple> PsoRange(rdf::PropertyId p,
+                                        rdf::VertexId s) const;
+  std::span<const rdf::Triple> PosRange(rdf::PropertyId p,
+                                        rdf::VertexId o) const;
+  std::span<const rdf::Triple> SpoRange(rdf::VertexId s) const;
+  std::span<const rdf::Triple> OspRange(rdf::VertexId o) const;
+  std::span<const rdf::Triple> OspRange(rdf::VertexId o,
+                                        rdf::VertexId s) const;
+
+  // Four copies of the triple set in different sort orders.
+  std::vector<rdf::Triple> pso_;  // (property, subject, object)
+  std::vector<rdf::Triple> pos_;  // (property, object, subject)
+  std::vector<rdf::Triple> spo_;  // (subject, property, object)
+  std::vector<rdf::Triple> osp_;  // (object, subject, property)
+};
+
+}  // namespace mpc::store
+
+#endif  // MPC_STORE_TRIPLE_STORE_H_

@@ -1,0 +1,140 @@
+#include "workload/bio2rdf.h"
+
+#include <string>
+#include <vector>
+
+namespace mpc::workload {
+
+namespace {
+constexpr const char* kNs = "bio2rdf";
+}
+
+GeneratedDataset MakeBio2Rdf(const Bio2RdfOptions& options) {
+  Rng rng(options.seed);
+  rdf::GraphBuilder builder;
+
+  const std::string p_type = RdfTypeIri();
+
+  // 35 cross-dataset reference properties (global connectors).
+  std::vector<std::string> xref_props;
+  for (int i = 0; i < 35; ++i) {
+    xref_props.push_back(MakeProperty(kNs, "xref" + std::to_string(i)));
+  }
+
+  // Per-module property vocabularies: ~61-62 each so that
+  // 1 + 35 + sum(module props) ≈ 1,581 at the default 25 modules.
+  const uint32_t props_per_module =
+      options.num_modules > 0
+          ? static_cast<uint32_t>((1581 - 1 - 35) / options.num_modules)
+          : 0;
+  std::vector<std::vector<std::string>> module_props(options.num_modules);
+  for (uint32_t m = 0; m < options.num_modules; ++m) {
+    for (uint32_t i = 0; i < props_per_module; ++i) {
+      module_props[m].push_back(MakeProperty(
+          kNs, "ds" + std::to_string(m) + "_p" + std::to_string(i)));
+    }
+  }
+
+  std::vector<std::string> classes;
+  for (const char* name :
+       {"Drug", "Gene", "Protein", "Pathway", "Article"}) {
+    classes.push_back(MakeIri(kNs, std::string("class/") + name, 0));
+  }
+
+  // Record clusters inside each module; records link locally via the
+  // module's vocabulary; some records carry xrefs to random records of
+  // other modules.
+  std::vector<std::string> all_records;
+  uint64_t next_record = 0, next_literal = 0;
+  std::vector<std::pair<std::string, uint32_t>> pending_xrefs;
+
+  for (uint32_t m = 0; m < options.num_modules; ++m) {
+    const auto& props = module_props[m];
+    for (uint32_t c = 0; c < options.clusters_per_module; ++c) {
+      std::vector<std::string> cluster;
+      const uint64_t size = rng.Between(4, 10);
+      for (uint64_t i = 0; i < size; ++i) {
+        std::string rec = MakeIri(kNs, "Record", next_record++);
+        builder.Add(rec, p_type, classes[rng.Below(classes.size())]);
+        const uint64_t num_attrs = rng.Between(2, 4);
+        for (uint64_t a = 0; a < num_attrs; ++a) {
+          builder.Add(rec, props[rng.Below(props.size())],
+                      MakeLiteral("V", next_literal++));
+        }
+        cluster.push_back(std::move(rec));
+      }
+      const uint64_t num_links = size;
+      for (uint64_t l = 0; l < num_links; ++l) {
+        const std::string& a = cluster[rng.Below(cluster.size())];
+        const std::string& b = cluster[rng.Below(cluster.size())];
+        builder.Add(a, props[rng.Below(props.size())], b);
+      }
+      if (rng.Chance(0.5)) {
+        pending_xrefs.emplace_back(cluster[0],
+                                   static_cast<uint32_t>(
+                                       rng.Below(xref_props.size())));
+      }
+      // Witness structures so the benchmark queries below have matches:
+      // some module-0 clusters carry a p5->p6->p7 chain (BQ4) and a
+      // record with the BQ3/BQ5 attribute stars.
+      if (m == 0 && cluster.size() >= 4 && rng.Chance(0.3)) {
+        builder.Add(cluster[0], props[5], cluster[1]);
+        builder.Add(cluster[1], props[6], cluster[2]);
+        builder.Add(cluster[2], props[7], cluster[3]);
+        for (int a = 2; a <= 4; ++a) {
+          builder.Add(cluster[1], props[a], MakeLiteral("V", next_literal++));
+        }
+        for (int a = 8; a <= 10; ++a) {
+          builder.Add(cluster[2], props[a], MakeLiteral("V", next_literal++));
+        }
+      }
+      for (std::string& r : cluster) all_records.push_back(std::move(r));
+    }
+  }
+  for (const auto& [record, xref] : pending_xrefs) {
+    builder.Add(record, xref_props[xref],
+                all_records[rng.Below(all_records.size())]);
+  }
+
+  // Guarantee BQ1/BQ2 witnesses on record 0.
+  const std::string record0 = MakeIri(kNs, "Record", 0);
+  builder.Add(record0, module_props[0][0], MakeLiteral("V", next_literal++));
+  builder.Add(record0, module_props[0][1], MakeLiteral("V", next_literal++));
+  builder.Add(record0, p_type, MakeIri(kNs, "class/Drug", 0));
+
+  GeneratedDataset dataset;
+  dataset.name = "Bio2RDF";
+  dataset.graph = builder.Build();
+
+  // BQ1-BQ5: four stars (BQ1-BQ3, BQ5) + the non-star BQ4 that only MPC
+  // executes independently (Fig. 7).
+  const std::string rec0 = MakeIri(kNs, "Record", 0);
+  const auto& m0 = module_props[0];
+  auto q = [&dataset](const char* name, std::string sparql, bool star) {
+    dataset.benchmark_queries.push_back(
+        NamedQuery{name, std::move(sparql), star});
+  };
+  q("BQ1",
+    "SELECT ?v WHERE { " + rec0 + " " + m0[0] + " ?v . " + rec0 + " " +
+        m0[1] + " ?w . }",
+    true);
+  q("BQ2",
+    "SELECT ?x WHERE { ?x " + m0[0] + " ?v . ?x " + p_type + " " +
+        MakeIri(kNs, "class/Drug", 0) + " . }",
+    true);
+  q("BQ3",
+    "SELECT ?x ?a ?b WHERE { ?x " + m0[2] + " ?a . ?x " + m0[3] +
+        " ?b . ?x " + m0[4] + " ?c . }",
+    true);
+  q("BQ4",
+    "SELECT ?x ?y ?z WHERE { ?x " + m0[5] + " ?y . ?y " + m0[6] +
+        " ?z . ?z " + m0[7] + " ?w . }",
+    false);
+  q("BQ5",
+    "SELECT ?x WHERE { ?x " + m0[8] + " ?v . ?x " + m0[9] + " ?w . ?x " +
+        m0[10] + " ?u . }",
+    true);
+  return dataset;
+}
+
+}  // namespace mpc::workload

@@ -1,0 +1,27 @@
+#ifndef MPC_WORKLOAD_BIO2RDF_H_
+#define MPC_WORKLOAD_BIO2RDF_H_
+
+#include <cstdint>
+
+#include "workload/generator_util.h"
+
+namespace mpc::workload {
+
+/// Scaled-down analogue of Bio2RDF [7]: ~1,581 properties across ~25
+/// life-science sub-datasets (drugbank-, kegg-, pubmed-like modules).
+/// Each module's properties are namespaced to it and connect records
+/// inside small local clusters; 35 cross-reference (xref) properties plus
+/// rdf:type link records across modules and form the giant WCCs that end
+/// up as MPC's crossing set (Table II: |L_cross| = 36 on Bio2RDF).
+/// Benchmark queries BQ1-BQ5 [2]: four stars plus the non-star BQ4.
+struct Bio2RdfOptions {
+  uint32_t num_modules = 25;
+  uint32_t clusters_per_module = 60;
+  uint64_t seed = 45;
+};
+
+GeneratedDataset MakeBio2Rdf(const Bio2RdfOptions& options);
+
+}  // namespace mpc::workload
+
+#endif  // MPC_WORKLOAD_BIO2RDF_H_

@@ -1,0 +1,132 @@
+#include "workload/datasets.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "workload/bio2rdf.h"
+#include "workload/dbpedia.h"
+#include "workload/lgd.h"
+#include "workload/lubm.h"
+#include "workload/watdiv.h"
+#include "workload/yago2.h"
+
+namespace mpc::workload {
+
+const char* DatasetName(DatasetId id) {
+  switch (id) {
+    case DatasetId::kLubm:
+      return "LUBM";
+    case DatasetId::kWatdiv:
+      return "WatDiv";
+    case DatasetId::kYago2:
+      return "YAGO2";
+    case DatasetId::kBio2rdf:
+      return "Bio2RDF";
+    case DatasetId::kDbpedia:
+      return "DBpedia";
+    case DatasetId::kLgd:
+      return "LGD";
+  }
+  return "?";
+}
+
+std::vector<DatasetId> AllDatasets() {
+  return {DatasetId::kLubm,    DatasetId::kWatdiv,  DatasetId::kYago2,
+          DatasetId::kBio2rdf, DatasetId::kDbpedia, DatasetId::kLgd};
+}
+
+namespace {
+
+uint32_t Scaled(uint32_t base, double scale) {
+  return std::max<uint32_t>(
+      1, static_cast<uint32_t>(std::lround(base * scale)));
+}
+
+}  // namespace
+
+GeneratedDataset MakeDataset(DatasetId id, double scale, uint64_t seed) {
+  switch (id) {
+    case DatasetId::kLubm: {
+      LubmOptions options;
+      options.num_universities = Scaled(options.num_universities, scale);
+      options.seed = seed;
+      return MakeLubm(options);
+    }
+    case DatasetId::kWatdiv: {
+      WatdivOptions options;
+      options.num_communities = Scaled(options.num_communities, scale);
+      options.seed = seed;
+      return MakeWatdiv(options);
+    }
+    case DatasetId::kYago2: {
+      Yago2Options options;
+      options.num_neighborhoods = Scaled(options.num_neighborhoods, scale);
+      options.seed = seed;
+      return MakeYago2(options);
+    }
+    case DatasetId::kBio2rdf: {
+      Bio2RdfOptions options;
+      options.clusters_per_module =
+          Scaled(options.clusters_per_module, scale);
+      options.seed = seed;
+      return MakeBio2Rdf(options);
+    }
+    case DatasetId::kDbpedia: {
+      DbpediaOptions options;
+      options.num_clusters = Scaled(options.num_clusters, scale);
+      options.seed = seed;
+      return MakeDbpedia(options);
+    }
+    case DatasetId::kLgd: {
+      LgdOptions options;
+      options.num_tiles = Scaled(options.num_tiles, scale);
+      options.seed = seed;
+      return MakeLgd(options);
+    }
+  }
+  return GeneratedDataset{};
+}
+
+QueryLogOptions QueryLogProfile(DatasetId id) {
+  QueryLogOptions options;
+  switch (id) {
+    case DatasetId::kWatdiv:
+      options.star_fraction = 0.42;
+      options.single_pattern_fraction = 0.08;
+      options.var_predicate_fraction = 0.01;
+      options.min_path_edges = 3;
+      options.max_path_edges = 4;
+      break;
+    case DatasetId::kDbpedia:
+      options.star_fraction = 0.32;
+      options.single_pattern_fraction = 0.15;
+      options.var_predicate_fraction = 0.03;
+      options.min_path_edges = 3;
+      options.max_path_edges = 3;
+      break;
+    case DatasetId::kLgd:
+      // LSQ's LGD log is dominated by one-triple and small star lookups;
+      // length-2 walks are stars, matching the ~97% star share.
+      options.star_fraction = 0.25;
+      options.single_pattern_fraction = 0.72;
+      options.max_star_edges = 3;
+      options.var_predicate_fraction = 0.01;
+      options.min_path_edges = 2;
+      options.max_path_edges = 3;
+      break;
+    default:
+      break;
+  }
+  return options;
+}
+
+std::vector<NamedQuery> MakeQueryLog(DatasetId id,
+                                     const rdf::RdfGraph& graph, size_t n,
+                                     uint64_t seed) {
+  QueryLogOptions options = QueryLogProfile(id);
+  options.num_queries = n;
+  options.seed = seed;
+  return GenerateQueryLog(graph, options);
+}
+
+}  // namespace mpc::workload

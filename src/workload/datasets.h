@@ -1,0 +1,46 @@
+#ifndef MPC_WORKLOAD_DATASETS_H_
+#define MPC_WORKLOAD_DATASETS_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "workload/query_log.h"
+#include "workload/generator_util.h"
+
+namespace mpc::workload {
+
+/// The six evaluation datasets of Table I.
+enum class DatasetId {
+  kLubm,
+  kWatdiv,
+  kYago2,
+  kBio2rdf,
+  kDbpedia,
+  kLgd,
+};
+
+const char* DatasetName(DatasetId id);
+
+/// All six ids, in Table I order.
+std::vector<DatasetId> AllDatasets();
+
+/// Generates a dataset at `scale` (1.0 = the repro default size; the
+/// paper's absolute sizes are ~1000x larger, see DESIGN.md §2.4) with a
+/// reproducible seed. Benchmark-query datasets (LUBM, YAGO2, Bio2RDF)
+/// carry their query sets; the others use MakeQueryLog.
+GeneratedDataset MakeDataset(DatasetId id, double scale = 1.0,
+                             uint64_t seed = 1);
+
+/// The per-dataset query-log profile the paper's Table III mix implies
+/// (WatDiv ~50% stars, DBpedia ~47%, LGD ~97% incl. one-triple queries).
+QueryLogOptions QueryLogProfile(DatasetId id);
+
+/// Convenience: profile-based log of `n` queries over `graph`.
+std::vector<NamedQuery> MakeQueryLog(DatasetId id,
+                                     const rdf::RdfGraph& graph, size_t n,
+                                     uint64_t seed = 7);
+
+}  // namespace mpc::workload
+
+#endif  // MPC_WORKLOAD_DATASETS_H_

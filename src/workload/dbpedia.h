@@ -1,0 +1,28 @@
+#ifndef MPC_WORKLOAD_DBPEDIA_H_
+#define MPC_WORKLOAD_DBPEDIA_H_
+
+#include <cstdint>
+
+#include "workload/generator_util.h"
+
+namespace mpc::workload {
+
+/// Scaled-down analogue of DBpedia [23]: a very large, long-tail property
+/// vocabulary (default 12,000 infobox-style properties with Zipf-ian
+/// frequencies, standing in for the real 124k) used inside topic
+/// clusters, plus ~63 head properties (wikiPageLink-, subject-,
+/// dbo:ontology-style) with global endpoints. The head properties plus
+/// rdf:type form giant WCCs and become MPC's crossing set (Table II:
+/// |L_cross| = 64 on DBpedia), while the long tail is internal — the
+/// regime where MPC's advantage over hash/edge-cut baselines is largest.
+struct DbpediaOptions {
+  uint32_t num_clusters = 400;
+  uint32_t num_tail_properties = 12000;
+  uint64_t seed = 46;
+};
+
+GeneratedDataset MakeDbpedia(const DbpediaOptions& options);
+
+}  // namespace mpc::workload
+
+#endif  // MPC_WORKLOAD_DBPEDIA_H_

@@ -1,0 +1,24 @@
+#include "workload/generator_util.h"
+
+namespace mpc::workload {
+
+std::string MakeIri(const std::string& ns, const std::string& kind,
+                    uint64_t id) {
+  return "<http://example.org/" + ns + "/" + kind + std::to_string(id) + ">";
+}
+
+std::string MakeLiteral(const std::string& kind, uint64_t id) {
+  return "\"" + kind + std::to_string(id) + "\"";
+}
+
+std::string MakeProperty(const std::string& ns, const std::string& name) {
+  return "<http://example.org/" + ns + "#" + name + ">";
+}
+
+const std::string& RdfTypeIri() {
+  static const std::string kIri =
+      "<http://www.w3.org/1999/02/22-rdf-syntax-ns#type>";
+  return kIri;
+}
+
+}  // namespace mpc::workload

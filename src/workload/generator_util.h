@@ -1,0 +1,44 @@
+#ifndef MPC_WORKLOAD_GENERATOR_UTIL_H_
+#define MPC_WORKLOAD_GENERATOR_UTIL_H_
+
+#include <string>
+#include <vector>
+
+#include "common/random.h"
+#include "rdf/graph.h"
+#include "sparql/query_graph.h"
+
+namespace mpc::workload {
+
+/// A benchmark query with the metadata the experiment tables need.
+struct NamedQuery {
+  std::string name;    // e.g. "LQ2"
+  std::string sparql;  // full query text
+  bool is_star = false;
+};
+
+/// A generated dataset: the graph plus its benchmark query set (empty for
+/// datasets evaluated via query logs only).
+struct GeneratedDataset {
+  std::string name;
+  rdf::RdfGraph graph;
+  std::vector<NamedQuery> benchmark_queries;
+};
+
+/// Mints "<http://example.org/{ns}/{kind}{id}>".
+std::string MakeIri(const std::string& ns, const std::string& kind,
+                    uint64_t id);
+
+/// Mints a quoted literal "\"{kind}{id}\"".
+std::string MakeLiteral(const std::string& kind, uint64_t id);
+
+/// Property IRI "<http://example.org/{ns}#{name}>".
+std::string MakeProperty(const std::string& ns, const std::string& name);
+
+/// The rdf:type IRI (shared by all generators; MPC's pruning heuristic
+/// targets it explicitly in Section IV-E).
+const std::string& RdfTypeIri();
+
+}  // namespace mpc::workload
+
+#endif  // MPC_WORKLOAD_GENERATOR_UTIL_H_

@@ -1,0 +1,84 @@
+#include "workload/lgd.h"
+
+#include <string>
+#include <vector>
+
+namespace mpc::workload {
+
+namespace {
+constexpr const char* kNs = "lgd";
+}
+
+GeneratedDataset MakeLgd(const LgdOptions& options) {
+  Rng rng(options.seed);
+  rdf::GraphBuilder builder;
+
+  const std::string p_type = RdfTypeIri();
+  const std::string p_way_member = MakeProperty(kNs, "wayMember");
+  const std::string p_next_segment = MakeProperty(kNs, "nextSegment");
+  const std::string p_crosses_tile = MakeProperty(kNs, "crossesTile");
+  const std::string p_adjacent_to = MakeProperty(kNs, "adjacentTo");
+  const std::string p_in_country = MakeProperty(kNs, "inCountry");
+
+  std::vector<std::string> tag_props;
+  tag_props.reserve(options.num_tag_properties);
+  for (uint32_t i = 0; i < options.num_tag_properties; ++i) {
+    tag_props.push_back(MakeProperty(kNs, "tag" + std::to_string(i)));
+  }
+  ZipfSampler tag_sampler(tag_props.size(), 1.05);
+
+  std::vector<std::string> classes;
+  for (const char* name : {"Node", "Way", "Relation", "Amenity"}) {
+    classes.push_back(MakeIri(kNs, std::string("class/") + name, 0));
+  }
+  std::vector<std::string> countries;
+  for (uint64_t c = 0; c < 12; ++c) {
+    countries.push_back(MakeIri(kNs, "Country", c));
+  }
+
+  uint64_t next_entity = 0, next_literal = 0;
+  std::vector<std::string> tile_representatives;
+
+  for (uint32_t t = 0; t < options.num_tiles; ++t) {
+    std::vector<std::string> tile;
+    const uint64_t size = rng.Between(20, 60);
+    for (uint64_t i = 0; i < size; ++i) {
+      std::string entity = MakeIri(kNs, "Feature", next_entity++);
+      builder.Add(entity, p_type, classes[rng.Below(classes.size())]);
+      const uint64_t num_tags = rng.Between(2, 6);
+      for (uint64_t a = 0; a < num_tags; ++a) {
+        builder.Add(entity, tag_props[tag_sampler.Sample(rng)],
+                    MakeLiteral("V", next_literal++));
+      }
+      if (rng.Chance(0.1)) {
+        builder.Add(entity, p_in_country,
+                    countries[rng.Below(countries.size())]);
+      }
+      tile.push_back(std::move(entity));
+    }
+    // Tile-local geometry: tag-property links between features.
+    const uint64_t num_links = size / 2;
+    for (uint64_t l = 0; l < num_links; ++l) {
+      const std::string& a = tile[rng.Below(tile.size())];
+      const std::string& b = tile[rng.Below(tile.size())];
+      builder.Add(a, tag_props[tag_sampler.Sample(rng)], b);
+    }
+    // Global connectivity: ways spanning tiles.
+    if (!tile_representatives.empty()) {
+      const std::string& prev =
+          tile_representatives[rng.Below(tile_representatives.size())];
+      builder.Add(tile[0], p_way_member, prev);
+      builder.Add(tile[0], p_next_segment, prev);
+      if (rng.Chance(0.5)) builder.Add(tile[0], p_crosses_tile, prev);
+      if (rng.Chance(0.5)) builder.Add(tile[0], p_adjacent_to, prev);
+    }
+    tile_representatives.push_back(tile[0]);
+  }
+
+  GeneratedDataset dataset;
+  dataset.name = "LGD";
+  dataset.graph = builder.Build();
+  return dataset;
+}
+
+}  // namespace mpc::workload

@@ -1,0 +1,27 @@
+#ifndef MPC_WORKLOAD_LGD_H_
+#define MPC_WORKLOAD_LGD_H_
+
+#include <cstdint>
+
+#include "workload/generator_util.h"
+
+namespace mpc::workload {
+
+/// Scaled-down analogue of LinkedGeoData (LGD) [33]: a spatial RDF graph
+/// of OpenStreetMap-style nodes and ways grouped into map tiles. Tag
+/// properties (the bulk of the ~4,000-property vocabulary, Zipf
+/// distributed) attach literals or tile-local entities; five global
+/// connectivity properties (wayMember, nextSegment, crossesTile,
+/// adjacentTo, inCountry) plus rdf:type span tiles and become MPC's
+/// crossing set (Table II: |L_cross| = 6 on LGD).
+struct LgdOptions {
+  uint32_t num_tiles = 300;
+  uint32_t num_tag_properties = 4000;
+  uint64_t seed = 47;
+};
+
+GeneratedDataset MakeLgd(const LgdOptions& options);
+
+}  // namespace mpc::workload
+
+#endif  // MPC_WORKLOAD_LGD_H_

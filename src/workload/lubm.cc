@@ -1,0 +1,235 @@
+#include "workload/lubm.h"
+
+#include <string>
+#include <vector>
+
+namespace mpc::workload {
+
+namespace {
+
+constexpr const char* kNs = "lubm";
+
+std::string Prop(const char* name) { return MakeProperty(kNs, name); }
+std::string Class(const char* name) {
+  return MakeIri(kNs, std::string("class/") + name, 0);
+}
+
+}  // namespace
+
+GeneratedDataset MakeLubm(const LubmOptions& options) {
+  Rng rng(options.seed);
+  rdf::GraphBuilder builder;
+
+  // The 18 LUBM properties.
+  const std::string p_type = RdfTypeIri();
+  const std::string p_sub_org = Prop("subOrganizationOf");
+  const std::string p_works_for = Prop("worksFor");
+  const std::string p_head_of = Prop("headOf");
+  const std::string p_teacher_of = Prop("teacherOf");
+  const std::string p_takes_course = Prop("takesCourse");
+  const std::string p_advisor = Prop("advisor");
+  const std::string p_member_of = Prop("memberOf");
+  const std::string p_pub_author = Prop("publicationAuthor");
+  const std::string p_ug_degree = Prop("undergraduateDegreeFrom");
+  const std::string p_ms_degree = Prop("mastersDegreeFrom");
+  const std::string p_phd_degree = Prop("doctoralDegreeFrom");
+  const std::string p_ta_of = Prop("teachingAssistantOf");
+  const std::string p_interest = Prop("researchInterest");
+  const std::string p_name = Prop("name");
+  const std::string p_email = Prop("emailAddress");
+  const std::string p_phone = Prop("telephone");
+  const std::string p_office = Prop("officeNumber");
+
+  const std::string c_university = Class("University");
+  const std::string c_department = Class("Department");
+  const std::string c_full_prof = Class("FullProfessor");
+  const std::string c_assoc_prof = Class("AssociateProfessor");
+  const std::string c_asst_prof = Class("AssistantProfessor");
+  const std::string c_course = Class("Course");
+  const std::string c_ug_student = Class("UndergraduateStudent");
+  const std::string c_grad_student = Class("GraduateStudent");
+  const std::string c_publication = Class("Publication");
+  const std::string c_research_group = Class("ResearchGroup");
+
+  const uint32_t num_univ = options.num_universities;
+  auto univ_iri = [&](uint64_t u) { return MakeIri(kNs, "University", u); };
+  auto random_other_univ = [&](uint64_t u) {
+    if (num_univ <= 1) return univ_iri(u);
+    uint64_t other = rng.Below(num_univ - 1);
+    if (other >= u) ++other;
+    return univ_iri(other);
+  };
+
+  uint64_t next_person = 0, next_course = 0, next_pub = 0, next_dept = 0,
+           next_group = 0, next_literal = 0;
+
+  for (uint64_t u = 0; u < num_univ; ++u) {
+    const std::string univ = univ_iri(u);
+    builder.Add(univ, p_type, c_university);
+
+    const uint64_t num_depts = rng.Between(3, 6);
+    for (uint64_t d = 0; d < num_depts; ++d) {
+      const std::string dept = MakeIri(kNs, "Department", next_dept++);
+      builder.Add(dept, p_type, c_department);
+      builder.Add(dept, p_sub_org, univ);
+
+      const uint64_t num_groups = rng.Between(1, 3);
+      for (uint64_t g = 0; g < num_groups; ++g) {
+        const std::string group = MakeIri(kNs, "ResearchGroup", next_group++);
+        builder.Add(group, p_type, c_research_group);
+        builder.Add(group, p_sub_org, dept);
+      }
+
+      // Faculty: one head plus regular professors.
+      const uint64_t num_faculty = rng.Between(4, 8);
+      std::vector<std::string> courses;
+      std::vector<std::string> faculty;
+      for (uint64_t f = 0; f < num_faculty; ++f) {
+        const std::string prof = MakeIri(kNs, "Professor", next_person++);
+        faculty.push_back(prof);
+        const std::string& rank = (f == 0)   ? c_full_prof
+                                  : (f % 2)  ? c_assoc_prof
+                                             : c_asst_prof;
+        builder.Add(prof, p_type, rank);
+        builder.Add(prof, p_works_for, dept);
+        if (f == 0) builder.Add(prof, p_head_of, dept);
+        builder.Add(prof, p_name, MakeLiteral("Name", next_literal));
+        builder.Add(prof, p_email, MakeLiteral("Email", next_literal));
+        builder.Add(prof, p_phone, MakeLiteral("Phone", next_literal));
+        builder.Add(prof, p_office, MakeLiteral("Office", next_literal));
+        ++next_literal;
+        // Shared interest literals (40 globally): a giant WCC by design,
+        // making researchInterest a crossing property under MPC.
+        builder.Add(prof, p_interest,
+                    MakeLiteral("Interest", rng.Below(40)));
+        // Degrees connect universities across domains.
+        builder.Add(prof, p_ug_degree, random_other_univ(u));
+        builder.Add(prof, p_ms_degree, random_other_univ(u));
+        builder.Add(prof, p_phd_degree, random_other_univ(u));
+
+        const uint64_t num_courses = rng.Between(1, 2);
+        for (uint64_t c = 0; c < num_courses; ++c) {
+          const std::string course = MakeIri(kNs, "Course", next_course++);
+          builder.Add(course, p_type, c_course);
+          builder.Add(prof, p_teacher_of, course);
+          courses.push_back(course);
+        }
+        const uint64_t num_pubs = rng.Between(1, 3);
+        for (uint64_t pb = 0; pb < num_pubs; ++pb) {
+          const std::string pub = MakeIri(kNs, "Publication", next_pub++);
+          builder.Add(pub, p_type, c_publication);
+          builder.Add(pub, p_pub_author, prof);
+        }
+      }
+
+      // Graduate students.
+      const uint64_t num_grads = rng.Between(3, 8);
+      for (uint64_t s = 0; s < num_grads; ++s) {
+        const std::string grad = MakeIri(kNs, "GradStudent", next_person++);
+        builder.Add(grad, p_type, c_grad_student);
+        builder.Add(grad, p_member_of, dept);
+        builder.Add(grad, p_advisor, faculty[rng.Below(faculty.size())]);
+        builder.Add(grad, p_name, MakeLiteral("Name", next_literal++));
+        // ~30% stayed at their own university (gives LQ2 its matches:
+        // students whose degree university is the one their department
+        // belongs to).
+        builder.Add(grad, p_ug_degree,
+                    rng.Chance(0.3) ? univ : random_other_univ(u));
+        if (!courses.empty()) {
+          builder.Add(grad, p_takes_course,
+                      courses[rng.Below(courses.size())]);
+          if (rng.Chance(0.4)) {
+            builder.Add(grad, p_ta_of, courses[rng.Below(courses.size())]);
+          }
+        }
+      }
+
+      // Undergraduate students.
+      const uint64_t num_ugs = rng.Between(8, 20);
+      for (uint64_t s = 0; s < num_ugs; ++s) {
+        const std::string ug = MakeIri(kNs, "UgStudent", next_person++);
+        builder.Add(ug, p_type, c_ug_student);
+        builder.Add(ug, p_member_of, dept);
+        builder.Add(ug, p_email, MakeLiteral("Email", next_literal++));
+        const uint64_t num_taken = rng.Between(1, 3);
+        for (uint64_t c = 0; c < num_taken && !courses.empty(); ++c) {
+          builder.Add(ug, p_takes_course,
+                      courses[rng.Below(courses.size())]);
+        }
+        if (rng.Chance(0.3)) {
+          builder.Add(ug, p_advisor, faculty[rng.Below(faculty.size())]);
+        }
+      }
+    }
+  }
+
+  GeneratedDataset dataset;
+  dataset.name = "LUBM";
+  dataset.graph = builder.Build();
+
+  // Benchmark queries. Constants reference university/department/course 0,
+  // which exist at every scale. 10 stars; LQ2/LQ8/LQ9/LQ12 are non-star.
+  const std::string univ0 = univ_iri(0);
+  const std::string dept0 = MakeIri(kNs, "Department", 0);
+  const std::string course0 = MakeIri(kNs, "Course", 0);
+  const std::string prof0 = MakeIri(kNs, "Professor", 0);
+
+  auto q = [&dataset](const char* name, std::string sparql, bool star) {
+    dataset.benchmark_queries.push_back(
+        NamedQuery{name, std::move(sparql), star});
+  };
+
+  q("LQ1",
+    "SELECT ?x WHERE { ?x " + p_takes_course + " " + course0 + " . ?x " +
+        p_type + " " + c_grad_student + " . }",
+    true);
+  q("LQ2",
+    "SELECT ?x ?y ?z WHERE { ?x " + p_member_of + " ?z . ?z " + p_sub_org +
+        " ?y . ?x " + p_ug_degree + " ?y . }",
+    false);
+  q("LQ3",
+    "SELECT ?x WHERE { ?x " + p_type + " " + c_publication + " . ?x " +
+        p_pub_author + " " + prof0 + " . }",
+    true);
+  q("LQ4",
+    "SELECT ?x ?n ?e ?t WHERE { ?x " + p_works_for + " " + dept0 +
+        " . ?x " + p_name + " ?n . ?x " + p_email + " ?e . ?x " + p_phone +
+        " ?t . }",
+    true);
+  q("LQ5",
+    "SELECT ?x WHERE { ?x " + p_member_of + " " + dept0 + " . ?x " +
+        p_type + " " + c_ug_student + " . }",
+    true);
+  q("LQ6", "SELECT ?x ?y WHERE { ?x " + p_member_of + " ?y . }", true);
+  q("LQ7",
+    "SELECT ?x WHERE { ?x " + p_takes_course + " " + course0 + " . ?x " +
+        p_type + " " + c_ug_student + " . }",
+    true);
+  q("LQ8",
+    "SELECT ?x ?y ?z WHERE { ?x " + p_member_of + " ?y . ?y " + p_sub_org +
+        " " + univ0 + " . ?x " + p_email + " ?z . }",
+    false);
+  q("LQ9",
+    "SELECT ?x ?y ?z WHERE { ?x " + p_advisor + " ?y . ?y " +
+        p_teacher_of + " ?z . ?x " + p_takes_course + " ?z . }",
+    false);
+  q("LQ10",
+    "SELECT ?x WHERE { ?x " + p_takes_course + " " + course0 + " . }",
+    true);
+  q("LQ11",
+    "SELECT ?x WHERE { ?x " + p_sub_org + " " + univ0 + " . ?x " + p_type +
+        " " + c_department + " . }",
+    true);
+  q("LQ12",
+    "SELECT ?x ?y WHERE { ?x " + p_head_of + " ?y . ?y " + p_sub_org +
+        " " + univ0 + " . ?x " + p_type + " " + c_full_prof + " . }",
+    false);
+  q("LQ13",
+    "SELECT ?x WHERE { ?x " + p_ug_degree + " " + univ0 + " . }", true);
+  q("LQ14",
+    "SELECT ?x WHERE { ?x " + p_type + " " + c_ug_student + " . }", true);
+
+  return dataset;
+}
+
+}  // namespace mpc::workload

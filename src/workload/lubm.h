@@ -1,0 +1,32 @@
+#ifndef MPC_WORKLOAD_LUBM_H_
+#define MPC_WORKLOAD_LUBM_H_
+
+#include <cstdint>
+
+#include "workload/generator_util.h"
+
+namespace mpc::workload {
+
+/// Scaled-down analogue of the LUBM university benchmark [12]: exactly 18
+/// properties, university "domains" whose entities (departments, faculty,
+/// students, courses, publications) interconnect densely inside a
+/// university and connect across universities only through the three
+/// degreeFrom properties — the structure Section VI-D4 credits for MPC's
+/// near-optimal greedy behaviour on LUBM. rdf:type and the shared
+/// researchInterest literals form giant WCCs, so MPC's expected crossing
+/// set is {type, ugDegreeFrom, mastersDegreeFrom, doctoralDegreeFrom,
+/// researchInterest} — five properties, as in Table II.
+struct LubmOptions {
+  /// Number of university domains; triples scale linearly (~1000/univ).
+  uint32_t num_universities = 50;
+  uint64_t seed = 42;
+};
+
+/// Generates the graph and the 14 benchmark queries LQ1-LQ14 (10 stars,
+/// 4 non-star: LQ2, LQ8, LQ9, LQ12 — the queries Fig. 7 shows MPC
+/// winning).
+GeneratedDataset MakeLubm(const LubmOptions& options);
+
+}  // namespace mpc::workload
+
+#endif  // MPC_WORKLOAD_LUBM_H_

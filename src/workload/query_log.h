@@ -1,0 +1,40 @@
+#ifndef MPC_WORKLOAD_QUERY_LOG_H_
+#define MPC_WORKLOAD_QUERY_LOG_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "rdf/graph.h"
+#include "workload/generator_util.h"
+
+namespace mpc::workload {
+
+/// Shape profile for a synthetic query log, standing in for the LSQ real
+/// logs [30] the paper samples for WatDiv/DBpedia/LGD. Queries are built
+/// by sampling actual stars and walks from the data graph, so every
+/// generated query has at least one match (the sampled witness).
+struct QueryLogOptions {
+  size_t num_queries = 1000;
+  uint64_t seed = 7;
+  /// Fraction of star-shaped queries (the rest are paths/walks).
+  double star_fraction = 0.5;
+  /// Fraction of queries that are a single triple pattern (counted as
+  /// stars; LGD's log is dominated by these).
+  double single_pattern_fraction = 0.1;
+  /// Probability that a non-center endpoint is a constant.
+  double constant_fraction = 0.4;
+  /// Probability that one predicate of a query is a variable.
+  double var_predicate_fraction = 0.02;
+  uint32_t min_star_edges = 2;
+  uint32_t max_star_edges = 4;
+  uint32_t min_path_edges = 2;
+  uint32_t max_path_edges = 3;
+};
+
+/// Generates a query log over `graph`.
+std::vector<NamedQuery> GenerateQueryLog(const rdf::RdfGraph& graph,
+                                         const QueryLogOptions& options);
+
+}  // namespace mpc::workload
+
+#endif  // MPC_WORKLOAD_QUERY_LOG_H_

@@ -1,0 +1,116 @@
+#include "workload/watdiv.h"
+
+#include <string>
+#include <vector>
+
+namespace mpc::workload {
+
+namespace {
+constexpr const char* kNs = "watdiv";
+}
+
+GeneratedDataset MakeWatdiv(const WatdivOptions& options) {
+  Rng rng(options.seed);
+  rdf::GraphBuilder builder;
+
+  const std::string p_type = RdfTypeIri();
+
+  // 15 global link properties: endpoints drawn uniformly across all
+  // communities -> each forms one giant WCC -> crossing under MPC.
+  std::vector<std::string> global_props;
+  for (const char* name :
+       {"purchases", "likes", "follows", "linksTo", "retailerOf",
+        "recommends", "viewed", "bookmarked", "sharedWith", "trendingWith",
+        "bundledWith", "shipsVia", "advertisedBy", "subscribesTo",
+        "mirrors"}) {
+    global_props.push_back(MakeProperty(kNs, name));
+  }
+  // Shared small-domain attribute: ~20 country vertices shared by all
+  // users -> giant WCC -> crossing. Total expected |L_cross| = 17.
+  const std::string p_country = MakeProperty(kNs, "country");
+
+  // 39 community-local link properties.
+  std::vector<std::string> local_props;
+  for (const char* name :
+       {"friendOf",     "reviewOf",     "rates",        "producedBy",
+        "soldAt",       "variantOf",    "replacedBy",   "accessoryFor",
+        "authoredBy",   "moderatedBy",  "memberOfClub", "attends",
+        "organizes",    "repliesTo",    "mentions",     "taggedIn",
+        "wishlists",    "returns",      "refundedBy",   "servicedBy",
+        "installedBy",  "deliveredTo",  "pickedUpAt",   "assembledAt",
+        "inspectedBy",  "certifiedBy",  "licensedTo",   "rentedBy",
+        "leasedTo",     "tradedWith",   "giftedTo",     "repairedBy",
+        "upgradedFrom", "clonedFrom",   "basedOn",      "inspiredBy",
+        "competesWith", "partneredWith", "localGroupOf"}) {
+    local_props.push_back(MakeProperty(kNs, name));
+  }
+
+  // 30 per-entity attribute properties (unique literal objects).
+  std::vector<std::string> attr_props;
+  for (const char* name :
+       {"caption",   "text",      "price",     "sku",       "validFrom",
+        "validTo",   "opens",     "closes",    "zip",       "street",
+        "phoneNum",  "faxNum",    "url",       "height",    "weight",
+        "width",     "depth",     "color",     "material",  "battery",
+        "warranty",  "edition",   "isbn",      "issn",      "serial",
+        "modelNum",  "firmware",  "nickname",  "bio",       "joinDate"}) {
+    attr_props.push_back(MakeProperty(kNs, name));
+  }
+  // Total properties: 1 (type) + 15 + 1 + 39 + 30 = 86, matching Table I.
+
+  std::vector<std::string> classes;
+  for (const char* name : {"User", "Product", "Review", "Retailer"}) {
+    classes.push_back(MakeIri(kNs, std::string("class/") + name, 0));
+  }
+  std::vector<std::string> countries;
+  for (uint64_t c = 0; c < 20; ++c) {
+    countries.push_back(MakeIri(kNs, "Country", c));
+  }
+
+  // Entities, grouped by community. entity_ids[c] lists community c's
+  // entity IRIs; all_entities flattens them for global links.
+  std::vector<std::vector<std::string>> community(options.num_communities);
+  std::vector<std::string> all_entities;
+  uint64_t next_entity = 0, next_literal = 0;
+
+  for (uint32_t c = 0; c < options.num_communities; ++c) {
+    const uint64_t size = rng.Between(20, 50);
+    for (uint64_t i = 0; i < size; ++i) {
+      std::string entity = MakeIri(kNs, "Entity", next_entity++);
+      builder.Add(entity, p_type, classes[rng.Below(classes.size())]);
+      // Homogeneous entities: each carries several common attributes.
+      const uint64_t num_attrs = rng.Between(3, 6);
+      for (uint64_t a = 0; a < num_attrs; ++a) {
+        builder.Add(entity, attr_props[rng.Below(attr_props.size())],
+                    MakeLiteral("V", next_literal++));
+      }
+      if (rng.Chance(0.5)) {
+        builder.Add(entity, p_country, countries[rng.Below(countries.size())]);
+      }
+      community[c].push_back(std::move(entity));
+    }
+    // Community-local links: connect members of the same community.
+    const uint64_t num_links = size * 2;
+    for (uint64_t l = 0; l < num_links; ++l) {
+      const std::string& a = community[c][rng.Below(community[c].size())];
+      const std::string& b = community[c][rng.Below(community[c].size())];
+      builder.Add(a, local_props[rng.Below(local_props.size())], b);
+    }
+    for (const std::string& e : community[c]) all_entities.push_back(e);
+  }
+
+  // Global links: uniform endpoints across communities.
+  const uint64_t num_global = all_entities.size();
+  for (uint64_t l = 0; l < num_global; ++l) {
+    const std::string& a = all_entities[rng.Below(all_entities.size())];
+    const std::string& b = all_entities[rng.Below(all_entities.size())];
+    builder.Add(a, global_props[rng.Below(global_props.size())], b);
+  }
+
+  GeneratedDataset dataset;
+  dataset.name = "WatDiv";
+  dataset.graph = builder.Build();
+  return dataset;
+}
+
+}  // namespace mpc::workload

@@ -1,0 +1,166 @@
+#include "workload/yago2.h"
+
+#include <string>
+#include <vector>
+
+namespace mpc::workload {
+
+namespace {
+constexpr const char* kNs = "yago2";
+}
+
+GeneratedDataset MakeYago2(const Yago2Options& options) {
+  Rng rng(options.seed);
+  rdf::GraphBuilder builder;
+
+  const std::string p_type = RdfTypeIri();
+  const std::string p_links_to = MakeProperty(kNs, "linksTo");
+  const std::string p_located_in = MakeProperty(kNs, "locatedIn");
+  const std::string p_citizen_of = MakeProperty(kNs, "citizenOf");
+  const std::string p_lives_in = MakeProperty(kNs, "livesIn");
+
+  // 30 neighborhood-local relation properties.
+  std::vector<std::string> local_props;
+  for (const char* name :
+       {"hasChild",      "marriedTo",     "influences",   "actedIn",
+        "directed",      "produced",      "wroteMusicFor", "edited",
+        "playsFor",      "coachedBy",     "studiedUnder", "collaboratedWith",
+        "succeededBy",   "precededBy",    "ownerOf",      "foundedBy",
+        "leaderOf",      "memberOfBand",  "performedAt",  "premieredAt",
+        "adaptedFrom",   "sequelOf",      "translatedBy", "illustratedBy",
+        "narratedBy",    "composedFor",   "starredWith",  "mentoredBy",
+        "apprenticeOf",  "dedicatedTo"}) {
+    local_props.push_back(MakeProperty(kNs, name));
+  }
+
+  // 63 literal attribute properties (unique literal per use), completing
+  // 98 = 1 type + 4 global links + 30 local links + 63 attributes.
+  std::vector<std::string> attr_props;
+  for (int i = 0; i < 63; ++i) {
+    attr_props.push_back(MakeProperty(kNs, "attr" + std::to_string(i)));
+  }
+
+  std::vector<std::string> classes;
+  for (const char* name : {"Person", "Movie", "Album", "Book", "City"}) {
+    classes.push_back(MakeIri(kNs, std::string("class/") + name, 0));
+  }
+  std::vector<std::string> places;
+  for (uint64_t c = 0; c < 30; ++c) {
+    places.push_back(MakeIri(kNs, "Place", c));
+  }
+  // The geographic hierarchy itself (giant WCC under locatedIn).
+  for (uint64_t c = 1; c < places.size(); ++c) {
+    builder.Add(places[c], p_located_in, places[rng.Below(c)]);
+  }
+
+  std::vector<std::string> all_entities;
+  uint64_t next_entity = 0, next_literal = 0;
+
+  for (uint32_t n = 0; n < options.num_neighborhoods; ++n) {
+    std::vector<std::string> members;
+    const uint64_t size = rng.Between(15, 40);
+    for (uint64_t i = 0; i < size; ++i) {
+      std::string entity = MakeIri(kNs, "Entity", next_entity++);
+      builder.Add(entity, p_type, classes[rng.Below(classes.size())]);
+      const uint64_t num_attrs = rng.Between(2, 5);
+      for (uint64_t a = 0; a < num_attrs; ++a) {
+        builder.Add(entity, attr_props[rng.Below(attr_props.size())],
+                    MakeLiteral("V", next_literal++));
+      }
+      if (rng.Chance(0.4)) {
+        builder.Add(entity, p_citizen_of, places[rng.Below(places.size())]);
+      }
+      if (rng.Chance(0.3)) {
+        builder.Add(entity, p_lives_in, places[rng.Below(places.size())]);
+      }
+      members.push_back(std::move(entity));
+    }
+    // Dense local relations within the neighborhood.
+    const uint64_t num_links = size * 2;
+    for (uint64_t l = 0; l < num_links; ++l) {
+      const std::string& a = members[rng.Below(members.size())];
+      const std::string& b = members[rng.Below(members.size())];
+      builder.Add(a, local_props[rng.Below(local_props.size())], b);
+    }
+    // Witness structures so YQ1-YQ4 below have matches in most
+    // neighborhoods (random linking alone rarely forms the exact shapes).
+    if (members.size() >= 10 && rng.Chance(0.6)) {
+      const auto& p_child = local_props[0];
+      const auto& p_married = local_props[1];
+      const auto& p_influences = local_props[2];
+      const auto& p_acted = local_props[3];
+      const auto& p_directed = local_props[4];
+      const auto& p_plays_for = local_props[8];
+      const auto& p_coached_by = local_props[9];
+      const auto& p_leader_of = local_props[16];
+      // YQ1: child -> child -> marriedTo chain.
+      builder.Add(members[0], p_child, members[1]);
+      builder.Add(members[1], p_child, members[2]);
+      builder.Add(members[2], p_married, members[3]);
+      // YQ2: marriedTo + influences + actedIn fork.
+      builder.Add(members[4], p_married, members[5]);
+      builder.Add(members[5], p_influences, members[6]);
+      builder.Add(members[4], p_acted, members[7]);
+      // YQ3: actor and director of the same movie; director's spouse.
+      builder.Add(members[8], p_acted, members[7]);
+      builder.Add(members[9], p_directed, members[7]);
+      builder.Add(members[9], p_married, members[3]);
+      // YQ4: playsFor/coachedBy/leaderOf triangle.
+      builder.Add(members[0], p_plays_for, members[3]);
+      builder.Add(members[0], p_coached_by, members[9]);
+      builder.Add(members[9], p_leader_of, members[3]);
+    }
+    for (std::string& e : members) all_entities.push_back(std::move(e));
+  }
+
+  // Wiki-style links across neighborhoods.
+  const uint64_t num_wiki = all_entities.size() / 2;
+  for (uint64_t l = 0; l < num_wiki; ++l) {
+    const std::string& a = all_entities[rng.Below(all_entities.size())];
+    const std::string& b = all_entities[rng.Below(all_entities.size())];
+    builder.Add(a, p_links_to, b);
+  }
+
+  GeneratedDataset dataset;
+  dataset.name = "YAGO2";
+  dataset.graph = builder.Build();
+
+  // YQ1-YQ4: all non-star, all over local properties only.
+  const std::string& p_child = local_props[0];
+  const std::string& p_married = local_props[1];
+  const std::string& p_influences = local_props[2];
+  const std::string& p_acted = local_props[3];
+  const std::string& p_directed = local_props[4];
+  const std::string& p_plays_for = local_props[8];
+  const std::string& p_coached_by = local_props[9];
+  const std::string& p_leader_of = local_props[16];
+
+  auto q = [&dataset](const char* name, std::string sparql, bool star) {
+    dataset.benchmark_queries.push_back(
+        NamedQuery{name, std::move(sparql), star});
+  };
+  // 3-hop path: grandchild's spouse.
+  q("YQ1",
+    "SELECT ?a ?b ?c ?d WHERE { ?a " + p_child + " ?b . ?b " + p_child +
+        " ?c . ?c " + p_married + " ?d . }",
+    false);
+  // Fork: spouse's influence plus the person's film.
+  q("YQ2",
+    "SELECT ?a ?b ?c ?m WHERE { ?a " + p_married + " ?b . ?b " +
+        p_influences + " ?c . ?a " + p_acted + " ?m . }",
+    false);
+  // Tree: actor and director of the same movie, plus the director's
+  // spouse.
+  q("YQ3",
+    "SELECT ?a ?m ?d ?s WHERE { ?a " + p_acted + " ?m . ?d " + p_directed +
+        " ?m . ?d " + p_married + " ?s . }",
+    false);
+  // Triangle: player, coach, and the team the coach leads.
+  q("YQ4",
+    "SELECT ?a ?t ?c WHERE { ?a " + p_plays_for + " ?t . ?a " +
+        p_coached_by + " ?c . ?c " + p_leader_of + " ?t . }",
+    false);
+  return dataset;
+}
+
+}  // namespace mpc::workload

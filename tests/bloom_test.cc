@@ -1,0 +1,108 @@
+#include "exec/bloom_filter.h"
+
+#include "common/random.h"
+#include "exec/cluster.h"
+#include "exec/distributed_executor.h"
+#include "gtest/gtest.h"
+#include "partition/subject_hash_partitioner.h"
+#include "test_util.h"
+
+namespace mpc::exec {
+namespace {
+
+TEST(BloomFilterTest, NoFalseNegatives) {
+  BloomFilter filter(1000);
+  Rng rng(1);
+  std::vector<uint32_t> inserted;
+  for (int i = 0; i < 1000; ++i) {
+    inserted.push_back(static_cast<uint32_t>(rng.Next()));
+    filter.Insert(inserted.back());
+  }
+  for (uint32_t v : inserted) EXPECT_TRUE(filter.MayContain(v));
+}
+
+TEST(BloomFilterTest, LowFalsePositiveRate) {
+  BloomFilter filter(2000);
+  Rng rng(2);
+  for (int i = 0; i < 2000; ++i) {
+    filter.Insert(static_cast<uint32_t>(rng.Below(1u << 20)));
+  }
+  // Probe values from a disjoint range.
+  int false_positives = 0;
+  const int probes = 10000;
+  for (int i = 0; i < probes; ++i) {
+    uint32_t v = static_cast<uint32_t>((1u << 20) + rng.Below(1u << 20));
+    false_positives += filter.MayContain(v);
+  }
+  EXPECT_LT(false_positives, probes / 20)  // < 5%, target ~1%
+      << "FPR too high: " << false_positives << "/" << probes;
+}
+
+TEST(BloomFilterTest, EmptyFilterRejectsEverything) {
+  BloomFilter filter(10);
+  EXPECT_FALSE(filter.MayContain(0));
+  EXPECT_FALSE(filter.MayContain(12345));
+}
+
+TEST(BloomFilterTest, ByteSizeScalesWithCapacity) {
+  EXPECT_LT(BloomFilter(10).ByteSize(), BloomFilter(100000).ByteSize());
+  EXPECT_GE(BloomFilter(0).ByteSize(), 32u);  // floor
+}
+
+// Soundness of the executor integration: Bloom reduction never changes
+// results, only (possibly) the bytes shipped.
+TEST(BloomReductionTest, ResultsUnchangedAndBytesReduced) {
+  Rng rng(3);
+  size_t total_dropped = 0;
+  for (int round = 0; round < 8; ++round) {
+    rdf::RdfGraph graph = testutil::RandomGraph(rng, 60, 220, 5, 12, 0.2);
+    partition::PartitionerOptions options{
+        .k = 4, .epsilon = 0.2, .seed = rng.Next()};
+    Cluster cluster = Cluster::Build(
+        partition::SubjectHashPartitioner(options).Partition(graph));
+
+    DistributedExecutor::Options base, bloom;
+    bloom.bloom_reduction = true;
+    DistributedExecutor plain(cluster, graph, base);
+    DistributedExecutor reduced(cluster, graph, bloom);
+
+    for (const std::string& text :
+         {std::string("SELECT * WHERE { ?a <t:p0> ?b . ?b <t:p1> ?c . ?c "
+                      "<t:p2> ?d . }"),
+          std::string("SELECT * WHERE { ?a <t:p0> ?b . ?b ?p ?c . ?c "
+                      "<t:p1> ?d . }")}) {
+      sparql::QueryGraph query = testutil::ParseQueryOrDie(text);
+      ExecutionStats plain_stats, bloom_stats;
+      Result<store::BindingTable> a = plain.Execute(query, &plain_stats);
+      Result<store::BindingTable> b = reduced.Execute(query, &bloom_stats);
+      ASSERT_TRUE(a.ok() && b.ok());
+      EXPECT_EQ(testutil::RowSet(*a), testutil::RowSet(*b)) << text;
+      if (!plain_stats.independent) {
+        total_dropped += bloom_stats.bloom_dropped_rows;
+      }
+      EXPECT_EQ(plain_stats.bloom_dropped_rows, 0u);
+    }
+  }
+  // Across the rounds, the reduction must actually fire somewhere.
+  EXPECT_GT(total_dropped, 0u);
+}
+
+TEST(BloomReductionTest, IeqQueriesUnaffected) {
+  Rng rng(4);
+  rdf::RdfGraph graph = testutil::RandomGraph(rng, 40, 120, 4, 10);
+  partition::PartitionerOptions options{.k = 4, .epsilon = 0.2, .seed = 9};
+  Cluster cluster = Cluster::Build(
+      partition::SubjectHashPartitioner(options).Partition(graph));
+  DistributedExecutor::Options opts;
+  opts.bloom_reduction = true;
+  DistributedExecutor executor(cluster, graph, opts);
+  // A star query is an IEQ: single subquery, no filters built.
+  sparql::QueryGraph q = testutil::ParseQueryOrDie(
+      "SELECT * WHERE { ?x <t:p0> ?a . ?x <t:p1> ?b . }");
+  ExecutionStats stats;
+  ASSERT_TRUE(executor.Execute(q, &stats).ok());
+  EXPECT_EQ(stats.bloom_dropped_rows, 0u);
+}
+
+}  // namespace
+}  // namespace mpc::exec

@@ -1,0 +1,87 @@
+#include "mpc/coarsener.h"
+
+#include "common/random.h"
+#include "gtest/gtest.h"
+#include "test_util.h"
+
+namespace mpc::core {
+namespace {
+
+using rdf::RdfGraph;
+
+TEST(CoarsenerTest, SupervertexWeightsSumToVertexCount) {
+  Rng rng(1);
+  RdfGraph g = testutil::RandomGraph(rng, 80, 200, 6, /*community=*/10);
+  std::vector<bool> internal(g.num_properties(), false);
+  internal[0] = true;
+  internal[1] = true;
+  CoarsenedGraph coarse = CoarsenByInternalProperties(g, internal);
+  EXPECT_EQ(coarse.graph.total_vertex_weight(), g.num_vertices());
+  EXPECT_EQ(coarse.graph.num_vertices(), coarse.num_supervertices);
+  EXPECT_EQ(coarse.vertex_to_super.size(), g.num_vertices());
+}
+
+TEST(CoarsenerTest, InternalEdgesNeverSpanSupervertices) {
+  Rng rng(2);
+  RdfGraph g = testutil::RandomGraph(rng, 100, 300, 8, /*community=*/10);
+  std::vector<bool> internal(g.num_properties(), false);
+  internal[2] = true;
+  internal[5] = true;
+  CoarsenedGraph coarse = CoarsenByInternalProperties(g, internal);
+  for (size_t p = 0; p < internal.size(); ++p) {
+    if (!internal[p]) continue;
+    for (const rdf::Triple& t :
+         g.EdgesWithProperty(static_cast<rdf::PropertyId>(p))) {
+      EXPECT_EQ(coarse.vertex_to_super[t.subject],
+                coarse.vertex_to_super[t.object]);
+    }
+  }
+}
+
+TEST(CoarsenerTest, NoInternalSelectionYieldsIdentityScale) {
+  RdfGraph g = testutil::BuildGraph({
+      {"a", "p1", "b"},
+      {"c", "p2", "d"},
+  });
+  std::vector<bool> internal(g.num_properties(), false);
+  CoarsenedGraph coarse = CoarsenByInternalProperties(g, internal);
+  // No coarsening: each vertex its own supervertex.
+  EXPECT_EQ(coarse.num_supervertices, g.num_vertices());
+  // All edges survive as supervertex edges.
+  EXPECT_GT(coarse.graph.num_adjacencies(), 0u);
+}
+
+TEST(CoarsenerTest, AllInternalCollapsesComponents) {
+  RdfGraph g = testutil::BuildGraph({
+      {"a", "p1", "b"},
+      {"b", "p1", "c"},
+      {"x", "p1", "y"},
+  });
+  std::vector<bool> internal(g.num_properties(), true);
+  CoarsenedGraph coarse = CoarsenByInternalProperties(g, internal);
+  EXPECT_EQ(coarse.num_supervertices, 2u);  // {a,b,c} and {x,y}
+  EXPECT_EQ(coarse.graph.num_adjacencies(), 0u);  // nothing left to cut
+}
+
+TEST(CoarsenerTest, CrossEdgesBetweenSuperverticesAreKept) {
+  RdfGraph g = testutil::BuildGraph({
+      {"a", "internal", "b"},
+      {"c", "internal", "d"},
+      {"a", "cross", "c"},
+      {"b", "cross", "d"},
+      {"a", "cross", "b"},  // non-internal but intra-supervertex
+  });
+  rdf::PropertyId internal_p = g.property_dict().Lookup("<t:internal>");
+  std::vector<bool> internal(g.num_properties(), false);
+  internal[internal_p] = true;
+  CoarsenedGraph coarse = CoarsenByInternalProperties(g, internal);
+  ASSERT_EQ(coarse.num_supervertices, 2u);
+  // The two cross edges between {a,b} and {c,d} combine into one
+  // adjacency of weight 2 in each direction; the intra-super cross edge
+  // is dropped.
+  ASSERT_EQ(coarse.graph.Degree(0), 1u);
+  EXPECT_EQ(coarse.graph.Neighbors(0)[0].weight, 2u);
+}
+
+}  // namespace
+}  // namespace mpc::core

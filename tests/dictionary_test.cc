@@ -1,0 +1,84 @@
+#include "rdf/dictionary.h"
+
+#include <string>
+
+#include "gtest/gtest.h"
+
+namespace mpc::rdf {
+namespace {
+
+TEST(DictionaryTest, InternAssignsDenseIds) {
+  Dictionary dict;
+  EXPECT_EQ(dict.Intern("<a>"), 0u);
+  EXPECT_EQ(dict.Intern("<b>"), 1u);
+  EXPECT_EQ(dict.Intern("<a>"), 0u);  // idempotent
+  EXPECT_EQ(dict.size(), 2u);
+}
+
+TEST(DictionaryTest, LookupMissingReturnsInvalid) {
+  Dictionary dict;
+  dict.Intern("<a>");
+  EXPECT_EQ(dict.Lookup("<b>"), kInvalidVertex);
+  EXPECT_EQ(dict.Lookup("<a>"), 0u);
+}
+
+TEST(DictionaryTest, LexicalRoundTrip) {
+  Dictionary dict;
+  uint32_t id = dict.Intern("\"hello\"@en");
+  EXPECT_EQ(dict.Lexical(id), "\"hello\"@en");
+}
+
+TEST(DictionaryTest, KindClassification) {
+  Dictionary dict;
+  EXPECT_EQ(dict.KindOf(dict.Intern("<http://x>")), TermKind::kIri);
+  EXPECT_EQ(dict.KindOf(dict.Intern("\"lit\"")), TermKind::kLiteral);
+  EXPECT_EQ(dict.KindOf(dict.Intern("_:b0")), TermKind::kBlank);
+}
+
+// Regression: interning many short (SSO) strings must not invalidate the
+// index's string_view keys when storage grows.
+TEST(DictionaryTest, StableUnderGrowth) {
+  Dictionary dict;
+  std::vector<std::string> terms;
+  for (int i = 0; i < 20000; ++i) {
+    terms.push_back("<t" + std::to_string(i) + ">");
+    ASSERT_EQ(dict.Intern(terms.back()), static_cast<uint32_t>(i));
+  }
+  for (int i = 0; i < 20000; ++i) {
+    ASSERT_EQ(dict.Lookup(terms[i]), static_cast<uint32_t>(i))
+        << "lookup broke after growth for " << terms[i];
+  }
+}
+
+TEST(DictionaryTest, InternDoesNotAliasCallerBuffer) {
+  Dictionary dict;
+  {
+    std::string temp = "<short-lived>";
+    dict.Intern(temp);
+    temp.assign("XXXXXXXXXXXXXXXXXXXXXX");
+  }
+  EXPECT_EQ(dict.Lookup("<short-lived>"), 0u);
+  EXPECT_EQ(dict.Lexical(0), "<short-lived>");
+}
+
+TEST(DictionaryTest, MemoryUsageGrows) {
+  Dictionary dict;
+  size_t before = dict.MemoryUsage();
+  for (int i = 0; i < 100; ++i) {
+    dict.Intern("<some/rather/long/iri/number/" + std::to_string(i) + ">");
+  }
+  EXPECT_GT(dict.MemoryUsage(), before);
+}
+
+TEST(DictionaryTest, MoveKeepsIndexValid) {
+  Dictionary a;
+  a.Intern("<x>");
+  a.Intern("<y>");
+  Dictionary b = std::move(a);
+  EXPECT_EQ(b.Lookup("<x>"), 0u);
+  EXPECT_EQ(b.Lookup("<y>"), 1u);
+  EXPECT_EQ(b.size(), 2u);
+}
+
+}  // namespace
+}  // namespace mpc::rdf

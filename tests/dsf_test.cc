@@ -1,0 +1,151 @@
+#include "dsf/disjoint_set_forest.h"
+
+#include <algorithm>
+
+#include "common/random.h"
+#include "gtest/gtest.h"
+#include "test_util.h"
+
+namespace mpc::dsf {
+namespace {
+
+using rdf::Triple;
+
+TEST(DsfTest, SingletonsInitially) {
+  DisjointSetForest f(5);
+  EXPECT_EQ(f.num_components(), 5u);
+  EXPECT_EQ(f.max_component_size(), 1u);
+  for (uint32_t v = 0; v < 5; ++v) EXPECT_EQ(f.ComponentSize(v), 1u);
+}
+
+TEST(DsfTest, UnionMergesAndTracksSizes) {
+  DisjointSetForest f(6);
+  EXPECT_TRUE(f.Union(0, 1));
+  EXPECT_TRUE(f.Union(2, 3));
+  EXPECT_TRUE(f.Union(0, 2));
+  EXPECT_FALSE(f.Union(1, 3));  // already connected
+  EXPECT_EQ(f.num_components(), 3u);  // {0,1,2,3}, {4}, {5}
+  EXPECT_EQ(f.max_component_size(), 4u);
+  EXPECT_EQ(f.ComponentSize(3), 4u);
+  EXPECT_TRUE(f.Connected(0, 3));
+  EXPECT_FALSE(f.Connected(0, 4));
+}
+
+TEST(DsfTest, FindNoCompressAgreesWithFind) {
+  Rng rng(5);
+  DisjointSetForest f(200);
+  for (int i = 0; i < 300; ++i) {
+    f.Union(static_cast<uint32_t>(rng.Below(200)),
+            static_cast<uint32_t>(rng.Below(200)));
+  }
+  for (uint32_t v = 0; v < 200; ++v) {
+    EXPECT_EQ(f.FindNoCompress(v), f.Find(v));
+  }
+}
+
+TEST(DsfTest, AddEdgesUnionsEndpoints) {
+  DisjointSetForest f(4);
+  std::vector<Triple> edges = {Triple(0, 0, 1), Triple(2, 0, 3)};
+  f.AddEdges(edges);
+  EXPECT_TRUE(f.Connected(0, 1));
+  EXPECT_TRUE(f.Connected(2, 3));
+  EXPECT_FALSE(f.Connected(0, 2));
+}
+
+TEST(DsfTest, ComponentLabelsAreDenseAndConsistent) {
+  DisjointSetForest f(5);
+  f.Union(0, 2);
+  f.Union(3, 4);
+  auto labels = f.ComponentLabels();
+  ASSERT_EQ(labels.size(), 5u);
+  EXPECT_EQ(labels[0], labels[2]);
+  EXPECT_EQ(labels[3], labels[4]);
+  EXPECT_NE(labels[0], labels[1]);
+  EXPECT_NE(labels[0], labels[3]);
+  uint32_t max_label = *std::max_element(labels.begin(), labels.end());
+  EXPECT_EQ(max_label + 1, f.num_components());
+}
+
+TEST(DsfTest, MaxWccOfEdgesSingleChain) {
+  std::vector<Triple> chain = {Triple(0, 0, 1), Triple(1, 0, 2),
+                               Triple(2, 0, 3)};
+  EXPECT_EQ(MaxWccOfEdges(chain), 4u);
+}
+
+TEST(DsfTest, MaxWccOfEdgesTwoComponents) {
+  std::vector<Triple> edges = {Triple(0, 0, 1), Triple(10, 0, 11),
+                               Triple(11, 0, 12)};
+  EXPECT_EQ(MaxWccOfEdges(edges), 3u);
+}
+
+TEST(DsfTest, MaxWccOfEdgesEmpty) {
+  EXPECT_EQ(MaxWccOfEdges({}), 0u);
+}
+
+TEST(DsfTest, MaxWccIgnoresUntouchedVertices) {
+  // Vertex ids are sparse; only touched vertices count.
+  std::vector<Triple> edges = {Triple(1000000, 0, 2000000)};
+  EXPECT_EQ(MaxWccOfEdges(edges), 2u);
+}
+
+TEST(DsfTest, TrialMergeMatchesCommittedMerge) {
+  // Property-style check: for random base graphs and candidate edge
+  // sets, the non-destructive trial merge must equal committing the
+  // edges on a copy.
+  Rng rng(99);
+  for (int round = 0; round < 50; ++round) {
+    const size_t n = 2 + rng.Below(60);
+    DisjointSetForest base(n);
+    const size_t base_edges = rng.Below(n * 2);
+    for (size_t i = 0; i < base_edges; ++i) {
+      base.Union(static_cast<uint32_t>(rng.Below(n)),
+                 static_cast<uint32_t>(rng.Below(n)));
+    }
+    std::vector<Triple> candidate;
+    const size_t cand_edges = rng.Below(n);
+    for (size_t i = 0; i < cand_edges; ++i) {
+      candidate.emplace_back(static_cast<uint32_t>(rng.Below(n)), 0,
+                             static_cast<uint32_t>(rng.Below(n)));
+    }
+
+    size_t trial = TrialMergeMaxComponent(base, candidate);
+
+    DisjointSetForest committed = base;  // copy
+    committed.AddEdges(candidate);
+    EXPECT_EQ(trial, committed.max_component_size())
+        << "round " << round << " n=" << n;
+  }
+}
+
+TEST(DsfTest, TrialMergeDoesNotMutateBase) {
+  DisjointSetForest base(4);
+  base.Union(0, 1);
+  std::vector<Triple> candidate = {Triple(1, 0, 2), Triple(2, 0, 3)};
+  EXPECT_EQ(TrialMergeMaxComponent(base, candidate), 4u);
+  EXPECT_EQ(base.max_component_size(), 2u);
+  EXPECT_EQ(base.num_components(), 3u);
+  EXPECT_FALSE(base.Connected(1, 2));
+}
+
+TEST(DsfTest, TrialMergeWithEmptyCandidate) {
+  DisjointSetForest base(3);
+  base.Union(0, 1);
+  EXPECT_EQ(TrialMergeMaxComponent(base, {}), 2u);
+}
+
+// Union-by-rank keeps trees shallow: FindNoCompress on a long
+// union chain must not stack-overflow / degrade to O(n) depth. We just
+// sanity-check it completes on a large forest.
+TEST(DsfTest, LargeChainPerformanceSmoke) {
+  const size_t n = 200000;
+  DisjointSetForest f(n);
+  for (size_t i = 0; i + 1 < n; ++i) {
+    f.Union(static_cast<uint32_t>(i), static_cast<uint32_t>(i + 1));
+  }
+  EXPECT_EQ(f.num_components(), 1u);
+  EXPECT_EQ(f.max_component_size(), n);
+  EXPECT_EQ(f.FindNoCompress(0), f.FindNoCompress(n - 1));
+}
+
+}  // namespace
+}  // namespace mpc::dsf

@@ -1,0 +1,271 @@
+#include "exec/distributed_executor.h"
+
+#include <memory>
+
+#include "common/random.h"
+#include "exec/gstored_executor.h"
+#include "gtest/gtest.h"
+#include "mpc/mpc_partitioner.h"
+#include "partition/edge_cut_partitioner.h"
+#include "partition/subject_hash_partitioner.h"
+#include "partition/vp_partitioner.h"
+#include "test_util.h"
+
+namespace mpc::exec {
+namespace {
+
+using rdf::RdfGraph;
+using store::BindingTable;
+
+/// Queries spanning every IEQ class over graphs with 5 properties
+/// p0..p4 (as produced by testutil::RandomGraph).
+std::vector<std::string> TestQueries() {
+  return {
+      // star, 1 edge
+      "SELECT * WHERE { ?x <t:p0> ?y . }",
+      // star, 2 out-edges
+      "SELECT * WHERE { ?x <t:p0> ?y . ?x <t:p1> ?z . }",
+      // in/out star
+      "SELECT * WHERE { ?a <t:p2> ?x . ?x <t:p3> ?b . }",
+      // path of 3
+      "SELECT * WHERE { ?a <t:p0> ?b . ?b <t:p1> ?c . ?c <t:p2> ?d . }",
+      // triangle
+      "SELECT * WHERE { ?a <t:p0> ?b . ?b <t:p1> ?c . ?a <t:p2> ?c . }",
+      // variable predicate in the middle of a path
+      "SELECT * WHERE { ?a <t:p0> ?b . ?b ?p ?c . ?c <t:p1> ?d . }",
+      // star with variable predicate
+      "SELECT * WHERE { ?x ?p ?y . ?x <t:p4> ?z . }",
+      // 4-edge snowflake
+      "SELECT * WHERE { ?x <t:p0> ?a . ?x <t:p1> ?b . ?b <t:p2> ?c . ?b "
+      "<t:p3> ?d . }",
+  };
+}
+
+enum class Strategy { kMpc, kHash, kMetis, kVp };
+
+partition::Partitioning MakePartitioning(Strategy strategy,
+                                         const RdfGraph& graph, uint32_t k,
+                                         uint64_t seed) {
+  partition::PartitionerOptions base{.k = k, .epsilon = 0.3, .seed = seed};
+  switch (strategy) {
+    case Strategy::kMpc: {
+      core::MpcOptions options;
+      options.k = k;
+      options.epsilon = 0.3;
+      options.seed = seed;
+      return core::MpcPartitioner(options).Partition(graph);
+    }
+    case Strategy::kHash:
+      return partition::SubjectHashPartitioner(base).Partition(graph);
+    case Strategy::kMetis:
+      return partition::EdgeCutPartitioner(base).Partition(graph);
+    case Strategy::kVp:
+      return partition::VpPartitioner(base).Partition(graph);
+  }
+  return partition::Partitioning{};
+}
+
+struct ExecCase {
+  Strategy strategy;
+  uint32_t k;
+  uint64_t seed;
+};
+
+class ExecutorCorrectnessTest : public ::testing::TestWithParam<ExecCase> {};
+
+// THE core soundness property of the whole system: for every strategy and
+// every query class, the distributed result equals the single-store
+// ground truth (Definition 3.7 when independent; decompose+join
+// otherwise).
+TEST_P(ExecutorCorrectnessTest, MatchesGroundTruth) {
+  const auto [strategy, k, seed] = GetParam();
+  Rng rng(seed);
+  RdfGraph graph =
+      testutil::RandomGraph(rng, 60, 220, 5, /*community=*/12,
+                            /*escape=*/0.15);
+  Cluster cluster =
+      Cluster::Build(MakePartitioning(strategy, graph, k, seed));
+  DistributedExecutor executor(cluster, graph);
+
+  for (const std::string& text : TestQueries()) {
+    sparql::QueryGraph query = testutil::ParseQueryOrDie(text);
+    ExecutionStats stats;
+    Result<BindingTable> result = executor.Execute(query, &stats);
+    ASSERT_TRUE(result.ok()) << result.status().ToString();
+    BindingTable truth = testutil::GroundTruth(graph, query);
+    EXPECT_EQ(testutil::RowSet(*result), testutil::RowSet(truth))
+        << "query: " << text << "\nclass: " << IeqClassName(stats.cls)
+        << " rows: " << result->num_rows() << " vs " << truth.num_rows();
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, ExecutorCorrectnessTest,
+    ::testing::Values(ExecCase{Strategy::kMpc, 2, 101},
+                      ExecCase{Strategy::kMpc, 4, 102},
+                      ExecCase{Strategy::kMpc, 8, 103},
+                      ExecCase{Strategy::kHash, 2, 104},
+                      ExecCase{Strategy::kHash, 4, 105},
+                      ExecCase{Strategy::kHash, 8, 106},
+                      ExecCase{Strategy::kMetis, 4, 107},
+                      ExecCase{Strategy::kMetis, 8, 108},
+                      ExecCase{Strategy::kVp, 2, 109},
+                      ExecCase{Strategy::kVp, 4, 110},
+                      ExecCase{Strategy::kVp, 8, 111}));
+
+TEST(ExecutorStatsTest, IeqHasZeroJoinTimeAndOneSubquery) {
+  Rng rng(7);
+  RdfGraph graph = testutil::RandomGraph(rng, 40, 120, 4, 10);
+  core::MpcOptions options;
+  options.k = 4;
+  options.epsilon = 0.3;
+  Cluster cluster =
+      Cluster::Build(core::MpcPartitioner(options).Partition(graph));
+  DistributedExecutor executor(cluster, graph);
+
+  sparql::QueryGraph star = testutil::ParseQueryOrDie(
+      "SELECT * WHERE { ?x <t:p0> ?a . ?x <t:p1> ?b . }");
+  ExecutionStats stats;
+  ASSERT_TRUE(executor.Execute(star, &stats).ok());
+  EXPECT_TRUE(stats.independent);
+  EXPECT_EQ(stats.num_subqueries, 1u);
+  EXPECT_EQ(stats.join_millis, 0.0);
+  EXPECT_GT(stats.total_millis, 0.0);
+}
+
+TEST(ExecutorStatsTest, NonIeqReportsSubqueries) {
+  Rng rng(8);
+  RdfGraph graph = testutil::RandomGraph(rng, 40, 120, 4, 10);
+  // Subject hash: almost everything crossing -> path query decomposes.
+  partition::PartitionerOptions options{.k = 4, .epsilon = 0.3, .seed = 9};
+  Cluster cluster = Cluster::Build(
+      partition::SubjectHashPartitioner(options).Partition(graph));
+  DistributedExecutor executor(cluster, graph);
+  sparql::QueryGraph path = testutil::ParseQueryOrDie(
+      "SELECT * WHERE { ?a <t:p0> ?b . ?b <t:p1> ?c . ?c <t:p2> ?d . }");
+  ExecutionStats stats;
+  ASSERT_TRUE(executor.Execute(path, &stats).ok());
+  if (!stats.independent) {
+    EXPECT_GE(stats.num_subqueries, 2u);
+  }
+}
+
+TEST(ExecutorTest, ExecuteTextParsesAndRuns) {
+  Rng rng(9);
+  RdfGraph graph = testutil::RandomGraph(rng, 30, 90, 3);
+  partition::PartitionerOptions options{.k = 2, .epsilon = 0.3, .seed = 1};
+  Cluster cluster = Cluster::Build(
+      partition::SubjectHashPartitioner(options).Partition(graph));
+  DistributedExecutor executor(cluster, graph);
+  ExecutionStats stats;
+  EXPECT_TRUE(
+      executor.ExecuteText("SELECT * WHERE { ?x <t:p0> ?y . }", &stats)
+          .ok());
+  EXPECT_FALSE(executor.ExecuteText("NOT SPARQL", &stats).ok());
+}
+
+TEST(ExecutorTest, LimitClauseTruncatesResults) {
+  Rng rng(15);
+  RdfGraph graph = testutil::RandomGraph(rng, 30, 200, 2);
+  partition::PartitionerOptions options{.k = 2, .epsilon = 0.3, .seed = 1};
+  Cluster cluster = Cluster::Build(
+      partition::SubjectHashPartitioner(options).Partition(graph));
+  DistributedExecutor executor(cluster, graph);
+  sparql::QueryGraph q = testutil::ParseQueryOrDie(
+      "SELECT * WHERE { ?x <t:p0> ?y . } LIMIT 3");
+  ExecutionStats stats;
+  Result<BindingTable> result = executor.Execute(q, &stats);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->num_rows(), 3u);
+}
+
+TEST(ExecutorTest, MaxRowsCapsResults) {
+  Rng rng(10);
+  RdfGraph graph = testutil::RandomGraph(rng, 30, 200, 2);
+  partition::PartitionerOptions options{.k = 2, .epsilon = 0.3, .seed = 1};
+  Cluster cluster = Cluster::Build(
+      partition::SubjectHashPartitioner(options).Partition(graph));
+  DistributedExecutor::Options exec_options;
+  exec_options.max_rows = 5;
+  DistributedExecutor executor(cluster, graph, exec_options);
+  sparql::QueryGraph q =
+      testutil::ParseQueryOrDie("SELECT * WHERE { ?x <t:p0> ?y . }");
+  ExecutionStats stats;
+  Result<BindingTable> result = executor.Execute(q, &stats);
+  ASSERT_TRUE(result.ok());
+  // Per-site cap of 5 over 2 sites: at most 10 before dedup.
+  EXPECT_LE(result->num_rows(), 10u);
+}
+
+// gStoreD-style partial evaluation must agree with ground truth too.
+TEST(GStoredExecutorTest, MatchesGroundTruth) {
+  Rng rng(11);
+  for (uint64_t seed : {21ULL, 22ULL, 23ULL}) {
+    RdfGraph graph = testutil::RandomGraph(rng, 50, 180, 5, 10, 0.2);
+    Cluster cluster = Cluster::Build(
+        MakePartitioning(Strategy::kHash, graph, 4, seed));
+    GStoredExecutor executor(cluster, graph);
+    for (const std::string& text : TestQueries()) {
+      sparql::QueryGraph query = testutil::ParseQueryOrDie(text);
+      ExecutionStats stats;
+      Result<BindingTable> result = executor.Execute(query, &stats);
+      ASSERT_TRUE(result.ok()) << result.status().ToString();
+      BindingTable truth = testutil::GroundTruth(graph, query);
+      EXPECT_EQ(testutil::RowSet(*result), testutil::RowSet(truth))
+          << "query: " << text;
+    }
+  }
+}
+
+TEST(GStoredExecutorTest, RejectsEdgeDisjointPartitioning) {
+  Rng rng(12);
+  RdfGraph graph = testutil::RandomGraph(rng, 20, 60, 3);
+  Cluster cluster =
+      Cluster::Build(MakePartitioning(Strategy::kVp, graph, 2, 1));
+  GStoredExecutor executor(cluster, graph);
+  sparql::QueryGraph q =
+      testutil::ParseQueryOrDie("SELECT * WHERE { ?x <t:p0> ?y . }");
+  ExecutionStats stats;
+  EXPECT_FALSE(executor.Execute(q, &stats).ok());
+}
+
+TEST(GStoredExecutorTest, FewerCrossingPropertiesMeansFewerPartialRows) {
+  // Fig. 11's mechanism: under MPC the fragment granularity is coarser,
+  // so the total number of local partial matches is no larger than under
+  // subject hashing.
+  Rng rng(13);
+  RdfGraph graph = testutil::RandomGraph(rng, 200, 700, 8, /*community=*/20,
+                                         /*escape=*/0.05);
+  Cluster mpc_cluster =
+      Cluster::Build(MakePartitioning(Strategy::kMpc, graph, 4, 31));
+  Cluster hash_cluster =
+      Cluster::Build(MakePartitioning(Strategy::kHash, graph, 4, 31));
+  sparql::QueryGraph q = testutil::ParseQueryOrDie(
+      "SELECT * WHERE { ?a <t:p0> ?b . ?b <t:p1> ?c . ?c <t:p2> ?d . }");
+  ExecutionStats mpc_stats, hash_stats;
+  ASSERT_TRUE(
+      GStoredExecutor(mpc_cluster, graph).Execute(q, &mpc_stats).ok());
+  ASSERT_TRUE(
+      GStoredExecutor(hash_cluster, graph).Execute(q, &hash_stats).ok());
+  EXPECT_LE(mpc_stats.local_rows, hash_stats.local_rows);
+  EXPECT_LE(mpc_stats.num_subqueries, hash_stats.num_subqueries);
+}
+
+TEST(ClusterTest, BuildsKSitesAndReportsLoading) {
+  Rng rng(14);
+  RdfGraph graph = testutil::RandomGraph(rng, 50, 150, 4);
+  Cluster cluster =
+      Cluster::Build(MakePartitioning(Strategy::kHash, graph, 3, 5));
+  EXPECT_EQ(cluster.k(), 3u);
+  EXPECT_GE(cluster.loading_millis(), 0.0);
+  size_t total = 0;
+  for (uint32_t i = 0; i < cluster.k(); ++i) {
+    total += cluster.site(i).num_triples();
+  }
+  // Internal edges once + crossing replicas twice.
+  EXPECT_GE(total, graph.num_edges());
+  EXPECT_GT(cluster.MemoryUsage(), 0u);
+}
+
+}  // namespace
+}  // namespace mpc::exec

@@ -1,0 +1,137 @@
+#include "rdf/graph.h"
+
+#include "gtest/gtest.h"
+#include "rdf/stats.h"
+#include "test_util.h"
+
+namespace mpc::rdf {
+namespace {
+
+TEST(GraphBuilderTest, BuildsAndCounts) {
+  RdfGraph g = testutil::BuildGraph({
+      {"s1", "p1", "o1"},
+      {"s1", "p2", "o2"},
+      {"s2", "p1", "o1"},
+  });
+  EXPECT_EQ(g.num_edges(), 3u);
+  EXPECT_EQ(g.num_properties(), 2u);
+  EXPECT_EQ(g.num_vertices(), 4u);  // s1, o1, o2, s2
+}
+
+TEST(GraphBuilderTest, DeduplicatesTriples) {
+  RdfGraph g = testutil::BuildGraph({
+      {"s", "p", "o"},
+      {"s", "p", "o"},
+      {"s", "p", "o2"},
+  });
+  EXPECT_EQ(g.num_edges(), 2u);
+}
+
+TEST(GraphBuilderTest, SubjectsAndObjectsShareIdSpace) {
+  RdfGraph g = testutil::BuildGraph({
+      {"a", "p", "b"},
+      {"b", "p", "c"},
+  });
+  // "b" appears as both object and subject; it must be one vertex.
+  EXPECT_EQ(g.num_vertices(), 3u);
+}
+
+TEST(GraphTest, PropertySpansAreContiguousAndComplete) {
+  RdfGraph g = testutil::BuildGraph({
+      {"a", "p1", "b"},
+      {"c", "p2", "d"},
+      {"e", "p1", "f"},
+      {"g", "p3", "h"},
+      {"i", "p2", "j"},
+  });
+  size_t total = 0;
+  for (PropertyId p = 0; p < g.num_properties(); ++p) {
+    auto span = g.EdgesWithProperty(p);
+    EXPECT_EQ(span.size(), g.PropertyFrequency(p));
+    for (const Triple& t : span) EXPECT_EQ(t.property, p);
+    total += span.size();
+  }
+  EXPECT_EQ(total, g.num_edges());
+}
+
+TEST(GraphTest, TriplesSortedByPropertyFirst) {
+  RdfGraph g = testutil::BuildGraph({
+      {"z", "p2", "y"},
+      {"a", "p1", "b"},
+      {"m", "p2", "n"},
+  });
+  const auto& triples = g.triples();
+  for (size_t i = 1; i < triples.size(); ++i) {
+    EXPECT_LE(triples[i - 1].property, triples[i].property);
+  }
+}
+
+TEST(GraphTest, AddByInternedIds) {
+  GraphBuilder builder;
+  VertexId s = builder.InternVertex("<t:s>");
+  PropertyId p = builder.InternProperty("<t:p>");
+  VertexId o = builder.InternVertex("<t:o>");
+  builder.Add(s, p, o);
+  RdfGraph g = builder.Build();
+  EXPECT_EQ(g.num_edges(), 1u);
+  EXPECT_EQ(g.triples()[0], Triple(s, p, o));
+  EXPECT_EQ(g.VertexName(s), "<t:s>");
+  EXPECT_EQ(g.PropertyName(p), "<t:p>");
+}
+
+TEST(GraphTest, AllPropertiesEnumerates) {
+  RdfGraph g = testutil::BuildGraph({{"a", "p1", "b"}, {"a", "p2", "b"}});
+  auto props = g.AllProperties();
+  ASSERT_EQ(props.size(), 2u);
+  EXPECT_EQ(props[0], 0u);
+  EXPECT_EQ(props[1], 1u);
+}
+
+TEST(GraphTest, EmptyGraph) {
+  GraphBuilder builder;
+  RdfGraph g = builder.Build();
+  EXPECT_EQ(g.num_vertices(), 0u);
+  EXPECT_EQ(g.num_edges(), 0u);
+  EXPECT_EQ(g.num_properties(), 0u);
+}
+
+TEST(GraphTest, SelfLoopIsKept) {
+  RdfGraph g = testutil::BuildGraph({{"a", "p", "a"}});
+  EXPECT_EQ(g.num_edges(), 1u);
+  EXPECT_EQ(g.num_vertices(), 1u);
+}
+
+TEST(StatsTest, ComputeStatsMatchesGraph) {
+  RdfGraph g = testutil::BuildGraph({
+      {"a", "p1", "b"},
+      {"b", "p2", "c"},
+  });
+  DatasetStats stats = ComputeStats("toy", g);
+  EXPECT_EQ(stats.name, "toy");
+  EXPECT_EQ(stats.num_entities, 3u);
+  EXPECT_EQ(stats.num_triples, 2u);
+  EXPECT_EQ(stats.num_properties, 2u);
+}
+
+TEST(StatsTest, HistogramSortedDescending) {
+  RdfGraph g = testutil::BuildGraph({
+      {"a", "p1", "b"},
+      {"c", "p1", "d"},
+      {"e", "p1", "f"},
+      {"a", "p2", "b"},
+  });
+  auto hist = PropertyHistogram(g);
+  ASSERT_EQ(hist.size(), 2u);
+  EXPECT_EQ(hist[0], 3u);
+  EXPECT_EQ(hist[1], 1u);
+  EXPECT_DOUBLE_EQ(TopPropertyShare(g), 0.75);
+}
+
+TEST(StatsTest, EmptyGraphShareIsZero) {
+  GraphBuilder builder;
+  RdfGraph g = builder.Build();
+  EXPECT_DOUBLE_EQ(TopPropertyShare(g), 0.0);
+}
+
+}  // namespace
+}  // namespace mpc::rdf

@@ -1,0 +1,98 @@
+#include "exec/join.h"
+
+#include <set>
+
+#include "gtest/gtest.h"
+
+namespace mpc::exec {
+namespace {
+
+using store::BindingTable;
+
+BindingTable Make(std::vector<uint32_t> vars,
+                  std::vector<std::vector<uint32_t>> rows) {
+  BindingTable t;
+  t.var_ids = std::move(vars);
+  t.rows = std::move(rows);
+  return t;
+}
+
+std::set<std::vector<uint32_t>> Rows(const BindingTable& t) {
+  return std::set<std::vector<uint32_t>>(t.rows.begin(), t.rows.end());
+}
+
+TEST(HashJoinTest, JoinsOnSharedVariable) {
+  BindingTable left = Make({0, 1}, {{1, 10}, {2, 20}, {3, 30}});
+  BindingTable right = Make({1, 2}, {{10, 100}, {10, 101}, {30, 300}});
+  BindingTable out = HashJoin(left, right);
+  ASSERT_EQ(out.var_ids, (std::vector<uint32_t>{0, 1, 2}));
+  EXPECT_EQ(Rows(out), (std::set<std::vector<uint32_t>>{
+                           {1, 10, 100}, {1, 10, 101}, {3, 30, 300}}));
+}
+
+TEST(HashJoinTest, MultipleSharedVariables) {
+  BindingTable left = Make({0, 1}, {{1, 2}, {3, 4}});
+  BindingTable right = Make({1, 0}, {{2, 1}, {4, 9}});
+  BindingTable out = HashJoin(left, right);
+  // Shared on both columns; only (1,2) survives.
+  EXPECT_EQ(Rows(out), (std::set<std::vector<uint32_t>>{{1, 2}}));
+}
+
+TEST(HashJoinTest, NoSharedVariablesIsCrossProduct) {
+  BindingTable left = Make({0}, {{1}, {2}});
+  BindingTable right = Make({1}, {{7}, {8}});
+  BindingTable out = HashJoin(left, right);
+  EXPECT_EQ(out.num_rows(), 4u);
+}
+
+TEST(HashJoinTest, EmptySideYieldsEmpty) {
+  BindingTable left = Make({0}, {});
+  BindingTable right = Make({0}, {{1}});
+  EXPECT_EQ(HashJoin(left, right).num_rows(), 0u);
+  EXPECT_EQ(HashJoin(right, left).num_rows(), 0u);
+}
+
+TEST(HashJoinTest, ZeroColumnExistenceTable) {
+  // A satisfied all-constant subquery: one empty row acts as "true".
+  BindingTable exists = Make({}, {{}});
+  BindingTable data = Make({0}, {{5}, {6}});
+  BindingTable out = HashJoin(data, exists);
+  EXPECT_EQ(out.num_rows(), 2u);
+  // Unsatisfied: zero rows annihilate.
+  BindingTable missing = Make({}, {});
+  EXPECT_EQ(HashJoin(data, missing).num_rows(), 0u);
+}
+
+TEST(JoinAllTest, ChainsThreeTables) {
+  BindingTable a = Make({0, 1}, {{1, 2}, {5, 6}});
+  BindingTable b = Make({1, 2}, {{2, 3}});
+  BindingTable c = Make({2, 3}, {{3, 4}, {9, 9}});
+  BindingTable out = JoinAll({a, b, c});
+  ASSERT_EQ(out.num_rows(), 1u);
+  // Columns may be permuted depending on join order; check as a map.
+  std::vector<uint32_t> want_value{1, 2, 3, 4};
+  for (size_t i = 0; i < out.var_ids.size(); ++i) {
+    EXPECT_EQ(out.rows[0][i], want_value[out.var_ids[i]]);
+  }
+}
+
+TEST(JoinAllTest, PrefersConnectedOrder) {
+  // a and c share no vars; b bridges them. JoinAll must not be forced
+  // into a useless cross product blowup (correct result regardless).
+  BindingTable a = Make({0}, {{1}, {2}, {3}});
+  BindingTable b = Make({0, 1}, {{1, 7}, {2, 8}});
+  BindingTable c = Make({1}, {{7}});
+  BindingTable out = JoinAll({a, c, b});
+  EXPECT_EQ(out.num_rows(), 1u);
+}
+
+TEST(JoinAllTest, SingleAndEmptyInputs) {
+  EXPECT_EQ(JoinAll({}).num_rows(), 0u);
+  BindingTable only = Make({2}, {{4}});
+  BindingTable out = JoinAll({only});
+  EXPECT_EQ(out.num_rows(), 1u);
+  EXPECT_EQ(out.var_ids, (std::vector<uint32_t>{2}));
+}
+
+}  // namespace
+}  // namespace mpc::exec

@@ -1,0 +1,42 @@
+#include "exec/network_model.h"
+
+#include "exec/query_classifier.h"
+#include "gtest/gtest.h"
+
+namespace mpc::exec {
+namespace {
+
+TEST(NetworkModelTest, TransferCombinesLatencyAndBandwidth) {
+  NetworkModel net;
+  net.latency_ms = 1.0;
+  net.bytes_per_ms = 1000.0;
+  // 3 messages * 1ms + 5000 bytes / 1000 B/ms = 8ms.
+  EXPECT_DOUBLE_EQ(net.TransferMillis(5000, 3), 8.0);
+  EXPECT_DOUBLE_EQ(net.TransferMillis(0, 0), 0.0);
+}
+
+TEST(NetworkModelTest, DispatchIsPerSiteLatency) {
+  NetworkModel net;
+  net.latency_ms = 0.5;
+  EXPECT_DOUBLE_EQ(net.DispatchMillis(8), 4.0);
+  EXPECT_DOUBLE_EQ(net.DispatchMillis(0), 0.0);
+}
+
+TEST(NetworkModelTest, DefaultsModelScaledDownBandwidth) {
+  NetworkModel net;
+  // See the header: 1 MB/s default compensates the ~1000x dataset
+  // scale-down. 1 MB should take ~1000 ms + latency.
+  EXPECT_NEAR(net.TransferMillis(1'000'000, 1), 1000.0 + net.latency_ms,
+              1e-9);
+}
+
+TEST(IeqClassNameTest, AllClassesNamed) {
+  EXPECT_STREQ(IeqClassName(IeqClass::kInternal), "internal");
+  EXPECT_STREQ(IeqClassName(IeqClass::kExtendedTypeI), "extended-type-I");
+  EXPECT_STREQ(IeqClassName(IeqClass::kExtendedTypeII),
+               "extended-type-II");
+  EXPECT_STREQ(IeqClassName(IeqClass::kNonIeq), "non-IEQ");
+}
+
+}  // namespace
+}  // namespace mpc::exec

@@ -1,0 +1,119 @@
+#include "partition/partition_io.h"
+
+#include <filesystem>
+
+#include "common/random.h"
+#include "gtest/gtest.h"
+#include "partition/subject_hash_partitioner.h"
+#include "partition/vp_partitioner.h"
+#include "rdf/ntriples.h"
+#include "test_util.h"
+
+namespace mpc::partition {
+namespace {
+
+std::string TempDir(const std::string& name) {
+  std::string dir = ::testing::TempDir() + "/" + name;
+  std::filesystem::remove_all(dir);
+  return dir;
+}
+
+TEST(PartitionIoTest, VertexDisjointRoundTrip) {
+  Rng rng(1);
+  rdf::RdfGraph graph = testutil::RandomGraph(rng, 80, 240, 6);
+  PartitionerOptions options{.k = 4, .epsilon = 0.1, .seed = 7};
+  Partitioning original = SubjectHashPartitioner(options).Partition(graph);
+
+  std::string dir = TempDir("mpc_io_vd");
+  ASSERT_TRUE(PartitionIo::Save(graph, original, dir).ok());
+
+  Result<Partitioning> loaded = PartitionIo::Load(graph, dir);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  EXPECT_EQ(loaded->k(), original.k());
+  EXPECT_EQ(loaded->assignment().part, original.assignment().part);
+  EXPECT_EQ(loaded->num_crossing_edges(), original.num_crossing_edges());
+  EXPECT_EQ(loaded->num_crossing_properties(),
+            original.num_crossing_properties());
+  EXPECT_EQ(loaded->crossing_property_mask(),
+            original.crossing_property_mask());
+}
+
+TEST(PartitionIoTest, RoundTripSurvivesReparsedGraph) {
+  // Ids may shift when the data is re-parsed in a different order; the
+  // lexical-form format must still reload correctly.
+  Rng rng(2);
+  rdf::RdfGraph graph = testutil::RandomGraph(rng, 40, 120, 4);
+  PartitionerOptions options{.k = 3, .epsilon = 0.1, .seed = 3};
+  Partitioning original = SubjectHashPartitioner(options).Partition(graph);
+  std::string dir = TempDir("mpc_io_reparse");
+  ASSERT_TRUE(PartitionIo::Save(graph, original, dir).ok());
+
+  // Re-parse the serialized graph: dictionary order changes (sorted
+  // triples rather than insertion order).
+  rdf::GraphBuilder builder;
+  ASSERT_TRUE(rdf::NTriplesParser::ParseDocument(
+                  rdf::SerializeNTriples(graph), &builder)
+                  .ok());
+  rdf::RdfGraph reparsed = builder.Build();
+
+  Result<Partitioning> loaded = PartitionIo::Load(reparsed, dir);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  // Same partition structure, measured by invariant metrics.
+  EXPECT_EQ(loaded->num_crossing_edges(), original.num_crossing_edges());
+  EXPECT_EQ(loaded->num_crossing_properties(),
+            original.num_crossing_properties());
+  // And every vertex's partition agrees via lexical identity.
+  for (size_t v = 0; v < graph.num_vertices(); ++v) {
+    rdf::VertexId rv = reparsed.vertex_dict().Lookup(
+        graph.VertexName(static_cast<rdf::VertexId>(v)));
+    ASSERT_NE(rv, rdf::kInvalidVertex);
+    EXPECT_EQ(loaded->assignment().part[rv], original.assignment().part[v]);
+  }
+}
+
+TEST(PartitionIoTest, EdgeDisjointRoundTrip) {
+  Rng rng(3);
+  rdf::RdfGraph graph = testutil::RandomGraph(rng, 50, 150, 5);
+  PartitionerOptions options{.k = 3, .epsilon = 0.1, .seed = 5};
+  Partitioning original = VpPartitioner(options).Partition(graph);
+  std::string dir = TempDir("mpc_io_ed");
+  ASSERT_TRUE(PartitionIo::Save(graph, original, dir).ok());
+
+  Result<Partitioning> loaded = PartitionIo::Load(graph, dir);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  EXPECT_EQ(loaded->kind(), PartitioningKind::kEdgeDisjoint);
+  ASSERT_EQ(loaded->k(), original.k());
+  for (uint32_t i = 0; i < original.k(); ++i) {
+    EXPECT_EQ(loaded->partition(i).internal_edges.size(),
+              original.partition(i).internal_edges.size());
+  }
+  for (size_t p = 0; p < graph.num_properties(); ++p) {
+    EXPECT_EQ(loaded->PropertyHome(static_cast<rdf::PropertyId>(p)),
+              original.PropertyHome(static_cast<rdf::PropertyId>(p)));
+  }
+}
+
+TEST(PartitionIoTest, LoadMissingDirectoryFails) {
+  Rng rng(4);
+  rdf::RdfGraph graph = testutil::RandomGraph(rng, 10, 30, 2);
+  Result<Partitioning> loaded =
+      PartitionIo::Load(graph, "/nonexistent/mpc_dir");
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.status().code(), StatusCode::kIoError);
+}
+
+TEST(PartitionIoTest, LoadAgainstWrongGraphFails) {
+  Rng rng(5);
+  rdf::RdfGraph graph = testutil::RandomGraph(rng, 30, 90, 3);
+  PartitionerOptions options{.k = 2, .epsilon = 0.1, .seed = 1};
+  Partitioning original = SubjectHashPartitioner(options).Partition(graph);
+  std::string dir = TempDir("mpc_io_wrong");
+  ASSERT_TRUE(PartitionIo::Save(graph, original, dir).ok());
+
+  rdf::RdfGraph other = testutil::RandomGraph(rng, 31, 90, 3);
+  Result<Partitioning> loaded = PartitionIo::Load(other, dir);
+  EXPECT_FALSE(loaded.ok());
+}
+
+}  // namespace
+}  // namespace mpc::partition

@@ -1,0 +1,230 @@
+#include "partition/partitioning.h"
+
+#include <set>
+
+#include "common/random.h"
+#include "gtest/gtest.h"
+#include "partition/edge_cut_partitioner.h"
+#include "partition/subject_hash_partitioner.h"
+#include "partition/vp_partitioner.h"
+#include "test_util.h"
+
+namespace mpc::partition {
+namespace {
+
+using rdf::RdfGraph;
+using rdf::Triple;
+
+RdfGraph Toy() {
+  return testutil::BuildGraph({
+      {"a", "p1", "b"},
+      {"b", "p1", "c"},
+      {"c", "p2", "d"},
+      {"d", "p3", "a"},
+      {"a", "p2", "c"},
+  });
+}
+
+VertexAssignment SplitFirstHalf(const RdfGraph& g, uint32_t k = 2) {
+  VertexAssignment a;
+  a.k = k;
+  a.part.resize(g.num_vertices());
+  for (size_t v = 0; v < g.num_vertices(); ++v) {
+    a.part[v] = static_cast<uint32_t>(v % k);
+  }
+  return a;
+}
+
+TEST(VertexAssignmentTest, Validation) {
+  RdfGraph g = Toy();
+  VertexAssignment a = SplitFirstHalf(g);
+  EXPECT_TRUE(a.Valid(g.num_vertices()));
+  a.part[0] = 5;
+  EXPECT_FALSE(a.Valid(g.num_vertices()));
+  a.part.pop_back();
+  EXPECT_FALSE(a.Valid(g.num_vertices()));
+}
+
+TEST(PartitioningTest, VertexCountsPartitionV) {
+  RdfGraph g = Toy();
+  Partitioning p = Partitioning::MaterializeVertexDisjoint(
+      g, SplitFirstHalf(g));
+  size_t total = 0;
+  for (const Partition& f : p.partitions()) total += f.num_owned_vertices;
+  EXPECT_EQ(total, g.num_vertices());
+}
+
+TEST(PartitioningTest, EveryEdgeAppearsExactlyOnceLogically) {
+  RdfGraph g = Toy();
+  Partitioning p = Partitioning::MaterializeVertexDisjoint(
+      g, SplitFirstHalf(g));
+  // internal edges once + each crossing edge twice (replicas).
+  size_t internal = 0, crossing_replicas = 0;
+  for (const Partition& f : p.partitions()) {
+    internal += f.internal_edges.size();
+    crossing_replicas += f.crossing_edges.size();
+  }
+  EXPECT_EQ(internal + crossing_replicas / 2, g.num_edges());
+  EXPECT_EQ(crossing_replicas, 2 * p.num_crossing_edges());
+}
+
+TEST(PartitioningTest, InternalEdgesStayInside) {
+  RdfGraph g = Toy();
+  VertexAssignment a = SplitFirstHalf(g);
+  Partitioning p = Partitioning::MaterializeVertexDisjoint(g, a);
+  for (uint32_t i = 0; i < p.k(); ++i) {
+    for (const Triple& t : p.partition(i).internal_edges) {
+      EXPECT_EQ(p.assignment().part[t.subject], i);
+      EXPECT_EQ(p.assignment().part[t.object], i);
+    }
+  }
+}
+
+TEST(PartitioningTest, CrossingEdgesReplicatedAtBothEndpoints) {
+  RdfGraph g = Toy();
+  Partitioning p = Partitioning::MaterializeVertexDisjoint(
+      g, SplitFirstHalf(g));
+  const auto& part = p.assignment().part;
+  for (uint32_t i = 0; i < p.k(); ++i) {
+    for (const Triple& t : p.partition(i).crossing_edges) {
+      EXPECT_NE(part[t.subject], part[t.object]);
+      EXPECT_TRUE(part[t.subject] == i || part[t.object] == i);
+    }
+  }
+}
+
+TEST(PartitioningTest, ExtendedVerticesAreForeignCrossingEndpoints) {
+  RdfGraph g = Toy();
+  Partitioning p = Partitioning::MaterializeVertexDisjoint(
+      g, SplitFirstHalf(g));
+  const auto& part = p.assignment().part;
+  for (uint32_t i = 0; i < p.k(); ++i) {
+    std::set<rdf::VertexId> expected;
+    for (const Triple& t : p.partition(i).crossing_edges) {
+      if (part[t.subject] != i) expected.insert(t.subject);
+      if (part[t.object] != i) expected.insert(t.object);
+    }
+    std::set<rdf::VertexId> actual(
+        p.partition(i).extended_vertices.begin(),
+        p.partition(i).extended_vertices.end());
+    EXPECT_EQ(actual, expected) << "partition " << i;
+  }
+}
+
+TEST(PartitioningTest, CrossingPropertyMaskMatchesDefinition) {
+  RdfGraph g = Toy();
+  Partitioning p = Partitioning::MaterializeVertexDisjoint(
+      g, SplitFirstHalf(g));
+  const auto& part = p.assignment().part;
+  for (rdf::PropertyId prop = 0; prop < g.num_properties(); ++prop) {
+    bool any_crossing = false;
+    for (const Triple& t : g.EdgesWithProperty(prop)) {
+      if (part[t.subject] != part[t.object]) any_crossing = true;
+    }
+    EXPECT_EQ(p.IsCrossingProperty(prop), any_crossing)
+        << g.PropertyName(prop);
+  }
+  EXPECT_EQ(p.CrossingProperties().size(), p.num_crossing_properties());
+}
+
+TEST(PartitioningTest, SinglePartitionHasNoCrossings) {
+  RdfGraph g = Toy();
+  VertexAssignment a;
+  a.k = 1;
+  a.part.assign(g.num_vertices(), 0);
+  Partitioning p = Partitioning::MaterializeVertexDisjoint(g, a);
+  EXPECT_EQ(p.num_crossing_edges(), 0u);
+  EXPECT_EQ(p.num_crossing_properties(), 0u);
+  EXPECT_DOUBLE_EQ(p.ReplicationRatio(g), 1.0);
+}
+
+TEST(PartitioningTest, EdgeDisjointMaterialization) {
+  RdfGraph g = Toy();
+  std::vector<uint32_t> triple_part(g.num_edges());
+  for (size_t i = 0; i < triple_part.size(); ++i) {
+    triple_part[i] = static_cast<uint32_t>(i % 2);
+  }
+  Partitioning p = Partitioning::MaterializeEdgeDisjoint(g, 2, triple_part);
+  EXPECT_EQ(p.kind(), PartitioningKind::kEdgeDisjoint);
+  size_t total = 0;
+  for (const Partition& f : p.partitions()) {
+    total += f.internal_edges.size();
+    EXPECT_TRUE(f.crossing_edges.empty());
+  }
+  EXPECT_EQ(total, g.num_edges());
+  EXPECT_EQ(p.num_crossing_properties(), 0u);
+}
+
+TEST(SubjectHashTest, DeterministicAndValid) {
+  RdfGraph g = Toy();
+  PartitionerOptions options{.k = 3, .epsilon = 0.1, .seed = 5};
+  SubjectHashPartitioner partitioner(options);
+  Partitioning p1 = partitioner.Partition(g);
+  Partitioning p2 = partitioner.Partition(g);
+  EXPECT_EQ(p1.assignment().part, p2.assignment().part);
+  EXPECT_TRUE(p1.assignment().Valid(g.num_vertices()));
+}
+
+TEST(SubjectHashTest, SeedChangesAssignment) {
+  Rng rng(1);
+  rdf::RdfGraph g = testutil::RandomGraph(rng, 200, 400, 5);
+  PartitionerOptions a{.k = 4, .epsilon = 0.1, .seed = 1};
+  PartitionerOptions b{.k = 4, .epsilon = 0.1, .seed = 2};
+  EXPECT_NE(SubjectHashPartitioner(a).Partition(g).assignment().part,
+            SubjectHashPartitioner(b).Partition(g).assignment().part);
+}
+
+TEST(SubjectHashTest, RoughlyBalancedOnLargeGraphs) {
+  Rng rng(2);
+  rdf::RdfGraph g = testutil::RandomGraph(rng, 3000, 6000, 10);
+  PartitionerOptions options{.k = 8, .epsilon = 0.1, .seed = 3};
+  Partitioning p = SubjectHashPartitioner(options).Partition(g);
+  EXPECT_LT(p.BalanceRatio(), 1.2);
+}
+
+TEST(VpTest, AllTriplesOfAPropertyShareASite) {
+  Rng rng(3);
+  rdf::RdfGraph g = testutil::RandomGraph(rng, 100, 500, 7);
+  PartitionerOptions options{.k = 4, .epsilon = 0.1, .seed = 4};
+  Partitioning p = VpPartitioner(options).Partition(g);
+  for (uint32_t i = 0; i < p.k(); ++i) {
+    for (const Triple& t : p.partition(i).internal_edges) {
+      EXPECT_EQ(p.PropertyHome(t.property), i);
+    }
+  }
+}
+
+TEST(EdgeCutTest, ProducesValidBalancedPartitioning) {
+  Rng rng(4);
+  rdf::RdfGraph g = testutil::RandomGraph(rng, 800, 2400, 6,
+                                          /*community=*/50);
+  PartitionerOptions options{.k = 8, .epsilon = 0.1, .seed = 5};
+  Partitioning p = EdgeCutPartitioner(options).Partition(g);
+  EXPECT_TRUE(p.assignment().Valid(g.num_vertices()));
+  EXPECT_LE(p.BalanceRatio(), 1.1 + 1e-9);
+}
+
+TEST(EdgeCutTest, CutsFewerEdgesThanHash) {
+  Rng rng(5);
+  rdf::RdfGraph g = testutil::RandomGraph(rng, 1000, 3000, 6,
+                                          /*community=*/50,
+                                          /*escape=*/0.05);
+  PartitionerOptions options{.k = 8, .epsilon = 0.1, .seed = 6};
+  Partitioning metis = EdgeCutPartitioner(options).Partition(g);
+  Partitioning hash = SubjectHashPartitioner(options).Partition(g);
+  EXPECT_LT(metis.num_crossing_edges(), hash.num_crossing_edges());
+}
+
+TEST(MetricsTest, ComputeMetricsFillsFields) {
+  RdfGraph g = Toy();
+  Partitioning p = Partitioning::MaterializeVertexDisjoint(
+      g, SplitFirstHalf(g));
+  PartitionMetrics m = ComputeMetrics("X", g, p);
+  EXPECT_EQ(m.strategy, "X");
+  EXPECT_EQ(m.num_crossing_properties, p.num_crossing_properties());
+  EXPECT_EQ(m.num_crossing_edges, p.num_crossing_edges());
+  EXPECT_GE(m.replication_ratio, 1.0);
+}
+
+}  // namespace
+}  // namespace mpc::partition

@@ -1,0 +1,149 @@
+#include "pg/pg_to_rdf.h"
+
+#include "gtest/gtest.h"
+#include "pg/property_graph.h"
+
+namespace mpc::pg {
+namespace {
+
+/// A small social network: two friend-communities joined by FOLLOWS.
+PropertyGraph SocialNetwork() {
+  PropertyGraph graph;
+  for (int c = 0; c < 2; ++c) {
+    for (int i = 0; i < 6; ++i) {
+      std::string id = "u" + std::to_string(c * 6 + i);
+      EXPECT_TRUE(graph
+                      .AddVertex(id, "Person",
+                                 {{"name", "Name" + id},
+                                  {"age", std::to_string(20 + i)}})
+                      .ok());
+    }
+  }
+  // Dense FRIEND edges within each community.
+  for (int c = 0; c < 2; ++c) {
+    for (int i = 0; i < 5; ++i) {
+      std::string a = "u" + std::to_string(c * 6 + i);
+      std::string b = "u" + std::to_string(c * 6 + i + 1);
+      EXPECT_TRUE(graph.AddEdgeById(a, b, "FRIEND").ok());
+    }
+  }
+  // One FOLLOWS edge across.
+  EXPECT_TRUE(graph.AddEdgeById("u0", "u6", "FOLLOWS",
+                                {{"since", "2020"}})
+                  .ok());
+  return graph;
+}
+
+TEST(PropertyGraphTest, BasicConstruction) {
+  PropertyGraph graph = SocialNetwork();
+  EXPECT_EQ(graph.num_vertices(), 12u);
+  EXPECT_EQ(graph.num_edges(), 11u);
+  auto labels = graph.EdgeLabels();
+  ASSERT_EQ(labels.size(), 2u);
+  EXPECT_EQ(labels[0], "FOLLOWS");
+  EXPECT_EQ(labels[1], "FRIEND");
+}
+
+TEST(PropertyGraphTest, RejectsDuplicateAndUnknownIds) {
+  PropertyGraph graph;
+  ASSERT_TRUE(graph.AddVertex("a", "X").ok());
+  EXPECT_FALSE(graph.AddVertex("a", "Y").ok());
+  EXPECT_FALSE(graph.AddEdgeById("a", "nope", "L").ok());
+  EXPECT_FALSE(graph.AddEdge(0, 99, "L").ok());
+  EXPECT_FALSE(graph.IndexOf("nope").ok());
+  EXPECT_EQ(*graph.IndexOf("a"), 0u);
+}
+
+TEST(PgToRdfTest, DirectMappingCounts) {
+  PropertyGraph graph = SocialNetwork();
+  rdf::RdfGraph rdf_graph = ToRdfGraph(graph);
+  // 12 type triples + 24 attribute triples + 11 relationship triples.
+  EXPECT_EQ(rdf_graph.num_edges(), 12u + 24u + 11u);
+  // Properties: rdf:type, key/name, key/age, rel/FRIEND, rel/FOLLOWS.
+  EXPECT_EQ(rdf_graph.num_properties(), 5u);
+}
+
+TEST(PgToRdfTest, MappingTogglesRespected) {
+  PropertyGraph graph = SocialNetwork();
+  PgMappingOptions options;
+  options.emit_vertex_labels = false;
+  options.emit_vertex_attributes = false;
+  rdf::RdfGraph rdf_graph = ToRdfGraph(graph, options);
+  EXPECT_EQ(rdf_graph.num_edges(), 11u);  // relationships only
+  EXPECT_EQ(rdf_graph.num_properties(), 2u);
+}
+
+TEST(PgToRdfTest, ReificationKeepsEdgeAttributes) {
+  PropertyGraph graph = SocialNetwork();
+  PgMappingOptions options;
+  options.reify_attributed_edges = true;
+  rdf::RdfGraph rdf_graph = ToRdfGraph(graph, options);
+  // The FOLLOWS edge (1 attribute) reifies into 4 triples instead of 1.
+  EXPECT_EQ(rdf_graph.num_edges(), 12u + 24u + 10u + 4u);
+  // New properties: from, to (type reused; key/since new).
+  rdf::PropertyId from =
+      rdf_graph.property_dict().Lookup("<http://example.org/pg/from>");
+  EXPECT_NE(from, rdf::kInvalidVertex);
+}
+
+TEST(PgPartitionTest, CommunitiesStayTogether) {
+  PropertyGraph graph = SocialNetwork();
+  core::MpcOptions options;
+  options.k = 2;
+  options.epsilon = 2.0;  // tiny toy graph: generous balance
+  options.strategy = core::SelectionStrategy::kGreedy;
+  Result<PgPartitionResult> result =
+      PartitionPropertyGraph(graph, options);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_EQ(result->vertex_partition.size(), 12u);
+  // FRIEND should be internal (community-local); the crossing labels, if
+  // any, can only be FOLLOWS.
+  for (const std::string& label : result->crossing_edge_labels) {
+    EXPECT_EQ(label, "FOLLOWS");
+  }
+  // All u0..u5 together, all u6..u11 together.
+  uint32_t p0 = result->vertex_partition.at("u0");
+  for (int i = 1; i < 6; ++i) {
+    EXPECT_EQ(result->vertex_partition.at("u" + std::to_string(i)), p0);
+  }
+  uint32_t p1 = result->vertex_partition.at("u6");
+  for (int i = 7; i < 12; ++i) {
+    EXPECT_EQ(result->vertex_partition.at("u" + std::to_string(i)), p1);
+  }
+}
+
+TEST(PgPartitionTest, FewLabelRegimeLeavesEverythingCrossing) {
+  // The Section VII conjecture in miniature: one label covering a
+  // connected graph can never be internal, so MPC degenerates to plain
+  // min edge-cut (crossing label set = the whole label set).
+  PropertyGraph graph;
+  for (int i = 0; i < 40; ++i) {
+    ASSERT_TRUE(
+        graph.AddVertex("n" + std::to_string(i), "Node").ok());
+  }
+  for (int i = 0; i + 1 < 40; ++i) {
+    ASSERT_TRUE(graph
+                    .AddEdgeById("n" + std::to_string(i),
+                                 "n" + std::to_string(i + 1), "LINK")
+                    .ok());
+  }
+  core::MpcOptions options;
+  options.k = 4;
+  options.epsilon = 0.1;
+  PgMappingOptions mapping;
+  mapping.emit_vertex_labels = false;
+  Result<PgPartitionResult> result =
+      PartitionPropertyGraph(graph, options, mapping);
+  ASSERT_TRUE(result.ok());
+  ASSERT_EQ(result->crossing_edge_labels.size(), 1u);
+  EXPECT_EQ(result->crossing_edge_labels[0], "LINK");
+}
+
+TEST(PgPartitionTest, EmptyGraphRejected) {
+  PropertyGraph graph;
+  core::MpcOptions options;
+  EXPECT_FALSE(PartitionPropertyGraph(graph, options).ok());
+}
+
+}  // namespace
+}  // namespace mpc::pg

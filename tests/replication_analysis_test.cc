@@ -1,0 +1,100 @@
+#include "partition/replication_analysis.h"
+
+#include "common/random.h"
+#include "gtest/gtest.h"
+#include "partition/subject_hash_partitioner.h"
+#include "test_util.h"
+
+namespace mpc::partition {
+namespace {
+
+using rdf::RdfGraph;
+
+TEST(ReplicationAnalysisTest, HopOneMatchesPartitioningReplication) {
+  Rng rng(1);
+  RdfGraph graph = testutil::RandomGraph(rng, 60, 200, 5);
+  PartitionerOptions options{.k = 4, .epsilon = 0.1, .seed = 2};
+  Partitioning p = SubjectHashPartitioner(options).Partition(graph);
+
+  auto costs = AnalyzeKHopReplication(graph, p, 1);
+  ASSERT_EQ(costs.size(), 1u);
+  EXPECT_EQ(costs[0].hops, 1u);
+  // Stored = internal once + crossing twice (dedup within a site can
+  // only reduce relative to the raw sum, but partitions store distinct
+  // triples, so equality holds).
+  uint64_t expected = 0;
+  for (const Partition& part : p.partitions()) {
+    expected += part.internal_edges.size() + part.crossing_edges.size();
+  }
+  EXPECT_EQ(costs[0].stored_triples, expected);
+  EXPECT_DOUBLE_EQ(costs[0].replication_ratio, p.ReplicationRatio(graph));
+}
+
+TEST(ReplicationAnalysisTest, CostIsMonotoneInHops) {
+  Rng rng(2);
+  RdfGraph graph = testutil::RandomGraph(rng, 80, 300, 6);
+  PartitionerOptions options{.k = 4, .epsilon = 0.1, .seed = 3};
+  Partitioning p = SubjectHashPartitioner(options).Partition(graph);
+
+  auto costs = AnalyzeKHopReplication(graph, p, 4);
+  ASSERT_EQ(costs.size(), 4u);
+  for (size_t i = 1; i < costs.size(); ++i) {
+    EXPECT_GE(costs[i].stored_triples, costs[i - 1].stored_triples);
+    EXPECT_GE(costs[i].max_site_triples, costs[i - 1].max_site_triples);
+  }
+  // Replication is bounded by full copies everywhere.
+  EXPECT_LE(costs.back().stored_triples,
+            static_cast<uint64_t>(graph.num_edges()) * p.k());
+}
+
+TEST(ReplicationAnalysisTest, ConvergesToFullReplicationOnConnectedGraph) {
+  // A chain split across 2 sites: enough hops replicate everything at
+  // both sites (ratio -> 2).
+  rdf::GraphBuilder builder;
+  for (int i = 0; i < 10; ++i) {
+    builder.Add("<t:v" + std::to_string(i) + ">", "<t:p>",
+                "<t:v" + std::to_string(i + 1) + ">");
+  }
+  RdfGraph graph = builder.Build();
+  VertexAssignment assignment;
+  assignment.k = 2;
+  assignment.part.resize(graph.num_vertices());
+  for (size_t v = 0; v < graph.num_vertices(); ++v) {
+    // Vertices are interned in chain order, so the first half is site 0.
+    assignment.part[v] = v < graph.num_vertices() / 2 ? 0 : 1;
+  }
+  Partitioning p =
+      Partitioning::MaterializeVertexDisjoint(graph, std::move(assignment));
+  auto costs = AnalyzeKHopReplication(graph, p, 12);
+  EXPECT_DOUBLE_EQ(costs.back().replication_ratio, 2.0);
+  EXPECT_LT(costs.front().replication_ratio, 2.0);
+}
+
+TEST(ReplicationAnalysisTest, NoCrossingEdgesMeansFlatCost) {
+  // Two disconnected components, each fully on one site: no crossing
+  // edges, so every hop level stores exactly |E|.
+  RdfGraph graph = testutil::BuildGraph({
+      {"a", "p", "b"},
+      {"b", "p", "c"},
+      {"x", "q", "y"},
+      {"y", "q", "z"},
+  });
+  VertexAssignment assignment;
+  assignment.k = 2;
+  assignment.part.resize(graph.num_vertices());
+  for (size_t v = 0; v < graph.num_vertices(); ++v) {
+    const std::string& name = graph.VertexName(static_cast<uint32_t>(v));
+    assignment.part[v] = (name[3] <= 'c') ? 0 : 1;
+  }
+  Partitioning p =
+      Partitioning::MaterializeVertexDisjoint(graph, std::move(assignment));
+  ASSERT_EQ(p.num_crossing_edges(), 0u);
+  auto costs = AnalyzeKHopReplication(graph, p, 3);
+  for (const ReplicationCost& c : costs) {
+    EXPECT_EQ(c.stored_triples, graph.num_edges());
+    EXPECT_DOUBLE_EQ(c.replication_ratio, 1.0);
+  }
+}
+
+}  // namespace
+}  // namespace mpc::partition

@@ -1,0 +1,132 @@
+// Cross-cutting round-trip and invariant property tests: query
+// serialization, graph serialization, logging/timer utilities, and the
+// Theorem 2 invariant checked on every generated dataset.
+
+#include <set>
+#include <thread>
+
+#include "common/logging.h"
+#include "common/random.h"
+#include "common/timer.h"
+#include "gtest/gtest.h"
+#include "mpc/mpc_partitioner.h"
+#include "rdf/ntriples.h"
+#include "sparql/parser.h"
+#include "test_util.h"
+#include "workload/datasets.h"
+
+namespace mpc {
+namespace {
+
+// Query -> ToString -> parse -> ToString must be a fixpoint.
+TEST(RoundTripTest, QueryToStringParseFixpoint) {
+  for (const char* text : {
+           "SELECT * WHERE { ?x <http://p> ?y . }",
+           "SELECT ?x ?z WHERE { ?x <http://p> ?y . ?y ?q ?z . }",
+           "SELECT DISTINCT ?x WHERE { ?x <http://p> \"v\"@en . } LIMIT 7",
+           "SELECT * WHERE { <http://s> a <http://C> . ?x <http://p> "
+           "<http://s> . }",
+       }) {
+    sparql::QueryGraph q1 = testutil::ParseQueryOrDie(text);
+    std::string printed = q1.ToString();
+    sparql::QueryGraph q2 = testutil::ParseQueryOrDie(printed);
+    EXPECT_EQ(q2.ToString(), printed) << "not a fixpoint for: " << text;
+    EXPECT_EQ(q2.num_patterns(), q1.num_patterns());
+    EXPECT_EQ(q2.num_variables(), q1.num_variables());
+    EXPECT_EQ(q2.limit(), q1.limit());
+    EXPECT_EQ(q2.distinct(), q1.distinct());
+  }
+}
+
+// Random graphs serialize/parse to the identical triple set. Note the
+// comparison is as a line *set*: serialization order follows dictionary
+// ids, which legitimately differ between the original and the re-parsed
+// graph.
+TEST(RoundTripTest, RandomGraphNTriplesRoundTrip) {
+  Rng rng(5);
+  auto line_set = [](const std::string& text) {
+    std::set<std::string> lines;
+    size_t start = 0;
+    while (start < text.size()) {
+      size_t end = text.find('\n', start);
+      if (end == std::string::npos) end = text.size();
+      if (end > start) lines.insert(text.substr(start, end - start));
+      start = end + 1;
+    }
+    return lines;
+  };
+  for (int round = 0; round < 10; ++round) {
+    rdf::RdfGraph g =
+        testutil::RandomGraph(rng, 30 + rng.Below(50), 100, 4);
+    std::string text = rdf::SerializeNTriples(g);
+    rdf::GraphBuilder builder;
+    ASSERT_TRUE(rdf::NTriplesParser::ParseDocument(text, &builder).ok());
+    rdf::RdfGraph g2 = builder.Build();
+    ASSERT_EQ(g2.num_edges(), g.num_edges());
+    EXPECT_EQ(line_set(rdf::SerializeNTriples(g2)), line_set(text));
+  }
+}
+
+// Theorem 2 end-to-end on every generated dataset: after MPC, no edge of
+// an internal property crosses partitions.
+TEST(RoundTripTest, Theorem2HoldsOnEveryDataset) {
+  for (workload::DatasetId id : workload::AllDatasets()) {
+    workload::GeneratedDataset d = workload::MakeDataset(id, 0.1, 9);
+    core::MpcOptions options;
+    options.k = 4;
+    options.epsilon = 0.1;
+    core::MpcPartitioner partitioner(options);
+    core::MpcRunStats stats;
+    partition::Partitioning p =
+        partitioner.PartitionWithStats(d.graph, &stats);
+    const auto& part = p.assignment().part;
+    for (size_t prop = 0; prop < d.graph.num_properties(); ++prop) {
+      if (!stats.selection.internal[prop]) continue;
+      for (const rdf::Triple& t : d.graph.EdgesWithProperty(
+               static_cast<rdf::PropertyId>(prop))) {
+        ASSERT_EQ(part[t.subject], part[t.object])
+            << workload::DatasetName(id) << " property "
+            << d.graph.PropertyName(static_cast<rdf::PropertyId>(prop));
+      }
+    }
+  }
+}
+
+TEST(TimerTest, MeasuresElapsedTime) {
+  Timer timer;
+  std::this_thread::sleep_for(std::chrono::milliseconds(12));
+  double ms = timer.ElapsedMillis();
+  EXPECT_GE(ms, 10.0);
+  EXPECT_LT(ms, 500.0);
+  EXPECT_NEAR(timer.ElapsedSeconds() * 1000.0, timer.ElapsedMillis(),
+              5.0);
+  timer.Reset();
+  EXPECT_LT(timer.ElapsedMillis(), 10.0);
+}
+
+TEST(LoggingTest, ThresholdFiltersMessages) {
+  LogLevel old_level = GetLogLevel();
+  SetLogLevel(LogLevel::kError);
+  testing::internal::CaptureStderr();
+  MPC_LOG(Info) << "should be dropped";
+  MPC_LOG(Error) << "should appear";
+  std::string captured = testing::internal::GetCapturedStderr();
+  EXPECT_EQ(captured.find("should be dropped"), std::string::npos);
+  EXPECT_NE(captured.find("should appear"), std::string::npos);
+  EXPECT_NE(captured.find("ERROR"), std::string::npos);
+  SetLogLevel(old_level);
+}
+
+TEST(LoggingTest, IncludesSourceLocation) {
+  LogLevel old_level = GetLogLevel();
+  SetLogLevel(LogLevel::kDebug);
+  testing::internal::CaptureStderr();
+  MPC_LOG(Warning) << "locate me";
+  std::string captured = testing::internal::GetCapturedStderr();
+  EXPECT_NE(captured.find("roundtrip_test.cc"), std::string::npos)
+      << captured;
+  SetLogLevel(old_level);
+}
+
+}  // namespace
+}  // namespace mpc

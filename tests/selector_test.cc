@@ -1,0 +1,212 @@
+#include "mpc/selector.h"
+
+#include <set>
+
+#include "common/random.h"
+#include "dsf/disjoint_set_forest.h"
+#include "gtest/gtest.h"
+#include "test_util.h"
+
+namespace mpc::core {
+namespace {
+
+using rdf::RdfGraph;
+
+size_t CostOfSelection(const RdfGraph& g, const std::vector<bool>& mask) {
+  dsf::DisjointSetForest forest(g.num_vertices());
+  for (size_t p = 0; p < mask.size(); ++p) {
+    if (mask[p]) {
+      forest.AddEdges(g.EdgesWithProperty(static_cast<rdf::PropertyId>(p)));
+    }
+  }
+  bool any = false;
+  for (bool b : mask) any |= b;
+  return any ? forest.max_component_size() : 0;
+}
+
+/// Brute force: maximum feasible |L_in| over all 2^|L| subsets.
+size_t BruteForceOptimum(const RdfGraph& g, size_t cap) {
+  const size_t num_props = g.num_properties();
+  size_t best = 0;
+  for (uint64_t bits = 0; bits < (1ULL << num_props); ++bits) {
+    std::vector<bool> mask(num_props);
+    size_t count = 0;
+    for (size_t p = 0; p < num_props; ++p) {
+      if (bits & (1ULL << p)) {
+        mask[p] = true;
+        ++count;
+      }
+    }
+    if (count <= best) continue;
+    if (CostOfSelection(g, mask) <= cap) best = count;
+  }
+  return best;
+}
+
+TEST(BalanceCapTest, Formula) {
+  RdfGraph g = testutil::BuildGraph({{"a", "p", "b"}, {"c", "p", "d"}});
+  // |V| = 4, k = 2, eps = 0.5 -> cap = 1.5 * 4 / 2 = 3.
+  EXPECT_EQ(BalanceCap(g, 2, 0.5), 3u);
+  EXPECT_EQ(BalanceCap(g, 0, 0.5), 4u);  // degenerate k
+}
+
+TEST(GreedySelectorTest, Fig2ExampleSelectsAllButBirthPlace) {
+  // The quickstart graph: birthPlace is the global connector.
+  RdfGraph g = testutil::BuildGraph({
+      {"002", "birthPlace", "001"},
+      {"003", "birthPlace", "001"},
+      {"003", "spouse", "002"},
+      {"003", "birthPlace", "010"},
+      {"010", "foundingDate", "011"},
+      {"004", "birthPlace", "010"},
+      {"005", "starring", "004"},
+      {"005", "chronology", "007"},
+      {"006", "residence", "004"},
+      {"007", "starring", "008"},
+      {"008", "residence", "009"},
+      {"002", "birthPlace", "009"},
+  });
+  SelectorOptions options{.k = 2, .epsilon = 0.6};
+  SelectionResult result = GreedySelector(options).Select(g);
+  rdf::PropertyId birth = g.property_dict().Lookup("<t:birthPlace>");
+  ASSERT_NE(birth, rdf::kInvalidVertex);
+  EXPECT_FALSE(result.internal[birth]);
+  EXPECT_EQ(result.num_internal, g.num_properties() - 1);
+}
+
+TEST(GreedySelectorTest, RespectsCapInvariant) {
+  Rng rng(21);
+  for (int round = 0; round < 10; ++round) {
+    RdfGraph g = testutil::RandomGraph(rng, 100, 300, 8, /*community=*/10);
+    SelectorOptions options{.k = 4, .epsilon = 0.1};
+    SelectionResult result = GreedySelector(options).Select(g);
+    size_t cap = BalanceCap(g, options.k, options.epsilon);
+    EXPECT_LE(CostOfSelection(g, result.internal), cap);
+    EXPECT_EQ(result.final_cost, CostOfSelection(g, result.internal));
+    size_t count = 0;
+    for (bool b : result.internal) count += b;
+    EXPECT_EQ(count, result.num_internal);
+  }
+}
+
+TEST(GreedySelectorTest, PrunesGiantProperty) {
+  // One property forms a 51-vertex chain; with |V| = 101 and k = 4 the
+  // cap is ~27, so the chain alone is infeasible and gets pruned.
+  rdf::GraphBuilder builder;
+  for (int i = 0; i < 50; ++i) {
+    builder.Add("<t:v" + std::to_string(i) + ">", "<t:chain>",
+                "<t:v" + std::to_string(i + 1) + ">");
+    builder.Add("<t:v" + std::to_string(i) + ">", "<t:attr>",
+                "\"lit" + std::to_string(i) + "\"");
+  }
+  RdfGraph g = builder.Build();
+  SelectorOptions options{.k = 4, .epsilon = 0.1};
+  SelectionResult result = GreedySelector(options).Select(g);
+  rdf::PropertyId chain = g.property_dict().Lookup("<t:chain>");
+  EXPECT_FALSE(result.internal[chain]);
+  EXPECT_EQ(result.pruned_properties, 1u);
+  rdf::PropertyId attr = g.property_dict().Lookup("<t:attr>");
+  EXPECT_TRUE(result.internal[attr]);
+}
+
+TEST(GreedySelectorTest, EmptyGraph) {
+  rdf::GraphBuilder builder;
+  RdfGraph g = builder.Build();
+  SelectorOptions options{.k = 2, .epsilon = 0.1};
+  SelectionResult result = GreedySelector(options).Select(g);
+  EXPECT_EQ(result.num_internal, 0u);
+  EXPECT_EQ(result.final_cost, 0u);
+}
+
+TEST(BackwardSelectorTest, RespectsCapAndMatchesCount) {
+  Rng rng(23);
+  for (int round = 0; round < 10; ++round) {
+    RdfGraph g = testutil::RandomGraph(rng, 120, 360, 12, /*community=*/12);
+    SelectorOptions options{.k = 4, .epsilon = 0.1};
+    SelectionResult result = BackwardSelector(options).Select(g);
+    size_t cap = BalanceCap(g, options.k, options.epsilon);
+    EXPECT_LE(CostOfSelection(g, result.internal), cap);
+    size_t count = 0;
+    for (bool b : result.internal) count += b;
+    EXPECT_EQ(count, result.num_internal);
+  }
+}
+
+TEST(BackwardSelectorTest, KeepsEverythingWhenFeasible) {
+  // Disconnected tiny components: all properties can stay internal.
+  RdfGraph g = testutil::BuildGraph({
+      {"a", "p1", "b"},
+      {"c", "p2", "d"},
+      {"e", "p3", "f"},
+  });
+  SelectorOptions options{.k = 2, .epsilon = 0.5};  // cap = 4.5
+  SelectionResult result = BackwardSelector(options).Select(g);
+  EXPECT_EQ(result.num_internal, 3u);
+}
+
+TEST(ExactSelectorTest, MatchesBruteForceOnSmallGraphs) {
+  Rng rng(29);
+  for (int round = 0; round < 12; ++round) {
+    RdfGraph g = testutil::RandomGraph(rng, 24, 60, 8, /*community=*/6);
+    SelectorOptions options{.k = 3, .epsilon = 0.2};
+    size_t cap = BalanceCap(g, options.k, options.epsilon);
+    SelectionResult exact = ExactSelector(options).Select(g);
+    EXPECT_TRUE(exact.optimal);
+    EXPECT_LE(CostOfSelection(g, exact.internal), cap);
+    EXPECT_EQ(exact.num_internal, BruteForceOptimum(g, cap))
+        << "round " << round;
+  }
+}
+
+TEST(ExactSelectorTest, NeverWorseThanGreedy) {
+  Rng rng(31);
+  for (int round = 0; round < 8; ++round) {
+    RdfGraph g = testutil::RandomGraph(rng, 60, 200, 10, /*community=*/10);
+    SelectorOptions options{.k = 4, .epsilon = 0.1};
+    SelectionResult greedy = GreedySelector(options).Select(g);
+    SelectionResult exact = ExactSelector(options).Select(g);
+    EXPECT_GE(exact.num_internal, greedy.num_internal);
+  }
+}
+
+TEST(ExactSelectorTest, BudgetExhaustionFallsBackGracefully) {
+  Rng rng(37);
+  RdfGraph g = testutil::RandomGraph(rng, 100, 400, 16, /*community=*/10);
+  SelectorOptions options{.k = 4, .epsilon = 0.1};
+  options.exact_node_budget = 10;  // absurdly small
+  SelectionResult result = ExactSelector(options).Select(g);
+  EXPECT_FALSE(result.optimal);
+  // Still a feasible answer (the greedy seed).
+  EXPECT_LE(CostOfSelection(g, result.internal),
+            BalanceCap(g, options.k, options.epsilon));
+}
+
+TEST(AutoSelectorTest, SwitchesOnPropertyCount) {
+  Rng rng(41);
+  RdfGraph small = testutil::RandomGraph(rng, 50, 150, 5, 10);
+  SelectorOptions options{.k = 2, .epsilon = 0.2};
+  // threshold 3 < 5 properties -> backward; both must be feasible anyway.
+  SelectionResult via_auto = AutoSelector(options, 3).Select(small);
+  SelectionResult via_backward = BackwardSelector(options).Select(small);
+  EXPECT_EQ(via_auto.num_internal, via_backward.num_internal);
+  SelectionResult via_auto2 = AutoSelector(options, 100).Select(small);
+  SelectionResult via_greedy = GreedySelector(options).Select(small);
+  EXPECT_EQ(via_auto2.num_internal, via_greedy.num_internal);
+}
+
+// Monotonicity property: growing epsilon (a looser cap) never shrinks
+// the greedy internal set size.
+TEST(GreedySelectorTest, MonotoneInEpsilon) {
+  Rng rng(43);
+  RdfGraph g = testutil::RandomGraph(rng, 150, 450, 10, /*community=*/15);
+  size_t prev = 0;
+  for (double eps : {0.0, 0.1, 0.5, 1.0, 4.0}) {
+    SelectorOptions options{.k = 4, .epsilon = eps};
+    SelectionResult result = GreedySelector(options).Select(g);
+    EXPECT_GE(result.num_internal, prev) << "eps=" << eps;
+    prev = result.num_internal;
+  }
+}
+
+}  // namespace
+}  // namespace mpc::core

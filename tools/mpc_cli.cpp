@@ -1,0 +1,312 @@
+// mpc — command-line front end for the library.
+//
+//   mpc stats <data.nt>
+//   mpc partition <data.nt> <out_dir> [--strategy=mpc|hash|vp|metis]
+//                 [--k=N] [--epsilon=E] [--seed=S]
+//   mpc classify <data.nt> <partition_dir> <sparql...>
+//   mpc explain <data.nt> <partition_dir> <sparql...>
+//   mpc query <data.nt> <partition_dir> <sparql...>
+//
+// The SPARQL argument may be a file path or an inline query string.
+
+#include <filesystem>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "common/string_util.h"
+#include "common/timer.h"
+#include "exec/cluster.h"
+#include "exec/decomposer.h"
+#include "exec/distributed_executor.h"
+#include "exec/explain.h"
+#include "exec/query_classifier.h"
+#include "mpc/mpc_partitioner.h"
+#include "partition/edge_cut_partitioner.h"
+#include "partition/partition_io.h"
+#include "partition/subject_hash_partitioner.h"
+#include "partition/vp_partitioner.h"
+#include "rdf/ntriples.h"
+#include "rdf/stats.h"
+#include "sparql/parser.h"
+
+namespace {
+
+using namespace mpc;
+
+int Usage() {
+  std::cerr <<
+      R"(usage:
+  mpc stats <data.nt>
+  mpc partition <data.nt> <out_dir> [--strategy=mpc|hash|vp|metis]
+                [--k=N] [--epsilon=E] [--seed=S]
+  mpc classify <data.nt> <partition_dir> <sparql-or-file>
+  mpc explain <data.nt> <partition_dir> <sparql-or-file>
+  mpc query <data.nt> <partition_dir> <sparql-or-file>
+)";
+  return 2;
+}
+
+/// Parses "--key=value" flags out of argv, returning positional args.
+struct Flags {
+  std::string strategy = "mpc";
+  uint32_t k = 8;
+  double epsilon = 0.1;
+  uint64_t seed = 1;
+  std::vector<std::string> positional;
+
+  static Result<Flags> Parse(int argc, char** argv, int first) {
+    Flags flags;
+    for (int i = first; i < argc; ++i) {
+      std::string arg = argv[i];
+      if (arg.rfind("--", 0) != 0) {
+        flags.positional.push_back(std::move(arg));
+        continue;
+      }
+      size_t eq = arg.find('=');
+      if (eq == std::string::npos) {
+        return Status::InvalidArgument("flag needs a value: " + arg);
+      }
+      std::string key = arg.substr(2, eq - 2);
+      std::string value = arg.substr(eq + 1);
+      if (key == "strategy") {
+        flags.strategy = value;
+      } else if (key == "k") {
+        flags.k = static_cast<uint32_t>(std::stoul(value));
+      } else if (key == "epsilon") {
+        flags.epsilon = std::stod(value);
+      } else if (key == "seed") {
+        flags.seed = std::stoull(value);
+      } else {
+        return Status::InvalidArgument("unknown flag --" + key);
+      }
+    }
+    return flags;
+  }
+};
+
+Result<rdf::RdfGraph> LoadGraph(const std::string& path) {
+  rdf::GraphBuilder builder;
+  Status st = rdf::NTriplesParser::ParseFile(path, &builder);
+  if (!st.ok()) return st;
+  return builder.Build();
+}
+
+/// The argument is a file path if it exists on disk; otherwise inline
+/// SPARQL text.
+std::string LoadQueryText(const std::string& arg) {
+  std::error_code ec;
+  if (std::filesystem::exists(arg, ec) && !ec) {
+    std::ifstream in(arg, std::ios::binary);
+    std::ostringstream buffer;
+    buffer << in.rdbuf();
+    return buffer.str();
+  }
+  return arg;
+}
+
+int CmdStats(const Flags& flags) {
+  if (flags.positional.size() != 1) return Usage();
+  Result<rdf::RdfGraph> graph = LoadGraph(flags.positional[0]);
+  if (!graph.ok()) {
+    std::cerr << graph.status().ToString() << "\n";
+    return 1;
+  }
+  rdf::DatasetStats stats =
+      rdf::ComputeStats(flags.positional[0], *graph);
+  std::cout << "entities:   " << FormatWithCommas(stats.num_entities)
+            << "\ntriples:    " << FormatWithCommas(stats.num_triples)
+            << "\nproperties: " << FormatWithCommas(stats.num_properties)
+            << "\ntop-property share: "
+            << FormatDouble(100.0 * rdf::TopPropertyShare(*graph), 2)
+            << "%\n";
+  auto histogram = rdf::PropertyHistogram(*graph);
+  std::cout << "property frequency head:";
+  for (size_t i = 0; i < std::min<size_t>(8, histogram.size()); ++i) {
+    std::cout << " " << FormatWithCommas(histogram[i]);
+  }
+  std::cout << "\n";
+  return 0;
+}
+
+int CmdPartition(const Flags& flags) {
+  if (flags.positional.size() != 2) return Usage();
+  Result<rdf::RdfGraph> graph = LoadGraph(flags.positional[0]);
+  if (!graph.ok()) {
+    std::cerr << graph.status().ToString() << "\n";
+    return 1;
+  }
+
+  Timer timer;
+  partition::Partitioning partitioning;
+  if (flags.strategy == "mpc") {
+    core::MpcOptions options;
+    options.k = flags.k;
+    options.epsilon = flags.epsilon;
+    options.seed = flags.seed;
+    partitioning = core::MpcPartitioner(options).Partition(*graph);
+  } else {
+    partition::PartitionerOptions options{
+        .k = flags.k, .epsilon = flags.epsilon, .seed = flags.seed};
+    if (flags.strategy == "hash") {
+      partitioning =
+          partition::SubjectHashPartitioner(options).Partition(*graph);
+    } else if (flags.strategy == "vp") {
+      partitioning = partition::VpPartitioner(options).Partition(*graph);
+    } else if (flags.strategy == "metis") {
+      partitioning =
+          partition::EdgeCutPartitioner(options).Partition(*graph);
+    } else {
+      std::cerr << "unknown strategy: " << flags.strategy << "\n";
+      return 2;
+    }
+  }
+  double millis = timer.ElapsedMillis();
+
+  Status st = partition::PartitionIo::Save(*graph, partitioning,
+                                           flags.positional[1]);
+  if (!st.ok()) {
+    std::cerr << st.ToString() << "\n";
+    return 1;
+  }
+  std::cout << "strategy:            " << flags.strategy << " (k="
+            << flags.k << ", eps=" << flags.epsilon << ")\n"
+            << "partitioning time:   " << FormatMillis(millis) << " ms\n"
+            << "crossing properties: "
+            << FormatWithCommas(partitioning.num_crossing_properties())
+            << " / " << FormatWithCommas(graph->num_properties()) << "\n"
+            << "crossing edges:      "
+            << FormatWithCommas(partitioning.num_crossing_edges()) << "\n"
+            << "balance ratio:       "
+            << FormatDouble(partitioning.BalanceRatio(), 3) << "\n"
+            << "replication ratio:   "
+            << FormatDouble(partitioning.ReplicationRatio(*graph), 3)
+            << "\nwritten to:          " << flags.positional[1] << "\n";
+  return 0;
+}
+
+int CmdExplain(const Flags& flags) {
+  if (flags.positional.size() != 3) return Usage();
+  Result<rdf::RdfGraph> graph = LoadGraph(flags.positional[0]);
+  if (!graph.ok()) {
+    std::cerr << graph.status().ToString() << "\n";
+    return 1;
+  }
+  Result<partition::Partitioning> partitioning =
+      partition::PartitionIo::Load(*graph, flags.positional[1]);
+  if (!partitioning.ok()) {
+    std::cerr << partitioning.status().ToString() << "\n";
+    return 1;
+  }
+  Result<sparql::QueryGraph> query =
+      sparql::SparqlParser::Parse(LoadQueryText(flags.positional[2]));
+  if (!query.ok()) {
+    std::cerr << query.status().ToString() << "\n";
+    return 1;
+  }
+  if (partitioning->kind() != partition::PartitioningKind::kVertexDisjoint) {
+    std::cerr << "explain requires a vertex-disjoint partitioning\n";
+    return 1;
+  }
+  exec::Cluster cluster = exec::Cluster::Build(std::move(*partitioning));
+  std::cout << exec::ExplainQuery(*query, cluster.partitioning(), *graph,
+                                  &cluster);
+  return 0;
+}
+
+int CmdClassifyOrQuery(const Flags& flags, bool execute) {
+  if (flags.positional.size() != 3) return Usage();
+  Result<rdf::RdfGraph> graph = LoadGraph(flags.positional[0]);
+  if (!graph.ok()) {
+    std::cerr << graph.status().ToString() << "\n";
+    return 1;
+  }
+  Result<partition::Partitioning> partitioning =
+      partition::PartitionIo::Load(*graph, flags.positional[1]);
+  if (!partitioning.ok()) {
+    std::cerr << partitioning.status().ToString() << "\n";
+    return 1;
+  }
+  Result<sparql::QueryGraph> query =
+      sparql::SparqlParser::Parse(LoadQueryText(flags.positional[2]));
+  if (!query.ok()) {
+    std::cerr << query.status().ToString() << "\n";
+    return 1;
+  }
+
+  if (partitioning->kind() == partition::PartitioningKind::kVertexDisjoint) {
+    exec::Classification cls =
+        exec::ClassifyQuery(*query, *partitioning, *graph);
+    std::cout << "class:      " << exec::IeqClassName(cls.cls) << "\n"
+              << "independent: "
+              << (cls.independently_executable() ? "yes (union only)"
+                                                 : "no (join needed)")
+              << "\ncrossing patterns: " << cls.num_crossing_patterns
+              << " / " << query->num_patterns() << "\n";
+    if (!cls.independently_executable()) {
+      exec::Decomposition dec =
+          exec::DecomposeQuery(*query, cls.crossing_pattern);
+      std::cout << "decomposes into " << dec.num_subqueries()
+                << " subqueries\n";
+    }
+  } else {
+    std::cout << "edge-disjoint (VP) partitioning; local: "
+              << (exec::IsVpLocalQuery(*query, *partitioning, *graph)
+                      ? "yes"
+                      : "no")
+              << "\n";
+  }
+  if (!execute) return 0;
+
+  exec::Cluster cluster = exec::Cluster::Build(std::move(*partitioning));
+  exec::DistributedExecutor executor(cluster, *graph);
+  exec::ExecutionStats stats;
+  Result<store::BindingTable> result = executor.Execute(*query, &stats);
+  if (!result.ok()) {
+    std::cerr << result.status().ToString() << "\n";
+    return 1;
+  }
+  store::BindingTable projected =
+      store::ApplyProjection(*result, query->projection());
+  *result = std::move(projected);
+  std::cout << "results: " << FormatWithCommas(result->num_rows())
+            << "  (QDT " << FormatDouble(stats.decomposition_millis, 1)
+            << " + LET " << FormatDouble(stats.local_eval_millis, 1)
+            << " + JT " << FormatDouble(stats.join_millis, 1) << " + net "
+            << FormatDouble(stats.network_millis, 1) << " = "
+            << FormatDouble(stats.total_millis, 1) << " ms; sites "
+            << stats.sites_evaluated << " evaluated / "
+            << stats.sites_pruned << " pruned)\n";
+  const size_t limit = 20;
+  for (size_t r = 0; r < std::min(limit, result->rows.size()); ++r) {
+    for (size_t c = 0; c < result->var_ids.size(); ++c) {
+      std::cout << (c ? " " : "  ")
+                << graph->VertexName(result->rows[r][c]);
+    }
+    std::cout << "\n";
+  }
+  if (result->rows.size() > limit) {
+    std::cout << "  ... (" << result->rows.size() - limit << " more)\n";
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) return Usage();
+  std::string command = argv[1];
+  Result<Flags> flags = Flags::Parse(argc, argv, 2);
+  if (!flags.ok()) {
+    std::cerr << flags.status().ToString() << "\n";
+    return 2;
+  }
+  if (command == "stats") return CmdStats(*flags);
+  if (command == "partition") return CmdPartition(*flags);
+  if (command == "classify") return CmdClassifyOrQuery(*flags, false);
+  if (command == "explain") return CmdExplain(*flags);
+  if (command == "query") return CmdClassifyOrQuery(*flags, true);
+  return Usage();
+}
