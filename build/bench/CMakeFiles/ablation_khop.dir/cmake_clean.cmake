@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_khop.dir/ablation_khop.cpp.o"
+  "CMakeFiles/ablation_khop.dir/ablation_khop.cpp.o.d"
+  "ablation_khop"
+  "ablation_khop.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_khop.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_label_density.dir/ablation_label_density.cpp.o"
+  "CMakeFiles/ablation_label_density.dir/ablation_label_density.cpp.o.d"
+  "ablation_label_density"
+  "ablation_label_density.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_label_density.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

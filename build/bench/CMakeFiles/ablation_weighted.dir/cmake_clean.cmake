@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_weighted.dir/ablation_weighted.cpp.o"
+  "CMakeFiles/ablation_weighted.dir/ablation_weighted.cpp.o.d"
+  "ablation_weighted"
+  "ablation_weighted.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_weighted.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig10_online_scalability.dir/fig10_online_scalability.cpp.o"
+  "CMakeFiles/fig10_online_scalability.dir/fig10_online_scalability.cpp.o.d"
+  "fig10_online_scalability"
+  "fig10_online_scalability.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig10_online_scalability.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

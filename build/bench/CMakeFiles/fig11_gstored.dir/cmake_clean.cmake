@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig11_gstored.dir/fig11_gstored.cpp.o"
+  "CMakeFiles/fig11_gstored.dir/fig11_gstored.cpp.o.d"
+  "fig11_gstored"
+  "fig11_gstored.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig11_gstored.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

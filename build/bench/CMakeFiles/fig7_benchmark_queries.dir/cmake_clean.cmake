@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig7_benchmark_queries.dir/fig7_benchmark_queries.cpp.o"
+  "CMakeFiles/fig7_benchmark_queries.dir/fig7_benchmark_queries.cpp.o.d"
+  "fig7_benchmark_queries"
+  "fig7_benchmark_queries.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig7_benchmark_queries.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig8_query_logs.dir/fig8_query_logs.cpp.o"
+  "CMakeFiles/fig8_query_logs.dir/fig8_query_logs.cpp.o.d"
+  "fig8_query_logs"
+  "fig8_query_logs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig8_query_logs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/micro_dsf.dir/micro_dsf.cpp.o"
+  "CMakeFiles/micro_dsf.dir/micro_dsf.cpp.o.d"
+  "micro_dsf"
+  "micro_dsf.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_dsf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

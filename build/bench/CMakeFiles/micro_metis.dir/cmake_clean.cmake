@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/micro_metis.dir/micro_metis.cpp.o"
+  "CMakeFiles/micro_metis.dir/micro_metis.cpp.o.d"
+  "micro_metis"
+  "micro_metis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_metis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

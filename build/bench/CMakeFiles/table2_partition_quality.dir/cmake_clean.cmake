@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table2_partition_quality.dir/table2_partition_quality.cpp.o"
+  "CMakeFiles/table2_partition_quality.dir/table2_partition_quality.cpp.o.d"
+  "table2_partition_quality"
+  "table2_partition_quality.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table2_partition_quality.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

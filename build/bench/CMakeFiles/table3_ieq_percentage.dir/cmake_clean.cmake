@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table3_ieq_percentage.dir/table3_ieq_percentage.cpp.o"
+  "CMakeFiles/table3_ieq_percentage.dir/table3_ieq_percentage.cpp.o.d"
+  "table3_ieq_percentage"
+  "table3_ieq_percentage.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table3_ieq_percentage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

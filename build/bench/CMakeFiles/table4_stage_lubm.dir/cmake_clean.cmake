@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table4_stage_lubm.dir/table4_stage_lubm.cpp.o"
+  "CMakeFiles/table4_stage_lubm.dir/table4_stage_lubm.cpp.o.d"
+  "table4_stage_lubm"
+  "table4_stage_lubm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table4_stage_lubm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table5_stage_yago_bio2rdf.dir/table5_stage_yago_bio2rdf.cpp.o"
+  "CMakeFiles/table5_stage_yago_bio2rdf.dir/table5_stage_yago_bio2rdf.cpp.o.d"
+  "table5_stage_yago_bio2rdf"
+  "table5_stage_yago_bio2rdf.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table5_stage_yago_bio2rdf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

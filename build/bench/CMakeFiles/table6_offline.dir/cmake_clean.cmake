@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table6_offline.dir/table6_offline.cpp.o"
+  "CMakeFiles/table6_offline.dir/table6_offline.cpp.o.d"
+  "table6_offline"
+  "table6_offline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table6_offline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table7_exact_vs_greedy.dir/table7_exact_vs_greedy.cpp.o"
+  "CMakeFiles/table7_exact_vs_greedy.dir/table7_exact_vs_greedy.cpp.o.d"
+  "table7_exact_vs_greedy"
+  "table7_exact_vs_greedy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table7_exact_vs_greedy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/custom_dataset_partitioning.dir/custom_dataset_partitioning.cpp.o"
+  "CMakeFiles/custom_dataset_partitioning.dir/custom_dataset_partitioning.cpp.o.d"
+  "custom_dataset_partitioning"
+  "custom_dataset_partitioning.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/custom_dataset_partitioning.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lubm_end_to_end.dir/lubm_end_to_end.cpp.o"
+  "CMakeFiles/lubm_end_to_end.dir/lubm_end_to_end.cpp.o.d"
+  "lubm_end_to_end"
+  "lubm_end_to_end.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lubm_end_to_end.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/property_graph_partitioning.dir/property_graph_partitioning.cpp.o"
+  "CMakeFiles/property_graph_partitioning.dir/property_graph_partitioning.cpp.o.d"
+  "property_graph_partitioning"
+  "property_graph_partitioning.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/property_graph_partitioning.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/query_log_analysis.dir/query_log_analysis.cpp.o"
+  "CMakeFiles/query_log_analysis.dir/query_log_analysis.cpp.o.d"
+  "query_log_analysis"
+  "query_log_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/query_log_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

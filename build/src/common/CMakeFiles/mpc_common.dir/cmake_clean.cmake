@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mpc_common.dir/logging.cc.o"
+  "CMakeFiles/mpc_common.dir/logging.cc.o.d"
+  "CMakeFiles/mpc_common.dir/status.cc.o"
+  "CMakeFiles/mpc_common.dir/status.cc.o.d"
+  "CMakeFiles/mpc_common.dir/string_util.cc.o"
+  "CMakeFiles/mpc_common.dir/string_util.cc.o.d"
+  "libmpc_common.a"
+  "libmpc_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mpc_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mpc_dsf.dir/disjoint_set_forest.cc.o"
+  "CMakeFiles/mpc_dsf.dir/disjoint_set_forest.cc.o.d"
+  "libmpc_dsf.a"
+  "libmpc_dsf.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mpc_dsf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,34 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/exec/bloom_filter.cc" "src/exec/CMakeFiles/mpc_exec.dir/bloom_filter.cc.o" "gcc" "src/exec/CMakeFiles/mpc_exec.dir/bloom_filter.cc.o.d"
+  "/root/repo/src/exec/cluster.cc" "src/exec/CMakeFiles/mpc_exec.dir/cluster.cc.o" "gcc" "src/exec/CMakeFiles/mpc_exec.dir/cluster.cc.o.d"
+  "/root/repo/src/exec/decomposer.cc" "src/exec/CMakeFiles/mpc_exec.dir/decomposer.cc.o" "gcc" "src/exec/CMakeFiles/mpc_exec.dir/decomposer.cc.o.d"
+  "/root/repo/src/exec/distributed_executor.cc" "src/exec/CMakeFiles/mpc_exec.dir/distributed_executor.cc.o" "gcc" "src/exec/CMakeFiles/mpc_exec.dir/distributed_executor.cc.o.d"
+  "/root/repo/src/exec/explain.cc" "src/exec/CMakeFiles/mpc_exec.dir/explain.cc.o" "gcc" "src/exec/CMakeFiles/mpc_exec.dir/explain.cc.o.d"
+  "/root/repo/src/exec/gstored_executor.cc" "src/exec/CMakeFiles/mpc_exec.dir/gstored_executor.cc.o" "gcc" "src/exec/CMakeFiles/mpc_exec.dir/gstored_executor.cc.o.d"
+  "/root/repo/src/exec/join.cc" "src/exec/CMakeFiles/mpc_exec.dir/join.cc.o" "gcc" "src/exec/CMakeFiles/mpc_exec.dir/join.cc.o.d"
+  "/root/repo/src/exec/query_classifier.cc" "src/exec/CMakeFiles/mpc_exec.dir/query_classifier.cc.o" "gcc" "src/exec/CMakeFiles/mpc_exec.dir/query_classifier.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/store/CMakeFiles/mpc_store.dir/DependInfo.cmake"
+  "/root/repo/build/src/partition/CMakeFiles/mpc_partition.dir/DependInfo.cmake"
+  "/root/repo/build/src/mpc/CMakeFiles/mpc_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/sparql/CMakeFiles/mpc_sparql.dir/DependInfo.cmake"
+  "/root/repo/build/src/metis/CMakeFiles/mpc_metis.dir/DependInfo.cmake"
+  "/root/repo/build/src/dsf/CMakeFiles/mpc_dsf.dir/DependInfo.cmake"
+  "/root/repo/build/src/rdf/CMakeFiles/mpc_rdf.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/mpc_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mpc_exec.dir/bloom_filter.cc.o"
+  "CMakeFiles/mpc_exec.dir/bloom_filter.cc.o.d"
+  "CMakeFiles/mpc_exec.dir/cluster.cc.o"
+  "CMakeFiles/mpc_exec.dir/cluster.cc.o.d"
+  "CMakeFiles/mpc_exec.dir/decomposer.cc.o"
+  "CMakeFiles/mpc_exec.dir/decomposer.cc.o.d"
+  "CMakeFiles/mpc_exec.dir/distributed_executor.cc.o"
+  "CMakeFiles/mpc_exec.dir/distributed_executor.cc.o.d"
+  "CMakeFiles/mpc_exec.dir/explain.cc.o"
+  "CMakeFiles/mpc_exec.dir/explain.cc.o.d"
+  "CMakeFiles/mpc_exec.dir/gstored_executor.cc.o"
+  "CMakeFiles/mpc_exec.dir/gstored_executor.cc.o.d"
+  "CMakeFiles/mpc_exec.dir/join.cc.o"
+  "CMakeFiles/mpc_exec.dir/join.cc.o.d"
+  "CMakeFiles/mpc_exec.dir/query_classifier.cc.o"
+  "CMakeFiles/mpc_exec.dir/query_classifier.cc.o.d"
+  "libmpc_exec.a"
+  "libmpc_exec.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mpc_exec.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/metis/coarsen.cc" "src/metis/CMakeFiles/mpc_metis.dir/coarsen.cc.o" "gcc" "src/metis/CMakeFiles/mpc_metis.dir/coarsen.cc.o.d"
+  "/root/repo/src/metis/csr_graph.cc" "src/metis/CMakeFiles/mpc_metis.dir/csr_graph.cc.o" "gcc" "src/metis/CMakeFiles/mpc_metis.dir/csr_graph.cc.o.d"
+  "/root/repo/src/metis/initial_partition.cc" "src/metis/CMakeFiles/mpc_metis.dir/initial_partition.cc.o" "gcc" "src/metis/CMakeFiles/mpc_metis.dir/initial_partition.cc.o.d"
+  "/root/repo/src/metis/partitioner.cc" "src/metis/CMakeFiles/mpc_metis.dir/partitioner.cc.o" "gcc" "src/metis/CMakeFiles/mpc_metis.dir/partitioner.cc.o.d"
+  "/root/repo/src/metis/refine.cc" "src/metis/CMakeFiles/mpc_metis.dir/refine.cc.o" "gcc" "src/metis/CMakeFiles/mpc_metis.dir/refine.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/mpc_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/rdf/CMakeFiles/mpc_rdf.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mpc_metis.dir/coarsen.cc.o"
+  "CMakeFiles/mpc_metis.dir/coarsen.cc.o.d"
+  "CMakeFiles/mpc_metis.dir/csr_graph.cc.o"
+  "CMakeFiles/mpc_metis.dir/csr_graph.cc.o.d"
+  "CMakeFiles/mpc_metis.dir/initial_partition.cc.o"
+  "CMakeFiles/mpc_metis.dir/initial_partition.cc.o.d"
+  "CMakeFiles/mpc_metis.dir/partitioner.cc.o"
+  "CMakeFiles/mpc_metis.dir/partitioner.cc.o.d"
+  "CMakeFiles/mpc_metis.dir/refine.cc.o"
+  "CMakeFiles/mpc_metis.dir/refine.cc.o.d"
+  "libmpc_metis.a"
+  "libmpc_metis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mpc_metis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/mpc/coarsener.cc" "src/mpc/CMakeFiles/mpc_core.dir/coarsener.cc.o" "gcc" "src/mpc/CMakeFiles/mpc_core.dir/coarsener.cc.o.d"
+  "/root/repo/src/mpc/mpc_partitioner.cc" "src/mpc/CMakeFiles/mpc_core.dir/mpc_partitioner.cc.o" "gcc" "src/mpc/CMakeFiles/mpc_core.dir/mpc_partitioner.cc.o.d"
+  "/root/repo/src/mpc/selector.cc" "src/mpc/CMakeFiles/mpc_core.dir/selector.cc.o" "gcc" "src/mpc/CMakeFiles/mpc_core.dir/selector.cc.o.d"
+  "/root/repo/src/mpc/weighted_selector.cc" "src/mpc/CMakeFiles/mpc_core.dir/weighted_selector.cc.o" "gcc" "src/mpc/CMakeFiles/mpc_core.dir/weighted_selector.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/rdf/CMakeFiles/mpc_rdf.dir/DependInfo.cmake"
+  "/root/repo/build/src/dsf/CMakeFiles/mpc_dsf.dir/DependInfo.cmake"
+  "/root/repo/build/src/metis/CMakeFiles/mpc_metis.dir/DependInfo.cmake"
+  "/root/repo/build/src/partition/CMakeFiles/mpc_partition.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/mpc_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

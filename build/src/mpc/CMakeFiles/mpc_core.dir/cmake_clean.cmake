@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mpc_core.dir/coarsener.cc.o"
+  "CMakeFiles/mpc_core.dir/coarsener.cc.o.d"
+  "CMakeFiles/mpc_core.dir/mpc_partitioner.cc.o"
+  "CMakeFiles/mpc_core.dir/mpc_partitioner.cc.o.d"
+  "CMakeFiles/mpc_core.dir/selector.cc.o"
+  "CMakeFiles/mpc_core.dir/selector.cc.o.d"
+  "CMakeFiles/mpc_core.dir/weighted_selector.cc.o"
+  "CMakeFiles/mpc_core.dir/weighted_selector.cc.o.d"
+  "libmpc_core.a"
+  "libmpc_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mpc_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/partition/edge_cut_partitioner.cc" "src/partition/CMakeFiles/mpc_partition.dir/edge_cut_partitioner.cc.o" "gcc" "src/partition/CMakeFiles/mpc_partition.dir/edge_cut_partitioner.cc.o.d"
+  "/root/repo/src/partition/partition_io.cc" "src/partition/CMakeFiles/mpc_partition.dir/partition_io.cc.o" "gcc" "src/partition/CMakeFiles/mpc_partition.dir/partition_io.cc.o.d"
+  "/root/repo/src/partition/partitioning.cc" "src/partition/CMakeFiles/mpc_partition.dir/partitioning.cc.o" "gcc" "src/partition/CMakeFiles/mpc_partition.dir/partitioning.cc.o.d"
+  "/root/repo/src/partition/replication_analysis.cc" "src/partition/CMakeFiles/mpc_partition.dir/replication_analysis.cc.o" "gcc" "src/partition/CMakeFiles/mpc_partition.dir/replication_analysis.cc.o.d"
+  "/root/repo/src/partition/subject_hash_partitioner.cc" "src/partition/CMakeFiles/mpc_partition.dir/subject_hash_partitioner.cc.o" "gcc" "src/partition/CMakeFiles/mpc_partition.dir/subject_hash_partitioner.cc.o.d"
+  "/root/repo/src/partition/vp_partitioner.cc" "src/partition/CMakeFiles/mpc_partition.dir/vp_partitioner.cc.o" "gcc" "src/partition/CMakeFiles/mpc_partition.dir/vp_partitioner.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/rdf/CMakeFiles/mpc_rdf.dir/DependInfo.cmake"
+  "/root/repo/build/src/metis/CMakeFiles/mpc_metis.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/mpc_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

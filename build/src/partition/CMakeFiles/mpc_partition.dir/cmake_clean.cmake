@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mpc_partition.dir/edge_cut_partitioner.cc.o"
+  "CMakeFiles/mpc_partition.dir/edge_cut_partitioner.cc.o.d"
+  "CMakeFiles/mpc_partition.dir/partition_io.cc.o"
+  "CMakeFiles/mpc_partition.dir/partition_io.cc.o.d"
+  "CMakeFiles/mpc_partition.dir/partitioning.cc.o"
+  "CMakeFiles/mpc_partition.dir/partitioning.cc.o.d"
+  "CMakeFiles/mpc_partition.dir/replication_analysis.cc.o"
+  "CMakeFiles/mpc_partition.dir/replication_analysis.cc.o.d"
+  "CMakeFiles/mpc_partition.dir/subject_hash_partitioner.cc.o"
+  "CMakeFiles/mpc_partition.dir/subject_hash_partitioner.cc.o.d"
+  "CMakeFiles/mpc_partition.dir/vp_partitioner.cc.o"
+  "CMakeFiles/mpc_partition.dir/vp_partitioner.cc.o.d"
+  "libmpc_partition.a"
+  "libmpc_partition.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mpc_partition.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

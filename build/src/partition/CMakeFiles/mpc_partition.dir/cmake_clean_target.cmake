@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libmpc_partition.a"
+)

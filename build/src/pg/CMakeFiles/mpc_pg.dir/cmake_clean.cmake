@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mpc_pg.dir/pg_to_rdf.cc.o"
+  "CMakeFiles/mpc_pg.dir/pg_to_rdf.cc.o.d"
+  "CMakeFiles/mpc_pg.dir/property_graph.cc.o"
+  "CMakeFiles/mpc_pg.dir/property_graph.cc.o.d"
+  "libmpc_pg.a"
+  "libmpc_pg.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mpc_pg.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

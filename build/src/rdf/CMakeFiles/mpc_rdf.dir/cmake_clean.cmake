@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mpc_rdf.dir/dictionary.cc.o"
+  "CMakeFiles/mpc_rdf.dir/dictionary.cc.o.d"
+  "CMakeFiles/mpc_rdf.dir/graph.cc.o"
+  "CMakeFiles/mpc_rdf.dir/graph.cc.o.d"
+  "CMakeFiles/mpc_rdf.dir/ntriples.cc.o"
+  "CMakeFiles/mpc_rdf.dir/ntriples.cc.o.d"
+  "CMakeFiles/mpc_rdf.dir/stats.cc.o"
+  "CMakeFiles/mpc_rdf.dir/stats.cc.o.d"
+  "libmpc_rdf.a"
+  "libmpc_rdf.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mpc_rdf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sparql/parser.cc" "src/sparql/CMakeFiles/mpc_sparql.dir/parser.cc.o" "gcc" "src/sparql/CMakeFiles/mpc_sparql.dir/parser.cc.o.d"
+  "/root/repo/src/sparql/query_graph.cc" "src/sparql/CMakeFiles/mpc_sparql.dir/query_graph.cc.o" "gcc" "src/sparql/CMakeFiles/mpc_sparql.dir/query_graph.cc.o.d"
+  "/root/repo/src/sparql/shape.cc" "src/sparql/CMakeFiles/mpc_sparql.dir/shape.cc.o" "gcc" "src/sparql/CMakeFiles/mpc_sparql.dir/shape.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/mpc_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/rdf/CMakeFiles/mpc_rdf.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mpc_sparql.dir/parser.cc.o"
+  "CMakeFiles/mpc_sparql.dir/parser.cc.o.d"
+  "CMakeFiles/mpc_sparql.dir/query_graph.cc.o"
+  "CMakeFiles/mpc_sparql.dir/query_graph.cc.o.d"
+  "CMakeFiles/mpc_sparql.dir/shape.cc.o"
+  "CMakeFiles/mpc_sparql.dir/shape.cc.o.d"
+  "libmpc_sparql.a"
+  "libmpc_sparql.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mpc_sparql.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

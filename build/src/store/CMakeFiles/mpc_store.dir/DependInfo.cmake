@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/store/bgp_matcher.cc" "src/store/CMakeFiles/mpc_store.dir/bgp_matcher.cc.o" "gcc" "src/store/CMakeFiles/mpc_store.dir/bgp_matcher.cc.o.d"
+  "/root/repo/src/store/triple_store.cc" "src/store/CMakeFiles/mpc_store.dir/triple_store.cc.o" "gcc" "src/store/CMakeFiles/mpc_store.dir/triple_store.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/rdf/CMakeFiles/mpc_rdf.dir/DependInfo.cmake"
+  "/root/repo/build/src/sparql/CMakeFiles/mpc_sparql.dir/DependInfo.cmake"
+  "/root/repo/build/src/partition/CMakeFiles/mpc_partition.dir/DependInfo.cmake"
+  "/root/repo/build/src/metis/CMakeFiles/mpc_metis.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/mpc_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

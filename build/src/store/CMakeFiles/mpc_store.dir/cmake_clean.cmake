@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mpc_store.dir/bgp_matcher.cc.o"
+  "CMakeFiles/mpc_store.dir/bgp_matcher.cc.o.d"
+  "CMakeFiles/mpc_store.dir/triple_store.cc.o"
+  "CMakeFiles/mpc_store.dir/triple_store.cc.o.d"
+  "libmpc_store.a"
+  "libmpc_store.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mpc_store.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

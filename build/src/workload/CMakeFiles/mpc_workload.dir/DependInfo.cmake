@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/workload/bio2rdf.cc" "src/workload/CMakeFiles/mpc_workload.dir/bio2rdf.cc.o" "gcc" "src/workload/CMakeFiles/mpc_workload.dir/bio2rdf.cc.o.d"
+  "/root/repo/src/workload/datasets.cc" "src/workload/CMakeFiles/mpc_workload.dir/datasets.cc.o" "gcc" "src/workload/CMakeFiles/mpc_workload.dir/datasets.cc.o.d"
+  "/root/repo/src/workload/dbpedia.cc" "src/workload/CMakeFiles/mpc_workload.dir/dbpedia.cc.o" "gcc" "src/workload/CMakeFiles/mpc_workload.dir/dbpedia.cc.o.d"
+  "/root/repo/src/workload/generator_util.cc" "src/workload/CMakeFiles/mpc_workload.dir/generator_util.cc.o" "gcc" "src/workload/CMakeFiles/mpc_workload.dir/generator_util.cc.o.d"
+  "/root/repo/src/workload/lgd.cc" "src/workload/CMakeFiles/mpc_workload.dir/lgd.cc.o" "gcc" "src/workload/CMakeFiles/mpc_workload.dir/lgd.cc.o.d"
+  "/root/repo/src/workload/lubm.cc" "src/workload/CMakeFiles/mpc_workload.dir/lubm.cc.o" "gcc" "src/workload/CMakeFiles/mpc_workload.dir/lubm.cc.o.d"
+  "/root/repo/src/workload/query_log.cc" "src/workload/CMakeFiles/mpc_workload.dir/query_log.cc.o" "gcc" "src/workload/CMakeFiles/mpc_workload.dir/query_log.cc.o.d"
+  "/root/repo/src/workload/watdiv.cc" "src/workload/CMakeFiles/mpc_workload.dir/watdiv.cc.o" "gcc" "src/workload/CMakeFiles/mpc_workload.dir/watdiv.cc.o.d"
+  "/root/repo/src/workload/yago2.cc" "src/workload/CMakeFiles/mpc_workload.dir/yago2.cc.o" "gcc" "src/workload/CMakeFiles/mpc_workload.dir/yago2.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/rdf/CMakeFiles/mpc_rdf.dir/DependInfo.cmake"
+  "/root/repo/build/src/sparql/CMakeFiles/mpc_sparql.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/mpc_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

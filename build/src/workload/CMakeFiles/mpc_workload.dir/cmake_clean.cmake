@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mpc_workload.dir/bio2rdf.cc.o"
+  "CMakeFiles/mpc_workload.dir/bio2rdf.cc.o.d"
+  "CMakeFiles/mpc_workload.dir/datasets.cc.o"
+  "CMakeFiles/mpc_workload.dir/datasets.cc.o.d"
+  "CMakeFiles/mpc_workload.dir/dbpedia.cc.o"
+  "CMakeFiles/mpc_workload.dir/dbpedia.cc.o.d"
+  "CMakeFiles/mpc_workload.dir/generator_util.cc.o"
+  "CMakeFiles/mpc_workload.dir/generator_util.cc.o.d"
+  "CMakeFiles/mpc_workload.dir/lgd.cc.o"
+  "CMakeFiles/mpc_workload.dir/lgd.cc.o.d"
+  "CMakeFiles/mpc_workload.dir/lubm.cc.o"
+  "CMakeFiles/mpc_workload.dir/lubm.cc.o.d"
+  "CMakeFiles/mpc_workload.dir/query_log.cc.o"
+  "CMakeFiles/mpc_workload.dir/query_log.cc.o.d"
+  "CMakeFiles/mpc_workload.dir/watdiv.cc.o"
+  "CMakeFiles/mpc_workload.dir/watdiv.cc.o.d"
+  "CMakeFiles/mpc_workload.dir/yago2.cc.o"
+  "CMakeFiles/mpc_workload.dir/yago2.cc.o.d"
+  "libmpc_workload.a"
+  "libmpc_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mpc_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/coarsener_test.dir/coarsener_test.cc.o"
+  "CMakeFiles/coarsener_test.dir/coarsener_test.cc.o.d"
+  "coarsener_test"
+  "coarsener_test.pdb"
+  "coarsener_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/coarsener_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

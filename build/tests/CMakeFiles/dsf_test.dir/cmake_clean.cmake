@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dsf_test.dir/dsf_test.cc.o"
+  "CMakeFiles/dsf_test.dir/dsf_test.cc.o.d"
+  "dsf_test"
+  "dsf_test.pdb"
+  "dsf_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dsf_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/metis_test.dir/metis_test.cc.o"
+  "CMakeFiles/metis_test.dir/metis_test.cc.o.d"
+  "metis_test"
+  "metis_test.pdb"
+  "metis_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/metis_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mpc_partitioner_test.dir/mpc_partitioner_test.cc.o"
+  "CMakeFiles/mpc_partitioner_test.dir/mpc_partitioner_test.cc.o.d"
+  "mpc_partitioner_test"
+  "mpc_partitioner_test.pdb"
+  "mpc_partitioner_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mpc_partitioner_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

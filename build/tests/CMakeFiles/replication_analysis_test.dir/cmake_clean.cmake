@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/replication_analysis_test.dir/replication_analysis_test.cc.o"
+  "CMakeFiles/replication_analysis_test.dir/replication_analysis_test.cc.o.d"
+  "replication_analysis_test"
+  "replication_analysis_test.pdb"
+  "replication_analysis_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/replication_analysis_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/site_pruning_test.dir/site_pruning_test.cc.o"
+  "CMakeFiles/site_pruning_test.dir/site_pruning_test.cc.o.d"
+  "site_pruning_test"
+  "site_pruning_test.pdb"
+  "site_pruning_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/site_pruning_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

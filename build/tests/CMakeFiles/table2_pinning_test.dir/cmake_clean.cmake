@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table2_pinning_test.dir/table2_pinning_test.cc.o"
+  "CMakeFiles/table2_pinning_test.dir/table2_pinning_test.cc.o.d"
+  "table2_pinning_test"
+  "table2_pinning_test.pdb"
+  "table2_pinning_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table2_pinning_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,34 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/common_test[1]_include.cmake")
+include("/root/repo/build/tests/dictionary_test[1]_include.cmake")
+include("/root/repo/build/tests/graph_test[1]_include.cmake")
+include("/root/repo/build/tests/ntriples_test[1]_include.cmake")
+include("/root/repo/build/tests/dsf_test[1]_include.cmake")
+include("/root/repo/build/tests/metis_test[1]_include.cmake")
+include("/root/repo/build/tests/partitioning_test[1]_include.cmake")
+include("/root/repo/build/tests/selector_test[1]_include.cmake")
+include("/root/repo/build/tests/coarsener_test[1]_include.cmake")
+include("/root/repo/build/tests/mpc_partitioner_test[1]_include.cmake")
+include("/root/repo/build/tests/sparql_test[1]_include.cmake")
+include("/root/repo/build/tests/store_test[1]_include.cmake")
+include("/root/repo/build/tests/classifier_test[1]_include.cmake")
+include("/root/repo/build/tests/decomposer_test[1]_include.cmake")
+include("/root/repo/build/tests/join_test[1]_include.cmake")
+include("/root/repo/build/tests/executor_test[1]_include.cmake")
+include("/root/repo/build/tests/workload_test[1]_include.cmake")
+include("/root/repo/build/tests/integration_test[1]_include.cmake")
+include("/root/repo/build/tests/partition_io_test[1]_include.cmake")
+include("/root/repo/build/tests/site_pruning_test[1]_include.cmake")
+include("/root/repo/build/tests/weighted_selector_test[1]_include.cmake")
+include("/root/repo/build/tests/replication_analysis_test[1]_include.cmake")
+include("/root/repo/build/tests/explain_test[1]_include.cmake")
+include("/root/repo/build/tests/bloom_test[1]_include.cmake")
+include("/root/repo/build/tests/roundtrip_test[1]_include.cmake")
+include("/root/repo/build/tests/pg_test[1]_include.cmake")
+include("/root/repo/build/tests/network_model_test[1]_include.cmake")
+include("/root/repo/build/tests/table2_pinning_test[1]_include.cmake")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mpc_cli.dir/mpc_cli.cpp.o"
+  "CMakeFiles/mpc_cli.dir/mpc_cli.cpp.o.d"
+  "mpc"
+  "mpc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mpc_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
