@@ -52,13 +52,12 @@ int main() {
   for (size_t labels : {2u, 4u, 8u, 16u, 64u, 256u, 1024u}) {
     rdf::RdfGraph graph = CommunityGraph(16000, 48000, labels, 5);
     core::MpcOptions options;
-    options.k = 8;
-    options.epsilon = 0.1;
+    options.base.k = 8;
+    options.base.epsilon = 0.1;
     options.strategy = core::SelectionStrategy::kGreedy;
     core::MpcPartitioner partitioner(options);
     core::MpcRunStats stats;
-    partition::Partitioning mpc_part =
-        partitioner.PartitionWithStats(graph, &stats);
+    partition::Partitioning mpc_part = partitioner.Partition(graph, &stats);
 
     uint64_t internal_edges = 0;
     for (size_t p = 0; p < graph.num_properties(); ++p) {

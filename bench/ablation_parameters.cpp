@@ -22,12 +22,11 @@ int main(int argc, char** argv) {
   std::cout << "\n";
   for (double epsilon : {0.0, 0.05, 0.1, 0.25, 0.5, 1.0, 2.0}) {
     core::MpcOptions options;
-    options.k = 8;
-    options.epsilon = epsilon;
+    options.base.k = 8;
+    options.base.epsilon = epsilon;
     core::MpcPartitioner partitioner(options);
     core::MpcRunStats stats;
-    partition::Partitioning p =
-        partitioner.PartitionWithStats(d.graph, &stats);
+    partition::Partitioning p = partitioner.Partition(d.graph, &stats);
     bench::Cell(FormatDouble(epsilon, 2), 9);
     bench::Cell(FormatWithCommas(stats.selection.num_internal), 8);
     bench::Cell(FormatWithCommas(p.num_crossing_properties()), 10);
@@ -45,12 +44,11 @@ int main(int argc, char** argv) {
   std::cout << "\n";
   for (uint32_t k : {2u, 4u, 8u, 16u, 32u}) {
     core::MpcOptions options;
-    options.k = k;
-    options.epsilon = 0.1;
+    options.base.k = k;
+    options.base.epsilon = 0.1;
     core::MpcPartitioner partitioner(options);
     core::MpcRunStats stats;
-    partition::Partitioning p =
-        partitioner.PartitionWithStats(d.graph, &stats);
+    partition::Partitioning p = partitioner.Partition(d.graph, &stats);
     bench::Cell(std::to_string(k), 5);
     bench::Cell(FormatWithCommas(stats.selection.num_internal), 8);
     bench::Cell(FormatWithCommas(p.num_crossing_properties()), 10);

@@ -58,8 +58,8 @@ int main() {
 
   auto evaluate = [&](const char* name, core::SelectionStrategy strategy) {
     core::MpcOptions options;
-    options.k = 10;
-    options.epsilon = 0.0;
+    options.base.k = 10;
+    options.base.epsilon = 0.0;
     options.strategy = strategy;
     if (strategy == core::SelectionStrategy::kWeighted) {
       options.property_weights =
@@ -67,8 +67,7 @@ int main() {
     }
     core::MpcPartitioner partitioner(options);
     core::MpcRunStats stats;
-    partition::Partitioning p =
-        partitioner.PartitionWithStats(graph, &stats);
+    partition::Partitioning p = partitioner.Partition(graph, &stats);
     size_t ieq = 0;
     for (const sparql::QueryGraph& q : workload) {
       ieq += exec::ClassifyQuery(q, p, graph).independently_executable();

@@ -33,42 +33,44 @@ inline std::vector<std::string> StrategyNames() {
   return {"MPC", "Subject_Hash", "VP", "METIS"};
 }
 
-/// Builds the named strategy's partitioning; also reports wall time.
-inline partition::Partitioning RunStrategy(const std::string& name,
-                                           const rdf::RdfGraph& graph,
-                                           double* millis,
-                                           uint64_t seed = 1) {
-  Timer timer;
-  partition::Partitioning result;
-  if (name == "MPC") {
+/// Instantiates the named strategy behind the common Partitioner
+/// interface. num_threads follows the shared convention (0 = hardware
+/// concurrency, 1 = serial).
+inline std::unique_ptr<partition::Partitioner> MakeStrategy(
+    const std::string& name, uint64_t seed = 1, int num_threads = 1) {
+  partition::PartitionerOptions base{.k = kSites,
+                                     .epsilon = kEpsilon,
+                                     .seed = seed,
+                                     .num_threads = num_threads};
+  if (name == "MPC" || name == "MPC-Exact") {
     core::MpcOptions options;
-    options.k = kSites;
-    options.epsilon = kEpsilon;
-    options.seed = seed;
-    result = core::MpcPartitioner(options).Partition(graph);
-  } else if (name == "MPC-Exact") {
-    core::MpcOptions options;
-    options.k = kSites;
-    options.epsilon = kEpsilon;
-    options.seed = seed;
-    options.strategy = core::SelectionStrategy::kExact;
-    result = core::MpcPartitioner(options).Partition(graph);
-  } else {
-    partition::PartitionerOptions options{
-        .k = kSites, .epsilon = kEpsilon, .seed = seed};
-    if (name == "Subject_Hash") {
-      result = partition::SubjectHashPartitioner(options).Partition(graph);
-    } else if (name == "VP") {
-      result = partition::VpPartitioner(options).Partition(graph);
-    } else if (name == "METIS") {
-      result = partition::EdgeCutPartitioner(options).Partition(graph);
-    } else {
-      std::cerr << "unknown strategy " << name << "\n";
-      std::abort();
+    options.base = base;
+    if (name == "MPC-Exact") {
+      options.strategy = core::SelectionStrategy::kExact;
     }
+    return std::make_unique<core::MpcPartitioner>(options);
   }
-  if (millis != nullptr) *millis = timer.ElapsedMillis();
-  return result;
+  if (name == "Subject_Hash") {
+    return std::make_unique<partition::SubjectHashPartitioner>(base);
+  }
+  if (name == "VP") {
+    return std::make_unique<partition::VpPartitioner>(base);
+  }
+  if (name == "METIS") {
+    return std::make_unique<partition::EdgeCutPartitioner>(base);
+  }
+  std::cerr << "unknown strategy " << name << "\n";
+  std::abort();
+}
+
+/// Runs the named strategy, reporting per-stage timings and thread usage
+/// through the unified RunStats that every Partitioner now fills
+/// (stats.total_millis is the strategy's partitioning time).
+inline partition::Partitioning RunStrategy(
+    const std::string& name, const rdf::RdfGraph& graph,
+    partition::RunStats* stats = nullptr, uint64_t seed = 1,
+    int num_threads = 1) {
+  return MakeStrategy(name, seed, num_threads)->Partition(graph, stats);
 }
 
 inline sparql::QueryGraph MustParse(const std::string& text) {

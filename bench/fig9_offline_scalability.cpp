@@ -17,9 +17,9 @@ void RunDataset(mpc::workload::DatasetId id,
   std::cout << "\n";
   for (double scale : scales) {
     workload::GeneratedDataset d = workload::MakeDataset(id, scale);
-    double partition_millis = 0;
-    partition::Partitioning p =
-        bench::RunStrategy("MPC", d.graph, &partition_millis);
+    partition::RunStats stats;
+    partition::Partitioning p = bench::RunStrategy("MPC", d.graph, &stats);
+    const double partition_millis = stats.total_millis;
     exec::Cluster cluster = exec::Cluster::Build(std::move(p));
     bench::Cell(FormatWithCommas(d.graph.num_edges()), 14);
     bench::Cell(FormatMillis(partition_millis), 15);

@@ -23,9 +23,7 @@ int main(int argc, char** argv) {
     workload::GeneratedDataset d = workload::MakeDataset(id, scale);
     bench::LeftCell(d.name, 10);
     for (const char* strategy : {"MPC", "Subject_Hash", "METIS"}) {
-      double millis = 0;
-      partition::Partitioning p =
-          bench::RunStrategy(strategy, d.graph, &millis);
+      partition::Partitioning p = bench::RunStrategy(strategy, d.graph);
       bench::Cell(FormatWithCommas(p.num_crossing_properties()), 16);
       bench::Cell(FormatWithCommas(p.num_crossing_edges()), 14);
     }

@@ -25,17 +25,15 @@ int main(int argc, char** argv) {
   for (const std::string& variant : {std::string("MPC"),
                                      std::string("MPC-Exact")}) {
     core::MpcOptions options;
-    options.k = bench::kSites;
-    options.epsilon = bench::kEpsilon;
+    options.base.k = bench::kSites;
+    options.base.epsilon = bench::kEpsilon;
     options.strategy = (variant == "MPC-Exact")
                            ? core::SelectionStrategy::kExact
                            : core::SelectionStrategy::kGreedy;
     core::MpcPartitioner partitioner(options);
-    Timer timer;
     core::MpcRunStats stats;
-    partition::Partitioning p =
-        partitioner.PartitionWithStats(d.graph, &stats);
-    double millis = timer.ElapsedMillis();
+    partition::Partitioning p = partitioner.Partition(d.graph, &stats);
+    double millis = stats.total_millis;
 
     bench::LeftCell(variant, 12);
     bench::Cell(FormatWithCommas(p.num_crossing_properties()), 10);

@@ -236,8 +236,8 @@ bench/CMakeFiles/table3_ieq_percentage.dir/table3_ieq_percentage.cpp.o: \
  /root/repo/src/exec/decomposer.h /root/repo/src/exec/query_classifier.h \
  /root/repo/src/sparql/query_graph.h /root/repo/src/exec/network_model.h \
  /root/repo/src/store/bgp_matcher.h /root/repo/src/mpc/mpc_partitioner.h \
- /root/repo/src/mpc/selector.h /root/repo/src/mpc/weighted_selector.h \
- /root/repo/src/partition/partitioner.h \
+ /root/repo/src/mpc/selector.h /root/repo/src/partition/partitioner.h \
+ /root/repo/src/mpc/weighted_selector.h \
  /root/repo/src/partition/edge_cut_partitioner.h \
  /root/repo/src/partition/subject_hash_partitioner.h \
  /root/repo/src/partition/vp_partitioner.h /root/repo/src/sparql/parser.h \

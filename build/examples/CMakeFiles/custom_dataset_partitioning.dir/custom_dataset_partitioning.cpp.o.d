@@ -217,11 +217,13 @@ examples/CMakeFiles/custom_dataset_partitioning.dir/custom_dataset_partitioning.
  /usr/include/c++/12/bits/uses_allocator_args.h \
  /usr/include/c++/12/pstl/glue_memory_defs.h \
  /usr/include/c++/12/pstl/execution_defs.h /root/repo/src/mpc/selector.h \
- /root/repo/src/rdf/graph.h /usr/include/c++/12/span \
- /usr/include/c++/12/array /usr/include/c++/12/cstddef \
- /root/repo/src/rdf/dictionary.h /usr/include/c++/12/deque \
- /usr/include/c++/12/bits/stl_deque.h /usr/include/c++/12/bits/deque.tcc \
- /usr/include/c++/12/unordered_map /usr/include/c++/12/bits/hashtable.h \
+ /root/repo/src/partition/partitioner.h \
+ /root/repo/src/partition/partitioning.h /root/repo/src/rdf/graph.h \
+ /usr/include/c++/12/span /usr/include/c++/12/array \
+ /usr/include/c++/12/cstddef /root/repo/src/rdf/dictionary.h \
+ /usr/include/c++/12/deque /usr/include/c++/12/bits/stl_deque.h \
+ /usr/include/c++/12/bits/deque.tcc /usr/include/c++/12/unordered_map \
+ /usr/include/c++/12/bits/hashtable.h \
  /usr/include/c++/12/bits/hashtable_policy.h \
  /usr/include/c++/12/bits/enable_special_members.h \
  /usr/include/c++/12/bits/node_handle.h \
@@ -235,9 +237,7 @@ examples/CMakeFiles/custom_dataset_partitioning.dir/custom_dataset_partitioning.
  /root/repo/src/mpc/weighted_selector.h \
  /root/repo/src/sparql/query_graph.h /root/repo/src/common/status.h \
  /usr/include/c++/12/optional /usr/include/c++/12/utility \
- /usr/include/c++/12/bits/stl_relops.h \
- /root/repo/src/partition/partitioner.h \
- /root/repo/src/partition/partitioning.h /root/repo/src/rdf/ntriples.h \
+ /usr/include/c++/12/bits/stl_relops.h /root/repo/src/rdf/ntriples.h \
  /root/repo/src/rdf/stats.h /root/repo/src/workload/lubm.h \
  /root/repo/src/workload/generator_util.h /root/repo/src/common/random.h \
  /usr/include/c++/12/cassert /usr/include/assert.h \

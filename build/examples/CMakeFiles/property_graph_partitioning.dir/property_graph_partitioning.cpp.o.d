@@ -229,12 +229,13 @@ examples/CMakeFiles/property_graph_partitioning.dir/property_graph_partitioning.
  /usr/include/c++/12/bits/uses_allocator_args.h \
  /usr/include/c++/12/pstl/glue_memory_defs.h \
  /usr/include/c++/12/pstl/execution_defs.h /root/repo/src/mpc/selector.h \
- /root/repo/src/rdf/graph.h /usr/include/c++/12/span \
- /usr/include/c++/12/array /usr/include/c++/12/cstddef \
- /root/repo/src/rdf/dictionary.h /usr/include/c++/12/deque \
- /usr/include/c++/12/bits/stl_deque.h /usr/include/c++/12/bits/deque.tcc \
- /root/repo/src/rdf/types.h /usr/include/c++/12/functional \
- /usr/include/c++/12/bits/std_function.h \
+ /root/repo/src/partition/partitioner.h \
+ /root/repo/src/partition/partitioning.h /root/repo/src/rdf/graph.h \
+ /usr/include/c++/12/span /usr/include/c++/12/array \
+ /usr/include/c++/12/cstddef /root/repo/src/rdf/dictionary.h \
+ /usr/include/c++/12/deque /usr/include/c++/12/bits/stl_deque.h \
+ /usr/include/c++/12/bits/deque.tcc /root/repo/src/rdf/types.h \
+ /usr/include/c++/12/functional /usr/include/c++/12/bits/std_function.h \
  /usr/include/c++/12/bits/stl_algo.h \
  /usr/include/c++/12/bits/algorithmfwd.h \
  /usr/include/c++/12/bits/stl_heap.h \
@@ -242,7 +243,4 @@ examples/CMakeFiles/property_graph_partitioning.dir/property_graph_partitioning.
  /root/repo/src/mpc/weighted_selector.h \
  /root/repo/src/sparql/query_graph.h /root/repo/src/common/status.h \
  /usr/include/c++/12/optional /usr/include/c++/12/utility \
- /usr/include/c++/12/bits/stl_relops.h \
- /root/repo/src/partition/partitioner.h \
- /root/repo/src/partition/partitioning.h \
- /root/repo/src/pg/property_graph.h
+ /usr/include/c++/12/bits/stl_relops.h /root/repo/src/pg/property_graph.h

@@ -227,8 +227,8 @@ examples/CMakeFiles/query_log_analysis.dir/query_log_analysis.cpp.o: \
  /usr/include/c++/12/optional /usr/include/c++/12/utility \
  /usr/include/c++/12/bits/stl_relops.h \
  /root/repo/src/mpc/mpc_partitioner.h /root/repo/src/mpc/selector.h \
- /root/repo/src/mpc/weighted_selector.h \
  /root/repo/src/partition/partitioner.h \
+ /root/repo/src/mpc/weighted_selector.h \
  /root/repo/src/partition/edge_cut_partitioner.h \
  /root/repo/src/partition/subject_hash_partitioner.h \
  /root/repo/src/sparql/parser.h /root/repo/src/sparql/shape.h \

@@ -221,6 +221,6 @@ examples/CMakeFiles/quickstart.dir/quickstart.cpp.o: \
  /root/repo/src/exec/decomposer.h /root/repo/src/exec/query_classifier.h \
  /root/repo/src/sparql/query_graph.h /root/repo/src/exec/network_model.h \
  /root/repo/src/store/bgp_matcher.h /root/repo/src/mpc/mpc_partitioner.h \
- /root/repo/src/mpc/selector.h /root/repo/src/mpc/weighted_selector.h \
- /root/repo/src/partition/partitioner.h /root/repo/src/rdf/ntriples.h \
+ /root/repo/src/mpc/selector.h /root/repo/src/partition/partitioner.h \
+ /root/repo/src/mpc/weighted_selector.h /root/repo/src/rdf/ntriples.h \
  /root/repo/src/sparql/parser.h

@@ -5,6 +5,8 @@ file(REMOVE_RECURSE
   "CMakeFiles/mpc_common.dir/status.cc.o.d"
   "CMakeFiles/mpc_common.dir/string_util.cc.o"
   "CMakeFiles/mpc_common.dir/string_util.cc.o.d"
+  "CMakeFiles/mpc_common.dir/thread_pool.cc.o"
+  "CMakeFiles/mpc_common.dir/thread_pool.cc.o.d"
   "libmpc_common.a"
   "libmpc_common.pdb"
 )

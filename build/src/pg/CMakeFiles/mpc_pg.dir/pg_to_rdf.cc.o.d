@@ -202,7 +202,9 @@ src/pg/CMakeFiles/mpc_pg.dir/pg_to_rdf.cc.o: \
  /usr/include/c++/12/pstl/execution_defs.h /root/repo/src/mpc/selector.h \
  /usr/include/c++/12/vector /usr/include/c++/12/bits/stl_vector.h \
  /usr/include/c++/12/bits/stl_bvector.h \
- /usr/include/c++/12/bits/vector.tcc /root/repo/src/rdf/graph.h \
+ /usr/include/c++/12/bits/vector.tcc \
+ /root/repo/src/partition/partitioner.h \
+ /root/repo/src/partition/partitioning.h /root/repo/src/rdf/graph.h \
  /usr/include/c++/12/span /usr/include/c++/12/array \
  /usr/include/c++/12/cstddef /root/repo/src/rdf/dictionary.h \
  /usr/include/c++/12/deque /usr/include/c++/12/bits/stl_deque.h \
@@ -215,7 +217,4 @@ src/pg/CMakeFiles/mpc_pg.dir/pg_to_rdf.cc.o: \
  /root/repo/src/mpc/weighted_selector.h \
  /root/repo/src/sparql/query_graph.h /root/repo/src/common/status.h \
  /usr/include/c++/12/optional /usr/include/c++/12/utility \
- /usr/include/c++/12/bits/stl_relops.h \
- /root/repo/src/partition/partitioner.h \
- /root/repo/src/partition/partitioning.h \
- /root/repo/src/pg/property_graph.h
+ /usr/include/c++/12/bits/stl_relops.h /root/repo/src/pg/property_graph.h

@@ -326,8 +326,8 @@ tests/CMakeFiles/executor_test.dir/executor_test.cc.o: \
  /root/miniconda/include/gtest/gtest-typed-test.h \
  /root/miniconda/include/gtest/gtest_pred_impl.h \
  /root/repo/src/mpc/mpc_partitioner.h /root/repo/src/mpc/selector.h \
- /root/repo/src/mpc/weighted_selector.h \
  /root/repo/src/partition/partitioner.h \
+ /root/repo/src/mpc/weighted_selector.h \
  /root/repo/src/partition/edge_cut_partitioner.h \
  /root/repo/src/partition/subject_hash_partitioner.h \
  /root/repo/src/partition/vp_partitioner.h /root/repo/tests/test_util.h \

@@ -301,8 +301,8 @@ tests/CMakeFiles/integration_test.dir/integration_test.cc.o: \
  /root/miniconda/include/gtest/gtest-typed-test.h \
  /root/miniconda/include/gtest/gtest_pred_impl.h \
  /root/repo/src/mpc/mpc_partitioner.h /root/repo/src/mpc/selector.h \
- /root/repo/src/mpc/weighted_selector.h \
  /root/repo/src/partition/partitioner.h \
+ /root/repo/src/mpc/weighted_selector.h \
  /root/repo/src/partition/edge_cut_partitioner.h \
  /root/repo/src/partition/subject_hash_partitioner.h \
  /root/repo/src/partition/vp_partitioner.h /root/repo/src/sparql/parser.h \

@@ -201,7 +201,9 @@ tests/CMakeFiles/pg_test.dir/pg_test.cc.o: /root/repo/tests/pg_test.cc \
  /usr/include/c++/12/pstl/execution_defs.h /root/repo/src/mpc/selector.h \
  /usr/include/c++/12/vector /usr/include/c++/12/bits/stl_vector.h \
  /usr/include/c++/12/bits/stl_bvector.h \
- /usr/include/c++/12/bits/vector.tcc /root/repo/src/rdf/graph.h \
+ /usr/include/c++/12/bits/vector.tcc \
+ /root/repo/src/partition/partitioner.h \
+ /root/repo/src/partition/partitioning.h /root/repo/src/rdf/graph.h \
  /usr/include/c++/12/span /usr/include/c++/12/array \
  /usr/include/c++/12/cstddef /root/repo/src/rdf/dictionary.h \
  /usr/include/c++/12/deque /usr/include/c++/12/bits/stl_deque.h \
@@ -214,10 +216,8 @@ tests/CMakeFiles/pg_test.dir/pg_test.cc.o: /root/repo/tests/pg_test.cc \
  /root/repo/src/mpc/weighted_selector.h \
  /root/repo/src/sparql/query_graph.h /root/repo/src/common/status.h \
  /usr/include/c++/12/optional /usr/include/c++/12/utility \
- /usr/include/c++/12/bits/stl_relops.h \
- /root/repo/src/partition/partitioner.h \
- /root/repo/src/partition/partitioning.h \
- /root/repo/src/pg/property_graph.h /root/miniconda/include/gtest/gtest.h \
+ /usr/include/c++/12/bits/stl_relops.h /root/repo/src/pg/property_graph.h \
+ /root/miniconda/include/gtest/gtest.h \
  /root/miniconda/include/gtest/internal/gtest-internal.h \
  /root/miniconda/include/gtest/internal/gtest-port.h \
  /usr/include/c++/12/stdlib.h /usr/include/string.h \

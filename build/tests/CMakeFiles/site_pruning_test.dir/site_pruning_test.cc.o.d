@@ -324,7 +324,7 @@ tests/CMakeFiles/site_pruning_test.dir/site_pruning_test.cc.o: \
  /root/miniconda/include/gtest/gtest-typed-test.h \
  /root/miniconda/include/gtest/gtest_pred_impl.h \
  /root/repo/src/mpc/mpc_partitioner.h /root/repo/src/mpc/selector.h \
- /root/repo/src/mpc/weighted_selector.h \
  /root/repo/src/partition/partitioner.h \
+ /root/repo/src/mpc/weighted_selector.h \
  /root/repo/src/partition/subject_hash_partitioner.h \
  /root/repo/tests/test_util.h /root/repo/src/sparql/parser.h

@@ -294,13 +294,13 @@ tests/CMakeFiles/table2_pinning_test.dir/table2_pinning_test.cc.o: \
  /root/miniconda/include/gtest/gtest-typed-test.h \
  /root/miniconda/include/gtest/gtest_pred_impl.h \
  /root/repo/src/mpc/mpc_partitioner.h /root/repo/src/mpc/selector.h \
- /root/repo/src/rdf/graph.h /usr/include/c++/12/span \
- /root/repo/src/rdf/dictionary.h /usr/include/c++/12/deque \
- /usr/include/c++/12/bits/stl_deque.h /usr/include/c++/12/bits/deque.tcc \
- /root/repo/src/rdf/types.h /root/repo/src/mpc/weighted_selector.h \
- /root/repo/src/sparql/query_graph.h /root/repo/src/common/status.h \
  /root/repo/src/partition/partitioner.h \
- /root/repo/src/partition/partitioning.h \
+ /root/repo/src/partition/partitioning.h /root/repo/src/rdf/graph.h \
+ /usr/include/c++/12/span /root/repo/src/rdf/dictionary.h \
+ /usr/include/c++/12/deque /usr/include/c++/12/bits/stl_deque.h \
+ /usr/include/c++/12/bits/deque.tcc /root/repo/src/rdf/types.h \
+ /root/repo/src/mpc/weighted_selector.h \
+ /root/repo/src/sparql/query_graph.h /root/repo/src/common/status.h \
  /root/repo/src/workload/datasets.h /root/repo/src/workload/query_log.h \
  /root/repo/src/workload/generator_util.h /root/repo/src/common/random.h \
  /usr/include/c++/12/cmath /usr/include/math.h \

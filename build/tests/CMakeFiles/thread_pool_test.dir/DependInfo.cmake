@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/thread_pool_test.cc" "tests/CMakeFiles/thread_pool_test.dir/thread_pool_test.cc.o" "gcc" "tests/CMakeFiles/thread_pool_test.dir/thread_pool_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/exec/CMakeFiles/mpc_exec.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/mpc_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/pg/CMakeFiles/mpc_pg.dir/DependInfo.cmake"
+  "/root/repo/build/src/store/CMakeFiles/mpc_store.dir/DependInfo.cmake"
+  "/root/repo/build/src/sparql/CMakeFiles/mpc_sparql.dir/DependInfo.cmake"
+  "/root/repo/build/src/mpc/CMakeFiles/mpc_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/partition/CMakeFiles/mpc_partition.dir/DependInfo.cmake"
+  "/root/repo/build/src/metis/CMakeFiles/mpc_metis.dir/DependInfo.cmake"
+  "/root/repo/build/src/dsf/CMakeFiles/mpc_dsf.dir/DependInfo.cmake"
+  "/root/repo/build/src/rdf/CMakeFiles/mpc_rdf.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/mpc_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

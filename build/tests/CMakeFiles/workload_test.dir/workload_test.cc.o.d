@@ -323,8 +323,8 @@ tests/CMakeFiles/workload_test.dir/workload_test.cc.o: \
  /root/miniconda/include/gtest/gtest-typed-test.h \
  /root/miniconda/include/gtest/gtest_pred_impl.h \
  /root/repo/src/mpc/mpc_partitioner.h /root/repo/src/mpc/selector.h \
- /root/repo/src/mpc/weighted_selector.h \
- /root/repo/src/partition/partitioner.h /root/repo/src/sparql/parser.h \
+ /root/repo/src/partition/partitioner.h \
+ /root/repo/src/mpc/weighted_selector.h /root/repo/src/sparql/parser.h \
  /root/repo/src/sparql/shape.h /root/repo/tests/test_util.h \
  /root/repo/src/store/bgp_matcher.h /root/repo/src/store/triple_store.h \
  /root/repo/src/workload/lubm.h

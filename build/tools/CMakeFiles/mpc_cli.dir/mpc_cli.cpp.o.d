@@ -183,7 +183,6 @@ tools/CMakeFiles/mpc_cli.dir/mpc_cli.cpp.o: /root/repo/tools/mpc_cli.cpp \
  /usr/include/c++/12/vector /usr/include/c++/12/bits/stl_vector.h \
  /usr/include/c++/12/bits/stl_bvector.h \
  /usr/include/c++/12/bits/vector.tcc /root/repo/src/common/string_util.h \
- /root/repo/src/common/timer.h /usr/include/c++/12/chrono \
  /root/repo/src/exec/cluster.h /usr/include/c++/12/memory \
  /usr/include/c++/12/bits/stl_tempbuf.h \
  /usr/include/c++/12/bits/stl_raw_storage_iter.h \
@@ -241,8 +240,8 @@ tools/CMakeFiles/mpc_cli.dir/mpc_cli.cpp.o: /root/repo/tools/mpc_cli.cpp \
  /root/repo/src/exec/distributed_executor.h \
  /root/repo/src/exec/network_model.h /root/repo/src/store/bgp_matcher.h \
  /root/repo/src/exec/explain.h /root/repo/src/mpc/mpc_partitioner.h \
- /root/repo/src/mpc/selector.h /root/repo/src/mpc/weighted_selector.h \
- /root/repo/src/partition/partitioner.h \
+ /root/repo/src/mpc/selector.h /root/repo/src/partition/partitioner.h \
+ /root/repo/src/mpc/weighted_selector.h \
  /root/repo/src/partition/edge_cut_partitioner.h \
  /root/repo/src/partition/partition_io.h \
  /root/repo/src/partition/subject_hash_partitioner.h \

@@ -59,12 +59,12 @@ int main(int argc, char** argv) {
             << input << "\n";
 
   core::MpcOptions options;
-  options.k = k;
-  options.epsilon = epsilon;
+  options.base.k = k;
+  options.base.epsilon = epsilon;
   core::MpcPartitioner partitioner(options);
   core::MpcRunStats run_stats;
   partition::Partitioning partitioning =
-      partitioner.PartitionWithStats(graph, &run_stats);
+      partitioner.Partition(graph, &run_stats);
 
   std::cout << "MPC: |L_in| = " << run_stats.selection.num_internal << "/"
             << graph.num_properties()

@@ -43,8 +43,8 @@ int main(int argc, char** argv) {
 
   {
     core::MpcOptions options;
-    options.k = k;
-    options.epsilon = epsilon;
+    options.base.k = k;
+    options.base.epsilon = epsilon;
     core::MpcPartitioner mpc(options);
     strategies.push_back({"MPC", exec::Cluster::Build(mpc.Partition(graph))});
   }

@@ -65,8 +65,8 @@ int main() {
   std::cout << "\n\n";
 
   core::MpcOptions options;
-  options.k = 4;
-  options.epsilon = 0.3;
+  options.base.k = 4;
+  options.base.epsilon = 0.3;
   Result<pg::PgPartitionResult> result =
       pg::PartitionPropertyGraph(graph, options);
   if (!result.ok()) {

@@ -39,8 +39,8 @@ int main(int argc, char** argv) {
   std::vector<Strategy> strategies;
   {
     core::MpcOptions options;
-    options.k = 8;
-    options.epsilon = 0.1;
+    options.base.k = 8;
+    options.base.epsilon = 0.1;
     strategies.push_back(
         {"MPC", core::MpcPartitioner(options).Partition(d.graph)});
   }

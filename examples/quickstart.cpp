@@ -45,8 +45,8 @@ int main() {
 
   // MPC partitioning into k=2 sites (epsilon=0.6 on this 11-vertex toy).
   core::MpcOptions options;
-  options.k = 2;
-  options.epsilon = 0.6;
+  options.base.k = 2;
+  options.base.epsilon = 0.6;
   options.strategy = core::SelectionStrategy::kGreedy;
   core::MpcPartitioner partitioner(options);
   partition::Partitioning partitioning = partitioner.Partition(graph);

@@ -16,8 +16,9 @@ void SetLogLevel(LogLevel level);
 
 namespace internal {
 
-/// Stream-style log line; flushes on destruction. Not thread-buffered —
-/// the library is single-threaded per site, matching the paper's setup.
+/// Stream-style log line. The full message is buffered locally and
+/// emitted as ONE atomic write on destruction, so concurrent log lines
+/// from pool workers never interleave mid-line.
 class LogMessage {
  public:
   LogMessage(LogLevel level, const char* file, int line);

@@ -1,0 +1,103 @@
+#ifndef MPC_COMMON_THREAD_POOL_H_
+#define MPC_COMMON_THREAD_POOL_H_
+
+#include <algorithm>
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <exception>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <utility>
+#include <vector>
+
+namespace mpc {
+
+/// Resolves a user-facing thread-count option: n >= 1 is taken verbatim,
+/// n <= 0 means "one worker per hardware thread" (at least 1 when the
+/// hardware concurrency is unknown). All num_threads options in this
+/// codebase share this convention: 0 = hardware_concurrency, 1 = serial.
+int ResolveNumThreads(int num_threads);
+
+/// Minimal fixed-size worker pool over one FIFO task queue — no work
+/// stealing, no priorities. Tasks are void() callables; the first
+/// exception a task throws is captured and rethrown from Wait().
+///
+/// The pool is the shared concurrency substrate for the offline
+/// pipeline: per-property cost evaluation, chunked N-Triples parsing,
+/// per-site partition materialization and per-site BGP matching all run
+/// through it (via ParallelFor below).
+class ThreadPool {
+ public:
+  /// Spawns `num_threads` workers (resolved via ResolveNumThreads).
+  explicit ThreadPool(int num_threads);
+
+  /// Drains the queue, then joins every worker.
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  int num_threads() const { return static_cast<int>(workers_.size()); }
+
+  /// Enqueues one task. Thread-safe against other Submit/Wait calls.
+  void Submit(std::function<void()> task);
+
+  /// Blocks until every submitted task has finished, then rethrows the
+  /// first exception any task threw (clearing it, so the pool stays
+  /// usable).
+  void Wait();
+
+ private:
+  void WorkerLoop();
+
+  std::mutex mutex_;
+  std::condition_variable work_available_;
+  std::condition_variable all_done_;
+  std::deque<std::function<void()>> queue_;
+  size_t in_flight_ = 0;  // queued + currently running
+  bool stopping_ = false;
+  std::exception_ptr first_exception_;
+  std::vector<std::thread> workers_;
+};
+
+/// Data-parallel loop: invokes fn(i) for every i in [begin, end). The
+/// range is cut into contiguous chunks of at most `grain` indices and
+/// the chunks are executed by ResolveNumThreads(num_threads) workers.
+///
+/// With one worker (or a single chunk) this degenerates to the plain
+/// serial loop — no pool is created. Chunk boundaries depend only on
+/// (begin, end, grain), never on the worker count, and workers only
+/// decide *when* a chunk runs, not what it computes — so callers that
+/// write results into per-index (or per-chunk) slots get bit-identical
+/// output at every thread count. The first exception thrown by fn
+/// propagates to the caller.
+template <typename Fn>
+void ParallelFor(size_t begin, size_t end, size_t grain, int num_threads,
+                 Fn&& fn) {
+  if (end <= begin) return;
+  if (grain == 0) grain = 1;
+  const size_t count = end - begin;
+  const size_t num_chunks = (count + grain - 1) / grain;
+  int threads = ResolveNumThreads(num_threads);
+  if (threads <= 1 || num_chunks <= 1) {
+    for (size_t i = begin; i < end; ++i) fn(i);
+    return;
+  }
+  threads = static_cast<int>(
+      std::min<size_t>(static_cast<size_t>(threads), num_chunks));
+  ThreadPool pool(threads);
+  for (size_t c = 0; c < num_chunks; ++c) {
+    const size_t lo = begin + c * grain;
+    const size_t hi = std::min(end, lo + grain);
+    pool.Submit([lo, hi, &fn] {
+      for (size_t i = lo; i < hi; ++i) fn(i);
+    });
+  }
+  pool.Wait();
+}
+
+}  // namespace mpc
+
+#endif  // MPC_COMMON_THREAD_POOL_H_

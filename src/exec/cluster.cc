@@ -2,35 +2,41 @@
 
 #include <algorithm>
 
+#include "common/thread_pool.h"
 #include "common/timer.h"
 
 namespace mpc::exec {
 
-Cluster Cluster::Build(partition::Partitioning partitioning) {
+Cluster Cluster::Build(partition::Partitioning partitioning,
+                       int num_threads) {
+  const int threads = ResolveNumThreads(num_threads);
   Cluster cluster;
   cluster.partitioning_ = std::move(partitioning);
-  cluster.stores_.reserve(cluster.partitioning_.k());
+  const size_t k = cluster.partitioning_.k();
   cluster.num_properties_ =
       cluster.partitioning_.crossing_property_mask().size();
-  cluster.property_present_.assign(
-      static_cast<size_t>(cluster.partitioning_.k()) *
-          cluster.num_properties_,
-      false);
-  double max_millis = 0.0;
-  for (uint32_t i = 0; i < cluster.partitioning_.k(); ++i) {
-    const partition::Partition& p = cluster.partitioning_.partition(i);
+  cluster.property_present_.assign(k * cluster.num_properties_, 0);
+  cluster.stores_.resize(k);
+  std::vector<double> site_millis(k, 0.0);
+  // Sites touch disjoint store slots and disjoint presence-map rows, so
+  // they build independently; every output lands in a per-site slot.
+  ParallelFor(0, k, 1, threads, [&](size_t i) {
+    const partition::Partition& p =
+        cluster.partitioning_.partition(static_cast<uint32_t>(i));
     std::vector<rdf::Triple> triples = p.internal_edges;
     triples.insert(triples.end(), p.crossing_edges.begin(),
                    p.crossing_edges.end());
     for (const rdf::Triple& t : triples) {
-      cluster.property_present_[i * cluster.num_properties_ + t.property] =
-          true;
+      cluster.property_present_[i * cluster.num_properties_ + t.property] = 1;
     }
     Timer timer;
-    cluster.stores_.emplace_back(std::move(triples));
-    max_millis = std::max(max_millis, timer.ElapsedMillis());
-  }
-  cluster.loading_millis_ = max_millis;
+    cluster.stores_[i] = store::TripleStore(std::move(triples));
+    site_millis[i] = timer.ElapsedMillis();
+  });
+  cluster.loading_millis_ =
+      site_millis.empty()
+          ? 0.0
+          : *std::max_element(site_millis.begin(), site_millis.end());
   return cluster;
 }
 

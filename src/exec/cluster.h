@@ -19,8 +19,12 @@ class Cluster {
  public:
   /// Builds the per-site stores from a materialized partitioning. The
   /// partitioning is moved in and retained (the executor needs its
-  /// crossing-property mask).
-  static Cluster Build(partition::Partitioning partitioning);
+  /// crossing-property mask). Sites are independent, so with
+  /// num_threads > 1 (0 = hardware_concurrency) their indexes build
+  /// concurrently — mirroring what a real cluster does anyway — with
+  /// identical resulting stores at any thread count.
+  static Cluster Build(partition::Partitioning partitioning,
+                       int num_threads = 1);
 
   uint32_t k() const { return partitioning_.k(); }
   const store::TripleStore& site(uint32_t i) const { return stores_[i]; }
@@ -46,8 +50,11 @@ class Cluster {
  private:
   partition::Partitioning partitioning_;
   std::vector<store::TripleStore> stores_;
-  /// Row-major [site][property] presence bitmap.
-  std::vector<bool> property_present_;
+  /// Row-major [site][property] presence map. One byte per entry (not
+  /// vector<bool>): sites fill their rows concurrently, and distinct
+  /// bytes can be written from different threads while distinct bits of
+  /// one byte cannot.
+  std::vector<uint8_t> property_present_;
   size_t num_properties_ = 0;
   double loading_millis_ = 0.0;
 };

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "common/thread_pool.h"
 #include "common/timer.h"
 #include "exec/bloom_filter.h"
 #include "exec/join.h"
@@ -37,6 +38,7 @@ Result<BindingTable> DistributedExecutor::ExecuteText(
 
 Result<BindingTable> DistributedExecutor::ExecuteVertexDisjoint(
     const sparql::QueryGraph& query, ExecutionStats* stats) const {
+  const int threads = ResolveNumThreads(options_.num_threads);
   // --- QDT: classify, decompose, resolve, dispatch. ---
   Timer timer;
   Classification cls =
@@ -129,8 +131,9 @@ Result<BindingTable> DistributedExecutor::ExecuteVertexDisjoint(
       const store::ResolvedPattern& p = resolved.patterns[idx];
       if (!p.p_is_var && !p.impossible) required.push_back(p.p);
     }
-    double slowest_site = 0.0;
-    BindingTable merged;
+    // Sites that can contribute (localization): decided serially so the
+    // pruning/contact bookkeeping never depends on scheduling.
+    std::vector<uint32_t> sites;
     for (uint32_t site = 0; site < cluster_.k(); ++site) {
       if (options_.site_pruning) {
         bool relevant = true;
@@ -147,9 +150,25 @@ Result<BindingTable> DistributedExecutor::ExecuteVertexDisjoint(
       }
       site_contacted[site] = true;
       ++stats->sites_evaluated;
+      sites.push_back(site);
+    }
+
+    // Concurrent local evaluation, the in-process analogue of the k
+    // machines matching in parallel. Each site's table, timing and drop
+    // count land in that site's slot; the bloom filters were published
+    // by earlier subqueries and are only read here. The merge below
+    // walks the slots in site order, so the merged table is identical
+    // at any thread count.
+    struct SiteEval {
+      BindingTable table;
+      double millis = 0.0;
+      size_t dropped = 0;
+    };
+    std::vector<SiteEval> evals(sites.size());
+    ParallelFor(0, sites.size(), 1, threads, [&](size_t s) {
       Timer site_timer;
       BindingTable local = BgpMatcher::Evaluate(
-          cluster_.site(site), resolved, sub, matcher_options);
+          cluster_.site(sites[s]), resolved, sub, matcher_options);
       if (use_bloom) {
         // Drop rows whose join keys cannot match any earlier subquery's
         // bindings; this happens site-side, before shipping.
@@ -171,15 +190,25 @@ Result<BindingTable> DistributedExecutor::ExecuteVertexDisjoint(
             ++kept;
           }
         }
-        stats->bloom_dropped_rows += local.rows.size() - kept;
+        evals[s].dropped = local.rows.size() - kept;
         local.rows.resize(kept);
       }
-      slowest_site = std::max(slowest_site, site_timer.ElapsedMillis());
-      stats->local_rows += local.num_rows();
-      if (merged.var_ids.empty()) merged.var_ids = local.var_ids;
-      for (auto& row : local.rows) merged.rows.push_back(std::move(row));
+      evals[s].millis = site_timer.ElapsedMillis();
+      evals[s].table = std::move(local);
+    });
+
+    double slowest_site = 0.0;
+    BindingTable merged;
+    for (SiteEval& eval : evals) {
+      slowest_site = std::max(slowest_site, eval.millis);
+      stats->bloom_dropped_rows += eval.dropped;
+      stats->local_rows += eval.table.num_rows();
+      if (merged.var_ids.empty()) merged.var_ids = eval.table.var_ids;
+      for (auto& row : eval.table.rows) {
+        merged.rows.push_back(std::move(row));
+      }
       // Shipping this site's table to the coordinator.
-      stats->shipped_bytes += local.ByteSize();
+      stats->shipped_bytes += eval.table.ByteSize();
     }
     if (merged.var_ids.empty()) {
       // Every site pruned (or k = 0): synthesize the empty table with
@@ -285,25 +314,17 @@ Result<BindingTable> DistributedExecutor::ExecuteVp(
     // home site (or every site for variable predicates), shipped to the
     // coordinator, and joined there.
     stats->num_subqueries = query.num_patterns();
+    const int threads = ResolveNumThreads(options_.num_threads);
     std::vector<BindingTable> pattern_tables;
     for (size_t i = 0; i < query.num_patterns(); ++i) {
       const sparql::TriplePattern& pattern = query.patterns()[i];
       std::vector<size_t> one{i};
       BindingTable merged;
       double slowest = 0.0;
-      auto eval_site = [&](uint32_t site) {
-        Timer site_timer;
-        BindingTable t = BgpMatcher::Evaluate(cluster_.site(site), resolved,
-                                              one, matcher_options);
-        slowest = std::max(slowest, site_timer.ElapsedMillis());
-        stats->local_rows += t.num_rows();
-        stats->shipped_bytes += t.ByteSize();
-        if (merged.var_ids.empty()) merged.var_ids = t.var_ids;
-        for (auto& row : t.rows) merged.rows.push_back(std::move(row));
-      };
+      std::vector<uint32_t> sites;
       if (pattern.predicate.is_variable()) {
         for (uint32_t site = 0; site < cluster_.k(); ++site) {
-          eval_site(site);
+          sites.push_back(site);
         }
       } else {
         rdf::PropertyId p =
@@ -315,7 +336,29 @@ Result<BindingTable> DistributedExecutor::ExecuteVp(
                                         matcher_options);
           merged.rows.clear();
         } else {
-          eval_site(partitioning.PropertyHome(p));
+          sites.push_back(partitioning.PropertyHome(p));
+        }
+      }
+      // Concurrent per-site scans into per-site slots, merged serially
+      // in site order (same scheme as the vertex-disjoint path).
+      struct SiteEval {
+        BindingTable table;
+        double millis = 0.0;
+      };
+      std::vector<SiteEval> evals(sites.size());
+      ParallelFor(0, sites.size(), 1, threads, [&](size_t s) {
+        Timer site_timer;
+        evals[s].table = BgpMatcher::Evaluate(cluster_.site(sites[s]),
+                                              resolved, one, matcher_options);
+        evals[s].millis = site_timer.ElapsedMillis();
+      });
+      for (SiteEval& eval : evals) {
+        slowest = std::max(slowest, eval.millis);
+        stats->local_rows += eval.table.num_rows();
+        stats->shipped_bytes += eval.table.ByteSize();
+        if (merged.var_ids.empty()) merged.var_ids = eval.table.var_ids;
+        for (auto& row : eval.table.rows) {
+          merged.rows.push_back(std::move(row));
         }
       }
       stats->local_eval_millis += slowest;

@@ -73,6 +73,13 @@ struct ExecutorOptions {
   /// coordinator join); off by default to keep the baseline execution
   /// model identical to the paper's.
   bool bloom_reduction = false;
+  /// Worker threads for concurrent per-site BGP matching (the sites of a
+  /// real deployment evaluate concurrently anyway; this makes the
+  /// simulation do the same). 0 = hardware_concurrency. Defaults to 1 so
+  /// the simulated LET timing model stays serial unless asked otherwise;
+  /// result tables are bit-identical at any value (per-site results land
+  /// in per-site slots and merge in site order).
+  int num_threads = 1;
 };
 
 class DistributedExecutor {

@@ -1,5 +1,6 @@
 #include "mpc/mpc_partitioner.h"
 
+#include "common/thread_pool.h"
 #include "common/timer.h"
 #include "metis/partitioner.h"
 #include "mpc/coarsener.h"
@@ -9,8 +10,7 @@ namespace mpc::core {
 std::unique_ptr<InternalPropertySelector> MpcPartitioner::MakeSelector()
     const {
   SelectorOptions selector_options;
-  selector_options.k = options_.k;
-  selector_options.epsilon = options_.epsilon;
+  selector_options.base = options_.base;
   selector_options.backward_candidates = options_.backward_candidates;
   selector_options.exact_node_budget = options_.exact_node_budget;
   switch (options_.strategy) {
@@ -32,44 +32,51 @@ std::unique_ptr<InternalPropertySelector> MpcPartitioner::MakeSelector()
 }
 
 partition::Partitioning MpcPartitioner::Partition(
-    const rdf::RdfGraph& graph) const {
-  MpcRunStats stats;
-  return PartitionWithStats(graph, &stats);
-}
+    const rdf::RdfGraph& graph, partition::RunStats* stats) const {
+  const int threads = ResolveNumThreads(options_.base.num_threads);
+  auto* mpc_stats = dynamic_cast<MpcRunStats*>(stats);
 
-partition::Partitioning MpcPartitioner::PartitionWithStats(
-    const rdf::RdfGraph& graph, MpcRunStats* stats) const {
   Timer timer;
   std::unique_ptr<InternalPropertySelector> selector = MakeSelector();
-  stats->selection = selector->Select(graph);
-  stats->selection_millis = timer.ElapsedMillis();
+  SelectionResult selection = selector->Select(graph);
+  const double selection_millis = timer.ElapsedMillis();
 
   timer.Reset();
   CoarsenedGraph coarse =
-      CoarsenByInternalProperties(graph, stats->selection.internal);
-  stats->num_supervertices = coarse.num_supervertices;
-  stats->coarsening_millis = timer.ElapsedMillis();
+      CoarsenByInternalProperties(graph, selection.internal);
+  const double coarsening_millis = timer.ElapsedMillis();
 
   timer.Reset();
   metis::MlpOptions mlp_options;
-  mlp_options.k = options_.k;
-  mlp_options.epsilon = options_.epsilon;
-  mlp_options.seed = options_.seed;
+  mlp_options.k = options_.base.k;
+  mlp_options.epsilon = options_.base.epsilon;
+  mlp_options.seed = options_.base.seed;
   metis::MultilevelPartitioner mlp(mlp_options);
   std::vector<uint32_t> super_part = mlp.Partition(coarse.graph);
-  stats->metis_millis = timer.ElapsedMillis();
+  const double metis_millis = timer.ElapsedMillis();
 
   timer.Reset();
   partition::VertexAssignment assignment;
-  assignment.k = options_.k;
+  assignment.k = options_.base.k;
   assignment.part.resize(graph.num_vertices());
-  for (size_t v = 0; v < graph.num_vertices(); ++v) {
+  // Uncoarsen: every vertex writes only its own slot.
+  ParallelFor(0, graph.num_vertices(), 8192, threads, [&](size_t v) {
     assignment.part[v] = super_part[coarse.vertex_to_super[v]];
-  }
+  });
   partition::Partitioning result =
       partition::Partitioning::MaterializeVertexDisjoint(
-          graph, std::move(assignment));
-  stats->materialize_millis = timer.ElapsedMillis();
+          graph, std::move(assignment), threads);
+  if (stats != nullptr) {
+    stats->threads_used = threads;
+    stats->AddStage("selection", selection_millis);
+    stats->AddStage("coarsening", coarsening_millis);
+    stats->AddStage("metis", metis_millis);
+    stats->AddStage("materialize", timer.ElapsedMillis());
+  }
+  if (mpc_stats != nullptr) {
+    mpc_stats->num_supervertices = coarse.num_supervertices;
+    mpc_stats->selection = std::move(selection);
+  }
   return result;
 }
 

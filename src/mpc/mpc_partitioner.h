@@ -27,10 +27,9 @@ enum class SelectionStrategy {
 };
 
 struct MpcOptions {
-  uint32_t k = 8;
-  /// Imbalance tolerance epsilon of Definition 4.1.
-  double epsilon = 0.1;
-  uint64_t seed = 1;
+  /// k (partition count), epsilon (imbalance tolerance of Definition
+  /// 4.1), seed and num_threads — the knobs every partitioner shares.
+  partition::PartitionerOptions base;
   SelectionStrategy strategy = SelectionStrategy::kAuto;
   /// Property-count threshold for kAuto.
   size_t auto_threshold = 512;
@@ -42,14 +41,15 @@ struct MpcOptions {
   std::vector<double> property_weights;
 };
 
-/// Per-run diagnostics surfaced by PartitionWithStats.
-struct MpcRunStats {
+/// MPC-specific diagnostics on top of the common per-stage timings
+/// ("selection", "coarsening", "metis", "materialize"). Pass one of
+/// these as the RunStats* argument of Partition() to additionally
+/// receive the selection result and the supervertex count; the base
+/// pointer is dynamic_cast down, so a plain partition::RunStats still
+/// collects the stage timings.
+struct MpcRunStats : partition::RunStats {
   SelectionResult selection;
   size_t num_supervertices = 0;
-  double selection_millis = 0.0;
-  double coarsening_millis = 0.0;
-  double metis_millis = 0.0;
-  double materialize_millis = 0.0;
 };
 
 /// The paper's contribution (Section IV): Minimum Property-Cut
@@ -72,11 +72,8 @@ class MpcPartitioner : public partition::Partitioner {
   }
 
   partition::Partitioning Partition(
-      const rdf::RdfGraph& graph) const override;
-
-  /// Like Partition but also reports stage timings and selection stats.
-  partition::Partitioning PartitionWithStats(const rdf::RdfGraph& graph,
-                                             MpcRunStats* stats) const;
+      const rdf::RdfGraph& graph,
+      partition::RunStats* stats = nullptr) const override;
 
   const MpcOptions& options() const { return options_; }
 

@@ -3,9 +3,9 @@
 #include <algorithm>
 #include <cassert>
 #include <queue>
-#include <unordered_map>
 #include <unordered_set>
 
+#include "common/thread_pool.h"
 #include "dsf/disjoint_set_forest.h"
 
 namespace mpc::core {
@@ -29,11 +29,23 @@ SelectionResult MakeEmptyResult(size_t num_properties) {
 
 SelectionResult GreedySelector::Select(const rdf::RdfGraph& graph) const {
   const size_t num_props = graph.num_properties();
-  const size_t cap = BalanceCap(graph, options_.k, options_.epsilon);
+  const size_t cap = BalanceCap(graph, options_.base.k, options_.base.epsilon);
+  const int threads = ResolveNumThreads(options_.base.num_threads);
   SelectionResult result = MakeEmptyResult(num_props);
 
   // Lines 2-4 of Algorithm 1: per-property WCC cost; prune properties
-  // that alone exceed the cap (Section IV-E heuristic 1).
+  // that alone exceed the cap (Section IV-E heuristic 1). Each property's
+  // Cost({p}) uses a forest local to that property's edges, so the costs
+  // evaluate in parallel; pruning and heap construction stay serial in
+  // property order so the heap contents are thread-count independent.
+  std::vector<size_t> single_cost(num_props);
+  std::vector<size_t> frequency(num_props);
+  ParallelFor(0, num_props, 1, threads, [&](size_t p) {
+    auto edges = graph.EdgesWithProperty(static_cast<rdf::PropertyId>(p));
+    single_cost[p] = dsf::MaxWccOfEdges(edges);
+    frequency[p] = edges.size();
+  });
+
   struct Candidate {
     size_t cached_cost;  // lower bound on Cost(L_in ∪ {p})
     size_t frequency;
@@ -50,13 +62,11 @@ SelectionResult GreedySelector::Select(const rdf::RdfGraph& graph) const {
                       std::greater<Candidate>>
       heap;
   for (size_t p = 0; p < num_props; ++p) {
-    auto edges = graph.EdgesWithProperty(static_cast<rdf::PropertyId>(p));
-    size_t single_cost = dsf::MaxWccOfEdges(edges);
-    if (single_cost > cap) {
+    if (single_cost[p] > cap) {
       ++result.pruned_properties;
       continue;
     }
-    heap.push({std::max<size_t>(single_cost, 1), edges.size(),
+    heap.push({std::max<size_t>(single_cost[p], 1), frequency[p],
                static_cast<rdf::PropertyId>(p)});
   }
 
@@ -93,7 +103,8 @@ SelectionResult GreedySelector::Select(const rdf::RdfGraph& graph) const {
 
 SelectionResult BackwardSelector::Select(const rdf::RdfGraph& graph) const {
   const size_t num_props = graph.num_properties();
-  const size_t cap = BalanceCap(graph, options_.k, options_.epsilon);
+  const size_t cap = BalanceCap(graph, options_.base.k, options_.base.epsilon);
+  const int threads = ResolveNumThreads(options_.base.num_threads);
   SelectionResult result = MakeEmptyResult(num_props);
 
   // Start with every property internal (Section IV-E heuristic 2).
@@ -115,7 +126,11 @@ SelectionResult BackwardSelector::Select(const rdf::RdfGraph& graph) const {
     }
 
     // Identify the largest component's root and the second-largest
-    // component size (the floor any removal can reach this step).
+    // component size (the floor any removal can reach this step). The
+    // scan also snapshots every vertex's root: Find() compresses paths
+    // (mutating), so the parallel sections below read this snapshot
+    // instead of touching the forest.
+    std::vector<uint32_t> root_of(graph.num_vertices());
     uint32_t giant_root = 0;
     size_t second_max = 0;
     {
@@ -123,6 +138,7 @@ SelectionResult BackwardSelector::Select(const rdf::RdfGraph& graph) const {
       size_t best = 0;
       for (uint32_t v = 0; v < graph.num_vertices(); ++v) {
         uint32_t root = forest.Find(v);
+        root_of[v] = root;
         if (!seen_roots.insert(root).second) continue;
         size_t size = forest.SizeOfRoot(root);
         if (size > best) {
@@ -137,24 +153,28 @@ SelectionResult BackwardSelector::Select(const rdf::RdfGraph& graph) const {
 
     // Candidates: properties with edges inside the giant component,
     // ranked by their edge count there (removing a heavy property is the
-    // likeliest to shatter it).
-    std::unordered_map<rdf::PropertyId, size_t> in_giant;
-    for (size_t p = 0; p < num_props; ++p) {
-      if (!selected[p]) continue;
-      auto edges = graph.EdgesWithProperty(static_cast<rdf::PropertyId>(p));
+    // likeliest to shatter it). Counting per property is independent;
+    // each property writes only its own slot.
+    std::vector<size_t> giant_edges(num_props, 0);
+    ParallelFor(0, num_props, 1, threads, [&](size_t p) {
+      if (!selected[p]) return;
       size_t count = 0;
-      for (const rdf::Triple& t : edges) {
+      for (const rdf::Triple& t :
+           graph.EdgesWithProperty(static_cast<rdf::PropertyId>(p))) {
         // An edge of a selected property touching the giant WCC lies
         // entirely inside it.
-        if (forest.Find(t.subject) == giant_root) ++count;
+        if (root_of[t.subject] == giant_root) ++count;
       }
-      if (count > 0) in_giant.emplace(static_cast<rdf::PropertyId>(p), count);
-    }
-    assert(!in_giant.empty());
+      giant_edges[p] = count;
+    });
 
     std::vector<std::pair<size_t, rdf::PropertyId>> ranked;
-    ranked.reserve(in_giant.size());
-    for (auto [p, count] : in_giant) ranked.emplace_back(count, p);
+    for (size_t p = 0; p < num_props; ++p) {
+      if (giant_edges[p] > 0) {
+        ranked.emplace_back(giant_edges[p], static_cast<rdf::PropertyId>(p));
+      }
+    }
+    assert(!ranked.empty());
     std::sort(ranked.begin(), ranked.end(),
               [](const auto& a, const auto& b) {
                 if (a.first != b.first) return a.first > b.first;
@@ -167,25 +187,30 @@ SelectionResult BackwardSelector::Select(const rdf::RdfGraph& graph) const {
     // Exact evaluation of each candidate, restricted to the giant
     // component: removing p can only split the giant; everything else is
     // unchanged, so new_cost = max(second_max, maxWCC(giant minus p)).
-    rdf::PropertyId best_property = ranked[0].second;
-    size_t best_new_cost = SIZE_MAX;
-    for (size_t c = 0; c < num_candidates; ++c) {
+    // Candidates evaluate in parallel, each on its own local forest; the
+    // argmin over candidate rank order stays serial for determinism.
+    std::vector<size_t> candidate_cost(num_candidates);
+    ParallelFor(0, num_candidates, 1, threads, [&](size_t c) {
       rdf::PropertyId candidate = ranked[c].second;
       dsf::DisjointSetForest local(graph.num_vertices());
       for (size_t p = 0; p < num_props; ++p) {
         if (!selected[p] || p == candidate) continue;
         for (const rdf::Triple& t :
              graph.EdgesWithProperty(static_cast<rdf::PropertyId>(p))) {
-          if (forest.Find(t.subject) != giant_root) continue;
+          if (root_of[t.subject] != giant_root) continue;
           local.Union(t.subject, t.object);
         }
       }
       // local's max component counts singletons as 1, which is correct:
       // giant vertices isolated by the removal become singleton WCCs.
-      size_t new_cost = std::max(second_max, local.max_component_size());
-      if (new_cost < best_new_cost) {
-        best_new_cost = new_cost;
-        best_property = candidate;
+      candidate_cost[c] = std::max(second_max, local.max_component_size());
+    });
+    rdf::PropertyId best_property = ranked[0].second;
+    size_t best_new_cost = SIZE_MAX;
+    for (size_t c = 0; c < num_candidates; ++c) {
+      if (candidate_cost[c] < best_new_cost) {
+        best_new_cost = candidate_cost[c];
+        best_property = ranked[c].second;
       }
     }
     selected[best_property] = false;
@@ -199,7 +224,8 @@ SelectionResult BackwardSelector::Select(const rdf::RdfGraph& graph) const {
 
 SelectionResult ExactSelector::Select(const rdf::RdfGraph& graph) const {
   const size_t num_props = graph.num_properties();
-  const size_t cap = BalanceCap(graph, options_.k, options_.epsilon);
+  const size_t cap = BalanceCap(graph, options_.base.k, options_.base.epsilon);
+  const int threads = ResolveNumThreads(options_.base.num_threads);
 
   // Seed the incumbent with the greedy solution: strong bound, and the
   // fallback answer if the node budget runs out.
@@ -208,16 +234,22 @@ SelectionResult ExactSelector::Select(const rdf::RdfGraph& graph) const {
   best.optimal = false;
 
   // Feasible properties only; a property infeasible alone is infeasible
-  // in any superset (monotonicity).
+  // in any superset (monotonicity). Costs evaluate in parallel; the
+  // filter runs serially in property order.
   struct Prop {
     rdf::PropertyId id;
     size_t single_cost;
   };
+  std::vector<size_t> single_cost(num_props);
+  ParallelFor(0, num_props, 1, threads, [&](size_t p) {
+    single_cost[p] = dsf::MaxWccOfEdges(
+        graph.EdgesWithProperty(static_cast<rdf::PropertyId>(p)));
+  });
   std::vector<Prop> props;
   for (size_t p = 0; p < num_props; ++p) {
-    size_t cost = dsf::MaxWccOfEdges(
-        graph.EdgesWithProperty(static_cast<rdf::PropertyId>(p)));
-    if (cost <= cap) props.push_back({static_cast<rdf::PropertyId>(p), cost});
+    if (single_cost[p] <= cap) {
+      props.push_back({static_cast<rdf::PropertyId>(p), single_cost[p]});
+    }
   }
   // Decide high-conflict (expensive) properties first: failures prune
   // whole subtrees early.

@@ -5,6 +5,7 @@
 #include <string>
 #include <vector>
 
+#include "partition/partitioner.h"
 #include "rdf/graph.h"
 
 namespace mpc::core {
@@ -32,8 +33,10 @@ struct SelectionResult {
 };
 
 struct SelectorOptions {
-  uint32_t k = 8;
-  double epsilon = 0.1;
+  /// k, epsilon, seed and num_threads, shared with every partitioner.
+  /// Selection parallelizes the per-property cost evaluations; the result
+  /// is bit-identical at any thread count.
+  partition::PartitionerOptions base;
   /// BackwardSelector: how many highest-impact candidate properties are
   /// exactly evaluated per removal step.
   int backward_candidates = 16;

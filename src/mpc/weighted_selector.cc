@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <unordered_set>
 
+#include "common/thread_pool.h"
 #include "dsf/disjoint_set_forest.h"
 
 namespace mpc::core {
@@ -10,7 +11,8 @@ namespace mpc::core {
 SelectionResult WeightedGreedySelector::Select(
     const rdf::RdfGraph& graph) const {
   const size_t num_props = graph.num_properties();
-  const size_t cap = BalanceCap(graph, options_.k, options_.epsilon);
+  const size_t cap = BalanceCap(graph, options_.base.k, options_.base.epsilon);
+  const int threads = ResolveNumThreads(options_.base.num_threads);
 
   SelectionResult result;
   result.internal.assign(num_props, false);
@@ -19,11 +21,17 @@ SelectionResult WeightedGreedySelector::Select(
     return p < weights_.size() ? weights_[p] : default_weight_;
   };
 
-  // Feasibility prefilter, as in Algorithm 1 lines 2-4.
+  // Feasibility prefilter, as in Algorithm 1 lines 2-4. Per-property
+  // costs evaluate in parallel; the filter stays serial in property
+  // order.
+  std::vector<size_t> single_cost(num_props);
+  ParallelFor(0, num_props, 1, threads, [&](size_t p) {
+    single_cost[p] = dsf::MaxWccOfEdges(
+        graph.EdgesWithProperty(static_cast<rdf::PropertyId>(p)));
+  });
   std::vector<rdf::PropertyId> remaining;
   for (size_t p = 0; p < num_props; ++p) {
-    auto edges = graph.EdgesWithProperty(static_cast<rdf::PropertyId>(p));
-    if (dsf::MaxWccOfEdges(edges) > cap) {
+    if (single_cost[p] > cap) {
       ++result.pruned_properties;
     } else {
       remaining.push_back(static_cast<rdf::PropertyId>(p));

@@ -1,11 +1,16 @@
 #include "partition/edge_cut_partitioner.h"
 
+#include "common/thread_pool.h"
+#include "common/timer.h"
 #include "metis/csr_graph.h"
 #include "metis/partitioner.h"
 
 namespace mpc::partition {
 
-Partitioning EdgeCutPartitioner::Partition(const rdf::RdfGraph& graph) const {
+Partitioning EdgeCutPartitioner::Partition(const rdf::RdfGraph& graph,
+                                           RunStats* stats) const {
+  const int threads = ResolveNumThreads(options_.num_threads);
+  Timer timer;
   metis::CsrGraph structure =
       metis::CsrGraph::FromTriples(graph.num_vertices(), graph.triples());
   metis::MlpOptions mlp_options;
@@ -17,8 +22,17 @@ Partitioning EdgeCutPartitioner::Partition(const rdf::RdfGraph& graph) const {
   VertexAssignment assignment;
   assignment.k = options_.k;
   assignment.part = partitioner.Partition(structure);
-  return Partitioning::MaterializeVertexDisjoint(graph,
-                                                 std::move(assignment));
+  const double metis_millis = timer.ElapsedMillis();
+
+  timer.Reset();
+  Partitioning result = Partitioning::MaterializeVertexDisjoint(
+      graph, std::move(assignment), threads);
+  if (stats != nullptr) {
+    stats->threads_used = threads;
+    stats->AddStage("metis", metis_millis);
+    stats->AddStage("materialize", timer.ElapsedMillis());
+  }
+  return result;
 }
 
 }  // namespace mpc::partition

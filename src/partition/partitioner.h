@@ -3,6 +3,8 @@
 
 #include <memory>
 #include <string>
+#include <string_view>
+#include <vector>
 
 #include "partition/partitioning.h"
 #include "rdf/graph.h"
@@ -11,11 +13,54 @@ namespace mpc::partition {
 
 /// Common options shared by every partitioning strategy. k and epsilon
 /// are the parameters of Definition 4.1 (number of sites, imbalance
-/// tolerance); seed makes randomized strategies reproducible.
+/// tolerance); seed makes randomized strategies reproducible. This is
+/// the single source of the k/epsilon/seed/num_threads quadruple —
+/// MpcOptions and SelectorOptions embed it rather than re-declaring the
+/// fields.
 struct PartitionerOptions {
   uint32_t k = 8;
   double epsilon = 0.1;
   uint64_t seed = 1;
+  /// Worker threads for the parallel phases (per-property costs, chunked
+  /// parsing, per-site materialization). 0 = hardware_concurrency,
+  /// 1 = the serial code path. Results are bit-identical at any value.
+  int num_threads = 0;
+};
+
+/// Per-run diagnostics every strategy reports through Partition(). Each
+/// strategy appends its own pipeline stages in execution order (MPC:
+/// selection / coarsening / metis / materialize; the baselines: assign
+/// or metis / materialize), so the offline benches can time all four
+/// strategies uniformly. Virtual destructor so strategies can hand back
+/// richer derived stats (see core::MpcRunStats) through the same call.
+struct RunStats {
+  struct Stage {
+    std::string name;
+    double millis = 0.0;
+  };
+
+  virtual ~RunStats() = default;
+
+  /// Wall millis per pipeline stage, in execution order.
+  std::vector<Stage> stages;
+  /// Sum of the stage timings (the strategy's partitioning time).
+  double total_millis = 0.0;
+  /// Resolved worker count the run used (1 = serial).
+  int threads_used = 1;
+
+  void AddStage(std::string name, double millis) {
+    stages.push_back(Stage{std::move(name), millis});
+    total_millis += millis;
+  }
+
+  /// Wall millis of the named stage, 0 when the strategy has no such
+  /// stage.
+  double StageMillis(std::string_view name) const {
+    for (const Stage& stage : stages) {
+      if (stage.name == name) return stage.millis;
+    }
+    return 0.0;
+  }
 };
 
 /// Strategy interface: given an RDF graph, produce a materialized
@@ -30,7 +75,10 @@ class Partitioner {
   /// ("MPC", "Subject_Hash", "METIS", "VP").
   virtual std::string name() const = 0;
 
-  virtual Partitioning Partition(const rdf::RdfGraph& graph) const = 0;
+  /// Partitions the graph; when `stats` is non-null the strategy also
+  /// reports its stage timings and thread usage through it.
+  virtual Partitioning Partition(const rdf::RdfGraph& graph,
+                                 RunStats* stats = nullptr) const = 0;
 };
 
 }  // namespace mpc::partition

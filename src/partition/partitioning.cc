@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cassert>
 
+#include "common/thread_pool.h"
+
 namespace mpc::partition {
 
 bool VertexAssignment::Valid(size_t num_vertices) const {
@@ -14,8 +16,10 @@ bool VertexAssignment::Valid(size_t num_vertices) const {
 }
 
 Partitioning Partitioning::MaterializeVertexDisjoint(
-    const rdf::RdfGraph& graph, VertexAssignment assignment) {
+    const rdf::RdfGraph& graph, VertexAssignment assignment,
+    int num_threads) {
   assert(assignment.Valid(graph.num_vertices()));
+  const int threads = ResolveNumThreads(num_threads);
 
   Partitioning result;
   result.kind_ = PartitioningKind::kVertexDisjoint;
@@ -23,33 +27,85 @@ Partitioning Partitioning::MaterializeVertexDisjoint(
   result.partitions_.resize(assignment.k);
   result.crossing_property_mask_.assign(graph.num_properties(), false);
 
-  for (size_t v = 0; v < graph.num_vertices(); ++v) {
-    ++result.partitions_[assignment.part[v]].num_owned_vertices;
-  }
+  if (threads <= 1) {
+    // Serial path: one pass over the edge array filling every site.
+    for (size_t v = 0; v < graph.num_vertices(); ++v) {
+      ++result.partitions_[assignment.part[v]].num_owned_vertices;
+    }
 
-  for (const rdf::Triple& t : graph.triples()) {
-    uint32_t ps = assignment.part[t.subject];
-    uint32_t po = assignment.part[t.object];
-    if (ps == po) {
-      result.partitions_[ps].internal_edges.push_back(t);
-    } else {
-      // 1-hop replication (Definition 3.3 item 4): the crossing edge is
-      // stored at both endpoint partitions.
-      result.partitions_[ps].crossing_edges.push_back(t);
-      result.partitions_[po].crossing_edges.push_back(t);
-      result.partitions_[ps].extended_vertices.push_back(t.object);
-      result.partitions_[po].extended_vertices.push_back(t.subject);
-      result.crossing_property_mask_[t.property] = true;
-      ++result.num_crossing_edges_;
+    for (const rdf::Triple& t : graph.triples()) {
+      uint32_t ps = assignment.part[t.subject];
+      uint32_t po = assignment.part[t.object];
+      if (ps == po) {
+        result.partitions_[ps].internal_edges.push_back(t);
+      } else {
+        // 1-hop replication (Definition 3.3 item 4): the crossing edge is
+        // stored at both endpoint partitions.
+        result.partitions_[ps].crossing_edges.push_back(t);
+        result.partitions_[po].crossing_edges.push_back(t);
+        result.partitions_[ps].extended_vertices.push_back(t.object);
+        result.partitions_[po].extended_vertices.push_back(t.subject);
+        result.crossing_property_mask_[t.property] = true;
+        ++result.num_crossing_edges_;
+      }
+    }
+
+    for (Partition& p : result.partitions_) {
+      std::sort(p.extended_vertices.begin(), p.extended_vertices.end());
+      p.extended_vertices.erase(
+          std::unique(p.extended_vertices.begin(),
+                      p.extended_vertices.end()),
+          p.extended_vertices.end());
+    }
+  } else {
+    // Parallel path: each site scans the edge array independently and
+    // appends in edge order, producing exactly the per-site vectors of
+    // the serial pass (same elements, same order).
+    ParallelFor(0, result.partitions_.size(), 1, threads, [&](size_t s) {
+      const uint32_t site = static_cast<uint32_t>(s);
+      Partition& p = result.partitions_[s];
+      for (size_t v = 0; v < graph.num_vertices(); ++v) {
+        if (assignment.part[v] == site) ++p.num_owned_vertices;
+      }
+      for (const rdf::Triple& t : graph.triples()) {
+        uint32_t ps = assignment.part[t.subject];
+        uint32_t po = assignment.part[t.object];
+        if (ps == po) {
+          if (ps == site) p.internal_edges.push_back(t);
+        } else if (ps == site) {
+          p.crossing_edges.push_back(t);
+          p.extended_vertices.push_back(t.object);
+        } else if (po == site) {
+          p.crossing_edges.push_back(t);
+          p.extended_vertices.push_back(t.subject);
+        }
+      }
+      std::sort(p.extended_vertices.begin(), p.extended_vertices.end());
+      p.extended_vertices.erase(
+          std::unique(p.extended_vertices.begin(),
+                      p.extended_vertices.end()),
+          p.extended_vertices.end());
+    });
+    // Crossing bookkeeping: per-property, so writes never share a slot.
+    // vector<bool> packs bits, so mark into bytes and fold serially.
+    std::vector<uint8_t> crossing(graph.num_properties(), 0);
+    std::vector<size_t> crossing_edges_per_property(graph.num_properties(),
+                                                    0);
+    ParallelFor(0, graph.num_properties(), 1, threads, [&](size_t prop) {
+      size_t count = 0;
+      for (const rdf::Triple& t :
+           graph.EdgesWithProperty(static_cast<rdf::PropertyId>(prop))) {
+        count += assignment.part[t.subject] != assignment.part[t.object];
+      }
+      crossing_edges_per_property[prop] = count;
+      crossing[prop] = count > 0;
+    });
+    for (size_t prop = 0; prop < graph.num_properties(); ++prop) {
+      result.crossing_property_mask_[prop] = crossing[prop] != 0;
+      result.num_crossing_edges_ += crossing_edges_per_property[prop];
     }
   }
 
-  for (Partition& p : result.partitions_) {
-    std::sort(p.extended_vertices.begin(), p.extended_vertices.end());
-    p.extended_vertices.erase(
-        std::unique(p.extended_vertices.begin(), p.extended_vertices.end()),
-        p.extended_vertices.end());
-  }
   result.num_crossing_properties_ =
       static_cast<size_t>(std::count(result.crossing_property_mask_.begin(),
                                      result.crossing_property_mask_.end(),
@@ -60,7 +116,7 @@ Partitioning Partitioning::MaterializeVertexDisjoint(
 
 Partitioning Partitioning::MaterializeEdgeDisjoint(
     const rdf::RdfGraph& graph, uint32_t k,
-    const std::vector<uint32_t>& triple_part) {
+    const std::vector<uint32_t>& triple_part, int num_threads) {
   assert(triple_part.size() == graph.num_edges());
 
   Partitioning result;
@@ -79,17 +135,20 @@ Partitioning Partitioning::MaterializeEdgeDisjoint(
     result.property_home_[triples[i].property] = triple_part[i];
   }
   // num_owned_vertices: count of distinct vertices appearing per site.
-  std::vector<rdf::VertexId> scratch;
-  for (Partition& p : result.partitions_) {
-    scratch.clear();
+  // Each site's dedup is independent, so the sites run concurrently.
+  ParallelFor(0, result.partitions_.size(), 1, num_threads, [&](size_t s) {
+    Partition& p = result.partitions_[s];
+    std::vector<rdf::VertexId> scratch;
+    scratch.reserve(p.internal_edges.size() * 2);
     for (const rdf::Triple& t : p.internal_edges) {
       scratch.push_back(t.subject);
       scratch.push_back(t.object);
     }
     std::sort(scratch.begin(), scratch.end());
-    scratch.erase(std::unique(scratch.begin(), scratch.end()), scratch.end());
+    scratch.erase(std::unique(scratch.begin(), scratch.end()),
+                  scratch.end());
     p.num_owned_vertices = scratch.size();
-  }
+  });
   return result;
 }
 

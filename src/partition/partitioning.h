@@ -56,17 +56,21 @@ class Partitioning {
   /// Materializes a vertex-disjoint partitioning from an assignment:
   /// splits edges into internal/crossing, replicates crossing edges at
   /// both endpoint partitions, collects V_i^e and computes the crossing
-  /// property set L_cross.
+  /// property set L_cross. With num_threads != 1 the k sites are
+  /// materialized concurrently (each site scans the edge array
+  /// independently); the result is bit-identical to the serial path.
   static Partitioning MaterializeVertexDisjoint(const rdf::RdfGraph& graph,
-                                                VertexAssignment assignment);
+                                                VertexAssignment assignment,
+                                                int num_threads = 1);
 
   /// Materializes an edge-disjoint (VP-style) partitioning from a triple
   /// assignment: triple_part[i] gives the partition of graph.triples()[i].
   /// Also records, per partition, which properties it holds (used by the
   /// VP executor to decide whether a query touches one site only).
+  /// num_threads parallelizes the per-site vertex dedup, deterministically.
   static Partitioning MaterializeEdgeDisjoint(
       const rdf::RdfGraph& graph, uint32_t k,
-      const std::vector<uint32_t>& triple_part);
+      const std::vector<uint32_t>& triple_part, int num_threads = 1);
 
   PartitioningKind kind() const { return kind_; }
   uint32_t k() const { return k_; }

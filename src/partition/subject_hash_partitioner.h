@@ -16,7 +16,8 @@ class SubjectHashPartitioner : public Partitioner {
 
   std::string name() const override { return "Subject_Hash"; }
 
-  Partitioning Partition(const rdf::RdfGraph& graph) const override;
+  Partitioning Partition(const rdf::RdfGraph& graph,
+                         RunStats* stats = nullptr) const override;
 
  private:
   PartitionerOptions options_;

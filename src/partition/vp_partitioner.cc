@@ -1,25 +1,39 @@
 #include "partition/vp_partitioner.h"
 
 #include "common/hash.h"
+#include "common/thread_pool.h"
+#include "common/timer.h"
 
 namespace mpc::partition {
 
-Partitioning VpPartitioner::Partition(const rdf::RdfGraph& graph) const {
+Partitioning VpPartitioner::Partition(const rdf::RdfGraph& graph,
+                                      RunStats* stats) const {
+  const int threads = ResolveNumThreads(options_.num_threads);
+  Timer timer;
   const auto& triples = graph.triples();
   std::vector<uint32_t> triple_part(triples.size());
   // Property -> partition via salted string hash, one lookup per property.
   std::vector<uint32_t> home(graph.num_properties());
-  for (size_t p = 0; p < home.size(); ++p) {
+  ParallelFor(0, home.size(), 64, threads, [&](size_t p) {
     uint64_t h = HashCombine(
         HashString(graph.PropertyName(static_cast<rdf::PropertyId>(p))),
         options_.seed);
     home[p] = static_cast<uint32_t>(h % options_.k);
-  }
-  for (size_t i = 0; i < triples.size(); ++i) {
+  });
+  ParallelFor(0, triples.size(), 8192, threads, [&](size_t i) {
     triple_part[i] = home[triples[i].property];
+  });
+  const double assign_millis = timer.ElapsedMillis();
+
+  timer.Reset();
+  Partitioning result = Partitioning::MaterializeEdgeDisjoint(
+      graph, options_.k, triple_part, threads);
+  if (stats != nullptr) {
+    stats->threads_used = threads;
+    stats->AddStage("assign", assign_millis);
+    stats->AddStage("materialize", timer.ElapsedMillis());
   }
-  return Partitioning::MaterializeEdgeDisjoint(graph, options_.k,
-                                               triple_part);
+  return result;
 }
 
 }  // namespace mpc::partition

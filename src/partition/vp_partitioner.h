@@ -17,7 +17,8 @@ class VpPartitioner : public Partitioner {
 
   std::string name() const override { return "VP"; }
 
-  Partitioning Partition(const rdf::RdfGraph& graph) const override;
+  Partitioning Partition(const rdf::RdfGraph& graph,
+                         RunStats* stats = nullptr) const override;
 
  private:
   PartitionerOptions options_;

@@ -4,6 +4,7 @@
 #include <sstream>
 
 #include "common/string_util.h"
+#include "common/thread_pool.h"
 
 namespace mpc::rdf {
 
@@ -113,42 +114,158 @@ Status NTriplesParser::ParseLine(std::string_view line, GraphBuilder* builder,
   return Status::Ok();
 }
 
-Status NTriplesParser::ParseDocument(std::string_view text,
-                                     GraphBuilder* builder) {
+namespace {
+
+/// Parses one line-aligned chunk of a document into `builder`. A
+/// non-final chunk always ends with '\n' (the splitter guarantees it),
+/// so it iterates `while (start < size)` — no phantom trailing empty
+/// line. The final chunk iterates `while (start <= size)`, exactly like
+/// the historical serial loop, so the per-chunk line counts sum to the
+/// serial line count and error line numbers match the serial parse.
+///
+/// On success *line_count is the chunk's line count; on error it is the
+/// 1-based index of the malformed line within the chunk, and the builder
+/// holds everything parsed before that line (matching the serial
+/// builder's partial state at the same error).
+Status ParseChunk(std::string_view chunk, bool is_final,
+                  GraphBuilder* builder, size_t* line_count) {
   size_t line_no = 0;
   size_t start = 0;
-  while (start <= text.size()) {
-    size_t end = text.find('\n', start);
+  while (is_final ? start <= chunk.size() : start < chunk.size()) {
+    size_t end = chunk.find('\n', start);
     std::string_view line = (end == std::string_view::npos)
-                                ? text.substr(start)
-                                : text.substr(start, end - start);
+                                ? chunk.substr(start)
+                                : chunk.substr(start, end - start);
     ++line_no;
     bool is_triple = false;
-    Status st = ParseLine(line, builder, &is_triple);
+    Status st = NTriplesParser::ParseLine(line, builder, &is_triple);
     if (!st.ok()) {
-      return Status::ParseError("line " + std::to_string(line_no) + ": " +
-                                st.message());
+      *line_count = line_no;
+      return st;
     }
     if (end == std::string_view::npos) break;
     start = end + 1;
+  }
+  *line_count = line_no;
+  return Status::Ok();
+}
+
+/// Cuts `text` into at most `max_chunks` line-aligned pieces: every
+/// boundary sits just past a '\n', so every chunk but the last ends with
+/// a newline. Boundaries depend only on the text and max_chunks, never
+/// on scheduling. Returns strictly increasing offsets starting at 0 and
+/// ending at text.size().
+std::vector<size_t> ChunkBoundaries(std::string_view text,
+                                    size_t max_chunks) {
+  std::vector<size_t> bounds{0};
+  for (size_t c = 1; c < max_chunks; ++c) {
+    size_t target = text.size() * c / max_chunks;
+    if (target < bounds.back()) target = bounds.back();
+    size_t nl = text.find('\n', target);
+    size_t b = (nl == std::string_view::npos) ? text.size() : nl + 1;
+    if (b > bounds.back() && b < text.size()) bounds.push_back(b);
+  }
+  bounds.push_back(text.size());
+  return bounds;
+}
+
+/// The parallel document parse: per-chunk builders run concurrently,
+/// then merge serially in chunk order (see GraphBuilder::Merge for why
+/// this reproduces the serial result exactly). On error, sets
+/// *error_line to the serial parse's 1-based line number and leaves
+/// `builder` in the serial parse's partial state.
+Status ParseDocumentChunked(std::string_view text, GraphBuilder* builder,
+                            int threads, size_t* error_line) {
+  // Don't bother chunking tiny inputs; cap chunks so each holds a
+  // meaningful amount of work.
+  constexpr size_t kMinChunkBytes = 1024;
+  const size_t max_chunks = std::min<size_t>(
+      static_cast<size_t>(threads),
+      std::max<size_t>(1, text.size() / kMinChunkBytes));
+  const std::vector<size_t> bounds = ChunkBoundaries(text, max_chunks);
+  const size_t num_chunks = bounds.size() - 1;
+  if (num_chunks <= 1) {
+    return ParseChunk(text, /*is_final=*/true, builder, error_line);
+  }
+
+  std::vector<GraphBuilder> chunk_builders(num_chunks);
+  std::vector<Status> statuses(num_chunks);
+  std::vector<size_t> line_counts(num_chunks, 0);
+  ParallelFor(0, num_chunks, 1, threads, [&](size_t c) {
+    std::string_view chunk =
+        text.substr(bounds[c], bounds[c + 1] - bounds[c]);
+    statuses[c] = ParseChunk(chunk, /*is_final=*/c + 1 == num_chunks,
+                             &chunk_builders[c], &line_counts[c]);
+  });
+
+  // Earliest malformed chunk wins — the chunks after it never happened
+  // as far as the serial semantics are concerned.
+  size_t error_chunk = num_chunks;
+  for (size_t c = 0; c < num_chunks; ++c) {
+    if (!statuses[c].ok()) {
+      error_chunk = c;
+      break;
+    }
+  }
+  const size_t merge_upto =
+      error_chunk == num_chunks ? num_chunks : error_chunk + 1;
+  for (size_t c = 0; c < merge_upto; ++c) {
+    builder->Merge(chunk_builders[c]);
+  }
+  if (error_chunk < num_chunks) {
+    size_t global_line = line_counts[error_chunk];
+    for (size_t c = 0; c < error_chunk; ++c) global_line += line_counts[c];
+    *error_line = global_line;
+    return statuses[error_chunk];
+  }
+  return Status::Ok();
+}
+
+}  // namespace
+
+Status NTriplesParser::ParseDocument(std::string_view text,
+                                     GraphBuilder* builder,
+                                     int num_threads) {
+  const int threads = ResolveNumThreads(num_threads);
+  size_t error_line = 0;
+  Status st = threads <= 1
+                  ? ParseChunk(text, /*is_final=*/true, builder, &error_line)
+                  : ParseDocumentChunked(text, builder, threads, &error_line);
+  if (!st.ok()) {
+    return Status::ParseError("line " + std::to_string(error_line) + ": " +
+                              st.message());
   }
   return Status::Ok();
 }
 
 Status NTriplesParser::ParseFile(const std::string& path,
-                                 GraphBuilder* builder) {
+                                 GraphBuilder* builder, int num_threads) {
+  const int threads = ResolveNumThreads(num_threads);
   std::ifstream in(path, std::ios::binary);
   if (!in) return Status::IoError("cannot open " + path);
-  std::string line;
-  size_t line_no = 0;
-  while (std::getline(in, line)) {
-    ++line_no;
-    bool is_triple = false;
-    Status st = ParseLine(line, builder, &is_triple);
-    if (!st.ok()) {
-      return Status::ParseError(path + ":" + std::to_string(line_no) + ": " +
-                                st.message());
+  if (threads <= 1) {
+    std::string line;
+    size_t line_no = 0;
+    while (std::getline(in, line)) {
+      ++line_no;
+      bool is_triple = false;
+      Status st = ParseLine(line, builder, &is_triple);
+      if (!st.ok()) {
+        return Status::ParseError(path + ":" + std::to_string(line_no) +
+                                  ": " + st.message());
+      }
     }
+    return Status::Ok();
+  }
+  std::ostringstream contents;
+  contents << in.rdbuf();
+  if (in.bad()) return Status::IoError("read failed for " + path);
+  const std::string text = std::move(contents).str();
+  size_t error_line = 0;
+  Status st = ParseDocumentChunked(text, builder, threads, &error_line);
+  if (!st.ok()) {
+    return Status::ParseError(path + ":" + std::to_string(error_line) +
+                              ": " + st.message());
   }
   return Status::Ok();
 }

@@ -24,10 +24,20 @@ class NTriplesParser {
 
   /// Parses a whole document (newline-separated). Stops at the first
   /// malformed line and reports its 1-based line number.
-  static Status ParseDocument(std::string_view text, GraphBuilder* builder);
+  ///
+  /// With num_threads > 1 (0 = hardware_concurrency) the text is split
+  /// into line-aligned chunks parsed by independent per-chunk builders
+  /// whose dictionaries are then merged in chunk order — the resulting
+  /// builder state (ids, triples, reported error) is bit-identical to
+  /// the serial parse at any thread count.
+  static Status ParseDocument(std::string_view text, GraphBuilder* builder,
+                              int num_threads = 1);
 
-  /// Reads and parses a file from disk.
-  static Status ParseFile(const std::string& path, GraphBuilder* builder);
+  /// Reads and parses a file from disk. num_threads follows the
+  /// ParseDocument convention; the serial path streams line by line,
+  /// the parallel path reads the file into memory first.
+  static Status ParseFile(const std::string& path, GraphBuilder* builder,
+                          int num_threads = 1);
 };
 
 /// Serializes a graph back to N-Triples text, one triple per line, in the

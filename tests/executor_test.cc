@@ -50,9 +50,9 @@ partition::Partitioning MakePartitioning(Strategy strategy,
   switch (strategy) {
     case Strategy::kMpc: {
       core::MpcOptions options;
-      options.k = k;
-      options.epsilon = 0.3;
-      options.seed = seed;
+      options.base.k = k;
+      options.base.epsilon = 0.3;
+      options.base.seed = seed;
       return core::MpcPartitioner(options).Partition(graph);
     }
     case Strategy::kHash:
@@ -117,8 +117,8 @@ TEST(ExecutorStatsTest, IeqHasZeroJoinTimeAndOneSubquery) {
   Rng rng(7);
   RdfGraph graph = testutil::RandomGraph(rng, 40, 120, 4, 10);
   core::MpcOptions options;
-  options.k = 4;
-  options.epsilon = 0.3;
+  options.base.k = 4;
+  options.base.epsilon = 0.3;
   Cluster cluster =
       Cluster::Build(core::MpcPartitioner(options).Partition(graph));
   DistributedExecutor executor(cluster, graph);

@@ -32,8 +32,8 @@ constexpr double kEpsilon = 0.1;
 
 Partitioning Mpc(const rdf::RdfGraph& g) {
   core::MpcOptions options;
-  options.k = kSites;
-  options.epsilon = kEpsilon;
+  options.base.k = kSites;
+  options.base.epsilon = kEpsilon;
   return core::MpcPartitioner(options).Partition(g);
 }
 Partitioning Hash(const rdf::RdfGraph& g) {
@@ -188,7 +188,7 @@ TEST(EndToEnd, BenchmarkQueryResultsAgreeAcrossStrategies) {
 // --- Table VII shape: the greedy selection is near-optimal on LUBM. ---
 TEST(TableVIIShape, GreedyWithinOneOfExactOnLubm) {
   GeneratedDataset d = workload::MakeDataset(DatasetId::kLubm, 0.2, 1);
-  core::SelectorOptions options{.k = kSites, .epsilon = kEpsilon};
+  core::SelectorOptions options{.base = {.k = kSites, .epsilon = kEpsilon}};
   core::SelectionResult greedy =
       core::GreedySelector(options).Select(d.graph);
   core::SelectionResult exact =

@@ -29,13 +29,13 @@ TEST_P(MpcPartitionerTest, InvariantsHold) {
                                      /*escape=*/0.05);
 
   MpcOptions options;
-  options.k = param.k;
-  options.epsilon = param.epsilon;
+  options.base.k = param.k;
+  options.base.epsilon = param.epsilon;
+  options.base.seed = param.seed;
   options.strategy = param.strategy;
-  options.seed = param.seed;
   MpcPartitioner partitioner(options);
   MpcRunStats stats;
-  Partitioning p = partitioner.PartitionWithStats(g, &stats);
+  Partitioning p = partitioner.Partition(g, &stats);
 
   // Valid vertex-disjoint assignment.
   ASSERT_TRUE(p.assignment().Valid(g.num_vertices()));
@@ -80,8 +80,8 @@ TEST(MpcPartitionerTest, FewerCrossingPropertiesThanBaselines) {
   RdfGraph g = testutil::RandomGraph(rng, 1000, 3000, 12, /*community=*/40,
                                      /*escape=*/0.08);
   MpcOptions mpc_options;
-  mpc_options.k = 8;
-  mpc_options.epsilon = 0.1;
+  mpc_options.base.k = 8;
+  mpc_options.base.epsilon = 0.1;
   Partitioning mpc = MpcPartitioner(mpc_options).Partition(g);
 
   partition::PartitionerOptions base{.k = 8, .epsilon = 0.1, .seed = 1};
@@ -97,13 +97,15 @@ TEST(MpcPartitionerTest, StatsArePopulated) {
   Rng rng(13);
   RdfGraph g = testutil::RandomGraph(rng, 200, 600, 8, /*community=*/20);
   MpcOptions options;
-  options.k = 4;
+  options.base.k = 4;
   MpcPartitioner partitioner(options);
   MpcRunStats stats;
-  partitioner.PartitionWithStats(g, &stats);
+  partitioner.Partition(g, &stats);
   EXPECT_GT(stats.num_supervertices, 0u);
   EXPECT_LE(stats.num_supervertices, g.num_vertices());
-  EXPECT_GE(stats.selection_millis, 0.0);
+  EXPECT_GE(stats.StageMillis("selection"), 0.0);
+  EXPECT_EQ(stats.stages.size(), 4u);
+  EXPECT_GE(stats.threads_used, 1);
 }
 
 TEST(MpcPartitionerTest, NameReflectsStrategy) {
@@ -117,7 +119,7 @@ TEST(MpcPartitionerTest, SingletonK) {
   Rng rng(17);
   RdfGraph g = testutil::RandomGraph(rng, 50, 150, 5);
   MpcOptions options;
-  options.k = 1;
+  options.base.k = 1;
   Partitioning p = MpcPartitioner(options).Partition(g);
   EXPECT_EQ(p.num_crossing_edges(), 0u);
   EXPECT_EQ(p.num_crossing_properties(), 0u);

@@ -89,8 +89,8 @@ TEST(PgToRdfTest, ReificationKeepsEdgeAttributes) {
 TEST(PgPartitionTest, CommunitiesStayTogether) {
   PropertyGraph graph = SocialNetwork();
   core::MpcOptions options;
-  options.k = 2;
-  options.epsilon = 2.0;  // tiny toy graph: generous balance
+  options.base.k = 2;
+  options.base.epsilon = 2.0;  // tiny toy graph: generous balance
   options.strategy = core::SelectionStrategy::kGreedy;
   Result<PgPartitionResult> result =
       PartitionPropertyGraph(graph, options);
@@ -128,8 +128,8 @@ TEST(PgPartitionTest, FewLabelRegimeLeavesEverythingCrossing) {
                     .ok());
   }
   core::MpcOptions options;
-  options.k = 4;
-  options.epsilon = 0.1;
+  options.base.k = 4;
+  options.base.epsilon = 0.1;
   PgMappingOptions mapping;
   mapping.emit_vertex_labels = false;
   Result<PgPartitionResult> result =

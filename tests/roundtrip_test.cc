@@ -73,12 +73,12 @@ TEST(RoundTripTest, Theorem2HoldsOnEveryDataset) {
   for (workload::DatasetId id : workload::AllDatasets()) {
     workload::GeneratedDataset d = workload::MakeDataset(id, 0.1, 9);
     core::MpcOptions options;
-    options.k = 4;
-    options.epsilon = 0.1;
+    options.base.k = 4;
+    options.base.epsilon = 0.1;
     core::MpcPartitioner partitioner(options);
     core::MpcRunStats stats;
     partition::Partitioning p =
-        partitioner.PartitionWithStats(d.graph, &stats);
+        partitioner.Partition(d.graph, &stats);
     const auto& part = p.assignment().part;
     for (size_t prop = 0; prop < d.graph.num_properties(); ++prop) {
       if (!stats.selection.internal[prop]) continue;

@@ -66,7 +66,7 @@ TEST(GreedySelectorTest, Fig2ExampleSelectsAllButBirthPlace) {
       {"008", "residence", "009"},
       {"002", "birthPlace", "009"},
   });
-  SelectorOptions options{.k = 2, .epsilon = 0.6};
+  SelectorOptions options{.base = {.k = 2, .epsilon = 0.6}};
   SelectionResult result = GreedySelector(options).Select(g);
   rdf::PropertyId birth = g.property_dict().Lookup("<t:birthPlace>");
   ASSERT_NE(birth, rdf::kInvalidVertex);
@@ -78,9 +78,9 @@ TEST(GreedySelectorTest, RespectsCapInvariant) {
   Rng rng(21);
   for (int round = 0; round < 10; ++round) {
     RdfGraph g = testutil::RandomGraph(rng, 100, 300, 8, /*community=*/10);
-    SelectorOptions options{.k = 4, .epsilon = 0.1};
+    SelectorOptions options{.base = {.k = 4, .epsilon = 0.1}};
     SelectionResult result = GreedySelector(options).Select(g);
-    size_t cap = BalanceCap(g, options.k, options.epsilon);
+    size_t cap = BalanceCap(g, options.base.k, options.base.epsilon);
     EXPECT_LE(CostOfSelection(g, result.internal), cap);
     EXPECT_EQ(result.final_cost, CostOfSelection(g, result.internal));
     size_t count = 0;
@@ -100,7 +100,7 @@ TEST(GreedySelectorTest, PrunesGiantProperty) {
                 "\"lit" + std::to_string(i) + "\"");
   }
   RdfGraph g = builder.Build();
-  SelectorOptions options{.k = 4, .epsilon = 0.1};
+  SelectorOptions options{.base = {.k = 4, .epsilon = 0.1}};
   SelectionResult result = GreedySelector(options).Select(g);
   rdf::PropertyId chain = g.property_dict().Lookup("<t:chain>");
   EXPECT_FALSE(result.internal[chain]);
@@ -112,7 +112,7 @@ TEST(GreedySelectorTest, PrunesGiantProperty) {
 TEST(GreedySelectorTest, EmptyGraph) {
   rdf::GraphBuilder builder;
   RdfGraph g = builder.Build();
-  SelectorOptions options{.k = 2, .epsilon = 0.1};
+  SelectorOptions options{.base = {.k = 2, .epsilon = 0.1}};
   SelectionResult result = GreedySelector(options).Select(g);
   EXPECT_EQ(result.num_internal, 0u);
   EXPECT_EQ(result.final_cost, 0u);
@@ -122,9 +122,9 @@ TEST(BackwardSelectorTest, RespectsCapAndMatchesCount) {
   Rng rng(23);
   for (int round = 0; round < 10; ++round) {
     RdfGraph g = testutil::RandomGraph(rng, 120, 360, 12, /*community=*/12);
-    SelectorOptions options{.k = 4, .epsilon = 0.1};
+    SelectorOptions options{.base = {.k = 4, .epsilon = 0.1}};
     SelectionResult result = BackwardSelector(options).Select(g);
-    size_t cap = BalanceCap(g, options.k, options.epsilon);
+    size_t cap = BalanceCap(g, options.base.k, options.base.epsilon);
     EXPECT_LE(CostOfSelection(g, result.internal), cap);
     size_t count = 0;
     for (bool b : result.internal) count += b;
@@ -139,7 +139,7 @@ TEST(BackwardSelectorTest, KeepsEverythingWhenFeasible) {
       {"c", "p2", "d"},
       {"e", "p3", "f"},
   });
-  SelectorOptions options{.k = 2, .epsilon = 0.5};  // cap = 4.5
+  SelectorOptions options{.base = {.k = 2, .epsilon = 0.5}};  // cap = 4.5
   SelectionResult result = BackwardSelector(options).Select(g);
   EXPECT_EQ(result.num_internal, 3u);
 }
@@ -148,8 +148,8 @@ TEST(ExactSelectorTest, MatchesBruteForceOnSmallGraphs) {
   Rng rng(29);
   for (int round = 0; round < 12; ++round) {
     RdfGraph g = testutil::RandomGraph(rng, 24, 60, 8, /*community=*/6);
-    SelectorOptions options{.k = 3, .epsilon = 0.2};
-    size_t cap = BalanceCap(g, options.k, options.epsilon);
+    SelectorOptions options{.base = {.k = 3, .epsilon = 0.2}};
+    size_t cap = BalanceCap(g, options.base.k, options.base.epsilon);
     SelectionResult exact = ExactSelector(options).Select(g);
     EXPECT_TRUE(exact.optimal);
     EXPECT_LE(CostOfSelection(g, exact.internal), cap);
@@ -162,7 +162,7 @@ TEST(ExactSelectorTest, NeverWorseThanGreedy) {
   Rng rng(31);
   for (int round = 0; round < 8; ++round) {
     RdfGraph g = testutil::RandomGraph(rng, 60, 200, 10, /*community=*/10);
-    SelectorOptions options{.k = 4, .epsilon = 0.1};
+    SelectorOptions options{.base = {.k = 4, .epsilon = 0.1}};
     SelectionResult greedy = GreedySelector(options).Select(g);
     SelectionResult exact = ExactSelector(options).Select(g);
     EXPECT_GE(exact.num_internal, greedy.num_internal);
@@ -172,19 +172,19 @@ TEST(ExactSelectorTest, NeverWorseThanGreedy) {
 TEST(ExactSelectorTest, BudgetExhaustionFallsBackGracefully) {
   Rng rng(37);
   RdfGraph g = testutil::RandomGraph(rng, 100, 400, 16, /*community=*/10);
-  SelectorOptions options{.k = 4, .epsilon = 0.1};
+  SelectorOptions options{.base = {.k = 4, .epsilon = 0.1}};
   options.exact_node_budget = 10;  // absurdly small
   SelectionResult result = ExactSelector(options).Select(g);
   EXPECT_FALSE(result.optimal);
   // Still a feasible answer (the greedy seed).
   EXPECT_LE(CostOfSelection(g, result.internal),
-            BalanceCap(g, options.k, options.epsilon));
+            BalanceCap(g, options.base.k, options.base.epsilon));
 }
 
 TEST(AutoSelectorTest, SwitchesOnPropertyCount) {
   Rng rng(41);
   RdfGraph small = testutil::RandomGraph(rng, 50, 150, 5, 10);
-  SelectorOptions options{.k = 2, .epsilon = 0.2};
+  SelectorOptions options{.base = {.k = 2, .epsilon = 0.2}};
   // threshold 3 < 5 properties -> backward; both must be feasible anyway.
   SelectionResult via_auto = AutoSelector(options, 3).Select(small);
   SelectionResult via_backward = BackwardSelector(options).Select(small);
@@ -201,7 +201,7 @@ TEST(GreedySelectorTest, MonotoneInEpsilon) {
   RdfGraph g = testutil::RandomGraph(rng, 150, 450, 10, /*community=*/15);
   size_t prev = 0;
   for (double eps : {0.0, 0.1, 0.5, 1.0, 4.0}) {
-    SelectorOptions options{.k = 4, .epsilon = eps};
+    SelectorOptions options{.base = {.k = 4, .epsilon = eps}};
     SelectionResult result = GreedySelector(options).Select(g);
     EXPECT_GE(result.num_internal, prev) << "eps=" << eps;
     prev = result.num_internal;

@@ -21,8 +21,8 @@ TEST(SitePruningTest, ResultsIdenticalWithAndWithoutPruning) {
   for (int round = 0; round < 6; ++round) {
     RdfGraph graph = testutil::RandomGraph(rng, 60, 200, 5, 12, 0.15);
     core::MpcOptions mpc_options;
-    mpc_options.k = 4;
-    mpc_options.epsilon = 0.3;
+    mpc_options.base.k = 4;
+    mpc_options.base.epsilon = 0.3;
     Cluster cluster = Cluster::Build(
         core::MpcPartitioner(mpc_options).Partition(graph));
 
@@ -86,8 +86,8 @@ TEST(SitePruningTest, ConcentratedPropertySkipsMostSites) {
   rdf::RdfGraph graph = builder.Build();
 
   core::MpcOptions options;
-  options.k = 4;
-  options.epsilon = 0.5;
+  options.base.k = 4;
+  options.base.epsilon = 0.5;
   Cluster cluster =
       Cluster::Build(core::MpcPartitioner(options).Partition(graph));
 

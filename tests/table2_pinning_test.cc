@@ -23,8 +23,8 @@ TEST_P(Table2PinningTest, MpcCrossingPropertiesInBand) {
   const auto [id, scale, lo, hi] = GetParam();
   workload::GeneratedDataset d = workload::MakeDataset(id, scale, 1);
   core::MpcOptions options;
-  options.k = 8;
-  options.epsilon = 0.1;
+  options.base.k = 8;
+  options.base.epsilon = 0.1;
   partition::Partitioning p =
       core::MpcPartitioner(options).Partition(d.graph);
   EXPECT_GE(p.num_crossing_properties(), lo) << workload::DatasetName(id);

@@ -48,8 +48,8 @@ TEST(WeightedSelectorTest, PrefersHeavyPropertyUnderContention) {
   // cap = 8 -> {hot} alone (WCC 8) is feasible; {cold1 ∪ cold2} (WCC 9,
   // via shared v4) is NOT; {cold1} (5) or {cold2} (5) are; {hot ∪ any
   // cold} is 8 or 9... construct weights so the test is decisive below.
-  SelectorOptions options{.k = 4, .epsilon = 0.0};
-  const size_t cap = BalanceCap(g, options.k, options.epsilon);
+  SelectorOptions options{.base = {.k = 4, .epsilon = 0.0}};
+  const size_t cap = BalanceCap(g, options.base.k, options.base.epsilon);
   ASSERT_EQ(cap, 8u);
 
   rdf::PropertyId hot = g.property_dict().Lookup("<t:hot>");
@@ -85,11 +85,11 @@ TEST(WeightedSelectorTest, UniformWeightsRespectCap) {
   Rng rng(61);
   for (int round = 0; round < 8; ++round) {
     RdfGraph g = testutil::RandomGraph(rng, 120, 360, 10, 12);
-    SelectorOptions options{.k = 4, .epsilon = 0.1};
+    SelectorOptions options{.base = {.k = 4, .epsilon = 0.1}};
     SelectionResult result =
         WeightedGreedySelector(options, {}).Select(g);
     EXPECT_LE(CostOf(g, result.internal),
-              BalanceCap(g, options.k, options.epsilon));
+              BalanceCap(g, options.base.k, options.base.epsilon));
     size_t count = 0;
     for (bool b : result.internal) count += b;
     EXPECT_EQ(count, result.num_internal);
@@ -105,7 +105,7 @@ TEST(WeightedSelectorTest, InfeasiblePropertiesPruned) {
                 "\"x" + std::to_string(i) + "\"");
   }
   RdfGraph g = builder.Build();
-  SelectorOptions options{.k = 4, .epsilon = 0.1};
+  SelectorOptions options{.base = {.k = 4, .epsilon = 0.1}};
   std::vector<double> weights(g.num_properties(), 1.0);
   weights[g.property_dict().Lookup("<t:giant>")] = 1000.0;
   SelectionResult result =
@@ -161,8 +161,8 @@ TEST(WeightedMpcTest, EndToEndImprovesWorkloadIeqShare) {
       "<t:bridge1> ?d . ?d <t:local> ?e . }"));
 
   MpcOptions options;
-  options.k = 2;
-  options.epsilon = 0.0;
+  options.base.k = 2;
+  options.base.epsilon = 0.0;
   options.strategy = SelectionStrategy::kWeighted;
   options.property_weights = ComputeWorkloadPropertyWeights(workload, g);
   partition::Partitioning weighted =

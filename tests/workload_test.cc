@@ -57,8 +57,8 @@ TEST(LubmTest, MpcFindsFiveCrossingProperties) {
   options.num_universities = 40;
   GeneratedDataset d = MakeLubm(options);
   core::MpcOptions mpc_options;
-  mpc_options.k = 8;
-  mpc_options.epsilon = 0.1;
+  mpc_options.base.k = 8;
+  mpc_options.base.epsilon = 0.1;
   partition::Partitioning p =
       core::MpcPartitioner(mpc_options).Partition(d.graph);
   EXPECT_EQ(p.num_crossing_properties(), 5u);

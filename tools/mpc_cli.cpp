@@ -2,12 +2,14 @@
 //
 //   mpc stats <data.nt>
 //   mpc partition <data.nt> <out_dir> [--strategy=mpc|hash|vp|metis]
-//                 [--k=N] [--epsilon=E] [--seed=S]
+//                 [--k=N] [--epsilon=E] [--seed=S] [--threads=T]
 //   mpc classify <data.nt> <partition_dir> <sparql...>
 //   mpc explain <data.nt> <partition_dir> <sparql...>
 //   mpc query <data.nt> <partition_dir> <sparql...>
 //
 // The SPARQL argument may be a file path or an inline query string.
+// --threads=0 (the default) uses every hardware thread; --threads=1 runs
+// serially. Results are identical at any value.
 
 #include <filesystem>
 #include <fstream>
@@ -17,7 +19,6 @@
 #include <vector>
 
 #include "common/string_util.h"
-#include "common/timer.h"
 #include "exec/cluster.h"
 #include "exec/decomposer.h"
 #include "exec/distributed_executor.h"
@@ -41,7 +42,7 @@ int Usage() {
       R"(usage:
   mpc stats <data.nt>
   mpc partition <data.nt> <out_dir> [--strategy=mpc|hash|vp|metis]
-                [--k=N] [--epsilon=E] [--seed=S]
+                [--k=N] [--epsilon=E] [--seed=S] [--threads=T]
   mpc classify <data.nt> <partition_dir> <sparql-or-file>
   mpc explain <data.nt> <partition_dir> <sparql-or-file>
   mpc query <data.nt> <partition_dir> <sparql-or-file>
@@ -55,7 +56,13 @@ struct Flags {
   uint32_t k = 8;
   double epsilon = 0.1;
   uint64_t seed = 1;
+  int threads = 0;  // 0 = hardware_concurrency
   std::vector<std::string> positional;
+
+  partition::PartitionerOptions PartitionerOpts() const {
+    return partition::PartitionerOptions{
+        .k = k, .epsilon = epsilon, .seed = seed, .num_threads = threads};
+  }
 
   static Result<Flags> Parse(int argc, char** argv, int first) {
     Flags flags;
@@ -71,25 +78,33 @@ struct Flags {
       }
       std::string key = arg.substr(2, eq - 2);
       std::string value = arg.substr(eq + 1);
-      if (key == "strategy") {
-        flags.strategy = value;
-      } else if (key == "k") {
-        flags.k = static_cast<uint32_t>(std::stoul(value));
-      } else if (key == "epsilon") {
-        flags.epsilon = std::stod(value);
-      } else if (key == "seed") {
-        flags.seed = std::stoull(value);
-      } else {
-        return Status::InvalidArgument("unknown flag --" + key);
+      try {
+        if (key == "strategy") {
+          flags.strategy = value;
+        } else if (key == "k") {
+          flags.k = static_cast<uint32_t>(std::stoul(value));
+        } else if (key == "epsilon") {
+          flags.epsilon = std::stod(value);
+        } else if (key == "seed") {
+          flags.seed = std::stoull(value);
+        } else if (key == "threads") {
+          flags.threads = std::stoi(value);
+        } else {
+          return Status::InvalidArgument("unknown flag --" + key);
+        }
+      } catch (const std::exception&) {
+        return Status::InvalidArgument("--" + key +
+                                       " needs a numeric value, got '" +
+                                       value + "'");
       }
     }
     return flags;
   }
 };
 
-Result<rdf::RdfGraph> LoadGraph(const std::string& path) {
+Result<rdf::RdfGraph> LoadGraph(const std::string& path, int threads) {
   rdf::GraphBuilder builder;
-  Status st = rdf::NTriplesParser::ParseFile(path, &builder);
+  Status st = rdf::NTriplesParser::ParseFile(path, &builder, threads);
   if (!st.ok()) return st;
   return builder.Build();
 }
@@ -109,7 +124,7 @@ std::string LoadQueryText(const std::string& arg) {
 
 int CmdStats(const Flags& flags) {
   if (flags.positional.size() != 1) return Usage();
-  Result<rdf::RdfGraph> graph = LoadGraph(flags.positional[0]);
+  Result<rdf::RdfGraph> graph = LoadGraph(flags.positional[0], flags.threads);
   if (!graph.ok()) {
     std::cerr << graph.status().ToString() << "\n";
     return 1;
@@ -133,37 +148,34 @@ int CmdStats(const Flags& flags) {
 
 int CmdPartition(const Flags& flags) {
   if (flags.positional.size() != 2) return Usage();
-  Result<rdf::RdfGraph> graph = LoadGraph(flags.positional[0]);
+  Result<rdf::RdfGraph> graph =
+      LoadGraph(flags.positional[0], flags.threads);
   if (!graph.ok()) {
     std::cerr << graph.status().ToString() << "\n";
     return 1;
   }
 
-  Timer timer;
+  partition::RunStats run_stats;
   partition::Partitioning partitioning;
+  const partition::PartitionerOptions options = flags.PartitionerOpts();
   if (flags.strategy == "mpc") {
-    core::MpcOptions options;
-    options.k = flags.k;
-    options.epsilon = flags.epsilon;
-    options.seed = flags.seed;
-    partitioning = core::MpcPartitioner(options).Partition(*graph);
+    core::MpcOptions mpc_options;
+    mpc_options.base = options;
+    partitioning =
+        core::MpcPartitioner(mpc_options).Partition(*graph, &run_stats);
+  } else if (flags.strategy == "hash") {
+    partitioning = partition::SubjectHashPartitioner(options).Partition(
+        *graph, &run_stats);
+  } else if (flags.strategy == "vp") {
+    partitioning =
+        partition::VpPartitioner(options).Partition(*graph, &run_stats);
+  } else if (flags.strategy == "metis") {
+    partitioning = partition::EdgeCutPartitioner(options).Partition(
+        *graph, &run_stats);
   } else {
-    partition::PartitionerOptions options{
-        .k = flags.k, .epsilon = flags.epsilon, .seed = flags.seed};
-    if (flags.strategy == "hash") {
-      partitioning =
-          partition::SubjectHashPartitioner(options).Partition(*graph);
-    } else if (flags.strategy == "vp") {
-      partitioning = partition::VpPartitioner(options).Partition(*graph);
-    } else if (flags.strategy == "metis") {
-      partitioning =
-          partition::EdgeCutPartitioner(options).Partition(*graph);
-    } else {
-      std::cerr << "unknown strategy: " << flags.strategy << "\n";
-      return 2;
-    }
+    std::cerr << "unknown strategy: " << flags.strategy << "\n";
+    return 2;
   }
-  double millis = timer.ElapsedMillis();
 
   Status st = partition::PartitionIo::Save(*graph, partitioning,
                                            flags.positional[1]);
@@ -171,9 +183,16 @@ int CmdPartition(const Flags& flags) {
     std::cerr << st.ToString() << "\n";
     return 1;
   }
+  std::string stages;
+  for (const partition::RunStats::Stage& stage : run_stats.stages) {
+    if (!stages.empty()) stages += " + ";
+    stages += stage.name + " " + FormatMillis(stage.millis);
+  }
   std::cout << "strategy:            " << flags.strategy << " (k="
-            << flags.k << ", eps=" << flags.epsilon << ")\n"
-            << "partitioning time:   " << FormatMillis(millis) << " ms\n"
+            << flags.k << ", eps=" << flags.epsilon << ", threads="
+            << run_stats.threads_used << ")\n"
+            << "partitioning time:   " << FormatMillis(run_stats.total_millis)
+            << " ms  (" << stages << ")\n"
             << "crossing properties: "
             << FormatWithCommas(partitioning.num_crossing_properties())
             << " / " << FormatWithCommas(graph->num_properties()) << "\n"
@@ -189,7 +208,7 @@ int CmdPartition(const Flags& flags) {
 
 int CmdExplain(const Flags& flags) {
   if (flags.positional.size() != 3) return Usage();
-  Result<rdf::RdfGraph> graph = LoadGraph(flags.positional[0]);
+  Result<rdf::RdfGraph> graph = LoadGraph(flags.positional[0], flags.threads);
   if (!graph.ok()) {
     std::cerr << graph.status().ToString() << "\n";
     return 1;
@@ -210,7 +229,8 @@ int CmdExplain(const Flags& flags) {
     std::cerr << "explain requires a vertex-disjoint partitioning\n";
     return 1;
   }
-  exec::Cluster cluster = exec::Cluster::Build(std::move(*partitioning));
+  exec::Cluster cluster =
+      exec::Cluster::Build(std::move(*partitioning), flags.threads);
   std::cout << exec::ExplainQuery(*query, cluster.partitioning(), *graph,
                                   &cluster);
   return 0;
@@ -218,7 +238,7 @@ int CmdExplain(const Flags& flags) {
 
 int CmdClassifyOrQuery(const Flags& flags, bool execute) {
   if (flags.positional.size() != 3) return Usage();
-  Result<rdf::RdfGraph> graph = LoadGraph(flags.positional[0]);
+  Result<rdf::RdfGraph> graph = LoadGraph(flags.positional[0], flags.threads);
   if (!graph.ok()) {
     std::cerr << graph.status().ToString() << "\n";
     return 1;
@@ -260,8 +280,11 @@ int CmdClassifyOrQuery(const Flags& flags, bool execute) {
   }
   if (!execute) return 0;
 
-  exec::Cluster cluster = exec::Cluster::Build(std::move(*partitioning));
-  exec::DistributedExecutor executor(cluster, *graph);
+  exec::Cluster cluster =
+      exec::Cluster::Build(std::move(*partitioning), flags.threads);
+  exec::ExecutorOptions exec_options;
+  exec_options.num_threads = flags.threads;
+  exec::DistributedExecutor executor(cluster, *graph, exec_options);
   exec::ExecutionStats stats;
   Result<store::BindingTable> result = executor.Execute(*query, &stats);
   if (!result.ok()) {
