@@ -1,0 +1,30 @@
+#!/usr/bin/env bash
+# Tier-1 verification: build + full ctest, twice — the default build and
+# an AddressSanitizer build — so both the logic and the memory behavior
+# of the fault-injection paths are exercised. The fault determinism test
+# (same seed => bit-identical stats at any thread count) runs in both
+# configurations; it is the one most likely to catch a nondeterministic
+# recovery path.
+#
+# Usage: scripts/check.sh [jobs]
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+JOBS="${1:-$(nproc)}"
+
+run_config() {
+  local dir="$1"; shift
+  echo "=== configure+build: ${dir} ($*) ==="
+  cmake -B "${dir}" -S . "$@" >/dev/null
+  cmake --build "${dir}" -j "${JOBS}"
+  echo "=== fault determinism test: ${dir} ==="
+  "${dir}/tests/fault_tolerance_test" \
+    --gtest_filter='FaultToleranceTest.SameSeedSameStatsAtAnyThreadCount'
+  echo "=== full test suite: ${dir} ==="
+  ctest --test-dir "${dir}" --output-on-failure -j "${JOBS}"
+}
+
+run_config build
+run_config build-asan -DMPC_SANITIZE=address
+
+echo "All checks passed (default + asan)."

@@ -19,6 +19,11 @@ enum class StatusCode {
   kUnsupported,
   kInternal,
   kIoError,
+  /// A required participant (e.g. a cluster site) is down and retries are
+  /// exhausted; the operation could succeed later or elsewhere.
+  kUnavailable,
+  /// The operation's deadline elapsed before it completed.
+  kDeadlineExceeded,
 };
 
 /// Returns a human-readable name for a status code (e.g. "InvalidArgument").
@@ -56,6 +61,12 @@ class Status {
   }
   static Status IoError(std::string msg) {
     return Status(StatusCode::kIoError, std::move(msg));
+  }
+  static Status Unavailable(std::string msg) {
+    return Status(StatusCode::kUnavailable, std::move(msg));
+  }
+  static Status DeadlineExceeded(std::string msg) {
+    return Status(StatusCode::kDeadlineExceeded, std::move(msg));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }
@@ -101,9 +112,14 @@ class Result {
   const T* operator->() const { return &*value_; }
   T* operator->() { return &*value_; }
 
-  /// Returns the value or `fallback` when this holds an error.
-  T value_or(T fallback) const {
+  /// Returns the value or `fallback` when this holds an error. The
+  /// rvalue overload moves out of the result, so the ok path of
+  /// `std::move(r).value_or(...)` (and of temporaries) costs no copy.
+  T value_or(T fallback) const& {
     return ok() ? *value_ : std::move(fallback);
+  }
+  T value_or(T fallback) && {
+    return ok() ? std::move(*value_) : std::move(fallback);
   }
 
  private:

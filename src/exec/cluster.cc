@@ -40,6 +40,52 @@ Cluster Cluster::Build(partition::Partitioning partitioning,
   return cluster;
 }
 
+ReplicaCoverage Cluster::ComputeReplicaCoverage(
+    const SiteAvailability& avail) const {
+  ReplicaCoverage coverage;
+  if (avail.num_down() == 0) return coverage;
+  const bool vertex_disjoint =
+      partitioning_.kind() == partition::PartitioningKind::kVertexDisjoint;
+  if (!vertex_disjoint) {
+    // Edge-disjoint (VP): no replication at all — a down site's triples
+    // are simply gone.
+    for (uint32_t site : avail.DownSites()) {
+      coverage.lost_triples += partitioning_.partition(site).num_triples();
+    }
+    return coverage;
+  }
+
+  const partition::VertexAssignment& assignment = partitioning_.assignment();
+  // Distinct down-owned vertices with a live replica: walk the live
+  // sites' extended-vertex lists (already sorted, deduped per site).
+  std::vector<uint8_t> replicated(assignment.part.size(), 0);
+  for (uint32_t site = 0; site < k(); ++site) {
+    if (!avail.IsUp(site)) continue;
+    for (rdf::VertexId v : partitioning_.partition(site).extended_vertices) {
+      if (!avail.IsUp(assignment.part[v])) replicated[v] = 1;
+    }
+  }
+  for (uint32_t site : avail.DownSites()) {
+    const partition::Partition& p = partitioning_.partition(site);
+    coverage.failed_owned_vertices += p.num_owned_vertices;
+    // Internal edges exist only at the owner: all lost.
+    coverage.lost_triples += p.internal_edges.size();
+    // A crossing edge survives unless both endpoint owners are down; it
+    // is stored at both, so count it once (at the smaller owner).
+    for (const rdf::Triple& t : p.crossing_edges) {
+      const uint32_t so = assignment.part[t.subject];
+      const uint32_t oo = assignment.part[t.object];
+      if (!avail.IsUp(so) && !avail.IsUp(oo) && site == std::min(so, oo)) {
+        ++coverage.lost_triples;
+      }
+    }
+  }
+  for (size_t v = 0; v < replicated.size(); ++v) {
+    coverage.replicated_on_live += replicated[v];
+  }
+  return coverage;
+}
+
 size_t Cluster::MemoryUsage() const {
   size_t bytes = 0;
   for (const store::TripleStore& s : stores_) bytes += s.MemoryUsage();

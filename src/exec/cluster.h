@@ -10,6 +10,51 @@
 
 namespace mpc::exec {
 
+/// The coordinator's per-query view of which sites are reachable. A
+/// crash marks the site down for the rest of the query (fail-stop); the
+/// Cluster itself stays immutable, so concurrent queries each keep their
+/// own view.
+class SiteAvailability {
+ public:
+  SiteAvailability() = default;
+  explicit SiteAvailability(uint32_t k) : up_(k, 1) {}
+
+  bool IsUp(uint32_t site) const { return up_[site] != 0; }
+  void MarkDown(uint32_t site) { up_[site] = 0; }
+  uint32_t k() const { return static_cast<uint32_t>(up_.size()); }
+
+  uint32_t num_down() const {
+    uint32_t n = 0;
+    for (uint8_t u : up_) n += (u == 0);
+    return n;
+  }
+  std::vector<uint32_t> DownSites() const {
+    std::vector<uint32_t> down;
+    for (uint32_t i = 0; i < up_.size(); ++i) {
+      if (up_[i] == 0) down.push_back(i);
+    }
+    return down;
+  }
+
+ private:
+  std::vector<uint8_t> up_;
+};
+
+/// How much of the down sites' data is still reachable somewhere, from
+/// the 1-hop crossing-edge replication (Def. 3.3-3.4). Feeds the
+/// best-effort completeness bound in ExecutionStats.
+struct ReplicaCoverage {
+  /// Vertices owned by down sites.
+  size_t failed_owned_vertices = 0;
+  /// Of those, how many appear as extended vertices of a live site —
+  /// every crossing edge at such a vertex survives on the live replica.
+  size_t replicated_on_live = 0;
+  /// Triples stored only at down sites (edge-disjoint partitionings lose
+  /// all of a site's triples; vertex-disjoint ones only the internal
+  /// edges whose endpoints have no live replica copy).
+  size_t lost_triples = 0;
+};
+
 /// An in-process stand-in for the paper's 8-machine deployment: k
 /// TripleStore instances, one per partition, each holding that
 /// partition's internal edges plus crossing-edge replicas. Loading time
@@ -40,6 +85,22 @@ class Cluster {
   bool SiteHasProperty(uint32_t i, rdf::PropertyId p) const {
     return p < num_properties_ && property_present_[i * num_properties_ + p];
   }
+
+  /// Fresh availability view with every site up.
+  SiteAvailability AllUp() const { return SiteAvailability(k()); }
+
+  /// |V_i| for vertex-disjoint partitionings (0 for edge-disjoint).
+  size_t OwnedVertexCount(uint32_t site) const {
+    return partitioning_.partition(site).num_owned_vertices;
+  }
+
+  /// Replica lookup for failover: quantifies, for the sites `avail`
+  /// marks down, what survives on live sites via 1-hop crossing-edge
+  /// replication. This is the data-path justification for best-effort
+  /// answers — live sites already hold (and evaluate) the replicated
+  /// crossing edges of a dead site, so those matches are served without
+  /// contacting it.
+  ReplicaCoverage ComputeReplicaCoverage(const SiteAvailability& avail) const;
 
   /// Max per-site index build time, ms (the Table VI "Loading" analogue).
   double loading_millis() const { return loading_millis_; }

@@ -14,10 +14,136 @@ using store::BgpMatcher;
 using store::BindingTable;
 using store::ResolvedQuery;
 
+namespace {
+
+/// Outcome of the retry/failover protocol for one (site, subquery-step)
+/// RPC, resolved serially from the pure FaultModel before any local
+/// evaluation runs — so the schedule (and every non-timing stat) is
+/// identical at any thread count.
+struct FaultOutcome {
+  bool evaluate = true;
+  /// False when the site was already known down (not contacted again).
+  bool contacted = true;
+  int retries = 0;
+  /// Simulated waiting: backoff between attempts, blown deadlines,
+  /// failure detection.
+  double wait_ms = 0.0;
+  /// Multiplier on the measured eval time (slowdown fault, no deadline).
+  double slowdown = 1.0;
+  StatusCode failure = StatusCode::kOk;
+};
+
+FaultOutcome ResolveSiteAttempts(const FaultModel& faults,
+                                 const NetworkModel& net, size_t step,
+                                 uint32_t site, SiteAvailability* avail) {
+  FaultOutcome out;
+  if (!faults.enabled()) return out;
+  if (!avail->IsUp(site)) {
+    // Known down since an earlier subquery: skipped without an RPC.
+    out.evaluate = false;
+    out.contacted = false;
+    out.failure = StatusCode::kUnavailable;
+    return out;
+  }
+  if (faults.DownBefore(site, step)) {
+    // Crashed at an earlier step while not being contacted (e.g. it was
+    // pruned then); this contact detects it.
+    avail->MarkDown(site);
+    out.evaluate = false;
+    out.failure = StatusCode::kUnavailable;
+    out.wait_ms = net.FailureDetectMillis();
+    return out;
+  }
+  for (int attempt = 0; attempt <= net.max_retries; ++attempt) {
+    switch (faults.Sample(site, step, attempt)) {
+      case FaultKind::kNone:
+        return out;
+      case FaultKind::kCrash:
+        // Fail-stop: no retry can help; the site is gone for the rest
+        // of the query.
+        avail->MarkDown(site);
+        out.evaluate = false;
+        out.failure = StatusCode::kUnavailable;
+        out.wait_ms += net.FailureDetectMillis();
+        return out;
+      case FaultKind::kTransient:
+        out.wait_ms += net.BackoffMillis(attempt);
+        if (attempt == net.max_retries) {
+          out.evaluate = false;
+          out.failure = StatusCode::kUnavailable;
+          return out;
+        }
+        ++out.retries;
+        break;
+      case FaultKind::kSlowdown:
+        if (!net.has_deadline()) {
+          // No deadline configured: the slow answer is accepted and its
+          // latency multiplier charged to the simulated clock.
+          out.slowdown = faults.options().slowdown_factor;
+          return out;
+        }
+        // The slow attempt misses the per-site deadline; we waited the
+        // full timeout for nothing.
+        out.wait_ms += net.site_timeout_ms;
+        if (attempt == net.max_retries) {
+          out.evaluate = false;
+          out.failure = StatusCode::kDeadlineExceeded;
+          return out;
+        }
+        ++out.retries;
+        break;
+    }
+  }
+  return out;
+}
+
+Status FaultStatus(StatusCode code, uint32_t site, size_t subquery) {
+  std::string msg = "site " + std::to_string(site) +
+                    " did not answer subquery " + std::to_string(subquery) +
+                    " (retries exhausted)";
+  if (code == StatusCode::kDeadlineExceeded) {
+    return Status::DeadlineExceeded(std::move(msg));
+  }
+  return Status::Unavailable(std::move(msg));
+}
+
+/// Rows binding at least one vertex owned by a down site: those matches
+/// were served from 1-hop crossing-edge replicas held by live sites.
+size_t CountReplicaServedRows(const BindingTable& table,
+                              const ResolvedQuery& resolved,
+                              const partition::Partitioning& partitioning,
+                              const SiteAvailability& avail) {
+  // Only columns bound to graph vertices count; a variable predicate
+  // binds a property id from a different id space.
+  std::vector<uint8_t> vertex_var(resolved.num_vars, 0);
+  for (const store::ResolvedPattern& p : resolved.patterns) {
+    if (p.s_is_var) vertex_var[p.s] = 1;
+    if (p.o_is_var) vertex_var[p.o] = 1;
+  }
+  const std::vector<uint32_t>& part = partitioning.assignment().part;
+  size_t hits = 0;
+  for (const std::vector<uint32_t>& row : table.rows) {
+    for (size_t c = 0; c < table.var_ids.size(); ++c) {
+      if (!vertex_var[table.var_ids[c]]) continue;
+      const uint32_t v = row[c];
+      if (v < part.size() && !avail.IsUp(part[v])) {
+        ++hits;
+        break;
+      }
+    }
+  }
+  return hits;
+}
+
+}  // namespace
+
 DistributedExecutor::DistributedExecutor(const Cluster& cluster,
                                          const rdf::RdfGraph& graph,
                                          Options options)
-    : cluster_(cluster), graph_(graph), options_(options) {}
+    : cluster_(cluster),
+      graph_(graph),
+      options_(options),
+      fault_model_(options_.faults) {}
 
 Result<BindingTable> DistributedExecutor::Execute(
     const sparql::QueryGraph& query, ExecutionStats* stats) const {
@@ -119,8 +245,10 @@ Result<BindingTable> DistributedExecutor::ExecuteVertexDisjoint(
     for (uint32_t v : subquery_vars(sub)) ++remaining_uses[v];
   }
 
+  SiteAvailability avail = cluster_.AllUp();
   std::vector<BindingTable> subquery_results;
   subquery_results.resize(decomposition.num_subqueries());
+  size_t step = 0;  // execution sequence number, for the fault schedule
   for (size_t subquery_index : order) {
     const std::vector<size_t>& sub =
         decomposition.subqueries[subquery_index];
@@ -131,9 +259,18 @@ Result<BindingTable> DistributedExecutor::ExecuteVertexDisjoint(
       const store::ResolvedPattern& p = resolved.patterns[idx];
       if (!p.p_is_var && !p.impossible) required.push_back(p.p);
     }
-    // Sites that can contribute (localization): decided serially so the
-    // pruning/contact bookkeeping never depends on scheduling.
-    std::vector<uint32_t> sites;
+    // Sites that can contribute (localization) and the retry/failover
+    // protocol per site: decided serially so the pruning/contact/fault
+    // bookkeeping never depends on scheduling.
+    struct PlannedSite {
+      uint32_t site;
+      double wait_ms;
+      double slowdown;
+    };
+    std::vector<PlannedSite> planned;
+    // A failed site still blocks the step for as long as the coordinator
+    // waited on it (timeouts, backoff) before giving up.
+    double failed_wait = 0.0;
     for (uint32_t site = 0; site < cluster_.k(); ++site) {
       if (options_.site_pruning) {
         bool relevant = true;
@@ -148,9 +285,21 @@ Result<BindingTable> DistributedExecutor::ExecuteVertexDisjoint(
           continue;
         }
       }
-      site_contacted[site] = true;
+      FaultOutcome outcome = ResolveSiteAttempts(
+          fault_model_, options_.network, step, site, &avail);
+      stats->retries += static_cast<size_t>(outcome.retries);
+      stats->fault_wait_millis += outcome.wait_ms;
+      if (outcome.contacted) site_contacted[site] = true;
+      if (!outcome.evaluate) {
+        ++stats->sites_failed;
+        failed_wait = std::max(failed_wait, outcome.wait_ms);
+        if (options_.partial_results == PartialResultPolicy::kFail) {
+          return FaultStatus(outcome.failure, site, subquery_index);
+        }
+        continue;
+      }
       ++stats->sites_evaluated;
-      sites.push_back(site);
+      planned.push_back({site, outcome.wait_ms, outcome.slowdown});
     }
 
     // Concurrent local evaluation, the in-process analogue of the k
@@ -164,11 +313,11 @@ Result<BindingTable> DistributedExecutor::ExecuteVertexDisjoint(
       double millis = 0.0;
       size_t dropped = 0;
     };
-    std::vector<SiteEval> evals(sites.size());
-    ParallelFor(0, sites.size(), 1, threads, [&](size_t s) {
+    std::vector<SiteEval> evals(planned.size());
+    ParallelFor(0, planned.size(), 1, threads, [&](size_t s) {
       Timer site_timer;
       BindingTable local = BgpMatcher::Evaluate(
-          cluster_.site(sites[s]), resolved, sub, matcher_options);
+          cluster_.site(planned[s].site), resolved, sub, matcher_options);
       if (use_bloom) {
         // Drop rows whose join keys cannot match any earlier subquery's
         // bindings; this happens site-side, before shipping.
@@ -193,11 +342,14 @@ Result<BindingTable> DistributedExecutor::ExecuteVertexDisjoint(
         evals[s].dropped = local.rows.size() - kept;
         local.rows.resize(kept);
       }
-      evals[s].millis = site_timer.ElapsedMillis();
+      // Slowdown faults stretch the site's simulated answer time; retry
+      // backoff and blown deadlines are charged on top.
+      evals[s].millis = site_timer.ElapsedMillis() * planned[s].slowdown +
+                        planned[s].wait_ms;
       evals[s].table = std::move(local);
     });
 
-    double slowest_site = 0.0;
+    double slowest_site = failed_wait;
     BindingTable merged;
     for (SiteEval& eval : evals) {
       slowest_site = std::max(slowest_site, eval.millis);
@@ -244,6 +396,7 @@ Result<BindingTable> DistributedExecutor::ExecuteVertexDisjoint(
       }
     }
     subquery_results[subquery_index] = std::move(merged);
+    ++step;
   }
   size_t contacted = 0;
   for (bool c : site_contacted) contacted += c;
@@ -261,6 +414,25 @@ Result<BindingTable> DistributedExecutor::ExecuteVertexDisjoint(
     final_table = JoinAll(std::move(subquery_results));
     final_table.Deduplicate();
     stats->join_millis = timer.ElapsedMillis();
+  }
+
+  // --- Partial-result accounting (best-effort only; kFail returned
+  // above). Lost contributions make the answer a subset of the true
+  // result; the replication analysis bounds what survived. ---
+  if (stats->sites_failed > 0) {
+    stats->complete = false;
+    const ReplicaCoverage coverage = cluster_.ComputeReplicaCoverage(avail);
+    stats->failed_site_vertices = coverage.failed_owned_vertices;
+    stats->replicated_failed_vertices = coverage.replicated_on_live;
+    stats->completeness_bound =
+        graph_.num_edges() == 0
+            ? 1.0
+            : 1.0 - static_cast<double>(coverage.lost_triples) /
+                        static_cast<double>(graph_.num_edges());
+    if (avail.num_down() > 0) {
+      stats->failover_hits = CountReplicaServedRows(
+          final_table, resolved, cluster_.partitioning(), avail);
+    }
   }
 
   final_table.SortColumnsAscending();
@@ -289,6 +461,7 @@ Result<BindingTable> DistributedExecutor::ExecuteVp(
   BgpMatcher::Options matcher_options;
   matcher_options.max_results = options_.max_rows;
 
+  SiteAvailability avail = cluster_.AllUp();
   BindingTable final_table;
   if (local) {
     // All predicates live at one site: run the whole BGP there.
@@ -301,14 +474,35 @@ Result<BindingTable> DistributedExecutor::ExecuteVp(
       }
     }
     stats->num_subqueries = 1;
-    Timer site_timer;
-    final_table = BgpMatcher::EvaluateAll(cluster_.site(home), resolved,
-                                          matcher_options);
-    stats->local_eval_millis = site_timer.ElapsedMillis();
-    stats->local_rows = final_table.num_rows();
-    stats->shipped_bytes = final_table.ByteSize();
-    stats->network_millis =
-        options_.network.TransferMillis(stats->shipped_bytes, 1);
+    stats->sites_pruned += cluster_.k() - 1;
+    FaultOutcome outcome = ResolveSiteAttempts(
+        fault_model_, options_.network, 0, home, &avail);
+    stats->retries += static_cast<size_t>(outcome.retries);
+    stats->fault_wait_millis += outcome.wait_ms;
+    if (!outcome.evaluate) {
+      // VP stores each property at exactly one site; without replicas a
+      // down home site leaves nothing to fail over to.
+      ++stats->sites_failed;
+      if (options_.partial_results == PartialResultPolicy::kFail) {
+        return FaultStatus(outcome.failure, home, 0);
+      }
+      stats->local_eval_millis = outcome.wait_ms;
+      final_table = BgpMatcher::EvaluateAll(
+          cluster_.site(home), resolved,
+          BgpMatcher::Options{.max_results = 0});  // schema only
+      final_table.rows.clear();
+    } else {
+      ++stats->sites_evaluated;
+      Timer site_timer;
+      final_table = BgpMatcher::EvaluateAll(cluster_.site(home), resolved,
+                                            matcher_options);
+      stats->local_eval_millis =
+          site_timer.ElapsedMillis() * outcome.slowdown + outcome.wait_ms;
+      stats->local_rows = final_table.num_rows();
+      stats->shipped_bytes = final_table.ByteSize();
+      stats->network_millis =
+          options_.network.TransferMillis(stats->shipped_bytes, 1);
+    }
   } else {
     // Cloud-style plan: every triple pattern is scanned at its property's
     // home site (or every site for variable predicates), shipped to the
@@ -320,7 +514,6 @@ Result<BindingTable> DistributedExecutor::ExecuteVp(
       const sparql::TriplePattern& pattern = query.patterns()[i];
       std::vector<size_t> one{i};
       BindingTable merged;
-      double slowest = 0.0;
       std::vector<uint32_t> sites;
       if (pattern.predicate.is_variable()) {
         for (uint32_t site = 0; site < cluster_.k(); ++site) {
@@ -339,18 +532,46 @@ Result<BindingTable> DistributedExecutor::ExecuteVp(
           sites.push_back(partitioning.PropertyHome(p));
         }
       }
-      // Concurrent per-site scans into per-site slots, merged serially
-      // in site order (same scheme as the vertex-disjoint path).
+      // Sites not scanned for this pattern were localized away.
+      stats->sites_pruned += cluster_.k() - sites.size();
+      // Retry/failover protocol per site, then concurrent per-site scans
+      // into per-site slots, merged serially in site order (same scheme
+      // as the vertex-disjoint path).
+      struct PlannedSite {
+        uint32_t site;
+        double wait_ms;
+        double slowdown;
+      };
+      std::vector<PlannedSite> planned;
+      double slowest = 0.0;
+      for (uint32_t site : sites) {
+        FaultOutcome outcome = ResolveSiteAttempts(
+            fault_model_, options_.network, i, site, &avail);
+        stats->retries += static_cast<size_t>(outcome.retries);
+        stats->fault_wait_millis += outcome.wait_ms;
+        if (!outcome.evaluate) {
+          ++stats->sites_failed;
+          slowest = std::max(slowest, outcome.wait_ms);
+          if (options_.partial_results == PartialResultPolicy::kFail) {
+            return FaultStatus(outcome.failure, site, i);
+          }
+          continue;
+        }
+        ++stats->sites_evaluated;
+        planned.push_back({site, outcome.wait_ms, outcome.slowdown});
+      }
       struct SiteEval {
         BindingTable table;
         double millis = 0.0;
       };
-      std::vector<SiteEval> evals(sites.size());
-      ParallelFor(0, sites.size(), 1, threads, [&](size_t s) {
+      std::vector<SiteEval> evals(planned.size());
+      ParallelFor(0, planned.size(), 1, threads, [&](size_t s) {
         Timer site_timer;
-        evals[s].table = BgpMatcher::Evaluate(cluster_.site(sites[s]),
-                                              resolved, one, matcher_options);
-        evals[s].millis = site_timer.ElapsedMillis();
+        evals[s].table =
+            BgpMatcher::Evaluate(cluster_.site(planned[s].site), resolved,
+                                 one, matcher_options);
+        evals[s].millis = site_timer.ElapsedMillis() * planned[s].slowdown +
+                          planned[s].wait_ms;
       });
       for (SiteEval& eval : evals) {
         slowest = std::max(slowest, eval.millis);
@@ -360,6 +581,13 @@ Result<BindingTable> DistributedExecutor::ExecuteVp(
         for (auto& row : eval.table.rows) {
           merged.rows.push_back(std::move(row));
         }
+      }
+      if (merged.var_ids.empty()) {
+        // Every scan site failed: synthesize the empty table with the
+        // pattern's columns so the join still sees the schema.
+        merged = BgpMatcher::Evaluate(cluster_.site(0), resolved, one,
+                                      BgpMatcher::Options{.max_results = 0});
+        merged.rows.clear();
       }
       stats->local_eval_millis += slowest;
       merged.Deduplicate();
@@ -371,6 +599,18 @@ Result<BindingTable> DistributedExecutor::ExecuteVp(
     final_table = JoinAll(std::move(pattern_tables));
     final_table.Deduplicate();
     stats->join_millis = timer.ElapsedMillis();
+  }
+
+  // --- Partial-result accounting. VP keeps no replicas, so nothing is
+  // recoverable: the bound only reflects how much data survived at all.
+  if (stats->sites_failed > 0) {
+    stats->complete = false;
+    const ReplicaCoverage coverage = cluster_.ComputeReplicaCoverage(avail);
+    stats->completeness_bound =
+        graph_.num_edges() == 0
+            ? 1.0
+            : 1.0 - static_cast<double>(coverage.lost_triples) /
+                        static_cast<double>(graph_.num_edges());
   }
 
   final_table.SortColumnsAscending();

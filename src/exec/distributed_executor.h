@@ -7,6 +7,7 @@
 #include "common/status.h"
 #include "exec/cluster.h"
 #include "exec/decomposer.h"
+#include "exec/fault_model.h"
 #include "exec/network_model.h"
 #include "exec/query_classifier.h"
 #include "rdf/graph.h"
@@ -46,6 +47,46 @@ struct ExecutionStats {
   /// Total rows produced by local evaluation across sites and subqueries
   /// (the "local partial matches" count used in the gStoreD experiment).
   size_t local_rows = 0;
+
+  // --- Fault handling (all zero / true on a fault-free run). The
+  // invariant sites_evaluated + sites_pruned + sites_failed ==
+  // k * num_subqueries holds on every path. ---
+
+  /// Site-subquery slots that produced no table because the site was
+  /// down, kept timing out, or exhausted its transient retries.
+  size_t sites_failed = 0;
+  /// Simulated retry attempts across all sites and subqueries.
+  size_t retries = 0;
+  /// Result rows that bind at least one vertex owned by a failed site:
+  /// matches served from 1-hop crossing-edge replicas on live sites —
+  /// the failover data-path at work.
+  size_t failover_hits = 0;
+  /// False iff some site-subquery contribution was lost (best-effort
+  /// runs only; kFail returns an error instead).
+  bool complete = true;
+  /// Vertices owned by failed sites, and how many of them a live site
+  /// still replicates (Cluster::ComputeReplicaCoverage).
+  size_t failed_site_vertices = 0;
+  size_t replicated_failed_vertices = 0;
+  /// Lower-bound proxy on result completeness: the fraction of the data
+  /// that is still reachable at some live site (1.0 when complete). For
+  /// vertex-disjoint partitionings this is driven by the replication
+  /// analysis; VP has no replicas, so every lost triple is gone.
+  double completeness_bound = 1.0;
+  /// Total simulated waiting on faults across sites (backoff + timeouts
+  /// + failure detection). Per-site waits are already charged into
+  /// local_eval_millis via the slowest-site rule; this aggregate is
+  /// observability only and is NOT added to total_millis again.
+  double fault_wait_millis = 0.0;
+};
+
+/// What to do when a site stays down after retries.
+enum class PartialResultPolicy {
+  /// Propagate Unavailable/DeadlineExceeded: correctness over coverage.
+  kFail,
+  /// Answer from the surviving sites (plus whatever 1-hop replicas
+  /// recover), reporting complete=false and the completeness bound.
+  kBestEffort,
 };
 
 /// Executes SPARQL BGP queries over a Cluster, exactly following
@@ -80,6 +121,15 @@ struct ExecutorOptions {
   /// result tables are bit-identical at any value (per-site results land
   /// in per-site slots and merge in site order).
   int num_threads = 1;
+  /// Injected failures (off by default). Deterministic in faults.seed:
+  /// the schedule of crashes/transients/slowdowns — and therefore every
+  /// non-timing stat — is identical at any thread count. Deadlines,
+  /// retry counts and backoff live in `network` (site_timeout_ms,
+  /// max_retries, retry_backoff_ms).
+  FaultOptions faults;
+  /// Degrade to surviving sites or fail the query when a site stays
+  /// down after retries.
+  PartialResultPolicy partial_results = PartialResultPolicy::kFail;
 };
 
 class DistributedExecutor {
@@ -108,6 +158,8 @@ class DistributedExecutor {
   const Cluster& cluster_;
   const rdf::RdfGraph& graph_;
   Options options_;
+  /// Pure (stateless after construction): shared by concurrent queries.
+  FaultModel fault_model_;
 };
 
 }  // namespace mpc::exec

@@ -87,6 +87,23 @@ std::string ExplainQuery(const sparql::QueryGraph& query,
       out << "\n";
     }
   }
+  if (cluster != nullptr &&
+      partitioning.kind() == partition::PartitioningKind::kVertexDisjoint) {
+    // Blast-radius report: what a single-site loss would cost, from the
+    // 1-hop crossing-edge replication (Def. 3.3-3.4). IEQ independence
+    // means a lost site only removes its own contribution; this shows
+    // how much of that contribution survives on live replicas.
+    out << "fault tolerance (single-site loss, 1-hop replicas):\n";
+    for (uint32_t site = 0; site < cluster->k(); ++site) {
+      SiteAvailability avail = cluster->AllUp();
+      avail.MarkDown(site);
+      ReplicaCoverage coverage = cluster->ComputeReplicaCoverage(avail);
+      out << "  site " << site << " down: " << coverage.replicated_on_live
+          << "/" << coverage.failed_owned_vertices
+          << " owned vertices replicated on live sites, "
+          << coverage.lost_triples << " triples unrecoverable\n";
+    }
+  }
   return out.str();
 }
 

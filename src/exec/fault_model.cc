@@ -1,0 +1,69 @@
+#include "exec/fault_model.h"
+
+#include <algorithm>
+
+#include "common/random.h"
+
+namespace mpc::exec {
+
+const char* FaultKindName(FaultKind kind) {
+  switch (kind) {
+    case FaultKind::kNone:
+      return "none";
+    case FaultKind::kCrash:
+      return "crash";
+    case FaultKind::kTransient:
+      return "transient";
+    case FaultKind::kSlowdown:
+      return "slowdown";
+  }
+  return "unknown";
+}
+
+FaultModel::FaultModel(FaultOptions options) : options_(std::move(options)) {
+  std::sort(options_.fail_sites.begin(), options_.fail_sites.end());
+}
+
+bool FaultModel::InFailList(uint32_t site) const {
+  return std::binary_search(options_.fail_sites.begin(),
+                            options_.fail_sites.end(), site);
+}
+
+double FaultModel::Uniform(uint32_t site, size_t step, int attempt) const {
+  // Two SplitMix64 rounds over a distinct-coordinate mix; the golden-ratio
+  // multipliers keep (site, step, attempt) lattices from colliding.
+  uint64_t state = options_.seed;
+  state ^= 0x9e3779b97f4a7c15ULL * (static_cast<uint64_t>(site) + 1);
+  state ^= 0xbf58476d1ce4e5b9ULL * (static_cast<uint64_t>(step) + 1);
+  state ^= 0x94d049bb133111ebULL * (static_cast<uint64_t>(attempt) + 1);
+  SplitMix64(state);
+  const uint64_t z = SplitMix64(state);
+  return static_cast<double>(z >> 11) * 0x1.0p-53;
+}
+
+FaultKind FaultModel::Sample(uint32_t site, size_t step, int attempt) const {
+  if (!enabled()) return FaultKind::kNone;
+  if (attempt == 0 && InFailList(site)) return FaultKind::kCrash;
+  const double u = Uniform(site, step, attempt);
+  // One uniform draw against the cumulative bands. Retries re-sample
+  // only the transient/slowdown bands: a site that survived attempt 0
+  // of this step cannot crash mid-retry.
+  double band = attempt == 0 ? options_.crash_rate : 0.0;
+  if (attempt == 0 && u < band) return FaultKind::kCrash;
+  band += options_.transient_rate;
+  if (u < band) return FaultKind::kTransient;
+  band += options_.slowdown_rate;
+  if (u < band) return FaultKind::kSlowdown;
+  return FaultKind::kNone;
+}
+
+bool FaultModel::DownBefore(uint32_t site, size_t step) const {
+  if (!enabled()) return false;
+  if (InFailList(site)) return true;
+  for (size_t s = 0; s < step; ++s) {
+    if (Sample(site, s, 0) == FaultKind::kCrash) return true;
+  }
+  return false;
+}
+
+}  // namespace mpc::exec

@@ -1,6 +1,7 @@
 #ifndef MPC_EXEC_NETWORK_MODEL_H_
 #define MPC_EXEC_NETWORK_MODEL_H_
 
+#include <cmath>
 #include <cstddef>
 
 namespace mpc::exec {
@@ -33,6 +34,34 @@ struct NetworkModel {
   /// Broadcast of a (small) query string to k sites.
   double DispatchMillis(size_t k) const {
     return latency_ms * static_cast<double>(k);
+  }
+
+  // --- Fault handling (see DESIGN.md "Fault model"). ---
+
+  /// Per-site per-attempt deadline in milliseconds; 0 disables deadlines.
+  /// Deadline violations are driven by the seeded FaultModel (a slowdown
+  /// fault misses the deadline), never by wall-clock measurements, so
+  /// retry decisions are reproducible at any thread count.
+  double site_timeout_ms = 0.0;
+  /// Retries after the first attempt before a site-subquery is declared
+  /// failed (crashes are never retried — the site is gone).
+  int max_retries = 2;
+  /// Base of the exponential backoff charged to simulated time between
+  /// attempts: attempt a waits retry_backoff_ms * 2^a.
+  double retry_backoff_ms = 1.0;
+
+  bool has_deadline() const { return site_timeout_ms > 0.0; }
+
+  /// Simulated wait before retry number `attempt` (0-based).
+  double BackoffMillis(int attempt) const {
+    return retry_backoff_ms * std::ldexp(1.0, attempt);
+  }
+
+  /// Time for the coordinator to notice a dead site: the full deadline
+  /// when one is configured, otherwise one RPC latency (connection
+  /// refused).
+  double FailureDetectMillis() const {
+    return has_deadline() ? site_timeout_ms : latency_ms;
   }
 };
 

@@ -1,0 +1,431 @@
+#include <algorithm>
+#include <tuple>
+#include <vector>
+
+#include "common/random.h"
+#include "exec/distributed_executor.h"
+#include "exec/fault_model.h"
+#include "gtest/gtest.h"
+#include "mpc/mpc_partitioner.h"
+#include "partition/subject_hash_partitioner.h"
+#include "partition/vp_partitioner.h"
+#include "test_util.h"
+
+namespace mpc::exec {
+namespace {
+
+using rdf::RdfGraph;
+using store::BindingTable;
+
+RdfGraph TestGraph(uint64_t seed = 5) {
+  Rng rng(seed);
+  return testutil::RandomGraph(rng, 60, 240, 5, /*community=*/12,
+                               /*escape=*/0.2);
+}
+
+Cluster MpcCluster(const RdfGraph& graph, uint32_t k, uint64_t seed = 3) {
+  core::MpcOptions options;
+  options.base.k = k;
+  options.base.epsilon = 0.3;
+  options.base.seed = seed;
+  return Cluster::Build(core::MpcPartitioner(options).Partition(graph));
+}
+
+/// Ground truth for a degraded cluster under union semantics (Def 3.7):
+/// each live site evaluates the full BGP on its own fragment (internal +
+/// crossing replicas, which include the down sites' crossing edges) and
+/// the row sets are unioned. Evaluating on a single merged store would be
+/// wrong — it could join triples held by two *different* live sites,
+/// which no per-site evaluation ever does.
+BindingTable LiveUnionTruth(const Cluster& cluster,
+                            const RdfGraph& graph,
+                            const sparql::QueryGraph& query,
+                            const std::vector<uint32_t>& down) {
+  store::ResolvedQuery resolved = store::ResolveQuery(query, graph);
+  BindingTable merged;
+  bool first = true;
+  for (uint32_t site = 0; site < cluster.k(); ++site) {
+    if (std::find(down.begin(), down.end(), site) != down.end()) continue;
+    const partition::Partition& p =
+        cluster.partitioning().partition(site);
+    std::vector<rdf::Triple> triples(p.internal_edges.begin(),
+                                     p.internal_edges.end());
+    triples.insert(triples.end(), p.crossing_edges.begin(),
+                   p.crossing_edges.end());
+    store::TripleStore store(std::move(triples));
+    BindingTable table = store::BgpMatcher::EvaluateAll(store, resolved);
+    if (first) {
+      merged = std::move(table);
+      first = false;
+    } else {
+      merged.rows.insert(merged.rows.end(), table.rows.begin(),
+                         table.rows.end());
+    }
+  }
+  merged.Deduplicate();
+  return merged;
+}
+
+// --- FaultModel unit behavior. ---
+
+TEST(FaultModelTest, DisabledInjectsNothing) {
+  FaultModel model{FaultOptions{}};
+  EXPECT_FALSE(model.enabled());
+  for (uint32_t site = 0; site < 8; ++site) {
+    for (size_t step = 0; step < 4; ++step) {
+      EXPECT_EQ(model.Sample(site, step, 0), FaultKind::kNone);
+      EXPECT_FALSE(model.DownBefore(site, step));
+    }
+  }
+}
+
+TEST(FaultModelTest, FailSitesCrashImmediatelyAndStayDown) {
+  FaultOptions options;
+  options.fail_sites = {2, 5};
+  FaultModel model(options);
+  EXPECT_EQ(model.Sample(2, 0, 0), FaultKind::kCrash);
+  EXPECT_EQ(model.Sample(5, 3, 0), FaultKind::kCrash);
+  EXPECT_TRUE(model.DownBefore(2, 0));
+  EXPECT_FALSE(model.DownBefore(1, 3));
+  EXPECT_EQ(model.Sample(1, 0, 0), FaultKind::kNone);
+}
+
+TEST(FaultModelTest, SamplingIsDeterministicAndSeedSensitive) {
+  FaultOptions options;
+  options.seed = 42;
+  options.crash_rate = 0.2;
+  options.transient_rate = 0.3;
+  options.slowdown_rate = 0.2;
+  FaultModel a(options);
+  FaultModel b(options);
+  options.seed = 43;
+  FaultModel c(options);
+  size_t differs = 0;
+  for (uint32_t site = 0; site < 8; ++site) {
+    for (size_t step = 0; step < 8; ++step) {
+      for (int attempt = 0; attempt < 3; ++attempt) {
+        EXPECT_EQ(a.Sample(site, step, attempt),
+                  b.Sample(site, step, attempt));
+        differs +=
+            a.Sample(site, step, attempt) != c.Sample(site, step, attempt);
+      }
+    }
+  }
+  EXPECT_GT(differs, 0u);
+}
+
+TEST(FaultModelTest, RetriesNeverCrash) {
+  FaultOptions options;
+  options.crash_rate = 1.0;
+  FaultModel model(options);
+  EXPECT_EQ(model.Sample(0, 0, 0), FaultKind::kCrash);
+  for (int attempt = 1; attempt < 4; ++attempt) {
+    EXPECT_NE(model.Sample(0, 0, attempt), FaultKind::kCrash);
+  }
+}
+
+// --- Best-effort recovery: the replica failover data-path. ---
+
+TEST(FaultToleranceTest, BestEffortCrashServesReplicasFromLiveSites) {
+  RdfGraph graph = TestGraph();
+  Cluster cluster = MpcCluster(graph, 4);
+  DistributedExecutor::Options options;
+  options.faults.fail_sites = {0};
+  options.partial_results = PartialResultPolicy::kBestEffort;
+  DistributedExecutor executor(cluster, graph, options);
+
+  // IEQ star queries: union-only execution, so the live sites' answer is
+  // exactly what their stores (incl. site 0's crossing-edge replicas)
+  // hold.
+  for (const std::string& text :
+       {std::string("SELECT * WHERE { ?x <t:p0> ?y . }"),
+        std::string("SELECT * WHERE { ?x <t:p0> ?y . ?x <t:p1> ?z . }")}) {
+    sparql::QueryGraph query = testutil::ParseQueryOrDie(text);
+    ExecutionStats stats;
+    Result<BindingTable> result = executor.Execute(query, &stats);
+    ASSERT_TRUE(result.ok()) << result.status().ToString();
+    EXPECT_TRUE(stats.independent);
+
+    BindingTable expected = LiveUnionTruth(cluster, graph, query, {0});
+    EXPECT_EQ(testutil::RowSet(*result), testutil::RowSet(expected))
+        << "best-effort must equal the live-union ground truth: " << text;
+
+    BindingTable full = testutil::GroundTruth(graph, query);
+    // Degraded answers are sound: a subset of the full result.
+    for (const auto& row : result->rows) {
+      EXPECT_TRUE(testutil::RowSet(full).count(row));
+    }
+    EXPECT_FALSE(stats.complete);
+    EXPECT_GT(stats.sites_failed, 0u);
+    EXPECT_GT(stats.failed_site_vertices, 0u);
+    EXPECT_LE(stats.replicated_failed_vertices, stats.failed_site_vertices);
+    EXPECT_GT(stats.completeness_bound, 0.0);
+    EXPECT_LT(stats.completeness_bound, 1.0);
+  }
+}
+
+TEST(FaultToleranceTest, FailoverHitsCountReplicaServedRows) {
+  RdfGraph graph = TestGraph(6);
+  Cluster cluster = MpcCluster(graph, 4);
+  DistributedExecutor::Options options;
+  options.faults.fail_sites = {1};
+  options.partial_results = PartialResultPolicy::kBestEffort;
+  DistributedExecutor executor(cluster, graph, options);
+
+  sparql::QueryGraph query =
+      testutil::ParseQueryOrDie("SELECT * WHERE { ?x <t:p0> ?y . }");
+  ExecutionStats stats;
+  Result<BindingTable> result = executor.Execute(query, &stats);
+  ASSERT_TRUE(result.ok());
+
+  // Recount independently: rows binding a vertex owned by site 1.
+  const auto& part = cluster.partitioning().assignment().part;
+  size_t expected_hits = 0;
+  for (const auto& row : result->rows) {
+    bool hit = false;
+    for (uint32_t v : row) hit |= (v < part.size() && part[v] == 1);
+    expected_hits += hit;
+  }
+  EXPECT_EQ(stats.failover_hits, expected_hits);
+  if (expected_hits > 0) {
+    EXPECT_FALSE(stats.complete);
+  }
+}
+
+TEST(FaultToleranceTest, TransientFaultsRecoverWithRetries) {
+  RdfGraph graph = TestGraph(7);
+  Cluster cluster = MpcCluster(graph, 4);
+  DistributedExecutor::Options options;
+  options.faults.seed = 11;
+  options.faults.transient_rate = 0.4;
+  options.network.max_retries = 8;  // 0.4^9: retries always win
+  options.partial_results = PartialResultPolicy::kFail;
+  DistributedExecutor executor(cluster, graph, options);
+
+  sparql::QueryGraph query = testutil::ParseQueryOrDie(
+      "SELECT * WHERE { ?a <t:p0> ?b . ?b <t:p1> ?c . }");
+  ExecutionStats stats;
+  Result<BindingTable> result = executor.Execute(query, &stats);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_EQ(testutil::RowSet(*result),
+            testutil::RowSet(testutil::GroundTruth(graph, query)));
+  EXPECT_TRUE(stats.complete);
+  EXPECT_EQ(stats.sites_failed, 0u);
+  EXPECT_GT(stats.retries, 0u);
+  EXPECT_GT(stats.fault_wait_millis, 0.0);
+}
+
+// --- kFail policy: errors with the right codes. ---
+
+TEST(FaultToleranceTest, FailPolicyReturnsUnavailableOnCrash) {
+  RdfGraph graph = TestGraph(8);
+  Cluster cluster = MpcCluster(graph, 4);
+  DistributedExecutor::Options options;
+  options.faults.fail_sites = {2};
+  options.partial_results = PartialResultPolicy::kFail;
+  DistributedExecutor executor(cluster, graph, options);
+  ExecutionStats stats;
+  Result<BindingTable> result = executor.ExecuteText(
+      "SELECT * WHERE { ?x <t:p0> ?y . }", &stats);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kUnavailable);
+}
+
+TEST(FaultToleranceTest, FailPolicyReturnsUnavailableAfterRetries) {
+  RdfGraph graph = TestGraph(9);
+  Cluster cluster = MpcCluster(graph, 4);
+  DistributedExecutor::Options options;
+  options.faults.transient_rate = 1.0;  // every attempt fails
+  options.network.max_retries = 3;
+  DistributedExecutor executor(cluster, graph, options);
+  ExecutionStats stats;
+  Result<BindingTable> result = executor.ExecuteText(
+      "SELECT * WHERE { ?x <t:p0> ?y . }", &stats);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kUnavailable);
+  // The first failing site burned exactly max_retries retries.
+  EXPECT_EQ(stats.retries, 3u);
+}
+
+TEST(FaultToleranceTest, DeadlineExceededWhenSlowdownsMissTimeout) {
+  RdfGraph graph = TestGraph(10);
+  Cluster cluster = MpcCluster(graph, 4);
+  DistributedExecutor::Options options;
+  options.faults.slowdown_rate = 1.0;
+  options.network.site_timeout_ms = 50.0;
+  options.network.max_retries = 2;
+  DistributedExecutor executor(cluster, graph, options);
+  ExecutionStats stats;
+  Result<BindingTable> result = executor.ExecuteText(
+      "SELECT * WHERE { ?x <t:p0> ?y . }", &stats);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kDeadlineExceeded);
+}
+
+TEST(FaultToleranceTest, SlowdownWithoutDeadlineOnlyCostsTime) {
+  RdfGraph graph = TestGraph(11);
+  Cluster cluster = MpcCluster(graph, 4);
+  DistributedExecutor::Options options;
+  options.faults.slowdown_rate = 1.0;  // every site slow, no deadline
+  DistributedExecutor executor(cluster, graph, options);
+  sparql::QueryGraph query =
+      testutil::ParseQueryOrDie("SELECT * WHERE { ?x <t:p0> ?y . }");
+  ExecutionStats stats;
+  Result<BindingTable> result = executor.Execute(query, &stats);
+  ASSERT_TRUE(result.ok());
+  EXPECT_TRUE(stats.complete);
+  EXPECT_EQ(testutil::RowSet(*result),
+            testutil::RowSet(testutil::GroundTruth(graph, query)));
+}
+
+// --- Stats invariants and determinism. ---
+
+/// The deterministic (non-timing) slice of ExecutionStats.
+auto StatKey(const ExecutionStats& stats) {
+  return std::make_tuple(stats.cls, stats.independent, stats.num_subqueries,
+                         stats.num_results, stats.shipped_bytes,
+                         stats.sites_evaluated, stats.sites_pruned,
+                         stats.sites_failed, stats.retries,
+                         stats.failover_hits, stats.complete,
+                         stats.failed_site_vertices,
+                         stats.replicated_failed_vertices,
+                         stats.completeness_bound, stats.local_rows,
+                         stats.fault_wait_millis);
+}
+
+TEST(FaultToleranceTest, SameSeedSameStatsAtAnyThreadCount) {
+  RdfGraph graph = TestGraph(12);
+  for (bool vp : {false, true}) {
+    partition::Partitioning partitioning;
+    if (vp) {
+      partition::PartitionerOptions base{.k = 8, .epsilon = 0.3, .seed = 3};
+      partitioning = partition::VpPartitioner(base).Partition(graph);
+    } else {
+      core::MpcOptions options;
+      options.base.k = 8;
+      options.base.epsilon = 0.3;
+      options.base.seed = 3;
+      partitioning = core::MpcPartitioner(options).Partition(graph);
+    }
+    Cluster cluster = Cluster::Build(std::move(partitioning));
+    for (const std::string& text :
+         {std::string("SELECT * WHERE { ?x <t:p0> ?y . ?x <t:p1> ?z . }"),
+          std::string(
+              "SELECT * WHERE { ?a <t:p0> ?b . ?b <t:p1> ?c . ?c <t:p2> "
+              "?d . }")}) {
+      sparql::QueryGraph query = testutil::ParseQueryOrDie(text);
+      std::vector<std::vector<std::vector<uint32_t>>> row_sets;
+      std::vector<decltype(StatKey(ExecutionStats{}))> keys;
+      for (int threads : {1, 8}) {
+        DistributedExecutor::Options options;
+        options.num_threads = threads;
+        options.faults.seed = 99;
+        options.faults.crash_rate = 0.15;
+        options.faults.transient_rate = 0.2;
+        options.faults.slowdown_rate = 0.1;
+        options.network.site_timeout_ms = 25.0;
+        options.partial_results = PartialResultPolicy::kBestEffort;
+        DistributedExecutor executor(cluster, graph, options);
+        ExecutionStats stats;
+        Result<BindingTable> result = executor.Execute(query, &stats);
+        ASSERT_TRUE(result.ok()) << result.status().ToString();
+        result->Deduplicate();  // canonical row order
+        row_sets.push_back(result->rows);
+        keys.push_back(StatKey(stats));
+      }
+      EXPECT_EQ(row_sets[0], row_sets[1]) << text;
+      EXPECT_EQ(keys[0], keys[1]) << text;
+    }
+  }
+}
+
+TEST(FaultToleranceTest, SiteSlotInvariantHoldsUnderFaults) {
+  RdfGraph graph = TestGraph(13);
+  for (uint64_t fault_seed : {1ULL, 2ULL, 3ULL, 4ULL}) {
+    for (bool hash : {false, true}) {
+      Cluster cluster =
+          hash ? Cluster::Build(
+                     partition::SubjectHashPartitioner(
+                         partition::PartitionerOptions{
+                             .k = 4, .epsilon = 0.3, .seed = 7})
+                         .Partition(graph))
+               : MpcCluster(graph, 4);
+      DistributedExecutor::Options options;
+      options.faults.seed = fault_seed;
+      options.faults.crash_rate = 0.2;
+      options.faults.transient_rate = 0.2;
+      options.faults.slowdown_rate = 0.1;
+      options.network.site_timeout_ms = 10.0;
+      options.partial_results = PartialResultPolicy::kBestEffort;
+      DistributedExecutor executor(cluster, graph, options);
+      for (const std::string& text :
+           {std::string("SELECT * WHERE { ?x <t:p0> ?y . }"),
+            std::string("SELECT * WHERE { ?a <t:p0> ?b . ?b <t:p1> ?c . "
+                        "?c <t:p2> ?d . }"),
+            std::string("SELECT * WHERE { ?x ?p ?y . ?x <t:p4> ?z . }")}) {
+        sparql::QueryGraph query = testutil::ParseQueryOrDie(text);
+        ExecutionStats stats;
+        ASSERT_TRUE(executor.Execute(query, &stats).ok());
+        EXPECT_EQ(
+            stats.sites_evaluated + stats.sites_pruned + stats.sites_failed,
+            cluster.k() * stats.num_subqueries)
+            << text << " seed " << fault_seed;
+      }
+    }
+  }
+}
+
+TEST(FaultToleranceTest, VpInvariantAndIncompletenessUnderCrash) {
+  RdfGraph graph = TestGraph(14);
+  partition::PartitionerOptions base{.k = 4, .epsilon = 0.3, .seed = 5};
+  Cluster cluster =
+      Cluster::Build(partition::VpPartitioner(base).Partition(graph));
+  DistributedExecutor::Options options;
+  options.faults.fail_sites = {0, 1};
+  options.partial_results = PartialResultPolicy::kBestEffort;
+  DistributedExecutor executor(cluster, graph, options);
+  for (const std::string& text :
+       {std::string("SELECT * WHERE { ?x <t:p0> ?y . }"),
+        std::string(
+            "SELECT * WHERE { ?a <t:p0> ?b . ?b <t:p1> ?c . }")}) {
+    sparql::QueryGraph query = testutil::ParseQueryOrDie(text);
+    ExecutionStats stats;
+    Result<BindingTable> result = executor.Execute(query, &stats);
+    ASSERT_TRUE(result.ok()) << result.status().ToString();
+    EXPECT_EQ(stats.sites_evaluated + stats.sites_pruned + stats.sites_failed,
+              cluster.k() * stats.num_subqueries)
+        << text;
+    // VP keeps no replicas: nothing is recoverable from the dead sites.
+    EXPECT_EQ(stats.failover_hits, 0u);
+    if (stats.sites_failed > 0) {
+      EXPECT_FALSE(stats.complete);
+      EXPECT_LT(stats.completeness_bound, 1.0);
+    }
+  }
+}
+
+// --- Cluster replica lookup. ---
+
+TEST(ClusterReplicaTest, CoverageCountsDownSiteData) {
+  RdfGraph graph = TestGraph(15);
+  Cluster cluster = MpcCluster(graph, 4);
+  SiteAvailability avail = cluster.AllUp();
+  EXPECT_EQ(cluster.ComputeReplicaCoverage(avail).failed_owned_vertices, 0u);
+
+  avail.MarkDown(0);
+  ReplicaCoverage coverage = cluster.ComputeReplicaCoverage(avail);
+  EXPECT_EQ(coverage.failed_owned_vertices, cluster.OwnedVertexCount(0));
+  EXPECT_LE(coverage.replicated_on_live, coverage.failed_owned_vertices);
+  // Internal edges of the down site are always unrecoverable.
+  EXPECT_GE(coverage.lost_triples,
+            cluster.partitioning().partition(0).internal_edges.size());
+
+  // More failures never shrink the loss.
+  avail.MarkDown(1);
+  ReplicaCoverage coverage2 = cluster.ComputeReplicaCoverage(avail);
+  EXPECT_GE(coverage2.lost_triples, coverage.lost_triples);
+  EXPECT_GE(coverage2.failed_owned_vertices, coverage.failed_owned_vertices);
+}
+
+}  // namespace
+}  // namespace mpc::exec

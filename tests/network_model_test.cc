@@ -1,5 +1,8 @@
 #include "exec/network_model.h"
 
+#include <cmath>
+#include <cstdint>
+
 #include "exec/query_classifier.h"
 #include "gtest/gtest.h"
 
@@ -28,6 +31,42 @@ TEST(NetworkModelTest, DefaultsModelScaledDownBandwidth) {
   // scale-down. 1 MB should take ~1000 ms + latency.
   EXPECT_NEAR(net.TransferMillis(1'000'000, 1), 1000.0 + net.latency_ms,
               1e-9);
+}
+
+TEST(NetworkModelTest, TransferEdgeCases) {
+  NetworkModel net;
+  net.latency_ms = 1.0;
+  net.bytes_per_ms = 1000.0;
+  // 0 bytes: pure latency.
+  EXPECT_DOUBLE_EQ(net.TransferMillis(0, 4), 4.0);
+  // 0 messages: pure bandwidth.
+  EXPECT_DOUBLE_EQ(net.TransferMillis(2000, 0), 2.0);
+  // Huge byte counts survive the double conversion without overflow or
+  // sign trouble (SIZE_MAX ~ 1.8e19 bytes / 1e3 B/ms ~ 1.8e16 ms).
+  const double huge = net.TransferMillis(SIZE_MAX, 1);
+  EXPECT_GT(huge, 1e15);
+  EXPECT_TRUE(std::isfinite(huge));
+  // Monotone in both arguments.
+  EXPECT_LE(net.TransferMillis(100, 1), net.TransferMillis(101, 1));
+  EXPECT_LE(net.TransferMillis(100, 1), net.TransferMillis(100, 2));
+}
+
+TEST(NetworkModelTest, BackoffDoublesPerAttempt) {
+  NetworkModel net;
+  net.retry_backoff_ms = 2.0;
+  EXPECT_DOUBLE_EQ(net.BackoffMillis(0), 2.0);
+  EXPECT_DOUBLE_EQ(net.BackoffMillis(1), 4.0);
+  EXPECT_DOUBLE_EQ(net.BackoffMillis(4), 32.0);
+}
+
+TEST(NetworkModelTest, FailureDetectUsesDeadlineWhenConfigured) {
+  NetworkModel net;
+  net.latency_ms = 0.5;
+  EXPECT_FALSE(net.has_deadline());
+  EXPECT_DOUBLE_EQ(net.FailureDetectMillis(), 0.5);
+  net.site_timeout_ms = 40.0;
+  EXPECT_TRUE(net.has_deadline());
+  EXPECT_DOUBLE_EQ(net.FailureDetectMillis(), 40.0);
 }
 
 TEST(IeqClassNameTest, AllClassesNamed) {

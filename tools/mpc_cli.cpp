@@ -6,10 +6,19 @@
 //   mpc classify <data.nt> <partition_dir> <sparql...>
 //   mpc explain <data.nt> <partition_dir> <sparql...>
 //   mpc query <data.nt> <partition_dir> <sparql...>
+//       [--fail-sites=0,3] [--fault-rate=P] [--transient-rate=P]
+//       [--site-timeout-ms=T] [--retries=N] [--fault-seed=S]
+//       [--partial-results=fail|best-effort]
 //
 // The SPARQL argument may be a file path or an inline query string.
 // --threads=0 (the default) uses every hardware thread; --threads=1 runs
 // serially. Results are identical at any value.
+//
+// The fault flags inject deterministic site failures into the simulated
+// cluster (see DESIGN.md "Fault model"): --fail-sites crashes the listed
+// sites, --fault-rate is a per-(site,subquery) crash probability,
+// --transient-rate a per-attempt retryable error probability. Unknown
+// flags and malformed values are rejected with a non-zero exit.
 
 #include <filesystem>
 #include <fstream>
@@ -18,6 +27,7 @@
 #include <string>
 #include <vector>
 
+#include "common/flags.h"
 #include "common/string_util.h"
 #include "exec/cluster.h"
 #include "exec/decomposer.h"
@@ -46,17 +56,31 @@ int Usage() {
   mpc classify <data.nt> <partition_dir> <sparql-or-file>
   mpc explain <data.nt> <partition_dir> <sparql-or-file>
   mpc query <data.nt> <partition_dir> <sparql-or-file>
+      [--fail-sites=0,3] [--fault-rate=P] [--transient-rate=P]
+      [--site-timeout-ms=T] [--retries=N] [--fault-seed=S]
+      [--partial-results=fail|best-effort]
 )";
   return 2;
 }
 
-/// Parses "--key=value" flags out of argv, returning positional args.
+/// The tool's "--key=value" flags (parsed by common/flags.h; unknown or
+/// malformed flags abort with exit 2 rather than running with defaults).
 struct Flags {
   std::string strategy = "mpc";
   uint32_t k = 8;
   double epsilon = 0.1;
   uint64_t seed = 1;
   int threads = 0;  // 0 = hardware_concurrency
+
+  // Fault injection (query command).
+  std::vector<uint32_t> fail_sites;
+  double fault_rate = 0.0;      // crash probability per (site, subquery)
+  double transient_rate = 0.0;  // retryable-error probability per attempt
+  double site_timeout_ms = 0.0;
+  int retries = 2;
+  uint64_t fault_seed = 0;
+  std::string partial_results = "fail";
+
   std::vector<std::string> positional;
 
   partition::PartitionerOptions PartitionerOpts() const {
@@ -64,40 +88,41 @@ struct Flags {
         .k = k, .epsilon = epsilon, .seed = seed, .num_threads = threads};
   }
 
+  exec::ExecutorOptions ExecutorOpts() const {
+    exec::ExecutorOptions options;
+    options.num_threads = threads;
+    options.faults.seed = fault_seed;
+    options.faults.crash_rate = fault_rate;
+    options.faults.transient_rate = transient_rate;
+    options.faults.fail_sites = fail_sites;
+    options.network.site_timeout_ms = site_timeout_ms;
+    options.network.max_retries = retries;
+    options.partial_results = partial_results == "best-effort"
+                                  ? exec::PartialResultPolicy::kBestEffort
+                                  : exec::PartialResultPolicy::kFail;
+    return options;
+  }
+
   static Result<Flags> Parse(int argc, char** argv, int first) {
     Flags flags;
-    for (int i = first; i < argc; ++i) {
-      std::string arg = argv[i];
-      if (arg.rfind("--", 0) != 0) {
-        flags.positional.push_back(std::move(arg));
-        continue;
-      }
-      size_t eq = arg.find('=');
-      if (eq == std::string::npos) {
-        return Status::InvalidArgument("flag needs a value: " + arg);
-      }
-      std::string key = arg.substr(2, eq - 2);
-      std::string value = arg.substr(eq + 1);
-      try {
-        if (key == "strategy") {
-          flags.strategy = value;
-        } else if (key == "k") {
-          flags.k = static_cast<uint32_t>(std::stoul(value));
-        } else if (key == "epsilon") {
-          flags.epsilon = std::stod(value);
-        } else if (key == "seed") {
-          flags.seed = std::stoull(value);
-        } else if (key == "threads") {
-          flags.threads = std::stoi(value);
-        } else {
-          return Status::InvalidArgument("unknown flag --" + key);
-        }
-      } catch (const std::exception&) {
-        return Status::InvalidArgument("--" + key +
-                                       " needs a numeric value, got '" +
-                                       value + "'");
-      }
-    }
+    FlagParser parser;
+    parser.AddString("strategy", &flags.strategy);
+    parser.AddUint32("k", &flags.k);
+    parser.AddDouble("epsilon", &flags.epsilon);
+    parser.AddUint64("seed", &flags.seed);
+    parser.AddInt("threads", &flags.threads);
+    parser.AddUint32List("fail-sites", &flags.fail_sites);
+    parser.AddDouble("fault-rate", &flags.fault_rate);
+    parser.AddDouble("transient-rate", &flags.transient_rate);
+    parser.AddDouble("site-timeout-ms", &flags.site_timeout_ms);
+    parser.AddInt("retries", &flags.retries);
+    parser.AddUint64("fault-seed", &flags.fault_seed);
+    parser.AddChoice("partial-results", &flags.partial_results,
+                     {"fail", "best-effort"});
+    Result<std::vector<std::string>> positional =
+        parser.Parse(argc, argv, first);
+    if (!positional.ok()) return positional.status();
+    flags.positional = std::move(*positional);
     return flags;
   }
 };
@@ -282,9 +307,7 @@ int CmdClassifyOrQuery(const Flags& flags, bool execute) {
 
   exec::Cluster cluster =
       exec::Cluster::Build(std::move(*partitioning), flags.threads);
-  exec::ExecutorOptions exec_options;
-  exec_options.num_threads = flags.threads;
-  exec::DistributedExecutor executor(cluster, *graph, exec_options);
+  exec::DistributedExecutor executor(cluster, *graph, flags.ExecutorOpts());
   exec::ExecutionStats stats;
   Result<store::BindingTable> result = executor.Execute(*query, &stats);
   if (!result.ok()) {
@@ -302,6 +325,19 @@ int CmdClassifyOrQuery(const Flags& flags, bool execute) {
             << FormatDouble(stats.total_millis, 1) << " ms; sites "
             << stats.sites_evaluated << " evaluated / "
             << stats.sites_pruned << " pruned)\n";
+  if (!stats.complete || stats.sites_failed > 0 || stats.retries > 0) {
+    std::cout << "faults:  " << stats.sites_failed
+              << " site-subqueries failed, " << stats.retries
+              << " retries, " << stats.failover_hits
+              << " rows served from replicas; complete="
+              << (stats.complete ? "yes" : "no")
+              << " completeness>=" << FormatDouble(
+                     100.0 * stats.completeness_bound, 1)
+              << "% (replicated " << stats.replicated_failed_vertices << "/"
+              << stats.failed_site_vertices
+              << " failed-site vertices; fault wait "
+              << FormatDouble(stats.fault_wait_millis, 1) << " ms)\n";
+  }
   const size_t limit = 20;
   for (size_t r = 0; r < std::min(limit, result->rows.size()); ++r) {
     for (size_t c = 0; c < result->var_ids.size(); ++c) {
