@@ -1,0 +1,191 @@
+// Streaming-ingest experiment for the dynamic maintenance subsystem
+// (src/dynamic/): a LUBM seed graph is MPC-partitioned once, then a
+// deterministic insert/delete stream runs through IncrementalMaintainer.
+// At checkpoints the maintained partitioning is compared against an
+// oracle — a full MPC repartition of the exact live graph — on the two
+// quantities the paper optimizes: |L_cross| and the IEQ share of the 14
+// LUBM benchmark queries. Tombstone and replication ratios show the
+// price of lazy deletion between repartitions.
+//
+// Usage: ./dynamic_updates [scale]   (scale 1.0 ~ 20 universities)
+
+#include <cstdint>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "bench_util.h"
+#include "common/random.h"
+#include "common/timer.h"
+#include "dynamic/incremental_maintainer.h"
+#include "workload/lubm.h"
+
+namespace mpc {
+namespace {
+
+using dynamic::IncrementalMaintainer;
+using dynamic::TripleUpdate;
+using dynamic::UpdateBatch;
+using dynamic::UpdateKind;
+
+/// Deterministic LUBM-flavoured update stream. Inserts either attach a
+/// brand-new entity through an existing property (a fresh student/course
+/// mirroring a random seed triple's shape) or add an edge between
+/// existing entities; deletes tombstone random seed triples.
+std::vector<UpdateBatch> MakeStream(Rng& rng, const rdf::RdfGraph& seed,
+                                    size_t num_batches,
+                                    size_t updates_per_batch) {
+  std::vector<UpdateBatch> batches;
+  size_t fresh = 0;
+  for (size_t b = 0; b < num_batches; ++b) {
+    UpdateBatch batch;
+    for (size_t i = 0; i < updates_per_batch; ++i) {
+      const rdf::Triple& t = seed.triples()[rng.Below(seed.num_edges())];
+      TripleUpdate u;
+      const uint64_t roll = rng.Below(10);
+      if (roll < 4) {
+        // New entity, attached the way the sampled seed triple attaches
+        // its subject (same property, same object side).
+        u.kind = UpdateKind::kInsert;
+        u.subject = "<http://example.org/lubm/fresh" +
+                    std::to_string(fresh++) + ">";
+        u.property = seed.PropertyName(t.property);
+        u.object = seed.VertexName(t.object);
+      } else if (roll < 7) {
+        // New edge between existing entities: the sampled triple's
+        // property, re-targeted at another triple's object.
+        const rdf::Triple& other =
+            seed.triples()[rng.Below(seed.num_edges())];
+        u.kind = UpdateKind::kInsert;
+        u.subject = seed.VertexName(t.subject);
+        u.property = seed.PropertyName(t.property);
+        u.object = seed.VertexName(other.object);
+      } else {
+        u.kind = UpdateKind::kDelete;
+        u.subject = seed.VertexName(t.subject);
+        u.property = seed.PropertyName(t.property);
+        u.object = seed.VertexName(t.object);
+      }
+      batch.updates.push_back(std::move(u));
+    }
+    batches.push_back(std::move(batch));
+  }
+  return batches;
+}
+
+std::string Pct(double value) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.1f", value);
+  return buf;
+}
+
+void RunPolicy(const std::string& label,
+               const dynamic::RepartitionPolicy& policy,
+               const workload::GeneratedDataset& dataset,
+               const partition::Partitioning& seed_partitioning,
+               const std::vector<UpdateBatch>& stream,
+               size_t checkpoint_every) {
+  dynamic::MaintainerOptions options;
+  options.policy = policy;
+  options.mpc.base.k = bench::kSites;
+  options.mpc.base.epsilon = bench::kEpsilon;
+  options.num_threads = 0;
+  IncrementalMaintainer maintainer(dataset.graph.Clone(),
+                                   seed_partitioning, options);
+
+  std::cout << "policy=" << label << "  seed |L_cross|="
+            << seed_partitioning.num_crossing_properties() << "\n";
+  bench::LeftCell("batch", 7);
+  bench::Cell("live", 9);
+  bench::Cell("|Lx|", 6);
+  bench::Cell("|Lx|*", 7);
+  bench::Cell("IEQ%", 7);
+  bench::Cell("IEQ%*", 7);
+  bench::Cell("tomb%", 7);
+  bench::Cell("repl", 7);
+  bench::Cell("repart", 8);
+  std::cout << "\n";
+
+  Timer timer;
+  for (size_t b = 0; b < stream.size(); ++b) {
+    dynamic::ApplyResult r = maintainer.ApplyBatch(stream[b]);
+    const bool last = b + 1 == stream.size();
+    if ((b + 1) % checkpoint_every != 0 && !last) continue;
+
+    // Oracle: full MPC repartition of the exact live graph.
+    rdf::RdfGraph live = maintainer.MaterializeGraph();
+    core::MpcOptions oracle_options = options.mpc;
+    oracle_options.base.num_threads = 0;
+    partition::Partitioning oracle =
+        core::MpcPartitioner(oracle_options).Partition(live);
+
+    partition::Partitioning maintained = maintainer.CompactPartitioning();
+    const double ieq = bench::IeqPercent(dataset.benchmark_queries,
+                                         maintained, maintainer.graph());
+    const double ieq_oracle =
+        bench::IeqPercent(dataset.benchmark_queries, oracle, live);
+
+    bench::LeftCell(std::to_string(b + 1), 7);
+    bench::Cell(std::to_string(r.drift.live_triples), 9);
+    bench::Cell(std::to_string(r.drift.crossing_properties), 6);
+    bench::Cell(std::to_string(oracle.num_crossing_properties()), 7);
+    bench::Cell(Pct(ieq), 7);
+    bench::Cell(Pct(ieq_oracle), 7);
+    bench::Cell(Pct(100.0 * r.drift.tombstone_ratio), 7);
+    bench::Cell(Pct(r.drift.replication_ratio), 7);
+    bench::Cell(std::to_string(r.drift.repartitions) +
+                    (r.repartition_triggered ? "!" : ""),
+                8);
+    std::cout << "\n";
+  }
+  std::cout << "stream time: " << Pct(timer.ElapsedMillis()) << " ms ("
+            << maintainer.repartition_count() << " repartitions)\n\n";
+}
+
+}  // namespace
+}  // namespace mpc
+
+int main(int argc, char** argv) {
+  using namespace mpc;
+  const double scale = bench::ScaleFromArgs(argc, argv);
+
+  workload::LubmOptions lubm;
+  lubm.num_universities =
+      std::max<uint32_t>(2, static_cast<uint32_t>(20 * scale));
+  workload::GeneratedDataset dataset = workload::MakeLubm(lubm);
+  std::cout << "LUBM x" << lubm.num_universities << ": "
+            << dataset.graph.num_edges() << " triples, "
+            << dataset.graph.num_vertices() << " vertices, "
+            << dataset.graph.num_properties() << " properties\n";
+
+  core::MpcOptions mpc;
+  mpc.base.k = bench::kSites;
+  mpc.base.epsilon = bench::kEpsilon;
+  mpc.base.num_threads = 0;
+  partition::Partitioning seed =
+      core::MpcPartitioner(mpc).Partition(dataset.graph);
+
+  // ~30% of the seed's size flows through the stream.
+  const size_t num_batches = 12;
+  const size_t per_batch =
+      std::max<size_t>(10, dataset.graph.num_edges() * 3 / 10 / num_batches);
+  std::cout << "stream: " << num_batches << " batches x " << per_batch
+            << " updates (40% new-entity inserts, 30% new edges, "
+               "30% deletes)\n";
+  std::cout << "columns: |Lx|/IEQ% maintained, |Lx|*/IEQ%* oracle full "
+               "repartition of the live graph\n\n";
+
+  Rng rng(7);
+  std::vector<UpdateBatch> stream =
+      MakeStream(rng, dataset.graph, num_batches, per_batch);
+
+  dynamic::RepartitionPolicy threshold;
+  threshold.kind = dynamic::RepartitionPolicy::Kind::kThreshold;
+  RunPolicy("threshold", threshold, dataset, seed, stream, 2);
+
+  dynamic::RepartitionPolicy never;
+  never.kind = dynamic::RepartitionPolicy::Kind::kNever;
+  RunPolicy("never", never, dataset, seed, stream, 2);
+
+  return 0;
+}

@@ -1,7 +1,9 @@
 #!/usr/bin/env bash
-# Tier-1 verification: build + full ctest, twice — the default build and
-# an AddressSanitizer build — so both the logic and the memory behavior
-# of the fault-injection paths are exercised. The fault determinism test
+# Tier-1 verification: build + full ctest, three times — the default
+# build, an AddressSanitizer build, and an UndefinedBehaviorSanitizer
+# build — so the logic, the memory behavior and the arithmetic of the
+# fault-injection and dynamic-maintenance paths are all exercised. The
+# fault determinism test
 # (same seed => bit-identical stats at any thread count) runs in both
 # configurations; it is the one most likely to catch a nondeterministic
 # recovery path.
@@ -26,5 +28,6 @@ run_config() {
 
 run_config build
 run_config build-asan -DMPC_SANITIZE=address
+run_config build-ubsan -DMPC_SANITIZE=undefined
 
-echo "All checks passed (default + asan)."
+echo "All checks passed (default + asan + ubsan)."

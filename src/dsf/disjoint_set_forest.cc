@@ -15,6 +15,17 @@ DisjointSetForest::DisjointSetForest(size_t n)
   for (size_t i = 0; i < n; ++i) parent_[i] = static_cast<uint32_t>(i);
 }
 
+void DisjointSetForest::Grow(size_t n) {
+  if (n <= parent_.size()) return;
+  const size_t old = parent_.size();
+  parent_.resize(n);
+  rank_.resize(n, 0);
+  size_.resize(n, 1);
+  for (size_t i = old; i < n; ++i) parent_[i] = static_cast<uint32_t>(i);
+  num_components_ += n - old;
+  max_component_size_ = std::max<size_t>(max_component_size_, 1);
+}
+
 uint32_t DisjointSetForest::Find(uint32_t x) {
   assert(x < parent_.size());
   uint32_t root = x;

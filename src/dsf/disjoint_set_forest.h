@@ -21,6 +21,11 @@ class DisjointSetForest {
 
   size_t universe_size() const { return parent_.size(); }
 
+  /// Extends the universe to [0, n), appending singleton components; a
+  /// no-op when n <= universe_size(). Lets the incremental maintainer
+  /// absorb never-seen vertices online without rebuilding the forest.
+  void Grow(size_t n);
+
   /// Root of x's tree, compressing the path (two-pass).
   uint32_t Find(uint32_t x);
 

@@ -1,0 +1,105 @@
+#include "dynamic/drift_tracker.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace mpc::dynamic {
+
+size_t RepartitionPolicy::LcrossBound(size_t seed) const {
+  const size_t relative = static_cast<size_t>(
+      std::floor(static_cast<double>(seed) * (1.0 + max_lcross_growth)));
+  return std::max(relative, seed + min_lcross_slack);
+}
+
+std::string RepartitionPolicy::Evaluate(const DriftMetrics& m) const {
+  switch (kind) {
+    case Kind::kNever:
+      return {};
+    case Kind::kPeriodic:
+      if (period_batches > 0 && m.batches_applied > 0 &&
+          m.batches_applied % period_batches == 0) {
+        return "periodic: " + std::to_string(period_batches) +
+               " batches applied";
+      }
+      return {};
+    case Kind::kThreshold: {
+      const size_t bound = LcrossBound(m.seed_crossing_properties);
+      if (m.crossing_properties > bound) {
+        return "|L_cross| " + std::to_string(m.crossing_properties) +
+               " exceeds bound " + std::to_string(bound) + " (seed " +
+               std::to_string(m.seed_crossing_properties) + ")";
+      }
+      if (m.tombstone_ratio > max_tombstone_ratio) {
+        return "tombstone ratio " + std::to_string(m.tombstone_ratio) +
+               " exceeds " + std::to_string(max_tombstone_ratio);
+      }
+      if (max_balance_ratio > 0.0 && m.balance_ratio > max_balance_ratio) {
+        return "balance ratio " + std::to_string(m.balance_ratio) +
+               " exceeds " + std::to_string(max_balance_ratio);
+      }
+      return {};
+    }
+  }
+  return {};
+}
+
+void DriftTracker::Reset(size_t internal_edges, size_t crossing_edges,
+                         size_t seed_lcross) {
+  live_internal_ = internal_edges;
+  live_crossing_ = crossing_edges;
+  dead_slots_ = 0;
+  seed_lcross_ = seed_lcross;
+}
+
+void DriftTracker::OnInsertInternal(bool resurrected) {
+  ++live_internal_;
+  if (resurrected) dead_slots_ -= 1;
+}
+
+void DriftTracker::OnDeleteInternal() {
+  --live_internal_;
+  dead_slots_ += 1;
+}
+
+void DriftTracker::OnInsertCrossing(bool resurrected) {
+  ++live_crossing_;
+  if (resurrected) dead_slots_ -= 2;
+}
+
+void DriftTracker::OnDeleteCrossing() {
+  --live_crossing_;
+  dead_slots_ += 2;
+}
+
+DriftMetrics DriftTracker::Snapshot(
+    const partition::Partitioning& partitioning,
+    size_t max_internal_component) const {
+  DriftMetrics m;
+  m.live_triples = live_internal_ + live_crossing_;
+  m.seed_crossing_properties = seed_lcross_;
+  m.crossing_properties = partitioning.num_crossing_properties();
+  m.crossing_edges = partitioning.num_crossing_edges();
+  if (seed_lcross_ > 0 && m.crossing_properties > seed_lcross_) {
+    m.lcross_growth = static_cast<double>(m.crossing_properties) /
+                          static_cast<double>(seed_lcross_) -
+                      1.0;
+  }
+  m.balance_ratio = partitioning.BalanceRatio();
+  const size_t live_slots = live_internal_ + 2 * live_crossing_;
+  const size_t stored = live_slots + dead_slots_;
+  m.tombstone_ratio =
+      stored == 0 ? 0.0
+                  : static_cast<double>(dead_slots_) /
+                        static_cast<double>(stored);
+  m.replication_ratio =
+      m.live_triples == 0 ? 1.0
+                          : static_cast<double>(live_slots) /
+                                static_cast<double>(m.live_triples);
+  m.max_internal_component = max_internal_component;
+  m.updates_applied = updates_applied_;
+  m.batches_applied = batches_applied_;
+  m.repartitions = repartitions_;
+  return m;
+}
+
+}  // namespace mpc::dynamic

@@ -1,0 +1,357 @@
+#include "dynamic/incremental_maintainer.h"
+
+#include <algorithm>
+#include <cassert>
+#include <utility>
+
+namespace mpc::dynamic {
+
+namespace {
+
+/// Inserts v into a sorted, deduped vector, keeping it sorted; no-op when
+/// already present.
+void InsertSortedUnique(std::vector<rdf::VertexId>* vec, rdf::VertexId v) {
+  auto it = std::lower_bound(vec->begin(), vec->end(), v);
+  if (it == vec->end() || *it != v) vec->insert(it, v);
+}
+
+}  // namespace
+
+IncrementalMaintainer::IncrementalMaintainer(
+    rdf::RdfGraph graph, partition::Partitioning partitioning,
+    MaintainerOptions options)
+    : graph_(std::move(graph)),
+      partitioning_(std::move(partitioning)),
+      options_(std::move(options)) {
+  Attach();
+}
+
+IncrementalMaintainer::~IncrementalMaintainer() {
+  if (repartition_thread_.joinable()) repartition_thread_.join();
+}
+
+void IncrementalMaintainer::Attach() {
+  assert(partitioning_.kind() ==
+         partition::PartitioningKind::kVertexDisjoint);
+  assert(partitioning_.assignment().part.size() == graph_.num_vertices());
+
+  added_.clear();
+  deleted_.clear();
+
+  const std::vector<uint32_t>& part = partitioning_.assignment().part;
+  crossing_count_.assign(graph_.num_properties(), 0);
+  for (const rdf::Triple& t : graph_.triples()) {
+    if (part[t.subject] != part[t.object]) ++crossing_count_[t.property];
+  }
+
+  forest_ = dsf::DisjointSetForest(graph_.num_vertices());
+  for (const rdf::Triple& t : graph_.triples()) {
+    if (!partitioning_.IsCrossingProperty(t.property)) {
+      forest_.Union(t.subject, t.object);
+    }
+  }
+
+  tracker_.Reset(graph_.num_edges() - partitioning_.num_crossing_edges(),
+                 partitioning_.num_crossing_edges(),
+                 partitioning_.num_crossing_properties());
+  ++generation_;
+}
+
+bool IncrementalMaintainer::InBaseSnapshot(const rdf::Triple& t) const {
+  std::span<const rdf::Triple> run = graph_.EdgesWithProperty(t.property);
+  auto it = std::lower_bound(run.begin(), run.end(), t);
+  return it != run.end() && *it == t;
+}
+
+bool IncrementalMaintainer::IsLive(const rdf::Triple& t) const {
+  if (t.subject >= graph_.num_vertices() ||
+      t.object >= graph_.num_vertices() ||
+      t.property >= graph_.num_properties()) {
+    return false;
+  }
+  if (deleted_.count(t) > 0) return false;
+  return added_.count(t) > 0 || InBaseSnapshot(t);
+}
+
+uint32_t IncrementalMaintainer::LeastLoadedSite() const {
+  uint32_t best = 0;
+  size_t best_owned = partitioning_.partition(0).num_owned_vertices;
+  for (uint32_t i = 1; i < partitioning_.k(); ++i) {
+    const size_t owned = partitioning_.partition(i).num_owned_vertices;
+    if (owned < best_owned) {
+      best = i;
+      best_owned = owned;
+    }
+  }
+  return best;
+}
+
+uint32_t IncrementalMaintainer::PlaceNewVertex(rdf::VertexId other,
+                                               rdf::PropertyId p) const {
+  // Co-locating with the existing endpoint keeps an internal property
+  // internal (preserving Theorem 2's guarantee for L_in); for an already
+  // crossing property the edge may cross anyway, so balance wins.
+  if (!partitioning_.IsCrossingProperty(p)) {
+    return partitioning_.assignment().part[other];
+  }
+  return LeastLoadedSite();
+}
+
+int IncrementalMaintainer::ApplyUpdate(const TripleUpdate& update) {
+  if (update.kind == UpdateKind::kDelete) {
+    const rdf::VertexId s = graph_.vertex_dict().Lookup(update.subject);
+    const rdf::PropertyId p = graph_.property_dict().Lookup(update.property);
+    const rdf::VertexId o = graph_.vertex_dict().Lookup(update.object);
+    if (s == rdf::kInvalidVertex || p == rdf::kInvalidProperty ||
+        o == rdf::kInvalidVertex) {
+      return 0;  // a term was never seen, so the triple cannot be live
+    }
+    const rdf::Triple t(s, p, o);
+    if (!IsLive(t)) return 0;
+    // Lazy deletion: tombstone only. Site vectors keep the entry (store
+    // rebuilds and compaction filter it); counters update immediately.
+    deleted_.insert(t);
+    const std::vector<uint32_t>& part = partitioning_.assignment().part;
+    if (part[s] == part[o]) {
+      tracker_.OnDeleteInternal();
+      // The online forest cannot split; staleness is conservative (the
+      // drift metric over-approximates the Def. 4.2 cost).
+    } else {
+      partitioning_.BumpCrossingEdges(-1);
+      if (--crossing_count_[p] == 0) {
+        // Last crossing edge of p died: p leaves L_cross and queries
+        // over p become independently executable again.
+        partitioning_.SetCrossingProperty(p, false);
+      }
+      tracker_.OnDeleteCrossing();
+    }
+    return -1;
+  }
+
+  // Insert: encode, growing dictionaries for never-seen terms.
+  const rdf::VertexId s = graph_.InternVertex(update.subject);
+  const rdf::PropertyId p = graph_.InternProperty(update.property);
+  const rdf::VertexId o = graph_.InternVertex(update.object);
+  if (crossing_count_.size() < graph_.num_properties()) {
+    crossing_count_.resize(graph_.num_properties(), 0);
+    partitioning_.GrowPropertyUniverse(graph_.num_properties());
+  }
+
+  std::vector<uint32_t>& part = partitioning_.mutable_assignment().part;
+  if (part.size() < graph_.num_vertices()) {
+    // At least one endpoint is brand new; pick its owner.
+    const bool s_new = s >= part.size();
+    const bool o_new = o >= part.size();
+    uint32_t site;
+    if (s_new && o_new) {
+      site = LeastLoadedSite();  // both new: co-locate at one site
+    } else if (s_new) {
+      site = PlaceNewVertex(o, p);
+    } else {
+      site = PlaceNewVertex(s, p);
+    }
+    while (part.size() < graph_.num_vertices()) {
+      part.push_back(site);
+      ++partitioning_.mutable_partition(site).num_owned_vertices;
+    }
+    forest_.Grow(graph_.num_vertices());
+  }
+
+  const rdf::Triple t(s, p, o);
+  if (IsLive(t)) return 0;  // duplicate insert (RDF set semantics)
+  // A resurrected triple (insert after delete) still sits in the site
+  // vectors; a brand-new one must be appended.
+  const bool resurrected = deleted_.erase(t) > 0;
+  const bool appended = !resurrected;
+  if (appended) added_.insert(t);
+
+  const uint32_t ps = part[s];
+  const uint32_t po = part[o];
+  if (ps == po) {
+    if (appended) {
+      partitioning_.mutable_partition(ps).internal_edges.push_back(t);
+    }
+    if (!partitioning_.IsCrossingProperty(p)) forest_.Union(s, o);
+    tracker_.OnInsertInternal(resurrected);
+  } else {
+    if (appended) {
+      // 1-hop replication (Def. 3.3): the crossing edge is stored at
+      // both endpoint sites, each extending its V_i^e.
+      partition::Partition& a = partitioning_.mutable_partition(ps);
+      partition::Partition& b = partitioning_.mutable_partition(po);
+      a.crossing_edges.push_back(t);
+      b.crossing_edges.push_back(t);
+      InsertSortedUnique(&a.extended_vertices, t.object);
+      InsertSortedUnique(&b.extended_vertices, t.subject);
+    }
+    partitioning_.BumpCrossingEdges(+1);
+    if (crossing_count_[p]++ == 0) {
+      // First crossing edge of p: a formerly-internal (or never-seen)
+      // property enters L_cross — immediately visible to classification.
+      partitioning_.SetCrossingProperty(p, true);
+    }
+    tracker_.OnInsertCrossing(resurrected);
+  }
+  return 1;
+}
+
+ApplyResult IncrementalMaintainer::ApplyBatch(const UpdateBatch& batch) {
+  // Opportunistically integrate a finished background repartition before
+  // applying, so the batch lands on the freshest state.
+  if (repartition_running_ &&
+      pending_ready_.load(std::memory_order_acquire)) {
+    IntegrateBackgroundRepartition();
+  }
+
+  ApplyResult result;
+  for (const TripleUpdate& u : batch.updates) {
+    const int delta = ApplyUpdate(u);
+    if (delta > 0) {
+      ++result.inserts;
+    } else if (delta < 0) {
+      ++result.deletes;
+    } else {
+      ++result.noops;
+    }
+    tracker_.OnUpdateApplied();
+  }
+  tracker_.OnBatchApplied();
+  if (repartition_running_) replay_.push_back(batch);
+  ++generation_;
+
+  DriftMetrics metrics = drift();
+  if (!repartition_running_) {
+    std::string reason = options_.policy.Evaluate(metrics);
+    if (!reason.empty()) {
+      result.repartition_triggered = true;
+      result.trigger_reason = std::move(reason);
+      if (options_.background_repartition) {
+        StartBackgroundRepartition();
+      } else {
+        RepartitionNow();
+        result.repartitioned = true;
+        metrics = drift();
+      }
+    }
+  }
+  result.drift = metrics;
+  return result;
+}
+
+DriftMetrics IncrementalMaintainer::drift() const {
+  return tracker_.Snapshot(partitioning_, forest_.max_component_size());
+}
+
+std::vector<rdf::Triple> IncrementalMaintainer::LiveTriples() const {
+  std::vector<rdf::Triple> live;
+  live.reserve(tracker_.live_triples());
+  for (const rdf::Triple& t : graph_.triples()) {
+    if (deleted_.count(t) == 0) live.push_back(t);
+  }
+  for (const rdf::Triple& t : added_) {
+    if (deleted_.count(t) == 0) live.push_back(t);
+  }
+  std::sort(live.begin(), live.end());
+  return live;
+}
+
+partition::Partitioning IncrementalMaintainer::CompactPartitioning() const {
+  partition::VertexAssignment assignment = partitioning_.assignment();
+  const std::vector<rdf::Triple> live = LiveTriples();
+  return partition::Partitioning::MaterializeVertexDisjoint(
+      live, graph_.num_vertices(), graph_.num_properties(),
+      std::move(assignment), options_.num_threads);
+}
+
+rdf::RdfGraph IncrementalMaintainer::MaterializeGraph() const {
+  rdf::GraphBuilder builder;
+  for (const rdf::Triple& t : LiveTriples()) {
+    builder.Add(graph_.VertexName(t.subject),
+                graph_.PropertyName(t.property),
+                graph_.VertexName(t.object));
+  }
+  return builder.Build();
+}
+
+const exec::Cluster& IncrementalMaintainer::cluster() {
+  if (!cluster_ || cluster_generation_ != generation_) {
+    executor_.reset();
+    cluster_ = std::make_unique<exec::Cluster>(
+        exec::Cluster::Build(CompactPartitioning(), options_.num_threads));
+    executor_ = std::make_unique<exec::DistributedExecutor>(
+        *cluster_, graph_, options_.executor);
+    cluster_generation_ = generation_;
+  }
+  return *cluster_;
+}
+
+Result<store::BindingTable> IncrementalMaintainer::ExecuteQuery(
+    const sparql::QueryGraph& query, exec::ExecutionStats* stats) {
+  cluster();  // refresh the cached view
+  return executor_->Execute(query, stats);
+}
+
+Result<store::BindingTable> IncrementalMaintainer::ExecuteText(
+    const std::string& text, exec::ExecutionStats* stats) {
+  cluster();
+  return executor_->ExecuteText(text, stats);
+}
+
+void IncrementalMaintainer::RepartitionNow() {
+  WaitForRepartition();  // fold in any in-flight job first
+  rdf::RdfGraph fresh = MaterializeGraph();
+  core::MpcOptions mpc = options_.mpc;
+  mpc.base.k = partitioning_.k();
+  mpc.base.num_threads = options_.num_threads;
+  partition::Partitioning repartitioned =
+      core::MpcPartitioner(mpc).Partition(fresh);
+  AdoptRepartition(std::move(fresh), std::move(repartitioned));
+}
+
+void IncrementalMaintainer::StartBackgroundRepartition() {
+  assert(!repartition_running_);
+  rdf::RdfGraph fresh = MaterializeGraph();  // private snapshot
+  replay_.clear();
+  pending_ready_.store(false, std::memory_order_relaxed);
+  repartition_running_ = true;
+  core::MpcOptions mpc = options_.mpc;
+  mpc.base.k = partitioning_.k();
+  mpc.base.num_threads = options_.num_threads;
+  repartition_thread_ =
+      std::thread([this, mpc, fresh = std::move(fresh)]() mutable {
+        pending_partitioning_ = core::MpcPartitioner(mpc).Partition(fresh);
+        pending_graph_ = std::move(fresh);
+        pending_ready_.store(true, std::memory_order_release);
+      });
+}
+
+void IncrementalMaintainer::IntegrateBackgroundRepartition() {
+  repartition_thread_.join();  // also synchronizes pending_*
+  repartition_running_ = false;
+  std::vector<UpdateBatch> replay = std::move(replay_);
+  replay_.clear();
+  AdoptRepartition(std::move(pending_graph_),
+                   std::move(pending_partitioning_));
+  // Replay the updates that raced the job onto the new partitioning.
+  // Lifetime counters were already bumped at original application time.
+  for (const UpdateBatch& batch : replay) {
+    for (const TripleUpdate& u : batch.updates) ApplyUpdate(u);
+  }
+  ++generation_;
+}
+
+void IncrementalMaintainer::AdoptRepartition(
+    rdf::RdfGraph graph, partition::Partitioning partitioning) {
+  graph_ = std::move(graph);
+  partitioning_ = std::move(partitioning);
+  Attach();
+  tracker_.OnRepartition();
+  ++repartitions_;
+}
+
+void IncrementalMaintainer::WaitForRepartition() {
+  if (!repartition_running_) return;
+  IntegrateBackgroundRepartition();
+}
+
+}  // namespace mpc::dynamic

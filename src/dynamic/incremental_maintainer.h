@@ -1,0 +1,217 @@
+#ifndef MPC_DYNAMIC_INCREMENTAL_MAINTAINER_H_
+#define MPC_DYNAMIC_INCREMENTAL_MAINTAINER_H_
+
+#include <atomic>
+#include <memory>
+#include <string>
+#include <thread>
+#include <unordered_set>
+#include <vector>
+
+#include "dsf/disjoint_set_forest.h"
+#include "dynamic/drift_tracker.h"
+#include "dynamic/update_log.h"
+#include "exec/cluster.h"
+#include "exec/distributed_executor.h"
+#include "mpc/mpc_partitioner.h"
+#include "partition/partitioning.h"
+#include "rdf/graph.h"
+
+namespace mpc::dynamic {
+
+struct MaintainerOptions {
+  /// When to abandon incremental maintenance for a full MPC re-run.
+  RepartitionPolicy policy;
+  /// Options for those re-runs; base.k is forced to the attached
+  /// partitioning's k (the cluster does not resize mid-stream).
+  core::MpcOptions mpc;
+  /// Executor options for mid-stream queries (ExecuteQuery/ExecuteText).
+  exec::ExecutorOptions executor;
+  /// Worker threads for compaction, cluster builds and repartition runs
+  /// (0 = hardware_concurrency). Update application itself is serial, so
+  /// all maintained state is bit-identical at any value.
+  int num_threads = 1;
+  /// Run triggered repartitions on a background thread (the live
+  /// partitioning keeps serving; updates applied meanwhile are replayed
+  /// onto the new partitioning before the atomic swap). When false a
+  /// trigger repartitions synchronously inside ApplyBatch.
+  bool background_repartition = false;
+};
+
+/// Outcome of applying one batch.
+struct ApplyResult {
+  /// Updates that changed the live set (dead->live / live->dead).
+  size_t inserts = 0;
+  size_t deletes = 0;
+  /// Duplicate inserts and deletes of absent triples (RDF set semantics).
+  size_t noops = 0;
+  /// The policy fired after this batch.
+  bool repartition_triggered = false;
+  std::string trigger_reason;
+  /// A full repartition completed and was swapped in (synchronous mode;
+  /// in background mode the swap happens at a later integration point).
+  bool repartitioned = false;
+  /// Drift after the batch (and after the swap, if one happened).
+  DriftMetrics drift;
+};
+
+/// Maintains an MPC partitioning under a stream of triple inserts and
+/// deletes without full repartitioning (the PHD-Store-style adaptive
+/// layer; see DESIGN.md "Dynamic maintenance").
+///
+/// Mechanics:
+///  - Inserts dictionary-encode their terms, growing the graph's
+///    dictionaries; never-seen vertices are placed at the other
+///    endpoint's site when that keeps an internal property internal,
+///    otherwise at the least-loaded site.
+///  - An insert whose endpoints share a site extends E_i; one that
+///    crosses sites extends both sites' replica lists per Def. 3.3-3.4
+///    and bumps the property's crossing count — a formerly-internal
+///    property entering L_cross is immediately visible to query
+///    classification.
+///  - Deletes are lazy: the triple is tombstoned (site vectors keep the
+///    entry; compaction and store rebuilds filter it) and the
+///    per-property crossing count is decremented — a property whose last
+///    crossing edge dies leaves L_cross.
+///  - Internal-property edges union into an online disjoint-set forest
+///    (Section IV-D), tracking the WCC(G[L_in]) budget of Def. 4.2.
+///  - A DriftTracker measures |L_cross| growth, balance, tombstone and
+///    replication ratios; the RepartitionPolicy decides at batch
+///    boundaries when to trigger a full MPC re-run, which runs serially
+///    or on a background thread and is swapped in atomically.
+///
+/// Thread contract: single writer. All public methods must be called
+/// from one thread; the only internal concurrency is the background
+/// repartition job, which works exclusively on a private snapshot.
+class IncrementalMaintainer {
+ public:
+  /// Takes ownership of the graph snapshot and its vertex-disjoint
+  /// partitioning (assignment must cover the graph's vertices).
+  IncrementalMaintainer(rdf::RdfGraph graph,
+                        partition::Partitioning partitioning,
+                        MaintainerOptions options = MaintainerOptions());
+  ~IncrementalMaintainer();
+
+  IncrementalMaintainer(const IncrementalMaintainer&) = delete;
+  IncrementalMaintainer& operator=(const IncrementalMaintainer&) = delete;
+
+  /// Applies one batch, evaluates the policy, and (if fired) triggers a
+  /// repartition per MaintainerOptions.
+  ApplyResult ApplyBatch(const UpdateBatch& batch);
+
+  /// The graph snapshot plus dictionary growth. Dictionaries are always
+  /// current (every live term resolves); triples() is the snapshot of
+  /// the last full (re)partition and is NOT the live triple set — use
+  /// LiveTriples() or MaterializeGraph() for that.
+  const rdf::RdfGraph& graph() const { return graph_; }
+
+  /// The maintained partitioning. Aggregate counters (|L_cross|, mask,
+  /// crossing-edge count, owned-vertex counts) are exact; per-site
+  /// triple vectors may still hold tombstoned entries.
+  const partition::Partitioning& partitioning() const {
+    return partitioning_;
+  }
+
+  DriftMetrics drift() const;
+
+  bool IsLive(const rdf::Triple& t) const;
+  size_t num_live_triples() const { return tracker_.live_triples(); }
+
+  /// Live triples in canonical (property, subject, object) order.
+  std::vector<rdf::Triple> LiveTriples() const;
+
+  /// Tombstone-free copy of the maintained partitioning over the current
+  /// id space: live edges only, extended-vertex lists recomputed. Its
+  /// metrics must agree with the maintained counters (tested).
+  partition::Partitioning CompactPartitioning() const;
+
+  /// Fresh, compacted graph of the live triples (new dense ids).
+  rdf::RdfGraph MaterializeGraph() const;
+
+  /// Cached cluster over CompactPartitioning(); rebuilt only after the
+  /// state changed. Invalidated by ApplyBatch and repartition swaps.
+  const exec::Cluster& cluster();
+
+  /// Runs a query against the current state (classification sees the
+  /// up-to-date crossing set, so a query whose property went crossing
+  /// mid-stream is decomposed, and one whose property retired from
+  /// L_cross unions without joins).
+  Result<store::BindingTable> ExecuteQuery(const sparql::QueryGraph& query,
+                                           exec::ExecutionStats* stats);
+  Result<store::BindingTable> ExecuteText(const std::string& text,
+                                          exec::ExecutionStats* stats);
+
+  /// Synchronous full MPC re-run on the live graph + atomic swap.
+  void RepartitionNow();
+
+  /// True while a background repartition job is in flight.
+  bool repartition_pending() const { return repartition_running_; }
+
+  /// Blocks until the in-flight background job (if any) finishes, then
+  /// integrates it: swap in the new graph/partitioning and replay the
+  /// updates applied since the snapshot. No-op when nothing is pending.
+  void WaitForRepartition();
+
+  size_t repartition_count() const { return repartitions_; }
+
+ private:
+  /// Rebuilds all derived state (crossing counts, online forest, drift
+  /// counters) from graph_ + partitioning_. O(|E| α).
+  void Attach();
+
+  bool InBaseSnapshot(const rdf::Triple& t) const;
+
+  /// Owner site for a brand-new vertex paired with `other` (or
+  /// kInvalidVertex when both endpoints are new) under property p.
+  uint32_t PlaceNewVertex(rdf::VertexId other, rdf::PropertyId p) const;
+  uint32_t LeastLoadedSite() const;
+
+  /// Applies one update; returns 0 noop, +1 insert, -1 delete.
+  int ApplyUpdate(const TripleUpdate& update);
+
+  void StartBackgroundRepartition();
+  void IntegrateBackgroundRepartition();
+  void AdoptRepartition(rdf::RdfGraph graph,
+                        partition::Partitioning partitioning);
+
+  rdf::RdfGraph graph_;
+  partition::Partitioning partitioning_;
+  MaintainerOptions options_;
+
+  /// Triples inserted since the snapshot (they are also appended to the
+  /// site vectors, so vectors == snapshot ∪ added_).
+  std::unordered_set<rdf::Triple> added_;
+  /// Tombstones over snapshot ∪ added_; live = (snapshot ∪ added_) \ deleted_.
+  std::unordered_set<rdf::Triple> deleted_;
+
+  /// Live crossing edges per property; a 0->1 transition puts the
+  /// property into L_cross, 1->0 retires it.
+  std::vector<size_t> crossing_count_;
+
+  /// Online WCC(G[L_in]) forest (grows only; deletes leave it stale,
+  /// which over-approximates the Def. 4.2 cost conservatively).
+  dsf::DisjointSetForest forest_{0};
+
+  DriftTracker tracker_;
+  size_t repartitions_ = 0;
+
+  // Cached query view.
+  std::unique_ptr<exec::Cluster> cluster_;
+  std::unique_ptr<exec::DistributedExecutor> executor_;
+  uint64_t generation_ = 0;
+  uint64_t cluster_generation_ = ~0ULL;
+
+  // Background repartition job. The job thread only touches pending_*;
+  // pending_ready_ (release/acquire) publishes them to the main thread.
+  std::thread repartition_thread_;
+  bool repartition_running_ = false;
+  std::atomic<bool> pending_ready_{false};
+  rdf::RdfGraph pending_graph_;
+  partition::Partitioning pending_partitioning_;
+  /// Updates applied while the job ran, replayed onto the new state.
+  std::vector<UpdateBatch> replay_;
+};
+
+}  // namespace mpc::dynamic
+
+#endif  // MPC_DYNAMIC_INCREMENTAL_MAINTAINER_H_

@@ -1,0 +1,160 @@
+#include "dynamic/update_log.h"
+
+#include <fstream>
+#include <sstream>
+
+#include "common/string_util.h"
+
+namespace mpc::dynamic {
+
+namespace {
+
+/// Scans one N-Triples term starting at `pos` (no leading whitespace).
+/// Returns the term's lexical form or an empty view on a syntax error,
+/// advancing `pos` past the term either way.
+std::string_view ScanTerm(std::string_view line, size_t* pos) {
+  const size_t start = *pos;
+  if (start >= line.size()) return {};
+  const char c = line[start];
+  size_t end;
+  if (c == '<') {
+    end = line.find('>', start);
+    if (end == std::string_view::npos) return {};
+    ++end;
+  } else if (c == '_') {
+    end = line.find_first_of(" \t", start);
+    if (end == std::string_view::npos) end = line.size();
+  } else if (c == '"') {
+    // Closing quote is the first unescaped '"'.
+    end = start + 1;
+    while (end < line.size()) {
+      if (line[end] == '\\') {
+        end += 2;
+      } else if (line[end] == '"') {
+        break;
+      } else {
+        ++end;
+      }
+    }
+    if (end >= line.size()) return {};
+    ++end;
+    // Optional @lang or ^^<datatype> suffix, glued to the quote.
+    if (end < line.size() && line[end] == '@') {
+      size_t stop = line.find_first_of(" \t", end);
+      end = stop == std::string_view::npos ? line.size() : stop;
+    } else if (end + 1 < line.size() && line[end] == '^' &&
+               line[end + 1] == '^') {
+      size_t close = line.find('>', end);
+      if (close == std::string_view::npos) return {};
+      end = close + 1;
+    }
+  } else {
+    return {};
+  }
+  *pos = end;
+  return line.substr(start, end - start);
+}
+
+void SkipWs(std::string_view line, size_t* pos) {
+  while (*pos < line.size() && (line[*pos] == ' ' || line[*pos] == '\t')) {
+    ++(*pos);
+  }
+}
+
+Status LineError(size_t line_no, const std::string& what) {
+  return Status::ParseError("update log line " + std::to_string(line_no) +
+                            ": " + what);
+}
+
+}  // namespace
+
+Result<std::vector<UpdateBatch>> UpdateLog::ParseDocument(
+    std::string_view text) {
+  std::vector<UpdateBatch> batches;
+  UpdateBatch current;
+  auto flush = [&] {
+    if (!current.empty()) {
+      batches.push_back(std::move(current));
+      current = UpdateBatch();
+    }
+  };
+
+  size_t line_no = 0;
+  while (!text.empty()) {
+    ++line_no;
+    size_t nl = text.find('\n');
+    std::string_view line =
+        nl == std::string_view::npos ? text : text.substr(0, nl);
+    text = nl == std::string_view::npos ? std::string_view()
+                                        : text.substr(nl + 1);
+    std::string_view stripped = StripWhitespace(line);
+    if (stripped.empty() || stripped[0] == '#') {
+      flush();  // batch separator
+      continue;
+    }
+    if (stripped[0] != '+' && stripped[0] != '-') {
+      return LineError(line_no, "expected '+' or '-' sign");
+    }
+    TripleUpdate update;
+    update.kind = stripped[0] == '+' ? UpdateKind::kInsert
+                                     : UpdateKind::kDelete;
+    size_t pos = 1;
+    SkipWs(stripped, &pos);
+    std::string_view s = ScanTerm(stripped, &pos);
+    SkipWs(stripped, &pos);
+    std::string_view p = ScanTerm(stripped, &pos);
+    SkipWs(stripped, &pos);
+    std::string_view o = ScanTerm(stripped, &pos);
+    if (s.empty() || p.empty() || o.empty()) {
+      return LineError(line_no, "malformed triple");
+    }
+    SkipWs(stripped, &pos);
+    if (pos < stripped.size() &&
+        StripWhitespace(stripped.substr(pos)) != ".") {
+      return LineError(line_no, "trailing garbage after triple");
+    }
+    update.subject = std::string(s);
+    update.property = std::string(p);
+    update.object = std::string(o);
+    current.updates.push_back(std::move(update));
+  }
+  flush();
+  return batches;
+}
+
+Result<std::vector<UpdateBatch>> UpdateLog::LoadFile(
+    const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return Status::IoError("cannot open update log " + path);
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return ParseDocument(buffer.str());
+}
+
+std::string UpdateLog::Serialize(const std::vector<UpdateBatch>& batches) {
+  std::string out;
+  for (size_t b = 0; b < batches.size(); ++b) {
+    if (b > 0) out += "\n";
+    for (const TripleUpdate& u : batches[b].updates) {
+      out += u.kind == UpdateKind::kInsert ? "+ " : "- ";
+      out += u.subject;
+      out += ' ';
+      out += u.property;
+      out += ' ';
+      out += u.object;
+      out += " .\n";
+    }
+  }
+  return out;
+}
+
+Status UpdateLog::SaveFile(const std::vector<UpdateBatch>& batches,
+                           const std::string& path) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) return Status::IoError("cannot write update log " + path);
+  out << Serialize(batches);
+  if (!out) return Status::IoError("update log write failed: " + path);
+  return Status::Ok();
+}
+
+}  // namespace mpc::dynamic

@@ -1,0 +1,68 @@
+#ifndef MPC_DYNAMIC_UPDATE_LOG_H_
+#define MPC_DYNAMIC_UPDATE_LOG_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/status.h"
+
+namespace mpc::dynamic {
+
+/// Whether a streamed triple enters or leaves the graph.
+enum class UpdateKind : uint8_t { kInsert, kDelete };
+
+/// One streaming triple update in lexical (N-Triples term) form — the
+/// wire format an ingest front end would deliver. Terms are
+/// dictionary-encoded when the update is applied, so an insert may
+/// introduce never-seen vertices or properties.
+struct TripleUpdate {
+  UpdateKind kind = UpdateKind::kInsert;
+  std::string subject;
+  std::string property;
+  std::string object;
+
+  bool operator==(const TripleUpdate&) const = default;
+};
+
+/// A group of updates the maintainer applies as one unit; drift metrics
+/// and the repartition policy are evaluated at batch boundaries, the
+/// granularity a real ingest pipeline commits at.
+struct UpdateBatch {
+  std::vector<TripleUpdate> updates;
+
+  bool empty() const { return updates.empty(); }
+  size_t size() const { return updates.size(); }
+};
+
+/// Text serialization of an update stream, one update per line:
+///
+///   + <s> <p> <o> .        insert
+///   - <s> <p> <o> .        delete
+///
+/// Terms use N-Triples lexical forms (IRIs, literals with optional
+/// language tag or datatype, blank nodes). A blank line or a '#' comment
+/// line ends the current batch; consecutive separators do not produce
+/// empty batches. The trailing '.' is optional.
+class UpdateLog {
+ public:
+  /// Parses a whole update document into batches. Stops at the first
+  /// malformed line and reports its 1-based line number.
+  static Result<std::vector<UpdateBatch>> ParseDocument(
+      std::string_view text);
+
+  /// Reads and parses an update file from disk.
+  static Result<std::vector<UpdateBatch>> LoadFile(const std::string& path);
+
+  /// Serializes batches back to the text format (batches separated by
+  /// blank lines); Load(Save(x)) == x.
+  static std::string Serialize(const std::vector<UpdateBatch>& batches);
+
+  /// Writes Serialize(batches) to `path`.
+  static Status SaveFile(const std::vector<UpdateBatch>& batches,
+                         const std::string& path);
+};
+
+}  // namespace mpc::dynamic
+
+#endif  // MPC_DYNAMIC_UPDATE_LOG_H_

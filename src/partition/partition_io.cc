@@ -1,7 +1,6 @@
 #include "partition/partition_io.h"
 
 #include <algorithm>
-#include <cstdlib>
 #include <filesystem>
 #include <fstream>
 #include <sstream>
@@ -18,6 +17,24 @@ constexpr const char* kAssignmentName = "assignment.txt";
 
 std::string PartitionFileName(uint32_t i) {
   return "partition_" + std::to_string(i) + ".nt";
+}
+
+/// Strict base-10 unsigned parse: the whole field must be digits and fit
+/// the target width. (strtoul silently accepts garbage as 0 and saturates
+/// on overflow, which let truncated or corrupted files load as a valid
+/// assignment to partition 0.)
+bool ParseUintField(std::string_view text, uint64_t max, uint64_t* out) {
+  text = StripWhitespace(text);
+  if (text.empty()) return false;
+  uint64_t value = 0;
+  for (char c : text) {
+    if (c < '0' || c > '9') return false;
+    const uint64_t digit = static_cast<uint64_t>(c - '0');
+    if (value > (max - digit) / 10) return false;  // would overflow
+    value = value * 10 + digit;
+  }
+  *out = value;
+  return true;
 }
 
 void WriteTriple(std::ofstream& out, const rdf::RdfGraph& graph,
@@ -92,22 +109,46 @@ Result<Partitioning> PartitionIo::Load(const rdf::RdfGraph& graph,
   std::string kind;
   uint32_t k = 0;
   size_t vertices = 0;
+  bool saw_kind = false;
+  bool saw_k = false;
   std::string line;
+  size_t line_no = 0;
   while (std::getline(manifest, line)) {
+    ++line_no;
     std::istringstream in(line);
     std::string key;
+    std::string value;
     in >> key;
     if (key == "kind") {
-      in >> kind;
+      if (!(in >> kind) || kind.empty()) {
+        return Status::ParseError("manifest line " + std::to_string(line_no) +
+                                  ": malformed kind");
+      }
+      saw_kind = true;
     } else if (key == "k") {
-      in >> k;
+      uint64_t parsed = 0;
+      if (!(in >> value) ||
+          !ParseUintField(value, UINT32_MAX, &parsed) || parsed == 0) {
+        return Status::ParseError("manifest line " + std::to_string(line_no) +
+                                  ": invalid k '" + value + "'");
+      }
+      k = static_cast<uint32_t>(parsed);
+      saw_k = true;
     } else if (key == "vertices") {
-      in >> vertices;
+      uint64_t parsed = 0;
+      if (!(in >> value) || !ParseUintField(value, UINT64_MAX, &parsed)) {
+        return Status::ParseError("manifest line " + std::to_string(line_no) +
+                                  ": invalid vertex count '" + value + "'");
+      }
+      vertices = parsed;
     } else if (key == "crossing:") {
       break;  // remainder is the crossing list; recomputed on load
     }
   }
-  if (k == 0) return Status::ParseError("manifest missing k in " + dir);
+  if (!saw_kind) {
+    return Status::ParseError("manifest missing kind in " + dir);
+  }
+  if (!saw_k) return Status::ParseError("manifest missing k in " + dir);
 
   if (kind == "vertex-disjoint") {
     if (vertices != graph.num_vertices()) {
@@ -123,27 +164,36 @@ Result<Partitioning> PartitionIo::Load(const rdf::RdfGraph& graph,
     VertexAssignment assignment;
     assignment.k = k;
     assignment.part.assign(graph.num_vertices(), UINT32_MAX);
-    size_t line_no = 0;
+    size_t assignment_line = 0;
     while (std::getline(in, line)) {
-      ++line_no;
-      if (line.empty()) continue;
+      ++assignment_line;
+      if (StripWhitespace(line).empty()) continue;
       size_t tab = line.find('\t');
       if (tab == std::string::npos) {
         return Status::ParseError("assignment line " +
-                                  std::to_string(line_no) + ": no tab");
+                                  std::to_string(assignment_line) +
+                                  ": no tab");
       }
       std::string_view lexical(line.data(), tab);
       rdf::VertexId v = graph.vertex_dict().Lookup(lexical);
       if (v == rdf::kInvalidVertex) {
-        return Status::NotFound("assignment line " + std::to_string(line_no) +
+        return Status::NotFound("assignment line " +
+                                std::to_string(assignment_line) +
                                 ": vertex not in graph: " +
                                 std::string(lexical));
       }
-      uint32_t p = static_cast<uint32_t>(
-          std::strtoul(line.c_str() + tab + 1, nullptr, 10));
+      std::string_view field(line.data() + tab + 1, line.size() - tab - 1);
+      uint64_t parsed = 0;
+      if (!ParseUintField(field, UINT32_MAX, &parsed)) {
+        return Status::ParseError("assignment line " +
+                                  std::to_string(assignment_line) +
+                                  ": invalid partition id '" +
+                                  std::string(field) + "'");
+      }
+      const uint32_t p = static_cast<uint32_t>(parsed);
       if (p >= k) {
         return Status::OutOfRange("assignment line " +
-                                  std::to_string(line_no) +
+                                  std::to_string(assignment_line) +
                                   ": partition out of range");
       }
       assignment.part[v] = p;

@@ -18,22 +18,30 @@ bool VertexAssignment::Valid(size_t num_vertices) const {
 Partitioning Partitioning::MaterializeVertexDisjoint(
     const rdf::RdfGraph& graph, VertexAssignment assignment,
     int num_threads) {
-  assert(assignment.Valid(graph.num_vertices()));
+  return MaterializeVertexDisjoint(graph.triples(), graph.num_vertices(),
+                                   graph.num_properties(),
+                                   std::move(assignment), num_threads);
+}
+
+Partitioning Partitioning::MaterializeVertexDisjoint(
+    std::span<const rdf::Triple> sorted_triples, size_t num_vertices,
+    size_t num_properties, VertexAssignment assignment, int num_threads) {
+  assert(assignment.Valid(num_vertices));
   const int threads = ResolveNumThreads(num_threads);
 
   Partitioning result;
   result.kind_ = PartitioningKind::kVertexDisjoint;
   result.k_ = assignment.k;
   result.partitions_.resize(assignment.k);
-  result.crossing_property_mask_.assign(graph.num_properties(), false);
+  result.crossing_property_mask_.assign(num_properties, false);
 
   if (threads <= 1) {
     // Serial path: one pass over the edge array filling every site.
-    for (size_t v = 0; v < graph.num_vertices(); ++v) {
+    for (size_t v = 0; v < num_vertices; ++v) {
       ++result.partitions_[assignment.part[v]].num_owned_vertices;
     }
 
-    for (const rdf::Triple& t : graph.triples()) {
+    for (const rdf::Triple& t : sorted_triples) {
       uint32_t ps = assignment.part[t.subject];
       uint32_t po = assignment.part[t.object];
       if (ps == po) {
@@ -64,10 +72,10 @@ Partitioning Partitioning::MaterializeVertexDisjoint(
     ParallelFor(0, result.partitions_.size(), 1, threads, [&](size_t s) {
       const uint32_t site = static_cast<uint32_t>(s);
       Partition& p = result.partitions_[s];
-      for (size_t v = 0; v < graph.num_vertices(); ++v) {
+      for (size_t v = 0; v < num_vertices; ++v) {
         if (assignment.part[v] == site) ++p.num_owned_vertices;
       }
-      for (const rdf::Triple& t : graph.triples()) {
+      for (const rdf::Triple& t : sorted_triples) {
         uint32_t ps = assignment.part[t.subject];
         uint32_t po = assignment.part[t.object];
         if (ps == po) {
@@ -88,19 +96,23 @@ Partitioning Partitioning::MaterializeVertexDisjoint(
     });
     // Crossing bookkeeping: per-property, so writes never share a slot.
     // vector<bool> packs bits, so mark into bytes and fold serially.
-    std::vector<uint8_t> crossing(graph.num_properties(), 0);
-    std::vector<size_t> crossing_edges_per_property(graph.num_properties(),
-                                                    0);
-    ParallelFor(0, graph.num_properties(), 1, threads, [&](size_t prop) {
+    // The edge array is sorted by property, so each property's run is
+    // recovered with one counting pass (the graph's property_offsets_).
+    std::vector<size_t> offsets(num_properties + 1, 0);
+    for (const rdf::Triple& t : sorted_triples) ++offsets[t.property + 1];
+    for (size_t p = 0; p < num_properties; ++p) offsets[p + 1] += offsets[p];
+    std::vector<uint8_t> crossing(num_properties, 0);
+    std::vector<size_t> crossing_edges_per_property(num_properties, 0);
+    ParallelFor(0, num_properties, 1, threads, [&](size_t prop) {
       size_t count = 0;
-      for (const rdf::Triple& t :
-           graph.EdgesWithProperty(static_cast<rdf::PropertyId>(prop))) {
+      for (size_t e = offsets[prop]; e < offsets[prop + 1]; ++e) {
+        const rdf::Triple& t = sorted_triples[e];
         count += assignment.part[t.subject] != assignment.part[t.object];
       }
       crossing_edges_per_property[prop] = count;
       crossing[prop] = count > 0;
     });
-    for (size_t prop = 0; prop < graph.num_properties(); ++prop) {
+    for (size_t prop = 0; prop < num_properties; ++prop) {
       result.crossing_property_mask_[prop] = crossing[prop] != 0;
       result.num_crossing_edges_ += crossing_edges_per_property[prop];
     }
@@ -150,6 +162,22 @@ Partitioning Partitioning::MaterializeEdgeDisjoint(
     p.num_owned_vertices = scratch.size();
   });
   return result;
+}
+
+void Partitioning::GrowPropertyUniverse(size_t num_properties) {
+  if (num_properties > crossing_property_mask_.size()) {
+    crossing_property_mask_.resize(num_properties, false);
+    if (kind_ == PartitioningKind::kEdgeDisjoint) {
+      property_home_.resize(num_properties, 0);
+    }
+  }
+}
+
+void Partitioning::SetCrossingProperty(rdf::PropertyId p, bool crossing) {
+  assert(p < crossing_property_mask_.size());
+  if (crossing_property_mask_[p] == crossing) return;
+  crossing_property_mask_[p] = crossing;
+  num_crossing_properties_ += crossing ? 1 : -1;
 }
 
 std::vector<rdf::PropertyId> Partitioning::CrossingProperties() const {

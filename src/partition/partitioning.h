@@ -1,7 +1,9 @@
 #ifndef MPC_PARTITION_PARTITIONING_H_
 #define MPC_PARTITION_PARTITIONING_H_
 
+#include <cstddef>
 #include <cstdint>
+#include <span>
 #include <string>
 #include <vector>
 
@@ -63,6 +65,17 @@ class Partitioning {
                                                 VertexAssignment assignment,
                                                 int num_threads = 1);
 
+  /// Graph-free variant: materializes from an explicit edge array (must
+  /// be sorted by (property, subject, object)) over a vertex universe of
+  /// `num_vertices` and a property universe of `num_properties`. The
+  /// graph overload delegates here; the incremental maintainer uses this
+  /// directly to compact a drifted partitioning (live triples only)
+  /// without materializing a fresh RdfGraph.
+  static Partitioning MaterializeVertexDisjoint(
+      std::span<const rdf::Triple> sorted_triples, size_t num_vertices,
+      size_t num_properties, VertexAssignment assignment,
+      int num_threads = 1);
+
   /// Materializes an edge-disjoint (VP-style) partitioning from a triple
   /// assignment: triple_part[i] gives the partition of graph.triples()[i].
   /// Also records, per partition, which properties it holds (used by the
@@ -106,6 +119,33 @@ class Partitioning {
   /// max_i |V_i| / (|V|/k); 1.0 is perfect balance (vertex-disjoint), or
   /// the triple-count analogue for edge-disjoint partitionings.
   double BalanceRatio() const;
+
+  // --- Incremental-maintenance mutators (dynamic::IncrementalMaintainer).
+  // A maintained partitioning keeps its aggregate counters exact while
+  // the per-partition triple vectors may lag behind (lazy tombstones);
+  // see DESIGN.md "Dynamic maintenance". ---
+
+  /// Write access to one site's edge/vertex lists.
+  Partition& mutable_partition(uint32_t i) { return partitions_[i]; }
+
+  /// Write access to the vertex->owner map (vertex-disjoint only); the
+  /// maintainer appends entries as the vertex universe grows.
+  VertexAssignment& mutable_assignment() { return assignment_; }
+
+  /// Extends the property universe to `num_properties` (never-seen
+  /// properties start non-crossing); no-op when already that large.
+  void GrowPropertyUniverse(size_t num_properties);
+
+  /// Adds/removes p from L_cross, keeping num_crossing_properties() in
+  /// step. No-op when the membership already matches.
+  void SetCrossingProperty(rdf::PropertyId p, bool crossing);
+
+  /// Adjusts the distinct crossing-edge count by `delta` (one per live
+  /// crossing edge, replicas not double-counted).
+  void BumpCrossingEdges(std::ptrdiff_t delta) {
+    num_crossing_edges_ = static_cast<size_t>(
+        static_cast<std::ptrdiff_t>(num_crossing_edges_) + delta);
+  }
 
   /// Total stored triples across partitions divided by |E| (>= 1;
   /// measures the replication overhead of 1-hop crossing-edge copies).

@@ -2,6 +2,13 @@
 
 namespace mpc::rdf {
 
+Dictionary Dictionary::Clone() const {
+  Dictionary copy;
+  // Re-interning in id order reproduces the dense first-seen ids.
+  for (const std::string& term : terms_) copy.Intern(term);
+  return copy;
+}
+
 uint32_t Dictionary::Intern(std::string_view term) {
   auto it = index_.find(term);
   if (it != index_.end()) return it->second;

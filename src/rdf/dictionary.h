@@ -28,6 +28,11 @@ class Dictionary {
   Dictionary(Dictionary&&) = default;
   Dictionary& operator=(Dictionary&&) = default;
 
+  /// Deep copy preserving ids: re-interns every term so the index's
+  /// string_view keys point into the copy's own storage (a defaulted
+  /// copy would leave them dangling into the source).
+  Dictionary Clone() const;
+
   /// Returns the id of `term`, inserting it if new. Ids are assigned
   /// densely in first-seen order.
   uint32_t Intern(std::string_view term);

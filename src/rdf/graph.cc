@@ -5,6 +5,27 @@
 
 namespace mpc::rdf {
 
+RdfGraph RdfGraph::Clone() const {
+  RdfGraph copy;
+  copy.triples_ = triples_;
+  copy.property_offsets_ = property_offsets_;
+  copy.vertex_dict_ = vertex_dict_.Clone();
+  copy.property_dict_ = property_dict_.Clone();
+  return copy;
+}
+
+PropertyId RdfGraph::InternProperty(std::string_view term) {
+  const size_t before = property_dict_.size();
+  PropertyId p = property_dict_.Intern(term);
+  if (property_offsets_.empty()) property_offsets_.push_back(0);
+  if (property_dict_.size() > before) {
+    // New property: no snapshot edges carry it, so its run is empty and
+    // starts (and ends) at the end of the frozen edge array.
+    property_offsets_.push_back(triples_.size());
+  }
+  return p;
+}
+
 std::vector<PropertyId> RdfGraph::AllProperties() const {
   std::vector<PropertyId> props(num_properties());
   for (size_t i = 0; i < props.size(); ++i) {

@@ -28,6 +28,10 @@ class RdfGraph {
   RdfGraph(const RdfGraph&) = delete;
   RdfGraph& operator=(const RdfGraph&) = delete;
 
+  /// Explicit deep copy (the implicit copy is deleted so sharing stays
+  /// deliberate; dictionaries are rebuilt with identical ids).
+  RdfGraph Clone() const;
+
   /// |V|: number of distinct subjects/objects ("entities" in Table I).
   size_t num_vertices() const { return vertex_dict_.size(); }
 
@@ -57,6 +61,19 @@ class RdfGraph {
 
   const Dictionary& vertex_dict() const { return vertex_dict_; }
   const Dictionary& property_dict() const { return property_dict_; }
+
+  /// Incremental-ingest support (dynamic::IncrementalMaintainer): interns
+  /// a possibly-new vertex term, growing the dictionary. The frozen triple
+  /// array is untouched — a grown vertex simply extends the id space, so
+  /// num_vertices() grows while triples() stays the original snapshot.
+  VertexId InternVertex(std::string_view term) {
+    return vertex_dict_.Intern(term);
+  }
+
+  /// Interns a possibly-new property term. A grown property gets an empty
+  /// edge run: property_offsets_ is extended so EdgesWithProperty() and
+  /// PropertyFrequency() stay valid (and return empty/0) for it.
+  PropertyId InternProperty(std::string_view term);
 
   /// Lexical form helpers.
   const std::string& VertexName(VertexId v) const {

@@ -133,6 +133,73 @@ TEST(DsfTest, TrialMergeWithEmptyCandidate) {
   EXPECT_EQ(TrialMergeMaxComponent(base, {}), 2u);
 }
 
+TEST(DsfTest, SelfUnionIsNoop) {
+  DisjointSetForest f(3);
+  EXPECT_FALSE(f.Union(1, 1));
+  EXPECT_EQ(f.num_components(), 3u);
+  EXPECT_EQ(f.max_component_size(), 1u);
+  EXPECT_EQ(f.ComponentSize(1), 1u);
+  // Also after 1 joins a larger component.
+  f.Union(0, 1);
+  EXPECT_FALSE(f.Union(1, 1));
+  EXPECT_EQ(f.ComponentSize(1), 2u);
+}
+
+TEST(DsfTest, RankTieMergesKeepSizesExact) {
+  // Merging two equal-rank trees bumps the winner's rank; sizes must stay
+  // exact through a full binary-merge cascade (all ties).
+  DisjointSetForest f(8);
+  for (uint32_t v = 0; v < 8; v += 2) f.Union(v, v + 1);  // rank ties
+  EXPECT_EQ(f.max_component_size(), 2u);
+  f.Union(0, 2);  // tie again: both roots rank 1
+  f.Union(4, 6);
+  EXPECT_EQ(f.max_component_size(), 4u);
+  f.Union(0, 4);
+  EXPECT_EQ(f.num_components(), 1u);
+  EXPECT_EQ(f.max_component_size(), 8u);
+  for (uint32_t v = 0; v < 8; ++v) EXPECT_EQ(f.ComponentSize(v), 8u);
+}
+
+TEST(DsfTest, UnionAfterMergeViaStaleIds) {
+  // Unions addressed through non-root members of already-merged
+  // components must resolve to the roots and stay consistent.
+  DisjointSetForest f(6);
+  f.Union(0, 1);
+  f.Union(1, 2);     // 2 joins through non-root 1
+  f.Union(3, 4);
+  EXPECT_TRUE(f.Union(2, 4));   // merges {0,1,2} and {3,4}
+  EXPECT_FALSE(f.Union(0, 3));  // same component through other members
+  EXPECT_EQ(f.num_components(), 2u);
+  EXPECT_EQ(f.ComponentSize(4), 5u);
+  EXPECT_TRUE(f.Connected(0, 4));
+  EXPECT_FALSE(f.Connected(0, 5));
+}
+
+TEST(DsfTest, GrowAddsSingletons) {
+  DisjointSetForest f(3);
+  f.Union(0, 1);
+  f.Grow(6);
+  EXPECT_EQ(f.universe_size(), 6u);
+  EXPECT_EQ(f.num_components(), 5u);  // {0,1} {2} {3} {4} {5}
+  for (uint32_t v = 3; v < 6; ++v) EXPECT_EQ(f.ComponentSize(v), 1u);
+  EXPECT_TRUE(f.Connected(0, 1));
+  EXPECT_FALSE(f.Connected(1, 3));
+  // Grown ids are full members: unions work across the old/new boundary.
+  EXPECT_TRUE(f.Union(1, 5));
+  EXPECT_EQ(f.ComponentSize(5), 3u);
+  EXPECT_EQ(f.max_component_size(), 3u);
+}
+
+TEST(DsfTest, GrowIsIdempotentAndNeverShrinks) {
+  DisjointSetForest f(4);
+  f.Union(0, 1);
+  f.Grow(4);  // same size: no-op
+  f.Grow(2);  // smaller: no-op
+  EXPECT_EQ(f.universe_size(), 4u);
+  EXPECT_EQ(f.num_components(), 3u);
+  EXPECT_EQ(f.max_component_size(), 2u);
+}
+
 // Union-by-rank keeps trees shallow: FindNoCompress on a long
 // union chain must not stack-overflow / degrade to O(n) depth. We just
 // sanity-check it completes on a large forest.

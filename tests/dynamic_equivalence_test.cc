@@ -1,0 +1,274 @@
+// Acceptance test for dynamic maintenance: a seeded random insert/delete
+// stream is applied through IncrementalMaintainer and, independently, to
+// a plain triple-set oracle. At checkpoints the maintained partitioning
+// must answer every query exactly like a from-scratch partitioning of the
+// oracle graph, |L_cross| must respect the policy bound whenever the
+// policy did not fire, and all maintained state must be bit-identical at
+// 1, 2 and 8 threads.
+
+#include <array>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "common/random.h"
+#include "dynamic/incremental_maintainer.h"
+#include "exec/cluster.h"
+#include "exec/distributed_executor.h"
+#include "gtest/gtest.h"
+#include "mpc/mpc_partitioner.h"
+#include "test_util.h"
+
+namespace mpc::dynamic {
+namespace {
+
+using rdf::RdfGraph;
+using store::BindingTable;
+
+using LexTriple = std::array<std::string, 3>;
+
+std::vector<std::string> Queries() {
+  return {
+      "SELECT * WHERE { ?x <t:p0> ?y . }",
+      "SELECT * WHERE { ?x <t:p0> ?y . ?x <t:p1> ?z . }",
+      "SELECT * WHERE { ?a <t:p2> ?x . ?x <t:p3> ?b . }",
+      "SELECT * WHERE { ?a <t:p0> ?b . ?b <t:p1> ?c . ?c <t:p2> ?d . }",
+      // Triangle; all bindings are vertices (variable predicates are
+      // excluded here because ?p binds a property id, which cannot be
+      // compared lexically across two different dictionaries).
+      "SELECT * WHERE { ?a <t:p0> ?b . ?b <t:p1> ?c . ?a <t:p2> ?c . }",
+  };
+}
+
+std::set<std::vector<std::string>> LexRows(const BindingTable& table,
+                                           const RdfGraph& graph) {
+  std::set<std::vector<std::string>> rows;
+  for (const auto& row : table.rows) {
+    std::vector<std::string> lex;
+    lex.reserve(row.size());
+    for (uint32_t id : row) lex.emplace_back(graph.VertexName(id));
+    rows.insert(std::move(lex));
+  }
+  return rows;
+}
+
+/// Deterministic mixed update stream: edge inserts between existing
+/// vertices, inserts attaching brand-new vertices (sometimes via
+/// brand-new properties), and deletes of seed triples.
+std::vector<UpdateBatch> MakeStream(Rng& rng, const RdfGraph& seed,
+                                    size_t num_batches,
+                                    size_t updates_per_batch) {
+  std::vector<UpdateBatch> batches;
+  size_t fresh = 0;
+  for (size_t b = 0; b < num_batches; ++b) {
+    UpdateBatch batch;
+    for (size_t i = 0; i < updates_per_batch; ++i) {
+      TripleUpdate u;
+      const uint64_t roll = rng.Below(10);
+      if (roll < 4) {  // insert between existing vertices
+        u.kind = UpdateKind::kInsert;
+        u.subject = "<t:v" + std::to_string(rng.Below(60)) + ">";
+        u.property = "<t:p" + std::to_string(rng.Below(5)) + ">";
+        u.object = "<t:v" + std::to_string(rng.Below(60)) + ">";
+      } else if (roll < 6) {  // attach a brand-new vertex
+        u.kind = UpdateKind::kInsert;
+        u.subject = "<t:new" + std::to_string(fresh++) + ">";
+        u.property = rng.Chance(0.2)
+                         ? "<t:extra" + std::to_string(rng.Below(3)) + ">"
+                         : "<t:p" + std::to_string(rng.Below(5)) + ">";
+        u.object = "<t:v" + std::to_string(rng.Below(60)) + ">";
+      } else {  // delete a seed triple (may already be gone: noop)
+        const rdf::Triple& t =
+            seed.triples()[rng.Below(seed.num_edges())];
+        u.kind = UpdateKind::kDelete;
+        u.subject = seed.VertexName(t.subject);
+        u.property = seed.PropertyName(t.property);
+        u.object = seed.VertexName(t.object);
+      }
+      batch.updates.push_back(std::move(u));
+    }
+    batches.push_back(std::move(batch));
+  }
+  return batches;
+}
+
+void ApplyToOracle(const UpdateBatch& batch, std::set<LexTriple>* oracle) {
+  for (const TripleUpdate& u : batch.updates) {
+    LexTriple t{u.subject, u.property, u.object};
+    if (u.kind == UpdateKind::kInsert) {
+      oracle->insert(t);
+    } else {
+      oracle->erase(t);
+    }
+  }
+}
+
+RdfGraph OracleGraph(const std::set<LexTriple>& oracle) {
+  rdf::GraphBuilder builder;
+  for (const LexTriple& t : oracle) builder.Add(t[0], t[1], t[2]);
+  return builder.Build();
+}
+
+void ExpectSameDrift(const DriftMetrics& a, const DriftMetrics& b,
+                     const std::string& context) {
+  EXPECT_EQ(a.live_triples, b.live_triples) << context;
+  EXPECT_EQ(a.seed_crossing_properties, b.seed_crossing_properties)
+      << context;
+  EXPECT_EQ(a.crossing_properties, b.crossing_properties) << context;
+  EXPECT_EQ(a.crossing_edges, b.crossing_edges) << context;
+  EXPECT_EQ(a.lcross_growth, b.lcross_growth) << context;
+  EXPECT_EQ(a.balance_ratio, b.balance_ratio) << context;
+  EXPECT_EQ(a.tombstone_ratio, b.tombstone_ratio) << context;
+  EXPECT_EQ(a.replication_ratio, b.replication_ratio) << context;
+  EXPECT_EQ(a.max_internal_component, b.max_internal_component) << context;
+  EXPECT_EQ(a.repartitions, b.repartitions) << context;
+}
+
+TEST(DynamicEquivalenceTest, MaintainedMatchesFromScratchUnderStream) {
+  Rng rng(1234);
+  RdfGraph seed = testutil::RandomGraph(rng, 60, 220, 5, /*community=*/12,
+                                        /*escape=*/0.15);
+  core::MpcOptions mpc;
+  mpc.base.k = 4;
+  mpc.base.epsilon = 0.3;
+  partition::Partitioning seed_partitioning =
+      core::MpcPartitioner(mpc).Partition(seed);
+
+  // The oracle starts as the seed's triples.
+  std::set<LexTriple> oracle;
+  for (const rdf::Triple& t : seed.triples()) {
+    oracle.insert(LexTriple{seed.VertexName(t.subject),
+                            seed.PropertyName(t.property),
+                            seed.VertexName(t.object)});
+  }
+
+  MaintainerOptions options;
+  options.mpc = mpc;
+  options.policy.kind = RepartitionPolicy::Kind::kThreshold;
+  const std::vector<int> thread_counts = {1, 2, 8};
+  std::vector<std::unique_ptr<IncrementalMaintainer>> maintainers;
+  for (int threads : thread_counts) {
+    MaintainerOptions per = options;
+    per.num_threads = threads;
+    maintainers.push_back(std::make_unique<IncrementalMaintainer>(
+        seed.Clone(), seed_partitioning, per));
+  }
+
+  std::vector<UpdateBatch> stream = MakeStream(rng, seed, 12, 12);
+  for (size_t b = 0; b < stream.size(); ++b) {
+    ApplyToOracle(stream[b], &oracle);
+    std::vector<ApplyResult> results;
+    for (auto& m : maintainers) {
+      results.push_back(m->ApplyBatch(stream[b]));
+    }
+    const std::string context = "batch " + std::to_string(b);
+
+    // Thread-count invariance: every maintained stat is identical.
+    for (size_t i = 1; i < results.size(); ++i) {
+      ExpectSameDrift(results[0].drift, results[i].drift, context);
+      EXPECT_EQ(results[0].repartition_triggered,
+                results[i].repartition_triggered)
+          << context;
+      EXPECT_EQ(maintainers[0]->partitioning().assignment().part,
+                maintainers[i]->partitioning().assignment().part)
+          << context;
+      EXPECT_EQ(maintainers[0]->partitioning().crossing_property_mask(),
+                maintainers[i]->partitioning().crossing_property_mask())
+          << context;
+    }
+
+    // Live set matches the oracle exactly.
+    EXPECT_EQ(maintainers[0]->num_live_triples(), oracle.size()) << context;
+
+    // |L_cross| respects the policy bound unless this very batch fired.
+    const ApplyResult& r = results[0];
+    if (!r.repartition_triggered) {
+      EXPECT_LE(r.drift.crossing_properties,
+                options.policy.LcrossBound(r.drift.seed_crossing_properties))
+          << context;
+    }
+  }
+
+  // Final equivalence: maintained results == from-scratch results on the
+  // oracle graph, compared lexically (dense ids differ between the two).
+  RdfGraph scratch = OracleGraph(oracle);
+  ASSERT_EQ(maintainers[0]->num_live_triples(), scratch.num_edges());
+  for (const std::string& text : Queries()) {
+    sparql::QueryGraph query = testutil::ParseQueryOrDie(text);
+    BindingTable truth = testutil::GroundTruth(scratch, query);
+    std::set<std::vector<std::string>> expected = LexRows(truth, scratch);
+    for (size_t i = 0; i < maintainers.size(); ++i) {
+      exec::ExecutionStats stats;
+      Result<BindingTable> got = maintainers[i]->ExecuteText(text, &stats);
+      ASSERT_TRUE(got.ok()) << got.status().ToString();
+      EXPECT_EQ(LexRows(*got, maintainers[i]->graph()), expected)
+          << "query: " << text << " threads: " << thread_counts[i];
+    }
+  }
+
+  // And the maintained live set is lexically identical to the oracle.
+  std::set<LexTriple> maintained;
+  const RdfGraph& g = maintainers[0]->graph();
+  for (const rdf::Triple& t : maintainers[0]->LiveTriples()) {
+    maintained.insert(LexTriple{g.VertexName(t.subject),
+                                g.PropertyName(t.property),
+                                g.VertexName(t.object)});
+  }
+  EXPECT_EQ(maintained, oracle);
+}
+
+TEST(DynamicEquivalenceTest, DeleteHeavyStreamStaysCorrect) {
+  // Deleting most of the graph exercises tombstone accumulation and the
+  // tombstone-ratio trigger; queries must stay exact throughout.
+  Rng rng(77);
+  RdfGraph seed = testutil::RandomGraph(rng, 30, 100, 4, 10);
+  core::MpcOptions mpc;
+  mpc.base.k = 3;
+  mpc.base.epsilon = 0.3;
+  MaintainerOptions options;
+  options.mpc = mpc;
+  options.policy.kind = RepartitionPolicy::Kind::kThreshold;
+  options.policy.max_tombstone_ratio = 0.3;
+  IncrementalMaintainer m(seed.Clone(),
+                          core::MpcPartitioner(mpc).Partition(seed),
+                          options);
+
+  std::set<LexTriple> oracle;
+  for (const rdf::Triple& t : seed.triples()) {
+    oracle.insert(LexTriple{seed.VertexName(t.subject),
+                            seed.PropertyName(t.property),
+                            seed.VertexName(t.object)});
+  }
+
+  // Delete the seed triples in deterministic slices of 15.
+  std::vector<LexTriple> all(oracle.begin(), oracle.end());
+  size_t repartitions_seen = 0;
+  for (size_t start = 0; start < all.size(); start += 15) {
+    UpdateBatch batch;
+    for (size_t i = start; i < std::min(start + 15, all.size()); ++i) {
+      batch.updates.push_back(TripleUpdate{UpdateKind::kDelete, all[i][0],
+                                           all[i][1], all[i][2]});
+    }
+    ApplyToOracle(batch, &oracle);
+    ApplyResult r = m.ApplyBatch(batch);
+    repartitions_seen += r.repartitioned ? 1 : 0;
+    EXPECT_EQ(m.num_live_triples(), oracle.size());
+
+    RdfGraph scratch = OracleGraph(oracle);
+    sparql::QueryGraph query =
+        testutil::ParseQueryOrDie("SELECT * WHERE { ?x <t:p0> ?y . }");
+    BindingTable truth = testutil::GroundTruth(scratch, query);
+    exec::ExecutionStats stats;
+    Result<BindingTable> got =
+        m.ExecuteText("SELECT * WHERE { ?x <t:p0> ?y . }", &stats);
+    ASSERT_TRUE(got.ok()) << got.status().ToString();
+    EXPECT_EQ(LexRows(*got, m.graph()), LexRows(truth, scratch));
+  }
+  EXPECT_EQ(m.num_live_triples(), 0u);
+  // The tombstone trigger must have fired at least once while draining.
+  EXPECT_GE(m.repartition_count(), 1u);
+  EXPECT_GE(repartitions_seen, 1u);
+}
+
+}  // namespace
+}  // namespace mpc::dynamic

@@ -1,0 +1,501 @@
+#include "dynamic/incremental_maintainer.h"
+
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "common/random.h"
+#include "dynamic/update_log.h"
+#include "gtest/gtest.h"
+#include "test_util.h"
+
+namespace mpc::dynamic {
+namespace {
+
+using rdf::RdfGraph;
+using rdf::Triple;
+using store::BindingTable;
+using testutil::T;
+
+TripleUpdate Ins(const std::string& s, const std::string& p,
+                 const std::string& o) {
+  return TripleUpdate{UpdateKind::kInsert, T(s), T(p), T(o)};
+}
+
+TripleUpdate Del(const std::string& s, const std::string& p,
+                 const std::string& o) {
+  return TripleUpdate{UpdateKind::kDelete, T(s), T(p), T(o)};
+}
+
+UpdateBatch Batch(std::vector<TripleUpdate> updates) {
+  UpdateBatch b;
+  b.updates = std::move(updates);
+  return b;
+}
+
+/// Vertex-disjoint partitioning assigning each vertex by a name-keyed
+/// site map (vertices not listed go to site 0).
+partition::Partitioning MakeByName(
+    const RdfGraph& graph, uint32_t k,
+    const std::map<std::string, uint32_t>& sites) {
+  partition::VertexAssignment assignment;
+  assignment.k = k;
+  assignment.part.assign(graph.num_vertices(), 0);
+  for (const auto& [name, site] : sites) {
+    rdf::VertexId v = graph.vertex_dict().Lookup(T(name));
+    EXPECT_NE(v, rdf::kInvalidVertex) << name;
+    if (v != rdf::kInvalidVertex) assignment.part[v] = site;
+  }
+  return partition::Partitioning::MaterializeVertexDisjoint(
+      graph, std::move(assignment));
+}
+
+/// Rows as lexical forms, for comparing results across graphs whose
+/// dense ids differ.
+std::set<std::vector<std::string>> LexRows(const BindingTable& table,
+                                           const RdfGraph& graph) {
+  std::set<std::vector<std::string>> rows;
+  for (const auto& row : table.rows) {
+    std::vector<std::string> lex;
+    lex.reserve(row.size());
+    for (uint32_t id : row) {
+      lex.emplace_back(graph.VertexName(id));
+    }
+    rows.insert(std::move(lex));
+  }
+  return rows;
+}
+
+// ---------------------------------------------------------------- UpdateLog
+
+TEST(UpdateLogTest, ParsesBatchesAndRoundTrips) {
+  const std::string text =
+      "+ <t:a> <t:p> <t:b> .\n"
+      "- <t:b> <t:p> <t:c>\n"
+      "\n"
+      "# comment separates batches too\n"
+      "+ <t:a> <t:q> \"lit\"@en .\n"
+      "+ _:blank <t:q> \"x\\\"y\"^^<t:string> .\n";
+  Result<std::vector<UpdateBatch>> batches = UpdateLog::ParseDocument(text);
+  ASSERT_TRUE(batches.ok()) << batches.status().ToString();
+  ASSERT_EQ(batches->size(), 2u);
+  EXPECT_EQ((*batches)[0].size(), 2u);
+  EXPECT_EQ((*batches)[1].size(), 2u);
+  EXPECT_EQ((*batches)[0].updates[0].kind, UpdateKind::kInsert);
+  EXPECT_EQ((*batches)[0].updates[1].kind, UpdateKind::kDelete);
+  EXPECT_EQ((*batches)[1].updates[0].object, "\"lit\"@en");
+  EXPECT_EQ((*batches)[1].updates[1].subject, "_:blank");
+  EXPECT_EQ((*batches)[1].updates[1].object, "\"x\\\"y\"^^<t:string>");
+
+  // Round trip.
+  Result<std::vector<UpdateBatch>> again =
+      UpdateLog::ParseDocument(UpdateLog::Serialize(*batches));
+  ASSERT_TRUE(again.ok());
+  ASSERT_EQ(again->size(), batches->size());
+  for (size_t b = 0; b < batches->size(); ++b) {
+    ASSERT_EQ((*again)[b].size(), (*batches)[b].size());
+    for (size_t i = 0; i < (*batches)[b].size(); ++i) {
+      EXPECT_EQ((*again)[b].updates[i].kind, (*batches)[b].updates[i].kind);
+      EXPECT_EQ((*again)[b].updates[i].subject,
+                (*batches)[b].updates[i].subject);
+      EXPECT_EQ((*again)[b].updates[i].property,
+                (*batches)[b].updates[i].property);
+      EXPECT_EQ((*again)[b].updates[i].object,
+                (*batches)[b].updates[i].object);
+    }
+  }
+}
+
+TEST(UpdateLogTest, RejectsMissingSignWithLineNumber) {
+  Result<std::vector<UpdateBatch>> r =
+      UpdateLog::ParseDocument("+ <t:a> <t:p> <t:b> .\n<t:a> <t:p> <t:b> .\n");
+  ASSERT_FALSE(r.ok());
+  EXPECT_NE(r.status().message().find("line 2"), std::string::npos);
+  EXPECT_NE(r.status().message().find("'+' or '-'"), std::string::npos);
+}
+
+TEST(UpdateLogTest, RejectsMalformedTriple) {
+  Result<std::vector<UpdateBatch>> r =
+      UpdateLog::ParseDocument("+ <t:a> <t:p>\n");
+  ASSERT_FALSE(r.ok());
+  EXPECT_NE(r.status().message().find("malformed triple"),
+            std::string::npos);
+}
+
+TEST(UpdateLogTest, RejectsTrailingGarbage) {
+  Result<std::vector<UpdateBatch>> r =
+      UpdateLog::ParseDocument("+ <t:a> <t:p> <t:b> . extra\n");
+  ASSERT_FALSE(r.ok());
+  EXPECT_NE(r.status().message().find("trailing garbage"),
+            std::string::npos);
+}
+
+// ------------------------------------------------------------ DriftTracker
+
+TEST(RepartitionPolicyTest, LcrossBoundTakesMaxOfRelativeAndSlack) {
+  RepartitionPolicy policy;
+  policy.max_lcross_growth = 0.5;
+  policy.min_lcross_slack = 4;
+  EXPECT_EQ(policy.LcrossBound(2), 6u);    // slack dominates tiny seeds
+  EXPECT_EQ(policy.LcrossBound(100), 150u);  // relative dominates
+}
+
+TEST(RepartitionPolicyTest, ThresholdFiresOnLcrossAndTombstones) {
+  RepartitionPolicy policy;
+  policy.max_lcross_growth = 0.5;
+  policy.min_lcross_slack = 2;
+  DriftMetrics m;
+  m.seed_crossing_properties = 4;
+  m.crossing_properties = 6;
+  EXPECT_TRUE(policy.Evaluate(m).empty());  // at the bound: keep
+  m.crossing_properties = 7;
+  EXPECT_NE(policy.Evaluate(m).find("L_cross"), std::string::npos);
+  m.crossing_properties = 4;
+  m.tombstone_ratio = 0.3;
+  EXPECT_NE(policy.Evaluate(m).find("tombstone"), std::string::npos);
+}
+
+TEST(RepartitionPolicyTest, NeverAndPeriodicKinds) {
+  DriftMetrics m;
+  m.crossing_properties = 1000;
+  m.tombstone_ratio = 0.9;
+  RepartitionPolicy never;
+  never.kind = RepartitionPolicy::Kind::kNever;
+  EXPECT_TRUE(never.Evaluate(m).empty());
+
+  RepartitionPolicy periodic;
+  periodic.kind = RepartitionPolicy::Kind::kPeriodic;
+  periodic.period_batches = 3;
+  m.batches_applied = 2;
+  EXPECT_TRUE(periodic.Evaluate(m).empty());
+  m.batches_applied = 3;
+  EXPECT_FALSE(periodic.Evaluate(m).empty());
+  m.batches_applied = 6;
+  EXPECT_FALSE(periodic.Evaluate(m).empty());
+}
+
+// ---------------------------------------------------- IncrementalMaintainer
+
+/// Two triangles on sites 0/1 joined by nothing; p is internal, q only at
+/// site 0.
+RdfGraph TwoIslandGraph() {
+  return testutil::BuildGraph({{"a1", "p", "a2"},
+                               {"a2", "p", "a3"},
+                               {"a3", "p", "a1"},
+                               {"b1", "p", "b2"},
+                               {"b2", "p", "b3"},
+                               {"b3", "p", "b1"},
+                               {"a1", "q", "a2"}});
+}
+
+std::map<std::string, uint32_t> IslandSites() {
+  return {{"a1", 0}, {"a2", 0}, {"a3", 0},
+          {"b1", 1}, {"b2", 1}, {"b3", 1}};
+}
+
+MaintainerOptions NoRepartition() {
+  MaintainerOptions options;
+  options.policy.kind = RepartitionPolicy::Kind::kNever;
+  return options;
+}
+
+TEST(IncrementalMaintainerTest, InternalInsertKeepsLcrossEmpty) {
+  RdfGraph graph = TwoIslandGraph();
+  IncrementalMaintainer m(graph.Clone(), MakeByName(graph, 2, IslandSites()),
+                          NoRepartition());
+  EXPECT_EQ(m.partitioning().num_crossing_properties(), 0u);
+  ASSERT_EQ(m.num_live_triples(), 7u);
+
+  ApplyResult r = m.ApplyBatch(Batch({Ins("a1", "p", "a3")}));
+  EXPECT_EQ(r.inserts, 1u);
+  EXPECT_EQ(m.num_live_triples(), 8u);
+  EXPECT_EQ(m.partitioning().num_crossing_properties(), 0u);
+  EXPECT_EQ(m.partitioning().num_crossing_edges(), 0u);
+  EXPECT_EQ(r.drift.tombstone_ratio, 0.0);
+  EXPECT_EQ(r.drift.replication_ratio, 1.0);
+}
+
+TEST(IncrementalMaintainerTest, CrossingInsertPromotesProperty) {
+  RdfGraph graph = TwoIslandGraph();
+  IncrementalMaintainer m(graph.Clone(), MakeByName(graph, 2, IslandSites()),
+                          NoRepartition());
+  ApplyResult r = m.ApplyBatch(Batch({Ins("a1", "p", "b1")}));
+  EXPECT_EQ(r.inserts, 1u);
+  EXPECT_EQ(m.partitioning().num_crossing_edges(), 1u);
+  EXPECT_EQ(m.partitioning().num_crossing_properties(), 1u);
+  rdf::PropertyId p = m.graph().property_dict().Lookup(T("p"));
+  EXPECT_TRUE(m.partitioning().IsCrossingProperty(p));
+  // The replica is stored at both sites and extends V_i^e.
+  EXPECT_EQ(m.partitioning().partition(0).crossing_edges.size(), 1u);
+  EXPECT_EQ(m.partitioning().partition(1).crossing_edges.size(), 1u);
+  EXPECT_GT(r.drift.replication_ratio, 1.0);
+}
+
+TEST(IncrementalMaintainerTest, DeletingLastCrossingEdgeRetiresProperty) {
+  RdfGraph graph = TwoIslandGraph();
+  IncrementalMaintainer m(graph.Clone(), MakeByName(graph, 2, IslandSites()),
+                          NoRepartition());
+  m.ApplyBatch(Batch({Ins("a1", "p", "b1")}));
+  ASSERT_EQ(m.partitioning().num_crossing_properties(), 1u);
+
+  ApplyResult r = m.ApplyBatch(Batch({Del("a1", "p", "b1")}));
+  EXPECT_EQ(r.deletes, 1u);
+  EXPECT_EQ(m.partitioning().num_crossing_properties(), 0u);
+  EXPECT_EQ(m.partitioning().num_crossing_edges(), 0u);
+  rdf::PropertyId p = m.graph().property_dict().Lookup(T("p"));
+  EXPECT_FALSE(m.partitioning().IsCrossingProperty(p));
+  EXPECT_EQ(m.num_live_triples(), 7u);
+  EXPECT_GT(r.drift.tombstone_ratio, 0.0);  // replicas linger as garbage
+}
+
+TEST(IncrementalMaintainerTest, SetSemanticsNoops) {
+  RdfGraph graph = TwoIslandGraph();
+  IncrementalMaintainer m(graph.Clone(), MakeByName(graph, 2, IslandSites()),
+                          NoRepartition());
+  ApplyResult r = m.ApplyBatch(Batch({
+      Ins("a1", "p", "a2"),       // already present
+      Del("a1", "p", "a3"),       // never present
+      Del("zz", "p", "a1"),       // unknown term
+      Del("a1", "zz_prop", "a2"),  // unknown property
+  }));
+  EXPECT_EQ(r.inserts, 0u);
+  EXPECT_EQ(r.deletes, 0u);
+  EXPECT_EQ(r.noops, 4u);
+  EXPECT_EQ(m.num_live_triples(), 7u);
+}
+
+TEST(IncrementalMaintainerTest, ResurrectionRestoresWithoutDuplicates) {
+  RdfGraph graph = TwoIslandGraph();
+  IncrementalMaintainer m(graph.Clone(), MakeByName(graph, 2, IslandSites()),
+                          NoRepartition());
+  Triple t(m.graph().vertex_dict().Lookup(T("a1")),
+           m.graph().property_dict().Lookup(T("p")),
+           m.graph().vertex_dict().Lookup(T("a2")));
+  m.ApplyBatch(Batch({Del("a1", "p", "a2")}));
+  EXPECT_FALSE(m.IsLive(t));
+  EXPECT_EQ(m.num_live_triples(), 6u);
+
+  ApplyResult r = m.ApplyBatch(Batch({Ins("a1", "p", "a2")}));
+  EXPECT_EQ(r.inserts, 1u);
+  EXPECT_TRUE(m.IsLive(t));
+  EXPECT_EQ(m.num_live_triples(), 7u);
+  EXPECT_EQ(r.drift.tombstone_ratio, 0.0);  // the slot was reclaimed
+
+  // The compacted view holds the triple exactly once.
+  partition::Partitioning compact = m.CompactPartitioning();
+  size_t copies = 0;
+  for (uint32_t i = 0; i < compact.k(); ++i) {
+    for (const Triple& e : compact.partition(i).internal_edges) {
+      if (e == t) ++copies;
+    }
+  }
+  EXPECT_EQ(copies, 1u);
+}
+
+TEST(IncrementalMaintainerTest, NewVertexCoLocatesOnInternalProperty) {
+  RdfGraph graph = TwoIslandGraph();
+  IncrementalMaintainer m(graph.Clone(), MakeByName(graph, 2, IslandSites()),
+                          NoRepartition());
+  // "p" is internal; a new subject attached to b1 must land at b1's site
+  // so the edge stays internal and |L_cross| stays 0.
+  ApplyResult r = m.ApplyBatch(Batch({Ins("newv", "p", "b1")}));
+  EXPECT_EQ(r.inserts, 1u);
+  rdf::VertexId nv = m.graph().vertex_dict().Lookup(T("newv"));
+  ASSERT_NE(nv, rdf::kInvalidVertex);
+  rdf::VertexId b1 = m.graph().vertex_dict().Lookup(T("b1"));
+  EXPECT_EQ(m.partitioning().assignment().part[nv],
+            m.partitioning().assignment().part[b1]);
+  EXPECT_EQ(m.partitioning().num_crossing_properties(), 0u);
+}
+
+TEST(IncrementalMaintainerTest, NewPropertyStartsInternal) {
+  RdfGraph graph = TwoIslandGraph();
+  IncrementalMaintainer m(graph.Clone(), MakeByName(graph, 2, IslandSites()),
+                          NoRepartition());
+  ApplyResult r = m.ApplyBatch(Batch({Ins("a1", "brand_new", "a2")}));
+  EXPECT_EQ(r.inserts, 1u);
+  rdf::PropertyId p = m.graph().property_dict().Lookup(T("brand_new"));
+  ASSERT_NE(p, rdf::kInvalidProperty);
+  EXPECT_FALSE(m.partitioning().IsCrossingProperty(p));
+  EXPECT_EQ(m.partitioning().num_crossing_properties(), 0u);
+}
+
+TEST(IncrementalMaintainerTest, CompactViewAgreesWithMaintainedCounters) {
+  Rng rng(31);
+  RdfGraph graph = testutil::RandomGraph(rng, 40, 140, 4, 10);
+  core::MpcOptions mpc;
+  mpc.base.k = 3;
+  mpc.base.epsilon = 0.3;
+  IncrementalMaintainer m(graph.Clone(),
+                          core::MpcPartitioner(mpc).Partition(graph),
+                          NoRepartition());
+
+  // A mixed stream: inserts between random existing vertices plus
+  // deletes of random seed triples.
+  std::vector<TripleUpdate> updates;
+  for (int i = 0; i < 30; ++i) {
+    const std::string s = "v" + std::to_string(rng.Below(40));
+    const std::string o = "v" + std::to_string(rng.Below(40));
+    const std::string p = "p" + std::to_string(rng.Below(4));
+    updates.push_back(Ins(s, p, o));
+  }
+  for (int i = 0; i < 20; ++i) {
+    const Triple& t = graph.triples()[rng.Below(graph.num_edges())];
+    updates.push_back(TripleUpdate{UpdateKind::kDelete,
+                                   std::string(graph.VertexName(t.subject)),
+                                   std::string(graph.PropertyName(t.property)),
+                                   std::string(graph.VertexName(t.object))});
+  }
+  m.ApplyBatch(Batch(std::move(updates)));
+
+  partition::Partitioning compact = m.CompactPartitioning();
+  EXPECT_EQ(compact.num_crossing_edges(),
+            m.partitioning().num_crossing_edges());
+  EXPECT_EQ(compact.num_crossing_properties(),
+            m.partitioning().num_crossing_properties());
+  EXPECT_EQ(compact.crossing_property_mask(),
+            m.partitioning().crossing_property_mask());
+  size_t live = 0;
+  for (uint32_t i = 0; i < compact.k(); ++i) {
+    live += compact.partition(i).internal_edges.size();
+  }
+  EXPECT_EQ(live + compact.num_crossing_edges(), m.num_live_triples());
+}
+
+TEST(IncrementalMaintainerTest, QueriesSeeUpdatesMidStream) {
+  RdfGraph graph = TwoIslandGraph();
+  IncrementalMaintainer m(graph.Clone(), MakeByName(graph, 2, IslandSites()),
+                          NoRepartition());
+
+  const std::string query = "SELECT * WHERE { ?x " + T("p") + " ?y . }";
+  exec::ExecutionStats stats;
+  Result<BindingTable> before = m.ExecuteText(query, &stats);
+  ASSERT_TRUE(before.ok()) << before.status().ToString();
+  EXPECT_EQ(before->num_rows(), 6u);
+
+  // Insert a crossing p-edge and delete an internal one; the result set
+  // must reflect both immediately.
+  m.ApplyBatch(Batch({Ins("a1", "p", "b1"), Del("b2", "p", "b3")}));
+  Result<BindingTable> after = m.ExecuteText(query, &stats);
+  ASSERT_TRUE(after.ok()) << after.status().ToString();
+  std::set<std::vector<std::string>> rows = LexRows(*after, m.graph());
+  EXPECT_EQ(rows.size(), 6u);
+  EXPECT_TRUE(rows.count({T("a1"), T("b1")}));
+  EXPECT_FALSE(rows.count({T("b2"), T("b3")}));
+}
+
+TEST(IncrementalMaintainerTest, RepartitionNowResetsDrift) {
+  RdfGraph graph = TwoIslandGraph();
+  IncrementalMaintainer m(graph.Clone(), MakeByName(graph, 2, IslandSites()),
+                          NoRepartition());
+  m.ApplyBatch(Batch({Ins("a1", "p", "b1"), Del("a2", "p", "a3"),
+                      Del("b1", "p", "b2")}));
+  ASSERT_GT(m.drift().tombstone_ratio, 0.0);
+
+  m.RepartitionNow();
+  EXPECT_EQ(m.repartition_count(), 1u);
+  DriftMetrics d = m.drift();
+  EXPECT_EQ(d.tombstone_ratio, 0.0);
+  EXPECT_EQ(d.live_triples, m.num_live_triples());
+  EXPECT_EQ(d.seed_crossing_properties, d.crossing_properties);
+  EXPECT_EQ(d.repartitions, 1u);
+
+  // Queries still answer correctly on the new state.
+  exec::ExecutionStats stats;
+  Result<BindingTable> r = m.ExecuteText(
+      "SELECT * WHERE { ?x " + T("p") + " ?y . }", &stats);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->num_rows(), 5u);  // 7 p-edges + 1 insert - 2 deletes
+}
+
+TEST(IncrementalMaintainerTest, ThresholdPolicyTriggersRepartition) {
+  RdfGraph graph = TwoIslandGraph();
+  MaintainerOptions options;
+  options.policy.kind = RepartitionPolicy::Kind::kThreshold;
+  options.policy.max_lcross_growth = 0.0;
+  options.policy.min_lcross_slack = 1;  // bound = seed + 1
+  IncrementalMaintainer m(graph.Clone(), MakeByName(graph, 2, IslandSites()),
+                          options);
+  ASSERT_EQ(m.drift().seed_crossing_properties, 0u);
+
+  // Two crossing properties exceed the bound of 1.
+  ApplyResult r = m.ApplyBatch(
+      Batch({Ins("a1", "p", "b1"), Ins("a2", "q", "b2")}));
+  EXPECT_TRUE(r.repartition_triggered) << r.trigger_reason;
+  EXPECT_TRUE(r.repartitioned);
+  EXPECT_EQ(m.repartition_count(), 1u);
+  // Post-swap drift is re-seeded: current |L_cross| is the new baseline.
+  EXPECT_EQ(r.drift.seed_crossing_properties, r.drift.crossing_properties);
+  EXPECT_EQ(r.drift.tombstone_ratio, 0.0);
+  EXPECT_EQ(m.num_live_triples(), 9u);
+}
+
+TEST(IncrementalMaintainerTest, PeriodicPolicyTriggersOnSchedule) {
+  RdfGraph graph = TwoIslandGraph();
+  MaintainerOptions options;
+  options.policy.kind = RepartitionPolicy::Kind::kPeriodic;
+  options.policy.period_batches = 2;
+  IncrementalMaintainer m(graph.Clone(), MakeByName(graph, 2, IslandSites()),
+                          options);
+  EXPECT_FALSE(
+      m.ApplyBatch(Batch({Ins("a1", "p", "a3")})).repartition_triggered);
+  EXPECT_TRUE(
+      m.ApplyBatch(Batch({Ins("a2", "p", "a1")})).repartition_triggered);
+  EXPECT_EQ(m.repartition_count(), 1u);
+}
+
+TEST(IncrementalMaintainerTest, BackgroundRepartitionIntegratesWithReplay) {
+  RdfGraph graph = TwoIslandGraph();
+  MaintainerOptions options;
+  options.policy.kind = RepartitionPolicy::Kind::kPeriodic;
+  options.policy.period_batches = 1;  // trigger on the first batch
+  options.background_repartition = true;
+  IncrementalMaintainer m(graph.Clone(), MakeByName(graph, 2, IslandSites()),
+                          options);
+
+  ApplyResult first = m.ApplyBatch(Batch({Ins("a1", "p", "b1")}));
+  EXPECT_TRUE(first.repartition_triggered);
+  EXPECT_FALSE(first.repartitioned);  // runs in the background
+
+  // Updates applied while the job may still be running must survive the
+  // swap (they are replayed onto the new partitioning).
+  m.ApplyBatch(Batch({Ins("c1", "p", "a1"), Del("b1", "p", "b2")}));
+  m.WaitForRepartition();
+  EXPECT_FALSE(m.repartition_pending());
+  EXPECT_GE(m.repartition_count(), 1u);
+
+  EXPECT_EQ(m.num_live_triples(), 8u);  // 7 + 2 inserts - 1 delete
+  exec::ExecutionStats stats;
+  Result<BindingTable> r = m.ExecuteText(
+      "SELECT * WHERE { ?x " + T("p") + " ?y . }", &stats);
+  ASSERT_TRUE(r.ok());
+  std::set<std::vector<std::string>> rows = LexRows(*r, m.graph());
+  EXPECT_TRUE(rows.count({T("c1"), T("a1")}));
+  EXPECT_TRUE(rows.count({T("a1"), T("b1")}));
+  EXPECT_FALSE(rows.count({T("b1"), T("b2")}));
+}
+
+TEST(IncrementalMaintainerTest, DictionaryGrowthKeepsGraphAccessorsValid) {
+  RdfGraph graph = TwoIslandGraph();
+  IncrementalMaintainer m(graph.Clone(), MakeByName(graph, 2, IslandSites()),
+                          NoRepartition());
+  const size_t before_props = m.graph().num_properties();
+  m.ApplyBatch(Batch({Ins("x1", "r1", "x2"), Ins("x2", "r2", "x3")}));
+  EXPECT_EQ(m.graph().num_properties(), before_props + 2);
+  // Grown properties expose empty edge runs in the snapshot arrays.
+  for (rdf::PropertyId p = before_props; p < m.graph().num_properties();
+       ++p) {
+    EXPECT_EQ(m.graph().EdgesWithProperty(p).size(), 0u);
+    EXPECT_EQ(m.graph().PropertyFrequency(p), 0u);
+  }
+  // But the triples are live and queryable.
+  exec::ExecutionStats stats;
+  Result<BindingTable> r = m.ExecuteText(
+      "SELECT * WHERE { ?x " + T("r1") + " ?y . }", &stats);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->num_rows(), 1u);
+}
+
+}  // namespace
+}  // namespace mpc::dynamic

@@ -1,6 +1,8 @@
 #include "partition/partition_io.h"
 
 #include <filesystem>
+#include <fstream>
+#include <sstream>
 
 #include "common/random.h"
 #include "gtest/gtest.h"
@@ -113,6 +115,137 @@ TEST(PartitionIoTest, LoadAgainstWrongGraphFails) {
   rdf::RdfGraph other = testutil::RandomGraph(rng, 31, 90, 3);
   Result<Partitioning> loaded = PartitionIo::Load(other, dir);
   EXPECT_FALSE(loaded.ok());
+}
+
+// --- Corruption regression tests: truncated or garbage files must fail
+// --- with a descriptive Status, never load as a silently-wrong
+// --- partitioning (strtoul used to accept garbage partition ids as 0).
+
+/// Saves a small vertex-disjoint partitioning and returns its directory.
+std::string SaveSmall(const std::string& name, rdf::RdfGraph* graph_out) {
+  Rng rng(11);
+  *graph_out = testutil::RandomGraph(rng, 20, 60, 3);
+  PartitionerOptions options{.k = 2, .epsilon = 0.1, .seed = 1};
+  Partitioning p = SubjectHashPartitioner(options).Partition(*graph_out);
+  std::string dir = TempDir(name);
+  EXPECT_TRUE(PartitionIo::Save(*graph_out, p, dir).ok());
+  return dir;
+}
+
+void Overwrite(const std::string& path, const std::string& content) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  out << content;
+}
+
+std::string Slurp(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return buffer.str();
+}
+
+TEST(PartitionIoTest, GarbagePartitionIdInAssignmentRejected) {
+  rdf::RdfGraph graph;
+  std::string dir = SaveSmall("mpc_io_garbage_pid", &graph);
+  std::string text = Slurp(dir + "/assignment.txt");
+  const size_t tab = text.find('\t');
+  ASSERT_NE(tab, std::string::npos);
+  const size_t nl = text.find('\n', tab);
+  text.replace(tab + 1, nl - tab - 1, "zap");
+  Overwrite(dir + "/assignment.txt", text);
+
+  Result<Partitioning> loaded = PartitionIo::Load(graph, dir);
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.status().code(), StatusCode::kParseError);
+  EXPECT_NE(loaded.status().message().find("invalid partition id"),
+            std::string::npos)
+      << loaded.status().ToString();
+}
+
+TEST(PartitionIoTest, NumericGarbageSuffixRejected) {
+  // "1abc" parsed with strtoul loads as partition 1; the strict parser
+  // must reject the whole field.
+  rdf::RdfGraph graph;
+  std::string dir = SaveSmall("mpc_io_suffix_pid", &graph);
+  std::string text = Slurp(dir + "/assignment.txt");
+  const size_t tab = text.find('\t');
+  ASSERT_NE(tab, std::string::npos);
+  text.insert(text.find('\n', tab), "abc");
+  Overwrite(dir + "/assignment.txt", text);
+
+  Result<Partitioning> loaded = PartitionIo::Load(graph, dir);
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.status().code(), StatusCode::kParseError);
+}
+
+TEST(PartitionIoTest, TruncatedAssignmentRejected) {
+  rdf::RdfGraph graph;
+  std::string dir = SaveSmall("mpc_io_trunc", &graph);
+  std::string text = Slurp(dir + "/assignment.txt");
+  // Drop everything past the first line, losing most vertices; also chop
+  // the surviving line's partition field mid-way is covered above, so
+  // here the file is simply incomplete.
+  Overwrite(dir + "/assignment.txt", text.substr(0, text.find('\n') + 1));
+
+  Result<Partitioning> loaded = PartitionIo::Load(graph, dir);
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_NE(loaded.status().message().find("does not cover"),
+            std::string::npos)
+      << loaded.status().ToString();
+}
+
+TEST(PartitionIoTest, GarbageManifestKRejected) {
+  rdf::RdfGraph graph;
+  std::string dir = SaveSmall("mpc_io_bad_k", &graph);
+  std::string text = Slurp(dir + "/manifest.txt");
+  const size_t pos = text.find("k ");
+  ASSERT_NE(pos, std::string::npos);
+  text.replace(pos, text.find('\n', pos) - pos, "k -3");
+  Overwrite(dir + "/manifest.txt", text);
+
+  Result<Partitioning> loaded = PartitionIo::Load(graph, dir);
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.status().code(), StatusCode::kParseError);
+  EXPECT_NE(loaded.status().message().find("invalid k"), std::string::npos);
+}
+
+TEST(PartitionIoTest, MissingManifestKindRejected) {
+  rdf::RdfGraph graph;
+  std::string dir = SaveSmall("mpc_io_no_kind", &graph);
+  std::string text = Slurp(dir + "/manifest.txt");
+  const size_t pos = text.find("kind ");
+  ASSERT_NE(pos, std::string::npos);
+  text.erase(pos, text.find('\n', pos) - pos + 1);
+  Overwrite(dir + "/manifest.txt", text);
+
+  Result<Partitioning> loaded = PartitionIo::Load(graph, dir);
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_NE(loaded.status().message().find("missing kind"),
+            std::string::npos)
+      << loaded.status().ToString();
+}
+
+TEST(PartitionIoTest, GarbageVertexCountRejected) {
+  rdf::RdfGraph graph;
+  std::string dir = SaveSmall("mpc_io_bad_vcount", &graph);
+  std::string text = Slurp(dir + "/manifest.txt");
+  const size_t pos = text.find("vertices ");
+  ASSERT_NE(pos, std::string::npos);
+  text.replace(pos, text.find('\n', pos) - pos, "vertices 12q");
+  Overwrite(dir + "/manifest.txt", text);
+
+  Result<Partitioning> loaded = PartitionIo::Load(graph, dir);
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.status().code(), StatusCode::kParseError);
+}
+
+TEST(PartitionIoTest, EmptyManifestRejected) {
+  rdf::RdfGraph graph;
+  std::string dir = SaveSmall("mpc_io_empty_manifest", &graph);
+  Overwrite(dir + "/manifest.txt", "");
+  Result<Partitioning> loaded = PartitionIo::Load(graph, dir);
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.status().code(), StatusCode::kParseError);
 }
 
 }  // namespace

@@ -9,6 +9,15 @@
 //       [--fail-sites=0,3] [--fault-rate=P] [--transient-rate=P]
 //       [--site-timeout-ms=T] [--retries=N] [--fault-seed=S]
 //       [--partial-results=fail|best-effort]
+//   mpc update <data.nt> <partition_dir> <updates.ulog>
+//       [--policy=threshold|periodic|never] [--period=N]
+//       [--max-lcross-growth=G] [--checkpoint-every=N]
+//       [--repartition=sync|background] [--out=DIR] [--threads=T]
+//
+// `update` streams an update log (batches of `+ <s> <p> <o> .` inserts /
+// `- ...` deletes, separated by blank lines) through the incremental
+// maintainer, printing drift checkpoints and the repartitions the policy
+// triggered; --out saves the final compacted partitioning.
 //
 // The SPARQL argument may be a file path or an inline query string.
 // --threads=0 (the default) uses every hardware thread; --threads=1 runs
@@ -29,6 +38,8 @@
 
 #include "common/flags.h"
 #include "common/string_util.h"
+#include "dynamic/incremental_maintainer.h"
+#include "dynamic/update_log.h"
 #include "exec/cluster.h"
 #include "exec/decomposer.h"
 #include "exec/distributed_executor.h"
@@ -59,6 +70,10 @@ int Usage() {
       [--fail-sites=0,3] [--fault-rate=P] [--transient-rate=P]
       [--site-timeout-ms=T] [--retries=N] [--fault-seed=S]
       [--partial-results=fail|best-effort]
+  mpc update <data.nt> <partition_dir> <updates.ulog>
+      [--policy=threshold|periodic|never] [--period=N]
+      [--max-lcross-growth=G] [--checkpoint-every=N]
+      [--repartition=sync|background] [--out=DIR] [--threads=T]
 )";
   return 2;
 }
@@ -80,6 +95,14 @@ struct Flags {
   int retries = 2;
   uint64_t fault_seed = 0;
   std::string partial_results = "fail";
+
+  // Streaming updates (update command).
+  std::string policy = "threshold";
+  uint32_t period = 64;
+  double max_lcross_growth = 0.5;
+  uint32_t checkpoint_every = 8;
+  std::string repartition = "sync";
+  std::string out_dir;
 
   std::vector<std::string> positional;
 
@@ -119,6 +142,14 @@ struct Flags {
     parser.AddUint64("fault-seed", &flags.fault_seed);
     parser.AddChoice("partial-results", &flags.partial_results,
                      {"fail", "best-effort"});
+    parser.AddChoice("policy", &flags.policy,
+                     {"threshold", "periodic", "never"});
+    parser.AddUint32("period", &flags.period);
+    parser.AddDouble("max-lcross-growth", &flags.max_lcross_growth);
+    parser.AddUint32("checkpoint-every", &flags.checkpoint_every);
+    parser.AddChoice("repartition", &flags.repartition,
+                     {"sync", "background"});
+    parser.AddString("out", &flags.out_dir);
     Result<std::vector<std::string>> positional =
         parser.Parse(argc, argv, first);
     if (!positional.ok()) return positional.status();
@@ -352,6 +383,126 @@ int CmdClassifyOrQuery(const Flags& flags, bool execute) {
   return 0;
 }
 
+int CmdUpdate(const Flags& flags) {
+  if (flags.positional.size() != 3) return Usage();
+  Result<rdf::RdfGraph> graph = LoadGraph(flags.positional[0], flags.threads);
+  if (!graph.ok()) {
+    std::cerr << graph.status().ToString() << "\n";
+    return 1;
+  }
+  Result<partition::Partitioning> partitioning =
+      partition::PartitionIo::Load(*graph, flags.positional[1]);
+  if (!partitioning.ok()) {
+    std::cerr << partitioning.status().ToString() << "\n";
+    return 1;
+  }
+  if (partitioning->kind() != partition::PartitioningKind::kVertexDisjoint) {
+    std::cerr << "update requires a vertex-disjoint partitioning\n";
+    return 1;
+  }
+  Result<std::vector<dynamic::UpdateBatch>> batches =
+      dynamic::UpdateLog::LoadFile(flags.positional[2]);
+  if (!batches.ok()) {
+    std::cerr << batches.status().ToString() << "\n";
+    return 1;
+  }
+
+  dynamic::MaintainerOptions options;
+  options.num_threads = flags.threads;
+  options.background_repartition = flags.repartition == "background";
+  options.mpc.base = flags.PartitionerOpts();
+  options.executor = flags.ExecutorOpts();
+  if (flags.policy == "never") {
+    options.policy.kind = dynamic::RepartitionPolicy::Kind::kNever;
+  } else if (flags.policy == "periodic") {
+    options.policy.kind = dynamic::RepartitionPolicy::Kind::kPeriodic;
+    options.policy.period_batches = flags.period;
+  } else {
+    options.policy.kind = dynamic::RepartitionPolicy::Kind::kThreshold;
+    options.policy.max_lcross_growth = flags.max_lcross_growth;
+  }
+
+  dynamic::IncrementalMaintainer maintainer(
+      std::move(*graph), std::move(*partitioning), options);
+  std::cout << "seed: " << FormatWithCommas(maintainer.num_live_triples())
+            << " triples, |L_cross| "
+            << maintainer.partitioning().num_crossing_properties() << ", "
+            << batches->size() << " batches\n";
+
+  size_t inserts = 0;
+  size_t deletes = 0;
+  size_t noops = 0;
+  for (size_t b = 0; b < batches->size(); ++b) {
+    dynamic::ApplyResult r = maintainer.ApplyBatch((*batches)[b]);
+    inserts += r.inserts;
+    deletes += r.deletes;
+    noops += r.noops;
+    if (r.repartition_triggered) {
+      std::cout << "batch " << b + 1 << ": repartition ("
+                << r.trigger_reason << ")"
+                << (r.repartitioned ? "" : " [background]") << "\n";
+    }
+    const bool checkpoint =
+        flags.checkpoint_every > 0 &&
+        ((b + 1) % flags.checkpoint_every == 0 || b + 1 == batches->size());
+    if (checkpoint) {
+      const dynamic::DriftMetrics& m = r.drift;
+      std::cout << "batch " << b + 1 << ": live "
+                << FormatWithCommas(m.live_triples) << ", |L_cross| "
+                << m.crossing_properties << " (seed "
+                << m.seed_crossing_properties << "), tombstones "
+                << FormatDouble(100.0 * m.tombstone_ratio, 1)
+                << "%, replication "
+                << FormatDouble(m.replication_ratio, 3) << ", balance "
+                << FormatDouble(m.balance_ratio, 3) << "\n";
+    }
+  }
+  maintainer.WaitForRepartition();
+
+  const dynamic::DriftMetrics final_drift = maintainer.drift();
+  std::cout << "applied: " << FormatWithCommas(inserts) << " inserts, "
+            << FormatWithCommas(deletes) << " deletes, "
+            << FormatWithCommas(noops) << " no-ops; "
+            << maintainer.repartition_count() << " repartitions\n"
+            << "final:   live " << FormatWithCommas(final_drift.live_triples)
+            << ", |L_cross| " << final_drift.crossing_properties
+            << ", balance " << FormatDouble(final_drift.balance_ratio, 3)
+            << "\n";
+
+  if (!flags.out_dir.empty()) {
+    // Save a self-contained pair: the live graph as graph.nt plus a
+    // partitioning over *its* id space, so
+    //   mpc query <out>/graph.nt <out> ...
+    // works directly. (The maintained partitioning covers the grown
+    // dictionary universe, including tombstoned vertices, and would not
+    // load against the compacted graph.)
+    rdf::RdfGraph live = maintainer.MaterializeGraph();
+    const partition::VertexAssignment& maintained =
+        maintainer.partitioning().assignment();
+    partition::VertexAssignment assignment;
+    assignment.k = maintained.k;
+    assignment.part.resize(live.num_vertices());
+    for (rdf::VertexId v = 0; v < live.num_vertices(); ++v) {
+      assignment.part[v] =
+          maintained.part[maintainer.graph().vertex_dict().Lookup(
+              live.VertexName(v))];
+    }
+    partition::Partitioning compact =
+        partition::Partitioning::MaterializeVertexDisjoint(
+            live, std::move(assignment), flags.threads);
+    Status st = partition::PartitionIo::Save(live, compact, flags.out_dir);
+    if (st.ok()) {
+      st = rdf::WriteNTriplesFile(live, flags.out_dir + "/graph.nt");
+    }
+    if (!st.ok()) {
+      std::cerr << st.ToString() << "\n";
+      return 1;
+    }
+    std::cout << "written to: " << flags.out_dir << " (+ graph.nt)\n";
+  }
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -367,5 +518,6 @@ int main(int argc, char** argv) {
   if (command == "classify") return CmdClassifyOrQuery(*flags, false);
   if (command == "explain") return CmdExplain(*flags);
   if (command == "query") return CmdClassifyOrQuery(*flags, true);
+  if (command == "update") return CmdUpdate(*flags);
   return Usage();
 }
