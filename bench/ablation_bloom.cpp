@@ -58,6 +58,7 @@ void RunStrategyRow(const std::string& strategy,
 int main(int argc, char** argv) {
   using namespace mpc;
   const double scale = bench::ScaleFromArgs(argc, argv, 0.5);
+  mpc::bench::ObsScope obs(argc, argv);
   workload::GeneratedDataset d =
       workload::MakeDataset(workload::DatasetId::kWatdiv, scale);
   std::vector<workload::NamedQuery> queries =

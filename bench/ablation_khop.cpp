@@ -38,6 +38,7 @@ void RunDataset(mpc::workload::DatasetId id, double scale) {
 
 int main(int argc, char** argv) {
   const double scale = mpc::bench::ScaleFromArgs(argc, argv, 0.5);
+  mpc::bench::ObsScope obs(argc, argv);
   std::cout << "=== Ablation: space cost of h-hop replication (k=8, "
                "scale "
             << scale << ") ===\n";

@@ -35,7 +35,8 @@ mpc::rdf::RdfGraph CommunityGraph(size_t vertices, size_t edges,
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  mpc::bench::ObsScope obs(argc, argv);
   using namespace mpc;
   std::cout << "=== Ablation: MPC vs label density (property-graph "
                "conjecture) ===\n"

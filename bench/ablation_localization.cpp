@@ -59,6 +59,7 @@ void RunDataset(mpc::workload::DatasetId id, double scale) {
 
 int main(int argc, char** argv) {
   const double scale = mpc::bench::ScaleFromArgs(argc, argv, 0.5);
+  mpc::bench::ObsScope obs(argc, argv);
   std::cout << "=== Ablation: site localization under MPC (k=8, scale "
             << scale << ") ===\n";
   mpc::bench::LeftCell("Dataset", 10);

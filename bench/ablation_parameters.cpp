@@ -8,6 +8,7 @@
 int main(int argc, char** argv) {
   using namespace mpc;
   const double scale = bench::ScaleFromArgs(argc, argv);
+  bench::ObsScope obs(argc, argv);
   workload::GeneratedDataset d =
       workload::MakeDataset(workload::DatasetId::kWatdiv, scale);
   std::cout << "=== Ablation: epsilon and k sweeps on WatDiv (scale "

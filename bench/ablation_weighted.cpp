@@ -40,7 +40,8 @@ rdf::RdfGraph ContentionGraph() {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  mpc::bench::ObsScope obs(argc, argv);
   rdf::RdfGraph graph = ContentionGraph();
   // |V| = 640; k=10, eps=0 -> cap 64: one 6-community band fits, the
   // 9-community union of both bands does not.

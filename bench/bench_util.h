@@ -11,6 +11,8 @@
 
 #include "common/string_util.h"
 #include "common/timer.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "exec/cluster.h"
 #include "exec/distributed_executor.h"
 #include "exec/query_classifier.h"
@@ -140,15 +142,72 @@ inline void LeftCell(const std::string& text, int width) {
   std::cout << std::left << std::setw(width) << text;
 }
 
-/// Scale factor from argv[1] (default 1.0) so every bench can be run
-/// smaller/larger: `./table2_partition_quality 0.25`.
+/// Scale factor from the first non-flag argument (default 1.0) so every
+/// bench can be run smaller/larger: `./table2_partition_quality 0.25`.
+/// Flag-style arguments ("--trace-out=...") are skipped, so the scale
+/// and the observability flags compose in any order.
 inline double ScaleFromArgs(int argc, char** argv, double fallback = 1.0) {
-  if (argc > 1) {
-    double value = std::atof(argv[1]);
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind("--", 0) == 0) continue;
+    double value = std::atof(arg.c_str());
     if (value > 0) return value;
   }
   return fallback;
 }
+
+/// Honors the CLI's observability flags in any bench binary:
+///
+///   ./table2_partition_quality 0.25 --trace-out=t.json --trace-summary
+///
+/// Construct once at the top of main(); tracing starts immediately when
+/// any flag asks for it and the exports are written when the scope is
+/// destroyed. Unknown flags are left alone (the bench may have its own).
+class ObsScope {
+ public:
+  ObsScope(int argc, char** argv) {
+    for (int i = 1; i < argc; ++i) {
+      const std::string arg = argv[i];
+      if (arg.rfind("--trace-out=", 0) == 0) {
+        trace_out_ = arg.substr(12);
+      } else if (arg.rfind("--metrics-out=", 0) == 0) {
+        metrics_out_ = arg.substr(14);
+      } else if (arg == "--trace-summary") {
+        trace_summary_ = true;
+      }
+    }
+    if (!trace_out_.empty() || trace_summary_) obs::StartTracing();
+  }
+
+  ~ObsScope() {
+    obs::StopTracing();
+    if (!trace_out_.empty()) {
+      Status st = obs::WriteTrace(trace_out_);
+      if (st.ok()) {
+        std::cerr << "trace written to: " << trace_out_ << "\n";
+      } else {
+        std::cerr << st.ToString() << "\n";
+      }
+    }
+    if (trace_summary_) std::cout << obs::TraceToTextTree();
+    if (!metrics_out_.empty()) {
+      Status st = obs::MetricsRegistry::Default().WriteJson(metrics_out_);
+      if (st.ok()) {
+        std::cerr << "metrics written to: " << metrics_out_ << "\n";
+      } else {
+        std::cerr << st.ToString() << "\n";
+      }
+    }
+  }
+
+  ObsScope(const ObsScope&) = delete;
+  ObsScope& operator=(const ObsScope&) = delete;
+
+ private:
+  std::string trace_out_;
+  std::string metrics_out_;
+  bool trace_summary_ = false;
+};
 
 }  // namespace mpc::bench
 

@@ -148,6 +148,7 @@ void RunPolicy(const std::string& label,
 int main(int argc, char** argv) {
   using namespace mpc;
   const double scale = bench::ScaleFromArgs(argc, argv);
+  bench::ObsScope obs(argc, argv);
 
   workload::LubmOptions lubm;
   lubm.num_universities =

@@ -78,6 +78,7 @@ Retention RunRotations(StrategyRun& run, const rdf::RdfGraph& graph,
 
 int main(int argc, char** argv) {
   const double scale = bench::ScaleFromArgs(argc, argv);
+  bench::ObsScope obs(argc, argv);
   std::cout << "=== Fault tolerance: best-effort completeness under "
                "crashed sites (k="
             << bench::kSites << ", scale " << scale

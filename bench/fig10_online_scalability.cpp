@@ -7,6 +7,7 @@
 int main(int argc, char** argv) {
   using namespace mpc;
   const double base = bench::ScaleFromArgs(argc, argv, 0.25);
+  mpc::bench::ObsScope obs(argc, argv);
   const std::vector<double> scales = {base, base * 2, base * 4, base * 8};
 
   std::cout << "=== Fig. 10: Scalability of Online Performance (MPC, "

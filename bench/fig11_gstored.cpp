@@ -53,6 +53,7 @@ void RunDataset(mpc::workload::DatasetId id, double scale,
 
 int main(int argc, char** argv) {
   const double scale = mpc::bench::ScaleFromArgs(argc, argv);
+  mpc::bench::ObsScope obs(argc, argv);
   std::cout << "=== Fig. 11: Partitioning-agnostic (gStoreD) Experiments "
                "(k=8, scale "
             << scale << ") ===\n";

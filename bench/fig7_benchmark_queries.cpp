@@ -49,6 +49,7 @@ void RunDataset(mpc::workload::DatasetId id, double scale) {
 
 int main(int argc, char** argv) {
   const double scale = mpc::bench::ScaleFromArgs(argc, argv);
+  mpc::bench::ObsScope obs(argc, argv);
   std::cout << "=== Fig. 7: Online Performance on Benchmark Queries "
                "(k=8, scale "
             << scale << ") ===\n";

@@ -60,6 +60,7 @@ void RunDataset(mpc::workload::DatasetId id, double scale,
 
 int main(int argc, char** argv) {
   const double scale = mpc::bench::ScaleFromArgs(argc, argv, 0.5);
+  mpc::bench::ObsScope obs(argc, argv);
   const size_t log_size = argc > 2 ? std::atoi(argv[2]) : 1000;
   std::cout << "=== Fig. 8: Online Performance over Query Logs (k=8, "
                "scale "

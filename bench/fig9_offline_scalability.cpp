@@ -34,6 +34,7 @@ void RunDataset(mpc::workload::DatasetId id,
 
 int main(int argc, char** argv) {
   const double base = mpc::bench::ScaleFromArgs(argc, argv, 0.25);
+  mpc::bench::ObsScope obs(argc, argv);
   std::vector<double> scales = {base, base * 2, base * 4, base * 8,
                                 base * 16};
   std::cout << "=== Fig. 9: Scalability of Offline Performance (MPC, "

@@ -7,6 +7,7 @@
 int main(int argc, char** argv) {
   using namespace mpc;
   const double scale = bench::ScaleFromArgs(argc, argv);
+  bench::ObsScope obs(argc, argv);
 
   std::cout << "=== Table I: Statistics of Datasets (repro scale " << scale
             << ") ===\n";

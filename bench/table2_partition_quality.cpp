@@ -8,6 +8,7 @@
 int main(int argc, char** argv) {
   using namespace mpc;
   const double scale = bench::ScaleFromArgs(argc, argv);
+  bench::ObsScope obs(argc, argv);
 
   std::cout << "=== Table II: Crossing Properties and Crossing Edges "
                "(k=8, eps=0.1, scale "

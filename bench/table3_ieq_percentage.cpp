@@ -9,6 +9,7 @@
 int main(int argc, char** argv) {
   using namespace mpc;
   const double scale = bench::ScaleFromArgs(argc, argv);
+  bench::ObsScope obs(argc, argv);
   const size_t log_size = argc > 2 ? std::atoi(argv[2]) : 1000;
 
   std::cout << "=== Table III: Percentage of IEQs (k=8, scale " << scale

@@ -47,6 +47,7 @@ void RunDataset(mpc::workload::DatasetId id, double scale) {
 
 int main(int argc, char** argv) {
   const double scale = mpc::bench::ScaleFromArgs(argc, argv);
+  mpc::bench::ObsScope obs(argc, argv);
   std::cout << "=== Table V: Evaluation of Each Stage on YAGO2 and "
                "Bio2RDF under MPC (ms, scale "
             << scale << ") ===\n";

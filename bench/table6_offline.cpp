@@ -23,6 +23,7 @@ std::string StageBreakdown(const mpc::partition::RunStats& stats) {
 int main(int argc, char** argv) {
   using namespace mpc;
   const double scale = bench::ScaleFromArgs(argc, argv);
+  bench::ObsScope obs(argc, argv);
 
   std::cout << "=== Table VI: Partitioning and Loading Time (ms, k=8, "
                "scale "

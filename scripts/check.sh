@@ -8,6 +8,14 @@
 # configurations; it is the one most likely to catch a nondeterministic
 # recovery path.
 #
+# On top of that:
+#  - an observability smoke run drives the CLI with --trace-out /
+#    --metrics-out on `mpc partition` and `mpc update` and validates the
+#    exported JSON (shape + required span/counter names) with
+#    tools/trace_check;
+#  - the tracer and metrics tests run under ThreadSanitizer, since their
+#    whole point is lock-free recording from concurrent pool threads.
+#
 # Usage: scripts/check.sh [jobs]
 set -euo pipefail
 
@@ -26,8 +34,65 @@ run_config() {
   ctest --test-dir "${dir}" --output-on-failure -j "${JOBS}"
 }
 
+# Observability smoke: partition + stream updates with tracing on, then
+# check the trace JSON parses as Chrome trace_event and names the
+# pipeline stages, and the metrics JSON carries the selector/DSF and
+# maintenance counters.
+trace_smoke() {
+  local dir="$1"
+  echo "=== observability smoke: ${dir} ==="
+  local tmp
+  tmp="$(mktemp -d)"
+  trap 'rm -rf "${tmp}"' RETURN
+  cat > "${tmp}/g.nt" <<'EOF'
+<s:a> <p:knows> <s:b> .
+<s:b> <p:knows> <s:c> .
+<s:c> <p:knows> <s:a> .
+<s:a> <p:likes> <s:d> .
+<s:d> <p:likes> <s:e> .
+<s:e> <p:worksAt> <s:f> .
+<s:f> <p:worksAt> <s:g> .
+<s:g> <p:knows> <s:h> .
+<s:h> <p:likes> <s:a> .
+<s:b> <p:worksAt> <s:f> .
+<s:c> <p:likes> <s:e> .
+<s:d> <p:knows> <s:g> .
+EOF
+  cat > "${tmp}/updates.ulog" <<'EOF'
++ <s:z> <p:new> <s:a> .
++ <s:z> <p:new> <s:b> .
+
+- <s:a> <p:likes> <s:d> .
++ <s:y> <p:knows> <s:z> .
+EOF
+  "${dir}/tools/mpc" partition "${tmp}/g.nt" "${tmp}/part" --k=2 \
+    --trace-out="${tmp}/trace.json" --metrics-out="${tmp}/metrics.json"
+  "${dir}/tools/trace_check" trace "${tmp}/trace.json" \
+    rdf.parse partition.run mpc.stage.select mpc.stage.coarsen \
+    mpc.stage.uncoarsen mpc.select.iteration partition.materialize
+  "${dir}/tools/trace_check" metrics "${tmp}/metrics.json" \
+    mpc.selector.iterations mpc.dsf.union_edges partition.runs
+  "${dir}/tools/mpc" update "${tmp}/g.nt" "${tmp}/part" \
+    "${tmp}/updates.ulog" \
+    --trace-out="${tmp}/utrace.json" --metrics-out="${tmp}/umetrics.json"
+  "${dir}/tools/trace_check" trace "${tmp}/utrace.json" dynamic.apply_batch
+  "${dir}/tools/trace_check" metrics "${tmp}/umetrics.json" \
+    dynamic.batches dynamic.inserts dynamic.deletes
+  echo "observability smoke passed"
+}
+
 run_config build
+trace_smoke build
 run_config build-asan -DMPC_SANITIZE=address
 run_config build-ubsan -DMPC_SANITIZE=undefined
 
-echo "All checks passed (default + asan + ubsan)."
+# The obs tests specifically under TSan: concurrent span recording and
+# counter updates are the code most at risk of a data race.
+echo "=== configure+build: build-tsan (-DMPC_SANITIZE=thread) ==="
+cmake -B build-tsan -S . -DMPC_SANITIZE=thread >/dev/null
+cmake --build build-tsan -j "${JOBS}" --target obs_trace_test obs_metrics_test
+echo "=== tracer/metrics tests under tsan ==="
+./build-tsan/tests/obs_trace_test
+./build-tsan/tests/obs_metrics_test
+
+echo "All checks passed (default + asan + ubsan + obs smoke + tsan obs)."

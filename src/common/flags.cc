@@ -32,8 +32,9 @@ Status ParseNumber(const std::string& name, const std::string& value,
 }  // namespace
 
 void FlagParser::Add(std::string name,
-                     std::function<Status(const std::string&)> apply) {
-  flags_.push_back(Flag{std::move(name), std::move(apply)});
+                     std::function<Status(const std::string&)> apply,
+                     bool valueless) {
+  flags_.push_back(Flag{std::move(name), std::move(apply), valueless});
 }
 
 void FlagParser::AddString(const std::string& name, std::string* out) {
@@ -41,6 +42,24 @@ void FlagParser::AddString(const std::string& name, std::string* out) {
     *out = value;
     return Status::Ok();
   });
+}
+
+void FlagParser::AddBool(const std::string& name, bool* out) {
+  Add(
+      name,
+      [name, out](const std::string& value) {
+        if (value == "true" || value == "1") {
+          *out = true;
+        } else if (value == "false" || value == "0") {
+          *out = false;
+        } else {
+          return Status::InvalidArgument("--" + name +
+                                         " needs true or false, got '" +
+                                         value + "'");
+        }
+        return Status::Ok();
+      },
+      /*valueless=*/true);
 }
 
 void FlagParser::AddUint32(const std::string& name, uint32_t* out) {
@@ -142,16 +161,18 @@ Result<std::vector<std::string>> FlagParser::Parse(int argc, char** argv,
       continue;
     }
     const size_t eq = arg.find('=');
-    if (eq == std::string::npos) {
-      return Status::InvalidArgument("flag needs a value: " + arg);
-    }
-    const std::string key = arg.substr(2, eq - 2);
-    const std::string value = arg.substr(eq + 1);
+    const std::string key =
+        eq == std::string::npos ? arg.substr(2) : arg.substr(2, eq - 2);
     auto it = std::find_if(flags_.begin(), flags_.end(),
                            [&](const Flag& f) { return f.name == key; });
     if (it == flags_.end()) {
       return Status::InvalidArgument("unknown flag --" + key);
     }
+    if (eq == std::string::npos && !it->valueless) {
+      return Status::InvalidArgument("flag needs a value: " + arg);
+    }
+    const std::string value =
+        eq == std::string::npos ? "true" : arg.substr(eq + 1);
     Status st = it->apply(value);
     if (!st.ok()) return st;
   }

@@ -18,6 +18,9 @@ namespace mpc {
 class FlagParser {
  public:
   void AddString(const std::string& name, std::string* out);
+  /// Switch flag: bare "--name" sets true; "--name=true|false" also
+  /// accepted. The only flag kind usable without '='.
+  void AddBool(const std::string& name, bool* out);
   void AddUint32(const std::string& name, uint32_t* out);
   void AddUint64(const std::string& name, uint64_t* out);
   void AddInt(const std::string& name, int* out);
@@ -37,9 +40,12 @@ class FlagParser {
   struct Flag {
     std::string name;
     std::function<Status(const std::string& value)> apply;
+    /// True for AddBool flags: "--name" alone is legal (value "true").
+    bool valueless = false;
   };
   void Add(std::string name,
-           std::function<Status(const std::string&)> apply);
+           std::function<Status(const std::string&)> apply,
+           bool valueless = false);
 
   std::vector<Flag> flags_;
 };

@@ -1,12 +1,14 @@
 #include "common/logging.h"
 
 #include <atomic>
+#include <deque>
 #include <mutex>
 
 namespace mpc {
 
 namespace {
 std::atomic<LogLevel> g_level{LogLevel::kInfo};
+std::atomic<LogSpanIdProvider> g_span_provider{nullptr};
 
 /// Serializes sink writes so each message reaches stderr as one
 /// uninterleaved unit even when pool workers log concurrently.
@@ -14,6 +16,23 @@ std::mutex& SinkMutex() {
   static std::mutex mutex;
   return mutex;
 }
+
+/// Default destination: one locked write straight to stderr.
+class StderrSink : public LogSink {
+ public:
+  void Write(LogLevel /*level*/, std::string_view line) override {
+    std::lock_guard<std::mutex> lock(SinkMutex());
+    std::cerr.write(line.data(), static_cast<std::streamsize>(line.size()));
+    std::cerr.flush();
+  }
+};
+
+StderrSink& DefaultSink() {
+  static StderrSink sink;
+  return sink;
+}
+
+std::atomic<LogSink*> g_sink{nullptr};  // nullptr = DefaultSink()
 
 const char* LevelName(LogLevel level) {
   switch (level) {
@@ -35,16 +54,70 @@ void SetLogLevel(LogLevel level) {
   g_level.store(level, std::memory_order_relaxed);
 }
 
+LogSink* SetLogSink(LogSink* sink) {
+  return g_sink.exchange(sink, std::memory_order_acq_rel);
+}
+
+void SetLogSpanIdProvider(LogSpanIdProvider provider) {
+  g_span_provider.store(provider, std::memory_order_release);
+}
+
+struct CaptureLogSink::Impl {
+  mutable std::mutex mutex;
+  std::deque<std::string> lines;
+  size_t capacity = 1024;
+  size_t dropped = 0;
+};
+
+CaptureLogSink::CaptureLogSink(size_t capacity) : impl_(new Impl) {
+  impl_->capacity = capacity == 0 ? 1 : capacity;
+}
+
+CaptureLogSink::~CaptureLogSink() { delete impl_; }
+
+void CaptureLogSink::Write(LogLevel /*level*/, std::string_view line) {
+  std::lock_guard<std::mutex> lock(impl_->mutex);
+  impl_->lines.emplace_back(line);
+  while (impl_->lines.size() > impl_->capacity) {
+    impl_->lines.pop_front();
+    ++impl_->dropped;
+  }
+}
+
+std::vector<std::string> CaptureLogSink::Lines() const {
+  std::lock_guard<std::mutex> lock(impl_->mutex);
+  return {impl_->lines.begin(), impl_->lines.end()};
+}
+
+size_t CaptureLogSink::dropped() const {
+  std::lock_guard<std::mutex> lock(impl_->mutex);
+  return impl_->dropped;
+}
+
+void CaptureLogSink::Clear() {
+  std::lock_guard<std::mutex> lock(impl_->mutex);
+  impl_->lines.clear();
+  impl_->dropped = 0;
+}
+
 namespace internal {
 
 LogMessage::LogMessage(LogLevel level, const char* file, int line)
-    : enabled_(level >= g_level.load(std::memory_order_relaxed)) {
+    : enabled_(level >= g_level.load(std::memory_order_relaxed)),
+      level_(level) {
   if (enabled_) {
     const char* base = file;
     for (const char* p = file; *p; ++p) {
       if (*p == '/') base = p + 1;
     }
-    stream_ << "[" << LevelName(level) << " " << base << ":" << line << "] ";
+    stream_ << "[" << LevelName(level) << " " << base << ":" << line;
+    // Correlate with the active trace span when the tracer installed its
+    // provider (StartTracing); a plain run pays one relaxed load.
+    if (LogSpanIdProvider provider =
+            g_span_provider.load(std::memory_order_acquire)) {
+      if (const uint64_t span = provider()) stream_ << " span=" << span;
+    }
+    stream_ << "] ";
   }
 }
 
@@ -52,9 +125,9 @@ LogMessage::~LogMessage() {
   if (!enabled_) return;
   stream_ << '\n';
   const std::string line = stream_.str();
-  std::lock_guard<std::mutex> lock(SinkMutex());
-  std::cerr.write(line.data(), static_cast<std::streamsize>(line.size()));
-  std::cerr.flush();
+  LogSink* sink = g_sink.load(std::memory_order_acquire);
+  if (sink == nullptr) sink = &DefaultSink();
+  sink->Write(level_, line);
 }
 
 }  // namespace internal

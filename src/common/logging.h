@@ -1,9 +1,12 @@
 #ifndef MPC_COMMON_LOGGING_H_
 #define MPC_COMMON_LOGGING_H_
 
+#include <cstdint>
 #include <iostream>
 #include <sstream>
 #include <string>
+#include <string_view>
+#include <vector>
 
 namespace mpc {
 
@@ -13,6 +16,45 @@ enum class LogLevel { kDebug = 0, kInfo = 1, kWarning = 2, kError = 3 };
 /// this to kWarning so timed regions are not polluted by I/O.
 LogLevel GetLogLevel();
 void SetLogLevel(LogLevel level);
+
+/// Destination for finished log lines. Write() receives one complete
+/// line (trailing '\n' included) and must be safe to call from any
+/// thread — sinks do their own serialization.
+class LogSink {
+ public:
+  virtual ~LogSink() = default;
+  virtual void Write(LogLevel level, std::string_view line) = 0;
+};
+
+/// Swaps the active sink; nullptr restores the default stderr sink.
+/// Returns the previous sink (nullptr when the default was active). The
+/// caller keeps ownership of the installed sink and must keep it alive
+/// until a subsequent SetLogSink replaces it.
+LogSink* SetLogSink(LogSink* sink);
+
+/// Bounded in-memory sink for tests: keeps the newest `capacity` lines.
+class CaptureLogSink : public LogSink {
+ public:
+  explicit CaptureLogSink(size_t capacity = 1024);
+  ~CaptureLogSink() override;
+
+  void Write(LogLevel level, std::string_view line) override;
+
+  /// Snapshot of the retained lines, oldest first.
+  std::vector<std::string> Lines() const;
+  size_t dropped() const;
+  void Clear();
+
+ private:
+  struct Impl;
+  Impl* impl_;
+};
+
+/// Hook the tracer installs so each log line can carry the active span
+/// id ("span=42" in the header) while tracing is on. Returns the span id
+/// of the calling thread, 0 for none; nullptr uninstalls.
+using LogSpanIdProvider = uint64_t (*)();
+void SetLogSpanIdProvider(LogSpanIdProvider provider);
 
 namespace internal {
 
@@ -32,6 +74,7 @@ class LogMessage {
 
  private:
   bool enabled_;
+  LogLevel level_;
   std::ostringstream stream_;
 };
 

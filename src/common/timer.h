@@ -8,31 +8,47 @@ namespace mpc {
 
 /// Wall-clock stopwatch used for the per-stage timings (QDT/LET/JT) that
 /// the paper reports in Tables IV-V and the offline timings of Table VI.
+/// The clock and its raw time points are exposed (Now(), *Between()) so
+/// other timing consumers — the obs tracer, the benches — share this one
+/// monotonic clock instead of re-plumbing std::chrono.
 class Timer {
  public:
+  using Clock = std::chrono::steady_clock;
+
   Timer() : start_(Clock::now()) {}
+
+  /// The monotonic clock every timing in this codebase is measured on.
+  static Clock::time_point Now() { return Clock::now(); }
+
+  /// Elapsed time between two time points, in the given unit. All the
+  /// duration math in one place — Elapsed*() and the tracer both call
+  /// these instead of repeating the std::chrono::duration casts.
+  static double MillisBetween(Clock::time_point from, Clock::time_point to) {
+    return std::chrono::duration<double, std::milli>(to - from).count();
+  }
+  static double MicrosBetween(Clock::time_point from, Clock::time_point to) {
+    return std::chrono::duration<double, std::micro>(to - from).count();
+  }
+  static double SecondsBetween(Clock::time_point from,
+                               Clock::time_point to) {
+    return std::chrono::duration<double>(to - from).count();
+  }
 
   void Reset() { start_ = Clock::now(); }
 
+  /// The instant of construction or the last Reset().
+  Clock::time_point start() const { return start_; }
+
   /// Elapsed time since construction or the last Reset(), in milliseconds.
-  double ElapsedMillis() const {
-    return std::chrono::duration<double, std::milli>(Clock::now() - start_)
-        .count();
-  }
+  double ElapsedMillis() const { return MillisBetween(start_, Now()); }
 
   /// Elapsed time in microseconds.
-  double ElapsedMicros() const {
-    return std::chrono::duration<double, std::micro>(Clock::now() - start_)
-        .count();
-  }
+  double ElapsedMicros() const { return MicrosBetween(start_, Now()); }
 
   /// Elapsed time in seconds.
-  double ElapsedSeconds() const {
-    return std::chrono::duration<double>(Clock::now() - start_).count();
-  }
+  double ElapsedSeconds() const { return SecondsBetween(start_, Now()); }
 
  private:
-  using Clock = std::chrono::steady_clock;
   Clock::time_point start_;
 };
 

@@ -4,6 +4,9 @@
 #include <cassert>
 #include <utility>
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
 namespace mpc::dynamic {
 
 namespace {
@@ -196,6 +199,9 @@ int IncrementalMaintainer::ApplyUpdate(const TripleUpdate& update) {
 }
 
 ApplyResult IncrementalMaintainer::ApplyBatch(const UpdateBatch& batch) {
+  obs::TraceSpan batch_span("dynamic.apply_batch");
+  batch_span.Attr("updates", static_cast<uint64_t>(batch.updates.size()));
+
   // Opportunistically integrate a finished background repartition before
   // applying, so the batch lands on the freshest state.
   if (repartition_running_ &&
@@ -225,6 +231,7 @@ ApplyResult IncrementalMaintainer::ApplyBatch(const UpdateBatch& batch) {
     if (!reason.empty()) {
       result.repartition_triggered = true;
       result.trigger_reason = std::move(reason);
+      batch_span.Attr("trigger", result.trigger_reason);
       if (options_.background_repartition) {
         StartBackgroundRepartition();
       } else {
@@ -235,6 +242,30 @@ ApplyResult IncrementalMaintainer::ApplyBatch(const UpdateBatch& batch) {
     }
   }
   result.drift = metrics;
+  batch_span.Attr("inserts", static_cast<uint64_t>(result.inserts))
+      .Attr("deletes", static_cast<uint64_t>(result.deletes))
+      .Attr("noops", static_cast<uint64_t>(result.noops));
+
+  // Publish the drift snapshot (and queue depth) as gauges so a metrics
+  // dump mid-stream shows where the live partitioning stands.
+  auto& m = obs::MetricsRegistry::Default();
+  m.CounterRef("dynamic.batches").Inc();
+  m.CounterRef("dynamic.inserts").Inc(result.inserts);
+  m.CounterRef("dynamic.deletes").Inc(result.deletes);
+  m.CounterRef("dynamic.noops").Inc(result.noops);
+  m.GaugeRef("dynamic.replay_queue_depth")
+      .Set(static_cast<double>(replay_.size()));
+  m.GaugeRef("dynamic.drift.live_triples")
+      .Set(static_cast<double>(metrics.live_triples));
+  m.GaugeRef("dynamic.drift.crossing_edges")
+      .Set(static_cast<double>(metrics.crossing_edges));
+  m.GaugeRef("dynamic.drift.crossing_properties")
+      .Set(static_cast<double>(metrics.crossing_properties));
+  m.GaugeRef("dynamic.drift.lcross_growth").Set(metrics.lcross_growth);
+  m.GaugeRef("dynamic.drift.balance_ratio").Set(metrics.balance_ratio);
+  m.GaugeRef("dynamic.drift.tombstone_ratio").Set(metrics.tombstone_ratio);
+  m.GaugeRef("dynamic.drift.replication_ratio")
+      .Set(metrics.replication_ratio);
   return result;
 }
 
@@ -298,6 +329,8 @@ Result<store::BindingTable> IncrementalMaintainer::ExecuteText(
 }
 
 void IncrementalMaintainer::RepartitionNow() {
+  MPC_TRACE_SPAN("dynamic.repartition");
+  obs::MetricsRegistry::Default().CounterRef("dynamic.repartitions").Inc();
   WaitForRepartition();  // fold in any in-flight job first
   rdf::RdfGraph fresh = MaterializeGraph();
   core::MpcOptions mpc = options_.mpc;
@@ -317,8 +350,10 @@ void IncrementalMaintainer::StartBackgroundRepartition() {
   core::MpcOptions mpc = options_.mpc;
   mpc.base.k = partitioning_.k();
   mpc.base.num_threads = options_.num_threads;
+  obs::MetricsRegistry::Default().CounterRef("dynamic.repartitions").Inc();
   repartition_thread_ =
       std::thread([this, mpc, fresh = std::move(fresh)]() mutable {
+        MPC_TRACE_SPAN("dynamic.repartition.background");
         pending_partitioning_ = core::MpcPartitioner(mpc).Partition(fresh);
         pending_graph_ = std::move(fresh);
         pending_ready_.store(true, std::memory_order_release);
@@ -326,6 +361,7 @@ void IncrementalMaintainer::StartBackgroundRepartition() {
 }
 
 void IncrementalMaintainer::IntegrateBackgroundRepartition() {
+  MPC_TRACE_SPAN("dynamic.repartition.integrate");
   repartition_thread_.join();  // also synchronizes pending_*
   repartition_running_ = false;
   std::vector<UpdateBatch> replay = std::move(replay_);

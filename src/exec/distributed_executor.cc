@@ -5,7 +5,10 @@
 #include "common/thread_pool.h"
 #include "common/timer.h"
 #include "exec/bloom_filter.h"
+#include "exec/fault_model.h"
 #include "exec/join.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "sparql/parser.h"
 
 namespace mpc::exec {
@@ -52,10 +55,22 @@ FaultOutcome ResolveSiteAttempts(const FaultModel& faults,
     out.evaluate = false;
     out.failure = StatusCode::kUnavailable;
     out.wait_ms = net.FailureDetectMillis();
+    obs::TraceSpan span("exec.rpc.attempt");
+    span.Attr("site", site)
+        .Attr("subquery", static_cast<uint64_t>(step))
+        .Attr("attempt", 0)
+        .Attr("fault", "crash")
+        .Attr("sim_wait_ms", out.wait_ms);
     return out;
   }
   for (int attempt = 0; attempt <= net.max_retries; ++attempt) {
-    switch (faults.Sample(site, step, attempt)) {
+    obs::TraceSpan span("exec.rpc.attempt");
+    const FaultKind kind = faults.Sample(site, step, attempt);
+    span.Attr("site", site)
+        .Attr("subquery", static_cast<uint64_t>(step))
+        .Attr("attempt", attempt)
+        .Attr("fault", FaultKindName(kind));
+    switch (kind) {
       case FaultKind::kNone:
         return out;
       case FaultKind::kCrash:
@@ -65,9 +80,11 @@ FaultOutcome ResolveSiteAttempts(const FaultModel& faults,
         out.evaluate = false;
         out.failure = StatusCode::kUnavailable;
         out.wait_ms += net.FailureDetectMillis();
+        span.Attr("sim_wait_ms", net.FailureDetectMillis());
         return out;
       case FaultKind::kTransient:
         out.wait_ms += net.BackoffMillis(attempt);
+        span.Attr("sim_wait_ms", net.BackoffMillis(attempt));
         if (attempt == net.max_retries) {
           out.evaluate = false;
           out.failure = StatusCode::kUnavailable;
@@ -80,11 +97,13 @@ FaultOutcome ResolveSiteAttempts(const FaultModel& faults,
           // No deadline configured: the slow answer is accepted and its
           // latency multiplier charged to the simulated clock.
           out.slowdown = faults.options().slowdown_factor;
+          span.Attr("slowdown", out.slowdown);
           return out;
         }
         // The slow attempt misses the per-site deadline; we waited the
         // full timeout for nothing.
         out.wait_ms += net.site_timeout_ms;
+        span.Attr("sim_wait_ms", net.site_timeout_ms);
         if (attempt == net.max_retries) {
           out.evaluate = false;
           out.failure = StatusCode::kDeadlineExceeded;
@@ -135,6 +154,21 @@ size_t CountReplicaServedRows(const BindingTable& table,
   return hits;
 }
 
+/// One registry update per query so ParallelFor site scans never touch
+/// the registry mutex; the counters mirror ExecutionStats exactly (the
+/// obs regression test in tests/obs_metrics_test.cc relies on this).
+void FlushExecutionMetrics(const ExecutionStats& stats) {
+  auto& metrics = obs::MetricsRegistry::Default();
+  metrics.CounterRef("exec.queries").Inc();
+  metrics.CounterRef("exec.retries").Inc(stats.retries);
+  metrics.CounterRef("exec.sites_failed").Inc(stats.sites_failed);
+  metrics.CounterRef("exec.sites_evaluated").Inc(stats.sites_evaluated);
+  metrics.CounterRef("exec.sites_pruned").Inc(stats.sites_pruned);
+  metrics.CounterRef("exec.failover_hits").Inc(stats.failover_hits);
+  metrics.CounterRef("exec.rows_returned").Inc(stats.num_results);
+  metrics.HistogramRef("exec.total_ms").Observe(stats.total_millis);
+}
+
 }  // namespace
 
 DistributedExecutor::DistributedExecutor(const Cluster& cluster,
@@ -148,11 +182,23 @@ DistributedExecutor::DistributedExecutor(const Cluster& cluster,
 Result<BindingTable> DistributedExecutor::Execute(
     const sparql::QueryGraph& query, ExecutionStats* stats) const {
   *stats = ExecutionStats{};
-  if (cluster_.partitioning().kind() ==
-      partition::PartitioningKind::kEdgeDisjoint) {
-    return ExecuteVp(query, stats);
-  }
-  return ExecuteVertexDisjoint(query, stats);
+  const bool vp = cluster_.partitioning().kind() ==
+                  partition::PartitioningKind::kEdgeDisjoint;
+  obs::TraceSpan span("exec.query");
+  span.Attr("kind", vp ? "vp" : "vertex_disjoint")
+      .Attr("patterns", static_cast<uint64_t>(query.num_patterns()));
+  Result<BindingTable> result =
+      vp ? ExecuteVp(query, stats) : ExecuteVertexDisjoint(query, stats);
+  span.Attr("subqueries", static_cast<uint64_t>(stats->num_subqueries))
+      .Attr("sites_evaluated", static_cast<uint64_t>(stats->sites_evaluated))
+      .Attr("sites_pruned", static_cast<uint64_t>(stats->sites_pruned))
+      .Attr("sites_failed", static_cast<uint64_t>(stats->sites_failed))
+      .Attr("retries", static_cast<uint64_t>(stats->retries))
+      .Attr("rows", static_cast<uint64_t>(stats->num_results))
+      .Attr("sim_total_ms", stats->total_millis)
+      .Attr("ok", result.ok() ? 1 : 0);
+  FlushExecutionMetrics(*stats);
+  return result;
 }
 
 Result<BindingTable> DistributedExecutor::ExecuteText(
@@ -167,24 +213,30 @@ Result<BindingTable> DistributedExecutor::ExecuteVertexDisjoint(
   const int threads = ResolveNumThreads(options_.num_threads);
   // --- QDT: classify, decompose, resolve, dispatch. ---
   Timer timer;
-  Classification cls =
-      ClassifyQuery(query, cluster_.partitioning(), graph_);
-  stats->cls = cls.cls;
-  stats->independent = cls.independently_executable();
-
   Decomposition decomposition;
-  if (stats->independent) {
-    // One subquery holding every pattern; union-only execution.
-    decomposition.subqueries.emplace_back();
-    for (size_t i = 0; i < query.num_patterns(); ++i) {
-      decomposition.subqueries.back().push_back(i);
-    }
-  } else {
-    decomposition = DecomposeQuery(query, cls.crossing_pattern);
-  }
-  stats->num_subqueries = decomposition.num_subqueries();
+  ResolvedQuery resolved;
+  {
+    obs::TraceSpan qdt_span("exec.decompose");
+    Classification cls =
+        ClassifyQuery(query, cluster_.partitioning(), graph_);
+    stats->cls = cls.cls;
+    stats->independent = cls.independently_executable();
 
-  ResolvedQuery resolved = store::ResolveQuery(query, graph_);
+    if (stats->independent) {
+      // One subquery holding every pattern; union-only execution.
+      decomposition.subqueries.emplace_back();
+      for (size_t i = 0; i < query.num_patterns(); ++i) {
+        decomposition.subqueries.back().push_back(i);
+      }
+    } else {
+      decomposition = DecomposeQuery(query, cls.crossing_pattern);
+    }
+    stats->num_subqueries = decomposition.num_subqueries();
+
+    resolved = store::ResolveQuery(query, graph_);
+    qdt_span.Attr("subqueries",
+                  static_cast<uint64_t>(decomposition.num_subqueries()));
+  }
   const double classify_millis = timer.ElapsedMillis();
 
   // --- LET: each subquery on each site; sites run in parallel, so a
@@ -250,6 +302,8 @@ Result<BindingTable> DistributedExecutor::ExecuteVertexDisjoint(
   subquery_results.resize(decomposition.num_subqueries());
   size_t step = 0;  // execution sequence number, for the fault schedule
   for (size_t subquery_index : order) {
+    obs::TraceSpan subquery_span("exec.subquery");
+    subquery_span.Attr("subquery", static_cast<uint64_t>(subquery_index));
     const std::vector<size_t>& sub =
         decomposition.subqueries[subquery_index];
     for (uint32_t v : subquery_vars(sub)) --remaining_uses[v];
@@ -315,6 +369,7 @@ Result<BindingTable> DistributedExecutor::ExecuteVertexDisjoint(
     };
     std::vector<SiteEval> evals(planned.size());
     ParallelFor(0, planned.size(), 1, threads, [&](size_t s) {
+      obs::TraceSpan site_span("exec.site.eval");
       Timer site_timer;
       BindingTable local = BgpMatcher::Evaluate(
           cluster_.site(planned[s].site), resolved, sub, matcher_options);
@@ -346,6 +401,11 @@ Result<BindingTable> DistributedExecutor::ExecuteVertexDisjoint(
       // backoff and blown deadlines are charged on top.
       evals[s].millis = site_timer.ElapsedMillis() * planned[s].slowdown +
                         planned[s].wait_ms;
+      site_span.Attr("site", planned[s].site)
+          .Attr("subquery", static_cast<uint64_t>(subquery_index))
+          .Attr("rows", static_cast<uint64_t>(local.rows.size()))
+          .Attr("wall_ms", site_timer.ElapsedMillis())
+          .Attr("sim_ms", evals[s].millis);
       evals[s].table = std::move(local);
     });
 
@@ -410,10 +470,12 @@ Result<BindingTable> DistributedExecutor::ExecuteVertexDisjoint(
   if (stats->independent) {
     final_table = std::move(subquery_results.front());
   } else {
+    obs::TraceSpan join_span("exec.join");
     timer.Reset();
     final_table = JoinAll(std::move(subquery_results));
     final_table.Deduplicate();
     stats->join_millis = timer.ElapsedMillis();
+    join_span.Attr("rows", static_cast<uint64_t>(final_table.num_rows()));
   }
 
   // --- Partial-result accounting (best-effort only; kFail returned
@@ -493,11 +555,17 @@ Result<BindingTable> DistributedExecutor::ExecuteVp(
       final_table.rows.clear();
     } else {
       ++stats->sites_evaluated;
+      obs::TraceSpan site_span("exec.site.eval");
       Timer site_timer;
       final_table = BgpMatcher::EvaluateAll(cluster_.site(home), resolved,
                                             matcher_options);
       stats->local_eval_millis =
           site_timer.ElapsedMillis() * outcome.slowdown + outcome.wait_ms;
+      site_span.Attr("site", home)
+          .Attr("subquery", static_cast<uint64_t>(0))
+          .Attr("rows", static_cast<uint64_t>(final_table.num_rows()))
+          .Attr("wall_ms", site_timer.ElapsedMillis())
+          .Attr("sim_ms", stats->local_eval_millis);
       stats->local_rows = final_table.num_rows();
       stats->shipped_bytes = final_table.ByteSize();
       stats->network_millis =
@@ -566,12 +634,18 @@ Result<BindingTable> DistributedExecutor::ExecuteVp(
       };
       std::vector<SiteEval> evals(planned.size());
       ParallelFor(0, planned.size(), 1, threads, [&](size_t s) {
+        obs::TraceSpan site_span("exec.site.eval");
         Timer site_timer;
         evals[s].table =
             BgpMatcher::Evaluate(cluster_.site(planned[s].site), resolved,
                                  one, matcher_options);
         evals[s].millis = site_timer.ElapsedMillis() * planned[s].slowdown +
                           planned[s].wait_ms;
+        site_span.Attr("site", planned[s].site)
+            .Attr("subquery", static_cast<uint64_t>(i))
+            .Attr("rows", static_cast<uint64_t>(evals[s].table.num_rows()))
+            .Attr("wall_ms", site_timer.ElapsedMillis())
+            .Attr("sim_ms", evals[s].millis);
       });
       for (SiteEval& eval : evals) {
         slowest = std::max(slowest, eval.millis);

@@ -6,6 +6,7 @@
 #include "metis/coarsen.h"
 #include "metis/initial_partition.h"
 #include "metis/refine.h"
+#include "obs/trace.h"
 
 namespace mpc::metis {
 
@@ -23,18 +24,26 @@ std::vector<uint32_t> MultilevelPartitioner::Partition(
   const size_t coarsen_target = std::max<size_t>(
       64, options_.coarsen_target_per_part * options_.k);
 
-  std::vector<CoarseLevel> hierarchy =
-      CoarsenToSize(graph, coarsen_target, rng);
+  std::vector<CoarseLevel> hierarchy;
+  {
+    obs::TraceSpan span("metis.coarsen");
+    hierarchy = CoarsenToSize(graph, coarsen_target, rng);
+    span.Attr("levels", static_cast<uint64_t>(hierarchy.size()));
+  }
 
   const CsrGraph& coarsest =
       hierarchy.empty() ? graph : hierarchy.back().graph;
 
-  std::vector<uint32_t> coarse_part =
-      GreedyGrowPartition(coarsest, options_.k, rng);
-  RefinePartition(coarsest, refine_opts, &coarse_part);
-  EnforceBalance(coarsest, refine_opts, &coarse_part);
+  std::vector<uint32_t> coarse_part;
+  {
+    MPC_TRACE_SPAN("metis.initial_partition");
+    coarse_part = GreedyGrowPartition(coarsest, options_.k, rng);
+    RefinePartition(coarsest, refine_opts, &coarse_part);
+    EnforceBalance(coarsest, refine_opts, &coarse_part);
+  }
 
   // Project back up through the hierarchy, refining at every level.
+  MPC_TRACE_SPAN("metis.refine");
   for (size_t level = hierarchy.size(); level-- > 0;) {
     const CsrGraph& fine_graph =
         (level == 0) ? graph : hierarchy[level - 1].graph;

@@ -3,6 +3,8 @@
 #include <cassert>
 
 #include "dsf/disjoint_set_forest.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace mpc::core {
 
@@ -11,10 +13,16 @@ CoarsenedGraph CoarsenByInternalProperties(
   assert(internal_mask.size() == graph.num_properties());
 
   // WCCs of G[L_in] via union-find over the internal-property edges.
+  uint64_t internal_edges = 0;
   dsf::DisjointSetForest forest(graph.num_vertices());
-  for (size_t p = 0; p < internal_mask.size(); ++p) {
-    if (!internal_mask[p]) continue;
-    forest.AddEdges(graph.EdgesWithProperty(static_cast<rdf::PropertyId>(p)));
+  {
+    MPC_TRACE_SPAN("mpc.coarsen.wcc");
+    for (size_t p = 0; p < internal_mask.size(); ++p) {
+      if (!internal_mask[p]) continue;
+      auto edges = graph.EdgesWithProperty(static_cast<rdf::PropertyId>(p));
+      forest.AddEdges(edges);
+      internal_edges += edges.size();
+    }
   }
 
   CoarsenedGraph result;
@@ -28,17 +36,23 @@ CoarsenedGraph CoarsenByInternalProperties(
 
   // Only crossing-candidate (non-internal) property edges survive in G_c.
   std::vector<metis::WeightedEdge> edges;
-  for (size_t p = 0; p < internal_mask.size(); ++p) {
-    if (internal_mask[p]) continue;
-    for (const rdf::Triple& t :
-         graph.EdgesWithProperty(static_cast<rdf::PropertyId>(p))) {
-      uint32_t su = result.vertex_to_super[t.subject];
-      uint32_t sv = result.vertex_to_super[t.object];
-      if (su != sv) edges.push_back({su, sv, 1});
+  {
+    MPC_TRACE_SPAN("mpc.coarsen.build_csr");
+    for (size_t p = 0; p < internal_mask.size(); ++p) {
+      if (internal_mask[p]) continue;
+      for (const rdf::Triple& t :
+           graph.EdgesWithProperty(static_cast<rdf::PropertyId>(p))) {
+        uint32_t su = result.vertex_to_super[t.subject];
+        uint32_t sv = result.vertex_to_super[t.object];
+        if (su != sv) edges.push_back({su, sv, 1});
+      }
     }
+    result.graph = metis::CsrGraph::FromEdges(result.num_supervertices, edges,
+                                              std::move(super_weights));
   }
-  result.graph = metis::CsrGraph::FromEdges(result.num_supervertices, edges,
-                                            std::move(super_weights));
+  auto& metrics = obs::MetricsRegistry::Default();
+  metrics.CounterRef("mpc.dsf.union_edges").Inc(internal_edges);
+  metrics.CounterRef("mpc.coarsen.runs").Inc();
   return result;
 }
 

@@ -4,6 +4,8 @@
 #include "common/timer.h"
 #include "metis/partitioner.h"
 #include "mpc/coarsener.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace mpc::core {
 
@@ -31,19 +33,28 @@ std::unique_ptr<InternalPropertySelector> MpcPartitioner::MakeSelector()
                                         options_.auto_threshold);
 }
 
-partition::Partitioning MpcPartitioner::Partition(
+partition::Partitioning MpcPartitioner::PartitionImpl(
     const rdf::RdfGraph& graph, partition::RunStats* stats) const {
   const int threads = ResolveNumThreads(options_.base.num_threads);
   auto* mpc_stats = dynamic_cast<MpcRunStats*>(stats);
 
   Timer timer;
-  std::unique_ptr<InternalPropertySelector> selector = MakeSelector();
-  SelectionResult selection = selector->Select(graph);
+  SelectionResult selection;
+  {
+    MPC_TRACE_SPAN("mpc.stage.select");
+    std::unique_ptr<InternalPropertySelector> selector = MakeSelector();
+    selection = selector->Select(graph);
+  }
   const double selection_millis = timer.ElapsedMillis();
 
   timer.Reset();
-  CoarsenedGraph coarse =
-      CoarsenByInternalProperties(graph, selection.internal);
+  CoarsenedGraph coarse;
+  {
+    obs::TraceSpan span("mpc.stage.coarsen");
+    coarse = CoarsenByInternalProperties(graph, selection.internal);
+    span.Attr("supervertices",
+              static_cast<uint64_t>(coarse.num_supervertices));
+  }
   const double coarsening_millis = timer.ElapsedMillis();
 
   timer.Reset();
@@ -52,20 +63,33 @@ partition::Partitioning MpcPartitioner::Partition(
   mlp_options.epsilon = options_.base.epsilon;
   mlp_options.seed = options_.base.seed;
   metis::MultilevelPartitioner mlp(mlp_options);
-  std::vector<uint32_t> super_part = mlp.Partition(coarse.graph);
+  std::vector<uint32_t> super_part;
+  {
+    MPC_TRACE_SPAN("mpc.stage.metis");
+    super_part = mlp.Partition(coarse.graph);
+  }
   const double metis_millis = timer.ElapsedMillis();
 
   timer.Reset();
   partition::VertexAssignment assignment;
   assignment.k = options_.base.k;
   assignment.part.resize(graph.num_vertices());
-  // Uncoarsen: every vertex writes only its own slot.
-  ParallelFor(0, graph.num_vertices(), 8192, threads, [&](size_t v) {
-    assignment.part[v] = super_part[coarse.vertex_to_super[v]];
-  });
-  partition::Partitioning result =
-      partition::Partitioning::MaterializeVertexDisjoint(
-          graph, std::move(assignment), threads);
+  {
+    MPC_TRACE_SPAN("mpc.stage.uncoarsen");
+    // Uncoarsen: every vertex writes only its own slot.
+    ParallelFor(0, graph.num_vertices(), 8192, threads, [&](size_t v) {
+      assignment.part[v] = super_part[coarse.vertex_to_super[v]];
+    });
+  }
+  partition::Partitioning result;
+  {
+    MPC_TRACE_SPAN("mpc.stage.materialize");
+    result = partition::Partitioning::MaterializeVertexDisjoint(
+        graph, std::move(assignment), threads);
+  }
+  obs::MetricsRegistry::Default()
+      .GaugeRef("mpc.coarsen.supervertices")
+      .Set(static_cast<double>(coarse.num_supervertices));
   if (stats != nullptr) {
     stats->threads_used = threads;
     stats->AddStage("selection", selection_millis);

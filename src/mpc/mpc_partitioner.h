@@ -71,11 +71,12 @@ class MpcPartitioner : public partition::Partitioner {
                                                           : "MPC";
   }
 
-  partition::Partitioning Partition(
-      const rdf::RdfGraph& graph,
-      partition::RunStats* stats = nullptr) const override;
-
   const MpcOptions& options() const { return options_; }
+
+ protected:
+  partition::Partitioning PartitionImpl(
+      const rdf::RdfGraph& graph,
+      partition::RunStats* stats) const override;
 
  private:
   std::unique_ptr<InternalPropertySelector> MakeSelector() const;

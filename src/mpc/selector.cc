@@ -7,6 +7,8 @@
 
 #include "common/thread_pool.h"
 #include "dsf/disjoint_set_forest.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace mpc::core {
 
@@ -25,6 +27,24 @@ SelectionResult MakeEmptyResult(size_t num_properties) {
   return result;
 }
 
+/// One registry update per Select() call (the registry lookup takes a
+/// mutex, so hot loops accumulate locally and flush here).
+void FlushSelectorMetrics(const SelectionResult& result, size_t num_props,
+                          uint64_t dsf_trial_merges, uint64_t dsf_union_edges) {
+  auto& metrics = obs::MetricsRegistry::Default();
+  metrics.CounterRef("mpc.selector.iterations").Inc(result.iterations);
+  metrics.CounterRef("mpc.selector.pruned_properties")
+      .Inc(result.pruned_properties);
+  metrics.CounterRef("mpc.dsf.trial_merges").Inc(dsf_trial_merges);
+  metrics.CounterRef("mpc.dsf.union_edges").Inc(dsf_union_edges);
+  metrics.GaugeRef("mpc.selector.internal_properties")
+      .Set(static_cast<double>(result.num_internal));
+  metrics.GaugeRef("mpc.selector.crossing_properties")
+      .Set(static_cast<double>(num_props - result.num_internal));
+  metrics.GaugeRef("mpc.selector.final_cost")
+      .Set(static_cast<double>(result.final_cost));
+}
+
 }  // namespace
 
 SelectionResult GreedySelector::Select(const rdf::RdfGraph& graph) const {
@@ -32,6 +52,11 @@ SelectionResult GreedySelector::Select(const rdf::RdfGraph& graph) const {
   const size_t cap = BalanceCap(graph, options_.base.k, options_.base.epsilon);
   const int threads = ResolveNumThreads(options_.base.num_threads);
   SelectionResult result = MakeEmptyResult(num_props);
+  obs::TraceSpan select_span("mpc.select.greedy");
+  select_span.Attr("properties", static_cast<uint64_t>(num_props))
+      .Attr("cap", static_cast<uint64_t>(cap));
+  uint64_t dsf_trial_merges = 0;
+  uint64_t dsf_union_edges = 0;
 
   // Lines 2-4 of Algorithm 1: per-property WCC cost; prune properties
   // that alone exceed the cap (Section IV-E heuristic 1). Each property's
@@ -76,11 +101,16 @@ SelectionResult GreedySelector::Select(const rdf::RdfGraph& graph) const {
   // next cached entry it is the exact argmin.
   dsf::DisjointSetForest base(graph.num_vertices());
   while (!heap.empty()) {
+    obs::TraceSpan iter_span("mpc.select.iteration");
     Candidate top = heap.top();
     heap.pop();
     auto edges = graph.EdgesWithProperty(top.property);
     size_t fresh_cost = dsf::TrialMergeMaxComponent(base, edges);
+    ++dsf_trial_merges;
     ++result.iterations;
+    iter_span.Attr("property", static_cast<uint64_t>(top.property))
+        .Attr("cost", static_cast<uint64_t>(fresh_cost))
+        .Attr("lcross", static_cast<uint64_t>(num_props - result.num_internal));
     if (fresh_cost > cap) continue;  // infeasible now; forever infeasible
     if (!heap.empty()) {
       Candidate next = heap.top();
@@ -92,12 +122,17 @@ SelectionResult GreedySelector::Select(const rdf::RdfGraph& graph) const {
     }
     // Commit p_opt (lines 15-16).
     base.AddEdges(edges);
+    dsf_union_edges += edges.size();
     result.internal[top.property] = true;
     ++result.num_internal;
     result.final_cost = std::max(result.final_cost,
                                  base.max_component_size());
   }
   if (result.num_internal == 0) result.final_cost = 0;
+  select_span.Attr("iterations", static_cast<uint64_t>(result.iterations))
+      .Attr("internal", static_cast<uint64_t>(result.num_internal))
+      .Attr("final_cost", static_cast<uint64_t>(result.final_cost));
+  FlushSelectorMetrics(result, num_props, dsf_trial_merges, dsf_union_edges);
   return result;
 }
 
@@ -106,20 +141,29 @@ SelectionResult BackwardSelector::Select(const rdf::RdfGraph& graph) const {
   const size_t cap = BalanceCap(graph, options_.base.k, options_.base.epsilon);
   const int threads = ResolveNumThreads(options_.base.num_threads);
   SelectionResult result = MakeEmptyResult(num_props);
+  obs::TraceSpan select_span("mpc.select.backward");
+  select_span.Attr("properties", static_cast<uint64_t>(num_props))
+      .Attr("cap", static_cast<uint64_t>(cap));
+  uint64_t dsf_union_edges = 0;
 
   // Start with every property internal (Section IV-E heuristic 2).
   std::vector<bool> selected(num_props, true);
   size_t num_selected = num_props;
 
   while (true) {
+    obs::TraceSpan iter_span("mpc.select.iteration");
+    iter_span.Attr("lcross", static_cast<uint64_t>(num_props - num_selected));
     ++result.iterations;
     // Rebuild the forest over the currently selected properties.
     dsf::DisjointSetForest forest(graph.num_vertices());
     for (size_t p = 0; p < num_props; ++p) {
       if (!selected[p]) continue;
-      forest.AddEdges(graph.EdgesWithProperty(static_cast<rdf::PropertyId>(p)));
+      auto edges = graph.EdgesWithProperty(static_cast<rdf::PropertyId>(p));
+      forest.AddEdges(edges);
+      dsf_union_edges += edges.size();
     }
     const size_t cost = forest.max_component_size();
+    iter_span.Attr("cost", static_cast<uint64_t>(cost));
     if (cost <= cap || num_selected == 0) {
       result.final_cost = num_selected == 0 ? 0 : cost;
       break;
@@ -219,6 +263,11 @@ SelectionResult BackwardSelector::Select(const rdf::RdfGraph& graph) const {
 
   result.internal = std::move(selected);
   result.num_internal = num_selected;
+  select_span.Attr("iterations", static_cast<uint64_t>(result.iterations))
+      .Attr("internal", static_cast<uint64_t>(result.num_internal))
+      .Attr("final_cost", static_cast<uint64_t>(result.final_cost));
+  FlushSelectorMetrics(result, num_props, /*dsf_trial_merges=*/0,
+                       dsf_union_edges);
   return result;
 }
 
@@ -226,6 +275,9 @@ SelectionResult ExactSelector::Select(const rdf::RdfGraph& graph) const {
   const size_t num_props = graph.num_properties();
   const size_t cap = BalanceCap(graph, options_.base.k, options_.base.epsilon);
   const int threads = ResolveNumThreads(options_.base.num_threads);
+  obs::TraceSpan select_span("mpc.select.exact");
+  select_span.Attr("properties", static_cast<uint64_t>(num_props))
+      .Attr("cap", static_cast<uint64_t>(cap));
 
   // Seed the incumbent with the greedy solution: strong bound, and the
   // fallback answer if the node budget runs out.
@@ -295,6 +347,11 @@ SelectionResult ExactSelector::Select(const rdf::RdfGraph& graph) const {
 
   best.iterations = nodes;
   best.optimal = !budget_exhausted;
+  select_span.Attr("nodes", static_cast<uint64_t>(nodes))
+      .Attr("optimal", static_cast<uint64_t>(best.optimal ? 1 : 0));
+  obs::MetricsRegistry::Default()
+      .CounterRef("mpc.selector.exact_nodes")
+      .Inc(nodes);
   // final_cost of the greedy seed may be stale if exact found nothing
   // better; recompute for consistency.
   if (best.num_internal > 0) {

@@ -1,0 +1,111 @@
+#ifndef MPC_OBS_METRICS_H_
+#define MPC_OBS_METRICS_H_
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+namespace mpc::obs {
+
+/// Monotonic counter. Updates are relaxed atomics — safe from any thread
+/// (ParallelFor workers included), with no ordering guarantees beyond
+/// the count itself.
+class Counter {
+ public:
+  void Inc(uint64_t delta = 1) {
+    value_.fetch_add(delta, std::memory_order_relaxed);
+  }
+  uint64_t value() const { return value_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<uint64_t> value_{0};
+};
+
+/// Last-write-wins instantaneous value (replay-queue depth, |L_cross|,
+/// balance ratio, ...).
+class Gauge {
+ public:
+  void Set(double value) { value_.store(value, std::memory_order_relaxed); }
+  double value() const { return value_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<double> value_{0.0};
+};
+
+/// Fixed-bucket histogram. `bounds` are inclusive upper bounds in
+/// ascending order; one overflow bucket is added past the last bound.
+/// Observe() is two relaxed atomic adds — callable from any thread.
+/// Quantiles are estimated by linear interpolation inside the bucket
+/// containing the target rank (the usual Prometheus-style estimate).
+class Histogram {
+ public:
+  explicit Histogram(std::vector<double> bounds);
+
+  void Observe(double value);
+
+  uint64_t count() const { return count_.load(std::memory_order_relaxed); }
+  double sum() const { return sum_.load(std::memory_order_relaxed); }
+  /// Estimated q-quantile (q in [0,1]); 0 when empty. Values in the
+  /// overflow bucket clamp to the last finite bound.
+  double Quantile(double q) const;
+
+  const std::vector<double>& bounds() const { return bounds_; }
+  uint64_t bucket_count(size_t i) const {
+    return buckets_[i].load(std::memory_order_relaxed);
+  }
+  size_t num_buckets() const { return buckets_.size(); }
+
+ private:
+  std::vector<double> bounds_;
+  /// bounds_.size() + 1 slots; the last is the overflow bucket.
+  std::vector<std::atomic<uint64_t>> buckets_;
+  std::atomic<uint64_t> count_{0};
+  std::atomic<double> sum_{0.0};
+};
+
+/// Default exponential bucket bounds for millisecond durations:
+/// 0.01, 0.03, 0.1, ..., 30000.
+std::vector<double> DefaultLatencyBoundsMs();
+
+/// Named metric registry. Creation/lookup takes a mutex (amortize by
+/// looking up once per operation, not per loop index); the returned
+/// references are stable for the registry's lifetime. Export formats:
+/// JSON (one object with counters/gauges/histograms maps) and an aligned
+/// text table.
+class MetricsRegistry {
+ public:
+  /// The process-wide registry every instrumented subsystem reports to.
+  static MetricsRegistry& Default();
+
+  Counter& CounterRef(const std::string& name);
+  Gauge& GaugeRef(const std::string& name);
+  /// `bounds` applies only on first creation (ignored for an existing
+  /// histogram of the same name).
+  Histogram& HistogramRef(const std::string& name,
+                          std::vector<double> bounds = {});
+
+  std::string ToJson() const;
+  std::string ToText() const;
+  Status WriteJson(const std::string& path) const;
+
+  /// Drops every metric. Invalidates previously returned references —
+  /// test isolation only; instrumented code must re-look-up names rather
+  /// than caching references across calls.
+  void ResetForTest();
+
+ private:
+  mutable std::mutex mutex_;
+  std::map<std::string, std::unique_ptr<Counter>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>> gauges_;
+  std::map<std::string, std::unique_ptr<Histogram>> histograms_;
+};
+
+}  // namespace mpc::obs
+
+#endif  // MPC_OBS_METRICS_H_

@@ -1,0 +1,154 @@
+#ifndef MPC_OBS_TRACE_H_
+#define MPC_OBS_TRACE_H_
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/status.h"
+#include "common/timer.h"
+
+namespace mpc::obs {
+
+/// Typed span attribute value (the "args" of a Chrome trace event).
+struct AttrValue {
+  enum class Kind { kInt, kUint, kDouble, kString };
+  Kind kind = Kind::kInt;
+  int64_t i = 0;
+  uint64_t u = 0;
+  double d = 0.0;
+  std::string s;
+
+  static AttrValue Int(int64_t v);
+  static AttrValue Uint(uint64_t v);
+  static AttrValue Double(double v);
+  static AttrValue Str(std::string_view v);
+
+  /// JSON-encoded value ("42", "1.5", "\"greedy\"").
+  std::string ToJson() const;
+};
+
+struct TraceAttr {
+  std::string key;
+  AttrValue value;
+};
+
+/// One completed span. Timestamps are microseconds on the process-wide
+/// monotonic trace clock (Timer::Clock), so events from every thread
+/// share one time axis.
+struct TraceEvent {
+  std::string name;
+  uint64_t span_id = 0;
+  /// Enclosing span on the same thread at the moment this span opened
+  /// (0 = top-level).
+  uint64_t parent_id = 0;
+  /// Dense per-process trace thread index (registration order, not the
+  /// OS tid — stable across runs with the same thread structure).
+  uint32_t tid = 0;
+  uint32_t depth = 0;
+  double start_us = 0.0;
+  double dur_us = 0.0;
+  std::vector<TraceAttr> attrs;
+};
+
+namespace internal {
+extern std::atomic<bool> g_tracing_enabled;
+}  // namespace internal
+
+/// The whole-program tracing switch. When false, a TraceSpan costs one
+/// relaxed atomic load and nothing is recorded.
+inline bool TracingEnabled() {
+  return internal::g_tracing_enabled.load(std::memory_order_relaxed);
+}
+
+/// Enables tracing. Events recorded before this call are discarded, so a
+/// Start/Collect pair brackets exactly one traced region. Also installs
+/// the span-id provider so MPC_LOG lines carry the active span id.
+void StartTracing();
+
+/// Disables tracing (recorded events stay collectable).
+void StopTracing();
+
+/// Id of the innermost open span on this thread (0 = none).
+uint64_t CurrentSpanId();
+
+/// RAII span. Opened (and its id published for nesting/log correlation)
+/// at construction, recorded at destruction. Record-side cost is one
+/// append to a per-thread chunk list — no locks, no contention with
+/// other threads; exporters synchronize on per-chunk release/acquire
+/// counters. Use via MPC_TRACE_SPAN for the common no-attribute case, or
+/// construct directly to attach attributes:
+///
+///   obs::TraceSpan span("mpc.selection");
+///   span.Attr("iterations", result.iterations);
+class TraceSpan {
+ public:
+  explicit TraceSpan(std::string_view name) {
+    if (TracingEnabled()) Begin(name);
+  }
+  ~TraceSpan() {
+    if (active_) End();
+  }
+
+  TraceSpan(const TraceSpan&) = delete;
+  TraceSpan& operator=(const TraceSpan&) = delete;
+
+  TraceSpan& Attr(std::string_view key, int64_t value);
+  TraceSpan& Attr(std::string_view key, uint64_t value);
+  TraceSpan& Attr(std::string_view key, double value);
+  TraceSpan& Attr(std::string_view key, std::string_view value);
+  TraceSpan& Attr(std::string_view key, const char* value) {
+    return Attr(key, std::string_view(value));
+  }
+  TraceSpan& Attr(std::string_view key, int value) {
+    return Attr(key, static_cast<int64_t>(value));
+  }
+  TraceSpan& Attr(std::string_view key, unsigned value) {
+    return Attr(key, static_cast<uint64_t>(value));
+  }
+
+  bool active() const { return active_; }
+
+ private:
+  void Begin(std::string_view name);
+  void End();
+
+  bool active_ = false;
+  uint64_t span_id_ = 0;
+  uint64_t parent_id_ = 0;
+  uint32_t depth_ = 0;
+  Timer::Clock::time_point start_{};
+  std::string name_;
+  std::vector<TraceAttr> attrs_;
+};
+
+/// Snapshot of every event recorded since StartTracing, sorted by
+/// (tid, start_us). Safe to call while other threads still trace; events
+/// being appended concurrently may or may not be included.
+std::vector<TraceEvent> CollectTrace();
+
+/// Chrome trace_event JSON ({"traceEvents":[...]}) — loadable in
+/// chrome://tracing and Perfetto. Span ids and attributes land in each
+/// event's "args".
+std::string TraceToChromeJson();
+
+/// Collapsed per-thread call tree for terminals: siblings with the same
+/// name are merged into one line with a count and total duration.
+std::string TraceToTextTree();
+
+/// Writes TraceToChromeJson() to `path`.
+Status WriteTrace(const std::string& path);
+
+}  // namespace mpc::obs
+
+#define MPC_OBS_CONCAT_INNER_(a, b) a##b
+#define MPC_OBS_CONCAT_(a, b) MPC_OBS_CONCAT_INNER_(a, b)
+
+/// Anonymous RAII scope: MPC_TRACE_SPAN("coarsen"); traces to the end of
+/// the enclosing block.
+#define MPC_TRACE_SPAN(name) \
+  ::mpc::obs::TraceSpan MPC_OBS_CONCAT_(mpc_trace_span_, __LINE__)(name)
+
+#endif  // MPC_OBS_TRACE_H_

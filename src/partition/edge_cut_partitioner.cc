@@ -7,8 +7,8 @@
 
 namespace mpc::partition {
 
-Partitioning EdgeCutPartitioner::Partition(const rdf::RdfGraph& graph,
-                                           RunStats* stats) const {
+Partitioning EdgeCutPartitioner::PartitionImpl(const rdf::RdfGraph& graph,
+                                               RunStats* stats) const {
   const int threads = ResolveNumThreads(options_.num_threads);
   Timer timer;
   metis::CsrGraph structure =

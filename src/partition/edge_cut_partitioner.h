@@ -16,8 +16,9 @@ class EdgeCutPartitioner : public Partitioner {
 
   std::string name() const override { return "METIS"; }
 
-  Partitioning Partition(const rdf::RdfGraph& graph,
-                         RunStats* stats = nullptr) const override;
+ protected:
+  Partitioning PartitionImpl(const rdf::RdfGraph& graph,
+                             RunStats* stats) const override;
 
  private:
   PartitionerOptions options_;

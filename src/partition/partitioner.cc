@@ -1,0 +1,37 @@
+#include "partition/partitioner.h"
+
+#include "common/timer.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
+namespace mpc::partition {
+
+Partitioning Partitioner::Partition(const rdf::RdfGraph& graph,
+                                    RunStats* stats) const {
+  RunStats scratch;
+  RunStats* effective = stats != nullptr ? stats : &scratch;
+  const size_t stages_before = effective->stages.size();
+
+  obs::TraceSpan span("partition.run");
+  span.Attr("strategy", name())
+      .Attr("vertices", static_cast<uint64_t>(graph.num_vertices()))
+      .Attr("triples", static_cast<uint64_t>(graph.num_edges()));
+
+  Timer timer;
+  Partitioning result = PartitionImpl(graph, effective);
+  const double total_millis = timer.ElapsedMillis();
+
+  auto& metrics = obs::MetricsRegistry::Default();
+  metrics.CounterRef("partition.runs").Inc();
+  metrics.HistogramRef("partition.total_ms").Observe(total_millis);
+  for (size_t i = stages_before; i < effective->stages.size(); ++i) {
+    const RunStats::Stage& stage = effective->stages[i];
+    span.Attr("stage." + stage.name + "_ms", stage.millis);
+    metrics.HistogramRef("partition.stage_ms." + stage.name)
+        .Observe(stage.millis);
+  }
+  span.Attr("total_ms", total_millis);
+  return result;
+}
+
+}  // namespace mpc::partition

@@ -67,6 +67,12 @@ struct RunStats {
 /// partitioning. Implementations: MpcPartitioner (the paper's
 /// contribution), SubjectHashPartitioner, EdgeCutPartitioner ("METIS"),
 /// VpPartitioner.
+///
+/// Partition() is a non-virtual template method: it opens the root
+/// "partition.run" trace span, runs the strategy's PartitionImpl(), then
+/// reports the stage timings to the metrics registry — so every
+/// strategy is observable identically, with no per-strategy
+/// instrumentation boilerplate.
 class Partitioner {
  public:
   virtual ~Partitioner() = default;
@@ -77,8 +83,15 @@ class Partitioner {
 
   /// Partitions the graph; when `stats` is non-null the strategy also
   /// reports its stage timings and thread usage through it.
-  virtual Partitioning Partition(const rdf::RdfGraph& graph,
-                                 RunStats* stats = nullptr) const = 0;
+  Partitioning Partition(const rdf::RdfGraph& graph,
+                         RunStats* stats = nullptr) const;
+
+ protected:
+  /// The strategy body. Receives a non-null `stats` (Partition()
+  /// substitutes a scratch one when the caller passed nullptr) and must
+  /// AddStage() its pipeline stages in execution order.
+  virtual Partitioning PartitionImpl(const rdf::RdfGraph& graph,
+                                     RunStats* stats) const = 0;
 };
 
 }  // namespace mpc::partition

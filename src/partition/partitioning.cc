@@ -4,6 +4,8 @@
 #include <cassert>
 
 #include "common/thread_pool.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace mpc::partition {
 
@@ -28,6 +30,10 @@ Partitioning Partitioning::MaterializeVertexDisjoint(
     size_t num_properties, VertexAssignment assignment, int num_threads) {
   assert(assignment.Valid(num_vertices));
   const int threads = ResolveNumThreads(num_threads);
+  obs::TraceSpan span("partition.materialize");
+  span.Attr("kind", "vertex_disjoint")
+      .Attr("k", static_cast<uint64_t>(assignment.k))
+      .Attr("edges", static_cast<uint64_t>(sorted_triples.size()));
 
   Partitioning result;
   result.kind_ = PartitioningKind::kVertexDisjoint;
@@ -123,6 +129,15 @@ Partitioning Partitioning::MaterializeVertexDisjoint(
                                      result.crossing_property_mask_.end(),
                                      true));
   result.assignment_ = std::move(assignment);
+  span.Attr("crossing_properties",
+            static_cast<uint64_t>(result.num_crossing_properties_))
+      .Attr("crossing_edges",
+            static_cast<uint64_t>(result.num_crossing_edges_));
+  auto& metrics = obs::MetricsRegistry::Default();
+  metrics.GaugeRef("partition.crossing_properties")
+      .Set(static_cast<double>(result.num_crossing_properties_));
+  metrics.GaugeRef("partition.crossing_edges")
+      .Set(static_cast<double>(result.num_crossing_edges_));
   return result;
 }
 
@@ -130,6 +145,10 @@ Partitioning Partitioning::MaterializeEdgeDisjoint(
     const rdf::RdfGraph& graph, uint32_t k,
     const std::vector<uint32_t>& triple_part, int num_threads) {
   assert(triple_part.size() == graph.num_edges());
+  obs::TraceSpan span("partition.materialize");
+  span.Attr("kind", "edge_disjoint")
+      .Attr("k", static_cast<uint64_t>(k))
+      .Attr("edges", static_cast<uint64_t>(triple_part.size()));
 
   Partitioning result;
   result.kind_ = PartitioningKind::kEdgeDisjoint;

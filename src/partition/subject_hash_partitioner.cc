@@ -6,8 +6,8 @@
 
 namespace mpc::partition {
 
-Partitioning SubjectHashPartitioner::Partition(const rdf::RdfGraph& graph,
-                                               RunStats* stats) const {
+Partitioning SubjectHashPartitioner::PartitionImpl(const rdf::RdfGraph& graph,
+                                                   RunStats* stats) const {
   const int threads = ResolveNumThreads(options_.num_threads);
   Timer timer;
   VertexAssignment assignment;

@@ -16,8 +16,9 @@ class SubjectHashPartitioner : public Partitioner {
 
   std::string name() const override { return "Subject_Hash"; }
 
-  Partitioning Partition(const rdf::RdfGraph& graph,
-                         RunStats* stats = nullptr) const override;
+ protected:
+  Partitioning PartitionImpl(const rdf::RdfGraph& graph,
+                             RunStats* stats) const override;
 
  private:
   PartitionerOptions options_;

@@ -6,8 +6,8 @@
 
 namespace mpc::partition {
 
-Partitioning VpPartitioner::Partition(const rdf::RdfGraph& graph,
-                                      RunStats* stats) const {
+Partitioning VpPartitioner::PartitionImpl(const rdf::RdfGraph& graph,
+                                          RunStats* stats) const {
   const int threads = ResolveNumThreads(options_.num_threads);
   Timer timer;
   const auto& triples = graph.triples();

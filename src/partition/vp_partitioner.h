@@ -17,8 +17,9 @@ class VpPartitioner : public Partitioner {
 
   std::string name() const override { return "VP"; }
 
-  Partitioning Partition(const rdf::RdfGraph& graph,
-                         RunStats* stats = nullptr) const override;
+ protected:
+  Partitioning PartitionImpl(const rdf::RdfGraph& graph,
+                             RunStats* stats) const override;
 
  private:
   PartitionerOptions options_;

@@ -5,6 +5,7 @@
 
 #include "common/string_util.h"
 #include "common/thread_pool.h"
+#include "obs/trace.h"
 
 namespace mpc::rdf {
 
@@ -227,6 +228,8 @@ Status NTriplesParser::ParseDocument(std::string_view text,
                                      GraphBuilder* builder,
                                      int num_threads) {
   const int threads = ResolveNumThreads(num_threads);
+  obs::TraceSpan span("rdf.parse");
+  span.Attr("bytes", static_cast<uint64_t>(text.size()));
   size_t error_line = 0;
   Status st = threads <= 1
                   ? ParseChunk(text, /*is_final=*/true, builder, &error_line)
@@ -241,6 +244,8 @@ Status NTriplesParser::ParseDocument(std::string_view text,
 Status NTriplesParser::ParseFile(const std::string& path,
                                  GraphBuilder* builder, int num_threads) {
   const int threads = ResolveNumThreads(num_threads);
+  obs::TraceSpan span("rdf.parse");
+  span.Attr("file", path);
   std::ifstream in(path, std::ios::binary);
   if (!in) return Status::IoError("cannot open " + path);
   if (threads <= 1) {

@@ -1,6 +1,7 @@
 #include <set>
 
 #include "common/hash.h"
+#include "common/logging.h"
 #include "common/random.h"
 #include "common/status.h"
 #include "common/string_util.h"
@@ -190,6 +191,79 @@ TEST(HashTest, StringHash) {
 
 TEST(HashTest, CombineOrderMatters) {
   EXPECT_NE(HashCombine(1, 2), HashCombine(2, 1));
+}
+
+/// Installs a capture sink for the test's lifetime and restores the
+/// previous sink (and log level) on exit.
+class ScopedCaptureLog {
+ public:
+  explicit ScopedCaptureLog(size_t capacity = 1024)
+      : sink_(capacity),
+        previous_(SetLogSink(&sink_)),
+        level_(GetLogLevel()) {}
+  ~ScopedCaptureLog() {
+    SetLogSink(previous_);
+    SetLogLevel(level_);
+  }
+  CaptureLogSink& sink() { return sink_; }
+
+ private:
+  CaptureLogSink sink_;
+  LogSink* previous_;
+  LogLevel level_;
+};
+
+TEST(LoggingTest, CaptureSinkReceivesCompleteLines) {
+  ScopedCaptureLog capture;
+  SetLogLevel(LogLevel::kInfo);
+  MPC_LOG(Info) << "hello " << 42;
+  MPC_LOG(Warning) << "watch out";
+  std::vector<std::string> lines = capture.sink().Lines();
+  ASSERT_EQ(lines.size(), 2u);
+  EXPECT_NE(lines[0].find("INFO"), std::string::npos) << lines[0];
+  EXPECT_NE(lines[0].find("hello 42"), std::string::npos) << lines[0];
+  EXPECT_EQ(lines[0].back(), '\n');
+  EXPECT_NE(lines[1].find("watch out"), std::string::npos) << lines[1];
+  // No tracing active: no span tag in the header.
+  EXPECT_EQ(lines[0].find("span="), std::string::npos) << lines[0];
+}
+
+TEST(LoggingTest, LevelThresholdFiltersBeforeTheSink) {
+  ScopedCaptureLog capture;
+  SetLogLevel(LogLevel::kWarning);
+  MPC_LOG(Info) << "dropped";
+  MPC_LOG(Error) << "kept";
+  std::vector<std::string> lines = capture.sink().Lines();
+  ASSERT_EQ(lines.size(), 1u);
+  EXPECT_NE(lines[0].find("kept"), std::string::npos);
+}
+
+TEST(LoggingTest, RingBufferKeepsNewestAndCountsDropped) {
+  ScopedCaptureLog capture(/*capacity=*/2);
+  SetLogLevel(LogLevel::kInfo);
+  for (int i = 0; i < 5; ++i) {
+    MPC_LOG(Info) << "line " << i;
+  }
+  std::vector<std::string> lines = capture.sink().Lines();
+  ASSERT_EQ(lines.size(), 2u);
+  EXPECT_NE(lines[0].find("line 3"), std::string::npos) << lines[0];
+  EXPECT_NE(lines[1].find("line 4"), std::string::npos) << lines[1];
+  EXPECT_EQ(capture.sink().dropped(), 3u);
+  capture.sink().Clear();
+  EXPECT_TRUE(capture.sink().Lines().empty());
+}
+
+TEST(LoggingTest, SpanIdProviderTagsLines) {
+  ScopedCaptureLog capture;
+  SetLogLevel(LogLevel::kInfo);
+  SetLogSpanIdProvider([]() -> uint64_t { return 7; });
+  MPC_LOG(Info) << "tagged";
+  SetLogSpanIdProvider(nullptr);
+  MPC_LOG(Info) << "untagged";
+  std::vector<std::string> lines = capture.sink().Lines();
+  ASSERT_EQ(lines.size(), 2u);
+  EXPECT_NE(lines[0].find("span=7"), std::string::npos) << lines[0];
+  EXPECT_EQ(lines[1].find("span="), std::string::npos) << lines[1];
 }
 
 }  // namespace

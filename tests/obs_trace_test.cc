@@ -1,0 +1,263 @@
+#include "obs/trace.h"
+
+#include <algorithm>
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "common/logging.h"
+#include "common/thread_pool.h"
+#include "gtest/gtest.h"
+#include "obs/json.h"
+
+namespace mpc::obs {
+namespace {
+
+/// Every tracer test brackets its own Start/Stop pair; StartTracing
+/// discards earlier events, so tests stay independent even though the
+/// trace buffers are process-wide.
+class TraceTest : public ::testing::Test {
+ protected:
+  void TearDown() override { StopTracing(); }
+};
+
+const TraceEvent* FindEvent(const std::vector<TraceEvent>& events,
+                            const std::string& name) {
+  for (const TraceEvent& e : events) {
+    if (e.name == name) return &e;
+  }
+  return nullptr;
+}
+
+const JsonValue* FindEventJson(const JsonValue& events,
+                               const std::string& name) {
+  for (const JsonValue& e : events.array) {
+    const JsonValue* n = e.Find("name");
+    if (n != nullptr && n->str == name) return &e;
+  }
+  return nullptr;
+}
+
+TEST_F(TraceTest, DisabledRecordsNothing) {
+  ASSERT_FALSE(TracingEnabled());
+  {
+    MPC_TRACE_SPAN("never.recorded");
+    TraceSpan span("also.never");
+    span.Attr("key", 42);
+    EXPECT_FALSE(span.active());
+  }
+  StartTracing();  // discards anything recorded before
+  StopTracing();
+  EXPECT_TRUE(CollectTrace().empty());
+}
+
+TEST_F(TraceTest, NestedSpansRecordParentChildAndDepth) {
+  StartTracing();
+  {
+    TraceSpan outer("outer");
+    EXPECT_NE(CurrentSpanId(), 0u);
+    {
+      TraceSpan middle("middle");
+      { MPC_TRACE_SPAN("inner"); }
+    }
+    { MPC_TRACE_SPAN("sibling"); }
+  }
+  StopTracing();
+
+  std::vector<TraceEvent> events = CollectTrace();
+  ASSERT_EQ(events.size(), 4u);
+  const TraceEvent* outer = FindEvent(events, "outer");
+  const TraceEvent* middle = FindEvent(events, "middle");
+  const TraceEvent* inner = FindEvent(events, "inner");
+  const TraceEvent* sibling = FindEvent(events, "sibling");
+  ASSERT_TRUE(outer && middle && inner && sibling);
+
+  EXPECT_EQ(outer->parent_id, 0u);
+  EXPECT_EQ(outer->depth, 0u);
+  EXPECT_EQ(middle->parent_id, outer->span_id);
+  EXPECT_EQ(middle->depth, 1u);
+  EXPECT_EQ(inner->parent_id, middle->span_id);
+  EXPECT_EQ(inner->depth, 2u);
+  EXPECT_EQ(sibling->parent_id, outer->span_id);
+
+  // All on one thread; children open after their parent and fit inside
+  // the parent's window.
+  EXPECT_EQ(outer->tid, inner->tid);
+  EXPECT_LE(outer->start_us, middle->start_us);
+  EXPECT_LE(middle->start_us, inner->start_us);
+  EXPECT_LE(inner->start_us + inner->dur_us,
+            middle->start_us + middle->dur_us + 1.0);
+
+  // Distinct span ids all the way down.
+  std::set<uint64_t> ids;
+  for (const TraceEvent& e : events) ids.insert(e.span_id);
+  EXPECT_EQ(ids.size(), events.size());
+}
+
+TEST_F(TraceTest, CurrentSpanIdTracksInnermostOpenSpan) {
+  EXPECT_EQ(CurrentSpanId(), 0u);
+  StartTracing();
+  EXPECT_EQ(CurrentSpanId(), 0u);
+  {
+    TraceSpan outer("outer");
+    const uint64_t outer_id = CurrentSpanId();
+    EXPECT_NE(outer_id, 0u);
+    {
+      TraceSpan inner("inner");
+      EXPECT_NE(CurrentSpanId(), outer_id);
+      EXPECT_NE(CurrentSpanId(), 0u);
+    }
+    EXPECT_EQ(CurrentSpanId(), outer_id);
+  }
+  EXPECT_EQ(CurrentSpanId(), 0u);
+}
+
+TEST_F(TraceTest, ConcurrentPoolThreadsLoseNoEvents) {
+  constexpr int kThreads = 8;
+  constexpr size_t kItems = 400;
+  StartTracing();
+  ParallelFor(0, kItems, /*grain=*/1, kThreads, [](size_t i) {
+    TraceSpan span("work.item");
+    span.Attr("item", static_cast<uint64_t>(i));
+    { MPC_TRACE_SPAN("work.inner"); }
+  });
+  StopTracing();
+
+  std::vector<TraceEvent> events = CollectTrace();
+  size_t items = 0;
+  size_t inners = 0;
+  std::set<uint64_t> seen_items;
+  std::map<uint64_t, const TraceEvent*> by_id;
+  for (const TraceEvent& e : events) by_id[e.span_id] = &e;
+  for (const TraceEvent& e : events) {
+    if (e.name == "work.item") {
+      ++items;
+      ASSERT_EQ(e.attrs.size(), 1u);
+      EXPECT_EQ(e.attrs[0].key, "item");
+      seen_items.insert(e.attrs[0].value.u);
+    } else if (e.name == "work.inner") {
+      ++inners;
+      // Parent resolves to a work.item span recorded on the same thread
+      // — nesting never crosses threads even with 8 workers appending
+      // concurrently.
+      auto it = by_id.find(e.parent_id);
+      ASSERT_NE(it, by_id.end());
+      EXPECT_EQ(it->second->name, "work.item");
+      EXPECT_EQ(it->second->tid, e.tid);
+    }
+  }
+  // No lost events: every item recorded exactly once, each with its
+  // inner child.
+  EXPECT_EQ(items, kItems);
+  EXPECT_EQ(inners, kItems);
+  EXPECT_EQ(seen_items.size(), kItems);
+}
+
+TEST_F(TraceTest, ChromeJsonRoundTripsThroughParser) {
+  StartTracing();
+  {
+    TraceSpan span("json.span");
+    span.Attr("count", 7);
+    span.Attr("ratio", 0.5);
+    span.Attr("label", "quoted \"name\"\n");
+    { MPC_TRACE_SPAN("json.child"); }
+  }
+  StopTracing();
+
+  const std::string json = TraceToChromeJson();
+  Result<JsonValue> parsed = ParseJson(json);
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  const JsonValue* events = parsed->Find("traceEvents");
+  ASSERT_NE(events, nullptr);
+  ASSERT_TRUE(events->is_array());
+  ASSERT_EQ(events->array.size(), 2u);
+
+  const JsonValue* span = FindEventJson(*events, "json.span");
+  ASSERT_NE(span, nullptr);
+  for (const char* key : {"ph", "ts", "dur", "pid", "tid", "args"}) {
+    EXPECT_NE(span->Find(key), nullptr) << key;
+  }
+  EXPECT_EQ(span->Find("ph")->str, "X");
+  const JsonValue* args = span->Find("args");
+  ASSERT_TRUE(args->is_object());
+  EXPECT_EQ(args->Find("count")->number, 7.0);
+  EXPECT_EQ(args->Find("ratio")->number, 0.5);
+  // The escaped string survives the parser (which keeps escapes other
+  // than \" and \n verbatim — both used here are decoded).
+  ASSERT_NE(args->Find("label"), nullptr);
+  EXPECT_TRUE(args->Find("label")->is_string());
+
+  // Parent/child linkage survives the export: the child's parent_id arg
+  // equals the parent's span_id arg.
+  const JsonValue* child = FindEventJson(*events, "json.child");
+  ASSERT_NE(child, nullptr);
+  const JsonValue* child_args = child->Find("args");
+  ASSERT_NE(child_args, nullptr);
+  ASSERT_NE(child_args->Find("parent_id"), nullptr);
+  ASSERT_NE(args->Find("span_id"), nullptr);
+  EXPECT_EQ(child_args->Find("parent_id")->number,
+            args->Find("span_id")->number);
+}
+
+TEST_F(TraceTest, TextTreeMergesSiblingsWithCounts) {
+  StartTracing();
+  {
+    TraceSpan root("tree.root");
+    for (int i = 0; i < 3; ++i) {
+      MPC_TRACE_SPAN("tree.leaf");
+    }
+  }
+  StopTracing();
+  const std::string tree = TraceToTextTree();
+  EXPECT_NE(tree.find("tree.root"), std::string::npos) << tree;
+  EXPECT_NE(tree.find("tree.leaf"), std::string::npos) << tree;
+  EXPECT_NE(tree.find("x3"), std::string::npos) << tree;
+}
+
+TEST_F(TraceTest, LogLinesCarryTheActiveSpanId) {
+  CaptureLogSink capture;
+  LogSink* previous = SetLogSink(&capture);
+  const LogLevel level = GetLogLevel();
+  SetLogLevel(LogLevel::kInfo);
+
+  StartTracing();  // installs the span-id provider
+  uint64_t span_id = 0;
+  {
+    TraceSpan span("logged.work");
+    span_id = CurrentSpanId();
+    MPC_LOG(Info) << "inside the span";
+  }
+  MPC_LOG(Info) << "outside any span";
+  StopTracing();  // uninstalls the provider
+  MPC_LOG(Info) << "tracing off";
+
+  SetLogSink(previous);
+  SetLogLevel(level);
+
+  std::vector<std::string> lines = capture.Lines();
+  ASSERT_EQ(lines.size(), 3u);
+  EXPECT_NE(lines[0].find("span=" + std::to_string(span_id)),
+            std::string::npos)
+      << lines[0];
+  // The provider reports 0 outside a span; the header stays clean.
+  EXPECT_EQ(lines[1].find("span="), std::string::npos) << lines[1];
+  EXPECT_EQ(lines[2].find("span="), std::string::npos) << lines[2];
+}
+
+TEST_F(TraceTest, StartTracingDiscardsEarlierEvents) {
+  StartTracing();
+  { MPC_TRACE_SPAN("first.window"); }
+  StopTracing();
+  ASSERT_EQ(CollectTrace().size(), 1u);
+
+  StartTracing();
+  { MPC_TRACE_SPAN("second.window"); }
+  StopTracing();
+  std::vector<TraceEvent> events = CollectTrace();
+  ASSERT_EQ(events.size(), 1u);
+  EXPECT_EQ(events[0].name, "second.window");
+}
+
+}  // namespace
+}  // namespace mpc::obs

@@ -23,6 +23,13 @@
 // --threads=0 (the default) uses every hardware thread; --threads=1 runs
 // serially. Results are identical at any value.
 //
+// Observability (every command):
+//   --trace-out=FILE     write a Chrome trace_event JSON of the run
+//                        (load in chrome://tracing or ui.perfetto.dev)
+//   --trace-summary      print a collapsed per-thread span tree to stdout
+//   --metrics-out=FILE   write the metrics registry (counters, gauges,
+//                        histograms with p50/p95/p99) as JSON
+//
 // The fault flags inject deterministic site failures into the simulated
 // cluster (see DESIGN.md "Fault model"): --fail-sites crashes the listed
 // sites, --fault-rate is a per-(site,subquery) crash probability,
@@ -46,6 +53,8 @@
 #include "exec/explain.h"
 #include "exec/query_classifier.h"
 #include "mpc/mpc_partitioner.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "partition/edge_cut_partitioner.h"
 #include "partition/partition_io.h"
 #include "partition/subject_hash_partitioner.h"
@@ -74,6 +83,8 @@ int Usage() {
       [--policy=threshold|periodic|never] [--period=N]
       [--max-lcross-growth=G] [--checkpoint-every=N]
       [--repartition=sync|background] [--out=DIR] [--threads=T]
+observability (any command):
+      [--trace-out=FILE] [--trace-summary] [--metrics-out=FILE]
 )";
   return 2;
 }
@@ -103,6 +114,11 @@ struct Flags {
   uint32_t checkpoint_every = 8;
   std::string repartition = "sync";
   std::string out_dir;
+
+  // Observability (any command).
+  std::string trace_out;
+  std::string metrics_out;
+  bool trace_summary = false;
 
   std::vector<std::string> positional;
 
@@ -150,6 +166,9 @@ struct Flags {
     parser.AddChoice("repartition", &flags.repartition,
                      {"sync", "background"});
     parser.AddString("out", &flags.out_dir);
+    parser.AddString("trace-out", &flags.trace_out);
+    parser.AddString("metrics-out", &flags.metrics_out);
+    parser.AddBool("trace-summary", &flags.trace_summary);
     Result<std::vector<std::string>> positional =
         parser.Parse(argc, argv, first);
     if (!positional.ok()) return positional.status();
@@ -505,6 +524,16 @@ int CmdUpdate(const Flags& flags) {
 
 }  // namespace
 
+int RunCommand(const std::string& command, const Flags& flags) {
+  if (command == "stats") return CmdStats(flags);
+  if (command == "partition") return CmdPartition(flags);
+  if (command == "classify") return CmdClassifyOrQuery(flags, false);
+  if (command == "explain") return CmdExplain(flags);
+  if (command == "query") return CmdClassifyOrQuery(flags, true);
+  if (command == "update") return CmdUpdate(flags);
+  return Usage();
+}
+
 int main(int argc, char** argv) {
   if (argc < 2) return Usage();
   std::string command = argv[1];
@@ -513,11 +542,34 @@ int main(int argc, char** argv) {
     std::cerr << flags.status().ToString() << "\n";
     return 2;
   }
-  if (command == "stats") return CmdStats(*flags);
-  if (command == "partition") return CmdPartition(*flags);
-  if (command == "classify") return CmdClassifyOrQuery(*flags, false);
-  if (command == "explain") return CmdExplain(*flags);
-  if (command == "query") return CmdClassifyOrQuery(*flags, true);
-  if (command == "update") return CmdUpdate(*flags);
-  return Usage();
+
+  const bool tracing = !flags->trace_out.empty() || flags->trace_summary;
+  if (tracing) obs::StartTracing();
+
+  int exit_code = RunCommand(command, *flags);
+
+  if (tracing) {
+    obs::StopTracing();
+    if (!flags->trace_out.empty()) {
+      Status st = obs::WriteTrace(flags->trace_out);
+      if (!st.ok()) {
+        std::cerr << st.ToString() << "\n";
+        if (exit_code == 0) exit_code = 1;
+      } else {
+        std::cout << "trace written to: " << flags->trace_out << "\n";
+      }
+    }
+    if (flags->trace_summary) std::cout << obs::TraceToTextTree();
+  }
+  if (!flags->metrics_out.empty()) {
+    Status st =
+        obs::MetricsRegistry::Default().WriteJson(flags->metrics_out);
+    if (!st.ok()) {
+      std::cerr << st.ToString() << "\n";
+      if (exit_code == 0) exit_code = 1;
+    } else {
+      std::cout << "metrics written to: " << flags->metrics_out << "\n";
+    }
+  }
+  return exit_code;
 }

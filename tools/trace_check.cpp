@@ -1,0 +1,112 @@
+// trace_check — validates an exported trace or metrics JSON file.
+//
+//   trace_check trace <file.json> [required-span-name...]
+//   trace_check metrics <file.json> [required-counter-name...]
+//
+// Used by scripts/check.sh to smoke-test the CLI's --trace-out /
+// --metrics-out output: the file must parse with the obs JSON parser,
+// have the expected top-level shape (traceEvents array of complete
+// events / counters+gauges+histograms maps), and contain every span or
+// counter named on the command line. Exit 0 on success, 1 with a
+// message naming the first problem otherwise.
+
+#include <fstream>
+#include <iostream>
+#include <set>
+#include <sstream>
+#include <string>
+
+#include "obs/json.h"
+
+namespace {
+
+using mpc::obs::JsonValue;
+
+int Fail(const std::string& message) {
+  std::cerr << "trace_check: " << message << "\n";
+  return 1;
+}
+
+int CheckTrace(const JsonValue& root, int argc, char** argv, int first) {
+  if (root.type != JsonValue::Type::kObject) {
+    return Fail("top level is not an object");
+  }
+  const JsonValue* events = root.Find("traceEvents");
+  if (events == nullptr || events->type != JsonValue::Type::kArray) {
+    return Fail("missing traceEvents array");
+  }
+  std::set<std::string> names;
+  for (const JsonValue& event : events->array) {
+    if (event.type != JsonValue::Type::kObject) {
+      return Fail("traceEvents element is not an object");
+    }
+    const JsonValue* name = event.Find("name");
+    const JsonValue* phase = event.Find("ph");
+    const JsonValue* ts = event.Find("ts");
+    const JsonValue* dur = event.Find("dur");
+    if (name == nullptr || name->type != JsonValue::Type::kString) {
+      return Fail("event without a string name");
+    }
+    if (phase == nullptr || phase->type != JsonValue::Type::kString ||
+        phase->str != "X") {
+      return Fail("event '" + name->str + "' is not a complete event");
+    }
+    if (ts == nullptr || ts->type != JsonValue::Type::kNumber ||
+        dur == nullptr || dur->type != JsonValue::Type::kNumber) {
+      return Fail("event '" + name->str + "' lacks numeric ts/dur");
+    }
+    names.insert(name->str);
+  }
+  for (int i = first; i < argc; ++i) {
+    if (names.count(argv[i]) == 0) {
+      return Fail("no span named '" + std::string(argv[i]) + "' (saw " +
+                  std::to_string(names.size()) + " distinct names)");
+    }
+  }
+  std::cout << "trace ok: " << events->array.size() << " events, "
+            << names.size() << " distinct spans\n";
+  return 0;
+}
+
+int CheckMetrics(const JsonValue& root, int argc, char** argv, int first) {
+  if (root.type != JsonValue::Type::kObject) {
+    return Fail("top level is not an object");
+  }
+  for (const char* section : {"counters", "gauges", "histograms"}) {
+    const JsonValue* map = root.Find(section);
+    if (map == nullptr || map->type != JsonValue::Type::kObject) {
+      return Fail(std::string("missing ") + section + " object");
+    }
+  }
+  const JsonValue& counters = *root.Find("counters");
+  for (int i = first; i < argc; ++i) {
+    if (counters.Find(argv[i]) == nullptr) {
+      return Fail("no counter named '" + std::string(argv[i]) + "'");
+    }
+  }
+  std::cout << "metrics ok: " << counters.object.size() << " counters\n";
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 3) {
+    std::cerr << "usage: trace_check trace|metrics <file.json> [names...]\n";
+    return 2;
+  }
+  const std::string mode = argv[1];
+  std::ifstream in(argv[2], std::ios::binary);
+  if (!in) return Fail(std::string("cannot open ") + argv[2]);
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  const std::string text = buffer.str();
+
+  mpc::Result<JsonValue> parsed = mpc::obs::ParseJson(text);
+  if (!parsed.ok()) return Fail(parsed.status().ToString());
+
+  if (mode == "trace") return CheckTrace(*parsed, argc, argv, 3);
+  if (mode == "metrics") return CheckMetrics(*parsed, argc, argv, 3);
+  std::cerr << "unknown mode: " << mode << "\n";
+  return 2;
+}
