@@ -15,6 +15,26 @@ DisjointSetForest::DisjointSetForest(size_t n)
   for (size_t i = 0; i < n; ++i) parent_[i] = static_cast<uint32_t>(i);
 }
 
+Result<DisjointSetForest> DisjointSetForest::FromState(DsfState state) {
+  const size_t n = state.parent.size();
+  if (state.rank.size() != n || state.size.size() != n) {
+    return Status::InvalidArgument(
+        "DSF state arrays disagree on the universe size");
+  }
+  for (uint32_t p : state.parent) {
+    if (p >= n) {
+      return Status::InvalidArgument("DSF state parent out of range");
+    }
+  }
+  DisjointSetForest forest(0);
+  forest.parent_ = std::move(state.parent);
+  forest.rank_ = std::move(state.rank);
+  forest.size_ = std::move(state.size);
+  forest.max_component_size_ = state.max_component_size;
+  forest.num_components_ = state.num_components;
+  return forest;
+}
+
 void DisjointSetForest::Grow(size_t n) {
   if (n <= parent_.size()) return;
   const size_t old = parent_.size();

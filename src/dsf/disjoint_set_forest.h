@@ -5,9 +5,25 @@
 #include <span>
 #include <vector>
 
+#include "common/status.h"
 #include "rdf/types.h"
 
 namespace mpc::dsf {
+
+/// A forest's complete internal state, exported verbatim for checkpoint
+/// serialization (dynamic::CheckpointIo). The parent/rank arrays are
+/// history-dependent — two forests over the same partition of the
+/// universe can differ in tree shape — so recovery restores them
+/// bit-for-bit rather than re-deriving them from edges.
+struct DsfState {
+  std::vector<uint32_t> parent;
+  std::vector<uint8_t> rank;
+  std::vector<uint32_t> size;
+  size_t max_component_size = 0;
+  size_t num_components = 0;
+
+  bool operator==(const DsfState&) const = default;
+};
 
 /// Union-find over a fixed vertex universe [0, n) with union by rank,
 /// path compression, per-tree sizes and an incrementally maintained
@@ -18,6 +34,17 @@ class DisjointSetForest {
  public:
   /// Creates n singleton components.
   explicit DisjointSetForest(size_t n);
+
+  /// Reconstructs a forest from an exported state, bit-for-bit. The
+  /// state must be internally consistent (same-length arrays, parents in
+  /// range); violations are rejected with InvalidArgument.
+  static Result<DisjointSetForest> FromState(DsfState state);
+
+  /// Snapshot of the complete internal state (see DsfState).
+  DsfState ExportState() const {
+    return DsfState{parent_, rank_, size_, max_component_size_,
+                    num_components_};
+  }
 
   size_t universe_size() const { return parent_.size(); }
 

@@ -37,6 +37,13 @@ std::string RepartitionPolicy::Evaluate(const DriftMetrics& m) const {
         return "balance ratio " + std::to_string(m.balance_ratio) +
                " exceeds " + std::to_string(max_balance_ratio);
       }
+      if (enforce_component_budget && m.internal_component_budget > 0 &&
+          m.max_internal_component > m.internal_component_budget) {
+        return "internal component " +
+               std::to_string(m.max_internal_component) +
+               " exceeds Def. 4.2 budget " +
+               std::to_string(m.internal_component_budget);
+      }
       return {};
     }
   }
@@ -73,7 +80,8 @@ void DriftTracker::OnDeleteCrossing() {
 
 DriftMetrics DriftTracker::Snapshot(
     const partition::Partitioning& partitioning,
-    size_t max_internal_component) const {
+    size_t max_internal_component,
+    size_t internal_component_budget) const {
   DriftMetrics m;
   m.live_triples = live_internal_ + live_crossing_;
   m.seed_crossing_properties = seed_lcross_;
@@ -96,6 +104,7 @@ DriftMetrics DriftTracker::Snapshot(
                           : static_cast<double>(live_slots) /
                                 static_cast<double>(m.live_triples);
   m.max_internal_component = max_internal_component;
+  m.internal_component_budget = internal_component_budget;
   m.updates_applied = updates_applied_;
   m.batches_applied = batches_applied_;
   m.repartitions = repartitions_;

@@ -38,8 +38,14 @@ struct DriftMetrics {
   double replication_ratio = 0.0;
   /// Largest WCC of G[L_in] in the online forest — an overapproximation
   /// after deletes (the forest never splits), exact under insert-only
-  /// streams. Compared against (1+eps)|V|/k, the Def. 4.2 budget.
+  /// streams (and after a forest rebuild; see
+  /// MaintainerOptions::forest_rebuild_tombstone_ratio). Compared against
+  /// internal_component_budget, the Def. 4.2 budget.
   size_t max_internal_component = 0;
+  /// (1+eps)|V|/k over the maintained vertex universe — the Def. 4.2
+  /// ceiling max_internal_component is measured against. 0 when the
+  /// maintainer does not supply one.
+  size_t internal_component_budget = 0;
 
   size_t updates_applied = 0;
   size_t batches_applied = 0;
@@ -73,6 +79,12 @@ struct RepartitionPolicy {
   double max_tombstone_ratio = 0.25;
   /// kThreshold: fire when balance_ratio exceeds this (0 disables).
   double max_balance_ratio = 0.0;
+  /// kThreshold: fire when max_internal_component exceeds
+  /// internal_component_budget (the Def. 4.2 ceiling). Off by default:
+  /// the online forest over-approximates after deletes, so without the
+  /// maintainer's forest rebuild this check over-fires on delete-heavy
+  /// streams.
+  bool enforce_component_budget = false;
 
   /// |L_cross| ceiling the threshold policy enforces for a given seed.
   size_t LcrossBound(size_t seed) const;
@@ -88,6 +100,39 @@ struct RepartitionPolicy {
 /// edge (the 1-hop replicas).
 class DriftTracker {
  public:
+  /// The tracker's complete internal state — incremental counters plus
+  /// the lifetime totals — exported for checkpoint serialization and
+  /// restored bit-for-bit on recovery.
+  struct State {
+    uint64_t live_internal = 0;
+    uint64_t live_crossing = 0;
+    uint64_t dead_slots = 0;
+    uint64_t seed_lcross = 0;
+    uint64_t updates_applied = 0;
+    uint64_t batches_applied = 0;
+    uint64_t repartitions = 0;
+
+    bool operator==(const State&) const = default;
+  };
+
+  State ExportState() const {
+    return State{live_internal_,   live_crossing_,   dead_slots_,
+                 seed_lcross_,     updates_applied_, batches_applied_,
+                 repartitions_};
+  }
+
+  void RestoreState(const State& s) {
+    live_internal_ = s.live_internal;
+    live_crossing_ = s.live_crossing;
+    dead_slots_ = s.dead_slots;
+    seed_lcross_ = s.seed_lcross;
+    updates_applied_ = s.updates_applied;
+    batches_applied_ = s.batches_applied;
+    repartitions_ = s.repartitions;
+  }
+
+  size_t batches_applied() const { return batches_applied_; }
+
   /// Re-seeds the tracker from a freshly (re)materialized partitioning:
   /// `internal_edges` live internal edges, `crossing_edges` distinct live
   /// crossing edges, `seed_lcross` = |L_cross| at this moment.
@@ -107,9 +152,12 @@ class DriftTracker {
   }
 
   /// Assembles the metrics; `partitioning` supplies |L_cross| and the
-  /// balance ratio, `max_internal_component` comes from the online DSF.
+  /// balance ratio, `max_internal_component` comes from the online DSF,
+  /// `internal_component_budget` is the maintainer-computed (1+eps)|V|/k
+  /// Def. 4.2 ceiling (0 when not enforced).
   DriftMetrics Snapshot(const partition::Partitioning& partitioning,
-                        size_t max_internal_component) const;
+                        size_t max_internal_component,
+                        size_t internal_component_budget = 0) const;
 
  private:
   size_t live_internal_ = 0;   // live internal edges (1 slot each)

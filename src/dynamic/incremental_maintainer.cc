@@ -4,6 +4,8 @@
 #include <cassert>
 #include <utility>
 
+#include "common/logging.h"
+#include "common/timer.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 
@@ -27,6 +29,143 @@ IncrementalMaintainer::IncrementalMaintainer(
       partitioning_(std::move(partitioning)),
       options_(std::move(options)) {
   Attach();
+}
+
+IncrementalMaintainer::IncrementalMaintainer(const MaintainerState& state,
+                                             MaintainerOptions options)
+    : options_(std::move(options)) {
+  // Rebuild the graph: interning every dictionary term in id order
+  // replays the exact Intern() sequence that produced the saved ids, so
+  // the restored dictionaries are identical; the frozen snapshot is
+  // re-added by id.
+  rdf::GraphBuilder builder;
+  for (const std::string& term : state.vertex_terms) {
+    builder.InternVertex(term);
+  }
+  for (const std::string& term : state.property_terms) {
+    builder.InternProperty(term);
+  }
+  for (const rdf::Triple& t : state.snapshot_triples) {
+    builder.Add(t.subject, t.property, t.object);
+  }
+  graph_ = builder.Build();
+
+  partition::VertexAssignment assignment;
+  assignment.k = state.k;
+  assignment.part = state.assignment;
+  partitioning_ = partition::Partitioning::MaterializeVertexDisjoint(
+      graph_.triples(), graph_.num_vertices(), graph_.num_properties(),
+      std::move(assignment), options_.num_threads);
+
+  // Materialization derived the crossing mask and |E^c| from the
+  // snapshot alone; patch them to the saved live values (crossing
+  // inserts and deletes have moved them since).
+  crossing_count_.assign(state.crossing_count.begin(),
+                         state.crossing_count.end());
+  for (size_t p = 0; p < crossing_count_.size(); ++p) {
+    partitioning_.SetCrossingProperty(static_cast<rdf::PropertyId>(p),
+                                      crossing_count_[p] > 0);
+  }
+  partitioning_.BumpCrossingEdges(
+      static_cast<std::ptrdiff_t>(state.num_crossing_edges) -
+      static_cast<std::ptrdiff_t>(partitioning_.num_crossing_edges()));
+
+  // Re-append the added triples to the site vectors, restoring the
+  // invariant vectors == snapshot ∪ added (tombstoned entries stay, as
+  // in the live maintainer).
+  const std::vector<uint32_t>& part = partitioning_.assignment().part;
+  for (const rdf::Triple& t : state.added) {
+    added_.insert(t);
+    const uint32_t ps = part[t.subject];
+    const uint32_t po = part[t.object];
+    if (ps == po) {
+      partitioning_.mutable_partition(ps).internal_edges.push_back(t);
+    } else {
+      partition::Partition& a = partitioning_.mutable_partition(ps);
+      partition::Partition& b = partitioning_.mutable_partition(po);
+      a.crossing_edges.push_back(t);
+      b.crossing_edges.push_back(t);
+      InsertSortedUnique(&a.extended_vertices, t.object);
+      InsertSortedUnique(&b.extended_vertices, t.subject);
+    }
+  }
+  deleted_.insert(state.deleted.begin(), state.deleted.end());
+
+  // The forest's tree shape is history-dependent: restore it verbatim
+  // rather than re-deriving it from edges.
+  Result<dsf::DisjointSetForest> forest =
+      dsf::DisjointSetForest::FromState(state.forest);
+  if (forest.ok()) {
+    forest_ = std::move(*forest);
+    forest_stale_deletes_ = state.forest_stale_deletes;
+  } else {
+    MPC_LOG(Warning) << "checkpoint forest state invalid ("
+                     << forest.status().ToString()
+                     << "); rebuilding from live triples";
+    RebuildForest();
+  }
+  tracker_.RestoreState(state.tracker);
+  repartitions_ = state.tracker.repartitions;
+}
+
+Result<std::unique_ptr<IncrementalMaintainer>>
+IncrementalMaintainer::OpenDurable(rdf::RdfGraph graph,
+                                   partition::Partitioning partitioning,
+                                   MaintainerOptions options,
+                                   uint64_t fingerprint) {
+  if (options.journal_dir.empty()) {
+    return Status::InvalidArgument(
+        "OpenDurable requires options.journal_dir");
+  }
+  obs::TraceSpan span("dynamic.recover");
+  const std::string dir = options.journal_dir;
+
+  std::unique_ptr<IncrementalMaintainer> maintainer;
+  Result<MaintainerState> checkpoint =
+      CheckpointIo::LoadLatest(dir, fingerprint);
+  if (checkpoint.ok()) {
+    maintainer = std::make_unique<IncrementalMaintainer>(*checkpoint,
+                                                         std::move(options));
+    span.Attr("checkpoint_seq", checkpoint->seq);
+  } else if (checkpoint.status().code() == StatusCode::kNotFound) {
+    maintainer = std::make_unique<IncrementalMaintainer>(
+        std::move(graph), std::move(partitioning), std::move(options));
+  } else {
+    return checkpoint.status();
+  }
+
+  Result<std::vector<UpdateJournal::Entry>> tail = UpdateJournal::Replay(
+      dir, fingerprint, maintainer->batches_applied());
+  if (!tail.ok()) return tail.status();
+  // Replayed batches re-run any triggered repartition synchronously, so
+  // recovery lands on a deterministic state even when the original
+  // stream used background mode.
+  const bool background = maintainer->options_.background_repartition;
+  maintainer->options_.background_repartition = false;
+  uint64_t replayed = 0;
+  for (const UpdateJournal::Entry& e : *tail) {
+    if (e.seq != maintainer->batches_applied() + 1) {
+      return Status::Internal(
+          "journal gap: frame " + std::to_string(e.seq) + " follows " +
+          std::to_string(maintainer->batches_applied()) +
+          " applied batches");
+    }
+    maintainer->ApplyBatch(e.batch);
+    ++replayed;
+  }
+  maintainer->options_.background_repartition = background;
+  span.Attr("replayed_batches", replayed);
+  obs::MetricsRegistry::Default()
+      .CounterRef("dynamic.recover.replayed_batches")
+      .Inc(replayed);
+  obs::MetricsRegistry::Default().CounterRef("dynamic.recover.runs").Inc();
+
+  Result<UpdateJournal> journal = UpdateJournal::Open(dir, fingerprint);
+  if (!journal.ok()) return journal.status();
+  maintainer->journal_ =
+      std::make_unique<UpdateJournal>(std::move(*journal));
+  maintainer->journal_fingerprint_ = fingerprint;
+  return maintainer;
 }
 
 IncrementalMaintainer::~IncrementalMaintainer() {
@@ -57,6 +196,7 @@ void IncrementalMaintainer::Attach() {
   tracker_.Reset(graph_.num_edges() - partitioning_.num_crossing_edges(),
                  partitioning_.num_crossing_edges(),
                  partitioning_.num_crossing_properties());
+  forest_stale_deletes_ = 0;
   ++generation_;
 }
 
@@ -118,7 +258,9 @@ int IncrementalMaintainer::ApplyUpdate(const TripleUpdate& update) {
     if (part[s] == part[o]) {
       tracker_.OnDeleteInternal();
       // The online forest cannot split; staleness is conservative (the
-      // drift metric over-approximates the Def. 4.2 cost).
+      // drift metric over-approximates the Def. 4.2 cost) until the
+      // tombstone-triggered rebuild recomputes it from live triples.
+      ++forest_stale_deletes_;
     } else {
       partitioning_.BumpCrossingEdges(-1);
       if (--crossing_count_[p] == 0) {
@@ -202,14 +344,29 @@ ApplyResult IncrementalMaintainer::ApplyBatch(const UpdateBatch& batch) {
   obs::TraceSpan batch_span("dynamic.apply_batch");
   batch_span.Attr("updates", static_cast<uint64_t>(batch.updates.size()));
 
+  ApplyResult result;
+  // Write-ahead ordering: the batch must be durable before any of its
+  // effects are. A failed append aborts the batch un-applied — applying
+  // unjournaled updates would make recovery silently lossy.
+  if (journal_) {
+    result.durability =
+        journal_->Append(tracker_.batches_applied() + 1, batch);
+    if (!result.durability.ok()) {
+      result.drift = drift();
+      return result;
+    }
+  }
+
   // Opportunistically integrate a finished background repartition before
   // applying, so the batch lands on the freshest state.
   if (repartition_running_ &&
       pending_ready_.load(std::memory_order_acquire)) {
     IntegrateBackgroundRepartition();
   }
+  // Replay-queue cap: block on (or re-anchor) the in-flight job before
+  // this batch deepens the queue further.
+  if (repartition_running_) ApplyBackpressure();
 
-  ApplyResult result;
   for (const TripleUpdate& u : batch.updates) {
     const int delta = ApplyUpdate(u);
     if (delta > 0) {
@@ -225,6 +382,16 @@ ApplyResult IncrementalMaintainer::ApplyBatch(const UpdateBatch& batch) {
   if (repartition_running_) replay_.push_back(batch);
   ++generation_;
 
+  // Tombstone-triggered forest rebuild, before the policy reads the
+  // Def. 4.2 cost: once enough deletes accumulated, the grow-only
+  // forest's max component is recomputed from the live triples so the
+  // component-budget check stops over-firing.
+  if (options_.forest_rebuild_tombstone_ratio > 0.0 &&
+      forest_stale_deletes_ > 0 &&
+      drift().tombstone_ratio > options_.forest_rebuild_tombstone_ratio) {
+    RebuildForest();
+  }
+
   DriftMetrics metrics = drift();
   if (!repartition_running_) {
     std::string reason = options_.policy.Evaluate(metrics);
@@ -238,6 +405,22 @@ ApplyResult IncrementalMaintainer::ApplyBatch(const UpdateBatch& batch) {
         RepartitionNow();
         result.repartitioned = true;
         metrics = drift();
+      }
+    }
+  }
+  // Checkpoint cadence: every N batches, and always right after a
+  // completed repartition (so journal replay never re-runs MPC). Only
+  // when no background job is in flight — mid-job state is incomplete.
+  if (journal_ && !repartition_running_) {
+    const uint64_t seq = tracker_.batches_applied();
+    const bool cadence = options_.checkpoint_every_batches > 0 &&
+                         seq % options_.checkpoint_every_batches == 0;
+    if (result.repartitioned || cadence) {
+      Status st = WriteCheckpoint();
+      if (!st.ok()) {
+        MPC_LOG(Warning) << "checkpoint at batch " << seq
+                         << " failed: " << st.ToString();
+        if (result.durability.ok()) result.durability = st;
       }
     }
   }
@@ -270,7 +453,66 @@ ApplyResult IncrementalMaintainer::ApplyBatch(const UpdateBatch& batch) {
 }
 
 DriftMetrics IncrementalMaintainer::drift() const {
-  return tracker_.Snapshot(partitioning_, forest_.max_component_size());
+  return tracker_.Snapshot(partitioning_, forest_.max_component_size(),
+                           InternalComponentBudget());
+}
+
+size_t IncrementalMaintainer::InternalComponentBudget() const {
+  const uint32_t k = partitioning_.k();
+  if (k == 0) return 0;
+  const double ideal =
+      static_cast<double>(graph_.num_vertices()) / static_cast<double>(k);
+  return static_cast<size_t>((1.0 + options_.mpc.base.epsilon) * ideal);
+}
+
+void IncrementalMaintainer::RebuildForest() {
+  MPC_TRACE_SPAN("dynamic.forest.rebuild");
+  obs::MetricsRegistry::Default().CounterRef("dynamic.forest_rebuilds").Inc();
+  forest_ = dsf::DisjointSetForest(graph_.num_vertices());
+  for (const rdf::Triple& t : LiveTriples()) {
+    if (!partitioning_.IsCrossingProperty(t.property)) {
+      forest_.Union(t.subject, t.object);
+    }
+  }
+  forest_stale_deletes_ = 0;
+}
+
+MaintainerState IncrementalMaintainer::ExportState() const {
+  assert(!repartition_running_);
+  MaintainerState state;
+  state.seq = tracker_.batches_applied();
+  state.k = partitioning_.k();
+  state.vertex_terms.reserve(graph_.num_vertices());
+  for (size_t v = 0; v < graph_.num_vertices(); ++v) {
+    state.vertex_terms.push_back(
+        graph_.VertexName(static_cast<rdf::VertexId>(v)));
+  }
+  state.property_terms.reserve(graph_.num_properties());
+  for (size_t p = 0; p < graph_.num_properties(); ++p) {
+    state.property_terms.push_back(
+        graph_.PropertyName(static_cast<rdf::PropertyId>(p)));
+  }
+  state.snapshot_triples = graph_.triples();
+  state.assignment = partitioning_.assignment().part;
+  state.crossing_count.assign(crossing_count_.begin(),
+                              crossing_count_.end());
+  state.num_crossing_edges = partitioning_.num_crossing_edges();
+  state.added.assign(added_.begin(), added_.end());
+  std::sort(state.added.begin(), state.added.end());
+  state.deleted.assign(deleted_.begin(), deleted_.end());
+  std::sort(state.deleted.begin(), state.deleted.end());
+  state.forest = forest_.ExportState();
+  state.tracker = tracker_.ExportState();
+  state.forest_stale_deletes = forest_stale_deletes_;
+  return state;
+}
+
+Status IncrementalMaintainer::WriteCheckpoint() {
+  if (!journal_) {
+    return Status::Internal("WriteCheckpoint requires an attached journal");
+  }
+  return CheckpointIo::Write(ExportState(), journal_fingerprint_,
+                             options_.journal_dir);
 }
 
 std::vector<rdf::Triple> IncrementalMaintainer::LiveTriples() const {
@@ -374,6 +616,53 @@ void IncrementalMaintainer::IntegrateBackgroundRepartition() {
     for (const TripleUpdate& u : batch.updates) ApplyUpdate(u);
   }
   ++generation_;
+  // A completed repartition anchors recovery: checkpoint it so journal
+  // replay after a crash never has to re-run MPC.
+  if (journal_) {
+    Status st = WriteCheckpoint();
+    if (!st.ok()) {
+      MPC_LOG(Warning) << "post-repartition checkpoint failed: "
+                       << st.ToString();
+    }
+  }
+}
+
+void IncrementalMaintainer::AbandonBackgroundRepartition() {
+  if (!repartition_running_) return;
+  repartition_thread_.join();
+  repartition_running_ = false;
+  pending_ready_.store(false, std::memory_order_relaxed);
+  pending_graph_ = rdf::RdfGraph();
+  pending_partitioning_ = partition::Partitioning();
+  replay_.clear();
+}
+
+void IncrementalMaintainer::ApplyBackpressure() {
+  if (options_.max_replay_batches == 0 ||
+      replay_.size() < options_.max_replay_batches) {
+    return;
+  }
+  auto& m = obs::MetricsRegistry::Default();
+  if (options_.backpressure == ReplayBackpressure::kBlock) {
+    // Stall the producer until the job lands. Deterministic: the wait
+    // happens exactly when the queue reaches the cap, independent of
+    // how fast the background thread actually ran.
+    MPC_TRACE_SPAN("dynamic.backpressure.block");
+    m.CounterRef("dynamic.backpressure.stalls").Inc();
+    Timer timer;
+    WaitForRepartition();
+    m.HistogramRef("dynamic.backpressure.stall_ms",
+                   obs::DefaultLatencyBoundsMs())
+        .Observe(timer.ElapsedMillis());
+  } else {
+    // Re-anchor: the snapshot the job is partitioning is too far behind
+    // the stream to ever catch up; abandon it and start over from the
+    // current live state with an empty queue.
+    MPC_TRACE_SPAN("dynamic.backpressure.reanchor");
+    m.CounterRef("dynamic.backpressure.reanchors").Inc();
+    AbandonBackgroundRepartition();
+    StartBackgroundRepartition();
+  }
 }
 
 void IncrementalMaintainer::AdoptRepartition(

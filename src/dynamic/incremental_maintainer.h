@@ -10,6 +10,7 @@
 
 #include "dsf/disjoint_set_forest.h"
 #include "dynamic/drift_tracker.h"
+#include "dynamic/update_journal.h"
 #include "dynamic/update_log.h"
 #include "exec/cluster.h"
 #include "exec/distributed_executor.h"
@@ -18,6 +19,19 @@
 #include "rdf/graph.h"
 
 namespace mpc::dynamic {
+
+/// What to do when the replay queue hits MaintainerOptions::
+/// max_replay_batches while a background repartition is still running.
+enum class ReplayBackpressure {
+  /// Block the producer: wait for the job and integrate it before
+  /// applying the batch. Deterministic (the wait always happens exactly
+  /// at the cap, regardless of how fast the job ran).
+  kBlock,
+  /// Abandon the in-flight job and re-anchor: start a fresh background
+  /// repartition from the current live state, clearing the queue. Keeps
+  /// the producer unblocked at the cost of the wasted partial run.
+  kReanchor,
+};
 
 struct MaintainerOptions {
   /// When to abandon incremental maintenance for a full MPC re-run.
@@ -36,6 +50,28 @@ struct MaintainerOptions {
   /// onto the new partitioning before the atomic swap). When false a
   /// trigger repartitions synchronously inside ApplyBatch.
   bool background_repartition = false;
+
+  /// Durability (only active through OpenDurable; the plain constructor
+  /// ignores these): directory holding the write-ahead journal and the
+  /// checkpoints, kept next to the PartitionIo directory.
+  std::string journal_dir;
+  /// Checkpoint every N applied batches (0 = only after repartitions;
+  /// a checkpoint is always written right after a repartition completes,
+  /// so journal replay never has to re-run MPC).
+  uint32_t checkpoint_every_batches = 0;
+
+  /// Replay backpressure: cap on the replay queue while a background
+  /// repartition runs (0 = unbounded). On hitting the cap the policy
+  /// below applies.
+  size_t max_replay_batches = 0;
+  ReplayBackpressure backpressure = ReplayBackpressure::kBlock;
+
+  /// Rebuild the online DSF forest from the live triples when
+  /// tombstone_ratio exceeds this and internal deletes made the forest
+  /// stale — the forest cannot split, so after delete-heavy streams its
+  /// max component over-approximates the Def. 4.2 cost and would
+  /// over-fire a budget-enforcing RepartitionPolicy (0 disables).
+  double forest_rebuild_tombstone_ratio = 0.5;
 };
 
 /// Outcome of applying one batch.
@@ -53,6 +89,11 @@ struct ApplyResult {
   bool repartitioned = false;
   /// Drift after the batch (and after the swap, if one happened).
   DriftMetrics drift;
+  /// Outcome of the batch's durability work (journal append, checkpoint
+  /// write). Always OK for a non-durable maintainer. A failed journal
+  /// append aborts the batch: nothing was applied and the stream must
+  /// stop (applying unjournaled batches would break recovery).
+  Status durability;
 };
 
 /// Maintains an MPC partitioning under a stream of triple inserts and
@@ -90,6 +131,27 @@ class IncrementalMaintainer {
   IncrementalMaintainer(rdf::RdfGraph graph,
                         partition::Partitioning partitioning,
                         MaintainerOptions options = MaintainerOptions());
+
+  /// Reconstructs a maintainer from a checkpointed state, bit-for-bit:
+  /// the rebuilt graph re-interns every term in id order (identical
+  /// ids), the partitioning is re-materialized from the snapshot and
+  /// patched to the saved live counters, added triples are re-appended
+  /// to the site vectors, and the forest/tracker are restored verbatim.
+  IncrementalMaintainer(const MaintainerState& state,
+                        MaintainerOptions options = MaintainerOptions());
+
+  /// Durable construction: recovers from options.journal_dir (latest
+  /// checkpoint + journal tail replay; from the seed graph/partitioning
+  /// when no checkpoint exists yet), then attaches the journal so every
+  /// subsequent ApplyBatch is write-ahead journaled. `fingerprint`
+  /// (PartitionIo::Fingerprint of the seed directory) binds the journal
+  /// to its partitioning. Replayed batches re-run triggered
+  /// repartitions synchronously, so recovery is deterministic for a
+  /// sync-mode stream.
+  static Result<std::unique_ptr<IncrementalMaintainer>> OpenDurable(
+      rdf::RdfGraph graph, partition::Partitioning partitioning,
+      MaintainerOptions options, uint64_t fingerprint);
+
   ~IncrementalMaintainer();
 
   IncrementalMaintainer(const IncrementalMaintainer&) = delete;
@@ -154,6 +216,25 @@ class IncrementalMaintainer {
 
   size_t repartition_count() const { return repartitions_; }
 
+  /// Batches applied over the maintainer's lifetime (survives
+  /// checkpoint/recovery); the journal sequence number of the next batch
+  /// is batches_applied() + 1.
+  size_t batches_applied() const { return tracker_.batches_applied(); }
+
+  /// True when a write-ahead journal is attached (OpenDurable).
+  bool journaling() const { return journal_ != nullptr; }
+
+  /// Complete serializable state (see MaintainerState). Must not be
+  /// called while a background repartition is in flight — call
+  /// WaitForRepartition() first.
+  MaintainerState ExportState() const;
+
+  /// Exports the state and writes a checkpoint to the journal directory
+  /// (Internal error when no journal is attached). Called automatically
+  /// per MaintainerOptions::checkpoint_every_batches and after
+  /// repartitions; exposed so a stream can force a final checkpoint.
+  Status WriteCheckpoint();
+
  private:
   /// Rebuilds all derived state (crossing counts, online forest, drift
   /// counters) from graph_ + partitioning_. O(|E| α).
@@ -173,6 +254,20 @@ class IncrementalMaintainer {
   void IntegrateBackgroundRepartition();
   void AdoptRepartition(rdf::RdfGraph graph,
                         partition::Partitioning partitioning);
+
+  /// Joins and discards an in-flight background job without integrating
+  /// it (the kReanchor backpressure path).
+  void AbandonBackgroundRepartition();
+
+  /// Applies the replay-queue cap (see ReplayBackpressure).
+  void ApplyBackpressure();
+
+  /// Rebuilds the online forest from the live triples, discarding the
+  /// staleness accumulated by internal deletes. O(|E| α).
+  void RebuildForest();
+
+  /// The Def. 4.2 ceiling (1+eps)|V|/k over the maintained universe.
+  size_t InternalComponentBudget() const;
 
   rdf::RdfGraph graph_;
   partition::Partitioning partitioning_;
@@ -194,6 +289,14 @@ class IncrementalMaintainer {
 
   DriftTracker tracker_;
   size_t repartitions_ = 0;
+
+  /// Internal deletes since the forest was last rebuilt from live
+  /// triples (Attach or RebuildForest); while 0 the forest is exact.
+  size_t forest_stale_deletes_ = 0;
+
+  // Durability (set by OpenDurable; empty/null otherwise).
+  std::unique_ptr<UpdateJournal> journal_;
+  uint64_t journal_fingerprint_ = 0;
 
   // Cached query view.
   std::unique_ptr<exec::Cluster> cluster_;

@@ -1,0 +1,756 @@
+#include "dynamic/update_journal.h"
+
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <cinttypes>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <utility>
+
+#include "common/hash.h"
+#include "common/logging.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
+namespace mpc::dynamic {
+
+namespace fs = std::filesystem;
+
+namespace {
+
+constexpr char kJournalFile[] = "journal.mpcwal";
+constexpr char kJournalMagic[] = "mpc-journal v1";
+constexpr char kCheckpointMagic[] = "mpc-checkpoint v1";
+constexpr char kCheckpointPrefix[] = "checkpoint_";
+constexpr char kCheckpointSuffix[] = ".ckpt";
+
+std::string HexU64(uint64_t v) {
+  char buf[17];
+  std::snprintf(buf, sizeof(buf), "%016" PRIx64, v);
+  return buf;
+}
+
+Status SysError(const std::string& what, const std::string& path) {
+  return Status::IoError(what + " " + path + ": " + std::strerror(errno));
+}
+
+Status EnsureDir(const std::string& dir) {
+  std::error_code ec;
+  fs::create_directories(dir, ec);
+  if (ec) {
+    return Status::IoError("cannot create directory " + dir + ": " +
+                           ec.message());
+  }
+  return Status::Ok();
+}
+
+Status WriteAll(int fd, std::string_view data, const std::string& path) {
+  size_t off = 0;
+  while (off < data.size()) {
+    const ssize_t n = ::write(fd, data.data() + off, data.size() - off);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return SysError("write failed for", path);
+    }
+    off += static_cast<size_t>(n);
+  }
+  return Status::Ok();
+}
+
+Status FsyncFd(int fd, const std::string& path) {
+  if (::fsync(fd) != 0) return SysError("fsync failed for", path);
+  return Status::Ok();
+}
+
+/// fsyncs the directory itself so a just-created or just-renamed dirent
+/// survives a crash.
+Status FsyncDir(const std::string& dir) {
+  const int fd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY);
+  if (fd < 0) return SysError("cannot open directory", dir);
+  Status st = FsyncFd(fd, dir);
+  ::close(fd);
+  return st;
+}
+
+Result<std::string> ReadWholeFile(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return Status::IoError("cannot open " + path);
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return std::move(buffer).str();
+}
+
+/// Consumes the next '\n'-terminated line. Returns false (leaving *line
+/// holding the unterminated remainder) when the text ends without one —
+/// the signature of a torn final write.
+bool NextLine(std::string_view text, size_t* pos, std::string_view* line) {
+  const size_t nl = text.find('\n', *pos);
+  if (nl == std::string_view::npos) {
+    *line = text.substr(*pos);
+    *pos = text.size();
+    return false;
+  }
+  *line = text.substr(*pos, nl - *pos);
+  *pos = nl + 1;
+  return true;
+}
+
+/// Parses one base-10 integer at *p (which must sit inside a
+/// NUL-terminated buffer), advancing past it. Returns false when no
+/// digits are present.
+bool ParseU64(const char** p, uint64_t* out) {
+  char* end = nullptr;
+  errno = 0;
+  const unsigned long long v = std::strtoull(*p, &end, 10);
+  if (end == *p || errno == ERANGE) return false;
+  *p = end;
+  *out = v;
+  return true;
+}
+
+bool ParseHexU64(std::string_view token, uint64_t* out) {
+  const std::string copy(token);
+  char* end = nullptr;
+  errno = 0;
+  const unsigned long long v = std::strtoull(copy.c_str(), &end, 16);
+  if (end != copy.c_str() + copy.size() || copy.empty() || errno == ERANGE) {
+    return false;
+  }
+  *out = v;
+  return true;
+}
+
+/// Strips a "label " or bare "label" prefix; returns false when the line
+/// does not start with the label.
+bool ConsumeLabel(std::string_view line, std::string_view label,
+                  std::string_view* rest) {
+  if (line.substr(0, label.size()) != label) return false;
+  std::string_view r = line.substr(label.size());
+  if (!r.empty()) {
+    if (r[0] != ' ') return false;
+    r.remove_prefix(1);
+  }
+  *rest = r;
+  return true;
+}
+
+std::string SerializeBatchPayload(const UpdateBatch& batch) {
+  std::string payload;
+  for (const TripleUpdate& u : batch.updates) {
+    payload += u.kind == UpdateKind::kInsert ? "+ " : "- ";
+    payload += u.subject;
+    payload += ' ';
+    payload += u.property;
+    payload += ' ';
+    payload += u.object;
+    payload += " .\n";
+  }
+  return payload;
+}
+
+/// Everything a full scan of a journal file learns: the committed
+/// frames, where the last committed frame ends (bytes), whether a torn
+/// frame was dropped past that point, and the last committed sequence.
+struct JournalScan {
+  std::vector<UpdateJournal::Entry> entries;
+  size_t valid_end = 0;
+  bool torn = false;
+  uint64_t last_seq = 0;
+};
+
+Status ScanError(const std::string& path, size_t frame,
+                 const std::string& what) {
+  return Status::ParseError("journal " + path + " frame " +
+                            std::to_string(frame) + ": " + what);
+}
+
+/// Parses the whole journal. Structural truncation at the tail (no
+/// trailing '\n', missing payload lines, missing commit) marks the scan
+/// torn; everything else — bad checksum on a committed frame, unexpected
+/// line shapes with more content after them, out-of-order sequence
+/// numbers — is corruption and fails.
+Result<JournalScan> ScanJournal(const std::string& path,
+                                std::string_view content,
+                                uint64_t fingerprint) {
+  JournalScan scan;
+  size_t pos = 0;
+  std::string_view line;
+
+  if (content.empty() || !NextLine(content, &pos, &line)) {
+    // Crash between file creation and the header fsync: an empty (or
+    // headerless) journal holds nothing to replay.
+    scan.torn = !content.empty();
+    return scan;
+  }
+  std::string_view rest;
+  uint64_t header_fp = 0;
+  if (!ConsumeLabel(line, kJournalMagic, &rest) ||
+      !ParseHexU64(rest, &header_fp)) {
+    return Status::ParseError("journal " + path + ": bad header");
+  }
+  if (header_fp != fingerprint) {
+    return Status::InvalidArgument(
+        "journal " + path + " was written for a different partitioning " +
+        "(fingerprint " + HexU64(header_fp) + ", expected " +
+        HexU64(fingerprint) + ")");
+  }
+  scan.valid_end = pos;
+
+  size_t frame = 0;
+  while (pos < content.size()) {
+    ++frame;
+    if (!NextLine(content, &pos, &line)) {
+      scan.torn = true;  // torn batch line
+      return scan;
+    }
+    if (!ConsumeLabel(line, "batch", &rest)) {
+      return ScanError(path, frame, "expected a batch line");
+    }
+    const char* p = rest.data();
+    uint64_t seq = 0;
+    uint64_t count = 0;
+    if (!ParseU64(&p, &seq) || !ParseU64(&p, &count) || *p != ' ') {
+      return ScanError(path, frame, "malformed batch line");
+    }
+    uint64_t checksum = 0;
+    std::string_view checksum_tok(
+        p + 1, rest.size() - static_cast<size_t>(p + 1 - rest.data()));
+    if (!ParseHexU64(checksum_tok, &checksum)) {
+      return ScanError(path, frame, "malformed batch checksum");
+    }
+
+    const size_t payload_start = pos;
+    for (uint64_t i = 0; i < count; ++i) {
+      if (!NextLine(content, &pos, &line)) {
+        scan.torn = true;  // torn payload
+        return scan;
+      }
+    }
+    const std::string_view payload =
+        content.substr(payload_start, pos - payload_start);
+
+    if (!NextLine(content, &pos, &line)) {
+      scan.torn = true;  // torn commit line
+      return scan;
+    }
+    if (!ConsumeLabel(line, "commit", &rest)) {
+      scan.torn = true;  // payload itself was truncated mid-frame
+      return scan;
+    }
+    const char* q = rest.data();
+    uint64_t commit_seq = 0;
+    if (!ParseU64(&q, &commit_seq) || commit_seq != seq) {
+      return ScanError(path, frame, "commit sequence mismatch");
+    }
+    // The frame is structurally complete; from here on every defect is
+    // corruption, not a torn write.
+    if (HashString(payload) != checksum) {
+      return ScanError(path, frame, "checksum mismatch");
+    }
+    if (seq <= scan.last_seq) {
+      return ScanError(path, frame, "non-increasing sequence number");
+    }
+    UpdateJournal::Entry entry;
+    entry.seq = seq;
+    if (count > 0) {
+      Result<std::vector<UpdateBatch>> parsed =
+          UpdateLog::ParseDocument(payload);
+      if (!parsed.ok() || parsed->size() != 1 ||
+          (*parsed)[0].updates.size() != count) {
+        return ScanError(path, frame, "payload does not parse back");
+      }
+      entry.batch = std::move((*parsed)[0]);
+    }
+    scan.entries.push_back(std::move(entry));
+    scan.last_seq = seq;
+    scan.valid_end = pos;
+  }
+  return scan;
+}
+
+}  // namespace
+
+UpdateJournal::~UpdateJournal() {
+  if (fd_ >= 0) ::close(fd_);
+}
+
+UpdateJournal::UpdateJournal(UpdateJournal&& other) noexcept
+    : fd_(std::exchange(other.fd_, -1)) {}
+
+UpdateJournal& UpdateJournal::operator=(UpdateJournal&& other) noexcept {
+  if (this != &other) {
+    if (fd_ >= 0) ::close(fd_);
+    fd_ = std::exchange(other.fd_, -1);
+  }
+  return *this;
+}
+
+std::string UpdateJournal::JournalPath(const std::string& dir) {
+  return (fs::path(dir) / kJournalFile).string();
+}
+
+Result<UpdateJournal> UpdateJournal::Open(const std::string& dir,
+                                          uint64_t fingerprint) {
+  Status st = EnsureDir(dir);
+  if (!st.ok()) return st;
+  const std::string path = JournalPath(dir);
+
+  bool fresh = true;
+  if (fs::exists(path)) {
+    Result<std::string> content = ReadWholeFile(path);
+    if (!content.ok()) return content.status();
+    Result<JournalScan> scan = ScanJournal(path, *content, fingerprint);
+    if (!scan.ok()) return scan.status();
+    fresh = content->empty();
+    if (scan->torn || scan->valid_end < content->size()) {
+      // Drop the torn tail before appending, so the journal stays a
+      // clean sequence of committed frames.
+      MPC_LOG(Warning) << "journal " << path << ": dropping torn tail ("
+                       << content->size() - scan->valid_end << " bytes)";
+      std::error_code ec;
+      fs::resize_file(path, scan->valid_end, ec);
+      if (ec) {
+        return Status::IoError("cannot truncate torn journal " + path +
+                               ": " + ec.message());
+      }
+      fresh = scan->valid_end == 0;
+    }
+  }
+
+  const int fd = ::open(path.c_str(), O_WRONLY | O_APPEND | O_CREAT, 0644);
+  if (fd < 0) return SysError("cannot open journal", path);
+  UpdateJournal journal;
+  journal.fd_ = fd;
+  if (fresh) {
+    const std::string header =
+        std::string(kJournalMagic) + " " + HexU64(fingerprint) + "\n";
+    st = WriteAll(fd, header, path);
+    if (st.ok()) st = FsyncFd(fd, path);
+    if (st.ok()) st = FsyncDir(dir);
+    if (!st.ok()) return st;
+  }
+  return journal;
+}
+
+Status UpdateJournal::Append(uint64_t seq, const UpdateBatch& batch) {
+  if (fd_ < 0) return Status::Internal("journal is not open");
+  MPC_TRACE_SPAN("dynamic.journal.append");
+  const std::string payload = SerializeBatchPayload(batch);
+  std::string frame = "batch " + std::to_string(seq) + " " +
+                      std::to_string(batch.updates.size()) + " " +
+                      HexU64(HashString(payload)) + "\n";
+  frame += payload;
+  frame += "commit " + std::to_string(seq) + "\n";
+  // One write for the whole frame: a crash can only leave a prefix,
+  // which Replay recognizes as a torn tail.
+  Status st = WriteAll(fd_, frame, kJournalFile);
+  if (st.ok()) st = FsyncFd(fd_, kJournalFile);
+  if (!st.ok()) return st;
+  auto& m = obs::MetricsRegistry::Default();
+  m.CounterRef("dynamic.journal.appends").Inc();
+  m.CounterRef("dynamic.journal.bytes").Inc(frame.size());
+  return Status::Ok();
+}
+
+Result<std::vector<UpdateJournal::Entry>> UpdateJournal::Replay(
+    const std::string& dir, uint64_t fingerprint, uint64_t after_seq) {
+  MPC_TRACE_SPAN("dynamic.journal.replay");
+  const std::string path = JournalPath(dir);
+  if (!fs::exists(path)) return std::vector<Entry>{};
+  Result<std::string> content = ReadWholeFile(path);
+  if (!content.ok()) return content.status();
+  Result<JournalScan> scan = ScanJournal(path, *content, fingerprint);
+  if (!scan.ok()) return scan.status();
+  if (scan->torn) {
+    MPC_LOG(Warning) << "journal " << path
+                     << ": ignoring torn final frame (crash mid-append)";
+  }
+  std::vector<Entry> entries;
+  for (Entry& e : scan->entries) {
+    if (e.seq > after_seq) entries.push_back(std::move(e));
+  }
+  return entries;
+}
+
+// ---------------------------------------------------------------------------
+// Checkpoints.
+
+namespace {
+
+void AppendTriples(std::string* out, const char* label,
+                   const std::vector<rdf::Triple>& triples) {
+  *out += label;
+  for (const rdf::Triple& t : triples) {
+    *out += ' ';
+    *out += std::to_string(t.subject);
+    *out += ' ';
+    *out += std::to_string(t.property);
+    *out += ' ';
+    *out += std::to_string(t.object);
+  }
+  *out += '\n';
+}
+
+template <typename T>
+void AppendNumbers(std::string* out, const char* label,
+                   const std::vector<T>& values) {
+  *out += label;
+  for (const T& v : values) {
+    *out += ' ';
+    *out += std::to_string(v);
+  }
+  *out += '\n';
+}
+
+std::string SerializeCheckpoint(const MaintainerState& s,
+                                uint64_t fingerprint) {
+  std::string body;
+  body += kCheckpointMagic;
+  body += '\n';
+  body += "fingerprint " + HexU64(fingerprint) + "\n";
+  body += "seq " + std::to_string(s.seq) + "\n";
+  body += "k " + std::to_string(s.k) + "\n";
+  body += "counts " + std::to_string(s.vertex_terms.size()) + " " +
+          std::to_string(s.property_terms.size()) + " " +
+          std::to_string(s.snapshot_triples.size()) + " " +
+          std::to_string(s.added.size()) + " " +
+          std::to_string(s.deleted.size()) + "\n";
+  body += "crossing-edges " + std::to_string(s.num_crossing_edges) + "\n";
+  body += "tracker " + std::to_string(s.tracker.live_internal) + " " +
+          std::to_string(s.tracker.live_crossing) + " " +
+          std::to_string(s.tracker.dead_slots) + " " +
+          std::to_string(s.tracker.seed_lcross) + " " +
+          std::to_string(s.tracker.updates_applied) + " " +
+          std::to_string(s.tracker.batches_applied) + " " +
+          std::to_string(s.tracker.repartitions) + "\n";
+  body += "stale-deletes " + std::to_string(s.forest_stale_deletes) + "\n";
+  body += "vertex-terms\n";
+  for (const std::string& term : s.vertex_terms) {
+    body += term;
+    body += '\n';
+  }
+  body += "property-terms\n";
+  for (const std::string& term : s.property_terms) {
+    body += term;
+    body += '\n';
+  }
+  AppendTriples(&body, "snapshot", s.snapshot_triples);
+  AppendNumbers(&body, "assignment", s.assignment);
+  AppendNumbers(&body, "crossing-count", s.crossing_count);
+  AppendTriples(&body, "added", s.added);
+  AppendTriples(&body, "deleted", s.deleted);
+  body += "forest " + std::to_string(s.forest.parent.size()) + " " +
+          std::to_string(s.forest.max_component_size) + " " +
+          std::to_string(s.forest.num_components) + "\n";
+  AppendNumbers(&body, "parent", s.forest.parent);
+  AppendNumbers(&body, "rank", s.forest.rank);
+  AppendNumbers(&body, "size", s.forest.size);
+  body += "end " + HexU64(HashString(body)) + "\n";
+  return body;
+}
+
+Status CkptError(const std::string& path, const std::string& what) {
+  return Status::ParseError("checkpoint " + path + ": " + what);
+}
+
+/// Reads `count` base-10 integers from the rest of a labeled line.
+template <typename T>
+bool ParseNumberRun(std::string_view rest, size_t count,
+                    std::vector<T>* out) {
+  out->clear();
+  out->reserve(count);
+  const char* p = rest.data();
+  for (size_t i = 0; i < count; ++i) {
+    uint64_t v = 0;
+    if (!ParseU64(&p, &v)) return false;
+    out->push_back(static_cast<T>(v));
+  }
+  // Nothing but the line's end may follow.
+  return p == rest.data() + rest.size();
+}
+
+bool ParseTripleRun(std::string_view rest, size_t count,
+                    std::vector<rdf::Triple>* out) {
+  out->clear();
+  out->reserve(count);
+  const char* p = rest.data();
+  for (size_t i = 0; i < count; ++i) {
+    uint64_t s = 0, pr = 0, o = 0;
+    if (!ParseU64(&p, &s) || !ParseU64(&p, &pr) || !ParseU64(&p, &o)) {
+      return false;
+    }
+    out->emplace_back(static_cast<rdf::VertexId>(s),
+                      static_cast<rdf::PropertyId>(pr),
+                      static_cast<rdf::VertexId>(o));
+  }
+  return p == rest.data() + rest.size();
+}
+
+Result<MaintainerState> ParseCheckpoint(const std::string& path,
+                                        uint64_t fingerprint) {
+  Result<std::string> content = ReadWholeFile(path);
+  if (!content.ok()) return content.status();
+  const std::string_view text = *content;
+
+  // Validate the trailing end line and its whole-body checksum first: a
+  // checkpoint is all-or-nothing.
+  if (text.empty() || text.back() != '\n') {
+    return CkptError(path, "truncated (no trailing newline)");
+  }
+  const size_t last_start = text.rfind('\n', text.size() - 2);
+  const size_t end_start =
+      last_start == std::string_view::npos ? 0 : last_start + 1;
+  std::string_view end_line =
+      text.substr(end_start, text.size() - 1 - end_start);
+  std::string_view rest;
+  uint64_t checksum = 0;
+  if (!ConsumeLabel(end_line, "end", &rest) || !ParseHexU64(rest, &checksum)) {
+    return CkptError(path, "missing end line");
+  }
+  if (HashString(text.substr(0, end_start)) != checksum) {
+    return CkptError(path, "checksum mismatch");
+  }
+
+  size_t pos = 0;
+  std::string_view line;
+  auto next = [&](std::string_view label) -> Result<std::string_view> {
+    if (!NextLine(text, &pos, &line)) {
+      return CkptError(path, "unexpected end of file");
+    }
+    std::string_view r;
+    if (!ConsumeLabel(line, label, &r)) {
+      return CkptError(path, "expected '" + std::string(label) + "' line");
+    }
+    return r;
+  };
+
+  if (!NextLine(text, &pos, &line) || line != kCheckpointMagic) {
+    return CkptError(path, "bad header");
+  }
+  Result<std::string_view> r = next("fingerprint");
+  if (!r.ok()) return r.status();
+  uint64_t file_fp = 0;
+  if (!ParseHexU64(*r, &file_fp)) return CkptError(path, "bad fingerprint");
+  if (file_fp != fingerprint) {
+    return Status::InvalidArgument(
+        "checkpoint " + path + " was written for a different partitioning " +
+        "(fingerprint " + HexU64(file_fp) + ", expected " +
+        HexU64(fingerprint) + ")");
+  }
+
+  MaintainerState state;
+  const char* p = nullptr;
+  uint64_t v = 0;
+
+  r = next("seq");
+  if (!r.ok()) return r.status();
+  p = r->data();
+  if (!ParseU64(&p, &state.seq)) return CkptError(path, "bad seq");
+
+  r = next("k");
+  if (!r.ok()) return r.status();
+  p = r->data();
+  if (!ParseU64(&p, &v)) return CkptError(path, "bad k");
+  state.k = static_cast<uint32_t>(v);
+
+  r = next("counts");
+  if (!r.ok()) return r.status();
+  std::vector<uint64_t> counts;
+  if (!ParseNumberRun(*r, 5, &counts)) return CkptError(path, "bad counts");
+  const size_t num_vertices = counts[0];
+  const size_t num_properties = counts[1];
+
+  r = next("crossing-edges");
+  if (!r.ok()) return r.status();
+  p = r->data();
+  if (!ParseU64(&p, &state.num_crossing_edges)) {
+    return CkptError(path, "bad crossing-edges");
+  }
+
+  r = next("tracker");
+  if (!r.ok()) return r.status();
+  std::vector<uint64_t> tracker;
+  if (!ParseNumberRun(*r, 7, &tracker)) return CkptError(path, "bad tracker");
+  state.tracker = DriftTracker::State{tracker[0], tracker[1], tracker[2],
+                                      tracker[3], tracker[4], tracker[5],
+                                      tracker[6]};
+
+  r = next("stale-deletes");
+  if (!r.ok()) return r.status();
+  p = r->data();
+  if (!ParseU64(&p, &state.forest_stale_deletes)) {
+    return CkptError(path, "bad stale-deletes");
+  }
+
+  r = next("vertex-terms");
+  if (!r.ok()) return r.status();
+  state.vertex_terms.reserve(num_vertices);
+  for (size_t i = 0; i < num_vertices; ++i) {
+    if (!NextLine(text, &pos, &line)) {
+      return CkptError(path, "truncated vertex terms");
+    }
+    state.vertex_terms.emplace_back(line);
+  }
+  r = next("property-terms");
+  if (!r.ok()) return r.status();
+  state.property_terms.reserve(num_properties);
+  for (size_t i = 0; i < num_properties; ++i) {
+    if (!NextLine(text, &pos, &line)) {
+      return CkptError(path, "truncated property terms");
+    }
+    state.property_terms.emplace_back(line);
+  }
+
+  r = next("snapshot");
+  if (!r.ok()) return r.status();
+  if (!ParseTripleRun(*r, counts[2], &state.snapshot_triples)) {
+    return CkptError(path, "bad snapshot triples");
+  }
+  r = next("assignment");
+  if (!r.ok()) return r.status();
+  if (!ParseNumberRun(*r, num_vertices, &state.assignment)) {
+    return CkptError(path, "bad assignment");
+  }
+  r = next("crossing-count");
+  if (!r.ok()) return r.status();
+  if (!ParseNumberRun(*r, num_properties, &state.crossing_count)) {
+    return CkptError(path, "bad crossing-count");
+  }
+  r = next("added");
+  if (!r.ok()) return r.status();
+  if (!ParseTripleRun(*r, counts[3], &state.added)) {
+    return CkptError(path, "bad added triples");
+  }
+  r = next("deleted");
+  if (!r.ok()) return r.status();
+  if (!ParseTripleRun(*r, counts[4], &state.deleted)) {
+    return CkptError(path, "bad deleted triples");
+  }
+
+  r = next("forest");
+  if (!r.ok()) return r.status();
+  std::vector<uint64_t> forest_meta;
+  if (!ParseNumberRun(*r, 3, &forest_meta)) {
+    return CkptError(path, "bad forest line");
+  }
+  state.forest.max_component_size = forest_meta[1];
+  state.forest.num_components = forest_meta[2];
+  r = next("parent");
+  if (!r.ok()) return r.status();
+  if (!ParseNumberRun(*r, forest_meta[0], &state.forest.parent)) {
+    return CkptError(path, "bad forest parents");
+  }
+  r = next("rank");
+  if (!r.ok()) return r.status();
+  if (!ParseNumberRun(*r, forest_meta[0], &state.forest.rank)) {
+    return CkptError(path, "bad forest ranks");
+  }
+  r = next("size");
+  if (!r.ok()) return r.status();
+  if (!ParseNumberRun(*r, forest_meta[0], &state.forest.size)) {
+    return CkptError(path, "bad forest sizes");
+  }
+  return state;
+}
+
+/// Checkpoint files in `dir` as (seq, path), newest first.
+std::vector<std::pair<uint64_t, std::string>> ListCheckpoints(
+    const std::string& dir) {
+  std::vector<std::pair<uint64_t, std::string>> found;
+  std::error_code ec;
+  for (const auto& entry : fs::directory_iterator(dir, ec)) {
+    const std::string name = entry.path().filename().string();
+    if (name.rfind(kCheckpointPrefix, 0) != 0) continue;
+    const size_t suffix_at = name.size() - std::strlen(kCheckpointSuffix);
+    if (name.size() <= std::strlen(kCheckpointPrefix) +
+                           std::strlen(kCheckpointSuffix) ||
+        name.substr(suffix_at) != kCheckpointSuffix) {
+      continue;
+    }
+    const std::string digits = name.substr(
+        std::strlen(kCheckpointPrefix),
+        suffix_at - std::strlen(kCheckpointPrefix));
+    const char* p = digits.c_str();
+    uint64_t seq = 0;
+    if (!ParseU64(&p, &seq) || *p != '\0') continue;
+    found.emplace_back(seq, entry.path().string());
+  }
+  std::sort(found.begin(), found.end(),
+            [](const auto& a, const auto& b) { return a.first > b.first; });
+  return found;
+}
+
+}  // namespace
+
+std::string CheckpointIo::CheckpointPath(const std::string& dir,
+                                         uint64_t seq) {
+  return (fs::path(dir) / (kCheckpointPrefix + std::to_string(seq) +
+                           kCheckpointSuffix))
+      .string();
+}
+
+Status CheckpointIo::Write(const MaintainerState& state, uint64_t fingerprint,
+                           const std::string& dir) {
+  obs::TraceSpan span("dynamic.checkpoint.write");
+  span.Attr("seq", state.seq);
+  MPC_RETURN_IF_ERROR(EnsureDir(dir));
+  const std::string body = SerializeCheckpoint(state, fingerprint);
+  const std::string path = CheckpointPath(dir, state.seq);
+  const std::string tmp = path + ".tmp";
+
+  const int fd = ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+  if (fd < 0) return SysError("cannot create checkpoint", tmp);
+  Status st = WriteAll(fd, body, tmp);
+  if (st.ok()) st = FsyncFd(fd, tmp);
+  ::close(fd);
+  if (!st.ok()) return st;
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    return SysError("cannot rename checkpoint into place", path);
+  }
+  MPC_RETURN_IF_ERROR(FsyncDir(dir));
+
+  // Keep the two newest checkpoints; the rest are dead weight.
+  const auto checkpoints = ListCheckpoints(dir);
+  for (size_t i = 2; i < checkpoints.size(); ++i) {
+    std::error_code ec;
+    fs::remove(checkpoints[i].second, ec);
+  }
+  auto& m = obs::MetricsRegistry::Default();
+  m.CounterRef("dynamic.checkpoints").Inc();
+  m.CounterRef("dynamic.checkpoint.bytes").Inc(body.size());
+  return Status::Ok();
+}
+
+Result<MaintainerState> CheckpointIo::LoadLatest(const std::string& dir,
+                                                 uint64_t fingerprint) {
+  MPC_TRACE_SPAN("dynamic.checkpoint.load");
+  const auto checkpoints = ListCheckpoints(dir);
+  if (checkpoints.empty()) {
+    return Status::NotFound("no checkpoints in " + dir);
+  }
+  Status last_error = Status::Ok();
+  for (const auto& [seq, path] : checkpoints) {
+    Result<MaintainerState> state = ParseCheckpoint(path, fingerprint);
+    if (state.ok()) return state;
+    if (state.status().code() == StatusCode::kInvalidArgument) {
+      // Fingerprint mismatch: the whole directory belongs to another
+      // partitioning; falling back to an older file cannot help.
+      return state.status();
+    }
+    MPC_LOG(Warning) << "checkpoint " << path
+                     << " unreadable, falling back: "
+                     << state.status().ToString();
+    last_error = state.status();
+  }
+  return last_error;
+}
+
+}  // namespace mpc::dynamic

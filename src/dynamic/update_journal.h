@@ -1,0 +1,139 @@
+#ifndef MPC_DYNAMIC_UPDATE_JOURNAL_H_
+#define MPC_DYNAMIC_UPDATE_JOURNAL_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "dsf/disjoint_set_forest.h"
+#include "dynamic/drift_tracker.h"
+#include "dynamic/update_log.h"
+#include "rdf/types.h"
+
+namespace mpc::dynamic {
+
+/// Write-ahead journal of applied UpdateBatches, kept next to the
+/// PartitionIo directory so a crashed `mpc update` stream can be
+/// replayed instead of re-running MPC from scratch (DESIGN.md §5f).
+///
+/// On-disk format (`journal.mpcwal` inside the journal directory): a
+/// header line `mpc-journal v1 <fingerprint-hex>` binding the journal to
+/// the seed partitioning, then one frame per batch:
+///
+///   batch <seq> <updates> <checksum-hex>
+///   <updates lines in UpdateLog syntax: "+ <s> <p> <o> .">
+///   commit <seq>
+///
+/// The checksum is FNV-1a over the payload lines (bytes between the
+/// `batch` and `commit` lines). Append() writes the whole frame with one
+/// write(2) and fsyncs before returning, so a frame is durable before
+/// the batch's effects are considered applied (write-ahead ordering:
+/// the maintainer journals first, applies second).
+///
+/// Replay() tolerates exactly one torn frame at the tail — the expected
+/// residue of a crash mid-append — by dropping it with a warning. A complete
+/// frame with a bad checksum, or garbage followed by more frames, is
+/// corruption and fails hard.
+class UpdateJournal {
+ public:
+  /// One recovered journal frame.
+  struct Entry {
+    uint64_t seq = 0;
+    UpdateBatch batch;
+  };
+
+  UpdateJournal() = default;
+  ~UpdateJournal();
+  UpdateJournal(UpdateJournal&& other) noexcept;
+  UpdateJournal& operator=(UpdateJournal&& other) noexcept;
+  UpdateJournal(const UpdateJournal&) = delete;
+  UpdateJournal& operator=(const UpdateJournal&) = delete;
+
+  /// Journal file path inside `dir`.
+  static std::string JournalPath(const std::string& dir);
+
+  /// Opens `dir`'s journal for appending, creating the directory and the
+  /// file (with a fsynced header) on first use. An existing journal must
+  /// carry the same fingerprint — a journal belongs to one seed
+  /// partitioning; mixing them would replay updates onto the wrong
+  /// state.
+  static Result<UpdateJournal> Open(const std::string& dir,
+                                    uint64_t fingerprint);
+
+  /// Appends one batch frame and fsyncs. `seq` must be the 1-based batch
+  /// sequence number (strictly increasing across the journal's life).
+  Status Append(uint64_t seq, const UpdateBatch& batch);
+
+  bool is_open() const { return fd_ >= 0; }
+
+  /// Reads every committed frame with seq > after_seq, in order. A torn
+  /// final frame (crash mid-append) is dropped with a warning; earlier
+  /// corruption is an error. A missing journal file yields no entries.
+  static Result<std::vector<Entry>> Replay(const std::string& dir,
+                                           uint64_t fingerprint,
+                                           uint64_t after_seq);
+
+ private:
+  int fd_ = -1;
+};
+
+/// Serialized IncrementalMaintainer state — everything needed to
+/// reconstruct a maintainer bit-for-bit without replaying the stream
+/// from the seed: the grown dictionaries, the frozen snapshot triples,
+/// the placement map, live crossing counters, the added/deleted sets,
+/// the online DSF forest (verbatim — its tree shape is
+/// history-dependent) and the drift counters.
+struct MaintainerState {
+  /// Batches applied when the state was captured; journal replay resumes
+  /// at seq + 1.
+  uint64_t seq = 0;
+  uint32_t k = 0;
+  /// Dictionary lexical forms in id order (id i = terms[i]).
+  std::vector<std::string> vertex_terms;
+  std::vector<std::string> property_terms;
+  /// The frozen snapshot of the last full (re)partition, sorted by
+  /// (property, subject, object).
+  std::vector<rdf::Triple> snapshot_triples;
+  /// Owner site per vertex, covering the grown universe.
+  std::vector<uint32_t> assignment;
+  /// Live crossing edges per property.
+  std::vector<uint64_t> crossing_count;
+  /// Distinct live crossing edges (|E^c|).
+  uint64_t num_crossing_edges = 0;
+  /// Triples appended since the snapshot / tombstones over snapshot ∪
+  /// added, both in canonical sorted order.
+  std::vector<rdf::Triple> added;
+  std::vector<rdf::Triple> deleted;
+  dsf::DsfState forest;
+  DriftTracker::State tracker;
+  /// Internal deletes since the forest was last rebuilt; drives the
+  /// tombstone-triggered rebuild so recovery rebuilds at the same batch
+  /// as an uninterrupted run.
+  uint64_t forest_stale_deletes = 0;
+
+  bool operator==(const MaintainerState&) const = default;
+};
+
+/// Atomic checkpoint persistence: Write() serializes to a temp file,
+/// fsyncs, renames to `checkpoint_<seq>.ckpt` and fsyncs the directory,
+/// so a crash leaves either the old checkpoint set or the new one —
+/// never a half-written file under the final name. The two most recent
+/// checkpoints are kept; older ones are garbage-collected.
+class CheckpointIo {
+ public:
+  static std::string CheckpointPath(const std::string& dir, uint64_t seq);
+
+  static Status Write(const MaintainerState& state, uint64_t fingerprint,
+                      const std::string& dir);
+
+  /// Loads the newest valid checkpoint. Falls back to the previous one
+  /// (with a warning) if the newest fails to parse; NotFound when the
+  /// directory holds no checkpoints at all.
+  static Result<MaintainerState> LoadLatest(const std::string& dir,
+                                            uint64_t fingerprint);
+};
+
+}  // namespace mpc::dynamic
+
+#endif  // MPC_DYNAMIC_UPDATE_JOURNAL_H_

@@ -22,7 +22,7 @@ std::string_view ScanTerm(std::string_view line, size_t* pos) {
     if (end == std::string_view::npos) return {};
     ++end;
   } else if (c == '_') {
-    end = line.find_first_of(" \t", start);
+    end = line.find_first_of(" \t\r", start);
     if (end == std::string_view::npos) end = line.size();
   } else if (c == '"') {
     // Closing quote is the first unescaped '"'.
@@ -40,7 +40,7 @@ std::string_view ScanTerm(std::string_view line, size_t* pos) {
     ++end;
     // Optional @lang or ^^<datatype> suffix, glued to the quote.
     if (end < line.size() && line[end] == '@') {
-      size_t stop = line.find_first_of(" \t", end);
+      size_t stop = line.find_first_of(" \t\r", end);
       end = stop == std::string_view::npos ? line.size() : stop;
     } else if (end + 1 < line.size() && line[end] == '^' &&
                line[end + 1] == '^') {
@@ -56,7 +56,8 @@ std::string_view ScanTerm(std::string_view line, size_t* pos) {
 }
 
 void SkipWs(std::string_view line, size_t* pos) {
-  while (*pos < line.size() && (line[*pos] == ' ' || line[*pos] == '\t')) {
+  while (*pos < line.size() &&
+         (line[*pos] == ' ' || line[*pos] == '\t' || line[*pos] == '\r')) {
     ++(*pos);
   }
 }
@@ -82,11 +83,20 @@ Result<std::vector<UpdateBatch>> UpdateLog::ParseDocument(
   size_t line_no = 0;
   while (!text.empty()) {
     ++line_no;
-    size_t nl = text.find('\n');
+    // A line ends at '\n', at '\r' (classic-Mac files), or at "\r\n"
+    // (CRLF files, where the pair is folded into one terminator).
+    size_t nl = text.find_first_of("\r\n");
     std::string_view line =
         nl == std::string_view::npos ? text : text.substr(0, nl);
-    text = nl == std::string_view::npos ? std::string_view()
-                                        : text.substr(nl + 1);
+    if (nl == std::string_view::npos) {
+      text = std::string_view();
+    } else {
+      size_t skip = nl + 1;
+      if (text[nl] == '\r' && skip < text.size() && text[skip] == '\n') {
+        ++skip;
+      }
+      text = text.substr(skip);
+    }
     std::string_view stripped = StripWhitespace(line);
     if (stripped.empty() || stripped[0] == '#') {
       flush();  // batch separator

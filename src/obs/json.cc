@@ -52,6 +52,46 @@ class Parser {
     return false;
   }
 
+  /// Reads 4 hex digits at `at` into *out; false when short or non-hex.
+  bool ReadHex4(size_t at, uint32_t* out) const {
+    if (at + 4 > text_.size()) return false;
+    uint32_t value = 0;
+    for (size_t i = 0; i < 4; ++i) {
+      const char c = text_[at + i];
+      uint32_t digit;
+      if (c >= '0' && c <= '9') {
+        digit = static_cast<uint32_t>(c - '0');
+      } else if (c >= 'a' && c <= 'f') {
+        digit = static_cast<uint32_t>(c - 'a') + 10;
+      } else if (c >= 'A' && c <= 'F') {
+        digit = static_cast<uint32_t>(c - 'A') + 10;
+      } else {
+        return false;
+      }
+      value = (value << 4) | digit;
+    }
+    *out = value;
+    return true;
+  }
+
+  static void AppendUtf8(std::string* out, uint32_t cp) {
+    if (cp < 0x80) {
+      *out += static_cast<char>(cp);
+    } else if (cp < 0x800) {
+      *out += static_cast<char>(0xC0 | (cp >> 6));
+      *out += static_cast<char>(0x80 | (cp & 0x3F));
+    } else if (cp < 0x10000) {
+      *out += static_cast<char>(0xE0 | (cp >> 12));
+      *out += static_cast<char>(0x80 | ((cp >> 6) & 0x3F));
+      *out += static_cast<char>(0x80 | (cp & 0x3F));
+    } else {
+      *out += static_cast<char>(0xF0 | (cp >> 18));
+      *out += static_cast<char>(0x80 | ((cp >> 12) & 0x3F));
+      *out += static_cast<char>(0x80 | ((cp >> 6) & 0x3F));
+      *out += static_cast<char>(0x80 | (cp & 0x3F));
+    }
+  }
+
   Status ParseValue(JsonValue* out, int depth) {
     if (depth > kMaxDepth) return Error("nesting too deep");
     SkipWhitespace();
@@ -143,13 +183,33 @@ class Parser {
             *out += '\r';
             break;
           case 'b':
+            *out += '\b';
+            break;
           case 'f':
-            *out += esc;
+            *out += '\f';
             break;
-          case 'u':
-            // Kept verbatim (no codepoint decoding).
-            *out += "\\u";
-            break;
+          case 'u': {
+            // \uXXXX escape: decode the BMP codepoint — or, for a
+            // high surrogate, pair it with the following \uXXXX low
+            // surrogate — and append it as UTF-8.
+            uint32_t cp = 0;
+            if (!ReadHex4(pos_ + 2, &cp)) return Error("bad \\u escape");
+            size_t consumed = 6;
+            if (cp >= 0xD800 && cp <= 0xDBFF) {
+              uint32_t lo = 0;
+              if (text_.substr(pos_ + 6, 2) != "\\u" ||
+                  !ReadHex4(pos_ + 8, &lo) || lo < 0xDC00 || lo > 0xDFFF) {
+                return Error("unpaired surrogate in \\u escape");
+              }
+              cp = 0x10000 + ((cp - 0xD800) << 10) + (lo - 0xDC00);
+              consumed = 12;
+            } else if (cp >= 0xDC00 && cp <= 0xDFFF) {
+              return Error("unpaired surrogate in \\u escape");
+            }
+            AppendUtf8(out, cp);
+            pos_ += consumed;
+            continue;
+          }
           default:
             return Error("bad escape");
         }

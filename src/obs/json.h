@@ -12,8 +12,9 @@ namespace mpc::obs {
 
 /// Minimal JSON DOM, just enough to round-trip-check the tracer's and
 /// the metrics registry's exports (and for tools/trace_check). Not a
-/// general-purpose parser: no \uXXXX decoding (escapes are kept
-/// verbatim), numbers parsed as double.
+/// general-purpose parser, but escapes decode fully: \uXXXX BMP escapes
+/// and surrogate pairs are decoded to UTF-8 (lone surrogates are a
+/// ParseError), numbers parsed as double.
 class JsonValue {
  public:
   enum class Type { kNull, kBool, kNumber, kString, kArray, kObject };

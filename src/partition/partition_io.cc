@@ -5,6 +5,7 @@
 #include <fstream>
 #include <sstream>
 
+#include "common/hash.h"
 #include "common/string_util.h"
 #include "rdf/ntriples.h"
 
@@ -246,6 +247,31 @@ Result<Partitioning> PartitionIo::Load(const rdf::RdfGraph& graph,
   }
 
   return Status::ParseError("unknown partitioning kind '" + kind + "'");
+}
+
+Result<uint64_t> PartitionIo::Fingerprint(const std::string& dir) {
+  const std::string manifest_path =
+      (std::filesystem::path(dir) / kManifestName).string();
+  std::ifstream manifest(manifest_path, std::ios::binary);
+  if (!manifest) {
+    return Status::IoError("cannot open " + manifest_path);
+  }
+  std::ostringstream manifest_bytes;
+  manifest_bytes << manifest.rdbuf();
+
+  // The assignment file pins the vertex->site map; absent for
+  // edge-disjoint partitionings, which hash the manifest alone.
+  std::string assignment_bytes;
+  const std::string assignment_path =
+      (std::filesystem::path(dir) / kAssignmentName).string();
+  std::ifstream assignment(assignment_path, std::ios::binary);
+  if (assignment) {
+    std::ostringstream buffer;
+    buffer << assignment.rdbuf();
+    assignment_bytes = std::move(buffer).str();
+  }
+  return HashCombine(HashString(manifest_bytes.str()),
+                     HashString(assignment_bytes));
 }
 
 }  // namespace mpc::partition

@@ -34,6 +34,12 @@ class PartitionIo {
   /// (VP) partitionings are reconstructed from the per-site files.
   static Result<Partitioning> Load(const rdf::RdfGraph& graph,
                                    const std::string& dir);
+
+  /// Content fingerprint of a saved partitioning (FNV over the manifest
+  /// and assignment bytes). The dynamic update journal and checkpoints
+  /// are stamped with it, so recovery refuses to replay a journal onto a
+  /// partitioning it was not written for.
+  static Result<uint64_t> Fingerprint(const std::string& dir);
 };
 
 }  // namespace mpc::partition

@@ -7,12 +7,16 @@
 // 1, 2 and 8 threads.
 
 #include <array>
+#include <filesystem>
+#include <fstream>
+#include <memory>
 #include <set>
 #include <string>
 #include <vector>
 
 #include "common/random.h"
 #include "dynamic/incremental_maintainer.h"
+#include "dynamic/update_journal.h"
 #include "exec/cluster.h"
 #include "exec/distributed_executor.h"
 #include "gtest/gtest.h"
@@ -268,6 +272,204 @@ TEST(DynamicEquivalenceTest, DeleteHeavyStreamStaysCorrect) {
   // The tombstone trigger must have fired at least once while draining.
   EXPECT_GE(m.repartition_count(), 1u);
   EXPECT_GE(repartitions_seen, 1u);
+}
+
+// ---------------------------------------------------------- Crash recovery
+
+std::string TempDir(const std::string& name) {
+  std::string dir = ::testing::TempDir() + "/" + name;
+  std::filesystem::remove_all(dir);
+  return dir;
+}
+
+/// How the simulated crash leaves the journal directory.
+enum class CrashKind {
+  kNoJournal,       // crash before anything durable was written
+  kTornWrite,       // crash mid-append: the last frame is torn
+  kJournalComplete, // frames intact, but no checkpoint survives
+  kCheckpointTail,  // a mid-stream checkpoint plus a journal tail
+};
+
+const char* CrashName(CrashKind kind) {
+  switch (kind) {
+    case CrashKind::kNoJournal: return "no-journal";
+    case CrashKind::kTornWrite: return "torn-write";
+    case CrashKind::kJournalComplete: return "journal-complete";
+    case CrashKind::kCheckpointTail: return "checkpoint-tail";
+  }
+  return "?";
+}
+
+/// Kill-and-recover: a durable maintainer applies a prefix of the
+/// stream, "crashes" (the process state is dropped; only the journal
+/// directory survives, mutilated per CrashKind), is recovered via
+/// OpenDurable, finishes the stream, and must be state-identical to an
+/// uninterrupted run — at every thread count. Sync repartition mode:
+/// recovery replays repartitions synchronously, so only the sync stream
+/// is bit-reproducible (background timing is inherently racy).
+TEST(DynamicRecoveryTest, RecoveredStateMatchesUninterruptedRun) {
+  Rng rng(4242);
+  RdfGraph seed = testutil::RandomGraph(rng, 60, 220, 5, /*community=*/12,
+                                        /*escape=*/0.15);
+  core::MpcOptions mpc;
+  mpc.base.k = 4;
+  mpc.base.epsilon = 0.3;
+  partition::Partitioning seed_partitioning =
+      core::MpcPartitioner(mpc).Partition(seed);
+  std::vector<UpdateBatch> stream = MakeStream(rng, seed, 10, 12);
+  const size_t crash_at = 6;  // batches applied before the crash
+  const uint64_t fp = 0x5eedf00d;
+
+  for (int threads : {1, 2, 8}) {
+    MaintainerOptions options;
+    options.mpc = mpc;
+    // Tight thresholds so the stream drives repartitions — the matrix
+    // must also prove that recovery re-runs them identically.
+    options.policy.kind = RepartitionPolicy::Kind::kThreshold;
+    options.policy.max_lcross_growth = 0.2;
+    options.policy.min_lcross_slack = 2;
+    options.policy.max_tombstone_ratio = 0.1;
+    options.num_threads = threads;
+
+    // Reference: an uninterrupted (non-durable) run of the full stream.
+    IncrementalMaintainer reference(seed.Clone(), seed_partitioning,
+                                    options);
+    for (const UpdateBatch& b : stream) reference.ApplyBatch(b);
+    const MaintainerState want = reference.ExportState();
+    // The stream must drive at least one repartition, or the matrix
+    // would never prove that recovery replays repartitions correctly.
+    ASSERT_GE(reference.repartition_count(), 1u);
+
+    for (CrashKind kind :
+         {CrashKind::kNoJournal, CrashKind::kTornWrite,
+          CrashKind::kJournalComplete, CrashKind::kCheckpointTail}) {
+      const std::string context = std::string(CrashName(kind)) +
+                                  " threads=" + std::to_string(threads);
+      const std::string dir = TempDir(
+          "mpc_recover_" + std::string(CrashName(kind)) + "_" +
+          std::to_string(threads));
+      MaintainerOptions durable = options;
+      durable.journal_dir = dir;
+      durable.checkpoint_every_batches =
+          kind == CrashKind::kCheckpointTail ? 4 : 0;
+
+      // Phase 1: run until the crash point (skipped for kNoJournal —
+      // that crash happened before the first durable byte).
+      size_t durable_batches = 0;
+      if (kind != CrashKind::kNoJournal) {
+        Result<std::unique_ptr<IncrementalMaintainer>> first =
+            IncrementalMaintainer::OpenDurable(
+                seed.Clone(), seed_partitioning, durable, fp);
+        ASSERT_TRUE(first.ok()) << context << ": "
+                                << first.status().ToString();
+        for (size_t b = 0; b < crash_at; ++b) {
+          ApplyResult r = (*first)->ApplyBatch(stream[b]);
+          ASSERT_TRUE(r.durability.ok()) << context;
+        }
+        durable_batches = crash_at;
+      }
+
+      // The crash: drop the maintainer, then mutilate the directory.
+      switch (kind) {
+        case CrashKind::kNoJournal:
+        case CrashKind::kCheckpointTail:
+          break;
+        case CrashKind::kTornWrite: {
+          // Tear the final frame; batch crash_at is no longer durable.
+          const std::string path = UpdateJournal::JournalPath(dir);
+          std::filesystem::resize_file(
+              path, std::filesystem::file_size(path) - 9);
+          durable_batches = crash_at - 1;
+          [[fallthrough]];
+        }
+        case CrashKind::kJournalComplete:
+          // No checkpoint survives: recovery must replay the whole
+          // journal from the seed (repartitions re-run synchronously).
+          for (const auto& entry :
+               std::filesystem::directory_iterator(dir)) {
+            if (entry.path().extension() == ".ckpt") {
+              std::filesystem::remove(entry.path());
+            }
+          }
+          break;
+      }
+
+      // Phase 2: recover and finish the stream.
+      Result<std::unique_ptr<IncrementalMaintainer>> recovered =
+          IncrementalMaintainer::OpenDurable(
+              seed.Clone(), seed_partitioning, durable, fp);
+      ASSERT_TRUE(recovered.ok()) << context << ": "
+                                  << recovered.status().ToString();
+      EXPECT_EQ((*recovered)->batches_applied(), durable_batches)
+          << context;
+      for (size_t b = (*recovered)->batches_applied(); b < stream.size();
+           ++b) {
+        ApplyResult r = (*recovered)->ApplyBatch(stream[b]);
+        ASSERT_TRUE(r.durability.ok()) << context;
+      }
+
+      const MaintainerState got = (*recovered)->ExportState();
+      EXPECT_TRUE(got == want) << context;
+      // On mismatch, pin down which piece diverged.
+      if (!(got == want)) {
+        EXPECT_EQ(got.seq, want.seq) << context;
+        EXPECT_EQ(got.vertex_terms, want.vertex_terms) << context;
+        EXPECT_EQ(got.property_terms, want.property_terms) << context;
+        EXPECT_EQ(got.snapshot_triples, want.snapshot_triples) << context;
+        EXPECT_EQ(got.assignment, want.assignment) << context;
+        EXPECT_EQ(got.crossing_count, want.crossing_count) << context;
+        EXPECT_EQ(got.num_crossing_edges, want.num_crossing_edges)
+            << context;
+        EXPECT_EQ(got.added, want.added) << context;
+        EXPECT_EQ(got.deleted, want.deleted) << context;
+        EXPECT_TRUE(got.forest == want.forest) << context;
+        EXPECT_TRUE(got.tracker == want.tracker) << context;
+        EXPECT_EQ(got.forest_stale_deletes, want.forest_stale_deletes)
+            << context;
+      }
+    }
+  }
+}
+
+/// Re-opening a finished durable run replays to exactly the final state
+/// without re-running a single batch from the caller's side.
+TEST(DynamicRecoveryTest, ReopenAfterCleanFinishIsIdempotent) {
+  Rng rng(99);
+  RdfGraph seed = testutil::RandomGraph(rng, 40, 140, 4, 10);
+  core::MpcOptions mpc;
+  mpc.base.k = 3;
+  mpc.base.epsilon = 0.3;
+  partition::Partitioning seed_partitioning =
+      core::MpcPartitioner(mpc).Partition(seed);
+  std::vector<UpdateBatch> stream = MakeStream(rng, seed, 6, 8);
+
+  MaintainerOptions options;
+  options.mpc = mpc;
+  options.policy.kind = RepartitionPolicy::Kind::kThreshold;
+  options.journal_dir = TempDir("mpc_recover_idem");
+  const uint64_t fp = 17;
+
+  MaintainerState finished;
+  {
+    Result<std::unique_ptr<IncrementalMaintainer>> m =
+        IncrementalMaintainer::OpenDurable(seed.Clone(), seed_partitioning,
+                                           options, fp);
+    ASSERT_TRUE(m.ok());
+    for (const UpdateBatch& b : stream) (*m)->ApplyBatch(b);
+    ASSERT_TRUE((*m)->WriteCheckpoint().ok());
+    finished = (*m)->ExportState();
+  }
+  Result<std::unique_ptr<IncrementalMaintainer>> again =
+      IncrementalMaintainer::OpenDurable(seed.Clone(), seed_partitioning,
+                                         options, fp);
+  ASSERT_TRUE(again.ok()) << again.status().ToString();
+  EXPECT_EQ((*again)->batches_applied(), stream.size());
+  EXPECT_TRUE((*again)->ExportState() == finished);
+
+  // The wrong fingerprint is refused outright.
+  EXPECT_FALSE(IncrementalMaintainer::OpenDurable(
+                   seed.Clone(), seed_partitioning, options, fp + 1)
+                   .ok());
 }
 
 }  // namespace

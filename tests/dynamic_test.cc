@@ -1,11 +1,14 @@
 #include "dynamic/incremental_maintainer.h"
 
+#include <filesystem>
+#include <fstream>
 #include <map>
 #include <set>
 #include <string>
 #include <vector>
 
 #include "common/random.h"
+#include "dynamic/update_journal.h"
 #include "dynamic/update_log.h"
 #include "gtest/gtest.h"
 #include "test_util.h"
@@ -105,6 +108,52 @@ TEST(UpdateLogTest, ParsesBatchesAndRoundTrips) {
                 (*batches)[b].updates[i].object);
     }
   }
+}
+
+TEST(UpdateLogTest, ParsesCrlfAndBareCrLineEndings) {
+  // The same log with Unix, Windows and classic-Mac line endings must
+  // parse identically (update logs routinely cross platforms).
+  const std::string lf =
+      "+ <t:a> <t:p> <t:b> .\n"
+      "\n"
+      "- <t:b> <t:p> <t:c> .\n"
+      "+ <t:a> <t:q> \"lit\"@en .\n";
+  const std::string crlf =
+      "+ <t:a> <t:p> <t:b> .\r\n"
+      "\r\n"
+      "- <t:b> <t:p> <t:c> .\r\n"
+      "+ <t:a> <t:q> \"lit\"@en .\r\n";
+  const std::string cr =
+      "+ <t:a> <t:p> <t:b> .\r"
+      "\r"
+      "- <t:b> <t:p> <t:c> .\r"
+      "+ <t:a> <t:q> \"lit\"@en .\r";
+  Result<std::vector<UpdateBatch>> from_lf = UpdateLog::ParseDocument(lf);
+  ASSERT_TRUE(from_lf.ok()) << from_lf.status().ToString();
+  for (const std::string* text : {&crlf, &cr}) {
+    Result<std::vector<UpdateBatch>> got = UpdateLog::ParseDocument(*text);
+    ASSERT_TRUE(got.ok()) << got.status().ToString();
+    ASSERT_EQ(got->size(), from_lf->size());
+    for (size_t b = 0; b < got->size(); ++b) {
+      ASSERT_EQ((*got)[b].size(), (*from_lf)[b].size());
+      for (size_t i = 0; i < (*got)[b].size(); ++i) {
+        EXPECT_EQ((*got)[b].updates[i].kind, (*from_lf)[b].updates[i].kind);
+        EXPECT_EQ((*got)[b].updates[i].subject,
+                  (*from_lf)[b].updates[i].subject);
+        EXPECT_EQ((*got)[b].updates[i].property,
+                  (*from_lf)[b].updates[i].property);
+        EXPECT_EQ((*got)[b].updates[i].object,
+                  (*from_lf)[b].updates[i].object);
+      }
+    }
+  }
+  // Serialize() always emits LF, so a CRLF log round-trips to the LF
+  // parse.
+  Result<std::vector<UpdateBatch>> again =
+      UpdateLog::ParseDocument(UpdateLog::Serialize(
+          *UpdateLog::ParseDocument(crlf)));
+  ASSERT_TRUE(again.ok());
+  EXPECT_EQ(again->size(), from_lf->size());
 }
 
 TEST(UpdateLogTest, RejectsMissingSignWithLineNumber) {
@@ -495,6 +544,361 @@ TEST(IncrementalMaintainerTest, DictionaryGrowthKeepsGraphAccessorsValid) {
       "SELECT * WHERE { ?x " + T("r1") + " ?y . }", &stats);
   ASSERT_TRUE(r.ok());
   EXPECT_EQ(r->num_rows(), 1u);
+}
+
+// ------------------------------------------------------------ UpdateJournal
+
+std::string TempDir(const std::string& name) {
+  std::string dir = ::testing::TempDir() + "/" + name;
+  std::filesystem::remove_all(dir);
+  return dir;
+}
+
+void ExpectSameBatch(const UpdateBatch& a, const UpdateBatch& b) {
+  ASSERT_EQ(a.size(), b.size());
+  for (size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a.updates[i].kind, b.updates[i].kind);
+    EXPECT_EQ(a.updates[i].subject, b.updates[i].subject);
+    EXPECT_EQ(a.updates[i].property, b.updates[i].property);
+    EXPECT_EQ(a.updates[i].object, b.updates[i].object);
+  }
+}
+
+TEST(UpdateJournalTest, AppendReplayRoundTrip) {
+  const std::string dir = TempDir("mpc_journal_rt");
+  const uint64_t fp = 0xabcdef12u;
+  UpdateBatch b1 = Batch({Ins("a", "p", "b"), Del("b", "p", "c")});
+  UpdateBatch b2 = Batch({Ins("x", "q", "y")});
+  {
+    Result<UpdateJournal> journal = UpdateJournal::Open(dir, fp);
+    ASSERT_TRUE(journal.ok()) << journal.status().ToString();
+    ASSERT_TRUE(journal->Append(1, b1).ok());
+    ASSERT_TRUE(journal->Append(2, b2).ok());
+  }
+  Result<std::vector<UpdateJournal::Entry>> entries =
+      UpdateJournal::Replay(dir, fp, 0);
+  ASSERT_TRUE(entries.ok()) << entries.status().ToString();
+  ASSERT_EQ(entries->size(), 2u);
+  EXPECT_EQ((*entries)[0].seq, 1u);
+  EXPECT_EQ((*entries)[1].seq, 2u);
+  ExpectSameBatch((*entries)[0].batch, b1);
+  ExpectSameBatch((*entries)[1].batch, b2);
+
+  // after_seq filters already-applied frames.
+  Result<std::vector<UpdateJournal::Entry>> tail =
+      UpdateJournal::Replay(dir, fp, 1);
+  ASSERT_TRUE(tail.ok());
+  ASSERT_EQ(tail->size(), 1u);
+  EXPECT_EQ((*tail)[0].seq, 2u);
+
+  // Reopening appends after the existing frames.
+  Result<UpdateJournal> again = UpdateJournal::Open(dir, fp);
+  ASSERT_TRUE(again.ok()) << again.status().ToString();
+  ASSERT_TRUE(again->Append(3, Batch({Del("a", "p", "b")})).ok());
+  entries = UpdateJournal::Replay(dir, fp, 0);
+  ASSERT_TRUE(entries.ok());
+  EXPECT_EQ(entries->size(), 3u);
+}
+
+TEST(UpdateJournalTest, MissingJournalReplaysEmpty) {
+  Result<std::vector<UpdateJournal::Entry>> entries =
+      UpdateJournal::Replay(TempDir("mpc_journal_none"), 1, 0);
+  ASSERT_TRUE(entries.ok()) << entries.status().ToString();
+  EXPECT_TRUE(entries->empty());
+}
+
+TEST(UpdateJournalTest, TornTailDroppedAndHealedOnReopen) {
+  const std::string dir = TempDir("mpc_journal_torn");
+  const uint64_t fp = 7;
+  {
+    Result<UpdateJournal> journal = UpdateJournal::Open(dir, fp);
+    ASSERT_TRUE(journal.ok());
+    ASSERT_TRUE(journal->Append(1, Batch({Ins("a", "p", "b")})).ok());
+    ASSERT_TRUE(journal->Append(2, Batch({Ins("b", "p", "c")})).ok());
+  }
+  // Tear the second frame, as a crash mid-append would.
+  const std::string path = UpdateJournal::JournalPath(dir);
+  const auto full_size = std::filesystem::file_size(path);
+  std::filesystem::resize_file(path, full_size - 5);
+
+  Result<std::vector<UpdateJournal::Entry>> entries =
+      UpdateJournal::Replay(dir, fp, 0);
+  ASSERT_TRUE(entries.ok()) << entries.status().ToString();
+  ASSERT_EQ(entries->size(), 1u);
+  EXPECT_EQ((*entries)[0].seq, 1u);
+
+  // Open() truncates the torn tail before appending, so the next frame
+  // lands after frame 1, not after garbage.
+  Result<UpdateJournal> journal = UpdateJournal::Open(dir, fp);
+  ASSERT_TRUE(journal.ok()) << journal.status().ToString();
+  ASSERT_TRUE(journal->Append(2, Batch({Ins("c", "p", "d")})).ok());
+  entries = UpdateJournal::Replay(dir, fp, 0);
+  ASSERT_TRUE(entries.ok()) << entries.status().ToString();
+  ASSERT_EQ(entries->size(), 2u);
+  EXPECT_EQ((*entries)[1].batch.updates[0].subject, T("c"));
+}
+
+TEST(UpdateJournalTest, MidFileCorruptionFailsHard) {
+  const std::string dir = TempDir("mpc_journal_corrupt");
+  const uint64_t fp = 7;
+  {
+    Result<UpdateJournal> journal = UpdateJournal::Open(dir, fp);
+    ASSERT_TRUE(journal.ok());
+    ASSERT_TRUE(journal->Append(1, Batch({Ins("aaaa", "p", "bbbb")})).ok());
+    ASSERT_TRUE(journal->Append(2, Batch({Ins("c", "p", "d")})).ok());
+  }
+  // Flip a payload byte of the FIRST frame: the frame is complete (it is
+  // followed by another), so this is corruption, not a torn tail.
+  const std::string path = UpdateJournal::JournalPath(dir);
+  std::string bytes;
+  {
+    std::ifstream in(path, std::ios::binary);
+    std::ostringstream buffer;
+    buffer << in.rdbuf();
+    bytes = std::move(buffer).str();
+  }
+  const size_t at = bytes.find("aaaa");
+  ASSERT_NE(at, std::string::npos);
+  bytes[at] = 'z';
+  {
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    out << bytes;
+  }
+  Result<std::vector<UpdateJournal::Entry>> entries =
+      UpdateJournal::Replay(dir, fp, 0);
+  ASSERT_FALSE(entries.ok());
+  EXPECT_NE(entries.status().message().find("checksum"), std::string::npos)
+      << entries.status().ToString();
+}
+
+TEST(UpdateJournalTest, FingerprintMismatchRejected) {
+  const std::string dir = TempDir("mpc_journal_fp");
+  {
+    Result<UpdateJournal> journal = UpdateJournal::Open(dir, 111);
+    ASSERT_TRUE(journal.ok());
+    ASSERT_TRUE(journal->Append(1, Batch({Ins("a", "p", "b")})).ok());
+  }
+  EXPECT_FALSE(UpdateJournal::Replay(dir, 222, 0).ok());
+  EXPECT_FALSE(UpdateJournal::Open(dir, 222).ok());
+  EXPECT_TRUE(UpdateJournal::Replay(dir, 111, 0).ok());
+}
+
+// -------------------------------------------------------------- Checkpoints
+
+TEST(CheckpointTest, StateRoundTripsThroughCheckpoint) {
+  RdfGraph graph = TwoIslandGraph();
+  IncrementalMaintainer m(graph.Clone(), MakeByName(graph, 2, IslandSites()),
+                          NoRepartition());
+  // Grow the dictionaries, cross a property, tombstone a triple — every
+  // piece of serialized state is non-trivial.
+  m.ApplyBatch(Batch({Ins("a1", "p", "b1"), Ins("newv", "r", "a2")}));
+  m.ApplyBatch(Batch({Del("a2", "p", "a3"), Ins("a1", "q", "b2")}));
+
+  const MaintainerState state = m.ExportState();
+  EXPECT_EQ(state.seq, 2u);
+  const std::string dir = TempDir("mpc_ckpt_rt");
+  ASSERT_TRUE(CheckpointIo::Write(state, 99, dir).ok());
+
+  Result<MaintainerState> loaded = CheckpointIo::LoadLatest(dir, 99);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  EXPECT_TRUE(*loaded == state);
+
+  // A maintainer restored from the state is observably identical.
+  IncrementalMaintainer r(*loaded, NoRepartition());
+  EXPECT_TRUE(r.ExportState() == state);
+  EXPECT_EQ(r.num_live_triples(), m.num_live_triples());
+  EXPECT_EQ(r.partitioning().assignment().part,
+            m.partitioning().assignment().part);
+  EXPECT_EQ(r.partitioning().crossing_property_mask(),
+            m.partitioning().crossing_property_mask());
+  EXPECT_EQ(r.LiveTriples(), m.LiveTriples());
+
+  // And diverges identically under further updates.
+  ApplyResult ra = m.ApplyBatch(Batch({Ins("a3", "p", "b3")}));
+  ApplyResult rb = r.ApplyBatch(Batch({Ins("a3", "p", "b3")}));
+  EXPECT_EQ(ra.inserts, rb.inserts);
+  EXPECT_TRUE(m.ExportState() == r.ExportState());
+}
+
+TEST(CheckpointTest, WrongFingerprintAndEmptyDir) {
+  const std::string dir = TempDir("mpc_ckpt_fp");
+  Result<MaintainerState> none = CheckpointIo::LoadLatest(dir, 5);
+  ASSERT_FALSE(none.ok());
+  EXPECT_EQ(none.status().code(), StatusCode::kNotFound);
+
+  RdfGraph graph = TwoIslandGraph();
+  IncrementalMaintainer m(graph.Clone(), MakeByName(graph, 2, IslandSites()),
+                          NoRepartition());
+  ASSERT_TRUE(CheckpointIo::Write(m.ExportState(), 5, dir).ok());
+  EXPECT_TRUE(CheckpointIo::LoadLatest(dir, 5).ok());
+  EXPECT_FALSE(CheckpointIo::LoadLatest(dir, 6).ok());
+}
+
+TEST(CheckpointTest, KeepsTwoNewestAndLoadsLatest) {
+  const std::string dir = TempDir("mpc_ckpt_gc");
+  RdfGraph graph = TwoIslandGraph();
+  IncrementalMaintainer m(graph.Clone(), MakeByName(graph, 2, IslandSites()),
+                          NoRepartition());
+  for (int b = 1; b <= 3; ++b) {
+    m.ApplyBatch(Batch({Ins("n" + std::to_string(b), "p", "a1")}));
+    ASSERT_TRUE(CheckpointIo::Write(m.ExportState(), 5, dir).ok());
+  }
+  EXPECT_FALSE(
+      std::filesystem::exists(CheckpointIo::CheckpointPath(dir, 1)));
+  EXPECT_TRUE(
+      std::filesystem::exists(CheckpointIo::CheckpointPath(dir, 2)));
+  EXPECT_TRUE(
+      std::filesystem::exists(CheckpointIo::CheckpointPath(dir, 3)));
+  Result<MaintainerState> latest = CheckpointIo::LoadLatest(dir, 5);
+  ASSERT_TRUE(latest.ok());
+  EXPECT_EQ(latest->seq, 3u);
+
+  // A trashed newest checkpoint falls back to the previous one.
+  {
+    std::ofstream out(CheckpointIo::CheckpointPath(dir, 3),
+                      std::ios::binary | std::ios::trunc);
+    out << "mpc-checkpoint v1 garbage\n";
+  }
+  latest = CheckpointIo::LoadLatest(dir, 5);
+  ASSERT_TRUE(latest.ok()) << latest.status().ToString();
+  EXPECT_EQ(latest->seq, 2u);
+}
+
+// ----------------------------------------------------- Def. 4.2 budget
+
+TEST(RepartitionPolicyTest, ComponentBudgetFiresOnlyWhenEnforced) {
+  RepartitionPolicy policy;
+  DriftMetrics m;
+  m.max_internal_component = 10;
+  m.internal_component_budget = 8;
+  EXPECT_TRUE(policy.Evaluate(m).empty());  // off by default
+  policy.enforce_component_budget = true;
+  EXPECT_NE(policy.Evaluate(m).find("budget"), std::string::npos);
+  m.max_internal_component = 8;
+  EXPECT_TRUE(policy.Evaluate(m).empty());  // at the budget: keep
+}
+
+TEST(IncrementalMaintainerTest, ForestRebuildPreventsSpuriousRepartition) {
+  // Path a1-a2-a3-a4 plus a5-a6 at site 0, path b1-b2-b3 at site 1.
+  // |V| = 9, k = 2, eps = 0.1 => Def. 4.2 budget = floor(1.1*9/2) = 4.
+  auto build = [] {
+    return testutil::BuildGraph({{"a1", "p", "a2"},
+                                 {"a2", "p", "a3"},
+                                 {"a3", "p", "a4"},
+                                 {"a5", "p", "a6"},
+                                 {"b1", "p", "b2"},
+                                 {"b2", "p", "b3"}});
+  };
+  const std::map<std::string, uint32_t> sites = {
+      {"a1", 0}, {"a2", 0}, {"a3", 0}, {"a4", 0}, {"a5", 0},
+      {"a6", 0}, {"b1", 1}, {"b2", 1}, {"b3", 1}};
+  // The stream deletes the path's outer edges, bridges the two site-0
+  // groups, then reinserts one deleted edge. True max component never
+  // exceeds 3; the delete-blind forest believes 4+2=6 > 4 at the bridge.
+  const std::vector<UpdateBatch> stream = {
+      Batch({Del("a1", "p", "a2"), Del("a3", "p", "a4")}),
+      Batch({Ins("a4", "p", "a5")}),
+      Batch({Ins("a1", "p", "a2")}),
+  };
+  MaintainerOptions options;
+  options.policy.kind = RepartitionPolicy::Kind::kThreshold;
+  options.policy.enforce_component_budget = true;
+  options.policy.max_tombstone_ratio = 1.0;  // isolate the budget trigger
+  options.mpc.base.k = 2;
+  options.mpc.base.epsilon = 0.1;
+
+  // Without the rebuild, the over-approximated component fires the
+  // budget trigger spuriously.
+  {
+    RdfGraph graph = build();
+    MaintainerOptions no_rebuild = options;
+    no_rebuild.forest_rebuild_tombstone_ratio = 0.0;
+    IncrementalMaintainer m(graph.Clone(), MakeByName(graph, 2, sites),
+                            no_rebuild);
+    size_t fires = 0;
+    for (const UpdateBatch& b : stream) {
+      fires += m.ApplyBatch(b).repartition_triggered ? 1 : 0;
+    }
+    EXPECT_GE(fires, 1u);
+  }
+
+  // With the tombstone-triggered rebuild (2 dead of 6 slots = 0.33 >
+  // 0.1 after batch 1), the forest re-converges to the live components
+  // and the policy stays quiet through delete-then-reinsert.
+  {
+    RdfGraph graph = build();
+    MaintainerOptions rebuild = options;
+    rebuild.forest_rebuild_tombstone_ratio = 0.1;
+    IncrementalMaintainer m(graph.Clone(), MakeByName(graph, 2, sites),
+                            rebuild);
+    for (const UpdateBatch& b : stream) {
+      ApplyResult r = m.ApplyBatch(b);
+      EXPECT_FALSE(r.repartition_triggered) << r.trigger_reason;
+      EXPECT_LE(r.drift.max_internal_component,
+                r.drift.internal_component_budget);
+    }
+    EXPECT_EQ(m.repartition_count(), 0u);
+    EXPECT_EQ(m.num_live_triples(), 6u);  // 6 seed - 2 del + 2 ins - 0
+  }
+}
+
+// ------------------------------------------------------------ Backpressure
+
+TEST(IncrementalMaintainerTest, BackpressureKeepsStateExactUnderLoad) {
+  // A background-repartition stream with a replay-queue cap of 1: both
+  // policies must end bit-equal to the oracle live set, whatever the
+  // background timing did (stall-at-cap for kBlock, abandon-and-restart
+  // for kReanchor).
+  for (ReplayBackpressure policy :
+       {ReplayBackpressure::kBlock, ReplayBackpressure::kReanchor}) {
+    RdfGraph graph = TwoIslandGraph();
+    MaintainerOptions options;
+    options.policy.kind = RepartitionPolicy::Kind::kPeriodic;
+    options.policy.period_batches = 2;
+    options.background_repartition = true;
+    options.max_replay_batches = 1;
+    options.backpressure = policy;
+    IncrementalMaintainer m(graph.Clone(),
+                            MakeByName(graph, 2, IslandSites()), options);
+
+    std::set<std::string> live;  // oracle keyed by lexical triple
+    auto key = [](const TripleUpdate& u) {
+      return u.subject + " " + u.property + " " + u.object;
+    };
+    for (const rdf::Triple& t : graph.triples()) {
+      live.insert(std::string(graph.VertexName(t.subject)) + " " +
+                  std::string(graph.PropertyName(t.property)) + " " +
+                  std::string(graph.VertexName(t.object)));
+    }
+    for (int b = 0; b < 10; ++b) {
+      UpdateBatch batch = Batch({
+          Ins("s" + std::to_string(b), "p", b % 2 ? "a1" : "b1"),
+          Ins("s" + std::to_string(b), "q", "a2"),
+      });
+      if (b == 5) batch.updates.push_back(Del("a1", "p", "a2"));
+      for (const TripleUpdate& u : batch.updates) {
+        if (u.kind == UpdateKind::kInsert) {
+          live.insert(key(u));
+        } else {
+          live.erase(key(u));
+        }
+      }
+      m.ApplyBatch(batch);
+    }
+    m.WaitForRepartition();
+
+    std::set<std::string> maintained;
+    const RdfGraph& g = m.graph();
+    for (const rdf::Triple& t : m.LiveTriples()) {
+      maintained.insert(std::string(g.VertexName(t.subject)) + " " +
+                        std::string(g.PropertyName(t.property)) + " " +
+                        std::string(g.VertexName(t.object)));
+    }
+    EXPECT_EQ(maintained, live)
+        << "backpressure policy "
+        << (policy == ReplayBackpressure::kBlock ? "block" : "reanchor");
+    EXPECT_GE(m.repartition_count(), 1u);
+  }
 }
 
 }  // namespace

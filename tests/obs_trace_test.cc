@@ -183,10 +183,11 @@ TEST_F(TraceTest, ChromeJsonRoundTripsThroughParser) {
   ASSERT_TRUE(args->is_object());
   EXPECT_EQ(args->Find("count")->number, 7.0);
   EXPECT_EQ(args->Find("ratio")->number, 0.5);
-  // The escaped string survives the parser (which keeps escapes other
-  // than \" and \n verbatim — both used here are decoded).
+  // The escaped string survives the parser and decodes back to the
+  // original attribute value.
   ASSERT_NE(args->Find("label"), nullptr);
   EXPECT_TRUE(args->Find("label")->is_string());
+  EXPECT_EQ(args->Find("label")->str, "quoted \"name\"\n");
 
   // Parent/child linkage survives the export: the child's parent_id arg
   // equals the parent's span_id arg.
@@ -243,6 +244,65 @@ TEST_F(TraceTest, LogLinesCarryTheActiveSpanId) {
   // The provider reports 0 outside a span; the header stays clean.
   EXPECT_EQ(lines[1].find("span="), std::string::npos) << lines[1];
   EXPECT_EQ(lines[2].find("span="), std::string::npos) << lines[2];
+}
+
+// ------------------------------------------------------------ JSON escapes
+
+TEST(JsonParserTest, DecodesBasicEscapes) {
+  Result<JsonValue> v = ParseJson(R"("a\"b\\c\/d\ne\tf\rg\bh\fi")");
+  ASSERT_TRUE(v.ok()) << v.status().ToString();
+  EXPECT_EQ(v->str, "a\"b\\c/d\ne\tf\rg\bh\fi");
+}
+
+TEST(JsonParserTest, DecodesUnicodeEscapesToUtf8) {
+  // One escape per UTF-8 width: ASCII, 2-byte, 3-byte.
+  Result<JsonValue> v = ParseJson("\"\\u0041\\u00e9\\u20ac\"");
+  ASSERT_TRUE(v.ok()) << v.status().ToString();
+  EXPECT_EQ(v->str, "A\xc3\xa9\xe2\x82\xac");  // A, e-acute, euro sign
+
+  // Mixed with literal text, and upper-case hex accepted.
+  Result<JsonValue> mixed = ParseJson("\"x\\u00E9y\"");
+  ASSERT_TRUE(mixed.ok());
+  EXPECT_EQ(mixed->str, "x\xc3\xa9y");
+}
+
+TEST(JsonParserTest, DecodesSurrogatePairs) {
+  // U+1F600 (grinning face) encodes as the pair D83D DE00 and decodes
+  // to the 4-byte UTF-8 sequence F0 9F 98 80.
+  Result<JsonValue> v = ParseJson("\"\\ud83d\\ude00\"");
+  ASSERT_TRUE(v.ok()) << v.status().ToString();
+  EXPECT_EQ(v->str, "\xf0\x9f\x98\x80");
+}
+
+TEST(JsonParserTest, RejectsLoneAndMalformedSurrogates) {
+  // High surrogate with no low half.
+  Result<JsonValue> high = ParseJson(R"("\ud83d")");
+  ASSERT_FALSE(high.ok());
+  EXPECT_NE(high.status().message().find("surrogate"), std::string::npos);
+
+  // High surrogate followed by a non-surrogate escape.
+  Result<JsonValue> bad_pair = ParseJson(R"("\ud83dA")");
+  ASSERT_FALSE(bad_pair.ok());
+
+  // Low surrogate first.
+  Result<JsonValue> low = ParseJson(R"("\ude00")");
+  ASSERT_FALSE(low.ok());
+
+  // Truncated hex.
+  Result<JsonValue> short_hex = ParseJson(R"("\u12")");
+  ASSERT_FALSE(short_hex.ok());
+  EXPECT_NE(short_hex.status().message().find("\\u"), std::string::npos);
+
+  // Non-hex digits.
+  Result<JsonValue> bad_hex = ParseJson(R"("\uzzzz")");
+  ASSERT_FALSE(bad_hex.ok());
+}
+
+TEST(JsonParserTest, UnicodeEscapeInObjectKey) {
+  Result<JsonValue> v = ParseJson("{\"\\u00e9\": 1}");
+  ASSERT_TRUE(v.ok()) << v.status().ToString();
+  ASSERT_TRUE(v->is_object());
+  EXPECT_NE(v->Find("\xc3\xa9"), nullptr);
 }
 
 TEST_F(TraceTest, StartTracingDiscardsEarlierEvents) {

@@ -248,5 +248,50 @@ TEST(PartitionIoTest, EmptyManifestRejected) {
   EXPECT_EQ(loaded.status().code(), StatusCode::kParseError);
 }
 
+// --- Fingerprint: binds update journals/checkpoints to one saved
+// --- partitioning.
+
+TEST(PartitionIoTest, FingerprintIsStableAcrossReads) {
+  rdf::RdfGraph graph;
+  std::string dir = SaveSmall("mpc_io_fp_stable", &graph);
+  Result<uint64_t> a = PartitionIo::Fingerprint(dir);
+  Result<uint64_t> b = PartitionIo::Fingerprint(dir);
+  ASSERT_TRUE(a.ok()) << a.status().ToString();
+  ASSERT_TRUE(b.ok());
+  EXPECT_EQ(*a, *b);
+  EXPECT_NE(*a, 0u);
+}
+
+TEST(PartitionIoTest, FingerprintTracksContentChanges) {
+  rdf::RdfGraph graph;
+  std::string dir = SaveSmall("mpc_io_fp_content", &graph);
+  Result<uint64_t> before = PartitionIo::Fingerprint(dir);
+  ASSERT_TRUE(before.ok());
+
+  // Moving one vertex to another site must change the fingerprint.
+  std::string text = Slurp(dir + "/assignment.txt");
+  const size_t tab = text.find('\t');
+  ASSERT_NE(tab, std::string::npos);
+  text[tab + 1] = text[tab + 1] == '0' ? '1' : '0';
+  Overwrite(dir + "/assignment.txt", text);
+  Result<uint64_t> after = PartitionIo::Fingerprint(dir);
+  ASSERT_TRUE(after.ok());
+  EXPECT_NE(*before, *after);
+
+  // So must a manifest edit (e.g. a different crossing set).
+  Overwrite(dir + "/assignment.txt", Slurp(dir + "/assignment.txt"));
+  std::string manifest = Slurp(dir + "/manifest.txt");
+  Overwrite(dir + "/manifest.txt", manifest + "<extra:prop>\n");
+  Result<uint64_t> changed = PartitionIo::Fingerprint(dir);
+  ASSERT_TRUE(changed.ok());
+  EXPECT_NE(*changed, *after);
+}
+
+TEST(PartitionIoTest, FingerprintMissingDirFails) {
+  Result<uint64_t> fp = PartitionIo::Fingerprint("/nonexistent/mpc_fp");
+  ASSERT_FALSE(fp.ok());
+  EXPECT_EQ(fp.status().code(), StatusCode::kIoError);
+}
+
 }  // namespace
 }  // namespace mpc::partition

@@ -11,13 +11,23 @@
 //       [--partial-results=fail|best-effort]
 //   mpc update <data.nt> <partition_dir> <updates.ulog>
 //       [--policy=threshold|periodic|never] [--period=N]
-//       [--max-lcross-growth=G] [--checkpoint-every=N]
+//       [--max-lcross-growth=G] [--report-every=N]
 //       [--repartition=sync|background] [--out=DIR] [--threads=T]
+//       [--journal-dir=DIR] [--checkpoint-every=N] [--recover]
+//       [--max-replay=N] [--backpressure=block|reanchor]
 //
 // `update` streams an update log (batches of `+ <s> <p> <o> .` inserts /
 // `- ...` deletes, separated by blank lines) through the incremental
-// maintainer, printing drift checkpoints and the repartitions the policy
+// maintainer, printing drift reports and the repartitions the policy
 // triggered; --out saves the final compacted partitioning.
+//
+// With --journal-dir every applied batch is write-ahead journaled and
+// periodically checkpointed there, so a crashed run can be resumed with
+// --recover: the maintainer reloads the latest checkpoint, replays the
+// journal tail, and the stream continues from the first unapplied batch
+// (state bit-identical to a run that never crashed). A journal is bound
+// to its partition_dir by fingerprint; re-running without --recover over
+// an existing journal is refused rather than silently double-applied.
 //
 // The SPARQL argument may be a file path or an inline query string.
 // --threads=0 (the default) uses every hardware thread; --threads=1 runs
@@ -36,9 +46,11 @@
 // --transient-rate a per-attempt retryable error probability. Unknown
 // flags and malformed values are rejected with a non-zero exit.
 
+#include <csignal>
 #include <filesystem>
 #include <fstream>
 #include <iostream>
+#include <memory>
 #include <sstream>
 #include <string>
 #include <vector>
@@ -46,6 +58,7 @@
 #include "common/flags.h"
 #include "common/string_util.h"
 #include "dynamic/incremental_maintainer.h"
+#include "dynamic/update_journal.h"
 #include "dynamic/update_log.h"
 #include "exec/cluster.h"
 #include "exec/decomposer.h"
@@ -81,8 +94,10 @@ int Usage() {
       [--partial-results=fail|best-effort]
   mpc update <data.nt> <partition_dir> <updates.ulog>
       [--policy=threshold|periodic|never] [--period=N]
-      [--max-lcross-growth=G] [--checkpoint-every=N]
+      [--max-lcross-growth=G] [--report-every=N]
       [--repartition=sync|background] [--out=DIR] [--threads=T]
+      [--journal-dir=DIR] [--checkpoint-every=N] [--recover]
+      [--max-replay=N] [--backpressure=block|reanchor]
 observability (any command):
       [--trace-out=FILE] [--trace-summary] [--metrics-out=FILE]
 )";
@@ -111,9 +126,19 @@ struct Flags {
   std::string policy = "threshold";
   uint32_t period = 64;
   double max_lcross_growth = 0.5;
-  uint32_t checkpoint_every = 8;
+  uint32_t report_every = 8;
   std::string repartition = "sync";
   std::string out_dir;
+
+  // Durability (update command). checkpoint_every=0 checkpoints only
+  // after repartitions; crash_after is a test hook that SIGKILLs the
+  // process right after the Nth batch commits (journal + apply).
+  std::string journal_dir;
+  uint32_t checkpoint_every = 0;
+  bool recover = false;
+  uint64_t max_replay = 0;
+  std::string backpressure = "block";
+  uint32_t crash_after = 0;
 
   // Observability (any command).
   std::string trace_out;
@@ -162,9 +187,16 @@ struct Flags {
                      {"threshold", "periodic", "never"});
     parser.AddUint32("period", &flags.period);
     parser.AddDouble("max-lcross-growth", &flags.max_lcross_growth);
-    parser.AddUint32("checkpoint-every", &flags.checkpoint_every);
+    parser.AddUint32("report-every", &flags.report_every);
     parser.AddChoice("repartition", &flags.repartition,
                      {"sync", "background"});
+    parser.AddString("journal-dir", &flags.journal_dir);
+    parser.AddUint32("checkpoint-every", &flags.checkpoint_every);
+    parser.AddBool("recover", &flags.recover);
+    parser.AddUint64("max-replay", &flags.max_replay);
+    parser.AddChoice("backpressure", &flags.backpressure,
+                     {"block", "reanchor"});
+    parser.AddUint32("crash-after", &flags.crash_after);
     parser.AddString("out", &flags.out_dir);
     parser.AddString("trace-out", &flags.trace_out);
     parser.AddString("metrics-out", &flags.metrics_out);
@@ -441,18 +473,74 @@ int CmdUpdate(const Flags& flags) {
     options.policy.max_lcross_growth = flags.max_lcross_growth;
   }
 
-  dynamic::IncrementalMaintainer maintainer(
-      std::move(*graph), std::move(*partitioning), options);
-  std::cout << "seed: " << FormatWithCommas(maintainer.num_live_triples())
+  std::unique_ptr<dynamic::IncrementalMaintainer> maintainer;
+  size_t skip = 0;
+  if (!flags.journal_dir.empty()) {
+    options.journal_dir = flags.journal_dir;
+    options.checkpoint_every_batches = flags.checkpoint_every;
+    options.max_replay_batches = flags.max_replay;
+    options.backpressure = flags.backpressure == "reanchor"
+                               ? dynamic::ReplayBackpressure::kReanchor
+                               : dynamic::ReplayBackpressure::kBlock;
+    std::error_code ec;
+    const bool journal_exists = std::filesystem::exists(
+        dynamic::UpdateJournal::JournalPath(flags.journal_dir), ec);
+    if (journal_exists && !flags.recover) {
+      std::cerr << "journal already exists in " << flags.journal_dir
+                << "; pass --recover to resume, or use a fresh "
+                   "--journal-dir\n";
+      return 1;
+    }
+    Result<uint64_t> fingerprint =
+        partition::PartitionIo::Fingerprint(flags.positional[1]);
+    if (!fingerprint.ok()) {
+      std::cerr << fingerprint.status().ToString() << "\n";
+      return 1;
+    }
+    Result<std::unique_ptr<dynamic::IncrementalMaintainer>> opened =
+        dynamic::IncrementalMaintainer::OpenDurable(
+            std::move(*graph), std::move(*partitioning), options,
+            *fingerprint);
+    if (!opened.ok()) {
+      std::cerr << opened.status().ToString() << "\n";
+      return 1;
+    }
+    maintainer = std::move(*opened);
+    skip = maintainer->batches_applied();
+    if (skip > 0) {
+      std::cout << "recovered: " << FormatWithCommas(skip)
+                << " batches already durable, resuming after them\n";
+    }
+  } else {
+    if (flags.recover) {
+      std::cerr << "--recover requires --journal-dir\n";
+      return 1;
+    }
+    maintainer = std::make_unique<dynamic::IncrementalMaintainer>(
+        std::move(*graph), std::move(*partitioning), options);
+  }
+  if (skip > batches->size()) {
+    std::cerr << "journal holds " << skip
+              << " batches but the update log only has "
+              << batches->size() << "; wrong --journal-dir?\n";
+    return 1;
+  }
+  std::cout << "seed: " << FormatWithCommas(maintainer->num_live_triples())
             << " triples, |L_cross| "
-            << maintainer.partitioning().num_crossing_properties() << ", "
-            << batches->size() << " batches\n";
+            << maintainer->partitioning().num_crossing_properties() << ", "
+            << batches->size() - skip << " batches\n";
 
   size_t inserts = 0;
   size_t deletes = 0;
   size_t noops = 0;
-  for (size_t b = 0; b < batches->size(); ++b) {
-    dynamic::ApplyResult r = maintainer.ApplyBatch((*batches)[b]);
+  for (size_t b = skip; b < batches->size(); ++b) {
+    dynamic::ApplyResult r = maintainer->ApplyBatch((*batches)[b]);
+    if (!r.durability.ok()) {
+      std::cerr << "batch " << b + 1
+                << ": durability failure, stopping stream: "
+                << r.durability.ToString() << "\n";
+      return 1;
+    }
     inserts += r.inserts;
     deletes += r.deletes;
     noops += r.noops;
@@ -461,10 +549,16 @@ int CmdUpdate(const Flags& flags) {
                 << r.trigger_reason << ")"
                 << (r.repartitioned ? "" : " [background]") << "\n";
     }
-    const bool checkpoint =
-        flags.checkpoint_every > 0 &&
-        ((b + 1) % flags.checkpoint_every == 0 || b + 1 == batches->size());
-    if (checkpoint) {
+    if (flags.crash_after > 0 && b + 1 == flags.crash_after) {
+      // Crash-test hook: die without any cleanup, exactly as a power
+      // cut would, so check.sh can exercise --recover.
+      std::cout.flush();
+      raise(SIGKILL);
+    }
+    const bool report =
+        flags.report_every > 0 &&
+        ((b + 1) % flags.report_every == 0 || b + 1 == batches->size());
+    if (report) {
       const dynamic::DriftMetrics& m = r.drift;
       std::cout << "batch " << b + 1 << ": live "
                 << FormatWithCommas(m.live_triples) << ", |L_cross| "
@@ -476,13 +570,20 @@ int CmdUpdate(const Flags& flags) {
                 << FormatDouble(m.balance_ratio, 3) << "\n";
     }
   }
-  maintainer.WaitForRepartition();
+  maintainer->WaitForRepartition();
+  if (maintainer->journaling()) {
+    Status st = maintainer->WriteCheckpoint();
+    if (!st.ok()) {
+      std::cerr << "final checkpoint failed: " << st.ToString() << "\n";
+      return 1;
+    }
+  }
 
-  const dynamic::DriftMetrics final_drift = maintainer.drift();
+  const dynamic::DriftMetrics final_drift = maintainer->drift();
   std::cout << "applied: " << FormatWithCommas(inserts) << " inserts, "
             << FormatWithCommas(deletes) << " deletes, "
             << FormatWithCommas(noops) << " no-ops; "
-            << maintainer.repartition_count() << " repartitions\n"
+            << maintainer->repartition_count() << " repartitions\n"
             << "final:   live " << FormatWithCommas(final_drift.live_triples)
             << ", |L_cross| " << final_drift.crossing_properties
             << ", balance " << FormatDouble(final_drift.balance_ratio, 3)
@@ -495,15 +596,15 @@ int CmdUpdate(const Flags& flags) {
     // works directly. (The maintained partitioning covers the grown
     // dictionary universe, including tombstoned vertices, and would not
     // load against the compacted graph.)
-    rdf::RdfGraph live = maintainer.MaterializeGraph();
+    rdf::RdfGraph live = maintainer->MaterializeGraph();
     const partition::VertexAssignment& maintained =
-        maintainer.partitioning().assignment();
+        maintainer->partitioning().assignment();
     partition::VertexAssignment assignment;
     assignment.k = maintained.k;
     assignment.part.resize(live.num_vertices());
     for (rdf::VertexId v = 0; v < live.num_vertices(); ++v) {
       assignment.part[v] =
-          maintained.part[maintainer.graph().vertex_dict().Lookup(
+          maintained.part[maintainer->graph().vertex_dict().Lookup(
               live.VertexName(v))];
     }
     partition::Partitioning compact =
