@@ -18,24 +18,27 @@ void RunStrategyRow(const std::string& strategy,
   size_t shipped_plain = 0, shipped_bloom = 0, dropped = 0, non_ieq = 0;
   for (const workload::NamedQuery& nq : queries) {
     sparql::QueryGraph q = bench::MustParse(nq.sparql);
-    exec::ExecutionStats stats;
     {
       exec::DistributedExecutor::Options options;
       options.max_rows = 200000;
       exec::DistributedExecutor executor(cluster, d.graph, options);
-      if (!executor.Execute(q, &stats).ok()) std::exit(1);
-      if (stats.independent) continue;  // reduction only affects non-IEQs
+      auto response = executor.Execute(exec::QueryRequest::FromQuery(q));
+      if (!response.ok()) std::exit(1);
+      if (response->stats.independent) {
+        continue;  // reduction only affects non-IEQs
+      }
       ++non_ieq;
-      shipped_plain += stats.shipped_bytes;
+      shipped_plain += response->stats.shipped_bytes;
     }
     {
       exec::DistributedExecutor::Options options;
       options.max_rows = 200000;
       options.bloom_reduction = true;
       exec::DistributedExecutor executor(cluster, d.graph, options);
-      if (!executor.Execute(q, &stats).ok()) std::exit(1);
-      shipped_bloom += stats.shipped_bytes;
-      dropped += stats.bloom_dropped_rows;
+      auto response = executor.Execute(exec::QueryRequest::FromQuery(q));
+      if (!response.ok()) std::exit(1);
+      shipped_bloom += response->stats.shipped_bytes;
+      dropped += response->stats.bloom_dropped_rows;
     }
   }
   bench::LeftCell(strategy, 14);

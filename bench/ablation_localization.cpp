@@ -21,25 +21,26 @@ void RunDataset(mpc::workload::DatasetId id, double scale) {
   double time_with = 0, time_without = 0;
   for (const workload::NamedQuery& nq : queries) {
     sparql::QueryGraph q = bench::MustParse(nq.sparql);
-    exec::ExecutionStats stats;
     {
       exec::DistributedExecutor::Options options;
       options.site_pruning = true;
       options.max_rows = 200000;
       exec::DistributedExecutor executor(cluster, d.graph, options);
-      if (!executor.Execute(q, &stats).ok()) std::exit(1);
-      with_pruning += stats.sites_evaluated;
-      pruned += stats.sites_pruned;
-      time_with += stats.total_millis;
+      auto response = executor.Execute(exec::QueryRequest::FromQuery(q));
+      if (!response.ok()) std::exit(1);
+      with_pruning += response->stats.sites_evaluated;
+      pruned += response->stats.sites_pruned;
+      time_with += response->stats.total_millis;
     }
     {
       exec::DistributedExecutor::Options options;
       options.site_pruning = false;
       options.max_rows = 200000;
       exec::DistributedExecutor executor(cluster, d.graph, options);
-      if (!executor.Execute(q, &stats).ok()) std::exit(1);
-      without_pruning += stats.sites_evaluated;
-      time_without += stats.total_millis;
+      auto response = executor.Execute(exec::QueryRequest::FromQuery(q));
+      if (!response.ok()) std::exit(1);
+      without_pruning += response->stats.sites_evaluated;
+      time_without += response->stats.total_millis;
     }
   }
   bench::LeftCell(d.name, 10);

@@ -57,18 +57,20 @@ Retention RunRotations(StrategyRun& run, const rdf::RdfGraph& graph,
     options.partial_results = exec::PartialResultPolicy::kBestEffort;
     exec::DistributedExecutor executor(run.cluster, graph, options);
     for (size_t qi = 0; qi < run.queries.size(); ++qi) {
-      exec::ExecutionStats stats;
-      auto degraded = executor.Execute(run.queries[qi], &stats);
+      auto degraded =
+          executor.Execute(exec::QueryRequest::FromQuery(run.queries[qi]));
       if (!degraded.ok()) {
         std::cerr << run.name << " degraded run failed: "
                   << degraded.status().ToString() << "\n";
         std::exit(1);
       }
       const RowSet& full = run.healthy[qi];
-      for (const auto& row : degraded->rows) r.kept_rows += full.count(row);
+      for (const auto& row : degraded->bindings.rows) {
+        r.kept_rows += full.count(row);
+      }
       r.full_rows += full.size();
-      r.bound = std::min(r.bound, stats.completeness_bound);
-      r.failover_hits += stats.failover_hits;
+      r.bound = std::min(r.bound, degraded->stats.completeness_bound);
+      r.failover_hits += degraded->stats.failover_hits;
     }
   }
   return r;
@@ -99,15 +101,15 @@ int main(int argc, char** argv) {
     for (const workload::NamedQuery& nq : d.benchmark_queries) {
       if (!nq.is_star) continue;  // IEQs: union-only, the paper's fast path
       sparql::QueryGraph q = bench::MustParse(nq.sparql);
-      exec::ExecutionStats stats;
-      auto full = reference.Execute(q, &stats);
+      auto full = reference.Execute(exec::QueryRequest::FromQuery(q));
       if (!full.ok()) {
         std::cerr << nq.name << " failed healthy: "
                   << full.status().ToString() << "\n";
         std::exit(1);
       }
       run.queries.push_back(std::move(q));
-      run.healthy.push_back(RowSet(full->rows.begin(), full->rows.end()));
+      run.healthy.push_back(RowSet(full->bindings.rows.begin(),
+                                   full->bindings.rows.end()));
     }
     runs.push_back(std::move(run));
   }

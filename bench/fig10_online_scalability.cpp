@@ -33,13 +33,13 @@ int main(int argc, char** argv) {
       sparql::QueryGraph q =
           bench::MustParse(lubms[si].benchmark_queries[qi].sparql);
       exec::DistributedExecutor executor(clusters[si], lubms[si].graph);
-      exec::ExecutionStats stats;
-      auto result = executor.Execute(q, &stats);
-      if (!result.ok()) {
-        std::cerr << "query failed: " << result.status().ToString() << "\n";
+      auto response = executor.Execute(exec::QueryRequest::FromQuery(q));
+      if (!response.ok()) {
+        std::cerr << "query failed: " << response.status().ToString()
+                  << "\n";
         return 1;
       }
-      bench::Cell(FormatDouble(stats.total_millis, 1), 14);
+      bench::Cell(FormatDouble(response->stats.total_millis, 1), 14);
     }
     std::cout << "\n";
   }
@@ -66,13 +66,13 @@ int main(int argc, char** argv) {
     double total = 0;
     for (const workload::NamedQuery& nq : log) {
       sparql::QueryGraph q = bench::MustParse(nq.sparql);
-      exec::ExecutionStats stats;
-      auto result = executor.Execute(q, &stats);
-      if (!result.ok()) {
-        std::cerr << "query failed: " << result.status().ToString() << "\n";
+      auto response = executor.Execute(exec::QueryRequest::FromQuery(q));
+      if (!response.ok()) {
+        std::cerr << "query failed: " << response.status().ToString()
+                  << "\n";
         return 1;
       }
-      total += stats.total_millis;
+      total += response->stats.total_millis;
     }
     bench::Cell(FormatDouble(total / log.size(), 1), 14);
   }

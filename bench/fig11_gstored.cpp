@@ -34,15 +34,14 @@ void RunDataset(mpc::workload::DatasetId id, double scale,
     bench::LeftCell(nq.name, 7);
     for (exec::Cluster& cluster : clusters) {
       exec::GStoredExecutor executor(cluster, d.graph);
-      exec::ExecutionStats stats;
-      auto result = executor.Execute(q, &stats);
-      if (!result.ok()) {
-        std::cerr << nq.name << " failed: " << result.status().ToString()
+      auto response = executor.Execute(exec::QueryRequest::FromQuery(q));
+      if (!response.ok()) {
+        std::cerr << nq.name << " failed: " << response.status().ToString()
                   << "\n";
         std::exit(1);
       }
-      bench::Cell(FormatDouble(stats.total_millis, 1) + " | " +
-                      FormatWithCommas(stats.local_rows),
+      bench::Cell(FormatDouble(response->stats.total_millis, 1) + " | " +
+                      FormatWithCommas(response->stats.local_rows),
                   22);
     }
     std::cout << "\n";

@@ -30,15 +30,14 @@ void RunDataset(mpc::workload::DatasetId id, double scale) {
     bench::LeftCell(nq.is_star ? "star" : "other", 7);
     for (size_t i = 0; i < clusters.size(); ++i) {
       exec::DistributedExecutor executor(clusters[i], d.graph);
-      exec::ExecutionStats stats;
-      auto result = executor.Execute(q, &stats);
-      if (!result.ok()) {
-        std::cerr << nq.name << " failed: " << result.status().ToString()
+      auto response = executor.Execute(exec::QueryRequest::FromQuery(q));
+      if (!response.ok()) {
+        std::cerr << nq.name << " failed: " << response.status().ToString()
                   << "\n";
         std::exit(1);
       }
-      bench::Cell(FormatDouble(stats.total_millis, 1) +
-                      (stats.independent ? " " : "*"),
+      bench::Cell(FormatDouble(response->stats.total_millis, 1) +
+                      (response->stats.independent ? " " : "*"),
                   15);
     }
     std::cout << "\n";

@@ -33,15 +33,14 @@ void RunDataset(mpc::workload::DatasetId id, double scale,
     times.reserve(log.size());
     for (const workload::NamedQuery& nq : log) {
       sparql::QueryGraph q = bench::MustParse(nq.sparql);
-      exec::ExecutionStats stats;
-      auto result = executor.Execute(q, &stats);
-      if (!result.ok()) {
-        std::cerr << nq.name << " failed: " << result.status().ToString()
+      auto response = executor.Execute(exec::QueryRequest::FromQuery(q));
+      if (!response.ok()) {
+        std::cerr << nq.name << " failed: " << response.status().ToString()
                   << "\n";
         std::exit(1);
       }
-      times.push_back(stats.total_millis);
-      independent += stats.independent;
+      times.push_back(response->stats.total_millis);
+      independent += response->stats.independent;
     }
     bench::Quartiles quartiles = bench::Summarize(times);
     bench::LeftCell(strategy, 14);

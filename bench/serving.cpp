@@ -1,0 +1,310 @@
+// Serving experiment: the QueryService front-end under concurrent load
+// on a live LUBM partitioning (src/serve/).
+//
+// Phase 1 (static snapshot): replays the 14 LUBM benchmark queries at
+// concurrency 16 with the result cache disabled, so every repeat walks
+// the plan cache — asserts plan-cache hits > 0 and reports throughput
+// plus p50/p95/p99 from the serve.latency_ms histogram.
+//
+// Phase 2 (concurrent update stream): the same replay runs while a side
+// thread streams deterministic insert/delete batches through an
+// IncrementalMaintainer, capturing and Publishing a fresh ServingState
+// after each batch. Before each Publish the thread records an oracle —
+// a direct single-threaded execution of every query on that exact
+// snapshot — keyed by generation. Afterwards every served answer is
+// checked bit-for-bit against the oracle for the generation it reports:
+// a mismatch would mean a query observed a half-applied batch or a
+// stale cache entry. Also asserts result-cache hits > 0 (repeats
+// between generation bumps must hit).
+//
+// Usage: ./serving [scale]   (scale 1.0 ~ 20 universities)
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <future>
+#include <map>
+#include <memory>
+#include <string>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "bench_util.h"
+#include "common/random.h"
+#include "dynamic/incremental_maintainer.h"
+#include "serve/query_service.h"
+#include "serve/serving_state.h"
+
+namespace mpc {
+namespace {
+
+constexpr int kConcurrency = 16;
+
+using SortedRows = std::vector<std::vector<uint32_t>>;
+
+SortedRows Sorted(const store::BindingTable& table) {
+  SortedRows rows = table.rows;
+  std::sort(rows.begin(), rows.end());
+  return rows;
+}
+
+/// Deterministic LUBM-flavoured update stream (same shape as the
+/// dynamic_updates bench): inserts attach fresh entities or new edges
+/// between existing ones, deletes tombstone sampled seed triples.
+std::vector<dynamic::UpdateBatch> MakeStream(Rng& rng,
+                                             const rdf::RdfGraph& seed,
+                                             size_t num_batches,
+                                             size_t updates_per_batch) {
+  std::vector<dynamic::UpdateBatch> batches;
+  size_t fresh = 0;
+  for (size_t b = 0; b < num_batches; ++b) {
+    dynamic::UpdateBatch batch;
+    for (size_t i = 0; i < updates_per_batch; ++i) {
+      const rdf::Triple& t = seed.triples()[rng.Below(seed.num_edges())];
+      dynamic::TripleUpdate u;
+      const uint64_t roll = rng.Below(10);
+      if (roll < 4) {
+        u.kind = dynamic::UpdateKind::kInsert;
+        u.subject = "<http://example.org/lubm/fresh" +
+                    std::to_string(fresh++) + ">";
+        u.property = seed.PropertyName(t.property);
+        u.object = seed.VertexName(t.object);
+      } else if (roll < 7) {
+        const rdf::Triple& other =
+            seed.triples()[rng.Below(seed.num_edges())];
+        u.kind = dynamic::UpdateKind::kInsert;
+        u.subject = seed.VertexName(t.subject);
+        u.property = seed.PropertyName(t.property);
+        u.object = seed.VertexName(other.object);
+      } else {
+        u.kind = dynamic::UpdateKind::kDelete;
+        u.subject = seed.VertexName(t.subject);
+        u.property = seed.PropertyName(t.property);
+        u.object = seed.VertexName(t.object);
+      }
+      batch.updates.push_back(std::move(u));
+    }
+    batches.push_back(std::move(batch));
+  }
+  return batches;
+}
+
+struct ReplayResult {
+  size_t submitted = 0;
+  size_t ok = 0;
+  size_t failed = 0;
+  size_t result_cache_hits = 0;
+  size_t plan_cache_hits = 0;
+  double wall_ms = 0.0;
+  /// (query index, response) for every successful answer.
+  std::vector<std::pair<size_t, exec::QueryResponse>> answers;
+};
+
+/// Submits `repeats` rounds of the query texts into the service from
+/// this thread and collects every future. `pace_ms` sleeps between
+/// rounds, stretching the replay window so a concurrent update stream
+/// gets to publish mid-replay.
+ReplayResult Replay(serve::QueryService& service,
+                    const std::vector<std::string>& texts, size_t repeats,
+                    double pace_ms = 0.0) {
+  ReplayResult r;
+  std::vector<std::pair<size_t, std::future<Result<exec::QueryResponse>>>>
+      futures;
+  futures.reserve(repeats * texts.size());
+  Timer timer;
+  for (size_t round = 0; round < repeats; ++round) {
+    for (size_t qi = 0; qi < texts.size(); ++qi) {
+      futures.emplace_back(
+          qi, service.Submit(exec::QueryRequest::FromText(texts[qi])));
+      ++r.submitted;
+    }
+    if (pace_ms > 0.0) {
+      std::this_thread::sleep_for(
+          std::chrono::duration<double, std::milli>(pace_ms));
+    }
+  }
+  for (auto& [qi, future] : futures) {
+    Result<exec::QueryResponse> response = future.get();
+    if (!response.ok()) {
+      if (r.failed == 0) {
+        std::cerr << "query failed: " << response.status().ToString()
+                  << "\n";
+      }
+      ++r.failed;
+      continue;
+    }
+    ++r.ok;
+    r.result_cache_hits += response->stats.result_cache_hit ? 1 : 0;
+    r.plan_cache_hits += response->stats.plan_cache_hit ? 1 : 0;
+    r.answers.emplace_back(qi, std::move(*response));
+  }
+  r.wall_ms = timer.ElapsedMillis();
+  return r;
+}
+
+void PrintLatency() {
+  auto& latency = obs::MetricsRegistry::Default().HistogramRef(
+      "serve.latency_ms", obs::DefaultLatencyBoundsMs());
+  std::cout << "  latency p50 " << FormatDouble(latency.Quantile(0.5), 2)
+            << " ms, p95 " << FormatDouble(latency.Quantile(0.95), 2)
+            << " ms, p99 " << FormatDouble(latency.Quantile(0.99), 2)
+            << " ms\n";
+}
+
+}  // namespace
+}  // namespace mpc
+
+int main(int argc, char** argv) {
+  using namespace mpc;
+  const double scale = bench::ScaleFromArgs(argc, argv, 0.5);
+  bench::ObsScope obs_scope(argc, argv);
+
+  workload::GeneratedDataset d =
+      workload::MakeDataset(workload::DatasetId::kLubm, scale);
+  partition::Partitioning seed_partitioning =
+      bench::RunStrategy("MPC", d.graph);
+  std::vector<std::string> texts;
+  for (const workload::NamedQuery& q : d.benchmark_queries) {
+    texts.push_back(q.sparql);
+  }
+
+  std::cout << "=== Serving: QueryService at concurrency " << kConcurrency
+            << " (LUBM scale " << scale << ", "
+            << FormatWithCommas(d.graph.num_edges()) << " triples, "
+            << texts.size() << " queries) ===\n";
+
+  serve::ServingStateOptions state_options;  // executors stay serial
+
+  // --- Phase 1: static snapshot, result cache off -> plan cache only.
+  {
+    serve::QueryServiceOptions options;
+    options.num_workers = kConcurrency;
+    options.queue_capacity = 0;  // unbounded: closed-loop replay
+    options.result_cache_capacity = 0;
+    serve::QueryService service(
+        serve::ServingState::Build(d.graph.Clone(), seed_partitioning,
+                                   /*generation=*/0, state_options),
+        options);
+    ReplayResult r = Replay(service, texts, /*repeats=*/30);
+    service.Shutdown();
+    std::cout << "static:  " << r.ok << "/" << r.submitted << " ok, "
+              << FormatDouble(1000.0 * static_cast<double>(r.ok) / r.wall_ms,
+                              0)
+              << " qps, " << r.plan_cache_hits << " plan-cache hits\n";
+    PrintLatency();
+    if (r.failed != 0 || r.ok != r.submitted) {
+      std::cerr << "FAIL: " << r.failed << " queries failed\n";
+      return 1;
+    }
+    if (r.plan_cache_hits == 0) {
+      std::cerr << "FAIL: repeated replay produced no plan-cache hits\n";
+      return 1;
+    }
+  }
+
+  // --- Phase 2: concurrent update stream with per-generation oracle.
+  {
+    Rng rng(7);
+    std::vector<dynamic::UpdateBatch> stream =
+        MakeStream(rng, d.graph, /*num_batches=*/10, /*updates_per_batch=*/20);
+
+    dynamic::MaintainerOptions moptions;
+    moptions.policy.kind = dynamic::RepartitionPolicy::Kind::kNever;
+    moptions.mpc.base.k = bench::kSites;
+    moptions.mpc.base.epsilon = bench::kEpsilon;
+    dynamic::IncrementalMaintainer maintainer(d.graph.Clone(),
+                                              seed_partitioning, moptions);
+
+    // oracle[generation][query] = from-scratch answer on the snapshot
+    // published at that generation. Written only by the update thread
+    // (plus the seed entry below) and read only after it joins.
+    std::map<uint64_t, std::vector<SortedRows>> oracle;
+    auto record_oracle = [&](const serve::ServingState& state) {
+      std::vector<SortedRows>& rows = oracle[state.generation()];
+      for (const std::string& text : texts) {
+        Result<exec::QueryResponse> direct =
+            state.distributed().Execute(exec::QueryRequest::FromText(text));
+        if (!direct.ok()) {
+          std::cerr << "oracle execution failed: "
+                    << direct.status().ToString() << "\n";
+          std::exit(1);
+        }
+        rows.push_back(Sorted(direct->bindings));
+      }
+    };
+
+    std::shared_ptr<const serve::ServingState> initial =
+        serve::ServingState::Capture(maintainer, state_options);
+    record_oracle(*initial);
+
+    serve::QueryServiceOptions options;
+    options.num_workers = kConcurrency;
+    options.queue_capacity = 0;
+    serve::QueryService service(std::move(initial), options);
+
+    std::thread updater([&] {
+      for (const dynamic::UpdateBatch& batch : stream) {
+        maintainer.ApplyBatch(batch);
+        std::shared_ptr<const serve::ServingState> next =
+            serve::ServingState::Capture(maintainer, state_options);
+        record_oracle(*next);
+        service.Publish(std::move(next));
+      }
+    });
+
+    // Paced replay overlapping the stream, then a short tail replay
+    // after the last Publish so answers provably span generations and
+    // the final generation's repeats must hit the result cache.
+    ReplayResult r = Replay(service, texts, /*repeats=*/45, /*pace_ms=*/2.0);
+    updater.join();
+    ReplayResult tail = Replay(service, texts, /*repeats=*/5);
+    service.Shutdown();
+    r.submitted += tail.submitted;
+    r.ok += tail.ok;
+    r.failed += tail.failed;
+    r.result_cache_hits += tail.result_cache_hits;
+    r.plan_cache_hits += tail.plan_cache_hits;
+    for (auto& answer : tail.answers) r.answers.push_back(std::move(answer));
+
+    size_t mismatches = 0;
+    uint64_t min_gen = UINT64_MAX;
+    uint64_t max_gen = 0;
+    for (const auto& [qi, response] : r.answers) {
+      min_gen = std::min(min_gen, response.generation);
+      max_gen = std::max(max_gen, response.generation);
+      auto it = oracle.find(response.generation);
+      if (it == oracle.end() ||
+          Sorted(response.bindings) != it->second[qi]) {
+        ++mismatches;
+      }
+    }
+    std::cout << "dynamic: " << r.ok << "/" << r.submitted << " ok, "
+              << FormatDouble(1000.0 * static_cast<double>(r.ok) / r.wall_ms,
+                              0)
+              << " qps, generations " << min_gen << ".." << max_gen << " ("
+              << stream.size() << " batches), " << r.result_cache_hits
+              << " result-cache hits, " << mismatches
+              << " oracle mismatches\n";
+    PrintLatency();
+    if (r.failed != 0 || r.ok != r.submitted) {
+      std::cerr << "FAIL: " << r.failed << " queries failed\n";
+      return 1;
+    }
+    if (mismatches != 0) {
+      std::cerr << "FAIL: " << mismatches
+                << " answers disagreed with the from-scratch oracle for "
+                   "their generation\n";
+      return 1;
+    }
+    if (r.result_cache_hits == 0) {
+      std::cerr << "FAIL: repeated-IEQ mix produced no result-cache "
+                   "hits\n";
+      return 1;
+    }
+  }
+
+  std::cout << "serving checks passed (all answers generation-consistent)\n";
+  return 0;
+}

@@ -23,10 +23,11 @@ void RunDataset(mpc::workload::DatasetId id, double scale) {
   std::vector<exec::ExecutionStats> stats(d.benchmark_queries.size());
   for (size_t i = 0; i < d.benchmark_queries.size(); ++i) {
     sparql::QueryGraph q = bench::MustParse(d.benchmark_queries[i].sparql);
-    auto result = executor.Execute(q, &stats[i]);
-    if (!result.ok()) {
+    auto response = executor.Execute(exec::QueryRequest::FromQuery(q));
+    if (response.ok()) stats[i] = response->stats;
+    if (!response.ok()) {
       std::cerr << d.benchmark_queries[i].name << " failed: "
-                << result.status().ToString() << "\n";
+                << response.status().ToString() << "\n";
       std::exit(1);
     }
   }

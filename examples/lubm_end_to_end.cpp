@@ -97,17 +97,16 @@ int main(int argc, char** argv) {
     size_t results = 0;
     for (const Strategy& s : strategies) {
       exec::DistributedExecutor executor(s.cluster, graph);
-      exec::ExecutionStats stats;
-      auto result = executor.Execute(*query, &stats);
-      if (!result.ok()) {
+      auto response = executor.Execute(exec::QueryRequest::FromQuery(*query));
+      if (!response.ok()) {
         std::cerr << "\n" << nq.name << " failed on " << s.name << ": "
-                  << result.status().ToString() << "\n";
+                  << response.status().ToString() << "\n";
         return 1;
       }
-      results = result->num_rows();
+      results = response->bindings.num_rows();
       std::cout << std::right << std::setw(13)
-                << FormatDouble(stats.total_millis, 1)
-                << (stats.independent ? "  u" : " *j");
+                << FormatDouble(response->stats.total_millis, 1)
+                << (response->stats.independent ? "  u" : " *j");
     }
     std::cout << std::setw(10) << results << "\n";
   }

@@ -78,19 +78,20 @@ int main() {
 
   exec::Cluster cluster = exec::Cluster::Build(std::move(partitioning));
   exec::DistributedExecutor executor(cluster, graph);
-  exec::ExecutionStats stats;
-  Result<store::BindingTable> result = executor.Execute(*query, &stats);
-  if (!result.ok()) {
-    std::cerr << "execution failed: " << result.status().ToString() << "\n";
+  Result<exec::QueryResponse> response =
+      executor.Execute(exec::QueryRequest::FromQuery(*query));
+  if (!response.ok()) {
+    std::cerr << "execution failed: " << response.status().ToString() << "\n";
     return 1;
   }
-  std::cout << "Matches: " << result->num_rows()
-            << " | subqueries: " << stats.num_subqueries
-            << " | join time: " << stats.join_millis << " ms\n";
-  for (const auto& row : result->rows) {
+  const store::BindingTable& result = response->bindings;
+  std::cout << "Matches: " << result.num_rows()
+            << " | subqueries: " << response->stats.num_subqueries
+            << " | join time: " << response->stats.join_millis << " ms\n";
+  for (const auto& row : result.rows) {
     std::cout << " ";
     for (size_t i = 0; i < row.size(); ++i) {
-      std::cout << " ?" << result->var_ids[i] << "="
+      std::cout << " ?" << result.var_ids[i] << "="
                 << graph.VertexName(row[i]);
     }
     std::cout << "\n";

@@ -84,6 +84,61 @@ EOF
   echo "observability smoke passed"
 }
 
+# Serving smoke: replay a query file through `mpc serve` at concurrency
+# 16 with a concurrent update stream. At this low load (bounded queue of
+# 1024, 200 queries) nothing may be rejected or failed, and the exported
+# metrics JSON must carry the serve.* counters. Run against the TSan
+# build too, so the admission queue, snapshot publishing and the two
+# caches get raced under a real data-race detector.
+serve_smoke() {
+  local dir="$1"
+  echo "=== serving smoke: ${dir} ==="
+  local tmp
+  tmp="$(mktemp -d)"
+  trap 'rm -rf "${tmp}"' RETURN
+  cat > "${tmp}/g.nt" <<'EOF'
+<s:a> <p:knows> <s:b> .
+<s:b> <p:knows> <s:c> .
+<s:c> <p:knows> <s:a> .
+<s:a> <p:likes> <s:d> .
+<s:d> <p:likes> <s:e> .
+<s:e> <p:worksAt> <s:f> .
+<s:f> <p:worksAt> <s:g> .
+<s:g> <p:knows> <s:h> .
+<s:h> <p:likes> <s:a> .
+<s:b> <p:worksAt> <s:f> .
+<s:c> <p:likes> <s:e> .
+<s:d> <p:knows> <s:g> .
+EOF
+  cat > "${tmp}/q.txt" <<'EOF'
+SELECT * WHERE { ?x <p:knows> ?y . }
+SELECT * WHERE { ?x <p:likes> ?y . }
+SELECT * WHERE { ?x <p:knows> ?y . ?y <p:likes> ?z . }
+SELECT * WHERE { ?x <p:worksAt> ?y . }
+EOF
+  cat > "${tmp}/updates.ulog" <<'EOF'
++ <s:z> <p:new> <s:a> .
++ <s:z> <p:new> <s:b> .
+
+- <s:a> <p:likes> <s:d> .
++ <s:y> <p:knows> <s:z> .
+EOF
+  "${dir}/tools/mpc" partition "${tmp}/g.nt" "${tmp}/part" --k=2
+  local out
+  out="$("${dir}/tools/mpc" serve "${tmp}/g.nt" "${tmp}/part" \
+    --queries="${tmp}/q.txt" --concurrency=16 --repeat=50 \
+    --updates="${tmp}/updates.ulog" --update-interval-ms=1 \
+    --metrics-out="${tmp}/metrics.json")"
+  echo "${out}"
+  grep -q "^rejected: 0$" <<< "${out}"
+  grep -q "^failed:   0$" <<< "${out}"
+  grep -q "^served:   200/200" <<< "${out}"
+  "${dir}/tools/trace_check" metrics "${tmp}/metrics.json" \
+    serve.admitted serve.queries serve.result_cache.hits \
+    serve.plan_cache.misses exec.queries
+  echo "serving smoke passed"
+}
+
 # Crash-recovery smoke: stream updates with a write-ahead journal, kill
 # the process mid-stream (SIGKILL via --crash-after, exit 137), recover
 # with --recover, and require the recovered final partitioning to be
@@ -143,6 +198,7 @@ EOF
 run_config build
 trace_smoke build
 recovery_smoke build
+serve_smoke build
 run_config build-asan -DMPC_SANITIZE=address
 run_config build-ubsan -DMPC_SANITIZE=undefined
 
@@ -150,9 +206,12 @@ run_config build-ubsan -DMPC_SANITIZE=undefined
 # counter updates are the code most at risk of a data race.
 echo "=== configure+build: build-tsan (-DMPC_SANITIZE=thread) ==="
 cmake -B build-tsan -S . -DMPC_SANITIZE=thread >/dev/null
-cmake --build build-tsan -j "${JOBS}" --target obs_trace_test obs_metrics_test
-echo "=== tracer/metrics tests under tsan ==="
+cmake --build build-tsan -j "${JOBS}" \
+  --target obs_trace_test obs_metrics_test serve_test mpc_cli trace_check
+echo "=== tracer/metrics/serving tests under tsan ==="
 ./build-tsan/tests/obs_trace_test
 ./build-tsan/tests/obs_metrics_test
+./build-tsan/tests/serve_test
+serve_smoke build-tsan
 
-echo "All checks passed (default + asan + ubsan + obs smoke + tsan obs)."
+echo "All checks passed (default + asan + ubsan + obs/serve smoke + tsan)."

@@ -551,23 +551,43 @@ const exec::Cluster& IncrementalMaintainer::cluster() {
     executor_.reset();
     cluster_ = std::make_unique<exec::Cluster>(
         exec::Cluster::Build(CompactPartitioning(), options_.num_threads));
+    exec::ExecutorOptions exec_options = options_.executor;
+    exec_options.generation = generation_;
     executor_ = std::make_unique<exec::DistributedExecutor>(
-        *cluster_, graph_, options_.executor);
+        *cluster_, graph_, exec_options);
     cluster_generation_ = generation_;
   }
   return *cluster_;
 }
 
+Result<exec::QueryResponse> IncrementalMaintainer::Execute(
+    const exec::QueryRequest& request) {
+  cluster();  // refresh the cached view
+  return executor_->Execute(request);
+}
+
 Result<store::BindingTable> IncrementalMaintainer::ExecuteQuery(
     const sparql::QueryGraph& query, exec::ExecutionStats* stats) {
-  cluster();  // refresh the cached view
-  return executor_->Execute(query, stats);
+  Result<exec::QueryResponse> response =
+      Execute(exec::QueryRequest::FromQuery(query));
+  if (!response.ok()) {
+    *stats = exec::ExecutionStats{};
+    return response.status();
+  }
+  *stats = response->stats;
+  return std::move(response->bindings);
 }
 
 Result<store::BindingTable> IncrementalMaintainer::ExecuteText(
     const std::string& text, exec::ExecutionStats* stats) {
-  cluster();
-  return executor_->ExecuteText(text, stats);
+  Result<exec::QueryResponse> response =
+      Execute(exec::QueryRequest::FromText(text));
+  if (!response.ok()) {
+    *stats = exec::ExecutionStats{};
+    return response.status();
+  }
+  *stats = response->stats;
+  return std::move(response->bindings);
 }
 
 void IncrementalMaintainer::RepartitionNow() {

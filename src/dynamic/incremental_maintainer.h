@@ -197,11 +197,21 @@ class IncrementalMaintainer {
   /// Runs a query against the current state (classification sees the
   /// up-to-date crossing set, so a query whose property went crossing
   /// mid-stream is decomposed, and one whose property retired from
-  /// L_cross unions without joins).
+  /// L_cross unions without joins). The response carries generation()
+  /// so callers can tell exactly which state answered. Single-writer
+  /// contract applies: call from the update thread, or snapshot with a
+  /// serve::ServingState for concurrent queries.
+  Result<exec::QueryResponse> Execute(const exec::QueryRequest& request);
+
   Result<store::BindingTable> ExecuteQuery(const sparql::QueryGraph& query,
                                            exec::ExecutionStats* stats);
   Result<store::BindingTable> ExecuteText(const std::string& text,
                                           exec::ExecutionStats* stats);
+
+  /// Monotone state-version counter: bumped by Attach, every ApplyBatch,
+  /// and every repartition swap. Equal generations imply identical live
+  /// state — the QueryService result cache's invalidation token.
+  uint64_t generation() const { return generation_; }
 
   /// Synchronous full MPC re-run on the live graph + atomic swap.
   void RepartitionNow();

@@ -43,4 +43,22 @@ Decomposition DecomposeQuery(const sparql::QueryGraph& query,
   return result;
 }
 
+QueryPlan PlanQuery(const sparql::QueryGraph& query,
+                    const partition::Partitioning& partitioning,
+                    const rdf::RdfGraph& graph) {
+  QueryPlan plan;
+  plan.classification = ClassifyQuery(query, partitioning, graph);
+  if (plan.classification.independently_executable()) {
+    // One subquery holding every pattern; union-only execution.
+    plan.decomposition.subqueries.emplace_back();
+    for (size_t i = 0; i < query.num_patterns(); ++i) {
+      plan.decomposition.subqueries.back().push_back(i);
+    }
+  } else {
+    plan.decomposition =
+        DecomposeQuery(query, plan.classification.crossing_pattern);
+  }
+  return plan;
+}
+
 }  // namespace mpc::exec

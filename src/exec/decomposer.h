@@ -31,6 +31,24 @@ struct Decomposition {
 Decomposition DecomposeQuery(const sparql::QueryGraph& query,
                              const std::vector<bool>& crossing_pattern);
 
+/// The reusable per-query plan for vertex-disjoint execution:
+/// classification against the partitioning's crossing set plus the
+/// Algorithm 2 decomposition (a single all-pattern subquery for IEQs).
+/// A plan is valid for every query with the same canonical shape
+/// (sparql::CanonicalShapeKey) against the same crossing-property set —
+/// the QueryService's plan cache keys on exactly that pair, with the
+/// maintainer generation standing in for the crossing set.
+struct QueryPlan {
+  Classification classification;
+  Decomposition decomposition;
+};
+
+/// Builds the plan the executor would otherwise compute inline
+/// (classify, then decompose or wrap all patterns into one subquery).
+QueryPlan PlanQuery(const sparql::QueryGraph& query,
+                    const partition::Partitioning& partitioning,
+                    const rdf::RdfGraph& graph);
+
 }  // namespace mpc::exec
 
 #endif  // MPC_EXEC_DECOMPOSER_H_

@@ -179,16 +179,37 @@ DistributedExecutor::DistributedExecutor(const Cluster& cluster,
       options_(options),
       fault_model_(options_.faults) {}
 
-Result<BindingTable> DistributedExecutor::Execute(
-    const sparql::QueryGraph& query, ExecutionStats* stats) const {
-  *stats = ExecutionStats{};
+Result<QueryResponse> DistributedExecutor::Execute(
+    const QueryRequest& request) const {
+  return Execute(request, /*plan=*/nullptr);
+}
+
+Result<QueryResponse> DistributedExecutor::Execute(
+    const QueryRequest& request, const QueryPlan* plan) const {
+  if (request.options.strategy == ExecStrategy::kGstored) {
+    return Status::InvalidArgument(
+        "DistributedExecutor cannot serve ExecStrategy::kGstored; route "
+        "the request through a QueryService or GStoredExecutor");
+  }
+  Result<sparql::QueryGraph> query = ResolveRequestQuery(request);
+  if (!query.ok()) return query.status();
+  const PartialResultPolicy policy =
+      request.options.partial_results.value_or(options_.partial_results);
+
+  QueryResponse response;
+  response.generation = options_.generation;
+  ExecutionStats* stats = &response.stats;
   const bool vp = cluster_.partitioning().kind() ==
                   partition::PartitioningKind::kEdgeDisjoint;
   obs::TraceSpan span("exec.query");
   span.Attr("kind", vp ? "vp" : "vertex_disjoint")
-      .Attr("patterns", static_cast<uint64_t>(query.num_patterns()));
+      .Attr("patterns", static_cast<uint64_t>(query->num_patterns()));
+  if (!request.options.trace_tag.empty()) {
+    span.Attr("tag", request.options.trace_tag);
+  }
   Result<BindingTable> result =
-      vp ? ExecuteVp(query, stats) : ExecuteVertexDisjoint(query, stats);
+      vp ? ExecuteVp(*query, policy, stats)
+         : ExecuteVertexDisjoint(*query, plan, policy, stats);
   span.Attr("subqueries", static_cast<uint64_t>(stats->num_subqueries))
       .Attr("sites_evaluated", static_cast<uint64_t>(stats->sites_evaluated))
       .Attr("sites_pruned", static_cast<uint64_t>(stats->sites_pruned))
@@ -198,45 +219,60 @@ Result<BindingTable> DistributedExecutor::Execute(
       .Attr("sim_total_ms", stats->total_millis)
       .Attr("ok", result.ok() ? 1 : 0);
   FlushExecutionMetrics(*stats);
-  return result;
+  if (!result.ok()) return AttachQueryText(result.status(), request.text);
+  response.bindings = std::move(*result);
+  return response;
+}
+
+Result<BindingTable> DistributedExecutor::Execute(
+    const sparql::QueryGraph& query, ExecutionStats* stats) const {
+  Result<QueryResponse> response = Execute(QueryRequest::FromQuery(query));
+  if (!response.ok()) {
+    *stats = ExecutionStats{};
+    return response.status();
+  }
+  *stats = response->stats;
+  return std::move(response->bindings);
 }
 
 Result<BindingTable> DistributedExecutor::ExecuteText(
     const std::string& text, ExecutionStats* stats) const {
-  Result<sparql::QueryGraph> query = sparql::SparqlParser::Parse(text);
-  if (!query.ok()) return query.status();
-  return Execute(*query, stats);
+  Result<QueryResponse> response = Execute(QueryRequest::FromText(text));
+  if (!response.ok()) {
+    *stats = ExecutionStats{};
+    return response.status();
+  }
+  *stats = response->stats;
+  return std::move(response->bindings);
 }
 
 Result<BindingTable> DistributedExecutor::ExecuteVertexDisjoint(
-    const sparql::QueryGraph& query, ExecutionStats* stats) const {
+    const sparql::QueryGraph& query, const QueryPlan* plan,
+    PartialResultPolicy partial_results, ExecutionStats* stats) const {
   const int threads = ResolveNumThreads(options_.num_threads);
-  // --- QDT: classify, decompose, resolve, dispatch. ---
+  // --- QDT: classify + decompose (or reuse the caller's cached plan),
+  // resolve, dispatch. ---
   Timer timer;
-  Decomposition decomposition;
+  QueryPlan local_plan;
   ResolvedQuery resolved;
   {
     obs::TraceSpan qdt_span("exec.decompose");
-    Classification cls =
-        ClassifyQuery(query, cluster_.partitioning(), graph_);
-    stats->cls = cls.cls;
-    stats->independent = cls.independently_executable();
-
-    if (stats->independent) {
-      // One subquery holding every pattern; union-only execution.
-      decomposition.subqueries.emplace_back();
-      for (size_t i = 0; i < query.num_patterns(); ++i) {
-        decomposition.subqueries.back().push_back(i);
-      }
+    if (plan == nullptr) {
+      local_plan = PlanQuery(query, cluster_.partitioning(), graph_);
+      plan = &local_plan;
     } else {
-      decomposition = DecomposeQuery(query, cls.crossing_pattern);
+      stats->plan_cache_hit = true;
     }
-    stats->num_subqueries = decomposition.num_subqueries();
+    stats->cls = plan->classification.cls;
+    stats->independent = plan->classification.independently_executable();
+    stats->num_subqueries = plan->decomposition.num_subqueries();
 
     resolved = store::ResolveQuery(query, graph_);
     qdt_span.Attr("subqueries",
-                  static_cast<uint64_t>(decomposition.num_subqueries()));
+                  static_cast<uint64_t>(plan->decomposition.num_subqueries()))
+        .Attr("cached", stats->plan_cache_hit ? 1 : 0);
   }
+  const Decomposition& decomposition = plan->decomposition;
   const double classify_millis = timer.ElapsedMillis();
 
   // --- LET: each subquery on each site; sites run in parallel, so a
@@ -347,7 +383,7 @@ Result<BindingTable> DistributedExecutor::ExecuteVertexDisjoint(
       if (!outcome.evaluate) {
         ++stats->sites_failed;
         failed_wait = std::max(failed_wait, outcome.wait_ms);
-        if (options_.partial_results == PartialResultPolicy::kFail) {
+        if (partial_results == PartialResultPolicy::kFail) {
           return FaultStatus(outcome.failure, site, subquery_index);
         }
         continue;
@@ -509,7 +545,8 @@ Result<BindingTable> DistributedExecutor::ExecuteVertexDisjoint(
 }
 
 Result<BindingTable> DistributedExecutor::ExecuteVp(
-    const sparql::QueryGraph& query, ExecutionStats* stats) const {
+    const sparql::QueryGraph& query, PartialResultPolicy partial_results,
+    ExecutionStats* stats) const {
   Timer timer;
   const partition::Partitioning& partitioning = cluster_.partitioning();
   const bool local = IsVpLocalQuery(query, partitioning, graph_);
@@ -545,7 +582,7 @@ Result<BindingTable> DistributedExecutor::ExecuteVp(
       // VP stores each property at exactly one site; without replicas a
       // down home site leaves nothing to fail over to.
       ++stats->sites_failed;
-      if (options_.partial_results == PartialResultPolicy::kFail) {
+      if (partial_results == PartialResultPolicy::kFail) {
         return FaultStatus(outcome.failure, home, 0);
       }
       stats->local_eval_millis = outcome.wait_ms;
@@ -620,7 +657,7 @@ Result<BindingTable> DistributedExecutor::ExecuteVp(
         if (!outcome.evaluate) {
           ++stats->sites_failed;
           slowest = std::max(slowest, outcome.wait_ms);
-          if (options_.partial_results == PartialResultPolicy::kFail) {
+          if (partial_results == PartialResultPolicy::kFail) {
             return FaultStatus(outcome.failure, site, i);
           }
           continue;

@@ -9,85 +9,13 @@
 #include "exec/decomposer.h"
 #include "exec/fault_model.h"
 #include "exec/network_model.h"
+#include "exec/query_api.h"
 #include "exec/query_classifier.h"
 #include "rdf/graph.h"
 #include "sparql/query_graph.h"
 #include "store/bgp_matcher.h"
 
 namespace mpc::exec {
-
-/// Per-query timing and provenance, matching the stage breakdown the
-/// paper reports in Tables IV-V: QDT (query decomposition time), LET
-/// (local evaluation time), JT (join time). Network components are
-/// simulated (NetworkModel) and reported separately but included in
-/// total_millis.
-struct ExecutionStats {
-  IeqClass cls = IeqClass::kNonIeq;
-  bool independent = false;
-  size_t num_subqueries = 0;
-  /// QDT: classification + decomposition + dispatch.
-  double decomposition_millis = 0.0;
-  /// LET: per subquery, the slowest site (sites evaluate in parallel);
-  /// subqueries of one query run back-to-back at each site.
-  double local_eval_millis = 0.0;
-  /// JT: coordinator-side hash joins (0 for IEQs).
-  double join_millis = 0.0;
-  /// Simulated shipping of subquery/result tables to the coordinator.
-  double network_millis = 0.0;
-  double total_millis = 0.0;
-  size_t num_results = 0;
-  size_t shipped_bytes = 0;
-  /// Site-subquery evaluations actually performed vs skipped by the
-  /// property-presence localization.
-  size_t sites_evaluated = 0;
-  size_t sites_pruned = 0;
-  /// Rows dropped at sites by the Bloom-join reduction (0 unless the
-  /// bloom_reduction option is on and the query decomposed).
-  size_t bloom_dropped_rows = 0;
-  /// Total rows produced by local evaluation across sites and subqueries
-  /// (the "local partial matches" count used in the gStoreD experiment).
-  size_t local_rows = 0;
-
-  // --- Fault handling (all zero / true on a fault-free run). The
-  // invariant sites_evaluated + sites_pruned + sites_failed ==
-  // k * num_subqueries holds on every path. ---
-
-  /// Site-subquery slots that produced no table because the site was
-  /// down, kept timing out, or exhausted its transient retries.
-  size_t sites_failed = 0;
-  /// Simulated retry attempts across all sites and subqueries.
-  size_t retries = 0;
-  /// Result rows that bind at least one vertex owned by a failed site:
-  /// matches served from 1-hop crossing-edge replicas on live sites —
-  /// the failover data-path at work.
-  size_t failover_hits = 0;
-  /// False iff some site-subquery contribution was lost (best-effort
-  /// runs only; kFail returns an error instead).
-  bool complete = true;
-  /// Vertices owned by failed sites, and how many of them a live site
-  /// still replicates (Cluster::ComputeReplicaCoverage).
-  size_t failed_site_vertices = 0;
-  size_t replicated_failed_vertices = 0;
-  /// Lower-bound proxy on result completeness: the fraction of the data
-  /// that is still reachable at some live site (1.0 when complete). For
-  /// vertex-disjoint partitionings this is driven by the replication
-  /// analysis; VP has no replicas, so every lost triple is gone.
-  double completeness_bound = 1.0;
-  /// Total simulated waiting on faults across sites (backoff + timeouts
-  /// + failure detection). Per-site waits are already charged into
-  /// local_eval_millis via the slowest-site rule; this aggregate is
-  /// observability only and is NOT added to total_millis again.
-  double fault_wait_millis = 0.0;
-};
-
-/// What to do when a site stays down after retries.
-enum class PartialResultPolicy {
-  /// Propagate Unavailable/DeadlineExceeded: correctness over coverage.
-  kFail,
-  /// Answer from the surviving sites (plus whatever 1-hop replicas
-  /// recover), reporting complete=false and the completeness bound.
-  kBestEffort,
-};
 
 /// Executes SPARQL BGP queries over a Cluster, exactly following
 /// Section V-B2:
@@ -130,6 +58,11 @@ struct ExecutorOptions {
   /// Degrade to surviving sites or fail the query when a site stays
   /// down after retries.
   PartialResultPolicy partial_results = PartialResultPolicy::kFail;
+  /// Stamped into every QueryResponse: the generation of the serving
+  /// state this executor answers for (0 for a static cluster). Set by
+  /// the IncrementalMaintainer / ServingState when they (re)build their
+  /// cached executor; it is the token the result cache validates against.
+  uint64_t generation = 0;
 };
 
 class DistributedExecutor {
@@ -141,18 +74,38 @@ class DistributedExecutor {
   DistributedExecutor(const Cluster& cluster, const rdf::RdfGraph& graph,
                       Options options = Options());
 
-  /// Runs the query; on success fills `stats` (never null).
+  /// The single execution entry point: resolves the request (parsing
+  /// `text` when no parsed query is attached — parse errors carry the
+  /// offending text), honours the per-request options, and returns the
+  /// bindings together with the per-query stats and the executor's
+  /// generation. ExecStrategy::kGstored is rejected with
+  /// InvalidArgument (the QueryService routes it to a GStoredExecutor).
+  Result<QueryResponse> Execute(const QueryRequest& request) const;
+
+  /// Same, but reuses a precomputed plan (classification +
+  /// decomposition) instead of planning inline — the plan-cache fast
+  /// path. `plan` may be null (plans inline); when non-null it must
+  /// have been built by PlanQuery for a query of the same canonical
+  /// shape against this executor's partitioning. Only consulted on the
+  /// vertex-disjoint path; VP planning is per-pattern and cheap.
+  Result<QueryResponse> Execute(const QueryRequest& request,
+                                const QueryPlan* plan) const;
+
+  /// Transitional shims for the pre-QueryRequest API.
+  [[deprecated("use Execute(const QueryRequest&)")]]
   Result<store::BindingTable> Execute(const sparql::QueryGraph& query,
                                       ExecutionStats* stats) const;
 
-  /// Parses and runs a SPARQL string.
+  [[deprecated("use Execute(QueryRequest::FromText(...))")]]
   Result<store::BindingTable> ExecuteText(const std::string& text,
                                           ExecutionStats* stats) const;
 
  private:
   Result<store::BindingTable> ExecuteVertexDisjoint(
-      const sparql::QueryGraph& query, ExecutionStats* stats) const;
+      const sparql::QueryGraph& query, const QueryPlan* plan,
+      PartialResultPolicy partial_results, ExecutionStats* stats) const;
   Result<store::BindingTable> ExecuteVp(const sparql::QueryGraph& query,
+                                        PartialResultPolicy partial_results,
                                         ExecutionStats* stats) const;
 
   const Cluster& cluster_;

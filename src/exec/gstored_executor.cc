@@ -12,7 +12,35 @@ namespace mpc::exec {
 using store::BgpMatcher;
 using store::BindingTable;
 
+Result<QueryResponse> GStoredExecutor::Execute(
+    const QueryRequest& request) const {
+  if (request.options.strategy == ExecStrategy::kDistributed) {
+    return Status::InvalidArgument(
+        "GStoredExecutor cannot serve ExecStrategy::kDistributed");
+  }
+  Result<sparql::QueryGraph> query = ResolveRequestQuery(request);
+  if (!query.ok()) return query.status();
+
+  QueryResponse response;
+  response.generation = options_.generation;
+  Result<BindingTable> result = ExecuteParsed(*query, &response.stats);
+  if (!result.ok()) return AttachQueryText(result.status(), request.text);
+  response.bindings = std::move(*result);
+  return response;
+}
+
 Result<BindingTable> GStoredExecutor::Execute(
+    const sparql::QueryGraph& query, ExecutionStats* stats) const {
+  Result<QueryResponse> response = Execute(QueryRequest::FromQuery(query));
+  if (!response.ok()) {
+    *stats = ExecutionStats{};
+    return response.status();
+  }
+  *stats = response->stats;
+  return std::move(response->bindings);
+}
+
+Result<BindingTable> GStoredExecutor::ExecuteParsed(
     const sparql::QueryGraph& query, ExecutionStats* stats) const {
   *stats = ExecutionStats{};
   if (cluster_.partitioning().kind() !=

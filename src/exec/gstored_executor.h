@@ -27,10 +27,17 @@ class GStoredExecutor {
                   DistributedExecutor::Options options = DistributedExecutor::Options())
       : cluster_(cluster), graph_(graph), options_(options) {}
 
+  /// Unified entry point (same contract as DistributedExecutor): strategy
+  /// kAuto/kGstored accepted, kDistributed rejected with InvalidArgument.
+  Result<QueryResponse> Execute(const QueryRequest& request) const;
+
+  [[deprecated("use Execute(const QueryRequest&)")]]
   Result<store::BindingTable> Execute(const sparql::QueryGraph& query,
                                       ExecutionStats* stats) const;
 
  private:
+  Result<store::BindingTable> ExecuteParsed(const sparql::QueryGraph& query,
+                                            ExecutionStats* stats) const;
   const Cluster& cluster_;
   const rdf::RdfGraph& graph_;
   DistributedExecutor::Options options_;

@@ -1,0 +1,63 @@
+#ifndef MPC_SERVE_LRU_CACHE_H_
+#define MPC_SERVE_LRU_CACHE_H_
+
+#include <cstddef>
+#include <list>
+#include <string>
+#include <unordered_map>
+#include <utility>
+
+namespace mpc::serve {
+
+/// Plain string-keyed LRU map backing the QueryService's plan and result
+/// caches. Not internally synchronized: the service guards each cache
+/// with its own mutex and stores shared_ptr values, so an entry evicted
+/// while a query still holds it simply outlives the cache slot.
+template <typename Value>
+class LruCache {
+ public:
+  explicit LruCache(size_t capacity) : capacity_(capacity) {}
+
+  /// Returns the value and marks the key most-recently-used;
+  /// default-constructed Value (a null shared_ptr for both caches) on
+  /// miss or when the cache is disabled (capacity 0).
+  Value Get(const std::string& key) {
+    auto it = map_.find(key);
+    if (it == map_.end()) return Value{};
+    order_.splice(order_.begin(), order_, it->second);
+    return it->second->second;
+  }
+
+  /// Inserts or overwrites; evicts the least-recently-used entry past
+  /// capacity. No-op when the cache is disabled.
+  void Put(const std::string& key, Value value) {
+    if (capacity_ == 0) return;
+    auto it = map_.find(key);
+    if (it != map_.end()) {
+      it->second->second = std::move(value);
+      order_.splice(order_.begin(), order_, it->second);
+      return;
+    }
+    order_.emplace_front(key, std::move(value));
+    map_[key] = order_.begin();
+    if (map_.size() > capacity_) {
+      map_.erase(order_.back().first);
+      order_.pop_back();
+    }
+  }
+
+  size_t size() const { return map_.size(); }
+  size_t capacity() const { return capacity_; }
+
+ private:
+  size_t capacity_;
+  /// Front = most recently used.
+  std::list<std::pair<std::string, Value>> order_;
+  std::unordered_map<std::string,
+                     typename std::list<std::pair<std::string, Value>>::iterator>
+      map_;
+};
+
+}  // namespace mpc::serve
+
+#endif  // MPC_SERVE_LRU_CACHE_H_

@@ -1,0 +1,146 @@
+#ifndef MPC_SERVE_QUERY_SERVICE_H_
+#define MPC_SERVE_QUERY_SERVICE_H_
+
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "common/status.h"
+#include "exec/query_api.h"
+#include "serve/lru_cache.h"
+#include "serve/serving_state.h"
+
+namespace mpc::serve {
+
+struct QueryServiceOptions {
+  /// Dedicated serving workers — the inter-query parallelism. Intra-query
+  /// evaluation stays at the executors' num_threads (default 1, see
+  /// ServingStateOptions), so total parallelism is exactly this many
+  /// cores rather than workers x intra-query threads. 0 =
+  /// hardware_concurrency.
+  int num_workers = 4;
+  /// Bound on queries admitted but not yet finished dequeuing. 0 =
+  /// unbounded (admission never rejects or blocks).
+  size_t queue_capacity = 1024;
+  enum class Admission {
+    /// A full queue fails the submission immediately with Unavailable —
+    /// the backpressure signal for open-loop producers.
+    kReject,
+    /// A full queue blocks Submit until a worker makes room — the
+    /// closed-loop flavor. Per-query deadlines are still only enforced
+    /// at dequeue, so a blocked submission can outwait its own deadline
+    /// and then fail with DeadlineExceeded.
+    kBlock,
+  };
+  Admission admission = Admission::kReject;
+  /// Entries in the shape-keyed plan cache (0 disables).
+  size_t plan_cache_capacity = 256;
+  /// Entries in the result cache for independently-executable, complete
+  /// answers (0 disables).
+  size_t result_cache_capacity = 1024;
+  /// Test-only: runs on the worker thread right before a query executes
+  /// (after the deadline check; not called for rejected/expired queries).
+  std::function<void(const exec::QueryRequest&)> pre_execute_hook;
+};
+
+/// The concurrent front-end over the redesigned execution API: admits
+/// QueryRequests from any thread, runs them on a dedicated worker pool
+/// against an immutable ServingState snapshot, and caches plans (by
+/// canonical query shape) and IEQ results (by exact query), both
+/// invalidated by generation mismatch rather than by explicit flushes —
+/// Publish()ing a new snapshot is all the update path ever does.
+///
+/// Metrics (obs::MetricsRegistry::Default()): serve.admitted,
+/// serve.rejected, serve.deadline_expired, serve.queries counters;
+/// serve.queue_depth gauge; serve.latency_ms / serve.queue_wait_ms
+/// histograms; serve.plan_cache.{hits,misses} and
+/// serve.result_cache.{hits,misses} counters.
+class QueryService {
+ public:
+  QueryService(std::shared_ptr<const ServingState> state,
+               QueryServiceOptions options = QueryServiceOptions());
+  /// Shuts down: drains admitted queries, then joins the workers.
+  ~QueryService();
+
+  QueryService(const QueryService&) = delete;
+  QueryService& operator=(const QueryService&) = delete;
+
+  /// Admits a query; thread-safe. The future resolves with the response
+  /// or with Unavailable (queue full under kReject, or shut down),
+  /// DeadlineExceeded (options.deadline_ms elapsed before a worker got
+  /// to it), or whatever the execution itself returns. Error messages
+  /// carry the query text.
+  std::future<Result<exec::QueryResponse>> Submit(exec::QueryRequest request);
+
+  /// Submit + wait: the synchronous convenience used by tests and the
+  /// CLI's serial paths.
+  Result<exec::QueryResponse> Execute(exec::QueryRequest request);
+
+  /// Atomically swaps the serving snapshot; called by the update thread
+  /// after capturing a new ServingState. In-flight queries finish on the
+  /// snapshot they started with; caches self-invalidate because their
+  /// entries' generations stop matching.
+  void Publish(std::shared_ptr<const ServingState> state);
+
+  std::shared_ptr<const ServingState> state() const;
+  uint64_t generation() const { return state()->generation(); }
+
+  /// Stops admissions (Submit fails with Unavailable), drains the queue,
+  /// joins the workers. Idempotent; the destructor calls it.
+  void Shutdown();
+
+  size_t queue_depth() const;
+
+ private:
+  using Clock = std::chrono::steady_clock;
+
+  struct Pending {
+    exec::QueryRequest request;
+    std::promise<Result<exec::QueryResponse>> promise;
+    Clock::time_point enqueued;
+    Clock::time_point deadline;
+    bool has_deadline = false;
+  };
+
+  void WorkerLoop();
+  /// The post-admission pipeline: result cache, plan cache, execute.
+  Result<exec::QueryResponse> Run(const exec::QueryRequest& request,
+                                  double queue_wait_millis);
+
+  QueryServiceOptions options_;
+
+  mutable std::mutex state_mutex_;
+  std::shared_ptr<const ServingState> state_;
+
+  mutable std::mutex queue_mutex_;
+  std::condition_variable work_available_;
+  std::condition_variable space_available_;
+  std::deque<Pending> queue_;
+  bool admitting_ = true;
+  bool stop_workers_ = false;
+
+  struct PlanEntry {
+    uint64_t generation = 0;
+    std::shared_ptr<const exec::QueryPlan> plan;
+  };
+  std::mutex plan_cache_mutex_;
+  LruCache<std::shared_ptr<const PlanEntry>> plan_cache_;
+
+  std::mutex result_cache_mutex_;
+  /// Values are whole responses (generation inside); a hit additionally
+  /// requires entry->generation == current state generation.
+  LruCache<std::shared_ptr<const exec::QueryResponse>> result_cache_;
+
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace mpc::serve
+
+#endif  // MPC_SERVE_QUERY_SERVICE_H_

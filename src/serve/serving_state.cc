@@ -1,0 +1,39 @@
+#include "serve/serving_state.h"
+
+#include <utility>
+
+namespace mpc::serve {
+
+ServingState::ServingState(rdf::RdfGraph graph,
+                           partition::Partitioning partitioning,
+                           uint64_t generation,
+                           const ServingStateOptions& options)
+    : graph_(std::move(graph)),
+      cluster_(exec::Cluster::Build(std::move(partitioning),
+                                    options.build_threads)),
+      generation_(generation) {
+  exec::ExecutorOptions exec_options = options.executor;
+  exec_options.generation = generation_;
+  distributed_ = std::make_unique<exec::DistributedExecutor>(cluster_, graph_,
+                                                             exec_options);
+  gstored_ =
+      std::make_unique<exec::GStoredExecutor>(cluster_, graph_, exec_options);
+}
+
+std::shared_ptr<const ServingState> ServingState::Capture(
+    dynamic::IncrementalMaintainer& maintainer,
+    const ServingStateOptions& options) {
+  return Build(maintainer.graph().Clone(), maintainer.CompactPartitioning(),
+               maintainer.generation(), options);
+}
+
+std::shared_ptr<const ServingState> ServingState::Build(
+    rdf::RdfGraph graph, partition::Partitioning partitioning,
+    uint64_t generation, const ServingStateOptions& options) {
+  // make_shared needs a public constructor; the factories are the only
+  // creation paths, so plain new keeps the constructor private.
+  return std::shared_ptr<const ServingState>(new ServingState(
+      std::move(graph), std::move(partitioning), generation, options));
+}
+
+}  // namespace mpc::serve

@@ -1,0 +1,84 @@
+#ifndef MPC_SERVE_SERVING_STATE_H_
+#define MPC_SERVE_SERVING_STATE_H_
+
+#include <cstdint>
+#include <memory>
+
+#include "dynamic/incremental_maintainer.h"
+#include "exec/cluster.h"
+#include "exec/distributed_executor.h"
+#include "exec/gstored_executor.h"
+#include "partition/partitioning.h"
+#include "rdf/graph.h"
+
+namespace mpc::serve {
+
+struct ServingStateOptions {
+  /// Per-query executor policy (network model, pruning, faults, ...).
+  /// `generation` is overwritten with the snapshot's generation, and
+  /// num_threads should stay at its default of 1 when the state serves a
+  /// QueryService pool: with N serving workers, N concurrent queries
+  /// already saturate N cores, so serial intra-query evaluation is what
+  /// makes the two levels share the machine instead of multiplying on it.
+  exec::ExecutorOptions executor;
+  /// Worker threads for the one-off Cluster::Build (site index
+  /// construction), not for query evaluation. 0 = hardware_concurrency.
+  int build_threads = 0;
+};
+
+/// An immutable, self-contained snapshot of everything needed to answer
+/// queries: a private copy of the graph (dictionaries), the compacted
+/// partitioning materialized into a Cluster, and both executors, all
+/// stamped with the generation they were captured at.
+///
+/// This is the bridge between the single-writer IncrementalMaintainer
+/// and a many-reader QueryService: the update thread captures a state
+/// after applying updates and Publishes it; queries in flight keep the
+/// previous snapshot alive through their shared_ptr, so the writer never
+/// blocks on readers and readers never observe a half-applied batch.
+class ServingState {
+ public:
+  /// Snapshots a live maintainer (single-writer contract: call from the
+  /// maintainer's update thread only — this reads LiveTriples through
+  /// CompactPartitioning and clones the graph).
+  static std::shared_ptr<const ServingState> Capture(
+      dynamic::IncrementalMaintainer& maintainer,
+      const ServingStateOptions& options = ServingStateOptions());
+
+  /// Builds a state from explicit parts — the static-cluster entry point
+  /// (generation 0 unless the caller says otherwise).
+  static std::shared_ptr<const ServingState> Build(
+      rdf::RdfGraph graph, partition::Partitioning partitioning,
+      uint64_t generation = 0,
+      const ServingStateOptions& options = ServingStateOptions());
+
+  ServingState(const ServingState&) = delete;
+  ServingState& operator=(const ServingState&) = delete;
+
+  uint64_t generation() const { return generation_; }
+  const rdf::RdfGraph& graph() const { return graph_; }
+  const exec::Cluster& cluster() const { return cluster_; }
+  const exec::DistributedExecutor& distributed() const {
+    return *distributed_;
+  }
+  /// Constructed lazily-never: always present, but only usable on
+  /// vertex-disjoint partitionings (its Execute checks).
+  const exec::GStoredExecutor& gstored() const { return *gstored_; }
+
+ private:
+  ServingState(rdf::RdfGraph graph, partition::Partitioning partitioning,
+               uint64_t generation, const ServingStateOptions& options);
+
+  rdf::RdfGraph graph_;
+  exec::Cluster cluster_;
+  uint64_t generation_;
+  /// unique_ptrs because the executors hold references into graph_ /
+  /// cluster_, which are stable only once this object is in place (it is
+  /// always heap-allocated via the factories).
+  std::unique_ptr<exec::DistributedExecutor> distributed_;
+  std::unique_ptr<exec::GStoredExecutor> gstored_;
+};
+
+}  // namespace mpc::serve
+
+#endif  // MPC_SERVE_SERVING_STATE_H_

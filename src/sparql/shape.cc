@@ -72,4 +72,41 @@ QueryComponents DecomposeAfterRemoval(const QueryGraph& query,
   return result;
 }
 
+std::string CanonicalShapeKey(const QueryGraph& query) {
+  // Variables renamed to _0, _1, ... by first occurrence in S-P-O order.
+  std::vector<uint32_t> rename(query.num_variables(), UINT32_MAX);
+  uint32_t next = 0;
+  auto term_key = [&](const QueryTerm& term) -> std::string {
+    if (!term.is_variable()) return "c:" + term.text;
+    if (rename[term.var_id] == UINT32_MAX) rename[term.var_id] = next++;
+    return "_" + std::to_string(rename[term.var_id]);
+  };
+  std::string key;
+  key.reserve(64 * query.num_patterns());
+  for (const TriplePattern& p : query.patterns()) {
+    key += term_key(p.subject);
+    key += ' ';
+    key += term_key(p.predicate);
+    key += ' ';
+    key += term_key(p.object);
+    key += '\n';
+  }
+  // Modifiers change the answer (not the plan), but keying them keeps
+  // one cache usable for both plan and result lookups.
+  key += "select:";
+  if (query.projection().empty()) {
+    key += '*';
+  } else {
+    for (uint32_t var : query.projection()) {
+      if (rename[var] == UINT32_MAX) rename[var] = next++;
+      key += " _" + std::to_string(rename[var]);
+    }
+  }
+  if (query.distinct()) key += " distinct";
+  if (query.limit() != SIZE_MAX) {
+    key += " limit " + std::to_string(query.limit());
+  }
+  return key;
+}
+
 }  // namespace mpc::sparql

@@ -2,6 +2,7 @@
 #define MPC_SPARQL_SHAPE_H_
 
 #include <cstdint>
+#include <string>
 #include <vector>
 
 #include "sparql/query_graph.h"
@@ -32,6 +33,16 @@ struct QueryComponents {
 
 QueryComponents DecomposeAfterRemoval(const QueryGraph& query,
                                       const std::vector<bool>& removed);
+
+/// A canonical key for the query's *shape*: variables are renamed by
+/// first occurrence (in pattern order, S-P-O within a pattern), constants
+/// kept verbatim, plus the projection/DISTINCT/LIMIT modifiers. Two
+/// queries with equal keys classify and decompose identically against any
+/// fixed partitioning — classification depends only on the multiset of
+/// constant predicates / variable-predicate positions and decomposition
+/// only on the vertex structure, both of which the key fixes. This is the
+/// QueryService plan-cache key.
+std::string CanonicalShapeKey(const QueryGraph& query);
 
 }  // namespace mpc::sparql
 

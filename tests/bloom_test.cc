@@ -72,15 +72,16 @@ TEST(BloomReductionTest, ResultsUnchangedAndBytesReduced) {
           std::string("SELECT * WHERE { ?a <t:p0> ?b . ?b ?p ?c . ?c "
                       "<t:p1> ?d . }")}) {
       sparql::QueryGraph query = testutil::ParseQueryOrDie(text);
-      ExecutionStats plain_stats, bloom_stats;
-      Result<store::BindingTable> a = plain.Execute(query, &plain_stats);
-      Result<store::BindingTable> b = reduced.Execute(query, &bloom_stats);
+      Result<QueryResponse> a = plain.Execute(QueryRequest::FromQuery(query));
+      Result<QueryResponse> b =
+          reduced.Execute(QueryRequest::FromQuery(query));
       ASSERT_TRUE(a.ok() && b.ok());
-      EXPECT_EQ(testutil::RowSet(*a), testutil::RowSet(*b)) << text;
-      if (!plain_stats.independent) {
-        total_dropped += bloom_stats.bloom_dropped_rows;
+      EXPECT_EQ(testutil::RowSet(a->bindings), testutil::RowSet(b->bindings))
+          << text;
+      if (!a->stats.independent) {
+        total_dropped += b->stats.bloom_dropped_rows;
       }
-      EXPECT_EQ(plain_stats.bloom_dropped_rows, 0u);
+      EXPECT_EQ(a->stats.bloom_dropped_rows, 0u);
     }
   }
   // Across the rounds, the reduction must actually fire somewhere.
@@ -99,9 +100,9 @@ TEST(BloomReductionTest, IeqQueriesUnaffected) {
   // A star query is an IEQ: single subquery, no filters built.
   sparql::QueryGraph q = testutil::ParseQueryOrDie(
       "SELECT * WHERE { ?x <t:p0> ?a . ?x <t:p1> ?b . }");
-  ExecutionStats stats;
-  ASSERT_TRUE(executor.Execute(q, &stats).ok());
-  EXPECT_EQ(stats.bloom_dropped_rows, 0u);
+  Result<QueryResponse> response = executor.Execute(QueryRequest::FromQuery(q));
+  ASSERT_TRUE(response.ok());
+  EXPECT_EQ(response->stats.bloom_dropped_rows, 0u);
 }
 
 }  // namespace

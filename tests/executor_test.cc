@@ -89,13 +89,15 @@ TEST_P(ExecutorCorrectnessTest, MatchesGroundTruth) {
 
   for (const std::string& text : TestQueries()) {
     sparql::QueryGraph query = testutil::ParseQueryOrDie(text);
-    ExecutionStats stats;
-    Result<BindingTable> result = executor.Execute(query, &stats);
-    ASSERT_TRUE(result.ok()) << result.status().ToString();
+    Result<QueryResponse> response =
+        executor.Execute(QueryRequest::FromQuery(query));
+    ASSERT_TRUE(response.ok()) << response.status().ToString();
     BindingTable truth = testutil::GroundTruth(graph, query);
-    EXPECT_EQ(testutil::RowSet(*result), testutil::RowSet(truth))
-        << "query: " << text << "\nclass: " << IeqClassName(stats.cls)
-        << " rows: " << result->num_rows() << " vs " << truth.num_rows();
+    EXPECT_EQ(testutil::RowSet(response->bindings), testutil::RowSet(truth))
+        << "query: " << text
+        << "\nclass: " << IeqClassName(response->stats.cls)
+        << " rows: " << response->bindings.num_rows() << " vs "
+        << truth.num_rows();
   }
 }
 
@@ -125,8 +127,10 @@ TEST(ExecutorStatsTest, IeqHasZeroJoinTimeAndOneSubquery) {
 
   sparql::QueryGraph star = testutil::ParseQueryOrDie(
       "SELECT * WHERE { ?x <t:p0> ?a . ?x <t:p1> ?b . }");
-  ExecutionStats stats;
-  ASSERT_TRUE(executor.Execute(star, &stats).ok());
+  Result<QueryResponse> response =
+      executor.Execute(QueryRequest::FromQuery(star));
+  ASSERT_TRUE(response.ok());
+  const ExecutionStats& stats = response->stats;
   EXPECT_TRUE(stats.independent);
   EXPECT_EQ(stats.num_subqueries, 1u);
   EXPECT_EQ(stats.join_millis, 0.0);
@@ -143,10 +147,11 @@ TEST(ExecutorStatsTest, NonIeqReportsSubqueries) {
   DistributedExecutor executor(cluster, graph);
   sparql::QueryGraph path = testutil::ParseQueryOrDie(
       "SELECT * WHERE { ?a <t:p0> ?b . ?b <t:p1> ?c . ?c <t:p2> ?d . }");
-  ExecutionStats stats;
-  ASSERT_TRUE(executor.Execute(path, &stats).ok());
-  if (!stats.independent) {
-    EXPECT_GE(stats.num_subqueries, 2u);
+  Result<QueryResponse> response =
+      executor.Execute(QueryRequest::FromQuery(path));
+  ASSERT_TRUE(response.ok());
+  if (!response->stats.independent) {
+    EXPECT_GE(response->stats.num_subqueries, 2u);
   }
 }
 
@@ -157,11 +162,17 @@ TEST(ExecutorTest, ExecuteTextParsesAndRuns) {
   Cluster cluster = Cluster::Build(
       partition::SubjectHashPartitioner(options).Partition(graph));
   DistributedExecutor executor(cluster, graph);
-  ExecutionStats stats;
   EXPECT_TRUE(
-      executor.ExecuteText("SELECT * WHERE { ?x <t:p0> ?y . }", &stats)
+      executor
+          .Execute(QueryRequest::FromText("SELECT * WHERE { ?x <t:p0> ?y . }"))
           .ok());
-  EXPECT_FALSE(executor.ExecuteText("NOT SPARQL", &stats).ok());
+  Result<QueryResponse> bad =
+      executor.Execute(QueryRequest::FromText("NOT SPARQL"));
+  ASSERT_FALSE(bad.ok());
+  // Regression: a failed parse must name the offending query, so a bad
+  // line in a thousand-query replay log can be found again.
+  EXPECT_NE(bad.status().message().find("NOT SPARQL"), std::string::npos)
+      << bad.status().ToString();
 }
 
 TEST(ExecutorTest, LimitClauseTruncatesResults) {
@@ -173,10 +184,9 @@ TEST(ExecutorTest, LimitClauseTruncatesResults) {
   DistributedExecutor executor(cluster, graph);
   sparql::QueryGraph q = testutil::ParseQueryOrDie(
       "SELECT * WHERE { ?x <t:p0> ?y . } LIMIT 3");
-  ExecutionStats stats;
-  Result<BindingTable> result = executor.Execute(q, &stats);
-  ASSERT_TRUE(result.ok());
-  EXPECT_EQ(result->num_rows(), 3u);
+  Result<QueryResponse> response = executor.Execute(QueryRequest::FromQuery(q));
+  ASSERT_TRUE(response.ok());
+  EXPECT_EQ(response->bindings.num_rows(), 3u);
 }
 
 TEST(ExecutorTest, MaxRowsCapsResults) {
@@ -190,11 +200,10 @@ TEST(ExecutorTest, MaxRowsCapsResults) {
   DistributedExecutor executor(cluster, graph, exec_options);
   sparql::QueryGraph q =
       testutil::ParseQueryOrDie("SELECT * WHERE { ?x <t:p0> ?y . }");
-  ExecutionStats stats;
-  Result<BindingTable> result = executor.Execute(q, &stats);
-  ASSERT_TRUE(result.ok());
+  Result<QueryResponse> response = executor.Execute(QueryRequest::FromQuery(q));
+  ASSERT_TRUE(response.ok());
   // Per-site cap of 5 over 2 sites: at most 10 before dedup.
-  EXPECT_LE(result->num_rows(), 10u);
+  EXPECT_LE(response->bindings.num_rows(), 10u);
 }
 
 // gStoreD-style partial evaluation must agree with ground truth too.
@@ -207,11 +216,11 @@ TEST(GStoredExecutorTest, MatchesGroundTruth) {
     GStoredExecutor executor(cluster, graph);
     for (const std::string& text : TestQueries()) {
       sparql::QueryGraph query = testutil::ParseQueryOrDie(text);
-      ExecutionStats stats;
-      Result<BindingTable> result = executor.Execute(query, &stats);
-      ASSERT_TRUE(result.ok()) << result.status().ToString();
+      Result<QueryResponse> response =
+          executor.Execute(QueryRequest::FromQuery(query));
+      ASSERT_TRUE(response.ok()) << response.status().ToString();
       BindingTable truth = testutil::GroundTruth(graph, query);
-      EXPECT_EQ(testutil::RowSet(*result), testutil::RowSet(truth))
+      EXPECT_EQ(testutil::RowSet(response->bindings), testutil::RowSet(truth))
           << "query: " << text;
     }
   }
@@ -225,8 +234,7 @@ TEST(GStoredExecutorTest, RejectsEdgeDisjointPartitioning) {
   GStoredExecutor executor(cluster, graph);
   sparql::QueryGraph q =
       testutil::ParseQueryOrDie("SELECT * WHERE { ?x <t:p0> ?y . }");
-  ExecutionStats stats;
-  EXPECT_FALSE(executor.Execute(q, &stats).ok());
+  EXPECT_FALSE(executor.Execute(QueryRequest::FromQuery(q)).ok());
 }
 
 TEST(GStoredExecutorTest, FewerCrossingPropertiesMeansFewerPartialRows) {
@@ -242,13 +250,15 @@ TEST(GStoredExecutorTest, FewerCrossingPropertiesMeansFewerPartialRows) {
       Cluster::Build(MakePartitioning(Strategy::kHash, graph, 4, 31));
   sparql::QueryGraph q = testutil::ParseQueryOrDie(
       "SELECT * WHERE { ?a <t:p0> ?b . ?b <t:p1> ?c . ?c <t:p2> ?d . }");
-  ExecutionStats mpc_stats, hash_stats;
-  ASSERT_TRUE(
-      GStoredExecutor(mpc_cluster, graph).Execute(q, &mpc_stats).ok());
-  ASSERT_TRUE(
-      GStoredExecutor(hash_cluster, graph).Execute(q, &hash_stats).ok());
-  EXPECT_LE(mpc_stats.local_rows, hash_stats.local_rows);
-  EXPECT_LE(mpc_stats.num_subqueries, hash_stats.num_subqueries);
+  Result<QueryResponse> mpc_response =
+      GStoredExecutor(mpc_cluster, graph).Execute(QueryRequest::FromQuery(q));
+  Result<QueryResponse> hash_response =
+      GStoredExecutor(hash_cluster, graph).Execute(QueryRequest::FromQuery(q));
+  ASSERT_TRUE(mpc_response.ok());
+  ASSERT_TRUE(hash_response.ok());
+  EXPECT_LE(mpc_response->stats.local_rows, hash_response->stats.local_rows);
+  EXPECT_LE(mpc_response->stats.num_subqueries,
+            hash_response->stats.num_subqueries);
 }
 
 TEST(ClusterTest, BuildsKSitesAndReportsLoading) {

@@ -6,6 +6,7 @@
 #include "exec/distributed_executor.h"
 #include "exec/fault_model.h"
 #include "gtest/gtest.h"
+#include "obs/metrics.h"
 #include "mpc/mpc_partitioner.h"
 #include "partition/subject_hash_partitioner.h"
 #include "partition/vp_partitioner.h"
@@ -141,18 +142,20 @@ TEST(FaultToleranceTest, BestEffortCrashServesReplicasFromLiveSites) {
        {std::string("SELECT * WHERE { ?x <t:p0> ?y . }"),
         std::string("SELECT * WHERE { ?x <t:p0> ?y . ?x <t:p1> ?z . }")}) {
     sparql::QueryGraph query = testutil::ParseQueryOrDie(text);
-    ExecutionStats stats;
-    Result<BindingTable> result = executor.Execute(query, &stats);
-    ASSERT_TRUE(result.ok()) << result.status().ToString();
+    Result<QueryResponse> response =
+        executor.Execute(QueryRequest::FromQuery(query));
+    ASSERT_TRUE(response.ok()) << response.status().ToString();
+    const ExecutionStats& stats = response->stats;
+    BindingTable& result = response->bindings;
     EXPECT_TRUE(stats.independent);
 
     BindingTable expected = LiveUnionTruth(cluster, graph, query, {0});
-    EXPECT_EQ(testutil::RowSet(*result), testutil::RowSet(expected))
+    EXPECT_EQ(testutil::RowSet(result), testutil::RowSet(expected))
         << "best-effort must equal the live-union ground truth: " << text;
 
     BindingTable full = testutil::GroundTruth(graph, query);
     // Degraded answers are sound: a subset of the full result.
-    for (const auto& row : result->rows) {
+    for (const auto& row : result.rows) {
       EXPECT_TRUE(testutil::RowSet(full).count(row));
     }
     EXPECT_FALSE(stats.complete);
@@ -174,14 +177,15 @@ TEST(FaultToleranceTest, FailoverHitsCountReplicaServedRows) {
 
   sparql::QueryGraph query =
       testutil::ParseQueryOrDie("SELECT * WHERE { ?x <t:p0> ?y . }");
-  ExecutionStats stats;
-  Result<BindingTable> result = executor.Execute(query, &stats);
-  ASSERT_TRUE(result.ok());
+  Result<QueryResponse> response =
+      executor.Execute(QueryRequest::FromQuery(query));
+  ASSERT_TRUE(response.ok());
+  const ExecutionStats& stats = response->stats;
 
   // Recount independently: rows binding a vertex owned by site 1.
   const auto& part = cluster.partitioning().assignment().part;
   size_t expected_hits = 0;
-  for (const auto& row : result->rows) {
+  for (const auto& row : response->bindings.rows) {
     bool hit = false;
     for (uint32_t v : row) hit |= (v < part.size() && part[v] == 1);
     expected_hits += hit;
@@ -204,10 +208,11 @@ TEST(FaultToleranceTest, TransientFaultsRecoverWithRetries) {
 
   sparql::QueryGraph query = testutil::ParseQueryOrDie(
       "SELECT * WHERE { ?a <t:p0> ?b . ?b <t:p1> ?c . }");
-  ExecutionStats stats;
-  Result<BindingTable> result = executor.Execute(query, &stats);
-  ASSERT_TRUE(result.ok()) << result.status().ToString();
-  EXPECT_EQ(testutil::RowSet(*result),
+  Result<QueryResponse> response =
+      executor.Execute(QueryRequest::FromQuery(query));
+  ASSERT_TRUE(response.ok()) << response.status().ToString();
+  const ExecutionStats& stats = response->stats;
+  EXPECT_EQ(testutil::RowSet(response->bindings),
             testutil::RowSet(testutil::GroundTruth(graph, query)));
   EXPECT_TRUE(stats.complete);
   EXPECT_EQ(stats.sites_failed, 0u);
@@ -224,11 +229,13 @@ TEST(FaultToleranceTest, FailPolicyReturnsUnavailableOnCrash) {
   options.faults.fail_sites = {2};
   options.partial_results = PartialResultPolicy::kFail;
   DistributedExecutor executor(cluster, graph, options);
-  ExecutionStats stats;
-  Result<BindingTable> result = executor.ExecuteText(
-      "SELECT * WHERE { ?x <t:p0> ?y . }", &stats);
-  ASSERT_FALSE(result.ok());
-  EXPECT_EQ(result.status().code(), StatusCode::kUnavailable);
+  Result<QueryResponse> response = executor.Execute(
+      QueryRequest::FromText("SELECT * WHERE { ?x <t:p0> ?y . }"));
+  ASSERT_FALSE(response.ok());
+  EXPECT_EQ(response.status().code(), StatusCode::kUnavailable);
+  // The executor-level error also names the query it failed on.
+  EXPECT_NE(response.status().message().find("<t:p0>"), std::string::npos)
+      << response.status().ToString();
 }
 
 TEST(FaultToleranceTest, FailPolicyReturnsUnavailableAfterRetries) {
@@ -238,13 +245,16 @@ TEST(FaultToleranceTest, FailPolicyReturnsUnavailableAfterRetries) {
   options.faults.transient_rate = 1.0;  // every attempt fails
   options.network.max_retries = 3;
   DistributedExecutor executor(cluster, graph, options);
-  ExecutionStats stats;
-  Result<BindingTable> result = executor.ExecuteText(
-      "SELECT * WHERE { ?x <t:p0> ?y . }", &stats);
-  ASSERT_FALSE(result.ok());
-  EXPECT_EQ(result.status().code(), StatusCode::kUnavailable);
-  // The first failing site burned exactly max_retries retries.
-  EXPECT_EQ(stats.retries, 3u);
+  const uint64_t retries_before =
+      obs::MetricsRegistry::Default().CounterRef("exec.retries").value();
+  Result<QueryResponse> response = executor.Execute(
+      QueryRequest::FromText("SELECT * WHERE { ?x <t:p0> ?y . }"));
+  ASSERT_FALSE(response.ok());
+  EXPECT_EQ(response.status().code(), StatusCode::kUnavailable);
+  // The first failing site burned exactly max_retries retries (stats are
+  // not returned on error, but the exec.retries counter still is).
+  EXPECT_EQ(obs::MetricsRegistry::Default().CounterRef("exec.retries").value(),
+            retries_before + 3u);
 }
 
 TEST(FaultToleranceTest, DeadlineExceededWhenSlowdownsMissTimeout) {
@@ -255,11 +265,10 @@ TEST(FaultToleranceTest, DeadlineExceededWhenSlowdownsMissTimeout) {
   options.network.site_timeout_ms = 50.0;
   options.network.max_retries = 2;
   DistributedExecutor executor(cluster, graph, options);
-  ExecutionStats stats;
-  Result<BindingTable> result = executor.ExecuteText(
-      "SELECT * WHERE { ?x <t:p0> ?y . }", &stats);
-  ASSERT_FALSE(result.ok());
-  EXPECT_EQ(result.status().code(), StatusCode::kDeadlineExceeded);
+  Result<QueryResponse> response = executor.Execute(
+      QueryRequest::FromText("SELECT * WHERE { ?x <t:p0> ?y . }"));
+  ASSERT_FALSE(response.ok());
+  EXPECT_EQ(response.status().code(), StatusCode::kDeadlineExceeded);
 }
 
 TEST(FaultToleranceTest, SlowdownWithoutDeadlineOnlyCostsTime) {
@@ -270,11 +279,11 @@ TEST(FaultToleranceTest, SlowdownWithoutDeadlineOnlyCostsTime) {
   DistributedExecutor executor(cluster, graph, options);
   sparql::QueryGraph query =
       testutil::ParseQueryOrDie("SELECT * WHERE { ?x <t:p0> ?y . }");
-  ExecutionStats stats;
-  Result<BindingTable> result = executor.Execute(query, &stats);
-  ASSERT_TRUE(result.ok());
-  EXPECT_TRUE(stats.complete);
-  EXPECT_EQ(testutil::RowSet(*result),
+  Result<QueryResponse> response =
+      executor.Execute(QueryRequest::FromQuery(query));
+  ASSERT_TRUE(response.ok());
+  EXPECT_TRUE(response->stats.complete);
+  EXPECT_EQ(testutil::RowSet(response->bindings),
             testutil::RowSet(testutil::GroundTruth(graph, query)));
 }
 
@@ -326,12 +335,12 @@ TEST(FaultToleranceTest, SameSeedSameStatsAtAnyThreadCount) {
         options.network.site_timeout_ms = 25.0;
         options.partial_results = PartialResultPolicy::kBestEffort;
         DistributedExecutor executor(cluster, graph, options);
-        ExecutionStats stats;
-        Result<BindingTable> result = executor.Execute(query, &stats);
-        ASSERT_TRUE(result.ok()) << result.status().ToString();
-        result->Deduplicate();  // canonical row order
-        row_sets.push_back(result->rows);
-        keys.push_back(StatKey(stats));
+        Result<QueryResponse> response =
+            executor.Execute(QueryRequest::FromQuery(query));
+        ASSERT_TRUE(response.ok()) << response.status().ToString();
+        response->bindings.Deduplicate();  // canonical row order
+        row_sets.push_back(response->bindings.rows);
+        keys.push_back(StatKey(response->stats));
       }
       EXPECT_EQ(row_sets[0], row_sets[1]) << text;
       EXPECT_EQ(keys[0], keys[1]) << text;
@@ -364,8 +373,10 @@ TEST(FaultToleranceTest, SiteSlotInvariantHoldsUnderFaults) {
                         "?c <t:p2> ?d . }"),
             std::string("SELECT * WHERE { ?x ?p ?y . ?x <t:p4> ?z . }")}) {
         sparql::QueryGraph query = testutil::ParseQueryOrDie(text);
-        ExecutionStats stats;
-        ASSERT_TRUE(executor.Execute(query, &stats).ok());
+        Result<QueryResponse> response =
+            executor.Execute(QueryRequest::FromQuery(query));
+        ASSERT_TRUE(response.ok());
+        const ExecutionStats& stats = response->stats;
         EXPECT_EQ(
             stats.sites_evaluated + stats.sites_pruned + stats.sites_failed,
             cluster.k() * stats.num_subqueries)
@@ -389,9 +400,10 @@ TEST(FaultToleranceTest, VpInvariantAndIncompletenessUnderCrash) {
         std::string(
             "SELECT * WHERE { ?a <t:p0> ?b . ?b <t:p1> ?c . }")}) {
     sparql::QueryGraph query = testutil::ParseQueryOrDie(text);
-    ExecutionStats stats;
-    Result<BindingTable> result = executor.Execute(query, &stats);
-    ASSERT_TRUE(result.ok()) << result.status().ToString();
+    Result<QueryResponse> response =
+        executor.Execute(QueryRequest::FromQuery(query));
+    ASSERT_TRUE(response.ok()) << response.status().ToString();
+    const ExecutionStats& stats = response->stats;
     EXPECT_EQ(stats.sites_evaluated + stats.sites_pruned + stats.sites_failed,
               cluster.k() * stats.num_subqueries)
         << text;

@@ -150,11 +150,12 @@ TEST(Fig7Shape, AllBenchmarkQueriesJoinFreeUnderMpc) {
     exec::DistributedExecutor executor(cluster, d.graph);
     for (const NamedQuery& nq : d.benchmark_queries) {
       sparql::QueryGraph q = testutil::ParseQueryOrDie(nq.sparql);
-      exec::ExecutionStats stats;
-      ASSERT_TRUE(executor.Execute(q, &stats).ok());
-      EXPECT_TRUE(stats.independent)
+      Result<exec::QueryResponse> response =
+          executor.Execute(exec::QueryRequest::FromQuery(q));
+      ASSERT_TRUE(response.ok());
+      EXPECT_TRUE(response->stats.independent)
           << workload::DatasetName(id) << "/" << nq.name;
-      EXPECT_EQ(stats.join_millis, 0.0);
+      EXPECT_EQ(response->stats.join_millis, 0.0);
     }
   }
 }
@@ -176,10 +177,10 @@ TEST(EndToEnd, BenchmarkQueryResultsAgreeAcrossStrategies) {
     store::BindingTable truth = testutil::GroundTruth(d.graph, q);
     for (exec::Cluster& cluster : clusters) {
       exec::DistributedExecutor executor(cluster, d.graph);
-      exec::ExecutionStats stats;
-      Result<store::BindingTable> result = executor.Execute(q, &stats);
-      ASSERT_TRUE(result.ok());
-      EXPECT_EQ(testutil::RowSet(*result), testutil::RowSet(truth))
+      Result<exec::QueryResponse> response =
+          executor.Execute(exec::QueryRequest::FromQuery(q));
+      ASSERT_TRUE(response.ok());
+      EXPECT_EQ(testutil::RowSet(response->bindings), testutil::RowSet(truth))
           << nq.name;
     }
   }

@@ -168,9 +168,10 @@ TEST(ExecMetricsRegressionTest, CountersMatchExecutionStatsUnderFaults) {
         std::string("SELECT * WHERE { ?a <t:p0> ?b . ?b <t:p1> ?c . "
                     "?c <t:p2> ?d . }")}) {
     sparql::QueryGraph query = testutil::ParseQueryOrDie(text);
-    exec::ExecutionStats stats;
-    Result<store::BindingTable> result = executor.Execute(query, &stats);
-    ASSERT_TRUE(result.ok()) << result.status().ToString();
+    Result<exec::QueryResponse> response =
+        executor.Execute(exec::QueryRequest::FromQuery(query));
+    ASSERT_TRUE(response.ok()) << response.status().ToString();
+    const exec::ExecutionStats& stats = response->stats;
     ++queries;
     retries += stats.retries;
     sites_failed += stats.sites_failed;

@@ -209,10 +209,10 @@ TEST(ExecutorDeterminismTest, QueryResultsIdenticalAcrossThreadCounts) {
       exec::ExecutorOptions options;
       options.num_threads = threads;
       exec::DistributedExecutor executor(cluster, d.graph, options);
-      exec::ExecutionStats stats;
-      Result<store::BindingTable> result = executor.Execute(q, &stats);
-      ASSERT_TRUE(result.ok()) << nq.name << " threads=" << threads;
-      row_sets.push_back(testutil::RowSet(*result));
+      Result<exec::QueryResponse> response =
+          executor.Execute(exec::QueryRequest::FromQuery(q));
+      ASSERT_TRUE(response.ok()) << nq.name << " threads=" << threads;
+      row_sets.push_back(testutil::RowSet(response->bindings));
     }
     for (size_t i = 1; i < row_sets.size(); ++i) {
       EXPECT_EQ(row_sets[i], row_sets[0]) << nq.name;

@@ -38,15 +38,15 @@ TEST(SitePruningTest, ResultsIdenticalWithAndWithoutPruning) {
                       "<t:p3> ?d . }"),
           std::string("SELECT * WHERE { ?x ?p ?y . }")}) {
       sparql::QueryGraph query = testutil::ParseQueryOrDie(text);
-      ExecutionStats stats_pruned, stats_full;
-      Result<BindingTable> a = pruned.Execute(query, &stats_pruned);
-      Result<BindingTable> b = full.Execute(query, &stats_full);
+      Result<QueryResponse> a = pruned.Execute(QueryRequest::FromQuery(query));
+      Result<QueryResponse> b = full.Execute(QueryRequest::FromQuery(query));
       ASSERT_TRUE(a.ok() && b.ok());
-      EXPECT_EQ(testutil::RowSet(*a), testutil::RowSet(*b)) << text;
-      EXPECT_EQ(testutil::RowSet(*a),
+      EXPECT_EQ(testutil::RowSet(a->bindings), testutil::RowSet(b->bindings))
+          << text;
+      EXPECT_EQ(testutil::RowSet(a->bindings),
                 testutil::RowSet(testutil::GroundTruth(graph, query)));
-      EXPECT_EQ(stats_full.sites_pruned, 0u);
-      EXPECT_LE(stats_pruned.sites_evaluated, stats_full.sites_evaluated);
+      EXPECT_EQ(b->stats.sites_pruned, 0u);
+      EXPECT_LE(a->stats.sites_evaluated, b->stats.sites_evaluated);
     }
   }
 }
@@ -60,8 +60,10 @@ TEST(SitePruningTest, AccountingAddsUp) {
   DistributedExecutor executor(cluster, graph);
   sparql::QueryGraph query = testutil::ParseQueryOrDie(
       "SELECT * WHERE { ?a <t:p0> ?b . ?b <t:p1> ?c . ?c <t:p2> ?d . }");
-  ExecutionStats stats;
-  ASSERT_TRUE(executor.Execute(query, &stats).ok());
+  Result<QueryResponse> response =
+      executor.Execute(QueryRequest::FromQuery(query));
+  ASSERT_TRUE(response.ok());
+  const ExecutionStats& stats = response->stats;
   EXPECT_EQ(stats.sites_evaluated + stats.sites_pruned,
             static_cast<size_t>(cluster.k()) * stats.num_subqueries);
 }
@@ -94,12 +96,12 @@ TEST(SitePruningTest, ConcentratedPropertySkipsMostSites) {
   sparql::QueryGraph query =
       testutil::ParseQueryOrDie("SELECT * WHERE { ?x <t:rare> ?y . }");
   DistributedExecutor executor(cluster, graph);
-  ExecutionStats stats;
-  Result<BindingTable> result = executor.Execute(query, &stats);
-  ASSERT_TRUE(result.ok());
-  EXPECT_EQ(result->num_rows(), 2u);
-  EXPECT_GE(stats.sites_pruned, 1u);
-  EXPECT_LT(stats.sites_evaluated, cluster.k());
+  Result<QueryResponse> response =
+      executor.Execute(QueryRequest::FromQuery(query));
+  ASSERT_TRUE(response.ok());
+  EXPECT_EQ(response->bindings.num_rows(), 2u);
+  EXPECT_GE(response->stats.sites_pruned, 1u);
+  EXPECT_LT(response->stats.sites_evaluated, cluster.k());
 }
 
 TEST(SitePruningTest, AllSitesPrunedStillReturnsSchema) {
@@ -127,11 +129,11 @@ TEST(SitePruningTest, AllSitesPrunedStillReturnsSchema) {
   // has both -> all sites pruned -> empty result with correct schema.
   sparql::QueryGraph query = testutil::ParseQueryOrDie(
       "SELECT * WHERE { ?x <t:p> ?y . ?x <t:q> ?z . }");
-  ExecutionStats stats;
-  Result<BindingTable> result = executor.Execute(query, &stats);
-  ASSERT_TRUE(result.ok());
-  EXPECT_EQ(result->num_rows(), 0u);
-  EXPECT_EQ(result->var_ids.size(), 3u);
+  Result<QueryResponse> response =
+      executor.Execute(QueryRequest::FromQuery(query));
+  ASSERT_TRUE(response.ok());
+  EXPECT_EQ(response->bindings.num_rows(), 0u);
+  EXPECT_EQ(response->bindings.var_ids.size(), 3u);
 }
 
 }  // namespace

@@ -15,6 +15,22 @@
 //       [--repartition=sync|background] [--out=DIR] [--threads=T]
 //       [--journal-dir=DIR] [--checkpoint-every=N] [--recover]
 //       [--max-replay=N] [--backpressure=block|reanchor]
+//   mpc serve <data.nt> <partition_dir> --queries=FILE
+//       [--concurrency=N] [--qps=R] [--repeat=N] [--queue-cap=N]
+//       [--admission=reject|block] [--deadline-ms=D]
+//       [--updates=FILE] [--update-interval-ms=I]
+//
+// `serve` replays a query file (one SPARQL query per line; blank lines
+// and lines starting with # are skipped) through the concurrent
+// QueryService: --concurrency workers drain a --queue-cap-bounded
+// admission queue, --qps paces the open-loop submitter (0 = as fast as
+// possible), --repeat replays the file N times, and --deadline-ms fails
+// queries that wait in the queue past their deadline. With --updates the
+// run streams an update log through an IncrementalMaintainer on a side
+// thread, publishing a fresh serving snapshot after every batch — the
+// result cache invalidates itself on the generation bump. The summary
+// line "rejected: N" plus serve.* histogram quantiles make runs easy to
+// assert on from scripts.
 //
 // `update` streams an update log (batches of `+ <s> <p> <o> .` inserts /
 // `- ...` deletes, separated by blank lines) through the incremental
@@ -46,13 +62,17 @@
 // --transient-rate a per-attempt retryable error probability. Unknown
 // flags and malformed values are rejected with a non-zero exit.
 
+#include <atomic>
+#include <chrono>
 #include <csignal>
 #include <filesystem>
 #include <fstream>
+#include <future>
 #include <iostream>
 #include <memory>
 #include <sstream>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "common/flags.h"
@@ -74,6 +94,8 @@
 #include "partition/vp_partitioner.h"
 #include "rdf/ntriples.h"
 #include "rdf/stats.h"
+#include "serve/query_service.h"
+#include "serve/serving_state.h"
 #include "sparql/parser.h"
 
 namespace {
@@ -98,6 +120,10 @@ int Usage() {
       [--repartition=sync|background] [--out=DIR] [--threads=T]
       [--journal-dir=DIR] [--checkpoint-every=N] [--recover]
       [--max-replay=N] [--backpressure=block|reanchor]
+  mpc serve <data.nt> <partition_dir> --queries=FILE
+      [--concurrency=N] [--qps=R] [--repeat=N]
+      [--queue-cap=N] [--admission=reject|block] [--deadline-ms=D]
+      [--updates=FILE] [--update-interval-ms=I]
 observability (any command):
       [--trace-out=FILE] [--trace-summary] [--metrics-out=FILE]
 )";
@@ -139,6 +165,17 @@ struct Flags {
   uint64_t max_replay = 0;
   std::string backpressure = "block";
   uint32_t crash_after = 0;
+
+  // Query serving (serve command).
+  std::string queries_file;
+  int concurrency = 16;
+  double qps = 0.0;  // 0 = open throttle (submit as fast as possible)
+  uint32_t repeat = 1;
+  uint32_t queue_cap = 1024;
+  std::string admission = "reject";
+  double deadline_ms = 0.0;  // 0 = no deadline
+  std::string updates_file;
+  double update_interval_ms = 0.0;
 
   // Observability (any command).
   std::string trace_out;
@@ -197,6 +234,15 @@ struct Flags {
     parser.AddChoice("backpressure", &flags.backpressure,
                      {"block", "reanchor"});
     parser.AddUint32("crash-after", &flags.crash_after);
+    parser.AddString("queries", &flags.queries_file);
+    parser.AddInt("concurrency", &flags.concurrency);
+    parser.AddDouble("qps", &flags.qps);
+    parser.AddUint32("repeat", &flags.repeat);
+    parser.AddUint32("queue-cap", &flags.queue_cap);
+    parser.AddChoice("admission", &flags.admission, {"reject", "block"});
+    parser.AddDouble("deadline-ms", &flags.deadline_ms);
+    parser.AddString("updates", &flags.updates_file);
+    parser.AddDouble("update-interval-ms", &flags.update_interval_ms);
     parser.AddString("out", &flags.out_dir);
     parser.AddString("trace-out", &flags.trace_out);
     parser.AddString("metrics-out", &flags.metrics_out);
@@ -390,16 +436,16 @@ int CmdClassifyOrQuery(const Flags& flags, bool execute) {
   exec::Cluster cluster =
       exec::Cluster::Build(std::move(*partitioning), flags.threads);
   exec::DistributedExecutor executor(cluster, *graph, flags.ExecutorOpts());
-  exec::ExecutionStats stats;
-  Result<store::BindingTable> result = executor.Execute(*query, &stats);
-  if (!result.ok()) {
-    std::cerr << result.status().ToString() << "\n";
+  Result<exec::QueryResponse> response =
+      executor.Execute(exec::QueryRequest::FromQuery(*query));
+  if (!response.ok()) {
+    std::cerr << response.status().ToString() << "\n";
     return 1;
   }
-  store::BindingTable projected =
-      store::ApplyProjection(*result, query->projection());
-  *result = std::move(projected);
-  std::cout << "results: " << FormatWithCommas(result->num_rows())
+  const exec::ExecutionStats& stats = response->stats;
+  store::BindingTable result =
+      store::ApplyProjection(response->bindings, query->projection());
+  std::cout << "results: " << FormatWithCommas(result.num_rows())
             << "  (QDT " << FormatDouble(stats.decomposition_millis, 1)
             << " + LET " << FormatDouble(stats.local_eval_millis, 1)
             << " + JT " << FormatDouble(stats.join_millis, 1) << " + net "
@@ -421,15 +467,15 @@ int CmdClassifyOrQuery(const Flags& flags, bool execute) {
               << FormatDouble(stats.fault_wait_millis, 1) << " ms)\n";
   }
   const size_t limit = 20;
-  for (size_t r = 0; r < std::min(limit, result->rows.size()); ++r) {
-    for (size_t c = 0; c < result->var_ids.size(); ++c) {
+  for (size_t r = 0; r < std::min(limit, result.rows.size()); ++r) {
+    for (size_t c = 0; c < result.var_ids.size(); ++c) {
       std::cout << (c ? " " : "  ")
-                << graph->VertexName(result->rows[r][c]);
+                << graph->VertexName(result.rows[r][c]);
     }
     std::cout << "\n";
   }
-  if (result->rows.size() > limit) {
-    std::cout << "  ... (" << result->rows.size() - limit << " more)\n";
+  if (result.rows.size() > limit) {
+    std::cout << "  ... (" << result.rows.size() - limit << " more)\n";
   }
   return 0;
 }
@@ -623,6 +669,203 @@ int CmdUpdate(const Flags& flags) {
   return 0;
 }
 
+
+int CmdServe(const Flags& flags) {
+  if (flags.positional.size() != 2) return Usage();
+  if (flags.queries_file.empty()) {
+    std::cerr << "serve requires --queries=FILE\n";
+    return 2;
+  }
+  Result<rdf::RdfGraph> graph = LoadGraph(flags.positional[0], flags.threads);
+  if (!graph.ok()) {
+    std::cerr << graph.status().ToString() << "\n";
+    return 1;
+  }
+  Result<partition::Partitioning> partitioning =
+      partition::PartitionIo::Load(*graph, flags.positional[1]);
+  if (!partitioning.ok()) {
+    std::cerr << partitioning.status().ToString() << "\n";
+    return 1;
+  }
+
+  std::vector<std::string> queries;
+  {
+    std::ifstream in(flags.queries_file);
+    if (!in) {
+      std::cerr << "cannot open --queries file: " << flags.queries_file
+                << "\n";
+      return 1;
+    }
+    std::string line;
+    while (std::getline(in, line)) {
+      const size_t first = line.find_first_not_of(" \t\r");
+      if (first == std::string::npos || line[first] == '#') continue;
+      queries.push_back(line);
+    }
+  }
+  if (queries.empty()) {
+    std::cerr << "no queries in " << flags.queries_file << "\n";
+    return 1;
+  }
+
+  // Executors stay serial inside the serving workers: --concurrency is
+  // the parallelism (see QueryServiceOptions::num_workers).
+  serve::ServingStateOptions state_options;
+  state_options.executor = flags.ExecutorOpts();
+  state_options.executor.num_threads = 1;
+  state_options.build_threads = flags.threads;
+
+  std::unique_ptr<dynamic::IncrementalMaintainer> maintainer;
+  std::vector<dynamic::UpdateBatch> updates;
+  std::shared_ptr<const serve::ServingState> state;
+  if (!flags.updates_file.empty()) {
+    if (partitioning->kind() !=
+        partition::PartitioningKind::kVertexDisjoint) {
+      std::cerr << "--updates requires a vertex-disjoint partitioning\n";
+      return 1;
+    }
+    Result<std::vector<dynamic::UpdateBatch>> loaded =
+        dynamic::UpdateLog::LoadFile(flags.updates_file);
+    if (!loaded.ok()) {
+      std::cerr << loaded.status().ToString() << "\n";
+      return 1;
+    }
+    updates = std::move(*loaded);
+    dynamic::MaintainerOptions moptions;
+    moptions.num_threads = flags.threads;
+    moptions.policy.kind = dynamic::RepartitionPolicy::Kind::kNever;
+    moptions.executor = state_options.executor;
+    maintainer = std::make_unique<dynamic::IncrementalMaintainer>(
+        std::move(*graph), std::move(*partitioning), moptions);
+    state = serve::ServingState::Capture(*maintainer, state_options);
+  } else {
+    state = serve::ServingState::Build(std::move(*graph),
+                                       std::move(*partitioning),
+                                       /*generation=*/0, state_options);
+  }
+
+  serve::QueryServiceOptions service_options;
+  service_options.num_workers = flags.concurrency;
+  service_options.queue_capacity = flags.queue_cap;
+  service_options.admission =
+      flags.admission == "block"
+          ? serve::QueryServiceOptions::Admission::kBlock
+          : serve::QueryServiceOptions::Admission::kReject;
+  serve::QueryService service(std::move(state), service_options);
+
+  // Update stream on a side thread: apply a batch, capture + publish a
+  // new snapshot, sleep. Queries never block on this — in-flight ones
+  // finish on the snapshot they started with.
+  std::atomic<bool> stop_updates{false};
+  std::atomic<size_t> batches_published{0};
+  std::thread updater;
+  if (maintainer != nullptr && !updates.empty()) {
+    updater = std::thread([&] {
+      for (const dynamic::UpdateBatch& batch : updates) {
+        if (stop_updates.load()) break;
+        maintainer->ApplyBatch(batch);
+        service.Publish(serve::ServingState::Capture(*maintainer,
+                                                     state_options));
+        batches_published.fetch_add(1);
+        if (flags.update_interval_ms > 0.0) {
+          std::this_thread::sleep_for(std::chrono::duration<double,
+                                                            std::milli>(
+              flags.update_interval_ms));
+        }
+      }
+    });
+  }
+
+  using Clock = std::chrono::steady_clock;
+  const Clock::time_point start = Clock::now();
+  std::vector<std::future<Result<exec::QueryResponse>>> futures;
+  futures.reserve(static_cast<size_t>(flags.repeat) * queries.size());
+  size_t submitted = 0;
+  for (uint32_t r = 0; r < flags.repeat; ++r) {
+    for (const std::string& text : queries) {
+      if (flags.qps > 0.0) {
+        // Open-loop pacing against the schedule, not the previous send,
+        // so a slow burst does not permanently lower the offered rate.
+        const auto due =
+            start + std::chrono::duration_cast<Clock::duration>(
+                        std::chrono::duration<double>(
+                            static_cast<double>(submitted) / flags.qps));
+        std::this_thread::sleep_until(due);
+      }
+      exec::QueryRequest request = exec::QueryRequest::FromText(text);
+      request.options.deadline_ms = flags.deadline_ms;
+      futures.push_back(service.Submit(std::move(request)));
+      ++submitted;
+    }
+  }
+
+  size_t ok = 0;
+  size_t rejected = 0;
+  size_t expired = 0;
+  size_t failed = 0;
+  size_t result_cache_hits = 0;
+  size_t plan_cache_hits = 0;
+  uint64_t rows = 0;
+  uint64_t min_generation = UINT64_MAX;
+  uint64_t max_generation = 0;
+  for (auto& future : futures) {
+    Result<exec::QueryResponse> response = future.get();
+    if (response.ok()) {
+      ++ok;
+      rows += response->bindings.num_rows();
+      result_cache_hits += response->stats.result_cache_hit ? 1 : 0;
+      plan_cache_hits += response->stats.plan_cache_hit ? 1 : 0;
+      min_generation = std::min(min_generation, response->generation);
+      max_generation = std::max(max_generation, response->generation);
+    } else if (response.status().code() == StatusCode::kUnavailable) {
+      ++rejected;
+    } else if (response.status().code() == StatusCode::kDeadlineExceeded) {
+      ++expired;
+    } else {
+      if (failed == 0) {
+        std::cerr << "first failure: " << response.status().ToString()
+                  << "\n";
+      }
+      ++failed;
+    }
+  }
+  const double wall_ms =
+      std::chrono::duration<double, std::milli>(Clock::now() - start)
+          .count();
+  stop_updates.store(true);
+  if (updater.joinable()) updater.join();
+  service.Shutdown();
+
+  auto& metrics = obs::MetricsRegistry::Default();
+  auto& latency =
+      metrics.HistogramRef("serve.latency_ms", obs::DefaultLatencyBoundsMs());
+  auto& queue_wait = metrics.HistogramRef("serve.queue_wait_ms",
+                                          obs::DefaultLatencyBoundsMs());
+  std::cout << "served:   " << FormatWithCommas(ok) << "/"
+            << FormatWithCommas(submitted) << " queries, "
+            << FormatWithCommas(rows) << " rows, "
+            << FormatDouble(wall_ms, 1) << " ms wall ("
+            << FormatDouble(1000.0 * static_cast<double>(ok) / wall_ms, 1)
+            << " qps)\n"
+            << "rejected: " << rejected << "\n"
+            << "expired:  " << expired << "\n"
+            << "failed:   " << failed << "\n"
+            << "caches:   " << FormatWithCommas(result_cache_hits)
+            << " result hits, " << FormatWithCommas(plan_cache_hits)
+            << " plan hits\n";
+  if (ok > 0) {
+    std::cout << "gens:     " << min_generation << ".." << max_generation
+              << " (" << batches_published.load()
+              << " update batches published)\n";
+  }
+  std::cout << "latency:  p50 " << FormatDouble(latency.Quantile(0.5), 2)
+            << " ms, p95 " << FormatDouble(latency.Quantile(0.95), 2)
+            << " ms, p99 " << FormatDouble(latency.Quantile(0.99), 2)
+            << " ms (queue wait p99 "
+            << FormatDouble(queue_wait.Quantile(0.99), 2) << " ms)\n";
+  return failed > 0 ? 1 : 0;
+}
+
 }  // namespace
 
 int RunCommand(const std::string& command, const Flags& flags) {
@@ -632,6 +875,7 @@ int RunCommand(const std::string& command, const Flags& flags) {
   if (command == "explain") return CmdExplain(flags);
   if (command == "query") return CmdClassifyOrQuery(flags, true);
   if (command == "update") return CmdUpdate(flags);
+  if (command == "serve") return CmdServe(flags);
   return Usage();
 }
 
