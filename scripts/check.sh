@@ -16,6 +16,10 @@
 #  - a crash-recovery smoke runs a journaled `mpc update`, SIGKILLs it
 #    mid-stream, recovers with --recover, and diffs the recovered output
 #    against an uninterrupted run;
+#  - a remote-cluster chaos smoke runs `mpc serve --remote` over 4 real
+#    `mpc site` worker processes, SIGKILLs one mid-reply, and checks both
+#    recovery via supervisor respawn and coverage-bounded best-effort
+#    degradation, plus SIGTERM graceful drain of worker and coordinator;
 #  - the tracer and metrics tests run under ThreadSanitizer, since their
 #    whole point is lock-free recording from concurrent pool threads.
 #
@@ -139,6 +143,112 @@ EOF
   echo "serving smoke passed"
 }
 
+# Chaos smoke for the real multi-process runtime: `mpc serve --remote`
+# spawns 4 `mpc site` worker processes over socket RPC.
+#  A) One worker SIGKILLs itself mid-reply (--kill-site/--kill-after-
+#     queries); the supervisor respawns it and the retried RPC completes
+#     every query: zero failures, exit 0.
+#  B) Same crash with the restart budget pinned to zero and best-effort
+#     enabled: the coordinator must degrade cleanly (exit 0) and report a
+#     completeness bound, which must equal the ComputeReplicaCoverage
+#     bound the in-process simulator prints for the same dead site.
+#  C) Graceful drain: a standalone site worker and a streaming remote
+#     coordinator both exit 0 on SIGTERM, finishing in-flight work.
+chaos_smoke() {
+  local dir="$1"
+  echo "=== remote-cluster chaos smoke: ${dir} ==="
+  local tmp
+  tmp="$(mktemp -d)"
+  trap 'rm -rf "${tmp}"' RETURN
+  cat > "${tmp}/g.nt" <<'EOF'
+<s:a> <p:knows> <s:b> .
+<s:b> <p:knows> <s:c> .
+<s:c> <p:knows> <s:a> .
+<s:a> <p:likes> <s:d> .
+<s:d> <p:likes> <s:e> .
+<s:e> <p:worksAt> <s:f> .
+<s:f> <p:worksAt> <s:g> .
+<s:g> <p:knows> <s:h> .
+<s:h> <p:likes> <s:a> .
+<s:b> <p:worksAt> <s:f> .
+<s:c> <p:likes> <s:e> .
+<s:d> <p:knows> <s:g> .
+EOF
+  cat > "${tmp}/q.txt" <<'EOF'
+SELECT * WHERE { ?x <p:knows> ?y . }
+SELECT * WHERE { ?x <p:likes> ?y . }
+SELECT * WHERE { ?x <p:knows> ?y . ?y <p:likes> ?z . }
+SELECT * WHERE { ?x <p:worksAt> ?y . }
+EOF
+  "${dir}/tools/mpc" partition "${tmp}/g.nt" "${tmp}/part" --k=4
+
+  echo "--- A: mid-reply SIGKILL survived via supervisor respawn ---"
+  local out
+  out="$("${dir}/tools/mpc" serve "${tmp}/g.nt" "${tmp}/part" \
+    --queries="${tmp}/q.txt" --remote --socket-dir="${tmp}" \
+    --concurrency=4 --repeat=25 \
+    --kill-site=1 --kill-after-queries=2 \
+    --retries=3 --retry-backoff-ms=300)"
+  echo "${out}"
+  grep -q "remote cluster: 4 site processes up" <<< "${out}"
+  grep -q "^failed:   0$" <<< "${out}"
+  grep -q "^served:   100/100" <<< "${out}"
+
+  echo "--- B: exhausted restart budget -> coverage-bounded best effort ---"
+  out="$("${dir}/tools/mpc" serve "${tmp}/g.nt" "${tmp}/part" \
+    --queries="${tmp}/q.txt" --remote --socket-dir="${tmp}" \
+    --concurrency=4 --repeat=10 \
+    --kill-site=1 --kill-after-queries=1 --max-restarts=0 \
+    --partial-results=best-effort --retries=1 --retry-backoff-ms=20)"
+  echo "${out}"
+  grep -q "^failed:   0$" <<< "${out}"
+  local remote_bound sim_bound
+  remote_bound="$(grep -oE 'completeness>=[0-9.]+%' <<< "${out}")"
+  [[ -n "${remote_bound}" ]]
+  # The simulator computes its bound from ComputeReplicaCoverage over the
+  # same partitioning; the real fleet must report the identical figure.
+  sim_bound="$("${dir}/tools/mpc" query "${tmp}/g.nt" "${tmp}/part" \
+    'SELECT * WHERE { ?x <p:knows> ?y . }' \
+    --fail-sites=1 --partial-results=best-effort \
+    | grep -oE 'completeness>=[0-9.]+%')"
+  echo "remote bound: ${remote_bound}  simulator bound: ${sim_bound}"
+  [[ "${remote_bound}" == "${sim_bound}" ]]
+
+  echo "--- C: SIGTERM graceful drain (worker + coordinator) ---"
+  "${dir}/tools/mpc" site "${tmp}/g.nt" "${tmp}/part" \
+    --site=0 --socket="${tmp}/drain.sock" > "${tmp}/site.out" &
+  local site_pid=$!
+  for _ in $(seq 1 100); do
+    [[ -S "${tmp}/drain.sock" ]] && break
+    sleep 0.1
+  done
+  kill -TERM "${site_pid}"
+  local rc=0
+  wait "${site_pid}" || rc=$?
+  if [[ "${rc}" -ne 0 ]]; then
+    echo "site worker exited ${rc} on SIGTERM (want 0)" >&2
+    return 1
+  fi
+  grep -q "drained" "${tmp}/site.out"
+
+  "${dir}/tools/mpc" serve "${tmp}/g.nt" "${tmp}/part" \
+    --queries="${tmp}/q.txt" --remote --socket-dir="${tmp}" \
+    --concurrency=4 --repeat=100000 --qps=50 > "${tmp}/serve.out" &
+  local serve_pid=$!
+  sleep 3
+  kill -TERM "${serve_pid}"
+  rc=0
+  wait "${serve_pid}" || rc=$?
+  if [[ "${rc}" -ne 0 ]]; then
+    echo "coordinator exited ${rc} on SIGTERM (want 0)" >&2
+    cat "${tmp}/serve.out" >&2
+    return 1
+  fi
+  grep -q "^drained:" "${tmp}/serve.out"
+  grep -q "^failed:   0$" "${tmp}/serve.out"
+  echo "remote-cluster chaos smoke passed"
+}
+
 # Crash-recovery smoke: stream updates with a write-ahead journal, kill
 # the process mid-stream (SIGKILL via --crash-after, exit 137), recover
 # with --recover, and require the recovered final partitioning to be
@@ -199,6 +309,10 @@ run_config build
 trace_smoke build
 recovery_smoke build
 serve_smoke build
+chaos_smoke build
+# The asan run_config re-runs the whole suite — including the RPC frame
+# decoder fuzz tests and the multi-process RemoteCluster tests — under
+# AddressSanitizer (workers exec the asan-built mpc binary).
 run_config build-asan -DMPC_SANITIZE=address
 run_config build-ubsan -DMPC_SANITIZE=undefined
 

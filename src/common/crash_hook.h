@@ -1,0 +1,40 @@
+#ifndef MPC_COMMON_CRASH_HOOK_H_
+#define MPC_COMMON_CRASH_HOOK_H_
+
+#include <csignal>
+#include <cstdint>
+#include <cstdio>
+
+namespace mpc {
+
+/// Deterministic SIGKILL test hook shared by every crash test: `mpc
+/// update --crash-after=N` dies after the Nth journaled batch, `mpc site
+/// --kill-after-queries=N` dies after answering its Nth query. Dying via
+/// SIGKILL (not exit) is the point — no destructors, no flushes, exactly
+/// the residue a power cut or an OOM kill leaves behind, so recovery and
+/// failover are exercised against the real thing.
+class CrashAfter {
+ public:
+  /// after_n == 0 disables the hook.
+  explicit CrashAfter(uint64_t after_n = 0) : after_n_(after_n) {}
+
+  bool enabled() const { return after_n_ > 0; }
+  uint64_t count() const { return count_; }
+
+  /// Counts one unit of work; SIGKILLs the process on the Nth. stdout is
+  /// flushed first so the output consumed so far stays assertable.
+  void Tick() {
+    if (after_n_ == 0) return;
+    if (++count_ < after_n_) return;
+    std::fflush(stdout);
+    raise(SIGKILL);
+  }
+
+ private:
+  uint64_t after_n_ = 0;
+  uint64_t count_ = 0;
+};
+
+}  // namespace mpc
+
+#endif  // MPC_COMMON_CRASH_HOOK_H_

@@ -1,0 +1,34 @@
+#ifndef MPC_COMMON_FSIO_H_
+#define MPC_COMMON_FSIO_H_
+
+#include <string>
+#include <string_view>
+
+#include "common/status.h"
+
+namespace mpc {
+
+/// Small POSIX file-IO helpers shared by everything that needs durable
+/// writes (the update journal/checkpoints) or robust fd plumbing (the
+/// site-worker RPC runtime). All of them loop on EINTR and surface
+/// failures as IoError naming the path.
+
+/// IoError carrying strerror(errno), e.g. "fsync failed for x: ...".
+Status SysError(const std::string& what, const std::string& path);
+
+/// mkdir -p. Errors are IoError, an existing directory is fine.
+Status EnsureDir(const std::string& dir);
+
+/// write(2) until everything is on the fd (or an error).
+Status WriteAll(int fd, std::string_view data, const std::string& path);
+
+/// fsync(2) the fd; `path` only labels the error.
+Status FsyncFd(int fd, const std::string& path);
+
+/// fsyncs the directory itself so a just-created or just-renamed dirent
+/// survives a crash (the journal/checkpoint atomic-rename protocol).
+Status FsyncDir(const std::string& dir);
+
+}  // namespace mpc
+
+#endif  // MPC_COMMON_FSIO_H_

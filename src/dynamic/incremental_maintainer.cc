@@ -566,30 +566,6 @@ Result<exec::QueryResponse> IncrementalMaintainer::Execute(
   return executor_->Execute(request);
 }
 
-Result<store::BindingTable> IncrementalMaintainer::ExecuteQuery(
-    const sparql::QueryGraph& query, exec::ExecutionStats* stats) {
-  Result<exec::QueryResponse> response =
-      Execute(exec::QueryRequest::FromQuery(query));
-  if (!response.ok()) {
-    *stats = exec::ExecutionStats{};
-    return response.status();
-  }
-  *stats = response->stats;
-  return std::move(response->bindings);
-}
-
-Result<store::BindingTable> IncrementalMaintainer::ExecuteText(
-    const std::string& text, exec::ExecutionStats* stats) {
-  Result<exec::QueryResponse> response =
-      Execute(exec::QueryRequest::FromText(text));
-  if (!response.ok()) {
-    *stats = exec::ExecutionStats{};
-    return response.status();
-  }
-  *stats = response->stats;
-  return std::move(response->bindings);
-}
-
 void IncrementalMaintainer::RepartitionNow() {
   MPC_TRACE_SPAN("dynamic.repartition");
   obs::MetricsRegistry::Default().CounterRef("dynamic.repartitions").Inc();

@@ -39,7 +39,7 @@ struct MaintainerOptions {
   /// Options for those re-runs; base.k is forced to the attached
   /// partitioning's k (the cluster does not resize mid-stream).
   core::MpcOptions mpc;
-  /// Executor options for mid-stream queries (ExecuteQuery/ExecuteText).
+  /// Executor options for mid-stream queries (Execute).
   exec::ExecutorOptions executor;
   /// Worker threads for compaction, cluster builds and repartition runs
   /// (0 = hardware_concurrency). Update application itself is serial, so
@@ -202,11 +202,6 @@ class IncrementalMaintainer {
   /// contract applies: call from the update thread, or snapshot with a
   /// serve::ServingState for concurrent queries.
   Result<exec::QueryResponse> Execute(const exec::QueryRequest& request);
-
-  Result<store::BindingTable> ExecuteQuery(const sparql::QueryGraph& query,
-                                           exec::ExecutionStats* stats);
-  Result<store::BindingTable> ExecuteText(const std::string& text,
-                                          exec::ExecutionStats* stats);
 
   /// Monotone state-version counter: bumped by Attach, every ApplyBatch,
   /// and every repartition swap. Equal generations imply identical live

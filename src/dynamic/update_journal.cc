@@ -15,6 +15,7 @@
 #include <sstream>
 #include <utility>
 
+#include "common/fsio.h"
 #include "common/hash.h"
 #include "common/logging.h"
 #include "obs/metrics.h"
@@ -38,47 +39,9 @@ std::string HexU64(uint64_t v) {
   return buf;
 }
 
-Status SysError(const std::string& what, const std::string& path) {
-  return Status::IoError(what + " " + path + ": " + std::strerror(errno));
-}
-
-Status EnsureDir(const std::string& dir) {
-  std::error_code ec;
-  fs::create_directories(dir, ec);
-  if (ec) {
-    return Status::IoError("cannot create directory " + dir + ": " +
-                           ec.message());
-  }
-  return Status::Ok();
-}
-
-Status WriteAll(int fd, std::string_view data, const std::string& path) {
-  size_t off = 0;
-  while (off < data.size()) {
-    const ssize_t n = ::write(fd, data.data() + off, data.size() - off);
-    if (n < 0) {
-      if (errno == EINTR) continue;
-      return SysError("write failed for", path);
-    }
-    off += static_cast<size_t>(n);
-  }
-  return Status::Ok();
-}
-
-Status FsyncFd(int fd, const std::string& path) {
-  if (::fsync(fd) != 0) return SysError("fsync failed for", path);
-  return Status::Ok();
-}
-
-/// fsyncs the directory itself so a just-created or just-renamed dirent
-/// survives a crash.
-Status FsyncDir(const std::string& dir) {
-  const int fd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY);
-  if (fd < 0) return SysError("cannot open directory", dir);
-  Status st = FsyncFd(fd, dir);
-  ::close(fd);
-  return st;
-}
+// SysError / EnsureDir / WriteAll / FsyncFd / FsyncDir live in
+// common/fsio.h so the site-worker runtime shares the exact durability
+// path (and its EINTR/error handling) instead of duplicating it.
 
 Result<std::string> ReadWholeFile(const std::string& path) {
   std::ifstream in(path, std::ios::binary);

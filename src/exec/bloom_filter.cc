@@ -35,6 +35,24 @@ void BloomFilter::Insert(uint32_t value) {
   for (uint32_t i = 0; i < kNumProbes; ++i) bits_[Probe(value, i)] = true;
 }
 
+std::vector<uint8_t> BloomFilter::ToBytes() const {
+  std::vector<uint8_t> bytes(bits_.size() / 8, 0);
+  for (size_t i = 0; i < bits_.size(); ++i) {
+    if (bits_[i]) bytes[i / 8] |= static_cast<uint8_t>(1u << (i % 8));
+  }
+  return bytes;
+}
+
+BloomFilter BloomFilter::FromBytes(std::span<const uint8_t> bytes) {
+  BloomFilter filter;
+  filter.bits_.assign(bytes.size() * 8, false);
+  for (size_t i = 0; i < filter.bits_.size(); ++i) {
+    filter.bits_[i] = (bytes[i / 8] >> (i % 8)) & 1u;
+  }
+  filter.mask_ = filter.bits_.empty() ? 0 : filter.bits_.size() - 1;
+  return filter;
+}
+
 bool BloomFilter::MayContain(uint32_t value) const {
   for (uint32_t i = 0; i < kNumProbes; ++i) {
     if (!bits_[Probe(value, i)]) return false;

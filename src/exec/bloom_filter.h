@@ -3,6 +3,7 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <span>
 #include <vector>
 
 namespace mpc::exec {
@@ -26,7 +27,19 @@ class BloomFilter {
   /// Wire size in bytes (shipped to sites by the executor's cost model).
   size_t ByteSize() const { return bits_.size() / 8; }
 
+  /// Packs the bit array for the RPC wire, LSB-first within each byte.
+  /// The bit count is a power of two and a multiple of 8, so the packed
+  /// form round-trips from its byte count alone.
+  std::vector<uint8_t> ToBytes() const;
+
+  /// Inverse of ToBytes: a filter with bytes.size()*8 bits. A site
+  /// evaluating with the rebuilt filter drops exactly the rows the
+  /// coordinator's original would.
+  static BloomFilter FromBytes(std::span<const uint8_t> bytes);
+
  private:
+  BloomFilter() = default;
+
   /// Probe positions derive from two independent 64-bit mixes
   /// (Kirsch-Mitzenmacher double hashing).
   uint64_t Probe(uint32_t value, uint32_t i) const;

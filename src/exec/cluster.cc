@@ -40,7 +40,7 @@ Cluster Cluster::Build(partition::Partitioning partitioning,
   return cluster;
 }
 
-ReplicaCoverage Cluster::ComputeReplicaCoverage(
+ReplicaCoverage ClusterBackend::ComputeReplicaCoverage(
     const SiteAvailability& avail) const {
   ReplicaCoverage coverage;
   if (avail.num_down() == 0) return coverage;
@@ -84,6 +84,71 @@ ReplicaCoverage Cluster::ComputeReplicaCoverage(
     coverage.replicated_on_live += replicated[v];
   }
   return coverage;
+}
+
+store::BindingTable SchemaTable(const store::ResolvedQuery& resolved,
+                                std::span<const size_t> pattern_indices) {
+  // Mirrors BgpMatcher::Evaluate's column contract: variables used by
+  // the selected patterns (impossible ones included), ascending.
+  std::vector<uint32_t> columns;
+  for (size_t idx : pattern_indices) {
+    const store::ResolvedPattern& p = resolved.patterns[idx];
+    if (p.s_is_var) columns.push_back(p.s);
+    if (p.p_is_var) columns.push_back(p.p);
+    if (p.o_is_var) columns.push_back(p.o);
+  }
+  std::sort(columns.begin(), columns.end());
+  columns.erase(std::unique(columns.begin(), columns.end()), columns.end());
+  store::BindingTable table;
+  table.var_ids = std::move(columns);
+  return table;
+}
+
+SiteEvalReply EvaluateSiteRequest(const store::TripleStore& store,
+                                  const store::ResolvedQuery& resolved,
+                                  const SiteEvalRequest& request) {
+  SiteEvalReply reply;
+  Timer timer;
+  store::BgpMatcher::Options matcher_options;
+  matcher_options.max_results = request.max_rows;
+  store::BindingTable local = store::BgpMatcher::Evaluate(
+      store, resolved, request.pattern_indices, matcher_options);
+  if (request.var_filters != nullptr) {
+    // Drop rows whose join keys cannot match any earlier subquery's
+    // bindings; this happens site-side, before shipping.
+    const auto& filters = *request.var_filters;
+    size_t kept = 0;
+    for (size_t r = 0; r < local.rows.size(); ++r) {
+      bool may_join = true;
+      for (size_t col = 0; col < local.var_ids.size(); ++col) {
+        const auto& filter = filters[local.var_ids[col]];
+        if (filter != nullptr && !filter->MayContain(local.rows[r][col])) {
+          may_join = false;
+          break;
+        }
+      }
+      if (may_join) {
+        // Guard against self-move: moving rows[r] onto itself would
+        // leave an empty row behind.
+        if (kept != r) local.rows[kept] = std::move(local.rows[r]);
+        ++kept;
+      }
+    }
+    reply.bloom_dropped = local.rows.size() - kept;
+    local.rows.resize(kept);
+  }
+  reply.eval_millis = timer.ElapsedMillis();
+  reply.table = std::move(local);
+  return reply;
+}
+
+Status Cluster::EvaluateOnSite(uint32_t site,
+                               const store::ResolvedQuery& resolved,
+                               const SiteEvalRequest& request,
+                               const SiteCallPolicy& /*policy*/,
+                               SiteEvalReply* reply) const {
+  *reply = EvaluateSiteRequest(stores_[site], resolved, request);
+  return Status::Ok();
 }
 
 size_t Cluster::MemoryUsage() const {

@@ -2,10 +2,14 @@
 #define MPC_EXEC_CLUSTER_H_
 
 #include <memory>
+#include <span>
 #include <vector>
 
+#include "common/status.h"
+#include "exec/bloom_filter.h"
 #include "partition/partitioning.h"
 #include "rdf/graph.h"
+#include "store/bgp_matcher.h"
 #include "store/triple_store.h"
 
 namespace mpc::exec {
@@ -55,24 +59,60 @@ struct ReplicaCoverage {
   size_t lost_triples = 0;
 };
 
-/// An in-process stand-in for the paper's 8-machine deployment: k
-/// TripleStore instances, one per partition, each holding that
-/// partition's internal edges plus crossing-edge replicas. Loading time
-/// (index construction) is measured per site; the reported figure is the
-/// maximum across sites, matching parallel loading on a real cluster.
-class Cluster {
+/// One site-subquery evaluation order, as shipped to a site: the sub-BGP
+/// (indices into a coordinator-resolved query), the row cap, and the
+/// optional WORQ-style per-variable Bloom filters the site applies before
+/// shipping rows back.
+struct SiteEvalRequest {
+  std::span<const size_t> pattern_indices;
+  size_t max_rows = SIZE_MAX;
+  /// Indexed by query var id; null entries mean no filter. Applied
+  /// site-side so definitely-non-joining rows never cross the wire.
+  const std::vector<std::unique_ptr<BloomFilter>>* var_filters = nullptr;
+};
+
+/// What a site answers with. On failure (remote backends only — the
+/// in-process simulator never fails), EvaluateOnSite still fills the
+/// retry/wait accounting so the coordinator's stats stay truthful.
+struct SiteEvalReply {
+  store::BindingTable table;
+  /// Rows dropped site-side by the Bloom filters.
+  size_t bloom_dropped = 0;
+  /// Site-side evaluation time (wall-clock at the site).
+  double eval_millis = 0.0;
+  /// Transport waiting: retry backoff, blown deadlines, reconnects
+  /// (wall-clock; 0 for the in-process backend, whose waits are simulated
+  /// by the executor's FaultModel instead).
+  double wait_millis = 0.0;
+  /// Transport-level retries actually performed.
+  int retries = 0;
+};
+
+/// Evaluation schedule knobs a backend applies to real RPCs; mirrors the
+/// NetworkModel fields the simulator charges to virtual time.
+struct SiteCallPolicy {
+  /// Per-attempt deadline in ms; 0 = no deadline (a generous transport
+  /// default still bounds the wait so a hung site cannot wedge a query).
+  double timeout_ms = 0.0;
+  /// Retries after the first attempt.
+  int max_retries = 0;
+  /// Exponential backoff base between attempts.
+  double backoff_ms = 1.0;
+};
+
+/// Abstract coordinator-side view of the k partition sites. Everything
+/// the DistributedExecutor needs is either derivable from the
+/// partitioning (owned here) or one virtual call: EvaluateOnSite. Two
+/// implementations exist — `Cluster`, the deterministic in-process
+/// simulator (k TripleStores, modeled network/faults), and
+/// `RemoteCluster`, k `mpc site` worker processes spoken to over
+/// checksummed socket RPC, where crashes, timeouts and torn connections
+/// are real.
+class ClusterBackend {
  public:
-  /// Builds the per-site stores from a materialized partitioning. The
-  /// partitioning is moved in and retained (the executor needs its
-  /// crossing-property mask). Sites are independent, so with
-  /// num_threads > 1 (0 = hardware_concurrency) their indexes build
-  /// concurrently — mirroring what a real cluster does anyway — with
-  /// identical resulting stores at any thread count.
-  static Cluster Build(partition::Partitioning partitioning,
-                       int num_threads = 1);
+  virtual ~ClusterBackend() = default;
 
   uint32_t k() const { return partitioning_.k(); }
-  const store::TripleStore& site(uint32_t i) const { return stores_[i]; }
   const partition::Partitioning& partitioning() const {
     return partitioning_;
   }
@@ -99,18 +139,36 @@ class Cluster {
   /// replication. This is the data-path justification for best-effort
   /// answers — live sites already hold (and evaluate) the replicated
   /// crossing edges of a dead site, so those matches are served without
-  /// contacting it.
+  /// contacting it. Pure function of the partitioning: identical for
+  /// simulated and real clusters.
   ReplicaCoverage ComputeReplicaCoverage(const SiteAvailability& avail) const;
 
   /// Max per-site index build time, ms (the Table VI "Loading" analogue).
   double loading_millis() const { return loading_millis_; }
 
-  /// Sum of store footprints in bytes.
-  size_t MemoryUsage() const;
+  /// Sum of store footprints in bytes (worker-reported for remote sites).
+  virtual size_t MemoryUsage() const = 0;
 
- private:
+  /// Evaluates `request`'s sub-BGP of `resolved` at `site`. The one
+  /// data-path call of the executor; errors (Unavailable for a dead
+  /// site / exhausted retries, DeadlineExceeded for blown deadlines)
+  /// only come from remote backends — the simulator's failures are
+  /// injected by the executor's FaultModel before this is called.
+  /// `policy` bounds real transport attempts and is ignored in-process.
+  virtual Status EvaluateOnSite(uint32_t site,
+                                const store::ResolvedQuery& resolved,
+                                const SiteEvalRequest& request,
+                                const SiteCallPolicy& policy,
+                                SiteEvalReply* reply) const = 0;
+
+ protected:
+  ClusterBackend() = default;
+  ClusterBackend(const ClusterBackend&) = default;
+  ClusterBackend& operator=(const ClusterBackend&) = default;
+  ClusterBackend(ClusterBackend&&) = default;
+  ClusterBackend& operator=(ClusterBackend&&) = default;
+
   partition::Partitioning partitioning_;
-  std::vector<store::TripleStore> stores_;
   /// Row-major [site][property] presence map. One byte per entry (not
   /// vector<bool>): sites fill their rows concurrently, and distinct
   /// bytes can be written from different threads while distinct bits of
@@ -119,6 +177,58 @@ class Cluster {
   size_t num_properties_ = 0;
   double loading_millis_ = 0.0;
 };
+
+/// The empty BindingTable a sub-BGP would produce: columns are exactly
+/// the variables its patterns use, ascending by var id (the matcher's
+/// column contract). Lets the coordinator synthesize result schemas for
+/// subqueries every site pruned or failed — without a store and without
+/// an RPC.
+store::BindingTable SchemaTable(const store::ResolvedQuery& resolved,
+                                std::span<const size_t> pattern_indices);
+
+/// An in-process stand-in for the paper's 8-machine deployment: k
+/// TripleStore instances, one per partition, each holding that
+/// partition's internal edges plus crossing-edge replicas. Loading time
+/// (index construction) is measured per site; the reported figure is the
+/// maximum across sites, matching parallel loading on a real cluster.
+/// Kept as the deterministic test mode now that RemoteCluster runs the
+/// same partitionings as real worker processes.
+class Cluster final : public ClusterBackend {
+ public:
+  Cluster() = default;
+
+  /// Builds the per-site stores from a materialized partitioning. The
+  /// partitioning is moved in and retained (the executor needs its
+  /// crossing-property mask). Sites are independent, so with
+  /// num_threads > 1 (0 = hardware_concurrency) their indexes build
+  /// concurrently — mirroring what a real cluster does anyway — with
+  /// identical resulting stores at any thread count.
+  static Cluster Build(partition::Partitioning partitioning,
+                       int num_threads = 1);
+
+  const store::TripleStore& site(uint32_t i) const { return stores_[i]; }
+
+  size_t MemoryUsage() const override;
+
+  /// In-process evaluation: BgpMatcher over the site's store plus the
+  /// site-side Bloom reduction. Never fails; timing lands in
+  /// reply->eval_millis.
+  Status EvaluateOnSite(uint32_t site, const store::ResolvedQuery& resolved,
+                        const SiteEvalRequest& request,
+                        const SiteCallPolicy& policy,
+                        SiteEvalReply* reply) const override;
+
+ private:
+  std::vector<store::TripleStore> stores_;
+};
+
+/// Runs the matcher and applies the request's Bloom filters — the
+/// site-side half of one evaluation, shared verbatim by the in-process
+/// Cluster and the `mpc site` worker process so their tables are
+/// bit-identical.
+SiteEvalReply EvaluateSiteRequest(const store::TripleStore& store,
+                                  const store::ResolvedQuery& resolved,
+                                  const SiteEvalRequest& request);
 
 }  // namespace mpc::exec
 

@@ -13,7 +13,6 @@
 
 namespace mpc::exec {
 
-using store::BgpMatcher;
 using store::BindingTable;
 using store::ResolvedQuery;
 
@@ -40,14 +39,15 @@ FaultOutcome ResolveSiteAttempts(const FaultModel& faults,
                                  const NetworkModel& net, size_t step,
                                  uint32_t site, SiteAvailability* avail) {
   FaultOutcome out;
-  if (!faults.enabled()) return out;
   if (!avail->IsUp(site)) {
-    // Known down since an earlier subquery: skipped without an RPC.
+    // Known down since an earlier subquery — simulated crash or real
+    // transport failure alike: skipped without an RPC.
     out.evaluate = false;
     out.contacted = false;
     out.failure = StatusCode::kUnavailable;
     return out;
   }
+  if (!faults.enabled()) return out;
   if (faults.DownBefore(site, step)) {
     // Crashed at an earlier step while not being contacted (e.g. it was
     // pruned then); this contact detects it.
@@ -116,6 +116,18 @@ FaultOutcome ResolveSiteAttempts(const FaultModel& faults,
   return out;
 }
 
+/// Transport knobs for real RPC attempts (ignored by the in-process
+/// backend, whose waits the FaultModel simulates instead). Reuses the
+/// NetworkModel's deadline/retry/backoff settings so one configuration
+/// governs both simulated and real calls.
+SiteCallPolicy CallPolicy(const NetworkModel& net) {
+  SiteCallPolicy policy;
+  policy.timeout_ms = net.site_timeout_ms;
+  policy.max_retries = net.max_retries;
+  policy.backoff_ms = net.retry_backoff_ms;
+  return policy;
+}
+
 Status FaultStatus(StatusCode code, uint32_t site, size_t subquery) {
   std::string msg = "site " + std::to_string(site) +
                     " did not answer subquery " + std::to_string(subquery) +
@@ -171,7 +183,7 @@ void FlushExecutionMetrics(const ExecutionStats& stats) {
 
 }  // namespace
 
-DistributedExecutor::DistributedExecutor(const Cluster& cluster,
+DistributedExecutor::DistributedExecutor(const ClusterBackend& cluster,
                                          const rdf::RdfGraph& graph,
                                          Options options)
     : cluster_(cluster),
@@ -224,28 +236,6 @@ Result<QueryResponse> DistributedExecutor::Execute(
   return response;
 }
 
-Result<BindingTable> DistributedExecutor::Execute(
-    const sparql::QueryGraph& query, ExecutionStats* stats) const {
-  Result<QueryResponse> response = Execute(QueryRequest::FromQuery(query));
-  if (!response.ok()) {
-    *stats = ExecutionStats{};
-    return response.status();
-  }
-  *stats = response->stats;
-  return std::move(response->bindings);
-}
-
-Result<BindingTable> DistributedExecutor::ExecuteText(
-    const std::string& text, ExecutionStats* stats) const {
-  Result<QueryResponse> response = Execute(QueryRequest::FromText(text));
-  if (!response.ok()) {
-    *stats = ExecutionStats{};
-    return response.status();
-  }
-  *stats = response->stats;
-  return std::move(response->bindings);
-}
-
 Result<BindingTable> DistributedExecutor::ExecuteVertexDisjoint(
     const sparql::QueryGraph& query, const QueryPlan* plan,
     PartialResultPolicy partial_results, ExecutionStats* stats) const {
@@ -279,9 +269,6 @@ Result<BindingTable> DistributedExecutor::ExecuteVertexDisjoint(
   // subquery costs its slowest site; subqueries run back-to-back.
   // Localization: a site lacking any required property of a subquery is
   // skipped entirely (it cannot hold a match of that sub-BGP). ---
-  BgpMatcher::Options matcher_options;
-  matcher_options.max_results = options_.max_rows;
-
   std::vector<bool> site_contacted(cluster_.k(), false);
   // Bloom-join reduction state: per query variable, a filter over the
   // values already bound by earlier subqueries.
@@ -388,81 +375,78 @@ Result<BindingTable> DistributedExecutor::ExecuteVertexDisjoint(
         }
         continue;
       }
-      ++stats->sites_evaluated;
       planned.push_back({site, outcome.wait_ms, outcome.slowdown});
     }
 
-    // Concurrent local evaluation, the in-process analogue of the k
-    // machines matching in parallel. Each site's table, timing and drop
-    // count land in that site's slot; the bloom filters were published
-    // by earlier subqueries and are only read here. The merge below
-    // walks the slots in site order, so the merged table is identical
-    // at any thread count.
+    // Concurrent site evaluation — in-process threads standing in for
+    // (or real RPCs actually reaching) the k machines matching in
+    // parallel. Each site's reply (or transport failure) lands in that
+    // site's slot; the bloom filters were published by earlier
+    // subqueries and are only read here. The post-pass below walks the
+    // slots in site order, so the merged table — and the failure
+    // bookkeeping — is identical at any thread count.
+    SiteEvalRequest eval_request;
+    eval_request.pattern_indices = sub;
+    eval_request.max_rows = options_.max_rows;
+    eval_request.var_filters = use_bloom ? &var_filters : nullptr;
     struct SiteEval {
-      BindingTable table;
-      double millis = 0.0;
-      size_t dropped = 0;
+      SiteEvalReply reply;
+      Status status = Status::Ok();
     };
     std::vector<SiteEval> evals(planned.size());
     ParallelFor(0, planned.size(), 1, threads, [&](size_t s) {
       obs::TraceSpan site_span("exec.site.eval");
-      Timer site_timer;
-      BindingTable local = BgpMatcher::Evaluate(
-          cluster_.site(planned[s].site), resolved, sub, matcher_options);
-      if (use_bloom) {
-        // Drop rows whose join keys cannot match any earlier subquery's
-        // bindings; this happens site-side, before shipping.
-        size_t kept = 0;
-        for (size_t r = 0; r < local.rows.size(); ++r) {
-          bool may_join = true;
-          for (size_t col = 0; col < local.var_ids.size(); ++col) {
-            const auto& filter = var_filters[local.var_ids[col]];
-            if (filter != nullptr &&
-                !filter->MayContain(local.rows[r][col])) {
-              may_join = false;
-              break;
-            }
-          }
-          if (may_join) {
-            // Guard against self-move: moving rows[r] onto itself would
-            // leave an empty row behind.
-            if (kept != r) local.rows[kept] = std::move(local.rows[r]);
-            ++kept;
-          }
-        }
-        evals[s].dropped = local.rows.size() - kept;
-        local.rows.resize(kept);
-      }
-      // Slowdown faults stretch the site's simulated answer time; retry
-      // backoff and blown deadlines are charged on top.
-      evals[s].millis = site_timer.ElapsedMillis() * planned[s].slowdown +
-                        planned[s].wait_ms;
+      evals[s].status =
+          cluster_.EvaluateOnSite(planned[s].site, resolved, eval_request,
+                                  CallPolicy(options_.network),
+                                  &evals[s].reply);
       site_span.Attr("site", planned[s].site)
           .Attr("subquery", static_cast<uint64_t>(subquery_index))
-          .Attr("rows", static_cast<uint64_t>(local.rows.size()))
-          .Attr("wall_ms", site_timer.ElapsedMillis())
-          .Attr("sim_ms", evals[s].millis);
-      evals[s].table = std::move(local);
+          .Attr("rows", static_cast<uint64_t>(evals[s].reply.table.num_rows()))
+          .Attr("eval_ms", evals[s].reply.eval_millis)
+          .Attr("ok", evals[s].status.ok() ? 1 : 0);
     });
 
     double slowest_site = failed_wait;
     BindingTable merged;
-    for (SiteEval& eval : evals) {
-      slowest_site = std::max(slowest_site, eval.millis);
-      stats->bloom_dropped_rows += eval.dropped;
-      stats->local_rows += eval.table.num_rows();
-      if (merged.var_ids.empty()) merged.var_ids = eval.table.var_ids;
-      for (auto& row : eval.table.rows) {
+    for (size_t s = 0; s < planned.size(); ++s) {
+      SiteEval& eval = evals[s];
+      // Transport accounting (real backends; zero in-process). Slowdown
+      // faults stretch the site's simulated answer time; simulated retry
+      // backoff and blown deadlines are charged on top.
+      stats->retries += static_cast<size_t>(eval.reply.retries);
+      stats->fault_wait_millis += eval.reply.wait_millis;
+      const double site_millis =
+          eval.reply.eval_millis * planned[s].slowdown + planned[s].wait_ms +
+          eval.reply.wait_millis;
+      slowest_site = std::max(slowest_site, site_millis);
+      if (!eval.status.ok()) {
+        // A real transport failure. Unavailable means the worker is gone
+        // — fail-stop for the rest of the query, exactly like a
+        // simulated crash; a blown deadline leaves the site up.
+        if (eval.status.code() == StatusCode::kUnavailable) {
+          avail.MarkDown(planned[s].site);
+        }
+        ++stats->sites_failed;
+        if (partial_results == PartialResultPolicy::kFail) {
+          return eval.status;
+        }
+        continue;
+      }
+      ++stats->sites_evaluated;
+      stats->bloom_dropped_rows += eval.reply.bloom_dropped;
+      stats->local_rows += eval.reply.table.num_rows();
+      if (merged.var_ids.empty()) merged.var_ids = eval.reply.table.var_ids;
+      for (auto& row : eval.reply.table.rows) {
         merged.rows.push_back(std::move(row));
       }
       // Shipping this site's table to the coordinator.
-      stats->shipped_bytes += eval.table.ByteSize();
+      stats->shipped_bytes += eval.reply.table.ByteSize();
     }
     if (merged.var_ids.empty()) {
-      // Every site pruned (or k = 0): synthesize the empty table with
-      // the right columns so downstream joins see the schema.
-      merged = BgpMatcher::Evaluate(cluster_.site(0), resolved, sub,
-                                    BgpMatcher::Options{.max_results = 0});
+      // Every site pruned or failed (or k = 0): synthesize the empty
+      // table with the right columns so downstream joins see the schema.
+      merged = SchemaTable(resolved, sub);
     }
     stats->local_eval_millis += slowest_site;
     // Union semantics (Definition 3.7): replicas may produce the same
@@ -557,8 +541,9 @@ Result<BindingTable> DistributedExecutor::ExecuteVp(
   stats->decomposition_millis =
       timer.ElapsedMillis() + options_.network.DispatchMillis(cluster_.k());
 
-  BgpMatcher::Options matcher_options;
-  matcher_options.max_results = options_.max_rows;
+  // Every pattern index, for whole-query site evaluations and schemas.
+  std::vector<size_t> all_patterns(resolved.patterns.size());
+  for (size_t i = 0; i < all_patterns.size(); ++i) all_patterns[i] = i;
 
   SiteAvailability avail = cluster_.AllUp();
   BindingTable final_table;
@@ -578,35 +563,47 @@ Result<BindingTable> DistributedExecutor::ExecuteVp(
         fault_model_, options_.network, 0, home, &avail);
     stats->retries += static_cast<size_t>(outcome.retries);
     stats->fault_wait_millis += outcome.wait_ms;
-    if (!outcome.evaluate) {
+    Status failure = outcome.evaluate ? Status::Ok()
+                                      : FaultStatus(outcome.failure, home, 0);
+    double home_wait = outcome.wait_ms;
+    if (outcome.evaluate) {
+      obs::TraceSpan site_span("exec.site.eval");
+      SiteEvalRequest eval_request;
+      eval_request.pattern_indices = all_patterns;
+      eval_request.max_rows = options_.max_rows;
+      SiteEvalReply reply;
+      Status st =
+          cluster_.EvaluateOnSite(home, resolved, eval_request,
+                                  CallPolicy(options_.network), &reply);
+      stats->retries += static_cast<size_t>(reply.retries);
+      stats->fault_wait_millis += reply.wait_millis;
+      home_wait += reply.wait_millis;
+      site_span.Attr("site", home)
+          .Attr("subquery", static_cast<uint64_t>(0))
+          .Attr("rows", static_cast<uint64_t>(reply.table.num_rows()))
+          .Attr("eval_ms", reply.eval_millis)
+          .Attr("ok", st.ok() ? 1 : 0);
+      if (!st.ok()) {
+        if (st.code() == StatusCode::kUnavailable) avail.MarkDown(home);
+        failure = std::move(st);
+      } else {
+        ++stats->sites_evaluated;
+        final_table = std::move(reply.table);
+        stats->local_eval_millis =
+            reply.eval_millis * outcome.slowdown + home_wait;
+        stats->local_rows = final_table.num_rows();
+        stats->shipped_bytes = final_table.ByteSize();
+        stats->network_millis =
+            options_.network.TransferMillis(stats->shipped_bytes, 1);
+      }
+    }
+    if (!failure.ok()) {
       // VP stores each property at exactly one site; without replicas a
       // down home site leaves nothing to fail over to.
       ++stats->sites_failed;
-      if (partial_results == PartialResultPolicy::kFail) {
-        return FaultStatus(outcome.failure, home, 0);
-      }
-      stats->local_eval_millis = outcome.wait_ms;
-      final_table = BgpMatcher::EvaluateAll(
-          cluster_.site(home), resolved,
-          BgpMatcher::Options{.max_results = 0});  // schema only
-      final_table.rows.clear();
-    } else {
-      ++stats->sites_evaluated;
-      obs::TraceSpan site_span("exec.site.eval");
-      Timer site_timer;
-      final_table = BgpMatcher::EvaluateAll(cluster_.site(home), resolved,
-                                            matcher_options);
-      stats->local_eval_millis =
-          site_timer.ElapsedMillis() * outcome.slowdown + outcome.wait_ms;
-      site_span.Attr("site", home)
-          .Attr("subquery", static_cast<uint64_t>(0))
-          .Attr("rows", static_cast<uint64_t>(final_table.num_rows()))
-          .Attr("wall_ms", site_timer.ElapsedMillis())
-          .Attr("sim_ms", stats->local_eval_millis);
-      stats->local_rows = final_table.num_rows();
-      stats->shipped_bytes = final_table.ByteSize();
-      stats->network_millis =
-          options_.network.TransferMillis(stats->shipped_bytes, 1);
+      if (partial_results == PartialResultPolicy::kFail) return failure;
+      stats->local_eval_millis = home_wait;
+      final_table = SchemaTable(resolved, all_patterns);  // schema only
     }
   } else {
     // Cloud-style plan: every triple pattern is scanned at its property's
@@ -630,9 +627,7 @@ Result<BindingTable> DistributedExecutor::ExecuteVp(
         if (p == rdf::kInvalidVertex) {
           // Property absent from the data: empty table with the
           // pattern's variables as columns.
-          merged = BgpMatcher::Evaluate(cluster_.site(0), resolved, one,
-                                        matcher_options);
-          merged.rows.clear();
+          merged = SchemaTable(resolved, one);
         } else {
           sites.push_back(partitioning.PropertyHome(p));
         }
@@ -662,43 +657,59 @@ Result<BindingTable> DistributedExecutor::ExecuteVp(
           }
           continue;
         }
-        ++stats->sites_evaluated;
         planned.push_back({site, outcome.wait_ms, outcome.slowdown});
       }
+      SiteEvalRequest eval_request;
+      eval_request.pattern_indices = one;
+      eval_request.max_rows = options_.max_rows;
       struct SiteEval {
-        BindingTable table;
-        double millis = 0.0;
+        SiteEvalReply reply;
+        Status status = Status::Ok();
       };
       std::vector<SiteEval> evals(planned.size());
       ParallelFor(0, planned.size(), 1, threads, [&](size_t s) {
         obs::TraceSpan site_span("exec.site.eval");
-        Timer site_timer;
-        evals[s].table =
-            BgpMatcher::Evaluate(cluster_.site(planned[s].site), resolved,
-                                 one, matcher_options);
-        evals[s].millis = site_timer.ElapsedMillis() * planned[s].slowdown +
-                          planned[s].wait_ms;
+        evals[s].status =
+            cluster_.EvaluateOnSite(planned[s].site, resolved, eval_request,
+                                    CallPolicy(options_.network),
+                                    &evals[s].reply);
         site_span.Attr("site", planned[s].site)
             .Attr("subquery", static_cast<uint64_t>(i))
-            .Attr("rows", static_cast<uint64_t>(evals[s].table.num_rows()))
-            .Attr("wall_ms", site_timer.ElapsedMillis())
-            .Attr("sim_ms", evals[s].millis);
+            .Attr("rows",
+                  static_cast<uint64_t>(evals[s].reply.table.num_rows()))
+            .Attr("eval_ms", evals[s].reply.eval_millis)
+            .Attr("ok", evals[s].status.ok() ? 1 : 0);
       });
-      for (SiteEval& eval : evals) {
-        slowest = std::max(slowest, eval.millis);
-        stats->local_rows += eval.table.num_rows();
-        stats->shipped_bytes += eval.table.ByteSize();
-        if (merged.var_ids.empty()) merged.var_ids = eval.table.var_ids;
-        for (auto& row : eval.table.rows) {
+      for (size_t s = 0; s < planned.size(); ++s) {
+        SiteEval& eval = evals[s];
+        stats->retries += static_cast<size_t>(eval.reply.retries);
+        stats->fault_wait_millis += eval.reply.wait_millis;
+        const double site_millis =
+            eval.reply.eval_millis * planned[s].slowdown +
+            planned[s].wait_ms + eval.reply.wait_millis;
+        slowest = std::max(slowest, site_millis);
+        if (!eval.status.ok()) {
+          if (eval.status.code() == StatusCode::kUnavailable) {
+            avail.MarkDown(planned[s].site);
+          }
+          ++stats->sites_failed;
+          if (partial_results == PartialResultPolicy::kFail) {
+            return eval.status;
+          }
+          continue;
+        }
+        ++stats->sites_evaluated;
+        stats->local_rows += eval.reply.table.num_rows();
+        stats->shipped_bytes += eval.reply.table.ByteSize();
+        if (merged.var_ids.empty()) merged.var_ids = eval.reply.table.var_ids;
+        for (auto& row : eval.reply.table.rows) {
           merged.rows.push_back(std::move(row));
         }
       }
       if (merged.var_ids.empty()) {
         // Every scan site failed: synthesize the empty table with the
         // pattern's columns so the join still sees the schema.
-        merged = BgpMatcher::Evaluate(cluster_.site(0), resolved, one,
-                                      BgpMatcher::Options{.max_results = 0});
-        merged.rows.clear();
+        merged = SchemaTable(resolved, one);
       }
       stats->local_eval_millis += slowest;
       merged.Deduplicate();

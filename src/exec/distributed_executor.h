@@ -69,9 +69,12 @@ class DistributedExecutor {
  public:
   using Options = ExecutorOptions;
 
-  /// `graph` is the global graph whose dictionaries encode the cluster's
-  /// triples; both must outlive the executor.
-  DistributedExecutor(const Cluster& cluster, const rdf::RdfGraph& graph,
+  /// `cluster` is any ClusterBackend — the in-process simulator or a
+  /// RemoteCluster of worker processes; the execution logic is identical
+  /// over both. `graph` is the global graph whose dictionaries encode
+  /// the cluster's triples; both must outlive the executor.
+  DistributedExecutor(const ClusterBackend& cluster,
+                      const rdf::RdfGraph& graph,
                       Options options = Options());
 
   /// The single execution entry point: resolves the request (parsing
@@ -91,15 +94,6 @@ class DistributedExecutor {
   Result<QueryResponse> Execute(const QueryRequest& request,
                                 const QueryPlan* plan) const;
 
-  /// Transitional shims for the pre-QueryRequest API.
-  [[deprecated("use Execute(const QueryRequest&)")]]
-  Result<store::BindingTable> Execute(const sparql::QueryGraph& query,
-                                      ExecutionStats* stats) const;
-
-  [[deprecated("use Execute(QueryRequest::FromText(...))")]]
-  Result<store::BindingTable> ExecuteText(const std::string& text,
-                                          ExecutionStats* stats) const;
-
  private:
   Result<store::BindingTable> ExecuteVertexDisjoint(
       const sparql::QueryGraph& query, const QueryPlan* plan,
@@ -108,7 +102,7 @@ class DistributedExecutor {
                                         PartialResultPolicy partial_results,
                                         ExecutionStats* stats) const;
 
-  const Cluster& cluster_;
+  const ClusterBackend& cluster_;
   const rdf::RdfGraph& graph_;
   Options options_;
   /// Pure (stateless after construction): shared by concurrent queries.

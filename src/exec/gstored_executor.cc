@@ -29,17 +29,6 @@ Result<QueryResponse> GStoredExecutor::Execute(
   return response;
 }
 
-Result<BindingTable> GStoredExecutor::Execute(
-    const sparql::QueryGraph& query, ExecutionStats* stats) const {
-  Result<QueryResponse> response = Execute(QueryRequest::FromQuery(query));
-  if (!response.ok()) {
-    *stats = ExecutionStats{};
-    return response.status();
-  }
-  *stats = response->stats;
-  return std::move(response->bindings);
-}
-
 Result<BindingTable> GStoredExecutor::ExecuteParsed(
     const sparql::QueryGraph& query, ExecutionStats* stats) const {
   *stats = ExecutionStats{};

@@ -31,10 +31,6 @@ class GStoredExecutor {
   /// kAuto/kGstored accepted, kDistributed rejected with InvalidArgument.
   Result<QueryResponse> Execute(const QueryRequest& request) const;
 
-  [[deprecated("use Execute(const QueryRequest&)")]]
-  Result<store::BindingTable> Execute(const sparql::QueryGraph& query,
-                                      ExecutionStats* stats) const;
-
  private:
   Result<store::BindingTable> ExecuteParsed(const sparql::QueryGraph& query,
                                             ExecutionStats* stats) const;

@@ -1,0 +1,369 @@
+#include "exec/remote_cluster.h"
+
+#include <unistd.h>
+
+#include <algorithm>
+#include <utility>
+
+#include "common/timer.h"
+#include "exec/rpc_protocol.h"
+#include "net/frame.h"
+#include "obs/trace.h"
+
+namespace mpc::exec {
+
+namespace {
+
+/// Sleeps a backoff interval (wall-clock; these are real waits, unlike
+/// the simulator's virtual ones).
+void SleepMillis(double ms) {
+  if (ms <= 0) return;
+  ::usleep(static_cast<useconds_t>(ms * 1000.0));
+}
+
+std::string SocketPathFor(const std::string& dir, uint32_t site) {
+  return dir + "/site_" + std::to_string(site) + ".sock";
+}
+
+}  // namespace
+
+Result<std::unique_ptr<RemoteCluster>> RemoteCluster::Start(
+    partition::Partitioning partitioning, Options options) {
+  std::unique_ptr<RemoteCluster> cluster(new RemoteCluster());
+  cluster->partitioning_ = std::move(partitioning);
+  cluster->options_ = std::move(options);
+  cluster->partition_dir_ = cluster->options_.partition_dir;
+  cluster->generation_ = cluster->options_.generation;
+  cluster->RecomputePresence();
+
+  const uint32_t k = cluster->k();
+  std::vector<net::WorkerSpec> specs;
+  specs.reserve(k);
+  for (uint32_t i = 0; i < k; ++i) {
+    net::WorkerSpec spec;
+    spec.socket_path = SocketPathFor(cluster->options_.socket_dir, i);
+    spec.argv = {cluster->options_.worker_binary,
+                 "site",
+                 cluster->options_.graph_path,
+                 cluster->options_.partition_dir,
+                 "--site=" + std::to_string(i),
+                 "--socket=" + spec.socket_path,
+                 "--generation=" + std::to_string(cluster->generation_),
+                 "--threads=" +
+                     std::to_string(cluster->options_.worker_threads)};
+    if (i == cluster->options_.kill_site &&
+        cluster->options_.kill_after_queries > 0) {
+      // chaos_argv, not argv: the supervisor drops it on respawn, so the
+      // injected crash fires once and the replacement worker is healthy.
+      spec.chaos_argv.push_back(
+          "--kill-after-queries=" +
+          std::to_string(cluster->options_.kill_after_queries));
+    }
+    specs.push_back(std::move(spec));
+  }
+  cluster->supervisor_ = std::make_unique<net::SiteSupervisor>(
+      std::move(specs), cluster->options_.supervisor);
+  cluster->sites_.reserve(k);
+  for (uint32_t i = 0; i < k; ++i) {
+    cluster->sites_.push_back(std::make_unique<SiteState>());
+  }
+  MPC_RETURN_IF_ERROR(cluster->supervisor_->StartAll());
+
+  // Handshake with every worker up front: a fleet that cannot even say
+  // Hello is a deployment error, not a runtime fault to tolerate.
+  double max_load = 0.0;
+  for (uint32_t i = 0; i < k; ++i) {
+    SiteState* state = cluster->sites_[i].get();
+    std::lock_guard<std::mutex> lock(state->mu);
+    Status st = cluster->EnsureConnectedLocked(i, state);
+    if (!st.ok()) {
+      cluster->supervisor_->StopAll();
+      return st;
+    }
+    max_load = std::max(max_load, state->load_millis);
+  }
+  cluster->loading_millis_ = max_load;
+  return cluster;
+}
+
+RemoteCluster::~RemoteCluster() {
+  // Drop data connections before the supervisor signals the workers so
+  // their accept loops are idle during the drain.
+  for (auto& state : sites_) {
+    std::lock_guard<std::mutex> lock(state->mu);
+    state->conn.Close();
+  }
+  if (supervisor_ != nullptr) supervisor_->StopAll();
+}
+
+uint64_t RemoteCluster::generation() const {
+  std::lock_guard<std::mutex> lock(view_mu_);
+  return generation_;
+}
+
+std::string RemoteCluster::ConnectPath(uint32_t i) const {
+  if (i < options_.connect_path_override.size() &&
+      !options_.connect_path_override[i].empty()) {
+    return options_.connect_path_override[i];
+  }
+  return SocketPathFor(options_.socket_dir, i);
+}
+
+void RemoteCluster::RecomputePresence() {
+  const uint32_t k = partitioning_.k();
+  num_properties_ = partitioning_.crossing_property_mask().size();
+  property_present_.assign(static_cast<size_t>(k) * num_properties_, 0);
+  for (uint32_t i = 0; i < k; ++i) {
+    const partition::Partition& p = partitioning_.partition(i);
+    for (const rdf::Triple& t : p.internal_edges) {
+      property_present_[i * num_properties_ + t.property] = 1;
+    }
+    for (const rdf::Triple& t : p.crossing_edges) {
+      property_present_[i * num_properties_ + t.property] = 1;
+    }
+  }
+}
+
+Status RemoteCluster::AcceptHello(uint32_t i, const std::string& payload,
+                                  SiteState* state) const {
+  Result<HelloMsg> hello = DecodeHello(payload);
+  if (!hello.ok()) return hello.status();
+  if (hello->site != i || hello->k != k()) {
+    return Status::Internal(
+        "worker handshake mismatch: announced site " +
+        std::to_string(hello->site) + "/" + std::to_string(hello->k) +
+        ", expected " + std::to_string(i) + "/" + std::to_string(k()));
+  }
+  // The worker derives its presence row from the same partition files;
+  // disagreement means it loaded different data than the coordinator
+  // believes it serves — refuse before wrong answers become possible.
+  const uint8_t* row = property_present_.data() + i * num_properties_;
+  if (hello->property_present.size() != num_properties_ ||
+      !std::equal(hello->property_present.begin(),
+                  hello->property_present.end(), row)) {
+    return Status::Internal("worker " + std::to_string(i) +
+                            " property-presence row disagrees with the "
+                            "coordinator's partitioning");
+  }
+  state->hello_generation = hello->generation;
+  state->memory_bytes = hello->memory_bytes;
+  state->load_millis = hello->load_millis;
+  return Status::Ok();
+}
+
+Status RemoteCluster::EnsureConnectedLocked(uint32_t i,
+                                            SiteState* state) const {
+  if (state->conn.valid()) return Status::Ok();
+  // The supervisor gates the connect: it waits out a pending
+  // backoff-scheduled respawn and reports Unavailable once the restart
+  // budget is spent.
+  const std::string path = ConnectPath(i);
+  Result<net::Socket> conn = [&]() -> Result<net::Socket> {
+    if (path == SocketPathFor(options_.socket_dir, i)) {
+      return supervisor_->Connect(i);
+    }
+    // Chaos-proxy interposition: the supervisor still vouches for the
+    // process, but bytes flow through the proxy.
+    MPC_RETURN_IF_ERROR(
+        supervisor_->WaitUntilUp(i, options_.supervisor.spawn_wait_ms));
+    return net::Socket::Connect(path);
+  }();
+  if (!conn.ok()) return conn.status();
+  state->conn = std::move(*conn);
+
+  // The worker speaks first: one Hello per accepted connection.
+  Result<net::Frame> frame =
+      net::ReadFrame(state->conn, options_.handshake_timeout_ms);
+  if (!frame.ok() || frame->type != kMsgHello) {
+    state->conn.Close();
+    if (!frame.ok()) return frame.status();
+    return Status::ParseError("expected Hello frame, got type " +
+                              std::to_string(frame->type));
+  }
+  Status st = AcceptHello(i, frame->payload, state);
+  if (!st.ok()) {
+    state->conn.Close();
+    return st;
+  }
+
+  // A restarted worker loads whatever generation its argv named; if the
+  // partitioning moved on since (PushReload it missed while dead),
+  // replay the reload before letting any query through.
+  uint64_t want_generation;
+  std::string graph_path = options_.graph_path;
+  std::string partition_dir;
+  {
+    std::lock_guard<std::mutex> lock(view_mu_);
+    want_generation = generation_;
+    partition_dir = partition_dir_;
+  }
+  if (state->hello_generation != want_generation) {
+    ReloadMsg reload;
+    reload.generation = want_generation;
+    reload.graph_path = graph_path;
+    reload.partition_dir = partition_dir;
+    std::string reply_payload;
+    bool fatal = false;
+    st = RoundTripLocked(state, kMsgReload, EncodeReload(reload),
+                         options_.handshake_timeout_ms, kMsgReloadDone,
+                         &reply_payload, &fatal);
+    if (st.ok()) st = AcceptHello(i, reply_payload, state);
+    if (!st.ok()) {
+      state->conn.Close();
+      return st;
+    }
+  }
+  return Status::Ok();
+}
+
+Status RemoteCluster::RoundTripLocked(SiteState* state, uint16_t send_type,
+                                      const std::string& payload,
+                                      double timeout_ms, uint16_t want_type,
+                                      std::string* reply_payload,
+                                      bool* fatal) const {
+  *fatal = false;
+  Status st = net::WriteFrame(state->conn, send_type, payload);
+  if (!st.ok()) {
+    state->conn.Close();
+    return st;
+  }
+  Result<net::Frame> frame = net::ReadFrame(state->conn, timeout_ms);
+  if (!frame.ok()) {
+    // Timed out, torn, or gone: the stream may carry a stale reply now,
+    // so the connection cannot be reused either way.
+    state->conn.Close();
+    return frame.status();
+  }
+  if (frame->type == kMsgError) {
+    // The worker answered: transport is fine, the request was refused.
+    *fatal = true;
+    Status carried = DecodeError(frame->payload);
+    return carried.ok()
+               ? Status::ParseError("malformed error frame from worker")
+               : carried;
+  }
+  if (frame->type != want_type) {
+    state->conn.Close();
+    return Status::ParseError("expected frame type " +
+                              std::to_string(want_type) + ", got " +
+                              std::to_string(frame->type));
+  }
+  *reply_payload = std::move(frame->payload);
+  return Status::Ok();
+}
+
+Status RemoteCluster::EvaluateOnSite(uint32_t site,
+                                     const store::ResolvedQuery& resolved,
+                                     const SiteEvalRequest& request,
+                                     const SiteCallPolicy& policy,
+                                     SiteEvalReply* reply) const {
+  SiteState* state = sites_[site].get();
+  std::lock_guard<std::mutex> lock(state->mu);
+  const std::string payload = EncodeEvalRequest(resolved, request);
+  const double timeout_ms =
+      policy.timeout_ms > 0 ? policy.timeout_ms : options_.default_timeout_ms;
+  Status last = Status::Unavailable("site " + std::to_string(site) +
+                                    ": no attempt made");
+  for (int attempt = 0; attempt <= policy.max_retries; ++attempt) {
+    if (attempt > 0) {
+      // Real exponential backoff, charged to the reply's wait clock so
+      // coordinator stats reflect wall time actually spent waiting.
+      const double backoff =
+          policy.backoff_ms * static_cast<double>(uint64_t{1} << (attempt - 1));
+      SleepMillis(backoff);
+      reply->wait_millis += backoff;
+      ++reply->retries;
+    }
+    obs::TraceSpan span("exec.rpc.attempt");
+    span.Attr("site", site).Attr("attempt", attempt);
+    Timer attempt_timer;
+    Status st = EnsureConnectedLocked(site, state);
+    if (st.ok()) {
+      std::string reply_payload;
+      bool fatal = false;
+      st = RoundTripLocked(state, kMsgEvalRequest, payload, timeout_ms,
+                           kMsgEvalReply, &reply_payload, &fatal);
+      if (st.ok()) {
+        st = DecodeEvalReply(reply_payload, reply);
+        if (st.ok()) {
+          span.Attr("rows", static_cast<uint64_t>(reply->table.num_rows()))
+              .Attr("wire_bytes", static_cast<uint64_t>(reply_payload.size()));
+          return Status::Ok();
+        }
+        // A payload that passed the checksum but fails to decode is a
+        // protocol bug, not line noise; drop the connection anyway so a
+        // retry starts clean.
+        state->conn.Close();
+      }
+      if (fatal) {
+        span.Attr("error", st.ToString());
+        return st;
+      }
+    }
+    span.Attr("error", st.ToString());
+    reply->wait_millis += attempt_timer.ElapsedMillis();
+    last = st;
+  }
+  // Terminal classification for the executor's failover logic: a blown
+  // deadline on the final attempt keeps its code (the site may be alive
+  // but slow); everything else collapses to Unavailable.
+  if (last.code() == StatusCode::kDeadlineExceeded) return last;
+  return Status::Unavailable("site " + std::to_string(site) +
+                             " unreachable after " +
+                             std::to_string(policy.max_retries + 1) +
+                             " attempts: " + last.ToString());
+}
+
+size_t RemoteCluster::MemoryUsage() const {
+  size_t total = 0;
+  for (auto& state : sites_) {
+    std::lock_guard<std::mutex> lock(state->mu);
+    total += state->memory_bytes;
+  }
+  return total;
+}
+
+Result<size_t> RemoteCluster::PushReload(partition::Partitioning partitioning,
+                                         const std::string& partition_dir,
+                                         uint64_t generation) {
+  {
+    std::lock_guard<std::mutex> lock(view_mu_);
+    partitioning_ = std::move(partitioning);
+    partition_dir_ = partition_dir;
+    generation_ = generation;
+  }
+  RecomputePresence();
+  ReloadMsg reload;
+  reload.generation = generation;
+  reload.graph_path = options_.graph_path;
+  reload.partition_dir = partition_dir;
+  const std::string payload = EncodeReload(reload);
+  size_t reloaded = 0;
+  for (uint32_t i = 0; i < k(); ++i) {
+    obs::TraceSpan span("exec.rpc.reload");
+    span.Attr("site", i).Attr("generation", generation);
+    SiteState* state = sites_[i].get();
+    std::lock_guard<std::mutex> lock(state->mu);
+    Status st = EnsureConnectedLocked(i, state);
+    if (st.ok() && state->hello_generation != generation) {
+      std::string reply_payload;
+      bool fatal = false;
+      st = RoundTripLocked(state, kMsgReload, payload,
+                           options_.handshake_timeout_ms, kMsgReloadDone,
+                           &reply_payload, &fatal);
+      if (st.ok()) st = AcceptHello(i, reply_payload, state);
+      if (!st.ok()) state->conn.Close();
+    }
+    // EnsureConnectedLocked may have replayed the reload itself (stale
+    // Hello path); either way the site counts once it's current.
+    if (st.ok() && state->hello_generation == generation) {
+      ++reloaded;
+      span.Attr("ok", 1);
+    } else {
+      span.Attr("error", st.ToString());
+    }
+  }
+  return reloaded;
+}
+
+}  // namespace mpc::exec

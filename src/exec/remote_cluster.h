@@ -1,0 +1,153 @@
+#ifndef MPC_EXEC_REMOTE_CLUSTER_H_
+#define MPC_EXEC_REMOTE_CLUSTER_H_
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "exec/cluster.h"
+#include "net/socket.h"
+#include "net/supervisor.h"
+
+namespace mpc::exec {
+
+/// The real multi-process deployment of the paper's site model: one
+/// `mpc site` worker process per partition, spawned and babysat by a
+/// SiteSupervisor, spoken to over checksummed framed RPC on local
+/// sockets. Plugs into DistributedExecutor through the same
+/// ClusterBackend interface as the in-process simulator, so decompose /
+/// union / hash-join, timeout/retry policies, PartialResultPolicy and
+/// replica failover all run unchanged — but here a dead site is a dead
+/// process and a torn frame is a torn stream, not a sampled outcome.
+class RemoteCluster final : public ClusterBackend {
+ public:
+  struct Options {
+    /// The mpc binary to exec as `<binary> site ...` workers.
+    std::string worker_binary;
+    /// Graph file every process (coordinator and workers) parses; the
+    /// shared parse is what makes dictionary-encoded queries shippable.
+    std::string graph_path;
+    /// PartitionIo::Save output the workers load their sites from.
+    std::string partition_dir;
+    /// Directory for the per-site socket files (site_<i>.sock).
+    std::string socket_dir;
+    /// Stamp of the partition data; bumped by PushReload. A restarted
+    /// worker announces the generation it loaded, and a stale one is
+    /// re-synced before serving.
+    uint64_t generation = 1;
+    /// Worker-side parse threads.
+    int worker_threads = 1;
+    /// Chaos: pass --kill-after-queries=N to this one site's worker (it
+    /// SIGKILLs itself mid-reply on its Nth evaluation).
+    uint32_t kill_site = UINT32_MAX;
+    uint64_t kill_after_queries = 0;
+    /// Per-site connect-path override so a ChaosProxy can interpose on
+    /// the data path while the supervisor watches the real socket.
+    /// Empty vector or empty string = connect directly.
+    std::vector<std::string> connect_path_override;
+    /// Reply deadline when the executor's policy carries none.
+    double default_timeout_ms = 30000;
+    /// Deadline for handshakes and reload pushes (workers re-parse the
+    /// graph on reload, which dwarfs a normal round trip).
+    double handshake_timeout_ms = 60000;
+    net::SupervisorOptions supervisor;
+  };
+
+  /// Spawns the worker fleet, waits for every socket to accept, performs
+  /// the Hello handshake (validating site ids, k, generation, and that
+  /// the worker's property-presence row matches the coordinator's), and
+  /// returns the ready cluster. `partitioning` is the coordinator's own
+  /// materialized copy — the same data the workers load from
+  /// `partition_dir`.
+  static Result<std::unique_ptr<RemoteCluster>> Start(
+      partition::Partitioning partitioning, Options options);
+
+  ~RemoteCluster() override;
+
+  RemoteCluster(const RemoteCluster&) = delete;
+  RemoteCluster& operator=(const RemoteCluster&) = delete;
+
+  /// One site evaluation over the wire, honoring `policy`: per-attempt
+  /// reply deadline, exponential backoff, policy.max_retries reconnect
+  /// attempts. Every retry reconnects through the supervisor, so a
+  /// worker that crashed and was respawned serves the retry. Terminal
+  /// failures are Unavailable (site down past the budget, torn frames)
+  /// or DeadlineExceeded (deadline blown on the last attempt) — exactly
+  /// the codes the executor's failover path expects.
+  Status EvaluateOnSite(uint32_t site, const store::ResolvedQuery& resolved,
+                        const SiteEvalRequest& request,
+                        const SiteCallPolicy& policy,
+                        SiteEvalReply* reply) const override;
+
+  /// Sum of worker-reported store footprints.
+  size_t MemoryUsage() const override;
+
+  /// Generation-stamped partition push after a repartition. The caller
+  /// has already saved `partitioning` into `partition_dir`
+  /// (PartitionIo::Save); this swaps the coordinator's view, bumps the
+  /// generation, and pushes a Reload to every reachable worker.
+  /// Best-effort: a site that cannot be reached now is re-synced on its
+  /// next reconnect (its stale Hello generation triggers a replay).
+  /// Returns the number of sites reloaded synchronously.
+  Result<size_t> PushReload(partition::Partitioning partitioning,
+                            const std::string& partition_dir,
+                            uint64_t generation);
+
+  /// The process babysitter — exposed so fault tests can Kill() workers
+  /// and assert on restarts().
+  net::SiteSupervisor& supervisor() const { return *supervisor_; }
+
+  uint64_t generation() const;
+
+ private:
+  /// Mutable per-site connection state. The executor calls
+  /// EvaluateOnSite from parallel per-subquery threads; the per-site
+  /// mutex serializes traffic on each connection while different sites
+  /// proceed concurrently.
+  struct SiteState {
+    std::mutex mu;
+    net::Socket conn;  // invalid = disconnected
+    uint64_t hello_generation = 0;
+    uint64_t memory_bytes = 0;
+    double load_millis = 0.0;
+  };
+
+  RemoteCluster() = default;
+
+  /// Connects (or reconnects) site `i` and runs the Hello handshake,
+  /// replaying a Reload if the worker came back with a stale generation.
+  /// Caller holds state->mu.
+  Status EnsureConnectedLocked(uint32_t i, SiteState* state) const;
+  /// One send/receive on an established connection. kMsgError replies
+  /// surface as the carried status with *fatal=true (the worker rejected
+  /// the request; retrying cannot help). Transport failures close the
+  /// connection and stay retryable.
+  Status RoundTripLocked(SiteState* state, uint16_t send_type,
+                         const std::string& payload, double timeout_ms,
+                         uint16_t want_type, std::string* reply_payload,
+                         bool* fatal) const;
+  /// Validates a Hello payload against this cluster's expectations.
+  Status AcceptHello(uint32_t i, const std::string& payload,
+                     SiteState* state) const;
+  std::string ConnectPath(uint32_t i) const;
+  void RecomputePresence();
+
+  Options options_;
+  std::unique_ptr<net::SiteSupervisor> supervisor_;
+  mutable std::vector<std::unique_ptr<SiteState>> sites_;
+  /// Guards the reload-mutable view: current paths + generation (the
+  /// partitioning_ swap also happens under it; readers of partitioning_
+  /// on the query path are only safe because PushReload is documented to
+  /// run without concurrent queries, matching ServingState's snapshot
+  /// discipline).
+  mutable std::mutex view_mu_;
+  std::string partition_dir_;
+  uint64_t generation_ = 1;
+};
+
+}  // namespace mpc::exec
+
+#endif  // MPC_EXEC_REMOTE_CLUSTER_H_

@@ -1,0 +1,261 @@
+#include "exec/rpc_protocol.h"
+
+#include "net/bytes.h"
+
+namespace mpc::exec {
+
+using net::ByteReader;
+using net::ByteWriter;
+
+namespace {
+
+/// Guards a count field against allocating more than the payload could
+/// possibly back: every element needs at least `elem_bytes` bytes.
+Status CheckCount(uint64_t count, size_t elem_bytes, size_t remaining,
+                  const char* what) {
+  if (count * elem_bytes <= remaining) return Status::Ok();
+  return Status::ParseError(std::string(what) + " count " +
+                            std::to_string(count) +
+                            " exceeds what the payload can hold");
+}
+
+}  // namespace
+
+std::string EncodeHello(const HelloMsg& msg) {
+  ByteWriter w;
+  w.U32(msg.site);
+  w.U32(msg.k);
+  w.U64(msg.generation);
+  w.U64(msg.pid);
+  w.F64(msg.load_millis);
+  w.U64(msg.memory_bytes);
+  w.Str(std::string_view(
+      reinterpret_cast<const char*>(msg.property_present.data()),
+      msg.property_present.size()));
+  return w.Take();
+}
+
+Result<HelloMsg> DecodeHello(std::string_view payload) {
+  ByteReader r(payload);
+  HelloMsg msg;
+  MPC_RETURN_IF_ERROR(r.U32(&msg.site));
+  MPC_RETURN_IF_ERROR(r.U32(&msg.k));
+  MPC_RETURN_IF_ERROR(r.U64(&msg.generation));
+  MPC_RETURN_IF_ERROR(r.U64(&msg.pid));
+  MPC_RETURN_IF_ERROR(r.F64(&msg.load_millis));
+  MPC_RETURN_IF_ERROR(r.U64(&msg.memory_bytes));
+  std::string presence;
+  MPC_RETURN_IF_ERROR(r.Str(&presence));
+  msg.property_present.assign(presence.begin(), presence.end());
+  MPC_RETURN_IF_ERROR(r.ExpectEnd());
+  return msg;
+}
+
+std::string EncodeEvalRequest(const store::ResolvedQuery& resolved,
+                              const SiteEvalRequest& request) {
+  ByteWriter w;
+  w.U64(resolved.num_vars);
+  w.U32(static_cast<uint32_t>(resolved.patterns.size()));
+  for (const store::ResolvedPattern& p : resolved.patterns) {
+    uint8_t flags = 0;
+    flags |= p.s_is_var ? 1 : 0;
+    flags |= p.p_is_var ? 2 : 0;
+    flags |= p.o_is_var ? 4 : 0;
+    flags |= p.impossible ? 8 : 0;
+    w.U8(flags);
+    w.U32(p.s);
+    w.U32(p.p);
+    w.U32(p.o);
+  }
+  w.U32(static_cast<uint32_t>(request.pattern_indices.size()));
+  for (size_t idx : request.pattern_indices) {
+    w.U32(static_cast<uint32_t>(idx));
+  }
+  w.U64(request.max_rows);
+  // Only filters over variables this sub-BGP binds matter site-side,
+  // but shipping the full set keeps encode trivial; workers index by
+  // var id anyway.
+  uint32_t num_filters = 0;
+  std::string filters;
+  if (request.var_filters != nullptr) {
+    ByteWriter fw;
+    for (uint32_t var = 0; var < request.var_filters->size(); ++var) {
+      const auto& filter = (*request.var_filters)[var];
+      if (filter == nullptr) continue;
+      ++num_filters;
+      fw.U32(var);
+      std::vector<uint8_t> bits = filter->ToBytes();
+      fw.Str(std::string_view(reinterpret_cast<const char*>(bits.data()),
+                              bits.size()));
+    }
+    filters = fw.Take();
+  }
+  w.U32(num_filters);
+  w.Bytes(filters);
+  return w.Take();
+}
+
+Result<EvalRequestMsg> DecodeEvalRequest(std::string_view payload) {
+  ByteReader r(payload);
+  EvalRequestMsg msg;
+  uint64_t num_vars = 0;
+  MPC_RETURN_IF_ERROR(r.U64(&num_vars));
+  uint32_t num_patterns = 0;
+  MPC_RETURN_IF_ERROR(r.U32(&num_patterns));
+  MPC_RETURN_IF_ERROR(
+      CheckCount(num_patterns, 13, r.remaining(), "pattern"));
+  msg.resolved.num_vars = num_vars;
+  msg.resolved.patterns.reserve(num_patterns);
+  for (uint32_t i = 0; i < num_patterns; ++i) {
+    uint8_t flags = 0;
+    store::ResolvedPattern p;
+    MPC_RETURN_IF_ERROR(r.U8(&flags));
+    MPC_RETURN_IF_ERROR(r.U32(&p.s));
+    MPC_RETURN_IF_ERROR(r.U32(&p.p));
+    MPC_RETURN_IF_ERROR(r.U32(&p.o));
+    p.s_is_var = flags & 1;
+    p.p_is_var = flags & 2;
+    p.o_is_var = flags & 4;
+    p.impossible = flags & 8;
+    msg.resolved.patterns.push_back(p);
+  }
+  uint32_t num_indices = 0;
+  MPC_RETURN_IF_ERROR(r.U32(&num_indices));
+  MPC_RETURN_IF_ERROR(CheckCount(num_indices, 4, r.remaining(), "index"));
+  msg.pattern_indices.reserve(num_indices);
+  for (uint32_t i = 0; i < num_indices; ++i) {
+    uint32_t idx = 0;
+    MPC_RETURN_IF_ERROR(r.U32(&idx));
+    if (idx >= num_patterns) {
+      return Status::ParseError("pattern index " + std::to_string(idx) +
+                                " out of range (have " +
+                                std::to_string(num_patterns) + " patterns)");
+    }
+    msg.pattern_indices.push_back(idx);
+  }
+  MPC_RETURN_IF_ERROR(r.U64(&msg.max_rows));
+  uint32_t num_filters = 0;
+  MPC_RETURN_IF_ERROR(r.U32(&num_filters));
+  MPC_RETURN_IF_ERROR(CheckCount(num_filters, 8, r.remaining(), "filter"));
+  msg.filters.reserve(num_filters);
+  for (uint32_t i = 0; i < num_filters; ++i) {
+    EvalRequestMsg::Filter filter;
+    MPC_RETURN_IF_ERROR(r.U32(&filter.var));
+    MPC_RETURN_IF_ERROR(r.Str(&filter.bits));
+    if (filter.var >= num_vars) {
+      return Status::ParseError("filter variable out of range");
+    }
+    msg.filters.push_back(std::move(filter));
+  }
+  MPC_RETURN_IF_ERROR(r.ExpectEnd());
+  return msg;
+}
+
+std::string EncodeEvalReply(const SiteEvalReply& reply) {
+  ByteWriter w;
+  w.U64(reply.bloom_dropped);
+  w.F64(reply.eval_millis);
+  const store::BindingTable& table = reply.table;
+  w.U32(static_cast<uint32_t>(table.var_ids.size()));
+  for (uint32_t var : table.var_ids) w.U32(var);
+  w.U64(table.rows.size());
+  for (const std::vector<uint32_t>& row : table.rows) {
+    for (uint32_t v : row) w.U32(v);
+  }
+  return w.Take();
+}
+
+Status DecodeEvalReply(std::string_view payload, SiteEvalReply* reply) {
+  ByteReader r(payload);
+  uint64_t dropped = 0;
+  MPC_RETURN_IF_ERROR(r.U64(&dropped));
+  MPC_RETURN_IF_ERROR(r.F64(&reply->eval_millis));
+  reply->bloom_dropped = dropped;
+  uint32_t num_cols = 0;
+  MPC_RETURN_IF_ERROR(r.U32(&num_cols));
+  MPC_RETURN_IF_ERROR(CheckCount(num_cols, 4, r.remaining(), "column"));
+  store::BindingTable& table = reply->table;
+  table.var_ids.clear();
+  table.rows.clear();
+  table.var_ids.reserve(num_cols);
+  for (uint32_t i = 0; i < num_cols; ++i) {
+    uint32_t var = 0;
+    MPC_RETURN_IF_ERROR(r.U32(&var));
+    table.var_ids.push_back(var);
+  }
+  uint64_t num_rows = 0;
+  MPC_RETURN_IF_ERROR(r.U64(&num_rows));
+  MPC_RETURN_IF_ERROR(CheckCount(
+      num_rows, num_cols == 0 ? 1 : num_cols * 4, r.remaining(), "row"));
+  table.rows.reserve(num_rows);
+  for (uint64_t i = 0; i < num_rows; ++i) {
+    std::vector<uint32_t> row(num_cols);
+    for (uint32_t c = 0; c < num_cols; ++c) {
+      MPC_RETURN_IF_ERROR(r.U32(&row[c]));
+    }
+    table.rows.push_back(std::move(row));
+  }
+  return r.ExpectEnd();
+}
+
+std::string EncodeReload(const ReloadMsg& msg) {
+  ByteWriter w;
+  w.U64(msg.generation);
+  w.Str(msg.graph_path);
+  w.Str(msg.partition_dir);
+  return w.Take();
+}
+
+Result<ReloadMsg> DecodeReload(std::string_view payload) {
+  ByteReader r(payload);
+  ReloadMsg msg;
+  MPC_RETURN_IF_ERROR(r.U64(&msg.generation));
+  MPC_RETURN_IF_ERROR(r.Str(&msg.graph_path));
+  MPC_RETURN_IF_ERROR(r.Str(&msg.partition_dir));
+  MPC_RETURN_IF_ERROR(r.ExpectEnd());
+  return msg;
+}
+
+std::string EncodeError(const Status& status) {
+  ByteWriter w;
+  w.U32(static_cast<uint32_t>(status.code()));
+  w.Str(status.message());
+  return w.Take();
+}
+
+Status DecodeError(std::string_view payload) {
+  ByteReader r(payload);
+  uint32_t code = 0;
+  std::string message;
+  MPC_RETURN_IF_ERROR(r.U32(&code));
+  MPC_RETURN_IF_ERROR(r.Str(&message));
+  MPC_RETURN_IF_ERROR(r.ExpectEnd());
+  switch (static_cast<StatusCode>(code)) {
+    case StatusCode::kInvalidArgument:
+      return Status::InvalidArgument(std::move(message));
+    case StatusCode::kParseError:
+      return Status::ParseError(std::move(message));
+    case StatusCode::kNotFound:
+      return Status::NotFound(std::move(message));
+    case StatusCode::kOutOfRange:
+      return Status::OutOfRange(std::move(message));
+    case StatusCode::kCapacityExceeded:
+      return Status::CapacityExceeded(std::move(message));
+    case StatusCode::kUnsupported:
+      return Status::Unsupported(std::move(message));
+    case StatusCode::kInternal:
+      return Status::Internal(std::move(message));
+    case StatusCode::kIoError:
+      return Status::IoError(std::move(message));
+    case StatusCode::kUnavailable:
+      return Status::Unavailable(std::move(message));
+    case StatusCode::kDeadlineExceeded:
+      return Status::DeadlineExceeded(std::move(message));
+    case StatusCode::kOk:
+      break;  // an error frame must not carry Ok
+  }
+  return Status::ParseError("error frame carries invalid status code " +
+                            std::to_string(code));
+}
+
+}  // namespace mpc::exec

@@ -1,0 +1,88 @@
+#ifndef MPC_EXEC_RPC_PROTOCOL_H_
+#define MPC_EXEC_RPC_PROTOCOL_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/status.h"
+#include "exec/cluster.h"
+#include "net/frame.h"
+#include "store/bgp_matcher.h"
+
+namespace mpc::exec {
+
+/// Site RPC message types, carried as frame types in the versioned
+/// net::Frame envelope (magic + length + FNV-1a checksum). One request
+/// frame in, one reply frame out; the coordinator serializes traffic per
+/// site, so there is no interleaving to disambiguate.
+inline constexpr uint16_t kMsgHello = net::kFirstAppFrameType + 0;
+inline constexpr uint16_t kMsgEvalRequest = net::kFirstAppFrameType + 1;
+inline constexpr uint16_t kMsgEvalReply = net::kFirstAppFrameType + 2;
+inline constexpr uint16_t kMsgReload = net::kFirstAppFrameType + 3;
+inline constexpr uint16_t kMsgReloadDone = net::kFirstAppFrameType + 4;
+inline constexpr uint16_t kMsgError = net::kFirstAppFrameType + 5;
+
+/// Worker self-description, sent once per accepted connection (and after
+/// a reload). The coordinator checks site/k, uses generation to decide
+/// whether the worker must be re-synced (a restarted worker comes back
+/// with the generation it loaded from disk, which may be stale), and
+/// records the load/memory figures for loading_millis()/MemoryUsage().
+struct HelloMsg {
+  uint32_t site = 0;
+  uint32_t k = 0;
+  uint64_t generation = 0;
+  uint64_t pid = 0;
+  double load_millis = 0.0;
+  uint64_t memory_bytes = 0;
+  /// This site's property-presence row; must equal the coordinator's
+  /// (both derive from the same partition dir).
+  std::vector<uint8_t> property_present;
+};
+
+/// One site-subquery evaluation order: the resolved sub-BGP plus the
+/// serialized Bloom filters. Patterns ship resolved (numeric ids) —
+/// coordinator and workers parse the same graph file, so they share the
+/// dictionary encoding.
+struct EvalRequestMsg {
+  store::ResolvedQuery resolved;  // patterns + num_vars only
+  std::vector<size_t> pattern_indices;
+  uint64_t max_rows = UINT64_MAX;
+  struct Filter {
+    uint32_t var = 0;
+    std::string bits;  // BloomFilter::ToBytes
+  };
+  std::vector<Filter> filters;
+};
+
+struct ReloadMsg {
+  uint64_t generation = 0;
+  std::string graph_path;
+  std::string partition_dir;
+};
+
+std::string EncodeHello(const HelloMsg& msg);
+Result<HelloMsg> DecodeHello(std::string_view payload);
+
+/// Encodes straight from the executor's request (no intermediate copy).
+std::string EncodeEvalRequest(const store::ResolvedQuery& resolved,
+                              const SiteEvalRequest& request);
+Result<EvalRequestMsg> DecodeEvalRequest(std::string_view payload);
+
+std::string EncodeEvalReply(const SiteEvalReply& reply);
+/// Fills table/bloom_dropped/eval_millis; transport fields stay zero.
+Status DecodeEvalReply(std::string_view payload, SiteEvalReply* reply);
+
+std::string EncodeReload(const ReloadMsg& msg);
+Result<ReloadMsg> DecodeReload(std::string_view payload);
+
+/// A Status carried across the wire (worker-side failures).
+std::string EncodeError(const Status& status);
+/// Returns the carried (non-ok) status; ParseError if the payload is
+/// not a well-formed error message.
+Status DecodeError(std::string_view payload);
+
+}  // namespace mpc::exec
+
+#endif  // MPC_EXEC_RPC_PROTOCOL_H_

@@ -1,0 +1,208 @@
+#include "exec/site_worker.h"
+
+#include <unistd.h>
+
+#include <memory>
+#include <span>
+#include <utility>
+#include <vector>
+
+#include "common/crash_hook.h"
+#include "common/timer.h"
+#include "exec/cluster.h"
+#include "exec/rpc_protocol.h"
+#include "net/frame.h"
+#include "net/socket.h"
+#include "partition/partition_io.h"
+#include "rdf/ntriples.h"
+#include "store/triple_store.h"
+
+namespace mpc::exec {
+
+namespace {
+
+/// Timeouts are short so the drain flag is polled between frames; a
+/// worker never blocks longer than this before noticing SIGTERM.
+constexpr double kPollMillis = 200.0;
+
+/// Everything a worker serves: its partition's store plus the Hello
+/// self-description. Rebuilt wholesale on Reload.
+struct SiteData {
+  store::TripleStore store;
+  std::vector<uint8_t> property_present;
+  uint32_t k = 0;
+  uint64_t generation = 0;
+  double load_millis = 0.0;
+
+  HelloMsg MakeHello(uint32_t site) const {
+    HelloMsg hello;
+    hello.site = site;
+    hello.k = k;
+    hello.generation = generation;
+    hello.pid = static_cast<uint64_t>(::getpid());
+    hello.load_millis = load_millis;
+    hello.memory_bytes = store.MemoryUsage();
+    hello.property_present = property_present;
+    return hello;
+  }
+};
+
+Status LoadSiteData(const std::string& graph_path,
+                    const std::string& partition_dir, uint32_t site,
+                    int num_threads, uint64_t generation, SiteData* data) {
+  Timer timer;
+  rdf::GraphBuilder builder;
+  MPC_RETURN_IF_ERROR(
+      rdf::NTriplesParser::ParseFile(graph_path, &builder, num_threads));
+  rdf::RdfGraph graph = builder.Build();
+  Result<partition::Partitioning> partitioning =
+      partition::PartitionIo::Load(graph, partition_dir);
+  if (!partitioning.ok()) return partitioning.status();
+  if (site >= partitioning->k()) {
+    return Status::InvalidArgument(
+        "site " + std::to_string(site) + " out of range: partitioning has " +
+        std::to_string(partitioning->k()) + " sites");
+  }
+  const partition::Partition& p = partitioning->partition(site);
+  std::vector<rdf::Triple> triples = p.internal_edges;
+  triples.insert(triples.end(), p.crossing_edges.begin(),
+                 p.crossing_edges.end());
+  const size_t num_properties = partitioning->crossing_property_mask().size();
+  data->property_present.assign(num_properties, 0);
+  for (const rdf::Triple& t : triples) {
+    data->property_present[t.property] = 1;
+  }
+  data->store = store::TripleStore(std::move(triples));
+  data->k = partitioning->k();
+  data->generation = generation;
+  data->load_millis = timer.ElapsedMillis();
+  return Status::Ok();
+}
+
+bool ShouldStop(const SiteWorkerOptions& options) {
+  return options.stop != nullptr &&
+         options.stop->load(std::memory_order_relaxed);
+}
+
+/// Evaluates one request against the site store and encodes the reply.
+std::string HandleEval(const SiteData& data, const EvalRequestMsg& msg) {
+  std::vector<size_t> indices(msg.pattern_indices.begin(),
+                              msg.pattern_indices.end());
+  std::vector<std::unique_ptr<BloomFilter>> filters;
+  if (!msg.filters.empty()) {
+    filters.resize(msg.resolved.num_vars);
+    for (const EvalRequestMsg::Filter& f : msg.filters) {
+      filters[f.var] = std::make_unique<BloomFilter>(BloomFilter::FromBytes(
+          std::span<const uint8_t>(
+              reinterpret_cast<const uint8_t*>(f.bits.data()),
+              f.bits.size())));
+    }
+  }
+  SiteEvalRequest request;
+  request.pattern_indices = indices;
+  request.max_rows = msg.max_rows;
+  request.var_filters = msg.filters.empty() ? nullptr : &filters;
+  SiteEvalReply reply = EvaluateSiteRequest(data.store, msg.resolved, request);
+  return EncodeEvalReply(reply);
+}
+
+/// Serves one accepted connection until the peer leaves, the stream
+/// tears, or the drain flag is raised. Decode failures on an intact
+/// stream are answered with an error frame and the connection stays up;
+/// transport-level damage drops the connection (the coordinator
+/// reconnects through the supervisor).
+void ServeConnection(const net::Socket& conn, const SiteWorkerOptions& options,
+                     SiteData* data, CrashAfter* crash) {
+  if (!net::WriteFrame(conn, kMsgHello, EncodeHello(data->MakeHello(options.site)))
+           .ok()) {
+    return;
+  }
+  while (!ShouldStop(options)) {
+    Result<net::Frame> frame = net::ReadFrame(conn, kPollMillis);
+    if (!frame.ok()) {
+      if (frame.status().code() == StatusCode::kDeadlineExceeded) {
+        continue;  // idle: poll the drain flag again
+      }
+      return;  // clean EOF or torn stream: drop the connection
+    }
+    switch (frame->type) {
+      case net::kFramePing: {
+        if (!net::WriteFrame(conn, net::kFramePong, "").ok()) return;
+        break;
+      }
+      case kMsgEvalRequest: {
+        Result<EvalRequestMsg> msg = DecodeEvalRequest(frame->payload);
+        if (!msg.ok()) {
+          if (!net::WriteFrame(conn, kMsgError, EncodeError(msg.status()))
+                   .ok()) {
+            return;
+          }
+          break;
+        }
+        std::string reply = HandleEval(*data, *msg);
+        if (options.queries_served != nullptr) ++*options.queries_served;
+        // The chaos hook dies HERE — reply computed but unsent — so the
+        // coordinator observes the worst case: a connection torn
+        // mid-query, not a polite refusal.
+        crash->Tick();
+        if (!net::WriteFrame(conn, kMsgEvalReply, reply).ok()) return;
+        break;
+      }
+      case kMsgReload: {
+        Result<ReloadMsg> msg = DecodeReload(frame->payload);
+        Status st = msg.ok() ? Status::Ok() : msg.status();
+        if (st.ok()) {
+          SiteData fresh;
+          st = LoadSiteData(msg->graph_path, msg->partition_dir, options.site,
+                            options.num_threads, msg->generation, &fresh);
+          if (st.ok()) *data = std::move(fresh);
+        }
+        if (!st.ok()) {
+          if (!net::WriteFrame(conn, kMsgError, EncodeError(st)).ok()) return;
+          break;
+        }
+        // The ack carries the refreshed Hello so the coordinator sees the
+        // new generation and footprint without another round trip.
+        if (!net::WriteFrame(conn, kMsgReloadDone,
+                             EncodeHello(data->MakeHello(options.site)))
+                 .ok()) {
+          return;
+        }
+        break;
+      }
+      default: {
+        Status st = Status::InvalidArgument(
+            "unexpected frame type " + std::to_string(frame->type) +
+            " at site worker");
+        if (!net::WriteFrame(conn, kMsgError, EncodeError(st)).ok()) return;
+        break;
+      }
+    }
+  }
+}
+
+}  // namespace
+
+Status RunSiteWorker(const SiteWorkerOptions& options) {
+  CrashAfter crash(options.kill_after_queries);
+  SiteData data;
+  MPC_RETURN_IF_ERROR(LoadSiteData(options.graph_path, options.partition_dir,
+                                   options.site, options.num_threads,
+                                   options.generation, &data));
+  Result<net::Socket> listener = net::Socket::Listen(options.socket_path);
+  if (!listener.ok()) return listener.status();
+  // One connection at a time: the coordinator keeps a single persistent
+  // connection per site and serializes its traffic, so concurrency here
+  // would only add interleaving to reason about.
+  while (!ShouldStop(options)) {
+    Result<net::Socket> conn = listener->Accept(kPollMillis);
+    if (!conn.ok()) {
+      if (conn.status().code() == StatusCode::kDeadlineExceeded) continue;
+      return conn.status();  // the listener itself broke
+    }
+    ServeConnection(*conn, options, &data, &crash);
+  }
+  return Status::Ok();
+}
+
+}  // namespace mpc::exec

@@ -1,0 +1,45 @@
+#ifndef MPC_EXEC_SITE_WORKER_H_
+#define MPC_EXEC_SITE_WORKER_H_
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+
+#include "common/status.h"
+
+namespace mpc::exec {
+
+/// Configuration for one `mpc site` worker process: which partition it
+/// serves, where it listens, and the fault/drain hooks.
+struct SiteWorkerOptions {
+  std::string graph_path;     // same file the coordinator parses
+  std::string partition_dir;  // PartitionIo::Save output
+  uint32_t site = 0;
+  std::string socket_path;
+  /// Generation of the partition data on disk; echoed in Hello so the
+  /// coordinator can detect a restarted worker that loaded stale data.
+  uint64_t generation = 0;
+  /// Chaos hook: SIGKILL this process right before sending the reply to
+  /// its Nth evaluation (0 = disabled). The coordinator then sees the
+  /// stream die mid-query — the survivable fault the failover tests
+  /// exercise.
+  uint64_t kill_after_queries = 0;
+  int num_threads = 1;
+  /// Graceful-drain flag, set from a SIGTERM/SIGINT handler. Checked
+  /// between frames: an in-flight evaluation finishes and its reply is
+  /// sent before the worker returns.
+  const std::atomic<bool>* stop = nullptr;
+  /// Total evaluations served, for the CLI's exit report.
+  uint64_t* queries_served = nullptr;
+};
+
+/// Runs one site worker to completion: loads the graph and this site's
+/// partition, listens on the socket, answers Hello/Ping/Eval/Reload
+/// frames until the stop flag drains it. Returns Ok on a clean drain;
+/// any malformed frame is answered with an error frame (or, if the
+/// stream itself is torn, the connection is dropped) — never a crash.
+Status RunSiteWorker(const SiteWorkerOptions& options);
+
+}  // namespace mpc::exec
+
+#endif  // MPC_EXEC_SITE_WORKER_H_

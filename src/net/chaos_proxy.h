@@ -1,0 +1,76 @@
+#ifndef MPC_NET_CHAOS_PROXY_H_
+#define MPC_NET_CHAOS_PROXY_H_
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <thread>
+
+#include "common/status.h"
+#include "net/socket.h"
+
+namespace mpc::net {
+
+/// What the proxy does to the worker->coordinator byte stream. The
+/// coordinator-bound direction is the interesting one: that is where a
+/// torn reply frame must surface as a clean ParseError.
+struct ChaosOptions {
+  /// After forwarding this many reply bytes, close both directions —
+  /// a mid-frame cut (torn frame) when it lands inside a frame.
+  /// SIZE_MAX = never.
+  size_t truncate_reply_after = SIZE_MAX;
+  /// XOR this mask into the reply byte at this absolute offset
+  /// (SIZE_MAX = never): checksum-mismatch injection.
+  size_t corrupt_reply_at = SIZE_MAX;
+  uint8_t corrupt_mask = 0xff;
+  /// Sleep this long before forwarding each reply chunk (delay fault;
+  /// drives DeadlineExceeded when it exceeds the caller's timeout).
+  double delay_reply_ms = 0.0;
+};
+
+/// A man-in-the-middle shim between the coordinator and one worker
+/// socket: listens on `listen_path`, forwards every accepted connection
+/// to `target_path`, and injects the configured faults into the reply
+/// stream. Requests pass through untouched, so the worker stays healthy
+/// — exactly the scenario where transport-level integrity checking (not
+/// process supervision) has to catch the damage.
+class ChaosProxy {
+ public:
+  ChaosProxy(std::string listen_path, std::string target_path,
+             ChaosOptions options);
+  ~ChaosProxy();
+
+  ChaosProxy(const ChaosProxy&) = delete;
+  ChaosProxy& operator=(const ChaosProxy&) = delete;
+
+  /// Binds and starts the accept loop.
+  Status Start();
+  void Stop();
+
+  /// Total reply bytes forwarded (before any truncation point).
+  size_t reply_bytes_forwarded() const { return reply_bytes_.load(); }
+
+  /// Swaps the fault configuration while the proxy runs. Tests use this
+  /// to let startup handshakes through clean and then arm a fault at an
+  /// absolute reply offset just past reply_bytes_forwarded().
+  void UpdateOptions(ChaosOptions options);
+
+ private:
+  void AcceptLoop();
+  void Pump(Socket client, Socket target);
+  ChaosOptions CurrentOptions() const;
+
+  std::string listen_path_;
+  std::string target_path_;
+  mutable std::mutex options_mu_;
+  ChaosOptions options_;
+  Socket listener_;
+  std::thread accept_thread_;
+  std::atomic<bool> stopping_{false};
+  std::atomic<size_t> reply_bytes_{0};
+};
+
+}  // namespace mpc::net
+
+#endif  // MPC_NET_CHAOS_PROXY_H_

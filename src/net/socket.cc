@@ -1,0 +1,164 @@
+#include "net/socket.h"
+
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+#include "common/timer.h"
+
+namespace mpc::net {
+
+namespace {
+
+Status Errno(const std::string& what) {
+  return Status::IoError(what + ": " + std::strerror(errno));
+}
+
+/// Waits until fd is ready for `events` or the deadline passes.
+/// timeout_ms <= 0 blocks indefinitely.
+Status PollFor(int fd, short events, double timeout_ms) {
+  Timer timer;
+  for (;;) {
+    int wait = -1;
+    if (timeout_ms > 0) {
+      const double left = timeout_ms - timer.ElapsedMillis();
+      if (left <= 0) return Status::DeadlineExceeded("socket wait timed out");
+      // Round up so a sub-millisecond remainder still polls once.
+      wait = static_cast<int>(left) + 1;
+    }
+    struct pollfd pfd{fd, events, 0};
+    const int n = ::poll(&pfd, 1, wait);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return Errno("poll failed");
+    }
+    if (n > 0) return Status::Ok();
+    if (timeout_ms <= 0) continue;
+  }
+}
+
+Status FillUnixAddr(const std::string& path, sockaddr_un* addr) {
+  std::memset(addr, 0, sizeof(*addr));
+  addr->sun_family = AF_UNIX;
+  if (path.size() >= sizeof(addr->sun_path)) {
+    return Status::InvalidArgument("socket path too long: " + path);
+  }
+  std::memcpy(addr->sun_path, path.c_str(), path.size() + 1);
+  return Status::Ok();
+}
+
+}  // namespace
+
+Socket& Socket::operator=(Socket&& other) noexcept {
+  if (this != &other) {
+    Close();
+    fd_ = other.fd_;
+    other.fd_ = -1;
+  }
+  return *this;
+}
+
+void Socket::Close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+Result<Socket> Socket::Listen(const std::string& path) {
+  sockaddr_un addr;
+  MPC_RETURN_IF_ERROR(FillUnixAddr(path, &addr));
+  const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (fd < 0) return Errno("socket failed");
+  Socket sock(fd);
+  ::unlink(path.c_str());  // a stale file from a killed worker
+  if (::bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    return Errno("bind failed for " + path);
+  }
+  if (::listen(fd, 16) != 0) return Errno("listen failed for " + path);
+  return sock;
+}
+
+Result<Socket> Socket::Connect(const std::string& path) {
+  sockaddr_un addr;
+  MPC_RETURN_IF_ERROR(FillUnixAddr(path, &addr));
+  const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (fd < 0) return Errno("socket failed");
+  Socket sock(fd);
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    if (errno == ECONNREFUSED || errno == ENOENT) {
+      return Status::Unavailable("no listener at " + path + ": " +
+                                 std::strerror(errno));
+    }
+    return Errno("connect failed for " + path);
+  }
+  return sock;
+}
+
+Result<Socket> Socket::Accept(double timeout_ms) const {
+  MPC_RETURN_IF_ERROR(PollFor(fd_, POLLIN, timeout_ms));
+  for (;;) {
+    const int conn = ::accept(fd_, nullptr, nullptr);
+    if (conn >= 0) return Socket(conn);
+    if (errno == EINTR) continue;
+    return Errno("accept failed");
+  }
+}
+
+Status Socket::SendAll(const void* data, size_t n) const {
+  const char* p = static_cast<const char*>(data);
+  size_t off = 0;
+  while (off < n) {
+    // MSG_NOSIGNAL: a dead peer must surface as a Status, not SIGPIPE.
+    const ssize_t sent = ::send(fd_, p + off, n - off, MSG_NOSIGNAL);
+    if (sent < 0) {
+      if (errno == EINTR) continue;
+      if (errno == EPIPE || errno == ECONNRESET) {
+        return Status::Unavailable("peer closed during send");
+      }
+      return Errno("send failed");
+    }
+    off += static_cast<size_t>(sent);
+  }
+  return Status::Ok();
+}
+
+Status Socket::RecvExact(void* buf, size_t n, double timeout_ms) const {
+  char* p = static_cast<char*>(buf);
+  size_t off = 0;
+  Timer timer;
+  while (off < n) {
+    double left = 0.0;  // 0 = no deadline
+    if (timeout_ms > 0) {
+      left = timeout_ms - timer.ElapsedMillis();
+      if (left <= 0) return Status::DeadlineExceeded("recv timed out");
+    }
+    MPC_RETURN_IF_ERROR(PollFor(fd_, POLLIN, left));
+    const ssize_t got = ::recv(fd_, p + off, n - off, 0);
+    if (got < 0) {
+      if (errno == EINTR) continue;
+      if (errno == ECONNRESET) {
+        return off == 0 ? Status::Unavailable("peer closed connection")
+                        : Status::ParseError("stream reset mid-message");
+      }
+      return Errno("recv failed");
+    }
+    if (got == 0) {
+      // EOF. At offset 0 the peer closed between messages — an orderly
+      // departure. Mid-message it tore the stream.
+      return off == 0 ? Status::Unavailable("peer closed connection")
+                      : Status::ParseError(
+                            "stream truncated: EOF after " +
+                            std::to_string(off) + " of " + std::to_string(n) +
+                            " bytes");
+    }
+    off += static_cast<size_t>(got);
+  }
+  return Status::Ok();
+}
+
+}  // namespace mpc::net

@@ -1,0 +1,62 @@
+#ifndef MPC_NET_SOCKET_H_
+#define MPC_NET_SOCKET_H_
+
+#include <cstddef>
+#include <string>
+
+#include "common/status.h"
+
+namespace mpc::net {
+
+/// RAII wrapper over an AF_UNIX stream socket (the repro's stand-in for
+/// the paper testbed's TCP fabric — same kernel stream semantics, no
+/// port allocation headaches in tests). All blocking operations take a
+/// poll()-backed deadline; timeout_ms <= 0 blocks indefinitely.
+///
+/// Error vocabulary (shared with the frame layer):
+///   Unavailable      — peer gone: connect refused, clean EOF, EPIPE.
+///   DeadlineExceeded — the deadline elapsed first.
+///   ParseError       — the stream died mid-read (truncated data).
+///   IoError          — anything else the kernel reports.
+class Socket {
+ public:
+  Socket() = default;
+  explicit Socket(int fd) : fd_(fd) {}
+  ~Socket() { Close(); }
+
+  Socket(Socket&& other) noexcept : fd_(other.fd_) { other.fd_ = -1; }
+  Socket& operator=(Socket&& other) noexcept;
+  Socket(const Socket&) = delete;
+  Socket& operator=(const Socket&) = delete;
+
+  /// Binds and listens on `path`, removing any stale socket file first.
+  static Result<Socket> Listen(const std::string& path);
+
+  /// One connect attempt to a listening socket at `path`. A missing file
+  /// or a refused connection (worker dead / not yet up) is Unavailable —
+  /// retry/backoff policy belongs to the caller.
+  static Result<Socket> Connect(const std::string& path);
+
+  /// Accepts one connection (listener sockets only).
+  Result<Socket> Accept(double timeout_ms) const;
+
+  /// Writes all n bytes. A peer that disappeared mid-write (EPIPE,
+  /// ECONNRESET) is Unavailable.
+  Status SendAll(const void* data, size_t n) const;
+
+  /// Reads exactly n bytes before the deadline. EOF before the first
+  /// byte is Unavailable (the peer closed at a message boundary); EOF
+  /// mid-read is ParseError (the stream was torn).
+  Status RecvExact(void* buf, size_t n, double timeout_ms) const;
+
+  bool valid() const { return fd_ >= 0; }
+  int fd() const { return fd_; }
+  void Close();
+
+ private:
+  int fd_ = -1;
+};
+
+}  // namespace mpc::net
+
+#endif  // MPC_NET_SOCKET_H_

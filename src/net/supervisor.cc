@@ -1,0 +1,224 @@
+#include "net/supervisor.h"
+
+#include <signal.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cmath>
+#include <cstring>
+
+#include "common/timer.h"
+
+namespace mpc::net {
+
+namespace {
+
+/// Process-epoch monotonic clock for respawn deadlines.
+const Timer& Epoch() {
+  static const Timer epoch;
+  return epoch;
+}
+
+}  // namespace
+
+SiteSupervisor::SiteSupervisor(std::vector<WorkerSpec> specs,
+                               SupervisorOptions options)
+    : options_(options) {
+  workers_.reserve(specs.size());
+  for (WorkerSpec& spec : specs) {
+    Worker w;
+    w.spec = std::move(spec);
+    workers_.push_back(std::move(w));
+  }
+}
+
+SiteSupervisor::~SiteSupervisor() { StopAll(); }
+
+double SiteSupervisor::NowMillis() const { return Epoch().ElapsedMillis(); }
+
+Status SiteSupervisor::Spawn(Worker* worker) {
+  std::vector<char*> argv;
+  argv.reserve(worker->spec.argv.size() + worker->spec.chaos_argv.size() + 1);
+  for (std::string& arg : worker->spec.argv) argv.push_back(arg.data());
+  if (worker->restarts == 0) {
+    for (std::string& arg : worker->spec.chaos_argv) argv.push_back(arg.data());
+  }
+  argv.push_back(nullptr);
+
+  const pid_t pid = ::fork();
+  if (pid < 0) {
+    return Status::IoError(std::string("fork failed: ") +
+                           std::strerror(errno));
+  }
+  if (pid == 0) {
+    // Child: become the worker. On exec failure there is nothing to
+    // report into — exit with a loud code; the monitor reaps it.
+    ::execv(argv[0], argv.data());
+    _exit(127);
+  }
+  worker->pid = pid;
+  worker->alive = true;
+  return Status::Ok();
+}
+
+Status SiteSupervisor::StartAll() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (started_) return Status::Ok();
+    for (Worker& worker : workers_) {
+      MPC_RETURN_IF_ERROR(Spawn(&worker));
+    }
+    started_ = true;
+  }
+  monitor_ = std::thread([this] { MonitorLoop(); });
+  // Wait until every worker accepts — they load their partition first,
+  // so this bounds worker startup, not just process creation.
+  for (uint32_t i = 0; i < workers_.size(); ++i) {
+    MPC_RETURN_IF_ERROR(WaitUntilUp(i, options_.spawn_wait_ms));
+  }
+  return Status::Ok();
+}
+
+void SiteSupervisor::MonitorLoop() {
+  std::unique_lock<std::mutex> lock(mu_);
+  while (!stopping_) {
+    ReapAndRespawnLocked();
+    state_changed_.wait_for(
+        lock, std::chrono::duration<double, std::milli>(
+                  options_.heartbeat_interval_ms));
+  }
+}
+
+void SiteSupervisor::ReapAndRespawnLocked() {
+  for (Worker& worker : workers_) {
+    if (worker.alive) {
+      int status = 0;
+      const pid_t r = ::waitpid(worker.pid, &status, WNOHANG);
+      if (r == worker.pid) {
+        // The heartbeat noticed a death (crash, SIGKILL, clean exit).
+        worker.alive = false;
+        worker.pid = -1;
+        if (worker.restarts >= options_.max_restarts) {
+          worker.gave_up = true;
+        } else {
+          // Exponential backoff: restart r waits base * 2^r.
+          worker.respawn_after_ms =
+              NowMillis() + options_.restart_backoff_ms *
+                                std::ldexp(1.0, worker.restarts);
+        }
+      }
+      continue;
+    }
+    if (worker.gave_up || worker.pid != -1) continue;
+    if (!started_) continue;
+    if (NowMillis() < worker.respawn_after_ms) continue;
+    ++worker.restarts;
+    (void)Spawn(&worker);  // fork failure: retried next tick
+  }
+}
+
+Result<Socket> SiteSupervisor::Connect(uint32_t worker) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (worker >= workers_.size()) {
+      return Status::InvalidArgument("no such worker");
+    }
+    if (workers_[worker].gave_up) {
+      return Status::Unavailable(
+          "worker " + std::to_string(worker) + " exhausted its restart "
+          "budget (" + std::to_string(options_.max_restarts) + ")");
+    }
+  }
+  return Socket::Connect(workers_[worker].spec.socket_path);
+}
+
+bool SiteSupervisor::IsAlive(uint32_t worker) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return worker < workers_.size() && workers_[worker].alive;
+}
+
+Status SiteSupervisor::WaitUntilUp(uint32_t worker, double timeout_ms) {
+  Timer timer;
+  for (;;) {
+    Result<Socket> conn = Connect(worker);
+    if (conn.ok()) return Status::Ok();
+    if (conn.status().code() != StatusCode::kUnavailable) {
+      return conn.status();
+    }
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (workers_[worker].gave_up) return conn.status();
+    }
+    if (timer.ElapsedMillis() >= timeout_ms) {
+      return Status::DeadlineExceeded(
+          "worker " + std::to_string(worker) + " not accepting after " +
+          std::to_string(timeout_ms) + " ms: " + conn.status().message());
+    }
+    ::usleep(5000);
+  }
+}
+
+Status SiteSupervisor::Kill(uint32_t worker) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (worker >= workers_.size()) {
+    return Status::InvalidArgument("no such worker");
+  }
+  if (!workers_[worker].alive) {
+    return Status::Unavailable("worker already dead");
+  }
+  ::kill(workers_[worker].pid, SIGKILL);
+  // The monitor reaps it and handles the restart schedule.
+  state_changed_.notify_all();
+  return Status::Ok();
+}
+
+void SiteSupervisor::StopAll() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (stopping_) {
+      // Second call: workers were already torn down.
+      return;
+    }
+    stopping_ = true;
+    state_changed_.notify_all();
+  }
+  if (monitor_.joinable()) monitor_.join();
+
+  // Graceful drain: SIGTERM asks each worker to finish its in-flight
+  // request, flush metrics/trace, and exit 0.
+  std::lock_guard<std::mutex> lock(mu_);
+  for (Worker& worker : workers_) {
+    if (worker.alive && worker.pid > 0) ::kill(worker.pid, SIGTERM);
+  }
+  Timer timer;
+  for (Worker& worker : workers_) {
+    if (!worker.alive || worker.pid <= 0) continue;
+    for (;;) {
+      int status = 0;
+      const pid_t r = ::waitpid(worker.pid, &status, WNOHANG);
+      if (r == worker.pid) break;
+      if (timer.ElapsedMillis() > options_.drain_grace_ms) {
+        // Grace expired: the hard way.
+        ::kill(worker.pid, SIGKILL);
+        ::waitpid(worker.pid, &status, 0);
+        break;
+      }
+      ::usleep(2000);
+    }
+    worker.alive = false;
+    worker.pid = -1;
+  }
+}
+
+int SiteSupervisor::restarts(uint32_t worker) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return workers_[worker].restarts;
+}
+
+pid_t SiteSupervisor::pid(uint32_t worker) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return workers_[worker].pid;
+}
+
+}  // namespace mpc::net

@@ -1,0 +1,117 @@
+#ifndef MPC_NET_SUPERVISOR_H_
+#define MPC_NET_SUPERVISOR_H_
+
+#include <sys/types.h>
+
+#include <condition_variable>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/status.h"
+#include "net/socket.h"
+
+namespace mpc::net {
+
+/// One worker process the supervisor owns: how to exec it and where it
+/// listens.
+struct WorkerSpec {
+  /// argv[0] is the binary path.
+  std::vector<std::string> argv;
+  /// Extra argv appended only to the FIRST spawn — chaos levers like
+  /// --kill-after-queries. A respawn after the injected crash comes back
+  /// without them, so the fault fires exactly once and recovery is real.
+  std::vector<std::string> chaos_argv;
+  std::string socket_path;
+};
+
+struct SupervisorOptions {
+  /// How long to wait for a freshly spawned worker's socket to accept.
+  double spawn_wait_ms = 10000;
+  /// Monitor thread period: how often children are reaped and pinged.
+  double heartbeat_interval_ms = 50;
+  /// Exponential backoff base before restart r of a worker waits
+  /// restart_backoff_ms * 2^r.
+  double restart_backoff_ms = 100;
+  /// Restarts allowed per worker over the supervisor's lifetime; a
+  /// worker that dies more often stays down (crash-loop brake). The
+  /// first spawn is not a restart.
+  int max_restarts = 3;
+  /// Grace period between SIGTERM and SIGKILL at shutdown.
+  double drain_grace_ms = 5000;
+};
+
+/// Spawns and babysits the `mpc site` worker fleet: fork/exec per spec,
+/// a monitor thread that reaps dead children (waitpid heartbeat) and
+/// respawns them with exponential backoff under a bounded restart
+/// budget, and a graceful SIGTERM-first shutdown. Transport only — it
+/// never speaks the RPC protocol beyond what Connect() hands back; the
+/// RemoteCluster owns handshakes and re-synchronization after a restart.
+class SiteSupervisor {
+ public:
+  SiteSupervisor(std::vector<WorkerSpec> specs, SupervisorOptions options);
+  ~SiteSupervisor();
+
+  SiteSupervisor(const SiteSupervisor&) = delete;
+  SiteSupervisor& operator=(const SiteSupervisor&) = delete;
+
+  /// Spawns every worker and waits until each accepts connections.
+  Status StartAll();
+
+  /// Connects to worker i. If the process is dead and restart budget
+  /// remains, waits for the monitor's backoff-scheduled respawn (bounded
+  /// by spawn_wait_ms); a worker past its budget is Unavailable
+  /// immediately. Each call returns a fresh connection.
+  Result<Socket> Connect(uint32_t worker);
+
+  /// True while the process exists (the monitor has not reaped it).
+  bool IsAlive(uint32_t worker) const;
+
+  /// Blocks until worker i accepts connections again (restart path) or
+  /// the deadline passes. Unavailable once the restart budget is spent.
+  Status WaitUntilUp(uint32_t worker, double timeout_ms);
+
+  /// SIGTERM everyone (graceful drain), escalate to SIGKILL after the
+  /// grace period, reap, and stop the monitor. Idempotent.
+  void StopAll();
+
+  /// SIGKILL one worker — the chaos lever for fault tests. The monitor
+  /// then restarts it (budget permitting) like any other death.
+  Status Kill(uint32_t worker);
+
+  int restarts(uint32_t worker) const;
+  pid_t pid(uint32_t worker) const;
+  size_t num_workers() const { return workers_.size(); }
+
+ private:
+  struct Worker {
+    WorkerSpec spec;
+    pid_t pid = -1;
+    bool alive = false;
+    int restarts = 0;
+    /// Monotonic deadline (Timer-epoch ms) before which the monitor
+    /// must not respawn; 0 = may respawn immediately.
+    double respawn_after_ms = 0.0;
+    bool gave_up = false;  // restart budget exhausted
+  };
+
+  Status Spawn(Worker* worker);
+  void MonitorLoop();
+  /// Reaps exited children and schedules/performs respawns. Returns
+  /// with lock held throughout.
+  void ReapAndRespawnLocked();
+  double NowMillis() const;
+
+  SupervisorOptions options_;
+  mutable std::mutex mu_;
+  std::condition_variable state_changed_;
+  std::vector<Worker> workers_;
+  std::thread monitor_;
+  bool stopping_ = false;
+  bool started_ = false;
+};
+
+}  // namespace mpc::net
+
+#endif  // MPC_NET_SUPERVISOR_H_

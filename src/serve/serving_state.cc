@@ -5,19 +5,22 @@
 namespace mpc::serve {
 
 ServingState::ServingState(rdf::RdfGraph graph,
-                           partition::Partitioning partitioning,
+                           std::unique_ptr<exec::ClusterBackend> backend,
                            uint64_t generation,
                            const ServingStateOptions& options)
     : graph_(std::move(graph)),
-      cluster_(exec::Cluster::Build(std::move(partitioning),
-                                    options.build_threads)),
+      cluster_(std::move(backend)),
       generation_(generation) {
   exec::ExecutorOptions exec_options = options.executor;
   exec_options.generation = generation_;
-  distributed_ = std::make_unique<exec::DistributedExecutor>(cluster_, graph_,
+  distributed_ = std::make_unique<exec::DistributedExecutor>(*cluster_, graph_,
                                                              exec_options);
-  gstored_ =
-      std::make_unique<exec::GStoredExecutor>(cluster_, graph_, exec_options);
+  // The gStoreD baseline reads per-site stores directly; it exists only
+  // when the backend actually has them in this process.
+  if (const auto* local = dynamic_cast<const exec::Cluster*>(cluster_.get())) {
+    gstored_ =
+        std::make_unique<exec::GStoredExecutor>(*local, graph_, exec_options);
+  }
 }
 
 std::shared_ptr<const ServingState> ServingState::Capture(
@@ -30,10 +33,19 @@ std::shared_ptr<const ServingState> ServingState::Capture(
 std::shared_ptr<const ServingState> ServingState::Build(
     rdf::RdfGraph graph, partition::Partitioning partitioning,
     uint64_t generation, const ServingStateOptions& options) {
+  auto cluster = std::make_unique<exec::Cluster>(exec::Cluster::Build(
+      std::move(partitioning), options.build_threads));
   // make_shared needs a public constructor; the factories are the only
   // creation paths, so plain new keeps the constructor private.
   return std::shared_ptr<const ServingState>(new ServingState(
-      std::move(graph), std::move(partitioning), generation, options));
+      std::move(graph), std::move(cluster), generation, options));
+}
+
+std::shared_ptr<const ServingState> ServingState::WrapBackend(
+    rdf::RdfGraph graph, std::unique_ptr<exec::ClusterBackend> backend,
+    uint64_t generation, const ServingStateOptions& options) {
+  return std::shared_ptr<const ServingState>(new ServingState(
+      std::move(graph), std::move(backend), generation, options));
 }
 
 }  // namespace mpc::serve

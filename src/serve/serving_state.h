@@ -46,9 +46,19 @@ class ServingState {
       const ServingStateOptions& options = ServingStateOptions());
 
   /// Builds a state from explicit parts — the static-cluster entry point
-  /// (generation 0 unless the caller says otherwise).
+  /// (generation 0 unless the caller says otherwise). Materializes the
+  /// partitioning into an in-process Cluster.
   static std::shared_ptr<const ServingState> Build(
       rdf::RdfGraph graph, partition::Partitioning partitioning,
+      uint64_t generation = 0,
+      const ServingStateOptions& options = ServingStateOptions());
+
+  /// Wraps an already-started backend (typically a RemoteCluster over
+  /// `mpc site` worker processes) instead of building an in-process
+  /// simulator. The gStoreD baseline needs direct store access and is
+  /// unavailable over RPC, so has_gstored() is false for these states.
+  static std::shared_ptr<const ServingState> WrapBackend(
+      rdf::RdfGraph graph, std::unique_ptr<exec::ClusterBackend> backend,
       uint64_t generation = 0,
       const ServingStateOptions& options = ServingStateOptions());
 
@@ -57,23 +67,28 @@ class ServingState {
 
   uint64_t generation() const { return generation_; }
   const rdf::RdfGraph& graph() const { return graph_; }
-  const exec::Cluster& cluster() const { return cluster_; }
+  const exec::ClusterBackend& cluster() const { return *cluster_; }
   const exec::DistributedExecutor& distributed() const {
     return *distributed_;
   }
-  /// Constructed lazily-never: always present, but only usable on
-  /// vertex-disjoint partitionings (its Execute checks).
+  /// False for remote backends — gStoreD evaluates against in-process
+  /// stores. Callers must check before gstored().
+  bool has_gstored() const { return gstored_ != nullptr; }
+  /// Only usable on vertex-disjoint partitionings (its Execute checks)
+  /// and only when has_gstored().
   const exec::GStoredExecutor& gstored() const { return *gstored_; }
 
  private:
-  ServingState(rdf::RdfGraph graph, partition::Partitioning partitioning,
+  ServingState(rdf::RdfGraph graph, std::unique_ptr<exec::ClusterBackend> backend,
                uint64_t generation, const ServingStateOptions& options);
 
   rdf::RdfGraph graph_;
-  exec::Cluster cluster_;
+  /// Heap-held: RemoteCluster is neither copyable nor movable (it owns
+  /// live sockets and a supervisor), and executors hold references.
+  std::unique_ptr<exec::ClusterBackend> cluster_;
   uint64_t generation_;
   /// unique_ptrs because the executors hold references into graph_ /
-  /// cluster_, which are stable only once this object is in place (it is
+  /// *cluster_, which are stable only once this object is in place (it is
   /// always heap-allocated via the factories).
   std::unique_ptr<exec::DistributedExecutor> distributed_;
   std::unique_ptr<exec::GStoredExecutor> gstored_;

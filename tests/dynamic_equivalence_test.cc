@@ -202,10 +202,10 @@ TEST(DynamicEquivalenceTest, MaintainedMatchesFromScratchUnderStream) {
     BindingTable truth = testutil::GroundTruth(scratch, query);
     std::set<std::vector<std::string>> expected = LexRows(truth, scratch);
     for (size_t i = 0; i < maintainers.size(); ++i) {
-      exec::ExecutionStats stats;
-      Result<BindingTable> got = maintainers[i]->ExecuteText(text, &stats);
+      Result<exec::QueryResponse> got =
+          maintainers[i]->Execute(exec::QueryRequest::FromText(text));
       ASSERT_TRUE(got.ok()) << got.status().ToString();
-      EXPECT_EQ(LexRows(*got, maintainers[i]->graph()), expected)
+      EXPECT_EQ(LexRows(got->bindings, maintainers[i]->graph()), expected)
           << "query: " << text << " threads: " << thread_counts[i];
     }
   }
@@ -262,11 +262,10 @@ TEST(DynamicEquivalenceTest, DeleteHeavyStreamStaysCorrect) {
     sparql::QueryGraph query =
         testutil::ParseQueryOrDie("SELECT * WHERE { ?x <t:p0> ?y . }");
     BindingTable truth = testutil::GroundTruth(scratch, query);
-    exec::ExecutionStats stats;
-    Result<BindingTable> got =
-        m.ExecuteText("SELECT * WHERE { ?x <t:p0> ?y . }", &stats);
+    Result<exec::QueryResponse> got = m.Execute(
+        exec::QueryRequest::FromText("SELECT * WHERE { ?x <t:p0> ?y . }"));
     ASSERT_TRUE(got.ok()) << got.status().ToString();
-    EXPECT_EQ(LexRows(*got, m.graph()), LexRows(truth, scratch));
+    EXPECT_EQ(LexRows(got->bindings, m.graph()), LexRows(truth, scratch));
   }
   EXPECT_EQ(m.num_live_triples(), 0u);
   // The tombstone trigger must have fired at least once while draining.

@@ -249,6 +249,16 @@ MaintainerOptions NoRepartition() {
   return options;
 }
 
+/// Runs a text query through the unified entry point, keeping just the
+/// bindings (these tests assert result sets, not stats).
+Result<BindingTable> RunText(IncrementalMaintainer& m,
+                             const std::string& text) {
+  Result<exec::QueryResponse> response =
+      m.Execute(exec::QueryRequest::FromText(text));
+  if (!response.ok()) return response.status();
+  return std::move(response->bindings);
+}
+
 TEST(IncrementalMaintainerTest, InternalInsertKeepsLcrossEmpty) {
   RdfGraph graph = TwoIslandGraph();
   IncrementalMaintainer m(graph.Clone(), MakeByName(graph, 2, IslandSites()),
@@ -418,15 +428,14 @@ TEST(IncrementalMaintainerTest, QueriesSeeUpdatesMidStream) {
                           NoRepartition());
 
   const std::string query = "SELECT * WHERE { ?x " + T("p") + " ?y . }";
-  exec::ExecutionStats stats;
-  Result<BindingTable> before = m.ExecuteText(query, &stats);
+  Result<BindingTable> before = RunText(m, query);
   ASSERT_TRUE(before.ok()) << before.status().ToString();
   EXPECT_EQ(before->num_rows(), 6u);
 
   // Insert a crossing p-edge and delete an internal one; the result set
   // must reflect both immediately.
   m.ApplyBatch(Batch({Ins("a1", "p", "b1"), Del("b2", "p", "b3")}));
-  Result<BindingTable> after = m.ExecuteText(query, &stats);
+  Result<BindingTable> after = RunText(m, query);
   ASSERT_TRUE(after.ok()) << after.status().ToString();
   std::set<std::vector<std::string>> rows = LexRows(*after, m.graph());
   EXPECT_EQ(rows.size(), 6u);
@@ -451,9 +460,8 @@ TEST(IncrementalMaintainerTest, RepartitionNowResetsDrift) {
   EXPECT_EQ(d.repartitions, 1u);
 
   // Queries still answer correctly on the new state.
-  exec::ExecutionStats stats;
-  Result<BindingTable> r = m.ExecuteText(
-      "SELECT * WHERE { ?x " + T("p") + " ?y . }", &stats);
+  Result<BindingTable> r =
+      RunText(m, "SELECT * WHERE { ?x " + T("p") + " ?y . }");
   ASSERT_TRUE(r.ok());
   EXPECT_EQ(r->num_rows(), 5u);  // 7 p-edges + 1 insert - 2 deletes
 }
@@ -515,9 +523,8 @@ TEST(IncrementalMaintainerTest, BackgroundRepartitionIntegratesWithReplay) {
   EXPECT_GE(m.repartition_count(), 1u);
 
   EXPECT_EQ(m.num_live_triples(), 8u);  // 7 + 2 inserts - 1 delete
-  exec::ExecutionStats stats;
-  Result<BindingTable> r = m.ExecuteText(
-      "SELECT * WHERE { ?x " + T("p") + " ?y . }", &stats);
+  Result<BindingTable> r =
+      RunText(m, "SELECT * WHERE { ?x " + T("p") + " ?y . }");
   ASSERT_TRUE(r.ok());
   std::set<std::vector<std::string>> rows = LexRows(*r, m.graph());
   EXPECT_TRUE(rows.count({T("c1"), T("a1")}));
@@ -539,9 +546,8 @@ TEST(IncrementalMaintainerTest, DictionaryGrowthKeepsGraphAccessorsValid) {
     EXPECT_EQ(m.graph().PropertyFrequency(p), 0u);
   }
   // But the triples are live and queryable.
-  exec::ExecutionStats stats;
-  Result<BindingTable> r = m.ExecuteText(
-      "SELECT * WHERE { ?x " + T("r1") + " ?y . }", &stats);
+  Result<BindingTable> r =
+      RunText(m, "SELECT * WHERE { ?x " + T("r1") + " ?y . }");
   ASSERT_TRUE(r.ok());
   EXPECT_EQ(r->num_rows(), 1u);
 }

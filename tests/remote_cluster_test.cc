@@ -1,0 +1,480 @@
+// End-to-end tests of the real multi-process site runtime: RemoteCluster
+// over `mpc site` worker processes, with survived (not simulated)
+// faults. Every test spawns actual workers via the SiteSupervisor, so
+// the binary built at build/tools/mpc must exist; tests skip cleanly
+// when it does not (e.g. a tests-only build).
+
+#include <stdlib.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <filesystem>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/random.h"
+#include "exec/cluster.h"
+#include "exec/distributed_executor.h"
+#include "exec/remote_cluster.h"
+#include "gtest/gtest.h"
+#include "mpc/mpc_partitioner.h"
+#include "net/chaos_proxy.h"
+#include "partition/partition_io.h"
+#include "rdf/graph.h"
+#include "rdf/ntriples.h"
+#include "test_util.h"
+
+namespace mpc::exec {
+namespace {
+
+using rdf::RdfGraph;
+using store::BindingTable;
+
+/// Locates build/tools/mpc relative to this test binary
+/// (build/tests/remote_cluster_test). Empty when not found.
+std::string WorkerBinary() {
+  char buf[4096];
+  const ssize_t n = ::readlink("/proc/self/exe", buf, sizeof(buf) - 1);
+  if (n <= 0) return "";
+  buf[n] = '\0';
+  const std::filesystem::path exe(buf);
+  const std::filesystem::path candidate =
+      exe.parent_path().parent_path() / "tools" / "mpc";
+  std::error_code ec;
+  if (std::filesystem::exists(candidate, ec)) return candidate.string();
+  return "";
+}
+
+/// The query mix: IEQ stars (union-only) and non-IEQ paths (decompose +
+/// coordinator hash-join), so both executor data-paths cross the wire.
+const char* kQueryMix[] = {
+    "SELECT * WHERE { ?x <t:p0> ?y . }",
+    "SELECT * WHERE { ?x <t:p0> ?y . ?x <t:p1> ?z . }",
+    "SELECT * WHERE { ?x <t:p0> ?y . ?y <t:p2> ?z . }",
+    "SELECT * WHERE { ?x <t:p1> ?y . ?y <t:p3> ?z . ?z <t:p4> ?w . }",
+};
+
+/// One deployment: a graph serialized to disk, a saved k-way MPC
+/// partitioning, the coordinator's re-parse of the same bytes (the
+/// workers parse them too, and parsing is bit-identical at any thread
+/// count, so dictionary ids line up across processes), and the running
+/// worker fleet.
+struct Deployment {
+  std::string dir;
+  std::string graph_path;
+  std::string partition_dir;
+  RdfGraph graph;
+  partition::Partitioning partitioning;  // coordinator's own copy
+  std::unique_ptr<RemoteCluster> remote;
+
+  ~Deployment() {
+    remote.reset();  // stop workers before removing their sockets
+    if (!dir.empty()) {
+      std::error_code ec;
+      std::filesystem::remove_all(dir, ec);
+    }
+  }
+};
+
+/// Builds the on-disk artifacts and starts the fleet. `tweak` runs after
+/// all default options are filled (socket_dir is set, so chaos proxies
+/// can derive paths from it). Returns nullptr when the worker binary is
+/// missing — callers GTEST_SKIP — and fails the test on real errors.
+std::unique_ptr<Deployment> MakeDeployment(
+    uint32_t k,
+    const std::function<void(RemoteCluster::Options*)>& tweak = {}) {
+  const std::string binary = WorkerBinary();
+  if (binary.empty()) return nullptr;
+
+  auto d = std::make_unique<Deployment>();
+  char tmpl[] = "/tmp/mpc_rct_XXXXXX";  // short: socket paths live here
+  if (::mkdtemp(tmpl) == nullptr) {
+    ADD_FAILURE() << "mkdtemp failed";
+    return nullptr;
+  }
+  d->dir = tmpl;
+
+  Rng rng(5);
+  RdfGraph seed = testutil::RandomGraph(rng, 60, 240, 5, /*community=*/12,
+                                        /*escape=*/0.2);
+  d->graph_path = d->dir + "/graph.nt";
+  Status st = rdf::WriteNTriplesFile(seed, d->graph_path);
+  if (!st.ok()) {
+    ADD_FAILURE() << st.ToString();
+    return nullptr;
+  }
+  rdf::GraphBuilder builder;
+  st = rdf::NTriplesParser::ParseFile(d->graph_path, &builder);
+  if (!st.ok()) {
+    ADD_FAILURE() << st.ToString();
+    return nullptr;
+  }
+  d->graph = builder.Build();
+
+  core::MpcOptions mpc;
+  mpc.base.k = k;
+  mpc.base.epsilon = 0.3;
+  mpc.base.seed = 3;
+  partition::Partitioning fresh = core::MpcPartitioner(mpc).Partition(d->graph);
+  d->partition_dir = d->dir + "/parts";
+  st = partition::PartitionIo::Save(d->graph, fresh, d->partition_dir);
+  if (!st.ok()) {
+    ADD_FAILURE() << st.ToString();
+    return nullptr;
+  }
+  // Load (not the fresh object): the coordinator must see exactly the
+  // materialization the workers load from disk.
+  Result<partition::Partitioning> loaded =
+      partition::PartitionIo::Load(d->graph, d->partition_dir);
+  if (!loaded.ok()) {
+    ADD_FAILURE() << loaded.status().ToString();
+    return nullptr;
+  }
+  d->partitioning = *loaded;
+
+  RemoteCluster::Options options;
+  options.worker_binary = binary;
+  options.graph_path = d->graph_path;
+  options.partition_dir = d->partition_dir;
+  options.socket_dir = d->dir;
+  options.supervisor.heartbeat_interval_ms = 10;
+  options.supervisor.restart_backoff_ms = 20;
+  options.supervisor.spawn_wait_ms = 30000;
+  options.supervisor.drain_grace_ms = 2000;
+  if (tweak) tweak(&options);
+
+  Result<std::unique_ptr<RemoteCluster>> remote =
+      RemoteCluster::Start(std::move(*loaded), std::move(options));
+  if (!remote.ok()) {
+    ADD_FAILURE() << remote.status().ToString();
+    return nullptr;
+  }
+  d->remote = std::move(*remote);
+  return d;
+}
+
+/// Executor options for real RPC: generous backoff so a retry lands
+/// after the supervisor's respawn (backoff sleeps are real here).
+ExecutorOptions RemoteExecOptions() {
+  ExecutorOptions options;
+  options.network.max_retries = 3;
+  options.network.retry_backoff_ms = 100.0;
+  return options;
+}
+
+/// Union-semantics ground truth for a degraded vertex-disjoint cluster
+/// (Def 3.7): every live site evaluates the full BGP on its fragment
+/// (internal + crossing replicas) and the rows are unioned.
+BindingTable DegradedUnionTruth(const partition::Partitioning& partitioning,
+                                const RdfGraph& graph,
+                                const sparql::QueryGraph& query,
+                                const std::vector<uint32_t>& down) {
+  store::ResolvedQuery resolved = store::ResolveQuery(query, graph);
+  BindingTable merged;
+  bool first = true;
+  for (uint32_t site = 0; site < partitioning.k(); ++site) {
+    if (std::find(down.begin(), down.end(), site) != down.end()) continue;
+    const partition::Partition& p = partitioning.partition(site);
+    std::vector<rdf::Triple> triples(p.internal_edges.begin(),
+                                     p.internal_edges.end());
+    triples.insert(triples.end(), p.crossing_edges.begin(),
+                   p.crossing_edges.end());
+    store::TripleStore store(std::move(triples));
+    BindingTable table = store::BgpMatcher::EvaluateAll(store, resolved);
+    if (first) {
+      merged = std::move(table);
+      first = false;
+    } else {
+      merged.rows.insert(merged.rows.end(), table.rows.begin(),
+                         table.rows.end());
+    }
+  }
+  merged.Deduplicate();
+  return merged;
+}
+
+/// Polls until the supervisor notices worker `site` is dead (its monitor
+/// reaps asynchronously).
+void AwaitReaped(const RemoteCluster& remote, uint32_t site) {
+  for (int i = 0; i < 1000 && remote.supervisor().IsAlive(site); ++i) {
+    ::usleep(5000);
+  }
+  EXPECT_FALSE(remote.supervisor().IsAlive(site));
+}
+
+// --- Acceptance: the simulator and the real fleet are bit-identical on
+// a fault-free mix. ---
+
+TEST(RemoteClusterTest, FaultFreeMixIsBitIdenticalToSimulator) {
+  std::unique_ptr<Deployment> d = MakeDeployment(4);
+  if (d == nullptr) GTEST_SKIP() << "worker binary not built";
+
+  Cluster sim = Cluster::Build(d->partitioning);
+  const ExecutorOptions options = RemoteExecOptions();
+  DistributedExecutor sim_exec(sim, d->graph, options);
+  DistributedExecutor remote_exec(*d->remote, d->graph, options);
+
+  for (const char* text : kQueryMix) {
+    sparql::QueryGraph query = testutil::ParseQueryOrDie(text);
+    Result<QueryResponse> sim_r =
+        sim_exec.Execute(QueryRequest::FromQuery(query));
+    Result<QueryResponse> remote_r =
+        remote_exec.Execute(QueryRequest::FromQuery(query));
+    ASSERT_TRUE(sim_r.ok()) << sim_r.status().ToString();
+    ASSERT_TRUE(remote_r.ok()) << remote_r.status().ToString() << " " << text;
+
+    // Bit-identical: same columns, same rows, same order — the worker
+    // runs the very EvaluateSiteRequest the simulator runs, and the
+    // coordinator merges per-site tables in site order on both paths.
+    EXPECT_EQ(remote_r->bindings.var_ids, sim_r->bindings.var_ids) << text;
+    EXPECT_EQ(remote_r->bindings.rows, sim_r->bindings.rows) << text;
+    EXPECT_TRUE(remote_r->stats.complete);
+    EXPECT_DOUBLE_EQ(remote_r->stats.completeness_bound, 1.0);
+    EXPECT_EQ(remote_r->stats.sites_evaluated, sim_r->stats.sites_evaluated);
+    EXPECT_EQ(remote_r->stats.sites_pruned, sim_r->stats.sites_pruned);
+    EXPECT_EQ(remote_r->stats.sites_failed, 0u);
+    EXPECT_EQ(remote_r->stats.independent, sim_r->stats.independent);
+
+    // And both equal the k=1 ground truth.
+    BindingTable truth = testutil::GroundTruth(d->graph, query);
+    EXPECT_EQ(testutil::RowSet(remote_r->bindings), testutil::RowSet(truth))
+        << text;
+  }
+}
+
+// --- Acceptance: SIGKILL a site mid-stream; the supervisor respawns it
+// and the retried RPC completes the query. ---
+
+TEST(RemoteClusterTest, SigkilledWorkerIsRespawnedAndQueryCompletes) {
+  std::unique_ptr<Deployment> d = MakeDeployment(4);
+  if (d == nullptr) GTEST_SKIP() << "worker binary not built";
+
+  DistributedExecutor executor(*d->remote, d->graph, RemoteExecOptions());
+  sparql::QueryGraph query = testutil::ParseQueryOrDie(kQueryMix[1]);
+
+  // Warm query proves the fleet serves, then the chaos lever.
+  Result<QueryResponse> warm =
+      executor.Execute(QueryRequest::FromQuery(query));
+  ASSERT_TRUE(warm.ok()) << warm.status().ToString();
+  ASSERT_TRUE(d->remote->supervisor().Kill(1).ok());
+
+  // The coordinator still holds a connection to the corpse; the first
+  // attempt fails over the torn socket and a backed-off retry reconnects
+  // to the respawned process.
+  Result<QueryResponse> response =
+      executor.Execute(QueryRequest::FromQuery(query));
+  ASSERT_TRUE(response.ok()) << response.status().ToString();
+  EXPECT_TRUE(response->stats.complete);
+  EXPECT_EQ(testutil::RowSet(response->bindings),
+            testutil::RowSet(testutil::GroundTruth(d->graph, query)));
+  EXPECT_GE(d->remote->supervisor().restarts(1), 1);
+  EXPECT_GE(response->stats.retries, 1u);
+}
+
+// --- Acceptance: restart budget exhausted -> best-effort answer whose
+// completeness bound matches ComputeReplicaCoverage exactly. ---
+
+TEST(RemoteClusterTest, ExhaustedBudgetDegradesToCoverageBoundedBestEffort) {
+  std::unique_ptr<Deployment> d = MakeDeployment(
+      4, [](RemoteCluster::Options* o) { o->supervisor.max_restarts = 0; });
+  if (d == nullptr) GTEST_SKIP() << "worker binary not built";
+
+  ExecutorOptions options = RemoteExecOptions();
+  options.network.max_retries = 1;
+  options.network.retry_backoff_ms = 1.0;  // gave-up sites fail instantly
+  options.partial_results = PartialResultPolicy::kBestEffort;
+  DistributedExecutor executor(*d->remote, d->graph, options);
+
+  const uint32_t kDead = 2;
+  ASSERT_TRUE(d->remote->supervisor().Kill(kDead).ok());
+  AwaitReaped(*d->remote, kDead);
+
+  sparql::QueryGraph query = testutil::ParseQueryOrDie(kQueryMix[1]);
+  Result<QueryResponse> response =
+      executor.Execute(QueryRequest::FromQuery(query));
+  ASSERT_TRUE(response.ok()) << response.status().ToString();
+  const ExecutionStats& stats = response->stats;
+  EXPECT_FALSE(stats.complete);
+  EXPECT_GE(stats.sites_failed, 1u);
+
+  // The reported bound must be exactly the replica-coverage analysis for
+  // this availability view — the acceptance criterion of the issue.
+  SiteAvailability avail = d->remote->AllUp();
+  avail.MarkDown(kDead);
+  const ReplicaCoverage coverage = d->remote->ComputeReplicaCoverage(avail);
+  const double expected_bound =
+      1.0 - static_cast<double>(coverage.lost_triples) /
+                static_cast<double>(d->graph.num_edges());
+  EXPECT_DOUBLE_EQ(stats.completeness_bound, expected_bound);
+  EXPECT_EQ(stats.failed_site_vertices, coverage.failed_owned_vertices);
+  EXPECT_EQ(stats.replicated_failed_vertices, coverage.replicated_on_live);
+
+  // IEQ union semantics: the answer is exactly what the live fragments
+  // (incl. the dead site's crossing-edge replicas) can produce.
+  BindingTable truth =
+      DegradedUnionTruth(d->partitioning, d->graph, query, {kDead});
+  EXPECT_EQ(testutil::RowSet(response->bindings), testutil::RowSet(truth));
+}
+
+// --- A worker that SIGKILLs itself after computing (but before sending)
+// a reply: the coordinator sees a torn stream mid-query and fails over
+// to the healthy respawn. ---
+
+TEST(RemoteClusterTest, MidReplyCrashIsSurvivedByRespawnedWorker) {
+  std::unique_ptr<Deployment> d =
+      MakeDeployment(4, [](RemoteCluster::Options* o) {
+        o->kill_site = 0;
+        o->kill_after_queries = 1;
+      });
+  if (d == nullptr) GTEST_SKIP() << "worker binary not built";
+
+  DistributedExecutor executor(*d->remote, d->graph, RemoteExecOptions());
+  sparql::QueryGraph query = testutil::ParseQueryOrDie(kQueryMix[0]);
+  Result<QueryResponse> response =
+      executor.Execute(QueryRequest::FromQuery(query));
+  ASSERT_TRUE(response.ok()) << response.status().ToString();
+  EXPECT_TRUE(response->stats.complete);
+  EXPECT_EQ(testutil::RowSet(response->bindings),
+            testutil::RowSet(testutil::GroundTruth(d->graph, query)));
+  // The crash flag is first-spawn-only, so the respawn served the retry.
+  EXPECT_GE(d->remote->supervisor().restarts(0), 1);
+  EXPECT_GE(response->stats.retries, 1u);
+}
+
+// --- Transport faults injected by the chaos proxy: corruption heals on
+// retry; a persistently torn stream is a clean error that heals once the
+// fault clears; delays surface as DeadlineExceeded. ---
+
+TEST(RemoteClusterTest, ChaosProxyFaultsAreSurvivedOrCleanlyReported) {
+  std::unique_ptr<net::ChaosProxy> proxy;
+  std::unique_ptr<Deployment> d =
+      MakeDeployment(4, [&proxy](RemoteCluster::Options* o) {
+        const std::string listen = o->socket_dir + "/proxy_0.sock";
+        const std::string target = o->socket_dir + "/site_0.sock";
+        proxy = std::make_unique<net::ChaosProxy>(listen, target,
+                                                  net::ChaosOptions{});
+        ASSERT_TRUE(proxy->Start().ok());
+        o->connect_path_override = {listen, "", "", ""};
+        // A corrupted length field can leave the coordinator waiting for
+        // bytes that never come; keep that wait short.
+        o->default_timeout_ms = 3000;
+      });
+  if (d == nullptr) GTEST_SKIP() << "worker binary not built";
+  ASSERT_NE(proxy, nullptr);
+
+  ExecutorOptions options = RemoteExecOptions();
+  options.network.retry_backoff_ms = 20.0;
+  DistributedExecutor executor(*d->remote, d->graph, options);
+  sparql::QueryGraph query = testutil::ParseQueryOrDie(kQueryMix[0]);
+
+  // 1. Single-byte corruption in the next reply: checksum catches it,
+  // the retry reconnects past the (absolute-offset, hence one-shot)
+  // fault and succeeds.
+  {
+    net::ChaosOptions chaos;
+    // +25 lands inside the payload of the next reply frame (the header
+    // is 20 bytes, eval-reply payloads are >= 28): checksum mismatch,
+    // caught as soon as the full frame is read.
+    chaos.corrupt_reply_at = proxy->reply_bytes_forwarded() + 25;
+    chaos.corrupt_mask = 0x5a;
+    proxy->UpdateOptions(chaos);
+    Result<QueryResponse> response =
+        executor.Execute(QueryRequest::FromQuery(query));
+    ASSERT_TRUE(response.ok()) << response.status().ToString();
+    EXPECT_TRUE(response->stats.complete);
+    EXPECT_EQ(testutil::RowSet(response->bindings),
+              testutil::RowSet(testutil::GroundTruth(d->graph, query)));
+    EXPECT_GE(response->stats.retries, 1u);
+  }
+
+  // 2. A stream cut that persists across reconnects: every attempt tears
+  // mid-frame, and the failure is a clean Unavailable (never a crash,
+  // never garbage rows). Clearing the fault heals the site.
+  {
+    net::ChaosOptions chaos;
+    chaos.truncate_reply_after = proxy->reply_bytes_forwarded() + 9;
+    proxy->UpdateOptions(chaos);
+    Result<QueryResponse> response =
+        executor.Execute(QueryRequest::FromQuery(query));
+    ASSERT_FALSE(response.ok());
+    EXPECT_EQ(response.status().code(), StatusCode::kUnavailable)
+        << response.status().ToString();
+
+    proxy->UpdateOptions(net::ChaosOptions{});
+    response = executor.Execute(QueryRequest::FromQuery(query));
+    ASSERT_TRUE(response.ok()) << response.status().ToString();
+    EXPECT_EQ(testutil::RowSet(response->bindings),
+              testutil::RowSet(testutil::GroundTruth(d->graph, query)));
+  }
+
+  // 3. Reply delay past the per-attempt deadline: DeadlineExceeded, the
+  // terminal code the executor's retry/failover policy keys on.
+  {
+    net::ChaosOptions chaos;
+    chaos.delay_reply_ms = 500.0;
+    proxy->UpdateOptions(chaos);
+    ExecutorOptions slow = options;
+    slow.network.site_timeout_ms = 50.0;
+    slow.network.max_retries = 1;
+    DistributedExecutor impatient(*d->remote, d->graph, slow);
+    Result<QueryResponse> response =
+        impatient.Execute(QueryRequest::FromQuery(query));
+    ASSERT_FALSE(response.ok());
+    EXPECT_EQ(response.status().code(), StatusCode::kDeadlineExceeded)
+        << response.status().ToString();
+    proxy->UpdateOptions(net::ChaosOptions{});
+  }
+
+  d.reset();  // stop the fleet before the proxy goes away
+}
+
+// --- Generation-stamped partition push, including re-sync of a worker
+// that restarts with a stale on-disk view. ---
+
+TEST(RemoteClusterTest, PushReloadPropagatesAndResyncsRestartedWorkers) {
+  std::unique_ptr<Deployment> d = MakeDeployment(4);
+  if (d == nullptr) GTEST_SKIP() << "worker binary not built";
+
+  // Repartition with a different seed, save next to the original.
+  core::MpcOptions mpc;
+  mpc.base.k = 4;
+  mpc.base.epsilon = 0.3;
+  mpc.base.seed = 11;
+  partition::Partitioning fresh =
+      core::MpcPartitioner(mpc).Partition(d->graph);
+  const std::string dir2 = d->dir + "/parts2";
+  ASSERT_TRUE(partition::PartitionIo::Save(d->graph, fresh, dir2).ok());
+  Result<partition::Partitioning> loaded =
+      partition::PartitionIo::Load(d->graph, dir2);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+
+  Result<size_t> reloaded = d->remote->PushReload(std::move(*loaded), dir2, 2);
+  ASSERT_TRUE(reloaded.ok()) << reloaded.status().ToString();
+  EXPECT_EQ(*reloaded, 4u);
+  EXPECT_EQ(d->remote->generation(), 2u);
+
+  DistributedExecutor executor(*d->remote, d->graph, RemoteExecOptions());
+  sparql::QueryGraph query = testutil::ParseQueryOrDie(kQueryMix[2]);
+  Result<QueryResponse> response =
+      executor.Execute(QueryRequest::FromQuery(query));
+  ASSERT_TRUE(response.ok()) << response.status().ToString();
+  EXPECT_EQ(testutil::RowSet(response->bindings),
+            testutil::RowSet(testutil::GroundTruth(d->graph, query)));
+
+  // Kill a worker: its respawn execs with the ORIGINAL argv (generation
+  // 1, old partition dir), announces the stale generation in its Hello,
+  // and the coordinator replays the reload before the retry is served.
+  ASSERT_TRUE(d->remote->supervisor().Kill(1).ok());
+  response = executor.Execute(QueryRequest::FromQuery(query));
+  ASSERT_TRUE(response.ok()) << response.status().ToString();
+  EXPECT_TRUE(response->stats.complete);
+  EXPECT_EQ(testutil::RowSet(response->bindings),
+            testutil::RowSet(testutil::GroundTruth(d->graph, query)));
+  EXPECT_GE(d->remote->supervisor().restarts(1), 1);
+}
+
+}  // namespace
+}  // namespace mpc::exec

@@ -450,38 +450,15 @@ TEST(QueryServiceTest, ConcurrentChurnIsGenerationConsistent) {
   EXPECT_EQ(checked, answers.size());
 }
 
-// ----------------------------------------------------- deprecated shims
+// ------------------------------------------------- unified API error path
 
-#pragma GCC diagnostic push
-#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
-
-TEST(DeprecatedShimTest, OldExecuteMatchesNewApi) {
+TEST(ExecuteRequestTest, ParseErrorCarriesQueryText) {
   auto state = SmallState();
-  sparql::QueryGraph query = testutil::ParseQueryOrDie(
-      "SELECT * WHERE { ?x <t:knows> ?y . }");
-  exec::ExecutionStats stats;
-  Result<store::BindingTable> old_rows =
-      state->distributed().Execute(query, &stats);
-  ASSERT_TRUE(old_rows.ok());
-  Result<exec::QueryResponse> new_rows =
-      state->distributed().Execute(exec::QueryRequest::FromQuery(query));
-  ASSERT_TRUE(new_rows.ok());
-  EXPECT_EQ(old_rows->rows, new_rows->bindings.rows);
-  EXPECT_EQ(stats.num_results, new_rows->stats.num_results);
-}
-
-TEST(DeprecatedShimTest, OldExecuteTextResetsStatsOnFailure) {
-  auto state = SmallState();
-  exec::ExecutionStats stats;
-  stats.num_results = 999;  // must not leak through the error path
-  Result<store::BindingTable> r =
-      state->distributed().ExecuteText("NOT SPARQL", &stats);
+  Result<exec::QueryResponse> r =
+      state->distributed().Execute(exec::QueryRequest::FromText("NOT SPARQL"));
   ASSERT_FALSE(r.ok());
   EXPECT_NE(r.status().message().find("NOT SPARQL"), std::string::npos);
-  EXPECT_EQ(stats.num_results, 0u);
 }
-
-#pragma GCC diagnostic pop
 
 }  // namespace
 }  // namespace mpc::serve

@@ -62,6 +62,8 @@
 // --transient-rate a per-attempt retryable error probability. Unknown
 // flags and malformed values are rejected with a non-zero exit.
 
+#include <unistd.h>
+
 #include <atomic>
 #include <chrono>
 #include <csignal>
@@ -75,6 +77,7 @@
 #include <thread>
 #include <vector>
 
+#include "common/crash_hook.h"
 #include "common/flags.h"
 #include "common/string_util.h"
 #include "dynamic/incremental_maintainer.h"
@@ -85,6 +88,8 @@
 #include "exec/distributed_executor.h"
 #include "exec/explain.h"
 #include "exec/query_classifier.h"
+#include "exec/remote_cluster.h"
+#include "exec/site_worker.h"
 #include "mpc/mpc_partitioner.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
@@ -112,8 +117,8 @@ int Usage() {
   mpc explain <data.nt> <partition_dir> <sparql-or-file>
   mpc query <data.nt> <partition_dir> <sparql-or-file>
       [--fail-sites=0,3] [--fault-rate=P] [--transient-rate=P]
-      [--site-timeout-ms=T] [--retries=N] [--fault-seed=S]
-      [--partial-results=fail|best-effort]
+      [--site-timeout-ms=T] [--retries=N] [--retry-backoff-ms=B]
+      [--fault-seed=S] [--partial-results=fail|best-effort]
   mpc update <data.nt> <partition_dir> <updates.ulog>
       [--policy=threshold|periodic|never] [--period=N]
       [--max-lcross-growth=G] [--report-every=N]
@@ -124,6 +129,10 @@ int Usage() {
       [--concurrency=N] [--qps=R] [--repeat=N]
       [--queue-cap=N] [--admission=reject|block] [--deadline-ms=D]
       [--updates=FILE] [--update-interval-ms=I]
+      [--remote] [--socket-dir=DIR] [--worker-binary=PATH]
+      [--max-restarts=N] [--kill-site=I] [--kill-after-queries=N]
+  mpc site <data.nt> <partition_dir> --site=I --socket=PATH
+      [--generation=G] [--kill-after-queries=N]
 observability (any command):
       [--trace-out=FILE] [--trace-summary] [--metrics-out=FILE]
 )";
@@ -145,6 +154,7 @@ struct Flags {
   double transient_rate = 0.0;  // retryable-error probability per attempt
   double site_timeout_ms = 0.0;
   int retries = 2;
+  double retry_backoff_ms = 1.0;
   uint64_t fault_seed = 0;
   std::string partial_results = "fail";
 
@@ -165,6 +175,18 @@ struct Flags {
   uint64_t max_replay = 0;
   std::string backpressure = "block";
   uint32_t crash_after = 0;
+
+  // Real multi-process cluster (serve --remote) and the `site` worker
+  // command. kill_after_queries doubles as the worker-side chaos hook.
+  bool remote = false;
+  std::string socket_dir;
+  std::string worker_binary;
+  uint32_t kill_site = UINT32_MAX;
+  uint64_t kill_after_queries = 0;
+  int max_restarts = 3;
+  uint32_t site = 0;
+  std::string socket_path;
+  uint64_t generation = 1;
 
   // Query serving (serve command).
   std::string queries_file;
@@ -198,6 +220,7 @@ struct Flags {
     options.faults.fail_sites = fail_sites;
     options.network.site_timeout_ms = site_timeout_ms;
     options.network.max_retries = retries;
+    options.network.retry_backoff_ms = retry_backoff_ms;
     options.partial_results = partial_results == "best-effort"
                                   ? exec::PartialResultPolicy::kBestEffort
                                   : exec::PartialResultPolicy::kFail;
@@ -217,6 +240,7 @@ struct Flags {
     parser.AddDouble("transient-rate", &flags.transient_rate);
     parser.AddDouble("site-timeout-ms", &flags.site_timeout_ms);
     parser.AddInt("retries", &flags.retries);
+    parser.AddDouble("retry-backoff-ms", &flags.retry_backoff_ms);
     parser.AddUint64("fault-seed", &flags.fault_seed);
     parser.AddChoice("partial-results", &flags.partial_results,
                      {"fail", "best-effort"});
@@ -234,6 +258,15 @@ struct Flags {
     parser.AddChoice("backpressure", &flags.backpressure,
                      {"block", "reanchor"});
     parser.AddUint32("crash-after", &flags.crash_after);
+    parser.AddBool("remote", &flags.remote);
+    parser.AddString("socket-dir", &flags.socket_dir);
+    parser.AddString("worker-binary", &flags.worker_binary);
+    parser.AddUint32("kill-site", &flags.kill_site);
+    parser.AddUint64("kill-after-queries", &flags.kill_after_queries);
+    parser.AddInt("max-restarts", &flags.max_restarts);
+    parser.AddUint32("site", &flags.site);
+    parser.AddString("socket", &flags.socket_path);
+    parser.AddUint64("generation", &flags.generation);
     parser.AddString("queries", &flags.queries_file);
     parser.AddInt("concurrency", &flags.concurrency);
     parser.AddDouble("qps", &flags.qps);
@@ -260,6 +293,29 @@ Result<rdf::RdfGraph> LoadGraph(const std::string& path, int threads) {
   Status st = rdf::NTriplesParser::ParseFile(path, &builder, threads);
   if (!st.ok()) return st;
   return builder.Build();
+}
+
+/// Graceful-drain flag for `serve` and `site`: SIGINT/SIGTERM stop
+/// admission, in-flight work finishes, metrics/trace flush, exit 0.
+std::atomic<bool> g_drain{false};
+
+void HandleDrainSignal(int /*signum*/) {
+  g_drain.store(true, std::memory_order_relaxed);
+}
+
+void InstallDrainHandlers() {
+  g_drain.store(false, std::memory_order_relaxed);
+  std::signal(SIGINT, HandleDrainSignal);
+  std::signal(SIGTERM, HandleDrainSignal);
+}
+
+/// The running mpc binary, for serve --remote to exec its own workers.
+std::string SelfExePath() {
+  char buf[4096];
+  const ssize_t n = ::readlink("/proc/self/exe", buf, sizeof(buf) - 1);
+  if (n <= 0) return "mpc";
+  buf[n] = '\0';
+  return std::string(buf);
 }
 
 /// The argument is a file path if it exists on disk; otherwise inline
@@ -579,6 +635,9 @@ int CmdUpdate(const Flags& flags) {
   size_t inserts = 0;
   size_t deletes = 0;
   size_t noops = 0;
+  // Crash-test hook: die without any cleanup, exactly as a power cut
+  // would, so check.sh can exercise --recover.
+  CrashAfter crash_after(flags.crash_after);
   for (size_t b = skip; b < batches->size(); ++b) {
     dynamic::ApplyResult r = maintainer->ApplyBatch((*batches)[b]);
     if (!r.durability.ok()) {
@@ -595,12 +654,8 @@ int CmdUpdate(const Flags& flags) {
                 << r.trigger_reason << ")"
                 << (r.repartitioned ? "" : " [background]") << "\n";
     }
-    if (flags.crash_after > 0 && b + 1 == flags.crash_after) {
-      // Crash-test hook: die without any cleanup, exactly as a power
-      // cut would, so check.sh can exercise --recover.
-      std::cout.flush();
-      raise(SIGKILL);
-    }
+    std::cout.flush();
+    crash_after.Tick();
     const bool report =
         flags.report_every > 0 &&
         ((b + 1) % flags.report_every == 0 || b + 1 == batches->size());
@@ -670,12 +725,49 @@ int CmdUpdate(const Flags& flags) {
 }
 
 
+/// One partition-site worker process: loads its site, serves the framed
+/// RPC protocol on --socket until SIGTERM/SIGINT drains it. Spawned by
+/// serve --remote (via the SiteSupervisor) or run by hand.
+int CmdSite(const Flags& flags) {
+  if (flags.positional.size() != 2) return Usage();
+  if (flags.socket_path.empty()) {
+    std::cerr << "site requires --socket=PATH\n";
+    return 2;
+  }
+  InstallDrainHandlers();
+  exec::SiteWorkerOptions options;
+  options.graph_path = flags.positional[0];
+  options.partition_dir = flags.positional[1];
+  options.site = flags.site;
+  options.socket_path = flags.socket_path;
+  options.generation = flags.generation;
+  options.kill_after_queries = flags.kill_after_queries;
+  options.num_threads = flags.threads;
+  options.stop = &g_drain;
+  uint64_t served = 0;
+  options.queries_served = &served;
+  Status st = exec::RunSiteWorker(options);
+  if (!st.ok()) {
+    std::cerr << "site " << flags.site << ": " << st.ToString() << "\n";
+    return 1;
+  }
+  std::cout << "site " << flags.site << " drained: " << served
+            << " queries served\n";
+  return 0;
+}
+
 int CmdServe(const Flags& flags) {
   if (flags.positional.size() != 2) return Usage();
   if (flags.queries_file.empty()) {
     std::cerr << "serve requires --queries=FILE\n";
     return 2;
   }
+  if (flags.remote && !flags.updates_file.empty()) {
+    std::cerr << "--remote and --updates are mutually exclusive (workers "
+                 "reload only on repartition pushes)\n";
+    return 2;
+  }
+  InstallDrainHandlers();
   Result<rdf::RdfGraph> graph = LoadGraph(flags.positional[0], flags.threads);
   if (!graph.ok()) {
     std::cerr << graph.status().ToString() << "\n";
@@ -718,7 +810,32 @@ int CmdServe(const Flags& flags) {
   std::unique_ptr<dynamic::IncrementalMaintainer> maintainer;
   std::vector<dynamic::UpdateBatch> updates;
   std::shared_ptr<const serve::ServingState> state;
-  if (!flags.updates_file.empty()) {
+  if (flags.remote) {
+    exec::RemoteCluster::Options ropt;
+    ropt.worker_binary =
+        flags.worker_binary.empty() ? SelfExePath() : flags.worker_binary;
+    ropt.graph_path = flags.positional[0];
+    ropt.partition_dir = flags.positional[1];
+    ropt.socket_dir =
+        flags.socket_dir.empty() ? flags.positional[1] : flags.socket_dir;
+    ropt.worker_threads = flags.threads;
+    ropt.kill_site = flags.kill_site;
+    ropt.kill_after_queries = flags.kill_after_queries;
+    ropt.supervisor.max_restarts = flags.max_restarts;
+    Result<std::unique_ptr<exec::RemoteCluster>> remote =
+        exec::RemoteCluster::Start(std::move(*partitioning), ropt);
+    if (!remote.ok()) {
+      std::cerr << remote.status().ToString() << "\n";
+      return 1;
+    }
+    const uint32_t num_sites = (*remote)->k();
+    std::cout << "remote cluster: " << num_sites << " site processes up ("
+              << FormatMillis((*remote)->loading_millis())
+              << " ms max site load)\n";
+    state = serve::ServingState::WrapBackend(std::move(*graph),
+                                             std::move(*remote),
+                                             /*generation=*/0, state_options);
+  } else if (!flags.updates_file.empty()) {
     if (partitioning->kind() !=
         partition::PartitioningKind::kVertexDisjoint) {
       std::cerr << "--updates requires a vertex-disjoint partitioning\n";
@@ -781,8 +898,11 @@ int CmdServe(const Flags& flags) {
   std::vector<std::future<Result<exec::QueryResponse>>> futures;
   futures.reserve(static_cast<size_t>(flags.repeat) * queries.size());
   size_t submitted = 0;
-  for (uint32_t r = 0; r < flags.repeat; ++r) {
+  for (uint32_t r = 0; r < flags.repeat && !g_drain.load(); ++r) {
     for (const std::string& text : queries) {
+      // SIGINT/SIGTERM: stop admitting, let everything already submitted
+      // finish below, flush, exit 0.
+      if (g_drain.load()) break;
       if (flags.qps > 0.0) {
         // Open-loop pacing against the schedule, not the previous send,
         // so a slow burst does not permanently lower the offered rate.
@@ -803,6 +923,8 @@ int CmdServe(const Flags& flags) {
   size_t rejected = 0;
   size_t expired = 0;
   size_t failed = 0;
+  size_t incomplete = 0;
+  double min_bound = 1.0;
   size_t result_cache_hits = 0;
   size_t plan_cache_hits = 0;
   uint64_t rows = 0;
@@ -817,6 +939,10 @@ int CmdServe(const Flags& flags) {
       plan_cache_hits += response->stats.plan_cache_hit ? 1 : 0;
       min_generation = std::min(min_generation, response->generation);
       max_generation = std::max(max_generation, response->generation);
+      if (!response->stats.complete) {
+        ++incomplete;
+        min_bound = std::min(min_bound, response->stats.completeness_bound);
+      }
     } else if (response.status().code() == StatusCode::kUnavailable) {
       ++rejected;
     } else if (response.status().code() == StatusCode::kDeadlineExceeded) {
@@ -835,6 +961,10 @@ int CmdServe(const Flags& flags) {
   stop_updates.store(true);
   if (updater.joinable()) updater.join();
   service.Shutdown();
+  if (g_drain.load()) {
+    std::cout << "drained:  admission stopped by signal after "
+              << FormatWithCommas(submitted) << " submissions\n";
+  }
 
   auto& metrics = obs::MetricsRegistry::Default();
   auto& latency =
@@ -853,6 +983,14 @@ int CmdServe(const Flags& flags) {
             << "caches:   " << FormatWithCommas(result_cache_hits)
             << " result hits, " << FormatWithCommas(plan_cache_hits)
             << " plan hits\n";
+  if (incomplete > 0) {
+    // Same "completeness>=" formatting as `mpc query`, so a degraded
+    // remote serve run can be diffed against the simulator's
+    // ComputeReplicaCoverage-derived bound (scripts/check.sh does).
+    std::cout << "partial:  " << FormatWithCommas(incomplete)
+              << " best-effort answers, completeness>="
+              << FormatDouble(100.0 * min_bound, 1) << "%\n";
+  }
   if (ok > 0) {
     std::cout << "gens:     " << min_generation << ".." << max_generation
               << " (" << batches_published.load()
@@ -876,6 +1014,7 @@ int RunCommand(const std::string& command, const Flags& flags) {
   if (command == "query") return CmdClassifyOrQuery(flags, true);
   if (command == "update") return CmdUpdate(flags);
   if (command == "serve") return CmdServe(flags);
+  if (command == "site") return CmdSite(flags);
   return Usage();
 }
 
