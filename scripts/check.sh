@@ -249,6 +249,76 @@ EOF
   echo "remote-cluster chaos smoke passed"
 }
 
+# Out-of-core segment smoke: pack a partitioning into .mpcseg segments,
+# validate them with segment_check, and require `mpc query` to print the
+# identical classification + result rows on the segment backend as on
+# the in-memory backend for the whole query set (only the timing figures
+# may differ). Then serve the query mix with a concurrent update stream
+# on --store=segment (exercises the segment-base + delta-overlay snapshot
+# path) and run the acceptance bench at reduced scale, which asserts the
+# >=5x cold-start and >=2x footprint ratios and query bit-identity on
+# LUBM. (The storage unit/fuzz tests also run under asan/ubsan via the
+# full ctest suites.)
+segment_smoke() {
+  local dir="$1"
+  echo "=== segment-store smoke: ${dir} ==="
+  local tmp
+  tmp="$(mktemp -d)"
+  trap 'rm -rf "${tmp}"' RETURN
+  cat > "${tmp}/g.nt" <<'EOF'
+<s:a> <p:knows> <s:b> .
+<s:b> <p:knows> <s:c> .
+<s:c> <p:knows> <s:a> .
+<s:a> <p:likes> <s:d> .
+<s:d> <p:likes> <s:e> .
+<s:e> <p:worksAt> <s:f> .
+<s:f> <p:worksAt> <s:g> .
+<s:g> <p:knows> <s:h> .
+<s:h> <p:likes> <s:a> .
+<s:b> <p:worksAt> <s:f> .
+<s:c> <p:likes> <s:e> .
+<s:d> <p:knows> <s:g> .
+EOF
+  cat > "${tmp}/q.txt" <<'EOF'
+SELECT * WHERE { ?x <p:knows> ?y . }
+SELECT * WHERE { ?x <p:likes> ?y . }
+SELECT * WHERE { ?x <p:knows> ?y . ?y <p:likes> ?z . }
+SELECT * WHERE { ?x <p:worksAt> ?y . }
+EOF
+  cat > "${tmp}/updates.ulog" <<'EOF'
++ <s:z> <p:new> <s:a> .
++ <s:z> <p:new> <s:b> .
+
+- <s:a> <p:likes> <s:d> .
++ <s:y> <p:knows> <s:z> .
+EOF
+  "${dir}/tools/mpc" partition "${tmp}/g.nt" "${tmp}/part" --k=2
+  "${dir}/tools/mpc" pack "${tmp}/g.nt" "${tmp}/part" --block-size=4096
+  "${dir}/tools/segment_check" "${tmp}/part"
+
+  # Full query set: everything but the timing line must be identical.
+  while IFS= read -r q; do
+    "${dir}/tools/mpc" query "${tmp}/g.nt" "${tmp}/part" "${q}" \
+      | sed 's/  (QDT.*//' > "${tmp}/memory.out"
+    "${dir}/tools/mpc" query "${tmp}/g.nt" "${tmp}/part" "${q}" \
+      --store=segment | sed 's/  (QDT.*//' > "${tmp}/segment.out"
+    diff "${tmp}/memory.out" "${tmp}/segment.out"
+  done < "${tmp}/q.txt"
+
+  local out
+  out="$("${dir}/tools/mpc" serve "${tmp}/g.nt" "${tmp}/part" \
+    --queries="${tmp}/q.txt" --concurrency=16 --repeat=50 \
+    --updates="${tmp}/updates.ulog" --update-interval-ms=1 \
+    --store=segment)"
+  echo "${out}"
+  grep -q "^rejected: 0$" <<< "${out}"
+  grep -q "^failed:   0$" <<< "${out}"
+  grep -q "^served:   200/200" <<< "${out}"
+
+  "${dir}/bench/segment_store" 0.5
+  echo "segment-store smoke passed"
+}
+
 # Crash-recovery smoke: stream updates with a write-ahead journal, kill
 # the process mid-stream (SIGKILL via --crash-after, exit 137), recover
 # with --recover, and require the recovered final partitioning to be
@@ -309,6 +379,7 @@ run_config build
 trace_smoke build
 recovery_smoke build
 serve_smoke build
+segment_smoke build
 chaos_smoke build
 # The asan run_config re-runs the whole suite — including the RPC frame
 # decoder fuzz tests and the multi-process RemoteCluster tests — under
@@ -328,4 +399,4 @@ echo "=== tracer/metrics/serving tests under tsan ==="
 ./build-tsan/tests/serve_test
 serve_smoke build-tsan
 
-echo "All checks passed (default + asan + ubsan + obs/serve smoke + tsan)."
+echo "All checks passed (default + asan + ubsan + obs/serve/segment smoke + tsan)."

@@ -1,0 +1,48 @@
+#ifndef MPC_COMMON_FUNCTION_REF_H_
+#define MPC_COMMON_FUNCTION_REF_H_
+
+#include <type_traits>
+#include <utility>
+
+namespace mpc {
+
+template <typename Signature>
+class FunctionRef;
+
+/// A non-owning, non-allocating callable reference: two words (object
+/// pointer + trampoline), trivially copyable. The replacement for
+/// `const std::function<...>&` on per-triple hot paths, where
+/// std::function's type-erased construction heap-allocates for any
+/// capture bigger than its small buffer — once per Scan call, i.e. once
+/// per pattern per partial binding in the matcher's recursion.
+///
+/// The referenced callable must outlive the FunctionRef (always true for
+/// a lambda passed directly to a function taking FunctionRef by value).
+template <typename R, typename... Args>
+class FunctionRef<R(Args...)> {
+ public:
+  template <typename F,
+            typename = std::enable_if_t<
+                !std::is_same_v<std::remove_cvref_t<F>, FunctionRef> &&
+                std::is_invocable_r_v<R, F&, Args...>>>
+  // NOLINTNEXTLINE(google-explicit-constructor): mirrors std::function.
+  FunctionRef(F&& f)
+      : obj_(const_cast<void*>(
+            static_cast<const void*>(std::addressof(f)))),
+        call_([](void* obj, Args... args) -> R {
+          return (*static_cast<std::remove_reference_t<F>*>(obj))(
+              std::forward<Args>(args)...);
+        }) {}
+
+  R operator()(Args... args) const {
+    return call_(obj_, std::forward<Args>(args)...);
+  }
+
+ private:
+  void* obj_;
+  R (*call_)(void*, Args...);
+};
+
+}  // namespace mpc
+
+#endif  // MPC_COMMON_FUNCTION_REF_H_

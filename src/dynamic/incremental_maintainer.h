@@ -221,6 +221,19 @@ class IncrementalMaintainer {
 
   size_t repartition_count() const { return repartitions_; }
 
+  /// The live-set delta relative to the loaded snapshot:
+  /// live = (snapshot ∪ added_triples) \ deleted_triples. Reset by a
+  /// repartition swap (the snapshot re-baselines). Exposed so a serving
+  /// capture can compose immutable pack-time segments with a delta
+  /// overlay instead of rebuilding stores (only valid while
+  /// repartition_count() == 0).
+  const std::unordered_set<rdf::Triple>& added_triples() const {
+    return added_;
+  }
+  const std::unordered_set<rdf::Triple>& deleted_triples() const {
+    return deleted_;
+  }
+
   /// Batches applied over the maintainer's lifetime (survives
   /// checkpoint/recovery); the journal sequence number of the next batch
   /// is batches_applied() + 1.

@@ -4,6 +4,10 @@
 
 #include "common/thread_pool.h"
 #include "common/timer.h"
+#include "partition/partition_io.h"
+#include "storage/delta_overlay.h"
+#include "storage/segment_store.h"
+#include "storage/segment_writer.h"
 
 namespace mpc::exec {
 
@@ -30,13 +34,113 @@ Cluster Cluster::Build(partition::Partitioning partitioning,
       cluster.property_present_[i * cluster.num_properties_ + t.property] = 1;
     }
     Timer timer;
-    cluster.stores_[i] = store::TripleStore(std::move(triples));
+    cluster.stores_[i] =
+        std::make_shared<const store::TripleStore>(std::move(triples));
     site_millis[i] = timer.ElapsedMillis();
   });
   cluster.loading_millis_ =
       site_millis.empty()
           ? 0.0
           : *std::max_element(site_millis.begin(), site_millis.end());
+  return cluster;
+}
+
+void Cluster::FillPropertyPresence() {
+  const size_t k = partitioning_.k();
+  num_properties_ = partitioning_.crossing_property_mask().size();
+  property_present_.assign(k * num_properties_, 0);
+  for (size_t i = 0; i < k; ++i) {
+    for (size_t p = 0; p < num_properties_; ++p) {
+      if (stores_[i]->PropertyCount(static_cast<rdf::PropertyId>(p)) > 0) {
+        property_present_[i * num_properties_ + p] = 1;
+      }
+    }
+  }
+}
+
+Result<Cluster> Cluster::BuildFromSegments(partition::Partitioning partitioning,
+                                           const std::string& dir,
+                                           int num_threads) {
+  const int threads = ResolveNumThreads(num_threads);
+  Result<uint64_t> fingerprint = partition::PartitionIo::Fingerprint(dir);
+  if (!fingerprint.ok()) return fingerprint.status();
+
+  Cluster cluster;
+  cluster.partitioning_ = std::move(partitioning);
+  const size_t k = cluster.partitioning_.k();
+  cluster.stores_.resize(k);
+  std::vector<double> site_millis(k, 0.0);
+  std::vector<Status> site_status(k);
+  ParallelFor(0, k, 1, threads, [&](size_t i) {
+    Timer timer;
+    storage::SegmentStore::OpenOptions open_options;
+    open_options.expected_fingerprint = *fingerprint;
+    Result<storage::SegmentStore> segment = storage::SegmentStore::Open(
+        storage::SegmentPath(dir, static_cast<uint32_t>(i)), open_options);
+    if (!segment.ok()) {
+      site_status[i] = segment.status();
+      return;
+    }
+    if (segment->header().site != i || segment->header().k != k) {
+      site_status[i] = Status::InvalidArgument(
+          segment->path() + ": segment is for site " +
+          std::to_string(segment->header().site) + "/" +
+          std::to_string(segment->header().k) + ", expected " +
+          std::to_string(i) + "/" + std::to_string(k));
+      return;
+    }
+    cluster.stores_[i] =
+        std::make_shared<const storage::SegmentStore>(std::move(*segment));
+    site_millis[i] = timer.ElapsedMillis();
+  });
+  for (const Status& st : site_status) {
+    if (!st.ok()) return st;
+  }
+  cluster.FillPropertyPresence();
+  cluster.loading_millis_ =
+      site_millis.empty()
+          ? 0.0
+          : *std::max_element(site_millis.begin(), site_millis.end());
+  return cluster;
+}
+
+Cluster Cluster::BuildOverlay(
+    partition::Partitioning partitioning,
+    std::vector<std::shared_ptr<const store::TripleSource>> bases,
+    const std::vector<rdf::Triple>& added,
+    const std::vector<rdf::Triple>& deleted) {
+  Cluster cluster;
+  cluster.partitioning_ = std::move(partitioning);
+  const size_t k = cluster.partitioning_.k();
+  Timer timer;
+  // A triple lives at its subject's owner site and (when crossing) its
+  // object's owner too — the vertex-disjoint placement rule — so each
+  // delta triple is routed to every site whose copy it affects.
+  const partition::VertexAssignment& assignment =
+      cluster.partitioning_.assignment();
+  std::vector<std::vector<rdf::Triple>> site_added(k);
+  std::vector<std::vector<rdf::Triple>> site_deleted(k);
+  auto route = [&](const rdf::Triple& t,
+                   std::vector<std::vector<rdf::Triple>>& out) {
+    if (t.subject >= assignment.part.size() ||
+        t.object >= assignment.part.size()) {
+      return;  // vertex unknown to this partitioning: affects no site
+    }
+    const uint32_t so = assignment.part[t.subject];
+    const uint32_t oo = assignment.part[t.object];
+    out[so].push_back(t);
+    if (oo != so) out[oo].push_back(t);
+  };
+  for (const rdf::Triple& t : added) route(t, site_added);
+  for (const rdf::Triple& t : deleted) route(t, site_deleted);
+
+  cluster.stores_.reserve(k);
+  for (size_t i = 0; i < k; ++i) {
+    cluster.stores_.push_back(std::make_shared<storage::DeltaOverlaySource>(
+        bases[i], std::move(site_added[i]), std::move(site_deleted[i])));
+  }
+  cluster.FillPropertyPresence();
+  cluster.loading_millis_ = timer.ElapsedMillis();
   return cluster;
 }
 
@@ -104,7 +208,7 @@ store::BindingTable SchemaTable(const store::ResolvedQuery& resolved,
   return table;
 }
 
-SiteEvalReply EvaluateSiteRequest(const store::TripleStore& store,
+SiteEvalReply EvaluateSiteRequest(const store::TripleSource& store,
                                   const store::ResolvedQuery& resolved,
                                   const SiteEvalRequest& request) {
   SiteEvalReply reply;
@@ -147,13 +251,13 @@ Status Cluster::EvaluateOnSite(uint32_t site,
                                const SiteEvalRequest& request,
                                const SiteCallPolicy& /*policy*/,
                                SiteEvalReply* reply) const {
-  *reply = EvaluateSiteRequest(stores_[site], resolved, request);
+  *reply = EvaluateSiteRequest(*stores_[site], resolved, request);
   return Status::Ok();
 }
 
 size_t Cluster::MemoryUsage() const {
   size_t bytes = 0;
-  for (const store::TripleStore& s : stores_) bytes += s.MemoryUsage();
+  for (const auto& s : stores_) bytes += s->MemoryUsage();
   return bytes;
 }
 

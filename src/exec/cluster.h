@@ -10,6 +10,7 @@
 #include "partition/partitioning.h"
 #include "rdf/graph.h"
 #include "store/bgp_matcher.h"
+#include "store/triple_source.h"
 #include "store/triple_store.h"
 
 namespace mpc::exec {
@@ -187,26 +188,58 @@ store::BindingTable SchemaTable(const store::ResolvedQuery& resolved,
                                 std::span<const size_t> pattern_indices);
 
 /// An in-process stand-in for the paper's 8-machine deployment: k
-/// TripleStore instances, one per partition, each holding that
-/// partition's internal edges plus crossing-edge replicas. Loading time
-/// (index construction) is measured per site; the reported figure is the
-/// maximum across sites, matching parallel loading on a real cluster.
-/// Kept as the deterministic test mode now that RemoteCluster runs the
-/// same partitionings as real worker processes.
+/// per-site TripleSources, one per partition, each holding that
+/// partition's internal edges plus crossing-edge replicas. The backend
+/// per site is interchangeable — in-memory TripleStore (Build), mmap'ed
+/// compressed SegmentStore (BuildFromSegments), or segment + delta
+/// overlay for the dynamic path (BuildOverlay) — with bit-identical
+/// query results. Loading time (index build / segment open) is measured
+/// per site; the reported figure is the maximum across sites, matching
+/// parallel loading on a real cluster. Kept as the deterministic test
+/// mode now that RemoteCluster runs the same partitionings as real
+/// worker processes.
 class Cluster final : public ClusterBackend {
  public:
   Cluster() = default;
 
-  /// Builds the per-site stores from a materialized partitioning. The
-  /// partitioning is moved in and retained (the executor needs its
-  /// crossing-property mask). Sites are independent, so with
-  /// num_threads > 1 (0 = hardware_concurrency) their indexes build
-  /// concurrently — mirroring what a real cluster does anyway — with
-  /// identical resulting stores at any thread count.
+  /// Builds the per-site in-memory stores from a materialized
+  /// partitioning. The partitioning is moved in and retained (the
+  /// executor needs its crossing-property mask). Sites are independent,
+  /// so with num_threads > 1 (0 = hardware_concurrency) their indexes
+  /// build concurrently — mirroring what a real cluster does anyway —
+  /// with identical resulting stores at any thread count.
   static Cluster Build(partition::Partitioning partitioning,
                        int num_threads = 1);
 
-  const store::TripleStore& site(uint32_t i) const { return stores_[i]; }
+  /// Opens `mpc pack`'s per-site segments from `dir` instead of
+  /// building in-memory indexes: cold start maps files and reads TOCs
+  /// rather than sorting four copies per site. Each segment's stamped
+  /// fingerprint must match the partition directory's. The partitioning
+  /// is still moved in for the executor's metadata (masks, ownership).
+  static Result<Cluster> BuildFromSegments(
+      partition::Partitioning partitioning, const std::string& dir,
+      int num_threads = 1);
+
+  /// Composes immutable per-site base sources with the dynamic
+  /// maintainer's add/tombstone sets: site i serves
+  /// (base_i ∪ added_i) \ deleted_i through a DeltaOverlaySource, so a
+  /// serving snapshot of a maintained graph never rebuilds the heavy
+  /// indexes. `partitioning` must be the maintained (vertex-disjoint)
+  /// partitioning the bases were packed for, with ownership unchanged
+  /// since pack time (i.e. no repartition) — callers enforce that.
+  static Cluster BuildOverlay(
+      partition::Partitioning partitioning,
+      std::vector<std::shared_ptr<const store::TripleSource>> bases,
+      const std::vector<rdf::Triple>& added,
+      const std::vector<rdf::Triple>& deleted);
+
+  const store::TripleSource& site(uint32_t i) const { return *stores_[i]; }
+  /// Shared handles to the site sources (so a later overlay build can
+  /// reuse them as bases without reopening).
+  const std::vector<std::shared_ptr<const store::TripleSource>>& sources()
+      const {
+    return stores_;
+  }
 
   size_t MemoryUsage() const override;
 
@@ -219,14 +252,20 @@ class Cluster final : public ClusterBackend {
                         SiteEvalReply* reply) const override;
 
  private:
-  std::vector<store::TripleStore> stores_;
+  /// Derives property_present_/num_properties_/loading bookkeeping from
+  /// already-constructed sources.
+  void FillPropertyPresence();
+
+  // shared_ptr, not unique_ptr: Cluster stays copyable (copies share
+  // the immutable sources), and overlay clusters alias their bases.
+  std::vector<std::shared_ptr<const store::TripleSource>> stores_;
 };
 
 /// Runs the matcher and applies the request's Bloom filters — the
 /// site-side half of one evaluation, shared verbatim by the in-process
 /// Cluster and the `mpc site` worker process so their tables are
-/// bit-identical.
-SiteEvalReply EvaluateSiteRequest(const store::TripleStore& store,
+/// bit-identical (for any TripleSource backend).
+SiteEvalReply EvaluateSiteRequest(const store::TripleSource& store,
                                   const store::ResolvedQuery& resolved,
                                   const SiteEvalRequest& request);
 

@@ -50,7 +50,10 @@ Result<std::unique_ptr<RemoteCluster>> RemoteCluster::Start(
                  "--socket=" + spec.socket_path,
                  "--generation=" + std::to_string(cluster->generation_),
                  "--threads=" +
-                     std::to_string(cluster->options_.worker_threads)};
+                     std::to_string(cluster->options_.worker_threads),
+                 "--store=" + (cluster->options_.store_kind.empty()
+                                   ? std::string("memory")
+                                   : cluster->options_.store_kind)};
     if (i == cluster->options_.kill_site &&
         cluster->options_.kill_after_queries > 0) {
       // chaos_argv, not argv: the supervisor drops it on respawn, so the

@@ -32,6 +32,9 @@ class RemoteCluster final : public ClusterBackend {
     std::string graph_path;
     /// PartitionIo::Save output the workers load their sites from.
     std::string partition_dir;
+    /// Store backend workers open: "memory" (re-parse + in-memory
+    /// indexes) or "segment" (mmap `mpc pack` output, no parse).
+    std::string store_kind = "memory";
     /// Directory for the per-site socket files (site_<i>.sock).
     std::string socket_dir;
     /// Stamp of the partition data; bumped by PushReload. A restarted

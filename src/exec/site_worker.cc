@@ -15,6 +15,8 @@
 #include "net/socket.h"
 #include "partition/partition_io.h"
 #include "rdf/ntriples.h"
+#include "storage/segment_store.h"
+#include "storage/segment_writer.h"
 #include "store/triple_store.h"
 
 namespace mpc::exec {
@@ -28,7 +30,7 @@ constexpr double kPollMillis = 200.0;
 /// Everything a worker serves: its partition's store plus the Hello
 /// self-description. Rebuilt wholesale on Reload.
 struct SiteData {
-  store::TripleStore store;
+  std::unique_ptr<const store::TripleSource> store;
   std::vector<uint8_t> property_present;
   uint32_t k = 0;
   uint64_t generation = 0;
@@ -41,15 +43,18 @@ struct SiteData {
     hello.generation = generation;
     hello.pid = static_cast<uint64_t>(::getpid());
     hello.load_millis = load_millis;
-    hello.memory_bytes = store.MemoryUsage();
+    hello.memory_bytes = store->MemoryUsage();
     hello.property_present = property_present;
     return hello;
   }
 };
 
-Status LoadSiteData(const std::string& graph_path,
-                    const std::string& partition_dir, uint32_t site,
-                    int num_threads, uint64_t generation, SiteData* data) {
+/// In-memory path: re-parse the graph, reload the partitioning, build
+/// the four-index store for this site.
+Status LoadMemorySiteData(const std::string& graph_path,
+                          const std::string& partition_dir, uint32_t site,
+                          int num_threads, uint64_t generation,
+                          SiteData* data) {
   Timer timer;
   rdf::GraphBuilder builder;
   MPC_RETURN_IF_ERROR(
@@ -72,11 +77,60 @@ Status LoadSiteData(const std::string& graph_path,
   for (const rdf::Triple& t : triples) {
     data->property_present[t.property] = 1;
   }
-  data->store = store::TripleStore(std::move(triples));
+  data->store = std::make_unique<store::TripleStore>(std::move(triples));
   data->k = partitioning->k();
   data->generation = generation;
   data->load_millis = timer.ElapsedMillis();
   return Status::Ok();
+}
+
+/// Segment path: mmap this site's `.mpcseg` — no graph parse at all.
+/// Every id a query needs was resolved at the coordinator, and the
+/// Hello metadata (k, property presence) lives in the segment header
+/// and TOC. The fingerprint check pins the segment to the partition
+/// directory being served.
+Status LoadSegmentSiteData(const std::string& partition_dir, uint32_t site,
+                           uint64_t generation, SiteData* data) {
+  Timer timer;
+  Result<uint64_t> fingerprint =
+      partition::PartitionIo::Fingerprint(partition_dir);
+  if (!fingerprint.ok()) return fingerprint.status();
+  storage::SegmentStore::OpenOptions open_options;
+  open_options.expected_fingerprint = *fingerprint;
+  Result<storage::SegmentStore> segment = storage::SegmentStore::Open(
+      storage::SegmentPath(partition_dir, site), open_options);
+  if (!segment.ok()) return segment.status();
+  if (segment->header().site != site) {
+    return Status::InvalidArgument(
+        segment->path() + ": segment is for site " +
+        std::to_string(segment->header().site) + ", expected " +
+        std::to_string(site));
+  }
+  const size_t num_properties =
+      static_cast<size_t>(segment->header().num_properties);
+  data->property_present.assign(num_properties, 0);
+  for (size_t p = 0; p < num_properties; ++p) {
+    if (segment->PropertyCount(static_cast<rdf::PropertyId>(p)) > 0) {
+      data->property_present[p] = 1;
+    }
+  }
+  data->k = segment->header().k;
+  data->store =
+      std::make_unique<storage::SegmentStore>(std::move(*segment));
+  data->generation = generation;
+  data->load_millis = timer.ElapsedMillis();
+  return Status::Ok();
+}
+
+Status LoadSiteData(const std::string& store_kind,
+                    const std::string& graph_path,
+                    const std::string& partition_dir, uint32_t site,
+                    int num_threads, uint64_t generation, SiteData* data) {
+  if (store_kind == "segment") {
+    return LoadSegmentSiteData(partition_dir, site, generation, data);
+  }
+  return LoadMemorySiteData(graph_path, partition_dir, site, num_threads,
+                            generation, data);
 }
 
 bool ShouldStop(const SiteWorkerOptions& options) {
@@ -102,7 +156,8 @@ std::string HandleEval(const SiteData& data, const EvalRequestMsg& msg) {
   request.pattern_indices = indices;
   request.max_rows = msg.max_rows;
   request.var_filters = msg.filters.empty() ? nullptr : &filters;
-  SiteEvalReply reply = EvaluateSiteRequest(data.store, msg.resolved, request);
+  SiteEvalReply reply =
+      EvaluateSiteRequest(*data.store, msg.resolved, request);
   return EncodeEvalReply(reply);
 }
 
@@ -153,8 +208,12 @@ void ServeConnection(const net::Socket& conn, const SiteWorkerOptions& options,
         Status st = msg.ok() ? Status::Ok() : msg.status();
         if (st.ok()) {
           SiteData fresh;
-          st = LoadSiteData(msg->graph_path, msg->partition_dir, options.site,
-                            options.num_threads, msg->generation, &fresh);
+          // Reload always rebuilds in memory: it follows a repartition,
+          // which changes ownership and so invalidates pack-time
+          // segments (their fingerprint no longer matches).
+          st = LoadSiteData("memory", msg->graph_path, msg->partition_dir,
+                            options.site, options.num_threads,
+                            msg->generation, &fresh);
           if (st.ok()) *data = std::move(fresh);
         }
         if (!st.ok()) {
@@ -186,9 +245,10 @@ void ServeConnection(const net::Socket& conn, const SiteWorkerOptions& options,
 Status RunSiteWorker(const SiteWorkerOptions& options) {
   CrashAfter crash(options.kill_after_queries);
   SiteData data;
-  MPC_RETURN_IF_ERROR(LoadSiteData(options.graph_path, options.partition_dir,
-                                   options.site, options.num_threads,
-                                   options.generation, &data));
+  MPC_RETURN_IF_ERROR(LoadSiteData(options.store_kind, options.graph_path,
+                                   options.partition_dir, options.site,
+                                   options.num_threads, options.generation,
+                                   &data));
   Result<net::Socket> listener = net::Socket::Listen(options.socket_path);
   if (!listener.ok()) return listener.status();
   // One connection at a time: the coordinator keeps a single persistent

@@ -14,6 +14,13 @@ namespace mpc::exec {
 struct SiteWorkerOptions {
   std::string graph_path;     // same file the coordinator parses
   std::string partition_dir;  // PartitionIo::Save output
+  /// "memory" re-parses the graph and builds an in-memory TripleStore;
+  /// "segment" mmaps `mpc pack`'s partition_<site>.mpcseg instead — no
+  /// N-Triples parse at all (the RPC protocol ships resolved ids), so
+  /// worker cold start is the segment open. A Reload frame (pushed
+  /// after a repartition, which invalidates pack-time segments) always
+  /// rebuilds in memory.
+  std::string store_kind = "memory";
   uint32_t site = 0;
   std::string socket_path;
   /// Generation of the partition data on disk; echoed in Hello so the

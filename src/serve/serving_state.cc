@@ -26,6 +26,25 @@ ServingState::ServingState(rdf::RdfGraph graph,
 std::shared_ptr<const ServingState> ServingState::Capture(
     dynamic::IncrementalMaintainer& maintainer,
     const ServingStateOptions& options) {
+  // Out-of-core path: compose the pack-time bases with the maintainer's
+  // delta instead of rebuilding indexes. Only sound while ownership is
+  // exactly what the segments were packed for — any repartition (which
+  // re-baselines the delta sets too) forces the rebuild below.
+  const partition::Partitioning& maintained = maintainer.partitioning();
+  if (!options.base_sources.empty() && maintainer.repartition_count() == 0 &&
+      !maintainer.repartition_pending() &&
+      maintained.kind() == partition::PartitioningKind::kVertexDisjoint &&
+      options.base_sources.size() == maintained.k()) {
+    const auto& added_set = maintainer.added_triples();
+    const auto& deleted_set = maintainer.deleted_triples();
+    std::vector<rdf::Triple> added(added_set.begin(), added_set.end());
+    std::vector<rdf::Triple> deleted(deleted_set.begin(), deleted_set.end());
+    auto cluster = std::make_unique<exec::Cluster>(exec::Cluster::BuildOverlay(
+        maintained, options.base_sources, added, deleted));
+    return std::shared_ptr<const ServingState>(
+        new ServingState(maintainer.graph().Clone(), std::move(cluster),
+                         maintainer.generation(), options));
+  }
   return Build(maintainer.graph().Clone(), maintainer.CompactPartitioning(),
                maintainer.generation(), options);
 }

@@ -3,6 +3,7 @@
 
 #include <cstdint>
 #include <memory>
+#include <vector>
 
 #include "dynamic/incremental_maintainer.h"
 #include "exec/cluster.h"
@@ -24,6 +25,14 @@ struct ServingStateOptions {
   /// Worker threads for the one-off Cluster::Build (site index
   /// construction), not for query evaluation. 0 = hardware_concurrency.
   int build_threads = 0;
+  /// Immutable per-site base sources (opened `mpc pack` segments, one
+  /// per site). When set, Capture composes each site as
+  /// base + delta overlay from the maintainer's add/tombstone sets
+  /// instead of rebuilding in-memory indexes — the out-of-core dynamic
+  /// path. Falls back to the full rebuild whenever the bases no longer
+  /// describe the maintained partitioning (a repartition happened, or k
+  /// differs). Build/WrapBackend ignore it.
+  std::vector<std::shared_ptr<const store::TripleSource>> base_sources;
 };
 
 /// An immutable, self-contained snapshot of everything needed to answer

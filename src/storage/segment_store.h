@@ -1,0 +1,139 @@
+#ifndef MPC_STORAGE_SEGMENT_STORE_H_
+#define MPC_STORAGE_SEGMENT_STORE_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "rdf/types.h"
+#include "storage/segment_format.h"
+#include "store/triple_source.h"
+
+namespace mpc::storage {
+
+/// Read-only TripleSource over one mmap'ed `.mpcseg` segment — the
+/// compressed out-of-core backend. Opening maps the file and reads only
+/// the header and TOC (plus, by default, one sequential checksum pass);
+/// scans then decode exactly the blocks the zone maps cannot rule out,
+/// so bound-pattern work is proportional to the matching data, not the
+/// partition. Emission order and cardinalities follow the TripleSource
+/// contract bit-for-bit, so a SegmentStore is interchangeable with the
+/// in-memory TripleStore anywhere in the executor.
+///
+/// Thread-safe for concurrent scans (the mapping is immutable; the only
+/// mutable state is the relaxed stats counters).
+class SegmentStore final : public store::TripleSource {
+ public:
+  struct OpenOptions {
+    /// Verify every block payload checksum at open (one sequential pass
+    /// over the file). With false, only the header and TOC are
+    /// verified — cold start touches O(TOC) pages — and block checksums
+    /// are still enforced lazily the first time each block is decoded;
+    /// a block failing then is reported through corruption_detected()
+    /// and its scan stops emitting (the executor's per-site error
+    /// handling surfaces it). `tools/segment_check` validates segments
+    /// fully offline, so lazy mode is safe after a checked deploy.
+    bool verify_blocks = true;
+    /// When nonzero, the segment's stamped partition fingerprint must
+    /// match (InvalidArgument otherwise) — a segment packed for a
+    /// different partitioning must never serve its queries.
+    uint64_t expected_fingerprint = 0;
+  };
+
+  /// Maps and validates `path`. Torn, truncated or garbage files return
+  /// ParseError; nothing is allocated based on unvalidated sizes.
+  static Result<SegmentStore> Open(const std::string& path,
+                                   const OpenOptions& options);
+  static Result<SegmentStore> Open(const std::string& path) {
+    return Open(path, OpenOptions());
+  }
+
+  SegmentStore(SegmentStore&& other) noexcept;
+  SegmentStore& operator=(SegmentStore&& other) noexcept;
+  SegmentStore(const SegmentStore&) = delete;
+  SegmentStore& operator=(const SegmentStore&) = delete;
+  ~SegmentStore() override;
+
+  // TripleSource interface.
+  size_t num_triples() const override {
+    return static_cast<size_t>(header_.num_triples);
+  }
+  size_t PropertyCount(rdf::PropertyId p) const override;
+  bool Scan(rdf::VertexId s, rdf::PropertyId p, rdf::VertexId o,
+            store::ScanFn fn) const override;
+  size_t EstimateCardinality(rdf::VertexId s, rdf::PropertyId p,
+                             rdf::VertexId o) const override;
+  /// Mapped file bytes plus the in-heap TOC mirror — the resident
+  /// ceiling; actual residency is only the pages scans touched.
+  size_t MemoryUsage() const override;
+
+  const SegmentHeader& header() const { return header_; }
+  size_t file_size() const { return size_; }
+  const std::string& path() const { return path_; }
+
+  /// Scan-pruning counters (relaxed; for benches and tests).
+  uint64_t blocks_decoded() const {
+    return stats_->decoded.load(std::memory_order_relaxed);
+  }
+  uint64_t blocks_pruned() const {
+    return stats_->pruned.load(std::memory_order_relaxed);
+  }
+  /// True once any lazily-verified block failed its checksum.
+  bool corruption_detected() const {
+    return stats_->corrupt.load(std::memory_order_relaxed);
+  }
+
+  /// Exhaustive offline validation (the `segment_check` tool): decodes
+  /// every block of both runs and re-derives what the TOC asserts —
+  /// strict global sort order, per-block first/last keys and zone maps,
+  /// per-property counts and block ranges. ParseError naming the first
+  /// violated invariant.
+  Status DeepCheck() const;
+
+ private:
+  struct ScanStats {
+    std::atomic<uint64_t> decoded{0};
+    std::atomic<uint64_t> pruned{0};
+    std::atomic<bool> corrupt{false};
+  };
+
+  SegmentStore() = default;
+
+  const std::vector<BlockMeta>& metas(RunOrder run) const {
+    return run == RunOrder::kPso ? pso_metas_ : pos_metas_;
+  }
+  const uint8_t* BlockPayload(RunOrder run, uint32_t index) const;
+  /// Checksum gate for lazy mode; true iff the block may be decoded.
+  bool BlockUsable(RunOrder run, uint32_t index) const;
+
+  /// Emits triples with key in [lo, hi] from `run`, in key order.
+  /// Returns false iff `fn` stopped early.
+  bool ScanKeyRange(RunOrder run, const Key3& lo, const Key3& hi,
+                    store::ScanFn fn) const;
+  /// Full-run sweep with optional equality filters on the mid/minor key
+  /// columns, pruned by zone maps. Emits in the run's key order.
+  bool SweepFiltered(RunOrder run, bool bound_mid, uint32_t mid,
+                     bool bound_minor, uint32_t minor, store::ScanFn fn) const;
+  /// Exact match count for key range [lo, hi]; fully-covered blocks
+  /// count by meta without decoding.
+  size_t CountKeyRange(RunOrder run, const Key3& lo, const Key3& hi) const;
+  size_t CountFiltered(RunOrder run, bool bound_mid, uint32_t mid,
+                       bool bound_minor, uint32_t minor) const;
+
+  std::string path_;
+  const uint8_t* base_ = nullptr;  // mmap'ed file, PROT_READ
+  size_t size_ = 0;
+  SegmentHeader header_;
+  std::vector<PropertyEntry> properties_;
+  std::vector<BlockMeta> pso_metas_;
+  std::vector<BlockMeta> pos_metas_;
+  bool verified_at_open_ = false;
+  std::unique_ptr<ScanStats> stats_;
+};
+
+}  // namespace mpc::storage
+
+#endif  // MPC_STORAGE_SEGMENT_STORE_H_

@@ -1,0 +1,52 @@
+#ifndef MPC_STORAGE_SEGMENT_WRITER_H_
+#define MPC_STORAGE_SEGMENT_WRITER_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "rdf/types.h"
+#include "storage/segment_format.h"
+
+namespace mpc::storage {
+
+struct SegmentWriterOptions {
+  uint32_t block_size = kDefaultBlockSize;
+  uint32_t site = 0;
+  uint32_t k = 0;
+  /// Universe sizes of the graph the ids were encoded against; open
+  /// paths cross-check them so a segment is never scanned with a
+  /// different dictionary.
+  uint64_t num_properties = 0;
+  uint64_t num_vertices = 0;
+  /// PartitionIo::Fingerprint of the partition directory (0 = unbound,
+  /// tests only).
+  uint64_t partition_fingerprint = 0;
+};
+
+struct SegmentWriteStats {
+  uint64_t num_triples = 0;  // after dedup
+  uint64_t file_bytes = 0;
+  uint32_t pso_blocks = 0;
+  uint32_t pos_blocks = 0;
+};
+
+/// Writes one site's triples as an immutable segment at `path`:
+/// sorts and dedups (replicas of one edge appear once, exactly as
+/// TripleStore's constructor does), encodes the PSO and POS runs into
+/// page-aligned delta+varint blocks with zone maps, and publishes with
+/// the tmp-file + fsync + rename protocol so a crash never leaves a
+/// half-written segment under the final name.
+Status WriteSegment(const std::string& path, std::vector<rdf::Triple> triples,
+                    const SegmentWriterOptions& options,
+                    SegmentWriteStats* stats = nullptr);
+
+/// Segment file name for one site, `partition_<i>.mpcseg`, alongside
+/// PartitionIo's `partition_<i>.nt`.
+std::string SegmentFileName(uint32_t site);
+std::string SegmentPath(const std::string& dir, uint32_t site);
+
+}  // namespace mpc::storage
+
+#endif  // MPC_STORAGE_SEGMENT_WRITER_H_

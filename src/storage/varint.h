@@ -1,0 +1,56 @@
+#ifndef MPC_STORAGE_VARINT_H_
+#define MPC_STORAGE_VARINT_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+namespace mpc::storage {
+
+/// LEB128 varints over uint32 ids — the per-component encoding inside
+/// segment blocks. A uint32 takes 1–5 bytes; deltas of sorted runs are
+/// almost always 1 byte.
+inline constexpr size_t kMaxVarint32Bytes = 5;
+
+inline void AppendVarint32(uint32_t value, std::string* out) {
+  while (value >= 0x80u) {
+    out->push_back(static_cast<char>((value & 0x7fu) | 0x80u));
+    value >>= 7;
+  }
+  out->push_back(static_cast<char>(value));
+}
+
+inline size_t Varint32Size(uint32_t value) {
+  size_t n = 1;
+  while (value >= 0x80u) {
+    ++n;
+    value >>= 7;
+  }
+  return n;
+}
+
+/// Bounds-checked decode: reads a varint from data[*pos..len). Returns
+/// false (without moving *pos past len) on truncation, on more than 5
+/// bytes, or on a 5th byte carrying bits beyond 32 — every corrupt
+/// input is a clean decode failure, never a read past the buffer.
+inline bool DecodeVarint32(const uint8_t* data, size_t len, size_t* pos,
+                           uint32_t* value) {
+  uint32_t result = 0;
+  size_t p = *pos;
+  for (size_t i = 0; i < kMaxVarint32Bytes; ++i) {
+    if (p >= len) return false;
+    const uint8_t byte = data[p++];
+    if (i == 4 && (byte & ~0x0fu) != 0) return false;  // > 32 bits
+    result |= static_cast<uint32_t>(byte & 0x7fu) << (7 * i);
+    if ((byte & 0x80u) == 0) {
+      *pos = p;
+      *value = result;
+      return true;
+    }
+  }
+  return false;  // 5 continuation bytes: malformed
+}
+
+}  // namespace mpc::storage
+
+#endif  // MPC_STORAGE_VARINT_H_

@@ -110,7 +110,7 @@ namespace {
 /// var id; kUnbound marks free variables.
 class SearchState {
  public:
-  SearchState(const TripleStore& store, const ResolvedQuery& query,
+  SearchState(const TripleSource& store, const ResolvedQuery& query,
               std::vector<size_t> order, std::vector<uint32_t> columns,
               size_t max_results)
       : store_(store),
@@ -172,7 +172,7 @@ class SearchState {
     });
   }
 
-  const TripleStore& store_;
+  const TripleSource& store_;
   const ResolvedQuery& query_;
   std::vector<size_t> order_;
   std::vector<uint32_t> columns_;
@@ -185,7 +185,7 @@ class SearchState {
 /// strongly preferring patterns that share a variable with those already
 /// placed (so the search stays join-connected and each step is a lookup,
 /// not a cross product).
-std::vector<size_t> OrderPatterns(const TripleStore& store,
+std::vector<size_t> OrderPatterns(const TripleSource& store,
                                   const ResolvedQuery& query,
                                   std::span<const size_t> pattern_indices) {
   std::vector<size_t> remaining(pattern_indices.begin(),
@@ -244,7 +244,7 @@ std::vector<size_t> OrderPatterns(const TripleStore& store,
 
 }  // namespace
 
-BindingTable BgpMatcher::Evaluate(const TripleStore& store,
+BindingTable BgpMatcher::Evaluate(const TripleSource& store,
                                   const ResolvedQuery& query,
                                   std::span<const size_t> pattern_indices,
                                   const Options& options) {
@@ -273,7 +273,7 @@ BindingTable BgpMatcher::Evaluate(const TripleStore& store,
   return state.Run();
 }
 
-BindingTable BgpMatcher::EvaluateAll(const TripleStore& store,
+BindingTable BgpMatcher::EvaluateAll(const TripleSource& store,
                                      const ResolvedQuery& query,
                                      const Options& options) {
   std::vector<size_t> all(query.patterns.size());

@@ -9,7 +9,7 @@
 #include "common/status.h"
 #include "rdf/graph.h"
 #include "sparql/query_graph.h"
-#include "store/triple_store.h"
+#include "store/triple_source.h"
 
 namespace mpc::store {
 
@@ -73,8 +73,9 @@ struct BindingTable {
 BindingTable ApplyProjection(const BindingTable& table,
                              const std::vector<uint32_t>& projection);
 
-/// Backtracking subgraph-homomorphism matcher over one TripleStore —
-/// the "local evaluation" engine of Section V-B2. Pattern order is chosen
+/// Backtracking subgraph-homomorphism matcher over one TripleSource
+/// (in-memory TripleStore or mmap'ed SegmentStore alike) — the "local
+/// evaluation" engine of Section V-B2. Pattern order is chosen
 /// greedily by estimated cardinality with join-connectivity preference
 /// (bound-first), the standard strategy in RDF engines.
 struct MatcherOptions {
@@ -89,13 +90,13 @@ class BgpMatcher {
   /// Evaluates the sub-BGP formed by `pattern_indices` (indices into
   /// query.patterns). The result table's columns are exactly the
   /// variables used by those patterns, ascending by var id.
-  static BindingTable Evaluate(const TripleStore& store,
+  static BindingTable Evaluate(const TripleSource& store,
                                const ResolvedQuery& query,
                                std::span<const size_t> pattern_indices,
                                const Options& options = Options());
 
   /// Evaluates the whole query.
-  static BindingTable EvaluateAll(const TripleStore& store,
+  static BindingTable EvaluateAll(const TripleSource& store,
                                   const ResolvedQuery& query,
                                   const Options& options = Options());
 };

@@ -1,0 +1,74 @@
+#ifndef MPC_STORE_TRIPLE_SOURCE_H_
+#define MPC_STORE_TRIPLE_SOURCE_H_
+
+#include <cstddef>
+
+#include "common/function_ref.h"
+#include "rdf/types.h"
+
+namespace mpc::store {
+
+/// Per-triple scan callback: return false to stop the scan early.
+/// FunctionRef, not std::function — Scan sits in the matcher's innermost
+/// recursion and must not allocate per call.
+using ScanFn = FunctionRef<bool(const rdf::Triple&)>;
+
+/// Abstract read surface of one site's triple set. Two backends
+/// implement it: the in-memory `TripleStore` (four uncompressed sort
+/// copies) and the mmap'ed `storage::SegmentStore` (compressed on-disk
+/// segments, zone-map-pruned scans), plus `storage::DeltaOverlaySource`
+/// composing a base with the dynamic maintainer's add/tombstone sets.
+/// BgpMatcher, Cluster, the site workers and serve::QueryService all run
+/// against this interface, so backends are interchangeable per site.
+///
+/// Scan emission order is part of the contract — the distributed
+/// executor's bit-identity across backends depends on it. For each
+/// bound/unbound combination of (s, p, o), matches are emitted sorted
+/// by:
+///
+///   p,s bound      → object ascending            (PSO run)
+///   p,o bound      → subject ascending           (POS run)
+///   p bound        → (subject, object) ascending (PSO run)
+///   s,o bound      → property ascending
+///   s bound        → (property, object) ascending
+///   o bound        → (subject, property) ascending
+///   none bound     → (property, subject, object) ascending
+///   s,p,o bound    → the single match, if present
+///
+/// EstimateCardinality must be EXACT for every combination (both
+/// existing backends are): the matcher orders patterns greedily by these
+/// numbers, so differing estimates would reorder the search and change
+/// row order even with identical triple sets.
+class TripleSource {
+ public:
+  virtual ~TripleSource() = default;
+
+  /// Number of distinct triples held.
+  virtual size_t num_triples() const = 0;
+
+  /// Number of triples with property p (0 if absent here).
+  virtual size_t PropertyCount(rdf::PropertyId p) const = 0;
+
+  /// Enumerates triples matching the pattern in the contract order
+  /// above; kInvalidVertex / kInvalidProperty mean "unbound". Returns
+  /// false iff the callback stopped the scan early.
+  virtual bool Scan(rdf::VertexId s, rdf::PropertyId p, rdf::VertexId o,
+                    ScanFn fn) const = 0;
+
+  /// Exact number of matches for the pattern (see class comment).
+  virtual size_t EstimateCardinality(rdf::VertexId s, rdf::PropertyId p,
+                                     rdf::VertexId o) const = 0;
+
+  /// Approximate resident footprint in bytes: heap for in-memory
+  /// backends, mapped file bytes for segment-backed ones.
+  virtual size_t MemoryUsage() const = 0;
+
+ protected:
+  TripleSource() = default;
+  TripleSource(const TripleSource&) = default;
+  TripleSource& operator=(const TripleSource&) = default;
+};
+
+}  // namespace mpc::store
+
+#endif  // MPC_STORE_TRIPLE_SOURCE_H_

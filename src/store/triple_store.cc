@@ -108,9 +108,8 @@ size_t TripleStore::PropertyCount(PropertyId p) const {
   return PsoRange(p).size();
 }
 
-bool TripleStore::Scan(
-    VertexId s, PropertyId p, VertexId o,
-    const std::function<bool(const rdf::Triple&)>& fn) const {
+bool TripleStore::Scan(VertexId s, PropertyId p, VertexId o,
+                       ScanFn fn) const {
   const bool bs = s != kInvalidVertex;
   const bool bp = p != kInvalidProperty;
   const bool bo = o != kInvalidVertex;

@@ -2,11 +2,11 @@
 #define MPC_STORE_TRIPLE_STORE_H_
 
 #include <cstdint>
-#include <functional>
 #include <span>
 #include <vector>
 
 #include "rdf/types.h"
+#include "store/triple_source.h"
 
 namespace mpc::store {
 
@@ -18,33 +18,39 @@ namespace mpc::store {
 /// One instance holds one partition F_i = E_i ∪ E_i^c (internal edges
 /// plus crossing-edge replicas) in the vertex-disjoint setting, or the
 /// property shards of a VP site.
-class TripleStore {
+///
+/// This is the uncompressed in-memory TripleSource backend; see
+/// storage::SegmentStore for the compressed mmap'ed one.
+class TripleStore final : public TripleSource {
  public:
   TripleStore() = default;
 
-  /// Builds the three indexes from a partition's triples (duplicates are
+  /// Builds all four indexes from a partition's triples (duplicates are
   /// removed; replicas of the same edge appear once per site).
   explicit TripleStore(std::vector<rdf::Triple> triples);
 
-  size_t num_triples() const { return pso_.size(); }
+  size_t num_triples() const override { return pso_.size(); }
 
   /// Number of triples with property p (0 if absent here).
-  size_t PropertyCount(rdf::PropertyId p) const;
+  size_t PropertyCount(rdf::PropertyId p) const override;
 
   /// Enumerates triples matching the pattern; kInvalidVertex /
   /// kInvalidProperty mean "unbound". Returns false from the callback to
-  /// stop early; Scan returns false iff stopped early.
+  /// stop early; Scan returns false iff stopped early. Emission order
+  /// follows the TripleSource contract.
   bool Scan(rdf::VertexId s, rdf::PropertyId p, rdf::VertexId o,
-            const std::function<bool(const rdf::Triple&)>& fn) const;
+            ScanFn fn) const override;
 
   /// Estimated number of matches for the pattern, used by the matcher's
-  /// pattern ordering. Exact for (p), (p,s), (p,o), (s), (o) and (s,o)
-  /// prefixes; num_triples() for fully unbound.
+  /// pattern ordering. Exact for every bound/unbound combination (point
+  /// lookups, (p), (p,s), (p,o), (s), (o) and (s,o) prefixes);
+  /// num_triples() for fully unbound.
   size_t EstimateCardinality(rdf::VertexId s, rdf::PropertyId p,
-                             rdf::VertexId o) const;
+                             rdf::VertexId o) const override;
 
   /// Approximate heap footprint in bytes (for the loading report).
-  size_t MemoryUsage() const;
+  /// Counts all FOUR sort copies — PSO, POS, SPO and OSP.
+  size_t MemoryUsage() const override;
 
  private:
   std::span<const rdf::Triple> PsoRange(rdf::PropertyId p) const;

@@ -5,7 +5,9 @@
 //                 [--k=N] [--epsilon=E] [--seed=S] [--threads=T]
 //   mpc classify <data.nt> <partition_dir> <sparql...>
 //   mpc explain <data.nt> <partition_dir> <sparql...>
+//   mpc pack <data.nt> <partition_dir> [--block-size=B]
 //   mpc query <data.nt> <partition_dir> <sparql...>
+//       [--store=memory|segment]
 //       [--fail-sites=0,3] [--fault-rate=P] [--transient-rate=P]
 //       [--site-timeout-ms=T] [--retries=N] [--fault-seed=S]
 //       [--partial-results=fail|best-effort]
@@ -44,6 +46,13 @@
 // (state bit-identical to a run that never crashed). A journal is bound
 // to its partition_dir by fingerprint; re-running without --recover over
 // an existing journal is refused rather than silently double-applied.
+//
+// `pack` writes each site's triples as an immutable compressed segment
+// (partition_<i>.mpcseg) next to the partition's N-Triples files; with
+// --store=segment, query/serve/site then mmap those segments instead of
+// re-parsing and re-indexing — cold start becomes a file map plus a TOC
+// read, and resident memory is bounded by the pages queries touch.
+// Results are bit-identical between the two backends.
 //
 // The SPARQL argument may be a file path or an inline query string.
 // --threads=0 (the default) uses every hardware thread; --threads=1 runs
@@ -102,6 +111,8 @@
 #include "serve/query_service.h"
 #include "serve/serving_state.h"
 #include "sparql/parser.h"
+#include "storage/segment_store.h"
+#include "storage/segment_writer.h"
 
 namespace {
 
@@ -115,7 +126,9 @@ int Usage() {
                 [--k=N] [--epsilon=E] [--seed=S] [--threads=T]
   mpc classify <data.nt> <partition_dir> <sparql-or-file>
   mpc explain <data.nt> <partition_dir> <sparql-or-file>
+  mpc pack <data.nt> <partition_dir> [--block-size=B]
   mpc query <data.nt> <partition_dir> <sparql-or-file>
+      [--store=memory|segment]
       [--fail-sites=0,3] [--fault-rate=P] [--transient-rate=P]
       [--site-timeout-ms=T] [--retries=N] [--retry-backoff-ms=B]
       [--fault-seed=S] [--partial-results=fail|best-effort]
@@ -126,12 +139,14 @@ int Usage() {
       [--journal-dir=DIR] [--checkpoint-every=N] [--recover]
       [--max-replay=N] [--backpressure=block|reanchor]
   mpc serve <data.nt> <partition_dir> --queries=FILE
+      [--store=memory|segment]
       [--concurrency=N] [--qps=R] [--repeat=N]
       [--queue-cap=N] [--admission=reject|block] [--deadline-ms=D]
       [--updates=FILE] [--update-interval-ms=I]
       [--remote] [--socket-dir=DIR] [--worker-binary=PATH]
       [--max-restarts=N] [--kill-site=I] [--kill-after-queries=N]
   mpc site <data.nt> <partition_dir> --site=I --socket=PATH
+      [--store=memory|segment]
       [--generation=G] [--kill-after-queries=N]
 observability (any command):
       [--trace-out=FILE] [--trace-summary] [--metrics-out=FILE]
@@ -147,6 +162,11 @@ struct Flags {
   double epsilon = 0.1;
   uint64_t seed = 1;
   int threads = 0;  // 0 = hardware_concurrency
+
+  // Store backend for query/serve/site ("segment" needs a prior
+  // `mpc pack`), and the pack command's block size.
+  std::string store = "memory";
+  uint32_t block_size = storage::kDefaultBlockSize;
 
   // Fault injection (query command).
   std::vector<uint32_t> fail_sites;
@@ -235,6 +255,8 @@ struct Flags {
     parser.AddDouble("epsilon", &flags.epsilon);
     parser.AddUint64("seed", &flags.seed);
     parser.AddInt("threads", &flags.threads);
+    parser.AddChoice("store", &flags.store, {"memory", "segment"});
+    parser.AddUint32("block-size", &flags.block_size);
     parser.AddUint32List("fail-sites", &flags.fail_sites);
     parser.AddDouble("fault-rate", &flags.fault_rate);
     parser.AddDouble("transient-rate", &flags.transient_rate);
@@ -489,8 +511,20 @@ int CmdClassifyOrQuery(const Flags& flags, bool execute) {
   }
   if (!execute) return 0;
 
-  exec::Cluster cluster =
-      exec::Cluster::Build(std::move(*partitioning), flags.threads);
+  exec::Cluster cluster;
+  if (flags.store == "segment") {
+    Result<exec::Cluster> opened = exec::Cluster::BuildFromSegments(
+        std::move(*partitioning), flags.positional[1], flags.threads);
+    if (!opened.ok()) {
+      std::cerr << opened.status().ToString()
+                << "\n(--store=segment needs `mpc pack " << flags.positional[0]
+                << " " << flags.positional[1] << "` first)\n";
+      return 1;
+    }
+    cluster = std::move(*opened);
+  } else {
+    cluster = exec::Cluster::Build(std::move(*partitioning), flags.threads);
+  }
   exec::DistributedExecutor executor(cluster, *graph, flags.ExecutorOpts());
   Result<exec::QueryResponse> response =
       executor.Execute(exec::QueryRequest::FromQuery(*query));
@@ -533,6 +567,79 @@ int CmdClassifyOrQuery(const Flags& flags, bool execute) {
   if (result.rows.size() > limit) {
     std::cout << "  ... (" << result.rows.size() - limit << " more)\n";
   }
+  return 0;
+}
+
+/// `mpc pack`: writes one compressed immutable segment per site into the
+/// partition directory, stamped with its fingerprint. One-time cost at
+/// partition time; --store=segment then opens these instead of
+/// re-parsing the graph.
+int CmdPack(const Flags& flags) {
+  if (flags.positional.size() != 2) return Usage();
+  Result<rdf::RdfGraph> graph = LoadGraph(flags.positional[0], flags.threads);
+  if (!graph.ok()) {
+    std::cerr << graph.status().ToString() << "\n";
+    return 1;
+  }
+  Result<partition::Partitioning> partitioning =
+      partition::PartitionIo::Load(*graph, flags.positional[1]);
+  if (!partitioning.ok()) {
+    std::cerr << partitioning.status().ToString() << "\n";
+    return 1;
+  }
+  Result<uint64_t> fingerprint =
+      partition::PartitionIo::Fingerprint(flags.positional[1]);
+  if (!fingerprint.ok()) {
+    std::cerr << fingerprint.status().ToString() << "\n";
+    return 1;
+  }
+
+  const auto start = std::chrono::steady_clock::now();
+  uint64_t total_triples = 0;
+  uint64_t total_bytes = 0;
+  uint32_t total_blocks = 0;
+  for (uint32_t i = 0; i < partitioning->k(); ++i) {
+    const partition::Partition& p = partitioning->partition(i);
+    std::vector<rdf::Triple> triples = p.internal_edges;
+    triples.insert(triples.end(), p.crossing_edges.begin(),
+                   p.crossing_edges.end());
+    storage::SegmentWriterOptions options;
+    options.block_size = flags.block_size;
+    options.site = i;
+    options.k = partitioning->k();
+    options.num_properties = graph->num_properties();
+    options.num_vertices = graph->num_vertices();
+    options.partition_fingerprint = *fingerprint;
+    storage::SegmentWriteStats stats;
+    Status st = storage::WriteSegment(
+        storage::SegmentPath(flags.positional[1], i), std::move(triples),
+        options, &stats);
+    if (!st.ok()) {
+      std::cerr << "site " << i << ": " << st.ToString() << "\n";
+      return 1;
+    }
+    total_triples += stats.num_triples;
+    total_bytes += stats.file_bytes;
+    total_blocks += stats.pso_blocks + stats.pos_blocks;
+  }
+  const double millis =
+      std::chrono::duration<double, std::milli>(
+          std::chrono::steady_clock::now() - start)
+          .count();
+  std::cout << "packed:     " << partitioning->k() << " segments, "
+            << FormatWithCommas(total_triples) << " stored triples, "
+            << FormatWithCommas(total_blocks) << " blocks ("
+            << FormatWithCommas(flags.block_size) << " B each)\n"
+            << "bytes:      " << FormatWithCommas(total_bytes) << " ("
+            << FormatDouble(total_triples == 0
+                                ? 0.0
+                                : static_cast<double>(total_bytes) /
+                                      static_cast<double>(total_triples),
+                            2)
+            << " B/triple vs " << sizeof(rdf::Triple) * 4
+            << " B/triple resident in memory)\n"
+            << "pack time:  " << FormatMillis(millis) << " ms\n"
+            << "written to: " << flags.positional[1] << "\n";
   return 0;
 }
 
@@ -738,6 +845,7 @@ int CmdSite(const Flags& flags) {
   exec::SiteWorkerOptions options;
   options.graph_path = flags.positional[0];
   options.partition_dir = flags.positional[1];
+  options.store_kind = flags.store;
   options.site = flags.site;
   options.socket_path = flags.socket_path;
   options.generation = flags.generation;
@@ -816,6 +924,7 @@ int CmdServe(const Flags& flags) {
         flags.worker_binary.empty() ? SelfExePath() : flags.worker_binary;
     ropt.graph_path = flags.positional[0];
     ropt.partition_dir = flags.positional[1];
+    ropt.store_kind = flags.store;
     ropt.socket_dir =
         flags.socket_dir.empty() ? flags.positional[1] : flags.socket_dir;
     ropt.worker_threads = flags.threads;
@@ -848,6 +957,31 @@ int CmdServe(const Flags& flags) {
       return 1;
     }
     updates = std::move(*loaded);
+    if (flags.store == "segment") {
+      // Out-of-core dynamic serving: every Capture composes these
+      // immutable pack-time segments with the maintainer's delta sets
+      // instead of rebuilding per-site indexes per published batch.
+      Result<uint64_t> fingerprint =
+          partition::PartitionIo::Fingerprint(flags.positional[1]);
+      if (!fingerprint.ok()) {
+        std::cerr << fingerprint.status().ToString() << "\n";
+        return 1;
+      }
+      for (uint32_t i = 0; i < partitioning->k(); ++i) {
+        storage::SegmentStore::OpenOptions open_options;
+        open_options.expected_fingerprint = *fingerprint;
+        Result<storage::SegmentStore> segment = storage::SegmentStore::Open(
+            storage::SegmentPath(flags.positional[1], i), open_options);
+        if (!segment.ok()) {
+          std::cerr << segment.status().ToString()
+                    << "\n(--store=segment needs `mpc pack` first)\n";
+          return 1;
+        }
+        state_options.base_sources.push_back(
+            std::make_shared<const storage::SegmentStore>(
+                std::move(*segment)));
+      }
+    }
     dynamic::MaintainerOptions moptions;
     moptions.num_threads = flags.threads;
     moptions.policy.kind = dynamic::RepartitionPolicy::Kind::kNever;
@@ -855,6 +989,18 @@ int CmdServe(const Flags& flags) {
     maintainer = std::make_unique<dynamic::IncrementalMaintainer>(
         std::move(*graph), std::move(*partitioning), moptions);
     state = serve::ServingState::Capture(*maintainer, state_options);
+  } else if (flags.store == "segment") {
+    Result<exec::Cluster> opened = exec::Cluster::BuildFromSegments(
+        std::move(*partitioning), flags.positional[1], flags.threads);
+    if (!opened.ok()) {
+      std::cerr << opened.status().ToString()
+                << "\n(--store=segment needs `mpc pack` first)\n";
+      return 1;
+    }
+    state = serve::ServingState::WrapBackend(
+        std::move(*graph),
+        std::make_unique<exec::Cluster>(std::move(*opened)),
+        /*generation=*/0, state_options);
   } else {
     state = serve::ServingState::Build(std::move(*graph),
                                        std::move(*partitioning),
@@ -1011,6 +1157,7 @@ int RunCommand(const std::string& command, const Flags& flags) {
   if (command == "partition") return CmdPartition(flags);
   if (command == "classify") return CmdClassifyOrQuery(flags, false);
   if (command == "explain") return CmdExplain(flags);
+  if (command == "pack") return CmdPack(flags);
   if (command == "query") return CmdClassifyOrQuery(flags, true);
   if (command == "update") return CmdUpdate(flags);
   if (command == "serve") return CmdServe(flags);
