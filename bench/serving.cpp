@@ -34,6 +34,7 @@
 #include "bench_util.h"
 #include "common/random.h"
 #include "dynamic/incremental_maintainer.h"
+#include "obs/trace.h"
 #include "serve/query_service.h"
 #include "serve/serving_state.h"
 
@@ -200,6 +201,56 @@ int main(int argc, char** argv) {
     }
     if (r.plan_cache_hits == 0) {
       std::cerr << "FAIL: repeated replay produced no plan-cache hits\n";
+      return 1;
+    }
+  }
+
+  // --- Phase 1b: disabled-tracing overhead. With tracing off, every
+  // instrumentation point in the serving path costs one relaxed atomic
+  // load. Price that load directly, count the spans a query actually
+  // opens, and bound the product against the p50 latency just measured:
+  // the always-on instrumentation must stay under 0.7% of serving time.
+  if (obs::TracingEnabled()) {
+    std::cout << "tracing: overhead check skipped (tracing is enabled)\n";
+  } else {
+    constexpr size_t kSpins = 2000000;
+    Timer span_timer;
+    for (size_t i = 0; i < kSpins; ++i) {
+      obs::TraceSpan span("bench.disabled");
+    }
+    const double ns_per_span =
+        span_timer.ElapsedMillis() * 1e6 / static_cast<double>(kSpins);
+
+    // Spans per query measured, not guessed: trace one direct pass over
+    // the mix (+1 for the serve.query wrapper the service adds).
+    std::shared_ptr<const serve::ServingState> probe =
+        serve::ServingState::Build(d.graph.Clone(), seed_partitioning,
+                                   /*generation=*/0, state_options);
+    obs::StartTracing();
+    for (const std::string& text : texts) {
+      (void)probe->distributed().Execute(exec::QueryRequest::FromText(text));
+    }
+    const double spans_per_query =
+        static_cast<double>(obs::CollectTrace().size()) /
+            static_cast<double>(texts.size()) +
+        1.0;
+    obs::StopTracing();
+
+    const double p50_ms = obs::MetricsRegistry::Default()
+                              .HistogramRef("serve.latency_ms",
+                                            obs::DefaultLatencyBoundsMs())
+                              .Quantile(0.5);
+    const double overhead_pct =
+        p50_ms > 0.0
+            ? 100.0 * (ns_per_span * spans_per_query) / (p50_ms * 1e6)
+            : 0.0;
+    std::cout << "tracing: disabled span " << FormatDouble(ns_per_span, 2)
+              << " ns, " << FormatDouble(spans_per_query, 1)
+              << " spans/query -> " << FormatDouble(overhead_pct, 4)
+              << "% of p50 (budget 0.7%)\n";
+    if (overhead_pct > 0.7) {
+      std::cerr << "FAIL: disabled-tracing overhead "
+                << FormatDouble(overhead_pct, 4) << "% exceeds 0.7%\n";
       return 1;
     }
   }

@@ -20,6 +20,9 @@
 #    `mpc site` worker processes, SIGKILLs one mid-reply, and checks both
 #    recovery via supervisor respawn and coverage-bounded best-effort
 #    degradation, plus SIGTERM graceful drain of worker and coordinator;
+#  - a live-introspection smoke drives `mpc top` / SIGUSR1 / the
+#    slow-query log against a chaos remote serve run and validates a
+#    retained per-query trace with `trace_check merged`;
 #  - the tracer and metrics tests run under ThreadSanitizer, since their
 #    whole point is lock-free recording from concurrent pool threads.
 #
@@ -375,12 +378,151 @@ EOF
   echo "crash-recovery smoke passed"
 }
 
+# Live-introspection smoke over the real multi-process runtime: a remote
+# serve run with chaos (one worker SIGKILLs itself) plus the full
+# observability surface:
+#  - `mpc top --json` against the admin socket must report the windowed
+#    stats, including the supervisor's restart counter for the killed
+#    site and the serve.* counters;
+#  - SIGUSR1 must flush a stats snapshot to the coordinator's stdout
+#    without terminating it;
+#  - every query runs over the (absurdly low) slow-query threshold, so
+#    the slow-query JSONL must fill with entries carrying shape keys and
+#    per-site attempt timelines;
+#  - a retained per-query trace must pass `trace_check merged`: one
+#    trace id across >= 2 processes, serve.query + exec.rpc.attempt +
+#    site.eval present, no orphan parent edges;
+#  - SIGTERM still drains gracefully with the admin socket up.
+obs_smoke() {
+  local dir="$1"
+  echo "=== live-introspection smoke: ${dir} ==="
+  local tmp
+  tmp="$(mktemp -d)"
+  trap 'rm -rf "${tmp}"' RETURN
+  cat > "${tmp}/g.nt" <<'EOF'
+<s:a> <p:knows> <s:b> .
+<s:b> <p:knows> <s:c> .
+<s:c> <p:knows> <s:a> .
+<s:a> <p:likes> <s:d> .
+<s:d> <p:likes> <s:e> .
+<s:e> <p:worksAt> <s:f> .
+<s:f> <p:worksAt> <s:g> .
+<s:g> <p:knows> <s:h> .
+<s:h> <p:likes> <s:a> .
+<s:b> <p:worksAt> <s:f> .
+<s:c> <p:likes> <s:e> .
+<s:d> <p:knows> <s:g> .
+EOF
+  cat > "${tmp}/q.txt" <<'EOF'
+SELECT * WHERE { ?x <p:knows> ?y . }
+SELECT * WHERE { ?x <p:likes> ?y . }
+SELECT * WHERE { ?x <p:knows> ?y . ?y <p:likes> ?z . }
+SELECT * WHERE { ?x <p:worksAt> ?y . }
+EOF
+  "${dir}/tools/mpc" partition "${tmp}/g.nt" "${tmp}/part" --k=4
+
+  "${dir}/tools/mpc" serve "${tmp}/g.nt" "${tmp}/part" \
+    --queries="${tmp}/q.txt" --remote --socket-dir="${tmp}" \
+    --concurrency=4 --repeat=100000 --qps=50 \
+    --kill-site=1 --kill-after-queries=2 \
+    --retries=3 --retry-backoff-ms=300 \
+    --admin-socket="${tmp}/admin.sock" \
+    --slow-query-ms=0.001 --slow-log="${tmp}/slow.jsonl" \
+    > "${tmp}/serve.out" &
+  local serve_pid=$!
+  for _ in $(seq 1 100); do
+    [[ -S "${tmp}/admin.sock" ]] && break
+    sleep 0.1
+  done
+  [[ -S "${tmp}/admin.sock" ]]
+
+  echo "--- mpc top --json reports windowed stats + the chaos restart ---"
+  # Poll until the killed worker's respawn shows up in the counters (the
+  # kill fires after 2 queries; at 50 qps that is well under a second).
+  local top_ok=0
+  for _ in $(seq 1 100); do
+    if "${dir}/tools/mpc" top --socket="${tmp}/admin.sock" --json \
+        > "${tmp}/top.json" 2>/dev/null \
+        && grep -q '"net.supervisor.site_1.restarts"' "${tmp}/top.json" \
+        && grep -q '"serve.queries"' "${tmp}/top.json" \
+        && grep -q '"window_delta"' "${tmp}/top.json" \
+        && grep -q '"serve.queue_depth"' "${tmp}/top.json"; then
+      top_ok=1
+      break
+    fi
+    sleep 0.2
+  done
+  if [[ "${top_ok}" -ne 1 ]]; then
+    echo "mpc top --json never showed the restarted site" >&2
+    cat "${tmp}/top.json" >&2 || true
+    return 1
+  fi
+  grep -q '"p95"' "${tmp}/top.json"
+
+  echo "--- mpc top text rendering (one frame) ---"
+  "${dir}/tools/mpc" top --socket="${tmp}/admin.sock" --count=1 \
+    > "${tmp}/top.txt"
+  grep -q "queries" "${tmp}/top.txt"
+  grep -q "sites" "${tmp}/top.txt"
+
+  echo "--- SIGUSR1 flushes a stats snapshot without terminating ---"
+  kill -USR1 "${serve_pid}"
+  local flush_ok=0
+  for _ in $(seq 1 50); do
+    if grep -q '"counters"' "${tmp}/serve.out"; then
+      flush_ok=1
+      break
+    fi
+    sleep 0.1
+  done
+  [[ "${flush_ok}" -eq 1 ]]
+  kill -0 "${serve_pid}"  # still running
+
+  echo "--- SIGTERM graceful drain with the admin socket up ---"
+  kill -TERM "${serve_pid}"
+  local rc=0
+  wait "${serve_pid}" || rc=$?
+  if [[ "${rc}" -ne 0 ]]; then
+    echo "coordinator exited ${rc} on SIGTERM (want 0)" >&2
+    cat "${tmp}/serve.out" >&2
+    return 1
+  fi
+  grep -q "^drained:" "${tmp}/serve.out"
+
+  echo "--- slow-query log carries shape keys and attempt timelines ---"
+  [[ -s "${tmp}/slow.jsonl" ]]
+  grep -q '"shape_key"' "${tmp}/slow.jsonl"
+  grep -q '"attempts"' "${tmp}/slow.jsonl"
+  grep -q '"site"' "${tmp}/slow.jsonl"
+
+  echo "--- a retained trace passes trace_check merged ---"
+  # Executed (non-cache-hit) slow queries retain a merged trace with the
+  # site workers' spans; cache hits retain coordinator-only traces. Find
+  # one of the former.
+  local merged_ok=0 f
+  for f in "${tmp}"/slow.jsonl.trace.*.json; do
+    [[ -e "${f}" ]] || break
+    if grep -q 'site.eval' "${f}"; then
+      "${dir}/tools/trace_check" merged "${f}" \
+        serve.query exec.rpc.attempt site.eval
+      merged_ok=1
+      break
+    fi
+  done
+  if [[ "${merged_ok}" -ne 1 ]]; then
+    echo "no retained trace with remote site.eval spans found" >&2
+    return 1
+  fi
+  echo "live-introspection smoke passed"
+}
+
 run_config build
 trace_smoke build
 recovery_smoke build
 serve_smoke build
 segment_smoke build
 chaos_smoke build
+obs_smoke build
 # The asan run_config re-runs the whole suite — including the RPC frame
 # decoder fuzz tests and the multi-process RemoteCluster tests — under
 # AddressSanitizer (workers exec the asan-built mpc binary).
@@ -392,11 +534,15 @@ run_config build-ubsan -DMPC_SANITIZE=undefined
 echo "=== configure+build: build-tsan (-DMPC_SANITIZE=thread) ==="
 cmake -B build-tsan -S . -DMPC_SANITIZE=thread >/dev/null
 cmake --build build-tsan -j "${JOBS}" \
-  --target obs_trace_test obs_metrics_test serve_test mpc_cli trace_check
+  --target obs_trace_test obs_metrics_test obs_snapshot_test \
+  trace_context_test serve_test mpc_cli trace_check
 echo "=== tracer/metrics/serving tests under tsan ==="
 ./build-tsan/tests/obs_trace_test
 ./build-tsan/tests/obs_metrics_test
+./build-tsan/tests/obs_snapshot_test
+./build-tsan/tests/trace_context_test
 ./build-tsan/tests/serve_test
 serve_smoke build-tsan
+obs_smoke build-tsan
 
 echo "All checks passed (default + asan + ubsan + obs/serve/segment smoke + tsan)."

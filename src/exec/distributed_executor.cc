@@ -219,6 +219,9 @@ Result<QueryResponse> DistributedExecutor::Execute(
   if (!request.options.trace_tag.empty()) {
     span.Attr("tag", request.options.trace_tag);
   }
+  // With the span open this is the query's trace id (inherited from a
+  // serving-layer span, or freshly rooted here); 0 when tracing is off.
+  stats->trace_id = obs::CurrentTraceContext().trace_id;
   Result<BindingTable> result =
       vp ? ExecuteVp(*query, policy, stats)
          : ExecuteVertexDisjoint(*query, plan, policy, stats);
@@ -394,7 +397,13 @@ Result<BindingTable> DistributedExecutor::ExecuteVertexDisjoint(
       Status status = Status::Ok();
     };
     std::vector<SiteEval> evals(planned.size());
+    // Pool threads have no ambient span state; hand them this thread's
+    // context so their site spans (and the RPC spans beneath, including
+    // the worker-process spans a remote backend ships back) stay inside
+    // this query's trace.
+    const obs::TraceContext trace_ctx = obs::CurrentTraceContext();
     ParallelFor(0, planned.size(), 1, threads, [&](size_t s) {
+      obs::ScopedTraceContext scoped_ctx(trace_ctx);
       obs::TraceSpan site_span("exec.site.eval");
       evals[s].status =
           cluster_.EvaluateOnSite(planned[s].site, resolved, eval_request,
@@ -667,7 +676,9 @@ Result<BindingTable> DistributedExecutor::ExecuteVp(
         Status status = Status::Ok();
       };
       std::vector<SiteEval> evals(planned.size());
+      const obs::TraceContext trace_ctx = obs::CurrentTraceContext();
       ParallelFor(0, planned.size(), 1, threads, [&](size_t s) {
+        obs::ScopedTraceContext scoped_ctx(trace_ctx);
         obs::TraceSpan site_span("exec.site.eval");
         evals[s].status =
             cluster_.EvaluateOnSite(planned[s].site, resolved, eval_request,

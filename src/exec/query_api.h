@@ -87,6 +87,10 @@ struct ExecutionStats {
   /// copy of the cached table; the remaining timing fields describe the
   /// execution that populated the cache).
   bool result_cache_hit = false;
+  /// Distributed-trace id this execution's spans were recorded under
+  /// (0 when tracing is disabled). Keyed by the slow-query log to
+  /// retain exactly the offending query's merged trace.
+  uint64_t trace_id = 0;
 };
 
 /// What to do when a site stays down after retries.

@@ -8,6 +8,7 @@
 #include "common/timer.h"
 #include "exec/rpc_protocol.h"
 #include "net/frame.h"
+#include "obs/metrics.h"
 #include "obs/trace.h"
 
 namespace mpc::exec {
@@ -23,6 +24,29 @@ void SleepMillis(double ms) {
 
 std::string SocketPathFor(const std::string& dir, uint32_t site) {
   return dir + "/site_" + std::to_string(site) + ".sock";
+}
+
+/// Re-bases worker-clock span timestamps onto the coordinator's trace
+/// clock and ingests them into the local trace. Each process's trace
+/// clock has an arbitrary epoch, so the worker's root span (earliest
+/// start in the batch) is anchored at the request's send time plus half
+/// the network slack (round trip minus worker compute) — the symmetric-
+/// delay assumption — which nests site tracks inside the attempt span.
+void IngestRemoteSpans(std::vector<obs::TraceEvent> spans, uint64_t trace_id,
+                       uint64_t parent_span_id, double send_us, double rtt_us,
+                       uint32_t pid) {
+  double root_start = spans[0].start_us;
+  double root_dur = spans[0].dur_us;
+  for (const obs::TraceEvent& e : spans) {
+    if (e.start_us < root_start) {
+      root_start = e.start_us;
+      root_dur = e.dur_us;
+    }
+  }
+  const double slack_us = std::max(0.0, rtt_us - root_dur);
+  const double delta_us = send_us + slack_us / 2.0 - root_start;
+  obs::RecordRemoteSpans(std::move(spans), trace_id, parent_span_id, delta_us,
+                         pid);
 }
 
 }  // namespace
@@ -151,6 +175,7 @@ Status RemoteCluster::AcceptHello(uint32_t i, const std::string& payload,
   state->hello_generation = hello->generation;
   state->memory_bytes = hello->memory_bytes;
   state->load_millis = hello->load_millis;
+  state->worker_pid = hello->pid;
   return Status::Ok();
 }
 
@@ -262,7 +287,6 @@ Status RemoteCluster::EvaluateOnSite(uint32_t site,
                                      SiteEvalReply* reply) const {
   SiteState* state = sites_[site].get();
   std::lock_guard<std::mutex> lock(state->mu);
-  const std::string payload = EncodeEvalRequest(resolved, request);
   const double timeout_ms =
       policy.timeout_ms > 0 ? policy.timeout_ms : options_.default_timeout_ms;
   Status last = Status::Unavailable("site " + std::to_string(site) +
@@ -279,18 +303,38 @@ Status RemoteCluster::EvaluateOnSite(uint32_t site,
     }
     obs::TraceSpan span("exec.rpc.attempt");
     span.Attr("site", site).Attr("attempt", attempt);
+    // The attempt span is open, so the captured context parents the
+    // worker's spans to THIS attempt — which is why the request is
+    // encoded inside the loop: each retry re-parents. With tracing off
+    // the context is empty and the worker records nothing.
+    const obs::TraceContext trace = obs::CurrentTraceContext();
+    const uint64_t attempt_span_id = trace.parent_span_id;
+    const std::string payload = EncodeEvalRequest(resolved, request, trace);
     Timer attempt_timer;
     Status st = EnsureConnectedLocked(site, state);
     if (st.ok()) {
       std::string reply_payload;
       bool fatal = false;
+      const double send_us = obs::TraceNowMicros();
+      Timer rtt_timer;
       st = RoundTripLocked(state, kMsgEvalRequest, payload, timeout_ms,
                            kMsgEvalReply, &reply_payload, &fatal);
+      const double rtt_ms = rtt_timer.ElapsedMillis();
       if (st.ok()) {
-        st = DecodeEvalReply(reply_payload, reply);
+        std::vector<obs::TraceEvent> remote_spans;
+        st = DecodeEvalReply(reply_payload, reply,
+                             trace.trace_id != 0 ? &remote_spans : nullptr);
         if (st.ok()) {
+          obs::MetricsRegistry::Default()
+              .HistogramRef("exec.rpc.rtt_ms", obs::DefaultLatencyBoundsMs())
+              .Observe(rtt_ms);
           span.Attr("rows", static_cast<uint64_t>(reply->table.num_rows()))
               .Attr("wire_bytes", static_cast<uint64_t>(reply_payload.size()));
+          if (!remote_spans.empty()) {
+            IngestRemoteSpans(std::move(remote_spans), trace.trace_id,
+                              attempt_span_id, send_us, rtt_ms * 1000.0,
+                              static_cast<uint32_t>(state->worker_pid));
+          }
           return Status::Ok();
         }
         // A payload that passed the checksum but fails to decode is a

@@ -116,6 +116,9 @@ class RemoteCluster final : public ClusterBackend {
     uint64_t hello_generation = 0;
     uint64_t memory_bytes = 0;
     double load_millis = 0.0;
+    /// Worker OS pid from the last Hello — the pid stamped onto this
+    /// site's spans in merged traces.
+    uint64_t worker_pid = 0;
   };
 
   RemoteCluster() = default;

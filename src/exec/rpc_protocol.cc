@@ -1,5 +1,7 @@
 #include "exec/rpc_protocol.h"
 
+#include <algorithm>
+
 #include "net/bytes.h"
 
 namespace mpc::exec {
@@ -52,7 +54,8 @@ Result<HelloMsg> DecodeHello(std::string_view payload) {
 }
 
 std::string EncodeEvalRequest(const store::ResolvedQuery& resolved,
-                              const SiteEvalRequest& request) {
+                              const SiteEvalRequest& request,
+                              const obs::TraceContext& trace) {
   ByteWriter w;
   w.U64(resolved.num_vars);
   w.U32(static_cast<uint32_t>(resolved.patterns.size()));
@@ -92,6 +95,9 @@ std::string EncodeEvalRequest(const store::ResolvedQuery& resolved,
   }
   w.U32(num_filters);
   w.Bytes(filters);
+  w.U64(trace.trace_id);
+  w.U64(trace.parent_span_id);
+  w.Str(trace.query_tag);
   return w.Take();
 }
 
@@ -147,11 +153,106 @@ Result<EvalRequestMsg> DecodeEvalRequest(std::string_view payload) {
     }
     msg.filters.push_back(std::move(filter));
   }
+  MPC_RETURN_IF_ERROR(r.U64(&msg.trace.trace_id));
+  MPC_RETURN_IF_ERROR(r.U64(&msg.trace.parent_span_id));
+  MPC_RETURN_IF_ERROR(r.Str(&msg.trace.query_tag));
   MPC_RETURN_IF_ERROR(r.ExpectEnd());
   return msg;
 }
 
-std::string EncodeEvalReply(const SiteEvalReply& reply) {
+namespace {
+
+void EncodeSpan(ByteWriter* w, const obs::TraceEvent& e) {
+  w->Str(e.name);
+  w->U64(e.span_id);
+  w->U64(e.parent_id);
+  w->U32(e.tid);
+  w->U32(e.depth);
+  w->F64(e.start_us);
+  w->F64(e.dur_us);
+  const uint32_t num_attrs = static_cast<uint32_t>(
+      std::min<size_t>(e.attrs.size(), kMaxAttrsPerSpan));
+  w->U32(num_attrs);
+  for (uint32_t a = 0; a < num_attrs; ++a) {
+    const obs::TraceAttr& attr = e.attrs[a];
+    w->Str(attr.key);
+    w->U8(static_cast<uint8_t>(attr.value.kind));
+    switch (attr.value.kind) {
+      case obs::AttrValue::Kind::kInt:
+        w->U64(static_cast<uint64_t>(attr.value.i));
+        break;
+      case obs::AttrValue::Kind::kUint:
+        w->U64(attr.value.u);
+        break;
+      case obs::AttrValue::Kind::kDouble:
+        w->F64(attr.value.d);
+        break;
+      case obs::AttrValue::Kind::kString:
+        w->Str(attr.value.s);
+        break;
+    }
+  }
+}
+
+Status DecodeSpan(ByteReader* r, obs::TraceEvent* e) {
+  MPC_RETURN_IF_ERROR(r->Str(&e->name));
+  MPC_RETURN_IF_ERROR(r->U64(&e->span_id));
+  MPC_RETURN_IF_ERROR(r->U64(&e->parent_id));
+  MPC_RETURN_IF_ERROR(r->U32(&e->tid));
+  MPC_RETURN_IF_ERROR(r->U32(&e->depth));
+  MPC_RETURN_IF_ERROR(r->F64(&e->start_us));
+  MPC_RETURN_IF_ERROR(r->F64(&e->dur_us));
+  uint32_t num_attrs = 0;
+  MPC_RETURN_IF_ERROR(r->U32(&num_attrs));
+  if (num_attrs > kMaxAttrsPerSpan) {
+    return Status::ParseError("span attr count " + std::to_string(num_attrs) +
+                              " exceeds cap");
+  }
+  MPC_RETURN_IF_ERROR(CheckCount(num_attrs, 5, r->remaining(), "attr"));
+  e->attrs.reserve(num_attrs);
+  for (uint32_t a = 0; a < num_attrs; ++a) {
+    obs::TraceAttr attr;
+    MPC_RETURN_IF_ERROR(r->Str(&attr.key));
+    uint8_t kind = 0;
+    MPC_RETURN_IF_ERROR(r->U8(&kind));
+    switch (kind) {
+      case static_cast<uint8_t>(obs::AttrValue::Kind::kInt): {
+        uint64_t bits = 0;
+        MPC_RETURN_IF_ERROR(r->U64(&bits));
+        attr.value = obs::AttrValue::Int(static_cast<int64_t>(bits));
+        break;
+      }
+      case static_cast<uint8_t>(obs::AttrValue::Kind::kUint): {
+        uint64_t u = 0;
+        MPC_RETURN_IF_ERROR(r->U64(&u));
+        attr.value = obs::AttrValue::Uint(u);
+        break;
+      }
+      case static_cast<uint8_t>(obs::AttrValue::Kind::kDouble): {
+        double d = 0.0;
+        MPC_RETURN_IF_ERROR(r->F64(&d));
+        attr.value = obs::AttrValue::Double(d);
+        break;
+      }
+      case static_cast<uint8_t>(obs::AttrValue::Kind::kString): {
+        std::string s;
+        MPC_RETURN_IF_ERROR(r->Str(&s));
+        attr.value = obs::AttrValue::Str(s);
+        break;
+      }
+      default:
+        return Status::ParseError("span attr carries invalid kind " +
+                                  std::to_string(kind));
+    }
+    e->attrs.push_back(std::move(attr));
+  }
+  return Status::Ok();
+}
+
+}  // namespace
+
+std::string EncodeEvalReply(const SiteEvalReply& reply,
+                            const std::vector<obs::TraceEvent>& spans) {
   ByteWriter w;
   w.U64(reply.bloom_dropped);
   w.F64(reply.eval_millis);
@@ -162,10 +263,17 @@ std::string EncodeEvalReply(const SiteEvalReply& reply) {
   for (const std::vector<uint32_t>& row : table.rows) {
     for (uint32_t v : row) w.U32(v);
   }
+  // Earliest spans win under the cap: the root and coarse phase spans
+  // open first, and those are the ones a cross-process timeline needs.
+  const uint32_t num_spans = static_cast<uint32_t>(
+      std::min<size_t>(spans.size(), kMaxSpansPerReply));
+  w.U32(num_spans);
+  for (uint32_t i = 0; i < num_spans; ++i) EncodeSpan(&w, spans[i]);
   return w.Take();
 }
 
-Status DecodeEvalReply(std::string_view payload, SiteEvalReply* reply) {
+Status DecodeEvalReply(std::string_view payload, SiteEvalReply* reply,
+                       std::vector<obs::TraceEvent>* spans) {
   ByteReader r(payload);
   uint64_t dropped = 0;
   MPC_RETURN_IF_ERROR(r.U64(&dropped));
@@ -194,6 +302,22 @@ Status DecodeEvalReply(std::string_view payload, SiteEvalReply* reply) {
       MPC_RETURN_IF_ERROR(r.U32(&row[c]));
     }
     table.rows.push_back(std::move(row));
+  }
+  uint32_t num_spans = 0;
+  MPC_RETURN_IF_ERROR(r.U32(&num_spans));
+  if (num_spans > kMaxSpansPerReply) {
+    return Status::ParseError("reply span count " + std::to_string(num_spans) +
+                              " exceeds cap");
+  }
+  MPC_RETURN_IF_ERROR(CheckCount(num_spans, 44, r.remaining(), "span"));
+  if (spans != nullptr) {
+    spans->clear();
+    spans->reserve(num_spans);
+  }
+  for (uint32_t i = 0; i < num_spans; ++i) {
+    obs::TraceEvent e;
+    MPC_RETURN_IF_ERROR(DecodeSpan(&r, &e));
+    if (spans != nullptr) spans->push_back(std::move(e));
   }
   return r.ExpectEnd();
 }

@@ -9,6 +9,7 @@
 #include "common/status.h"
 #include "exec/cluster.h"
 #include "net/frame.h"
+#include "obs/trace.h"
 #include "store/bgp_matcher.h"
 
 namespace mpc::exec {
@@ -54,7 +55,19 @@ struct EvalRequestMsg {
     std::string bits;  // BloomFilter::ToBytes
   };
   std::vector<Filter> filters;
+  /// Distributed trace context (protocol v2). trace_id == 0 means the
+  /// coordinator is not tracing: the worker records nothing and ships
+  /// no spans back.
+  obs::TraceContext trace;
 };
+
+/// Upper bound on spans one EvalReply may carry. The worker keeps the
+/// earliest spans when it recorded more (the root and coarse phases —
+/// the ones a timeline needs); the decoder rejects a count past the cap
+/// before allocating.
+inline constexpr uint32_t kMaxSpansPerReply = 512;
+/// Per-span attribute cap, mirroring the span cap's allocate-safety.
+inline constexpr uint32_t kMaxAttrsPerSpan = 64;
 
 struct ReloadMsg {
   uint64_t generation = 0;
@@ -66,13 +79,30 @@ std::string EncodeHello(const HelloMsg& msg);
 Result<HelloMsg> DecodeHello(std::string_view payload);
 
 /// Encodes straight from the executor's request (no intermediate copy).
+/// `trace` is the coordinator-side context the worker's spans adopt; an
+/// empty context (trace_id 0) disables worker-side recording.
 std::string EncodeEvalRequest(const store::ResolvedQuery& resolved,
-                              const SiteEvalRequest& request);
+                              const SiteEvalRequest& request,
+                              const obs::TraceContext& trace);
+inline std::string EncodeEvalRequest(const store::ResolvedQuery& resolved,
+                                     const SiteEvalRequest& request) {
+  return EncodeEvalRequest(resolved, request, obs::TraceContext());
+}
 Result<EvalRequestMsg> DecodeEvalRequest(std::string_view payload);
 
-std::string EncodeEvalReply(const SiteEvalReply& reply);
+/// `spans` are the worker's recorded TraceEvents for this request
+/// (span/parent ids and tids are worker-local; the coordinator remaps
+/// them on ingest). At most kMaxSpansPerReply ship — earliest first.
+std::string EncodeEvalReply(const SiteEvalReply& reply,
+                            const std::vector<obs::TraceEvent>& spans);
+inline std::string EncodeEvalReply(const SiteEvalReply& reply) {
+  return EncodeEvalReply(reply, {});
+}
 /// Fills table/bloom_dropped/eval_millis; transport fields stay zero.
-Status DecodeEvalReply(std::string_view payload, SiteEvalReply* reply);
+/// When `spans` is non-null the carried span list is decoded into it
+/// (cleared first); when null the span bytes are validated and skipped.
+Status DecodeEvalReply(std::string_view payload, SiteEvalReply* reply,
+                       std::vector<obs::TraceEvent>* spans = nullptr);
 
 std::string EncodeReload(const ReloadMsg& msg);
 Result<ReloadMsg> DecodeReload(std::string_view payload);

@@ -13,6 +13,7 @@
 #include "exec/rpc_protocol.h"
 #include "net/frame.h"
 #include "net/socket.h"
+#include "obs/trace.h"
 #include "partition/partition_io.h"
 #include "rdf/ntriples.h"
 #include "storage/segment_store.h"
@@ -139,7 +140,12 @@ bool ShouldStop(const SiteWorkerOptions& options) {
 }
 
 /// Evaluates one request against the site store and encodes the reply.
-std::string HandleEval(const SiteData& data, const EvalRequestMsg& msg) {
+/// When the request carries a trace context the worker records its own
+/// spans under it and ships them back in the reply (worker-local ids;
+/// the coordinator remaps them on ingest), then discards its buffers so
+/// a long-lived connection's trace memory stays bounded.
+std::string HandleEval(const SiteData& data, uint32_t site,
+                       const EvalRequestMsg& msg) {
   std::vector<size_t> indices(msg.pattern_indices.begin(),
                               msg.pattern_indices.end());
   std::vector<std::unique_ptr<BloomFilter>> filters;
@@ -156,9 +162,31 @@ std::string HandleEval(const SiteData& data, const EvalRequestMsg& msg) {
   request.pattern_indices = indices;
   request.max_rows = msg.max_rows;
   request.var_filters = msg.filters.empty() ? nullptr : &filters;
-  SiteEvalReply reply =
-      EvaluateSiteRequest(*data.store, msg.resolved, request);
-  return EncodeEvalReply(reply);
+
+  const bool traced = msg.trace.trace_id != 0;
+  if (traced && !obs::TracingEnabled()) obs::StartTracing();
+  SiteEvalReply reply;
+  {
+    // The propagated context parents the worker's root span directly to
+    // the coordinator's span that issued this request. The parent id is
+    // not locally valid here, but the span ids shipped back are
+    // remapped by the coordinator anyway.
+    obs::ScopedTraceContext ctx(msg.trace);
+    obs::TraceSpan root("site.eval");
+    if (traced) {
+      root.Attr("site", static_cast<uint64_t>(site));
+      if (!msg.trace.query_tag.empty()) root.Attr("tag", msg.trace.query_tag);
+    }
+    reply = EvaluateSiteRequest(*data.store, msg.resolved, request);
+  }
+  if (!traced) return EncodeEvalReply(reply);
+  std::vector<obs::TraceEvent> spans;
+  for (obs::TraceEvent& e : obs::CollectTrace()) {
+    if (e.trace_id == msg.trace.trace_id) spans.push_back(std::move(e));
+  }
+  std::string encoded = EncodeEvalReply(reply, spans);
+  obs::DiscardTrace();
+  return encoded;
 }
 
 /// Serves one accepted connection until the peer leaves, the stream
@@ -194,7 +222,7 @@ void ServeConnection(const net::Socket& conn, const SiteWorkerOptions& options,
           }
           break;
         }
-        std::string reply = HandleEval(*data, *msg);
+        std::string reply = HandleEval(*data, options.site, *msg);
         if (options.queries_served != nullptr) ++*options.queries_served;
         // The chaos hook dies HERE — reply computed but unsent — so the
         // coordinator observes the worst case: a connection torn

@@ -25,7 +25,13 @@ namespace mpc::net {
 /// unbounded allocation, or a silent misparse; the checksum catches
 /// payload corruption that leaves the header plausible.
 inline constexpr uint32_t kFrameMagic = 0x5243504du;  // "MPCR"
-inline constexpr uint16_t kProtocolVersion = 1;
+/// v2: EvalRequest carries trace context (trace_id / parent_span_id /
+/// query_tag) and EvalReply appends the worker's recorded spans. The
+/// version check is strict both ways, so a v1 worker's Hello is
+/// rejected as ParseError at the coordinator's first read (and vice
+/// versa) — mixed-version fleets fail loudly at connect, not subtly
+/// mid-query.
+inline constexpr uint16_t kProtocolVersion = 2;
 inline constexpr size_t kFrameHeaderSize = 20;
 inline constexpr size_t kMaxFramePayload = size_t{1} << 30;
 

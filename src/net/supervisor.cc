@@ -9,6 +9,7 @@
 #include <cstring>
 
 #include "common/timer.h"
+#include "obs/metrics.h"
 
 namespace mpc::net {
 
@@ -91,7 +92,16 @@ void SiteSupervisor::MonitorLoop() {
 }
 
 void SiteSupervisor::ReapAndRespawnLocked() {
-  for (Worker& worker : workers_) {
+  // Export into the global registry on every pass. Heartbeats here are
+  // waitpid liveness probes, not socket pings: each worker serves one
+  // connection at a time, so an in-band ping would queue behind the
+  // coordinator's data traffic and measure the query, not the worker.
+  auto& registry = obs::MetricsRegistry::Default();
+  const Timer pass_timer;
+  size_t alive = 0;
+  for (size_t i = 0; i < workers_.size(); ++i) {
+    Worker& worker = workers_[i];
+    const std::string site = "net.supervisor.site_" + std::to_string(i);
     if (worker.alive) {
       int status = 0;
       const pid_t r = ::waitpid(worker.pid, &status, WNOHANG);
@@ -99,8 +109,11 @@ void SiteSupervisor::ReapAndRespawnLocked() {
         // The heartbeat noticed a death (crash, SIGKILL, clean exit).
         worker.alive = false;
         worker.pid = -1;
+        registry.CounterRef("net.supervisor.deaths").Inc();
+        registry.CounterRef(site + ".deaths").Inc();
         if (worker.restarts >= options_.max_restarts) {
           worker.gave_up = true;
+          registry.CounterRef("net.supervisor.gave_up").Inc();
         } else {
           // Exponential backoff: restart r waits base * 2^r.
           worker.respawn_after_ms =
@@ -108,14 +121,21 @@ void SiteSupervisor::ReapAndRespawnLocked() {
                                 std::ldexp(1.0, worker.restarts);
         }
       }
-      continue;
+    } else if (!worker.gave_up && worker.pid == -1 && started_ &&
+               NowMillis() >= worker.respawn_after_ms) {
+      ++worker.restarts;
+      registry.CounterRef("net.supervisor.restarts").Inc();
+      registry.CounterRef(site + ".restarts").Inc();
+      (void)Spawn(&worker);  // fork failure: retried next tick
     }
-    if (worker.gave_up || worker.pid != -1) continue;
-    if (!started_) continue;
-    if (NowMillis() < worker.respawn_after_ms) continue;
-    ++worker.restarts;
-    (void)Spawn(&worker);  // fork failure: retried next tick
+    if (worker.alive) ++alive;
+    registry.GaugeRef(site + ".up").Set(worker.alive ? 1.0 : 0.0);
   }
+  registry.GaugeRef("net.supervisor.alive").Set(static_cast<double>(alive));
+  registry
+      .HistogramRef("net.supervisor.heartbeat_ms",
+                    obs::DefaultLatencyBoundsMs())
+      .Observe(pass_timer.ElapsedMillis());
 }
 
 Result<Socket> SiteSupervisor::Connect(uint32_t worker) {

@@ -6,6 +6,8 @@
 #include <sstream>
 
 #include "common/string_util.h"
+#include "obs/snapshot.h"
+#include "obs/trace.h"
 
 namespace mpc::obs {
 
@@ -49,26 +51,9 @@ void Histogram::Observe(double value) {
 }
 
 double Histogram::Quantile(double q) const {
-  const uint64_t total = count();
-  if (total == 0) return 0.0;
-  q = std::clamp(q, 0.0, 1.0);
-  const double target = q * static_cast<double>(total);
-  uint64_t cumulative = 0;
-  for (size_t b = 0; b < buckets_.size(); ++b) {
-    const uint64_t in_bucket = bucket_count(b);
-    if (in_bucket == 0) continue;
-    if (static_cast<double>(cumulative + in_bucket) >= target) {
-      if (b >= bounds_.size()) return bounds_.back();  // overflow bucket
-      const double upper = bounds_[b];
-      const double lower = b == 0 ? 0.0 : bounds_[b - 1];
-      const double rank_in_bucket =
-          std::max(0.0, target - static_cast<double>(cumulative));
-      return lower + (upper - lower) * rank_in_bucket /
-                         static_cast<double>(in_bucket);
-    }
-    cumulative += in_bucket;
-  }
-  return bounds_.empty() ? 0.0 : bounds_.back();
+  std::vector<uint64_t> buckets(buckets_.size());
+  for (size_t b = 0; b < buckets_.size(); ++b) buckets[b] = bucket_count(b);
+  return QuantileFromBuckets(bounds_, buckets, count(), q);
 }
 
 std::vector<double> DefaultLatencyBoundsMs() {
@@ -174,6 +159,30 @@ Status MetricsRegistry::WriteJson(const std::string& path) const {
   out.flush();
   if (!out) return Status::IoError("write failed for " + path);
   return Status::Ok();
+}
+
+MetricsSnapshot MetricsRegistry::TakeSnapshot() const {
+  MetricsSnapshot snapshot;
+  snapshot.at_ms = TraceNowMicros() / 1000.0;
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (const auto& [name, counter] : counters_) {
+    snapshot.counters.emplace(name, counter->value());
+  }
+  for (const auto& [name, gauge] : gauges_) {
+    snapshot.gauges.emplace(name, gauge->value());
+  }
+  for (const auto& [name, h] : histograms_) {
+    HistogramSnapshot hs;
+    hs.bounds = h->bounds();
+    hs.buckets.resize(h->num_buckets());
+    for (size_t b = 0; b < h->num_buckets(); ++b) {
+      hs.buckets[b] = h->bucket_count(b);
+    }
+    hs.count = h->count();
+    hs.sum = h->sum();
+    snapshot.histograms.emplace(name, std::move(hs));
+  }
+  return snapshot;
 }
 
 void MetricsRegistry::ResetForTest() {

@@ -13,6 +13,8 @@
 
 namespace mpc::obs {
 
+struct MetricsSnapshot;  // obs/snapshot.h
+
 /// Monotonic counter. Updates are relaxed atomics — safe from any thread
 /// (ParallelFor workers included), with no ordering guarantees beyond
 /// the count itself.
@@ -93,6 +95,12 @@ class MetricsRegistry {
   std::string ToJson() const;
   std::string ToText() const;
   Status WriteJson(const std::string& path) const;
+
+  /// Consistent point-in-time copy of every metric (obs/snapshot.h),
+  /// timestamped on the trace clock. Two snapshots subtract into
+  /// windowed rates/quantiles — the basis of the live-introspection
+  /// path (`mpc top`, StatsRequest).
+  MetricsSnapshot TakeSnapshot() const;
 
   /// Drops every metric. Invalidates previously returned references —
   /// test isolation only; instrumented code must re-look-up names rather

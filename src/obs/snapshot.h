@@ -1,0 +1,124 @@
+#ifndef MPC_OBS_SNAPSHOT_H_
+#define MPC_OBS_SNAPSHOT_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "obs/metrics.h"
+
+namespace mpc::obs {
+
+/// Point-in-time copy of one histogram (bounds plus every bucket,
+/// including the trailing overflow bucket).
+struct HistogramSnapshot {
+  std::vector<double> bounds;
+  /// bounds.size() + 1 slots; the last is the overflow bucket.
+  std::vector<uint64_t> buckets;
+  uint64_t count = 0;
+  double sum = 0.0;
+};
+
+/// Point-in-time copy of a whole registry, timestamped on the trace
+/// clock so two snapshots subtract into a window.
+struct MetricsSnapshot {
+  double at_ms = 0.0;
+  std::map<std::string, uint64_t> counters;
+  std::map<std::string, double> gauges;
+  std::map<std::string, HistogramSnapshot> histograms;
+};
+
+/// Shared quantile estimator over explicit bucket counts — the same
+/// Prometheus-style interpolation Histogram::Quantile uses, usable on
+/// windowed bucket deltas. `buckets` has bounds.size() + 1 slots.
+double QuantileFromBuckets(const std::vector<double>& bounds,
+                           const std::vector<uint64_t>& buckets,
+                           uint64_t count, double q);
+
+/// Windowed counter delta, robust to resets: a respawned worker (or a
+/// test ResetForTest) restarts a counter at zero, making cur < prev; the
+/// delta is then `cur` (everything since the reset) rather than a huge
+/// unsigned wraparound.
+uint64_t CounterDelta(uint64_t prev, uint64_t cur);
+
+/// Windowed histogram delta with the same reset rule applied per
+/// bucket: if any bucket shrank (or the shape changed), the current
+/// snapshot IS the delta. Returned buckets/count/sum cover only the
+/// window.
+HistogramSnapshot HistogramDelta(const HistogramSnapshot& prev,
+                                 const HistogramSnapshot& cur);
+
+/// Fixed-capacity sliding window of snapshots, oldest evicted first.
+class SnapshotWindow {
+ public:
+  explicit SnapshotWindow(size_t capacity);
+
+  void Push(MetricsSnapshot snapshot);
+  size_t size() const { return entries_.size(); }
+  bool empty() const { return entries_.empty(); }
+  /// Oldest retained snapshot — the far edge of the window.
+  const MetricsSnapshot& oldest() const;
+  const MetricsSnapshot& newest() const;
+
+ private:
+  size_t capacity_;
+  size_t start_ = 0;  // ring index of the oldest entry
+  std::vector<MetricsSnapshot> entries_;
+};
+
+struct SnapshotterOptions {
+  /// Sampling cadence.
+  double interval_ms = 1000.0;
+  /// Snapshots retained: the stats window spans roughly
+  /// (window - 1) * interval_ms.
+  size_t window = 11;
+};
+
+/// Periodic in-process sampler over MetricsRegistry::Default(): a
+/// background thread takes a snapshot every interval and keeps the last
+/// `window` of them. StatsJson() renders live, *windowed* stats —
+/// per-counter rates and per-histogram quantiles computed over the
+/// window's deltas, not over process lifetime — which is what `mpc top`
+/// and the StatsRequest admin RPC serve.
+class Snapshotter {
+ public:
+  explicit Snapshotter(SnapshotterOptions options = SnapshotterOptions());
+  ~Snapshotter();
+
+  Snapshotter(const Snapshotter&) = delete;
+  Snapshotter& operator=(const Snapshotter&) = delete;
+
+  void Start();
+  void Stop();
+
+  /// Forces an immediate sample outside the cadence (tests; also called
+  /// internally so StatsJson never sees an empty window after Start).
+  void SampleNow();
+
+  /// {"uptime_ms":..,"window_ms":..,
+  ///  "counters":{name:{"value":..,"rate_per_s":..}},
+  ///  "gauges":{name:value},
+  ///  "histograms":{name:{"count":..,"window_count":..,"rate_per_s":..,
+  ///                      "p50":..,"p95":..,"p99":..}}}
+  /// Quantiles are over the window delta; "count" is the lifetime total.
+  std::string StatsJson() const;
+
+ private:
+  void Loop();
+
+  SnapshotterOptions options_;
+  mutable std::mutex mutex_;
+  std::condition_variable cv_;
+  bool running_ = false;
+  SnapshotWindow window_;
+  double started_at_ms_ = 0.0;
+  std::thread thread_;
+};
+
+}  // namespace mpc::obs
+
+#endif  // MPC_OBS_SNAPSHOT_H_

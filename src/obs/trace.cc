@@ -188,7 +188,9 @@ ThreadBuffer& LocalBuffer() {
 
 struct ThreadSpanState {
   uint64_t current_span = 0;
+  uint64_t trace_id = 0;
   uint32_t depth = 0;
+  std::string query_tag;
 };
 
 ThreadSpanState& SpanState() {
@@ -206,15 +208,52 @@ double MicrosSinceEpoch(Timer::Clock::time_point tp) {
 
 uint64_t CurrentSpanId() { return SpanState().current_span; }
 
-void StartTracing() {
+TraceContext CurrentTraceContext() {
+  const ThreadSpanState& state = SpanState();
+  TraceContext ctx;
+  ctx.trace_id = state.trace_id;
+  ctx.parent_span_id = state.current_span;
+  ctx.query_tag = state.query_tag;
+  return ctx;
+}
+
+std::string CurrentQueryTag() { return SpanState().query_tag; }
+
+double TraceNowMicros() { return MicrosSinceEpoch(Timer::Now()); }
+
+ScopedTraceContext::ScopedTraceContext(const TraceContext& ctx) {
+  ThreadSpanState& state = SpanState();
+  saved_trace_id_ = state.trace_id;
+  saved_span_ = state.current_span;
+  saved_depth_ = state.depth;
+  saved_tag_ = std::move(state.query_tag);
+  state.trace_id = ctx.trace_id;
+  state.current_span = ctx.parent_span_id;
+  state.depth = 0;
+  state.query_tag = ctx.query_tag;
+}
+
+ScopedTraceContext::~ScopedTraceContext() {
+  ThreadSpanState& state = SpanState();
+  state.trace_id = saved_trace_id_;
+  state.current_span = saved_span_;
+  state.depth = saved_depth_;
+  state.query_tag = std::move(saved_tag_);
+}
+
+namespace {
+void AdvanceDiscardWatermarks() {
   Registry& registry = GlobalRegistry();
-  {
-    std::lock_guard<std::mutex> lock(registry.mutex);
-    for (auto& buffer : registry.buffers) {
-      buffer->discard_before.store(buffer->TotalPublished(),
-                                   std::memory_order_relaxed);
-    }
+  std::lock_guard<std::mutex> lock(registry.mutex);
+  for (auto& buffer : registry.buffers) {
+    buffer->discard_before.store(buffer->TotalPublished(),
+                                 std::memory_order_relaxed);
   }
+}
+}  // namespace
+
+void StartTracing() {
+  AdvanceDiscardWatermarks();
   SetLogSpanIdProvider(&CurrentSpanId);
   internal::g_tracing_enabled.store(true, std::memory_order_relaxed);
 }
@@ -224,6 +263,8 @@ void StopTracing() {
   SetLogSpanIdProvider(nullptr);
 }
 
+void DiscardTrace() { AdvanceDiscardWatermarks(); }
+
 void TraceSpan::Begin(std::string_view name) {
   active_ = true;
   name_.assign(name);
@@ -231,6 +272,14 @@ void TraceSpan::Begin(std::string_view name) {
   parent_id_ = state.current_span;
   depth_ = state.depth;
   span_id_ = g_next_span_id.fetch_add(1, std::memory_order_relaxed);
+  // A span with no ambient trace becomes its own trace root, so every
+  // span chain — traced query or stray background work — carries a
+  // trace id and per-query extraction never sees id-less spans.
+  if (state.trace_id == 0) {
+    state.trace_id = span_id_;
+    owns_trace_ = true;
+  }
+  trace_id_ = state.trace_id;
   state.current_span = span_id_;
   ++state.depth;
   start_ = Timer::Now();
@@ -241,12 +290,14 @@ void TraceSpan::End() {
   ThreadSpanState& state = SpanState();
   state.current_span = parent_id_;
   --state.depth;
+  if (owns_trace_) state.trace_id = 0;
 
   ThreadBuffer& buffer = LocalBuffer();
   TraceEvent event;
   event.name = std::move(name_);
   event.span_id = span_id_;
   event.parent_id = parent_id_;
+  event.trace_id = trace_id_;
   event.tid = buffer.tid;
   event.depth = depth_;
   event.start_us = MicrosSinceEpoch(start_);
@@ -297,25 +348,70 @@ std::vector<TraceEvent> CollectTrace() {
   for (const auto& buffer : buffers) buffer->Snapshot(&events);
   std::stable_sort(events.begin(), events.end(),
                    [](const TraceEvent& a, const TraceEvent& b) {
+                     if (a.pid != b.pid) return a.pid < b.pid;
                      if (a.tid != b.tid) return a.tid < b.tid;
                      return a.start_us < b.start_us;
                    });
   return events;
 }
 
-std::string TraceToChromeJson() {
-  const std::vector<TraceEvent> events = CollectTrace();
+void RecordRemoteSpans(std::vector<TraceEvent> events, uint64_t trace_id,
+                       uint64_t parent_span_id, double delta_us,
+                       uint32_t pid) {
+  if (events.empty()) return;
+  // Remap the batch's span ids through the local allocator so remote
+  // ids (allocated independently by the worker) cannot collide with
+  // coordinator span ids or with another worker's batch.
+  std::map<uint64_t, uint64_t> remap;
+  for (const TraceEvent& e : events) {
+    remap.emplace(e.span_id,
+                  g_next_span_id.fetch_add(1, std::memory_order_relaxed));
+  }
+  ThreadBuffer& buffer = LocalBuffer();
+  for (TraceEvent& e : events) {
+    e.span_id = remap[e.span_id];
+    auto parent = remap.find(e.parent_id);
+    // A parent outside the batch is a worker-side ancestor we did not
+    // ship; hang the span off the coordinator span that owns the call
+    // so parent edges always close in the merged trace.
+    e.parent_id = parent != remap.end() ? parent->second : parent_span_id;
+    e.trace_id = trace_id;
+    e.pid = pid;
+    e.start_us += delta_us;
+    buffer.Append(std::move(e));
+  }
+}
+
+std::vector<TraceEvent> ExtractTraceForId(uint64_t trace_id) {
+  std::vector<TraceEvent> events = CollectTrace();
+  events.erase(std::remove_if(events.begin(), events.end(),
+                              [trace_id](const TraceEvent& e) {
+                                return e.trace_id != trace_id;
+                              }),
+               events.end());
+  return events;
+}
+
+std::string TraceEventsToChromeJson(const std::vector<TraceEvent>& events) {
   std::string out = "{\"traceEvents\":[";
   bool first = true;
   for (const TraceEvent& e : events) {
     if (!first) out += ",";
     first = false;
+    // pid 0 is "this process"; keep the historical pid 1 in the export
+    // so single-process traces are unchanged and remote pids (real OS
+    // pids, never 1) stay distinct.
+    const uint32_t pid = e.pid == 0 ? 1 : e.pid;
     out += "{\"name\":" + EscapeJsonString(e.name) +
-           ",\"cat\":\"mpc\",\"ph\":\"X\",\"pid\":1,\"tid\":" +
-           std::to_string(e.tid) + ",\"ts\":" + JsonNumber(e.start_us) +
+           ",\"cat\":\"mpc\",\"ph\":\"X\",\"pid\":" + std::to_string(pid) +
+           ",\"tid\":" + std::to_string(e.tid) +
+           ",\"ts\":" + JsonNumber(e.start_us) +
            ",\"dur\":" + JsonNumber(e.dur_us) + ",\"args\":{";
     out += "\"span_id\":" + std::to_string(e.span_id);
     out += ",\"parent_id\":" + std::to_string(e.parent_id);
+    if (e.trace_id != 0) {
+      out += ",\"trace_id\":" + std::to_string(e.trace_id);
+    }
     for (const TraceAttr& a : e.attrs) {
       out += "," + EscapeJsonString(a.key) + ":" + a.value.ToJson();
     }
@@ -323,6 +419,10 @@ std::string TraceToChromeJson() {
   }
   out += "]}";
   return out;
+}
+
+std::string TraceToChromeJson() {
+  return TraceEventsToChromeJson(CollectTrace());
 }
 
 namespace {
@@ -404,21 +504,24 @@ void PrintSubtree(const std::vector<TraceEvent>& events,
 std::string TraceToTextTree() {
   const std::vector<TraceEvent> events = CollectTrace();
   std::string out;
-  // Per thread: index events, attach children to parents (a parent's
-  // event exists whenever its children do — spans close inside-out), and
-  // print roots in start order.
-  std::vector<uint32_t> tids;
+  // Per (process, thread) track: index events, attach children to
+  // parents (a parent's event exists whenever its children do — spans
+  // close inside-out), and print roots in start order.
+  std::vector<std::pair<uint32_t, uint32_t>> tracks;
   for (const TraceEvent& e : events) {
-    if (tids.empty() || tids.back() != e.tid) tids.push_back(e.tid);
+    const std::pair<uint32_t, uint32_t> track{e.pid, e.tid};
+    if (tracks.empty() || tracks.back() != track) tracks.push_back(track);
   }
-  for (uint32_t tid : tids) {
+  for (const auto& [pid, tid] : tracks) {
     std::map<uint64_t, TreeNode> nodes;
     for (size_t i = 0; i < events.size(); ++i) {
-      if (events[i].tid == tid) nodes[events[i].span_id].event = &events[i];
+      if (events[i].pid == pid && events[i].tid == tid) {
+        nodes[events[i].span_id].event = &events[i];
+      }
     }
     std::vector<size_t> roots;
     for (size_t i = 0; i < events.size(); ++i) {
-      if (events[i].tid != tid) continue;
+      if (events[i].pid != pid || events[i].tid != tid) continue;
       auto parent = nodes.find(events[i].parent_id);
       if (events[i].parent_id != 0 && parent != nodes.end()) {
         parent->second.children.push_back(i);
@@ -426,20 +529,32 @@ std::string TraceToTextTree() {
         roots.push_back(i);
       }
     }
-    out += "[thread " + std::to_string(tid) + "]\n";
+    out += pid == 0 ? "[thread " + std::to_string(tid) + "]\n"
+                    : "[pid " + std::to_string(pid) + " thread " +
+                          std::to_string(tid) + "]\n";
     PrintSubtree(events, nodes, roots, 1, &out);
   }
   return out;
 }
 
-Status WriteTrace(const std::string& path) {
+namespace {
+Status WriteStringToFile(const std::string& json, const std::string& path) {
   std::ofstream out(path, std::ios::binary | std::ios::trunc);
   if (!out) return Status::IoError("cannot open " + path + " for writing");
-  const std::string json = TraceToChromeJson();
   out.write(json.data(), static_cast<std::streamsize>(json.size()));
   out.flush();
   if (!out) return Status::IoError("write failed for " + path);
   return Status::Ok();
+}
+}  // namespace
+
+Status WriteTrace(const std::string& path) {
+  return WriteStringToFile(TraceToChromeJson(), path);
+}
+
+Status WriteTraceForId(uint64_t trace_id, const std::string& path) {
+  return WriteStringToFile(TraceEventsToChromeJson(ExtractTraceForId(trace_id)),
+                           path);
 }
 
 }  // namespace mpc::obs

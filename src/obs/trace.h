@@ -44,13 +44,37 @@ struct TraceEvent {
   /// Enclosing span on the same thread at the moment this span opened
   /// (0 = top-level).
   uint64_t parent_id = 0;
+  /// Id of the query-level trace this span belongs to. A top-level span
+  /// with no ambient context becomes its own trace root (trace_id ==
+  /// span_id), so every span chain carries a trace id uniformly.
+  uint64_t trace_id = 0;
   /// Dense per-process trace thread index (registration order, not the
   /// OS tid — stable across runs with the same thread structure).
   uint32_t tid = 0;
+  /// Originating OS process for merged multi-process traces. 0 means
+  /// "this process"; exporters render it as pid 1 for compatibility with
+  /// single-process traces. Remote spans ingested via RecordRemoteSpans
+  /// carry the worker's real pid.
+  uint32_t pid = 0;
   uint32_t depth = 0;
   double start_us = 0.0;
   double dur_us = 0.0;
   std::vector<TraceAttr> attrs;
+};
+
+/// Propagatable slice of the ambient tracing state: which query-level
+/// trace the current work belongs to and which span should adopt spans
+/// opened under it. Crosses threads (executor pool lambdas) and, via
+/// EvalRequestMsg, process boundaries (site workers).
+struct TraceContext {
+  uint64_t trace_id = 0;
+  uint64_t parent_span_id = 0;
+  /// Free-form query label (ExecOptions::trace_tag) — propagated so a
+  /// site worker's spans can be attributed to the query that caused
+  /// them without joining on span ids.
+  std::string query_tag;
+
+  bool empty() const { return trace_id == 0; }
 };
 
 namespace internal {
@@ -71,8 +95,48 @@ void StartTracing();
 /// Disables tracing (recorded events stay collectable).
 void StopTracing();
 
+/// Logically discards everything recorded so far (advances the per-
+/// thread watermarks exactly like StartTracing) without toggling the
+/// enabled flag. Site workers call this after shipping a query's spans
+/// so their buffers stay bounded across a long-lived connection.
+void DiscardTrace();
+
 /// Id of the innermost open span on this thread (0 = none).
 uint64_t CurrentSpanId();
+
+/// The ambient trace context of this thread: the innermost open span
+/// and its trace id (plus the installed query tag, if any). Capture
+/// this before handing work to another thread, then install it there
+/// with ScopedTraceContext.
+TraceContext CurrentTraceContext();
+
+/// Microseconds elapsed on the process-wide trace clock (the same axis
+/// as TraceEvent::start_us). Used to re-base remote span timestamps.
+double TraceNowMicros();
+
+/// Installs a trace context on this thread for the current scope:
+/// spans opened inside adopt ctx.trace_id and parent to
+/// ctx.parent_span_id. Restores the previous thread state (including
+/// any ambient context) on destruction. An empty context installs
+/// cleanly and simply isolates the scope from the caller's spans.
+class ScopedTraceContext {
+ public:
+  explicit ScopedTraceContext(const TraceContext& ctx);
+  ~ScopedTraceContext();
+
+  ScopedTraceContext(const ScopedTraceContext&) = delete;
+  ScopedTraceContext& operator=(const ScopedTraceContext&) = delete;
+
+ private:
+  uint64_t saved_trace_id_ = 0;
+  uint64_t saved_span_ = 0;
+  uint32_t saved_depth_ = 0;
+  std::string saved_tag_;
+};
+
+/// The query tag installed by the innermost ScopedTraceContext (empty
+/// when none is installed).
+std::string CurrentQueryTag();
 
 /// RAII span. Opened (and its id published for nesting/log correlation)
 /// at construction, recorded at destruction. Record-side cost is one
@@ -116,8 +180,10 @@ class TraceSpan {
   void End();
 
   bool active_ = false;
+  bool owns_trace_ = false;
   uint64_t span_id_ = 0;
   uint64_t parent_id_ = 0;
+  uint64_t trace_id_ = 0;
   uint32_t depth_ = 0;
   Timer::Clock::time_point start_{};
   std::string name_;
@@ -125,14 +191,35 @@ class TraceSpan {
 };
 
 /// Snapshot of every event recorded since StartTracing, sorted by
-/// (tid, start_us). Safe to call while other threads still trace; events
-/// being appended concurrently may or may not be included.
+/// (pid, tid, start_us). Safe to call while other threads still trace;
+/// events being appended concurrently may or may not be included.
 std::vector<TraceEvent> CollectTrace();
 
+/// Ingests spans recorded by another process (a site worker) into this
+/// process's trace under `trace_id`. Span ids are remapped through the
+/// local id allocator so they cannot collide with coordinator spans;
+/// parent edges internal to the batch are remapped consistently, and
+/// spans whose parent is not in the batch are re-parented to
+/// `parent_span_id` (the coordinator-side span that owns the remote
+/// call). Timestamps are shifted by `delta_us` onto the local trace
+/// clock and every event is stamped with the worker's `pid`. Call from
+/// the thread that owns the remote call (appends to its buffer).
+void RecordRemoteSpans(std::vector<TraceEvent> events, uint64_t trace_id,
+                       uint64_t parent_span_id, double delta_us,
+                       uint32_t pid);
+
+/// Every collected event whose trace_id matches — one query's merged
+/// trace (coordinator + ingested site-worker spans).
+std::vector<TraceEvent> ExtractTraceForId(uint64_t trace_id);
+
 /// Chrome trace_event JSON ({"traceEvents":[...]}) — loadable in
-/// chrome://tracing and Perfetto. Span ids and attributes land in each
-/// event's "args".
+/// chrome://tracing and Perfetto. Span ids, trace ids and attributes
+/// land in each event's "args"; remote events keep their real pid.
 std::string TraceToChromeJson();
+
+/// Chrome trace_event JSON for an explicit event list (e.g. the output
+/// of ExtractTraceForId).
+std::string TraceEventsToChromeJson(const std::vector<TraceEvent>& events);
 
 /// Collapsed per-thread call tree for terminals: siblings with the same
 /// name are merged into one line with a count and total duration.
@@ -140,6 +227,9 @@ std::string TraceToTextTree();
 
 /// Writes TraceToChromeJson() to `path`.
 Status WriteTrace(const std::string& path);
+
+/// Writes the merged trace for one trace id to `path`.
+Status WriteTraceForId(uint64_t trace_id, const std::string& path);
 
 }  // namespace mpc::obs
 

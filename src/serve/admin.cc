@@ -1,0 +1,63 @@
+#include "serve/admin.h"
+
+#include <utility>
+
+namespace mpc::serve {
+
+AdminServer::AdminServer(std::string socket_path,
+                         std::function<std::string()> stats_json)
+    : socket_path_(std::move(socket_path)), stats_json_(std::move(stats_json)) {}
+
+AdminServer::~AdminServer() { Stop(); }
+
+Status AdminServer::Start() {
+  if (running_.load(std::memory_order_relaxed)) return Status::Ok();
+  Result<net::Socket> listener = net::Socket::Listen(socket_path_);
+  MPC_RETURN_IF_ERROR(listener.status());
+  listener_ = std::move(*listener);
+  running_.store(true, std::memory_order_release);
+  thread_ = std::thread([this] { Loop(); });
+  return Status::Ok();
+}
+
+void AdminServer::Stop() {
+  running_.store(false, std::memory_order_release);
+  if (thread_.joinable()) thread_.join();
+  listener_.Close();
+}
+
+void AdminServer::Loop() {
+  while (running_.load(std::memory_order_acquire)) {
+    // Short accept timeout doubles as the stop-poll interval.
+    Result<net::Socket> conn = listener_.Accept(100.0);
+    if (!conn.ok()) continue;
+    // Serve this client until it leaves or misbehaves; a held
+    // connection with repeated requests is the refreshing-top pattern.
+    while (running_.load(std::memory_order_acquire)) {
+      Result<net::Frame> frame = net::ReadFrame(*conn, 1000.0);
+      if (!frame.ok()) {
+        if (frame.status().code() == StatusCode::kDeadlineExceeded) continue;
+        break;  // EOF, torn stream, version mismatch: drop the client
+      }
+      if (frame->type != kMsgStatsRequest) break;
+      requests_.fetch_add(1, std::memory_order_relaxed);
+      const std::string stats = stats_json_ ? stats_json_() : "{}";
+      if (!net::WriteFrame(*conn, kMsgStatsReply, stats).ok()) break;
+    }
+  }
+}
+
+Result<std::string> FetchStats(const std::string& path, double timeout_ms) {
+  Result<net::Socket> conn = net::Socket::Connect(path);
+  MPC_RETURN_IF_ERROR(conn.status());
+  MPC_RETURN_IF_ERROR(net::WriteFrame(*conn, kMsgStatsRequest, ""));
+  Result<net::Frame> reply = net::ReadFrame(*conn, timeout_ms);
+  MPC_RETURN_IF_ERROR(reply.status());
+  if (reply->type != kMsgStatsReply) {
+    return Status::ParseError("unexpected admin reply frame type " +
+                              std::to_string(reply->type));
+  }
+  return std::move(reply->payload);
+}
+
+}  // namespace mpc::serve

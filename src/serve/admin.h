@@ -1,0 +1,69 @@
+#ifndef MPC_SERVE_ADMIN_H_
+#define MPC_SERVE_ADMIN_H_
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <thread>
+
+#include "common/status.h"
+#include "net/frame.h"
+#include "net/socket.h"
+
+namespace mpc::serve {
+
+/// Admin RPC frame types (the serving introspection protocol, distinct
+/// from the site-eval protocol in exec/rpc_protocol.h but sharing the
+/// same framed transport and version check).
+inline constexpr uint16_t kMsgStatsRequest = net::kFirstAppFrameType + 8;
+inline constexpr uint16_t kMsgStatsReply = net::kFirstAppFrameType + 9;
+
+/// Live-introspection endpoint: a UNIX-socket listener that answers
+/// StatsRequest frames with the current windowed stats JSON (whatever
+/// the supplied callback renders — in `mpc serve` that is
+/// obs::Snapshotter::StatsJson()). `mpc top` is the client.
+///
+/// One background thread; connections are served one at a time (an
+/// admin socket has a human on the other end, not a fleet). A client
+/// may hold the connection and poll with repeated StatsRequests — the
+/// refreshing `mpc top` mode does.
+class AdminServer {
+ public:
+  /// `stats_json` is called on the server thread for every request; it
+  /// must be thread-safe against the serving workers.
+  AdminServer(std::string socket_path, std::function<std::string()> stats_json);
+  ~AdminServer();
+
+  AdminServer(const AdminServer&) = delete;
+  AdminServer& operator=(const AdminServer&) = delete;
+
+  /// Binds the socket and starts the accept loop. IoError if the path
+  /// cannot be bound.
+  Status Start();
+  /// Stops the loop and joins the thread; idempotent.
+  void Stop();
+
+  const std::string& socket_path() const { return socket_path_; }
+  uint64_t requests_served() const {
+    return requests_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  void Loop();
+
+  std::string socket_path_;
+  std::function<std::string()> stats_json_;
+  net::Socket listener_;
+  std::thread thread_;
+  std::atomic<bool> running_{false};
+  std::atomic<uint64_t> requests_{0};
+};
+
+/// One-shot client: connects to an AdminServer, sends a StatsRequest,
+/// returns the stats JSON. Unavailable when nothing listens at `path`.
+Result<std::string> FetchStats(const std::string& path, double timeout_ms);
+
+}  // namespace mpc::serve
+
+#endif  // MPC_SERVE_ADMIN_H_

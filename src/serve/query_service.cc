@@ -25,6 +25,9 @@ QueryService::QueryService(std::shared_ptr<const ServingState> state,
       state_(std::move(state)),
       plan_cache_(options_.plan_cache_capacity),
       result_cache_(options_.result_cache_capacity) {
+  if (options_.slow_query.enabled()) {
+    slow_log_ = std::make_unique<SlowQueryLog>(options_.slow_query);
+  }
   const int workers = ResolveNumThreads(options_.num_workers);
   workers_.reserve(static_cast<size_t>(workers));
   for (int i = 0; i < workers; ++i) {
@@ -152,13 +155,19 @@ void QueryService::WorkerLoop() {
       return Run(pending.request, queue_wait);
     }();
 
+    const double latency = ToMillis(Clock::now() - pending.enqueued);
     metrics.CounterRef("serve.queries").Inc();
     metrics
         .HistogramRef("serve.latency_ms", obs::DefaultLatencyBoundsMs())
-        .Observe(ToMillis(Clock::now() - pending.enqueued));
+        .Observe(latency);
     metrics
         .HistogramRef("serve.queue_wait_ms", obs::DefaultLatencyBoundsMs())
         .Observe(queue_wait);
+    // After Run returned the query's serve.query span is closed, so the
+    // slow log sees the complete trace (parent-edge closure included).
+    if (slow_log_ != nullptr) {
+      slow_log_->MaybeRecord(pending.request, result, latency, queue_wait);
+    }
     pending.promise.set_value(std::move(result));
   }
 }
@@ -178,6 +187,13 @@ Result<exec::QueryResponse> QueryService::Run(
   if (!request.options.trace_tag.empty()) {
     span.Attr("tag", request.options.trace_tag);
   }
+  // Re-install the ambient context with the caller's tag so everything
+  // below serve.query — including the wire context shipped to remote
+  // site workers — carries it. No-op with tracing disabled (the ambient
+  // context is empty and stays empty).
+  obs::TraceContext tagged = obs::CurrentTraceContext();
+  tagged.query_tag = request.options.trace_tag;
+  obs::ScopedTraceContext tag_scope(tagged);
 
   const bool gstored =
       request.options.strategy == exec::ExecStrategy::kGstored;
@@ -204,6 +220,7 @@ Result<exec::QueryResponse> QueryService::Run(
       exec::QueryResponse response = *cached;  // copy: caller owns rows
       response.stats.result_cache_hit = true;
       response.stats.queue_wait_millis = queue_wait_millis;
+      response.stats.trace_id = tagged.trace_id;
       span.Attr("result_cache", "hit");
       return response;
     }
@@ -255,6 +272,9 @@ Result<exec::QueryResponse> QueryService::Run(
   // the flag honest for plans this call just computed and inserted.
   response->stats.plan_cache_hit = plan_was_cached;
   response->stats.queue_wait_millis = queue_wait_millis;
+  // Stamp this serving's own trace id (the gstored path and cached
+  // executions would otherwise carry a stale or zero id).
+  response->stats.trace_id = tagged.trace_id;
 
   // Cache only answers that are provably a pure function of (query,
   // generation): independently executable (IEQ — no decomposition whose

@@ -16,6 +16,7 @@
 #include "exec/query_api.h"
 #include "serve/lru_cache.h"
 #include "serve/serving_state.h"
+#include "serve/slow_query_log.h"
 
 namespace mpc::serve {
 
@@ -45,6 +46,11 @@ struct QueryServiceOptions {
   /// Entries in the result cache for independently-executable, complete
   /// answers (0 disables).
   size_t result_cache_capacity = 1024;
+  /// Slow-query log (disabled unless both path and threshold are set).
+  /// Queries whose end-to-end latency (queue wait included) meets the
+  /// threshold are appended as JSONL, with the merged per-query trace
+  /// retained alongside — see SlowQueryLog.
+  SlowQueryLog::Options slow_query;
   /// Test-only: runs on the worker thread right before a query executes
   /// (after the deadline check; not called for rejected/expired queries).
   std::function<void(const exec::QueryRequest&)> pre_execute_hook;
@@ -98,6 +104,9 @@ class QueryService {
 
   size_t queue_depth() const;
 
+  /// Null when the slow-query log is disabled.
+  const SlowQueryLog* slow_query_log() const { return slow_log_.get(); }
+
  private:
   using Clock = std::chrono::steady_clock;
 
@@ -137,6 +146,8 @@ class QueryService {
   /// Values are whole responses (generation inside); a hit additionally
   /// requires entry->generation == current state generation.
   LruCache<std::shared_ptr<const exec::QueryResponse>> result_cache_;
+
+  std::unique_ptr<SlowQueryLog> slow_log_;
 
   std::vector<std::thread> workers_;
 };

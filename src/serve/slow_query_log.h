@@ -1,0 +1,70 @@
+#ifndef MPC_SERVE_SLOW_QUERY_LOG_H_
+#define MPC_SERVE_SLOW_QUERY_LOG_H_
+
+#include <cstdint>
+#include <mutex>
+#include <string>
+
+#include "common/status.h"
+#include "exec/query_api.h"
+
+namespace mpc::serve {
+
+/// Bounded JSONL log of queries that blew a latency threshold, with the
+/// merged per-query trace retained only for those queries. One line per
+/// slow query:
+///
+///   {"latency_ms":..,"queue_wait_ms":..,"text":"..","shape_key":"..",
+///    "plan":{"cls":"..","independent":..,"num_subqueries":..,
+///            "plan_cache_hit":..,"result_cache_hit":..},
+///    "complete":..,"completeness_bound":..,"rows":..,"error":"..",
+///    "attempts":[{"site":..,"attempt":..,"start_us":..,"dur_us":..,
+///                 "ok":..}],
+///    "trace_id":..,"trace_file":".."}
+///
+/// `attempts` is the per-site timeline reconstructed from the query's
+/// `exec.rpc.attempt` spans; `trace_file` is the Chrome-JSON merged
+/// trace (coordinator + site-worker tracks), written only when the
+/// query was traced. The log is size-bounded with a single rotation:
+/// when it would exceed `max_bytes` the current file moves to
+/// `<path>.old` and a fresh file starts — crash-safe and never more
+/// than 2x the cap on disk.
+class SlowQueryLog {
+ public:
+  struct Options {
+    std::string path;
+    /// Threshold (ms) a query's end-to-end latency must exceed.
+    double threshold_ms = 0.0;
+    size_t max_bytes = 4u << 20;
+    /// Retain the merged Chrome-JSON trace for each slow query, as
+    /// `<path>.trace.<trace_id>.json`.
+    bool keep_traces = true;
+
+    bool enabled() const { return threshold_ms > 0.0 && !path.empty(); }
+  };
+
+  explicit SlowQueryLog(Options options);
+
+  /// Appends one entry if latency >= threshold (no-op otherwise).
+  /// Thread-safe; called from serving workers after the query's span
+  /// closed. `result` may be an error (failed queries can be slow too).
+  void MaybeRecord(const exec::QueryRequest& request,
+                   const Result<exec::QueryResponse>& result,
+                   double latency_ms, double queue_wait_ms);
+
+  const Options& options() const { return options_; }
+  uint64_t entries_written() const { return entries_; }
+
+ private:
+  void AppendLocked(const std::string& line);
+
+  Options options_;
+  std::mutex mutex_;
+  uint64_t entries_ = 0;
+  size_t bytes_ = 0;
+  bool sized_ = false;  // bytes_ initialized from an existing file
+};
+
+}  // namespace mpc::serve
+
+#endif  // MPC_SERVE_SLOW_QUERY_LOG_H_

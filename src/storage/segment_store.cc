@@ -82,6 +82,13 @@ Result<SegmentStore> SegmentStore::Open(const std::string& path,
   store.base_ = static_cast<const uint8_t*>(map);
   store.size_ = size;
   store.stats_ = std::make_unique<ScanStats>();
+  auto& metrics = obs::MetricsRegistry::Default();
+  store.stats_->global_decoded =
+      &metrics.CounterRef("storage.segment.blocks_decoded");
+  store.stats_->global_pruned =
+      &metrics.CounterRef("storage.segment.blocks_pruned");
+  store.stats_->global_corrupt =
+      &metrics.CounterRef("storage.segment.corruption_detected");
 
   auto fail = [&](const Status& status) -> Status {
     const std::string msg = path + ": " + status.message();
@@ -202,7 +209,7 @@ bool SegmentStore::BlockUsable(RunOrder run, uint32_t index) const {
       m.checksum) {
     return true;
   }
-  stats_->corrupt.store(true, std::memory_order_relaxed);
+  stats_->MarkCorrupt();
   return false;
 }
 
@@ -221,7 +228,7 @@ bool SegmentStore::ScanKeyRange(RunOrder run, const Key3& lo, const Key3& hi,
     const BlockMeta& m = ms[i];
     if (hi < m.first) break;
     if (!BlockUsable(run, static_cast<uint32_t>(i))) return true;
-    stats_->decoded.fetch_add(1, std::memory_order_relaxed);
+    stats_->IncDecoded();
     BlockDecoder dec(run, BlockPayload(run, static_cast<uint32_t>(i)),
                      m.payload_len, m.num_triples);
     rdf::Triple t;
@@ -232,7 +239,7 @@ bool SegmentStore::ScanKeyRange(RunOrder run, const Key3& lo, const Key3& hi,
       if (!fn(t)) return false;
     }
     if (!dec.ok()) {
-      stats_->corrupt.store(true, std::memory_order_relaxed);
+      stats_->MarkCorrupt();
       return true;
     }
   }
@@ -249,11 +256,11 @@ bool SegmentStore::SweepFiltered(RunOrder run, bool bound_mid, uint32_t mid,
     // cannot contain a match and is never decoded.
     if ((bound_mid && (mid < m.min_mid || mid > m.max_mid)) ||
         (bound_minor && (minor < m.min_minor || minor > m.max_minor))) {
-      stats_->pruned.fetch_add(1, std::memory_order_relaxed);
+      stats_->IncPruned();
       continue;
     }
     if (!BlockUsable(run, static_cast<uint32_t>(i))) return true;
-    stats_->decoded.fetch_add(1, std::memory_order_relaxed);
+    stats_->IncDecoded();
     BlockDecoder dec(run, BlockPayload(run, static_cast<uint32_t>(i)),
                      m.payload_len, m.num_triples);
     rdf::Triple t;
@@ -264,7 +271,7 @@ bool SegmentStore::SweepFiltered(RunOrder run, bool bound_mid, uint32_t mid,
       if (!fn(t)) return false;
     }
     if (!dec.ok()) {
-      stats_->corrupt.store(true, std::memory_order_relaxed);
+      stats_->MarkCorrupt();
       return true;
     }
   }
@@ -332,7 +339,7 @@ size_t SegmentStore::CountKeyRange(RunOrder run, const Key3& lo,
       continue;
     }
     if (!BlockUsable(run, static_cast<uint32_t>(i))) return count;
-    stats_->decoded.fetch_add(1, std::memory_order_relaxed);
+    stats_->IncDecoded();
     BlockDecoder dec(run, BlockPayload(run, static_cast<uint32_t>(i)),
                      m.payload_len, m.num_triples);
     rdf::Triple t;
@@ -343,7 +350,7 @@ size_t SegmentStore::CountKeyRange(RunOrder run, const Key3& lo,
       ++count;
     }
     if (!dec.ok()) {
-      stats_->corrupt.store(true, std::memory_order_relaxed);
+      stats_->MarkCorrupt();
       return count;
     }
   }

@@ -8,6 +8,7 @@
 #include <vector>
 
 #include "common/status.h"
+#include "obs/metrics.h"
 #include "rdf/types.h"
 #include "storage/segment_format.h"
 #include "store/triple_source.h"
@@ -94,10 +95,36 @@ class SegmentStore final : public store::TripleSource {
   Status DeepCheck() const;
 
  private:
+  /// Per-instance counters, mirrored into the global obs registry
+  /// (storage.segment.*) so a live server's pruning behaviour and any
+  /// lazily-detected corruption are visible to `mpc top` without
+  /// plumbing store handles around. The registry pointers are resolved
+  /// once at Open; the per-instance atomics stay authoritative for the
+  /// accessors below.
   struct ScanStats {
     std::atomic<uint64_t> decoded{0};
     std::atomic<uint64_t> pruned{0};
     std::atomic<bool> corrupt{false};
+    obs::Counter* global_decoded = nullptr;
+    obs::Counter* global_pruned = nullptr;
+    obs::Counter* global_corrupt = nullptr;
+
+    void IncDecoded() {
+      decoded.fetch_add(1, std::memory_order_relaxed);
+      if (global_decoded != nullptr) global_decoded->Inc();
+    }
+    void IncPruned() {
+      pruned.fetch_add(1, std::memory_order_relaxed);
+      if (global_pruned != nullptr) global_pruned->Inc();
+    }
+    void MarkCorrupt() {
+      // Count the transition, not every detection: the global counter
+      // reads as "segments that went bad", matching the sticky flag.
+      if (!corrupt.exchange(true, std::memory_order_relaxed) &&
+          global_corrupt != nullptr) {
+        global_corrupt->Inc();
+      }
+    }
   };
 
   SegmentStore() = default;

@@ -1,0 +1,173 @@
+// Windowed-snapshot math behind `mpc top` and the StatsRequest admin
+// RPC: reset-aware counter/histogram deltas, the shared bucket-quantile
+// estimator, the snapshot ring, and the Snapshotter's StatsJson shape.
+
+#include <chrono>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "gtest/gtest.h"
+#include "obs/json.h"
+#include "obs/metrics.h"
+#include "obs/snapshot.h"
+
+namespace mpc::obs {
+namespace {
+
+class SnapshotTest : public ::testing::Test {
+ protected:
+  void SetUp() override { MetricsRegistry::Default().ResetForTest(); }
+  void TearDown() override { MetricsRegistry::Default().ResetForTest(); }
+};
+
+TEST_F(SnapshotTest, QuantileFromBucketsAgreesWithHistogram) {
+  Histogram h(DefaultLatencyBoundsMs());
+  for (int i = 1; i <= 1000; ++i) h.Observe(i * 0.37);
+  std::vector<uint64_t> buckets;
+  for (size_t i = 0; i < h.num_buckets(); ++i) {
+    buckets.push_back(h.bucket_count(i));
+  }
+  for (double q : {0.0, 0.5, 0.9, 0.95, 0.99, 1.0}) {
+    EXPECT_DOUBLE_EQ(QuantileFromBuckets(h.bounds(), buckets, h.count(), q),
+                     h.Quantile(q))
+        << "q=" << q;
+  }
+}
+
+TEST_F(SnapshotTest, QuantileFromBucketsIsZeroWhenEmpty) {
+  const std::vector<double> bounds = {1.0, 2.0};
+  EXPECT_EQ(QuantileFromBuckets(bounds, {0, 0, 0}, 0, 0.5), 0.0);
+}
+
+TEST_F(SnapshotTest, CounterDeltaSubtractsAndSurvivesResets) {
+  EXPECT_EQ(CounterDelta(10, 25), 15u);
+  EXPECT_EQ(CounterDelta(0, 0), 0u);
+  // A respawned worker restarts at zero: the delta is everything the
+  // new incarnation counted, not an unsigned wraparound.
+  EXPECT_EQ(CounterDelta(100, 7), 7u);
+}
+
+HistogramSnapshot Snap(const std::vector<double>& bounds,
+                       std::vector<uint64_t> buckets, double sum) {
+  HistogramSnapshot s;
+  s.bounds = bounds;
+  s.buckets = std::move(buckets);
+  for (uint64_t b : s.buckets) s.count += b;
+  s.sum = sum;
+  return s;
+}
+
+TEST_F(SnapshotTest, HistogramDeltaSubtractsPerBucket) {
+  const std::vector<double> bounds = {1.0, 10.0};
+  const HistogramSnapshot prev = Snap(bounds, {1, 2, 0}, 5.0);
+  const HistogramSnapshot cur = Snap(bounds, {4, 2, 1}, 25.0);
+  const HistogramSnapshot delta = HistogramDelta(prev, cur);
+  EXPECT_EQ(delta.buckets, (std::vector<uint64_t>{3, 0, 1}));
+  EXPECT_EQ(delta.count, 4u);
+  EXPECT_DOUBLE_EQ(delta.sum, 20.0);
+}
+
+TEST_F(SnapshotTest, HistogramDeltaTreatsShrunkBucketAsReset) {
+  const std::vector<double> bounds = {1.0, 10.0};
+  const HistogramSnapshot prev = Snap(bounds, {5, 5, 0}, 30.0);
+  const HistogramSnapshot cur = Snap(bounds, {2, 0, 0}, 1.5);
+  // Bucket 1 shrank: the process restarted, so cur IS the window.
+  const HistogramSnapshot delta = HistogramDelta(prev, cur);
+  EXPECT_EQ(delta.buckets, cur.buckets);
+  EXPECT_EQ(delta.count, cur.count);
+}
+
+TEST_F(SnapshotTest, HistogramDeltaTreatsShapeChangeAsReset) {
+  const HistogramSnapshot prev = Snap({1.0, 10.0}, {5, 5, 0}, 30.0);
+  const HistogramSnapshot cur = Snap({1.0}, {2, 1}, 3.0);
+  const HistogramSnapshot delta = HistogramDelta(prev, cur);
+  EXPECT_EQ(delta.bounds, cur.bounds);
+  EXPECT_EQ(delta.buckets, cur.buckets);
+}
+
+TEST_F(SnapshotTest, SnapshotWindowEvictsOldestFirst) {
+  SnapshotWindow window(3);
+  EXPECT_TRUE(window.empty());
+  for (int i = 1; i <= 5; ++i) {
+    MetricsSnapshot s;
+    s.at_ms = i * 100.0;
+    window.Push(std::move(s));
+  }
+  EXPECT_EQ(window.size(), 3u);
+  // 1 and 2 were evicted; the window spans snapshots 3..5.
+  EXPECT_DOUBLE_EQ(window.oldest().at_ms, 300.0);
+  EXPECT_DOUBLE_EQ(window.newest().at_ms, 500.0);
+}
+
+TEST_F(SnapshotTest, RegistrySnapshotIsConsistentCopy) {
+  MetricsRegistry& reg = MetricsRegistry::Default();
+  reg.CounterRef("test.count").Inc(42);
+  reg.GaugeRef("test.depth").Set(7.5);
+  reg.HistogramRef("test.lat_ms", DefaultLatencyBoundsMs()).Observe(3.0);
+  const MetricsSnapshot snap = reg.TakeSnapshot();
+  EXPECT_EQ(snap.counters.at("test.count"), 42u);
+  EXPECT_DOUBLE_EQ(snap.gauges.at("test.depth"), 7.5);
+  EXPECT_EQ(snap.histograms.at("test.lat_ms").count, 1u);
+  // Later increments don't bleed into the taken snapshot.
+  reg.CounterRef("test.count").Inc(1);
+  EXPECT_EQ(snap.counters.at("test.count"), 42u);
+}
+
+TEST_F(SnapshotTest, StatsJsonReportsWindowedCountersAndQuantiles) {
+  MetricsRegistry& reg = MetricsRegistry::Default();
+  reg.CounterRef("serve.queries").Inc(10);
+  reg.GaugeRef("serve.queue_depth").Set(3.0);
+  Histogram& lat = reg.HistogramRef("serve.latency_ms",
+                                    DefaultLatencyBoundsMs());
+  for (int i = 0; i < 100; ++i) lat.Observe(5.0);
+
+  Snapshotter snapshotter;
+  snapshotter.SampleNow();
+  // A real gap between samples so the window has nonzero width (the
+  // rate divides by it).
+  std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  reg.CounterRef("serve.queries").Inc(30);
+  for (int i = 0; i < 50; ++i) lat.Observe(20.0);
+  snapshotter.SampleNow();
+
+  Result<JsonValue> parsed = ParseJson(snapshotter.StatsJson());
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  for (const char* field : {"uptime_ms", "window_ms", "counters", "gauges",
+                            "histograms"}) {
+    EXPECT_NE(parsed->Find(field), nullptr) << field;
+  }
+  const JsonValue* queries =
+      parsed->Find("counters")->Find("serve.queries");
+  ASSERT_NE(queries, nullptr);
+  EXPECT_EQ(queries->Find("value")->number, 40.0);
+  // The window spans the two samples: only the 30 land in the delta.
+  EXPECT_EQ(queries->Find("window_delta")->number, 30.0);
+  EXPECT_GT(queries->Find("rate_per_s")->number, 0.0);
+
+  EXPECT_EQ(parsed->Find("gauges")->Find("serve.queue_depth")->number, 3.0);
+
+  const JsonValue* hist =
+      parsed->Find("histograms")->Find("serve.latency_ms");
+  ASSERT_NE(hist, nullptr);
+  EXPECT_EQ(hist->Find("count")->number, 150.0);
+  EXPECT_EQ(hist->Find("window_count")->number, 50.0);
+  // All 50 windowed observations were ~20ms: the windowed p50 reflects
+  // the window, not the lifetime distribution (which is mostly 5ms).
+  EXPECT_GT(hist->Find("p50")->number, 10.0);
+}
+
+TEST_F(SnapshotTest, SnapshotterStartStopIsCleanAndServesJson) {
+  Snapshotter snapshotter(SnapshotterOptions{.interval_ms = 10.0});
+  snapshotter.Start();
+  MetricsRegistry::Default().CounterRef("x").Inc();
+  Result<JsonValue> parsed = ParseJson(snapshotter.StatsJson());
+  EXPECT_TRUE(parsed.ok()) << parsed.status().ToString();
+  snapshotter.Stop();
+  // Stop is idempotent; StatsJson still serves the retained window.
+  snapshotter.Stop();
+  EXPECT_TRUE(ParseJson(snapshotter.StatsJson()).ok());
+}
+
+}  // namespace
+}  // namespace mpc::obs

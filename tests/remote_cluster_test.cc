@@ -11,7 +11,9 @@
 #include <cstdint>
 #include <filesystem>
 #include <functional>
+#include <map>
 #include <memory>
+#include <set>
 #include <string>
 #include <vector>
 
@@ -22,6 +24,8 @@
 #include "gtest/gtest.h"
 #include "mpc/mpc_partitioner.h"
 #include "net/chaos_proxy.h"
+#include "obs/json.h"
+#include "obs/trace.h"
 #include "partition/partition_io.h"
 #include "rdf/graph.h"
 #include "rdf/ntriples.h"
@@ -474,6 +478,70 @@ TEST(RemoteClusterTest, PushReloadPropagatesAndResyncsRestartedWorkers) {
   EXPECT_EQ(testutil::RowSet(response->bindings),
             testutil::RowSet(testutil::GroundTruth(d->graph, query)));
   EXPECT_GE(d->remote->supervisor().restarts(1), 1);
+}
+
+// --- Acceptance: a traced query against the real fleet assembles ONE
+// merged trace — coordinator and site-worker spans under a single trace
+// id, with the workers' real pids and no orphan parent edges. ---
+
+TEST(RemoteClusterTest, TracedQueryAssemblesOneMergedTraceAcrossProcesses) {
+  std::unique_ptr<Deployment> d = MakeDeployment(4);
+  if (d == nullptr) GTEST_SKIP() << "worker binary not built";
+
+  obs::StartTracing();
+  DistributedExecutor executor(*d->remote, d->graph, RemoteExecOptions());
+  // The join query: decompose + per-site RPCs, so site.eval spans exist.
+  sparql::QueryGraph query = testutil::ParseQueryOrDie(kQueryMix[2]);
+  Result<QueryResponse> response =
+      executor.Execute(QueryRequest::FromQuery(query));
+  ASSERT_TRUE(response.ok()) << response.status().ToString();
+  const uint64_t trace_id = response->stats.trace_id;
+  ASSERT_NE(trace_id, 0u);
+
+  const std::vector<obs::TraceEvent> events = obs::ExtractTraceForId(trace_id);
+  obs::StopTracing();
+  ASSERT_FALSE(events.empty());
+
+  std::set<std::string> names;
+  std::set<uint32_t> pids;
+  std::set<uint64_t> span_ids;
+  for (const obs::TraceEvent& e : events) {
+    EXPECT_EQ(e.trace_id, trace_id) << e.name;
+    names.insert(e.name);
+    pids.insert(e.pid);
+    span_ids.insert(e.span_id);
+  }
+  // Coordinator-side call span and worker-side evaluation span both
+  // landed in the same trace.
+  EXPECT_EQ(names.count("exec.rpc.attempt"), 1u);
+  EXPECT_EQ(names.count("site.eval"), 1u);
+  // pid 0 is this process; every worker stamped its real pid.
+  EXPECT_GE(pids.size(), 2u) << "no remote spans were ingested";
+  EXPECT_EQ(pids.count(0), 1u);
+  for (const obs::TraceEvent& e : events) {
+    if (e.parent_id == 0) continue;
+    EXPECT_EQ(span_ids.count(e.parent_id), 1u)
+        << "orphan parent edge under " << e.name;
+  }
+  // Remote spans parent into coordinator spans: each site.eval hangs off
+  // a span recorded by pid 0.
+  std::map<uint64_t, uint32_t> pid_of;
+  for (const obs::TraceEvent& e : events) pid_of[e.span_id] = e.pid;
+  for (const obs::TraceEvent& e : events) {
+    if (e.name == "site.eval") {
+      ASSERT_NE(e.parent_id, 0u);
+      EXPECT_EQ(pid_of.at(e.parent_id), 0u);
+    }
+  }
+
+  // The exported Chrome JSON passes the same invariants trace_check
+  // enforces in merged mode.
+  Result<obs::JsonValue> parsed =
+      obs::ParseJson(obs::TraceEventsToChromeJson(events));
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  const obs::JsonValue* exported = parsed->Find("traceEvents");
+  ASSERT_NE(exported, nullptr);
+  EXPECT_EQ(exported->array.size(), events.size());
 }
 
 }  // namespace

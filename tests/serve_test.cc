@@ -1,12 +1,18 @@
 #include "serve/query_service.h"
 
+#include <sys/stat.h>
+#include <unistd.h>
+
 #include <atomic>
 #include <condition_variable>
+#include <cstdio>
+#include <fstream>
 #include <future>
 #include <map>
 #include <memory>
 #include <mutex>
 #include <set>
+#include <sstream>
 #include <string>
 #include <thread>
 #include <utility>
@@ -16,7 +22,10 @@
 #include "dynamic/incremental_maintainer.h"
 #include "exec/query_api.h"
 #include "gtest/gtest.h"
+#include "obs/json.h"
+#include "obs/trace.h"
 #include "partition/subject_hash_partitioner.h"
+#include "serve/admin.h"
 #include "serve/lru_cache.h"
 #include "serve/serving_state.h"
 #include "test_util.h"
@@ -458,6 +467,166 @@ TEST(ExecuteRequestTest, ParseErrorCarriesQueryText) {
       state->distributed().Execute(exec::QueryRequest::FromText("NOT SPARQL"));
   ASSERT_FALSE(r.ok());
   EXPECT_NE(r.status().message().find("NOT SPARQL"), std::string::npos);
+}
+
+// ----------------------------------------------------------- slow-query log
+
+std::vector<std::string> ReadLines(const std::string& path) {
+  std::ifstream in(path);
+  std::vector<std::string> lines;
+  std::string line;
+  while (std::getline(in, line)) {
+    if (!line.empty()) lines.push_back(line);
+  }
+  return lines;
+}
+
+std::string UniquePath(const std::string& stem) {
+  return ::testing::TempDir() + stem + "." + std::to_string(::getpid());
+}
+
+TEST(SlowQueryLogTest, LogsOnlyQueriesOverThreshold) {
+  QueryServiceOptions options;
+  options.slow_query.path = UniquePath("slow_over");
+  options.slow_query.threshold_ms = 0.0001;  // everything is "slow"
+  options.slow_query.keep_traces = false;
+  {
+    QueryService service(SmallState(), options);
+    ASSERT_TRUE(service
+                    .Execute(exec::QueryRequest::FromText(
+                        "SELECT * WHERE { ?x <t:knows> ?y . }"))
+                    .ok());
+    ASSERT_NE(service.slow_query_log(), nullptr);
+    EXPECT_EQ(service.slow_query_log()->entries_written(), 1u);
+  }
+  const std::vector<std::string> lines = ReadLines(options.slow_query.path);
+  ASSERT_EQ(lines.size(), 1u);
+  Result<obs::JsonValue> entry = obs::ParseJson(lines[0]);
+  ASSERT_TRUE(entry.ok()) << entry.status().ToString();
+  // trace_id appears only when tracing is live (see the traced test).
+  for (const char* field : {"latency_ms", "queue_wait_ms", "text",
+                            "shape_key", "plan", "complete", "rows"}) {
+    EXPECT_NE(entry->Find(field), nullptr) << field;
+  }
+  EXPECT_NE(entry->Find("text")->str.find("knows"), std::string::npos);
+  EXPECT_NE(entry->Find("plan")->Find("cls"), nullptr);
+  std::remove(options.slow_query.path.c_str());
+}
+
+TEST(SlowQueryLogTest, FastQueriesAreNotLogged) {
+  QueryServiceOptions options;
+  options.slow_query.path = UniquePath("slow_none");
+  options.slow_query.threshold_ms = 1e9;
+  QueryService service(SmallState(), options);
+  ASSERT_TRUE(service
+                  .Execute(exec::QueryRequest::FromText(
+                      "SELECT * WHERE { ?x <t:knows> ?y . }"))
+                  .ok());
+  EXPECT_EQ(service.slow_query_log()->entries_written(), 0u);
+  EXPECT_TRUE(ReadLines(options.slow_query.path).empty());
+}
+
+TEST(SlowQueryLogTest, FailedQueriesAreLoggedWithTheError) {
+  QueryServiceOptions options;
+  options.slow_query.path = UniquePath("slow_err");
+  options.slow_query.threshold_ms = 0.0001;
+  options.slow_query.keep_traces = false;
+  QueryService service(SmallState(), options);
+  ASSERT_FALSE(
+      service.Execute(exec::QueryRequest::FromText("NOT SPARQL")).ok());
+  const std::vector<std::string> lines = ReadLines(options.slow_query.path);
+  ASSERT_EQ(lines.size(), 1u);
+  Result<obs::JsonValue> entry = obs::ParseJson(lines[0]);
+  ASSERT_TRUE(entry.ok());
+  ASSERT_NE(entry->Find("error"), nullptr);
+  EXPECT_FALSE(entry->Find("error")->str.empty());
+  std::remove(options.slow_query.path.c_str());
+}
+
+TEST(SlowQueryLogTest, RotatesOnceAtMaxBytesAndStaysBounded) {
+  QueryServiceOptions options;
+  options.slow_query.path = UniquePath("slow_rot");
+  options.slow_query.threshold_ms = 0.0001;
+  options.slow_query.max_bytes = 2048;
+  options.slow_query.keep_traces = false;
+  QueryService service(SmallState(), options);
+  for (int i = 0; i < 50; ++i) {
+    ASSERT_TRUE(service
+                    .Execute(exec::QueryRequest::FromText(
+                        "SELECT * WHERE { ?x <t:knows> ?y . }"))
+                    .ok());
+  }
+  EXPECT_EQ(service.slow_query_log()->entries_written(), 50u);
+  struct ::stat live;
+  ASSERT_EQ(::stat(options.slow_query.path.c_str(), &live), 0);
+  EXPECT_LE(static_cast<uint64_t>(live.st_size),
+            options.slow_query.max_bytes);
+  // Exactly one rotation generation: live file + .old, nothing else.
+  struct ::stat old;
+  ASSERT_EQ(::stat((options.slow_query.path + ".old").c_str(), &old), 0)
+      << "rotation never happened";
+  EXPECT_LE(static_cast<uint64_t>(old.st_size), options.slow_query.max_bytes);
+  // Every retained line is still valid standalone JSON.
+  for (const std::string& line : ReadLines(options.slow_query.path)) {
+    EXPECT_TRUE(obs::ParseJson(line).ok()) << line;
+  }
+  std::remove(options.slow_query.path.c_str());
+  std::remove((options.slow_query.path + ".old").c_str());
+}
+
+TEST(SlowQueryLogTest, TracedSlowQueryRetainsItsMergedTrace) {
+  obs::StartTracing();
+  QueryServiceOptions options;
+  options.slow_query.path = UniquePath("slow_trace");
+  options.slow_query.threshold_ms = 0.0001;
+  {
+    QueryService service(SmallState(), options);
+    ASSERT_TRUE(service
+                    .Execute(exec::QueryRequest::FromText(
+                        "SELECT * WHERE { ?x <t:knows> ?y . }"))
+                    .ok());
+  }
+  obs::StopTracing();
+  const std::vector<std::string> lines = ReadLines(options.slow_query.path);
+  ASSERT_EQ(lines.size(), 1u);
+  Result<obs::JsonValue> entry = obs::ParseJson(lines[0]);
+  ASSERT_TRUE(entry.ok());
+  const obs::JsonValue* trace_id = entry->Find("trace_id");
+  ASSERT_NE(trace_id, nullptr);
+  EXPECT_GT(trace_id->number, 0.0);
+  const obs::JsonValue* trace_file = entry->Find("trace_file");
+  ASSERT_NE(trace_file, nullptr) << "keep_traces should retain the trace";
+  std::ifstream trace(trace_file->str);
+  ASSERT_TRUE(trace.good()) << trace_file->str;
+  std::ostringstream buffer;
+  buffer << trace.rdbuf();
+  Result<obs::JsonValue> parsed = obs::ParseJson(buffer.str());
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  const obs::JsonValue* events = parsed->Find("traceEvents");
+  ASSERT_NE(events, nullptr);
+  EXPECT_FALSE(events->array.empty());
+  std::remove(options.slow_query.path.c_str());
+  std::remove(trace_file->str.c_str());
+}
+
+// ------------------------------------------------------------- admin socket
+
+TEST(AdminServerTest, ServesStatsOverTheSocket) {
+  const std::string socket = UniquePath("admin_sock");
+  AdminServer server(socket, [] { return std::string("{\"x\":1}"); });
+  ASSERT_TRUE(server.Start().ok());
+  for (int i = 1; i <= 3; ++i) {
+    Result<std::string> stats = FetchStats(socket, 2000.0);
+    ASSERT_TRUE(stats.ok()) << stats.status().ToString();
+    EXPECT_EQ(*stats, "{\"x\":1}");
+    EXPECT_EQ(server.requests_served(), static_cast<uint64_t>(i));
+  }
+  server.Stop();
+  EXPECT_FALSE(FetchStats(socket, 200.0).ok());
+}
+
+TEST(AdminServerTest, FetchFromMissingSocketFailsCleanly) {
+  EXPECT_FALSE(FetchStats(UniquePath("admin_gone"), 200.0).ok());
 }
 
 }  // namespace

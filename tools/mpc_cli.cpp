@@ -100,7 +100,9 @@
 #include "exec/remote_cluster.h"
 #include "exec/site_worker.h"
 #include "mpc/mpc_partitioner.h"
+#include "obs/json.h"
 #include "obs/metrics.h"
+#include "obs/snapshot.h"
 #include "obs/trace.h"
 #include "partition/edge_cut_partitioner.h"
 #include "partition/partition_io.h"
@@ -108,6 +110,7 @@
 #include "partition/vp_partitioner.h"
 #include "rdf/ntriples.h"
 #include "rdf/stats.h"
+#include "serve/admin.h"
 #include "serve/query_service.h"
 #include "serve/serving_state.h"
 #include "sparql/parser.h"
@@ -145,11 +148,16 @@ int Usage() {
       [--updates=FILE] [--update-interval-ms=I]
       [--remote] [--socket-dir=DIR] [--worker-binary=PATH]
       [--max-restarts=N] [--kill-site=I] [--kill-after-queries=N]
+      [--admin-socket=PATH] [--slow-query-ms=T] [--slow-log=FILE]
   mpc site <data.nt> <partition_dir> --site=I --socket=PATH
       [--store=memory|segment]
       [--generation=G] [--kill-after-queries=N]
+  mpc top --socket=ADMIN_PATH [--json] [--interval-ms=I] [--count=N]
 observability (any command):
       [--trace-out=FILE] [--trace-summary] [--metrics-out=FILE]
+serve also answers SIGUSR1 with a live flush: metrics/trace out files
+are rewritten and a windowed stats snapshot is printed, the run keeps
+going. --admin-socket exposes the same snapshot to `mpc top`.
 )";
   return 2;
 }
@@ -218,6 +226,14 @@ struct Flags {
   double deadline_ms = 0.0;  // 0 = no deadline
   std::string updates_file;
   double update_interval_ms = 0.0;
+
+  // Live introspection (serve command) and the top client.
+  std::string admin_socket;
+  double slow_query_ms = 0.0;  // 0 = slow-query log off
+  std::string slow_log;        // default: slow_queries.jsonl
+  bool json = false;
+  double interval_ms = 2000.0;
+  uint32_t count = 0;  // 0 = refresh until interrupted
 
   // Observability (any command).
   std::string trace_out;
@@ -298,6 +314,12 @@ struct Flags {
     parser.AddDouble("deadline-ms", &flags.deadline_ms);
     parser.AddString("updates", &flags.updates_file);
     parser.AddDouble("update-interval-ms", &flags.update_interval_ms);
+    parser.AddString("admin-socket", &flags.admin_socket);
+    parser.AddDouble("slow-query-ms", &flags.slow_query_ms);
+    parser.AddString("slow-log", &flags.slow_log);
+    parser.AddBool("json", &flags.json);
+    parser.AddDouble("interval-ms", &flags.interval_ms);
+    parser.AddUint32("count", &flags.count);
     parser.AddString("out", &flags.out_dir);
     parser.AddString("trace-out", &flags.trace_out);
     parser.AddString("metrics-out", &flags.metrics_out);
@@ -329,6 +351,14 @@ void InstallDrainHandlers() {
   g_drain.store(false, std::memory_order_relaxed);
   std::signal(SIGINT, HandleDrainSignal);
   std::signal(SIGTERM, HandleDrainSignal);
+}
+
+/// Live-flush flag for `serve`: SIGUSR1 asks for a mid-run flush of
+/// --metrics-out/--trace-out plus a stats dump, without terminating.
+std::atomic<bool> g_flush{false};
+
+void HandleFlushSignal(int /*signum*/) {
+  g_flush.store(true, std::memory_order_relaxed);
 }
 
 /// The running mpc binary, for serve --remote to exec its own workers.
@@ -876,6 +906,13 @@ int CmdServe(const Flags& flags) {
     return 2;
   }
   InstallDrainHandlers();
+  g_flush.store(false, std::memory_order_relaxed);
+  std::signal(SIGUSR1, HandleFlushSignal);
+  // The slow-query log keys on the merged per-query trace, so a slow
+  // threshold implies tracing even without --trace-out.
+  if (flags.slow_query_ms > 0.0 && !obs::TracingEnabled()) {
+    obs::StartTracing();
+  }
   Result<rdf::RdfGraph> graph = LoadGraph(flags.positional[0], flags.threads);
   if (!graph.ok()) {
     std::cerr << graph.status().ToString() << "\n";
@@ -1014,7 +1051,43 @@ int CmdServe(const Flags& flags) {
       flags.admission == "block"
           ? serve::QueryServiceOptions::Admission::kBlock
           : serve::QueryServiceOptions::Admission::kReject;
+  if (flags.slow_query_ms > 0.0) {
+    service_options.slow_query.threshold_ms = flags.slow_query_ms;
+    service_options.slow_query.path =
+        flags.slow_log.empty() ? "slow_queries.jsonl" : flags.slow_log;
+  }
   serve::QueryService service(std::move(state), service_options);
+
+  // Live introspection: the snapshotter computes windowed stats over
+  // the metrics registry; the admin socket serves them to `mpc top`,
+  // and SIGUSR1 dumps them (plus the out files) mid-run.
+  obs::Snapshotter snapshotter;
+  snapshotter.Start();
+  std::unique_ptr<serve::AdminServer> admin;
+  if (!flags.admin_socket.empty()) {
+    admin = std::make_unique<serve::AdminServer>(
+        flags.admin_socket, [&snapshotter] { return snapshotter.StatsJson(); });
+    Status st = admin->Start();
+    if (!st.ok()) {
+      std::cerr << st.ToString() << "\n";
+      return 1;
+    }
+  }
+  std::atomic<bool> stop_flusher{false};
+  std::thread flusher([&] {
+    while (!stop_flusher.load(std::memory_order_relaxed)) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(50));
+      if (!g_flush.exchange(false, std::memory_order_relaxed)) continue;
+      if (!flags.metrics_out.empty()) {
+        (void)obs::MetricsRegistry::Default().WriteJson(flags.metrics_out);
+      }
+      if (!flags.trace_out.empty() && obs::TracingEnabled()) {
+        (void)obs::WriteTrace(flags.trace_out);
+      }
+      snapshotter.SampleNow();
+      std::cout << snapshotter.StatsJson() << "\n" << std::flush;
+    }
+  });
 
   // Update stream on a side thread: apply a batch, capture + publish a
   // new snapshot, sleep. Queries never block on this — in-flight ones
@@ -1107,6 +1180,10 @@ int CmdServe(const Flags& flags) {
   stop_updates.store(true);
   if (updater.joinable()) updater.join();
   service.Shutdown();
+  stop_flusher.store(true);
+  if (flusher.joinable()) flusher.join();
+  if (admin != nullptr) admin->Stop();
+  snapshotter.Stop();
   if (g_drain.load()) {
     std::cout << "drained:  admission stopped by signal after "
               << FormatWithCommas(submitted) << " submissions\n";
@@ -1147,7 +1224,198 @@ int CmdServe(const Flags& flags) {
             << " ms, p99 " << FormatDouble(latency.Quantile(0.99), 2)
             << " ms (queue wait p99 "
             << FormatDouble(queue_wait.Quantile(0.99), 2) << " ms)\n";
+  if (service.slow_query_log() != nullptr) {
+    std::cout << "slow:     "
+              << FormatWithCommas(service.slow_query_log()->entries_written())
+              << " queries over "
+              << FormatDouble(flags.slow_query_ms, 1) << " ms logged to "
+              << service.slow_query_log()->options().path << "\n";
+  }
   return failed > 0 ? 1 : 0;
+}
+
+// ---------------------------------------------------------------------------
+// mpc top: live serving introspection over the admin socket.
+
+/// counters[name].field from the stats JSON, or fallback when absent.
+double StatsField(const obs::JsonValue& root, const char* section,
+                  const std::string& name, const char* field,
+                  double fallback = 0.0) {
+  const obs::JsonValue* sec = root.Find(section);
+  if (sec == nullptr) return fallback;
+  const obs::JsonValue* entry = sec->Find(name);
+  if (entry == nullptr) return fallback;
+  if (entry->is_number()) return entry->number;  // gauges are bare numbers
+  const obs::JsonValue* value = entry->Find(field);
+  return value != nullptr && value->is_number() ? value->number : fallback;
+}
+
+bool StatsHas(const obs::JsonValue& root, const char* section,
+              const std::string& name) {
+  const obs::JsonValue* sec = root.Find(section);
+  return sec != nullptr && sec->Find(name) != nullptr;
+}
+
+/// Windowed cache-hit percentage from a pair of hit/miss counters.
+std::string HitRate(const obs::JsonValue& root, const std::string& prefix) {
+  const double hits = StatsField(root, "counters", prefix + ".hits",
+                                 "window_delta");
+  const double misses = StatsField(root, "counters", prefix + ".misses",
+                                   "window_delta");
+  if (hits + misses <= 0.0) return "-";
+  return FormatDouble(100.0 * hits / (hits + misses), 1) + "%";
+}
+
+void RenderTop(const obs::JsonValue& root) {
+  const obs::JsonValue* up = root.Find("uptime_ms");
+  const obs::JsonValue* win = root.Find("window_ms");
+  std::cout << "mpc top — uptime "
+            << FormatDouble((up != nullptr ? up->number : 0.0) / 1000.0, 1)
+            << " s, window "
+            << FormatDouble((win != nullptr ? win->number : 0.0) / 1000.0, 1)
+            << " s\n";
+  std::cout << "queries   "
+            << FormatWithCommas(static_cast<uint64_t>(
+                   StatsField(root, "counters", "serve.queries", "value")))
+            << " total, "
+            << FormatDouble(StatsField(root, "counters", "serve.queries",
+                                       "rate_per_s"), 1)
+            << " qps | queue depth "
+            << static_cast<uint64_t>(
+                   StatsField(root, "gauges", "serve.queue_depth", ""))
+            << "\n";
+  std::cout << "latency   p50 "
+            << FormatDouble(StatsField(root, "histograms", "serve.latency_ms",
+                                       "p50"), 2)
+            << " ms, p95 "
+            << FormatDouble(StatsField(root, "histograms", "serve.latency_ms",
+                                       "p95"), 2)
+            << " ms, p99 "
+            << FormatDouble(StatsField(root, "histograms", "serve.latency_ms",
+                                       "p99"), 2)
+            << " ms (window) | queue wait p99 "
+            << FormatDouble(StatsField(root, "histograms",
+                                       "serve.queue_wait_ms", "p99"), 2)
+            << " ms\n";
+  std::cout << "admission "
+            << FormatWithCommas(static_cast<uint64_t>(
+                   StatsField(root, "counters", "serve.admitted", "value")))
+            << " admitted, "
+            << static_cast<uint64_t>(
+                   StatsField(root, "counters", "serve.rejected", "value"))
+            << " rejected, "
+            << static_cast<uint64_t>(StatsField(root, "counters",
+                                                "serve.deadline_expired",
+                                                "value"))
+            << " expired\n";
+  std::cout << "caches    plan " << HitRate(root, "serve.plan_cache")
+            << " hit, result " << HitRate(root, "serve.result_cache")
+            << " hit (window)\n";
+  if (StatsHas(root, "gauges", "net.supervisor.alive")) {
+    std::cout << "sites     "
+              << static_cast<uint64_t>(StatsField(root, "gauges",
+                                                  "net.supervisor.alive", ""))
+              << " up | restarts "
+              << static_cast<uint64_t>(StatsField(root, "counters",
+                                                  "net.supervisor.restarts",
+                                                  "value"))
+              << ", deaths "
+              << static_cast<uint64_t>(StatsField(root, "counters",
+                                                  "net.supervisor.deaths",
+                                                  "value"))
+              << ", gave up "
+              << static_cast<uint64_t>(StatsField(root, "counters",
+                                                  "net.supervisor.gave_up",
+                                                  "value"))
+              << " | heartbeat p99 "
+              << FormatDouble(StatsField(root, "histograms",
+                                         "net.supervisor.heartbeat_ms",
+                                         "p99"), 2)
+              << " ms\n";
+    const obs::JsonValue* counters = root.Find("counters");
+    if (counters != nullptr) {
+      for (const auto& [name, value] : counters->object) {
+        const std::string_view prefix = "net.supervisor.site_";
+        if (name.compare(0, prefix.size(), prefix) != 0) continue;
+        if (name.size() < prefix.size() ||
+            name.find(".restarts") == std::string::npos) {
+          continue;
+        }
+        const obs::JsonValue* v = value.Find("value");
+        if (v != nullptr && v->number > 0.0) {
+          std::cout << "          " << name << " = "
+                    << static_cast<uint64_t>(v->number) << "\n";
+        }
+      }
+    }
+  }
+  if (StatsHas(root, "counters", "storage.segment.blocks_decoded") ||
+      StatsHas(root, "counters", "storage.segment.blocks_pruned")) {
+    std::cout << "storage   blocks decoded "
+              << FormatWithCommas(static_cast<uint64_t>(
+                     StatsField(root, "counters",
+                                "storage.segment.blocks_decoded", "value")))
+              << " ("
+              << FormatDouble(StatsField(root, "counters",
+                                         "storage.segment.blocks_decoded",
+                                         "rate_per_s"), 1)
+              << "/s), pruned "
+              << FormatWithCommas(static_cast<uint64_t>(
+                     StatsField(root, "counters",
+                                "storage.segment.blocks_pruned", "value")))
+              << ", corrupt "
+              << static_cast<uint64_t>(
+                     StatsField(root, "counters",
+                                "storage.segment.corruption_detected",
+                                "value"))
+              << "\n";
+  }
+}
+
+int CmdTop(const Flags& flags) {
+  if (!flags.positional.empty()) return Usage();
+  if (flags.socket_path.empty()) {
+    std::cerr << "top requires --socket=ADMIN_PATH (the serve process's "
+                 "--admin-socket)\n";
+    return 2;
+  }
+  if (flags.json) {
+    Result<std::string> stats = serve::FetchStats(flags.socket_path, 5000.0);
+    if (!stats.ok()) {
+      std::cerr << stats.status().ToString() << "\n";
+      return 1;
+    }
+    std::cout << *stats << "\n";
+    return 0;
+  }
+  InstallDrainHandlers();
+  const bool tty = ::isatty(STDOUT_FILENO) != 0;
+  for (uint32_t shown = 0; !g_drain.load(std::memory_order_relaxed);) {
+    Result<std::string> stats = serve::FetchStats(flags.socket_path, 5000.0);
+    if (!stats.ok()) {
+      std::cerr << stats.status().ToString() << "\n";
+      return 1;
+    }
+    Result<obs::JsonValue> parsed = obs::ParseJson(*stats);
+    if (!parsed.ok()) {
+      std::cerr << "bad stats payload: " << parsed.status().ToString() << "\n";
+      return 1;
+    }
+    if (tty) std::cout << "\x1b[H\x1b[2J";
+    RenderTop(*parsed);
+    std::cout << std::flush;
+    if (++shown >= flags.count && flags.count > 0) break;
+    // Sleep in short slices so SIGINT lands promptly.
+    const auto deadline =
+        std::chrono::steady_clock::now() +
+        std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+            std::chrono::duration<double, std::milli>(flags.interval_ms));
+    while (!g_drain.load(std::memory_order_relaxed) &&
+           std::chrono::steady_clock::now() < deadline) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(50));
+    }
+  }
+  return 0;
 }
 
 }  // namespace
@@ -1162,6 +1430,7 @@ int RunCommand(const std::string& command, const Flags& flags) {
   if (command == "update") return CmdUpdate(flags);
   if (command == "serve") return CmdServe(flags);
   if (command == "site") return CmdSite(flags);
+  if (command == "top") return CmdTop(flags);
   return Usage();
 }
 

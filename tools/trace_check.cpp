@@ -1,6 +1,7 @@
 // trace_check — validates an exported trace or metrics JSON file.
 //
 //   trace_check trace <file.json> [required-span-name...]
+//   trace_check merged <file.json> [required-span-name...]
 //   trace_check metrics <file.json> [required-counter-name...]
 //
 // Used by scripts/check.sh to smoke-test the CLI's --trace-out /
@@ -9,6 +10,13 @@
 // events / counters+gauges+histograms maps), and contain every span or
 // counter named on the command line. Exit 0 on success, 1 with a
 // message naming the first problem otherwise.
+//
+// `merged` adds the distributed-trace invariants for a per-query trace
+// assembled across processes (the slow-query log's retained traces):
+// every event carries args.trace_id and they all agree, at least two
+// distinct pids appear (coordinator + at least one site worker), and
+// every nonzero args.parent_id resolves to some event's args.span_id —
+// ingesting remote spans must not orphan any parent edge.
 
 #include <fstream>
 #include <iostream>
@@ -68,6 +76,62 @@ int CheckTrace(const JsonValue& root, int argc, char** argv, int first) {
   return 0;
 }
 
+int CheckMerged(const JsonValue& root, int argc, char** argv, int first) {
+  // Shape and required names first — same contract as `trace`.
+  if (int rc = CheckTrace(root, argc, argv, first); rc != 0) return rc;
+  const JsonValue& events = *root.Find("traceEvents");
+  if (events.array.empty()) return Fail("merged trace has no events");
+
+  std::set<double> pids;
+  std::set<double> span_ids;
+  std::set<double> parent_ids;
+  double trace_id = 0.0;
+  bool have_trace_id = false;
+  for (const JsonValue& event : events.array) {
+    const JsonValue* pid = event.Find("pid");
+    if (pid == nullptr || pid->type != JsonValue::Type::kNumber) {
+      return Fail("event without a numeric pid");
+    }
+    pids.insert(pid->number);
+    const JsonValue* args = event.Find("args");
+    if (args == nullptr || args->type != JsonValue::Type::kObject) {
+      return Fail("event without an args object");
+    }
+    const JsonValue* tid = args->Find("trace_id");
+    if (tid == nullptr || tid->type != JsonValue::Type::kNumber) {
+      return Fail("event without args.trace_id — not a per-query trace");
+    }
+    if (!have_trace_id) {
+      trace_id = tid->number;
+      have_trace_id = true;
+    } else if (tid->number != trace_id) {
+      return Fail("events from more than one trace id in a merged trace");
+    }
+    const JsonValue* span = args->Find("span_id");
+    const JsonValue* parent = args->Find("parent_id");
+    if (span == nullptr || span->type != JsonValue::Type::kNumber ||
+        parent == nullptr || parent->type != JsonValue::Type::kNumber) {
+      return Fail("event without numeric args.span_id/parent_id");
+    }
+    span_ids.insert(span->number);
+    if (parent->number != 0.0) parent_ids.insert(parent->number);
+  }
+  if (pids.size() < 2) {
+    return Fail("merged trace has " + std::to_string(pids.size()) +
+                " distinct pid(s); want >= 2 (coordinator + site worker)");
+  }
+  for (double parent : parent_ids) {
+    if (span_ids.count(parent) == 0) {
+      return Fail("orphan parent edge: no span with id " +
+                  std::to_string(static_cast<unsigned long long>(parent)));
+    }
+  }
+  std::cout << "merged ok: one trace id across " << pids.size()
+            << " processes, " << span_ids.size()
+            << " spans, every parent edge resolves\n";
+  return 0;
+}
+
 int CheckMetrics(const JsonValue& root, int argc, char** argv, int first) {
   if (root.type != JsonValue::Type::kObject) {
     return Fail("top level is not an object");
@@ -92,7 +156,8 @@ int CheckMetrics(const JsonValue& root, int argc, char** argv, int first) {
 
 int main(int argc, char** argv) {
   if (argc < 3) {
-    std::cerr << "usage: trace_check trace|metrics <file.json> [names...]\n";
+    std::cerr
+        << "usage: trace_check trace|merged|metrics <file.json> [names...]\n";
     return 2;
   }
   const std::string mode = argv[1];
@@ -106,6 +171,7 @@ int main(int argc, char** argv) {
   if (!parsed.ok()) return Fail(parsed.status().ToString());
 
   if (mode == "trace") return CheckTrace(*parsed, argc, argv, 3);
+  if (mode == "merged") return CheckMerged(*parsed, argc, argv, 3);
   if (mode == "metrics") return CheckMetrics(*parsed, argc, argv, 3);
   std::cerr << "unknown mode: " << mode << "\n";
   return 2;
