@@ -1,0 +1,370 @@
+// Workload-adaptive repartitioning experiment (src/dynamic/): the same
+// deterministic LUBM update stream runs through two maintainers —
+//
+//   A: the unweighted threshold policy (integer |L_cross| growth only),
+//   B: query-weighted drift + hot-vertex migration, with per-property
+//      weights derived from a skewed query log
+//      (workload -> ComputeWorkloadPropertyWeights, CLI convention
+//      weight = 1 + #queries touching the property).
+//
+// The stream has two phases. A cold drip inserts six brand-new,
+// never-queried properties across the cut — enough integer |L_cross|
+// growth that both runs escalate identically (migration cannot help: the
+// endpoints are high-degree seed vertices). Then five migrants arrive:
+// each is a new vertex anchored at one site whose edges all use one HOT
+// seed property into another site — the misplaced-vertex shape where a
+// full re-run is overkill. Run A's integer signal never fires on them
+// (one new crossing property per migrant stays under the slack) so the
+// hot properties stay crossing; run B's weighted signal fires
+// immediately, and migration moves just the migrant.
+//
+// Asserted (exit 1 on failure):
+//   1. final workload-weighted |L_cross|: B strictly lower than A,
+//   2. IEQ share of the query mix (benchmark + skewed log): B >= A,
+//   3. at least one batch resolved by migration alone (no repartition),
+//   4. mean wall-clock of migration batches < mean of repartition
+//      batches (the migration path must not hide a full MPC re-run),
+//   5. B's repartition count <= A's.
+//
+// Usage: ./adaptive_repartition [scale]   (scale 1.0 ~ 10 universities)
+
+#include <algorithm>
+#include <cstdint>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "bench_util.h"
+#include "common/timer.h"
+#include "dynamic/incremental_maintainer.h"
+#include "mpc/weighted_selector.h"
+#include "workload/lubm.h"
+
+namespace mpc {
+namespace {
+
+using dynamic::ApplyResult;
+using dynamic::IncrementalMaintainer;
+using dynamic::TripleUpdate;
+using dynamic::UpdateBatch;
+using dynamic::UpdateKind;
+
+struct RunLog {
+  std::vector<double> migration_batch_ms;    // migrated, no repartition
+  std::vector<double> repartition_batch_ms;  // a full MPC re-run happened
+  size_t migration_only_batches = 0;
+  size_t migrations = 0;
+};
+
+ApplyResult Apply(IncrementalMaintainer& m, const UpdateBatch& batch,
+                  RunLog* log) {
+  Timer timer;
+  ApplyResult r = m.ApplyBatch(batch);
+  const double ms = timer.ElapsedMillis();
+  log->migrations += r.migrated;
+  if (r.repartitioned) {
+    log->repartition_batch_ms.push_back(ms);
+  } else if (r.migrated > 0) {
+    log->migration_batch_ms.push_back(ms);
+    if (!r.repartition_triggered) ++log->migration_only_batches;
+  }
+  return r;
+}
+
+TripleUpdate Ins(std::string s, std::string p, std::string o) {
+  TripleUpdate u;
+  u.kind = UpdateKind::kInsert;
+  u.subject = std::move(s);
+  u.property = std::move(p);
+  u.object = std::move(o);
+  return u;
+}
+
+/// Workload-weighted |L_cross| of a maintained partitioning, resolved by
+/// property NAME against the seed graph's weight vector (repartitions
+/// re-intern ids, so positional indexing would lie); properties the
+/// workload never saw count 1.0, the unweighted convention.
+double WeightedLcross(const IncrementalMaintainer& m,
+                      const rdf::RdfGraph& seed,
+                      const std::vector<double>& weights) {
+  double sum = 0.0;
+  for (rdf::PropertyId p = 0; p < m.graph().num_properties(); ++p) {
+    if (!m.partitioning().IsCrossingProperty(p)) continue;
+    const rdf::PropertyId o =
+        seed.property_dict().Lookup(m.graph().PropertyName(p));
+    sum += (o != rdf::kInvalidProperty && o < weights.size()) ? weights[o]
+                                                              : 1.0;
+  }
+  return sum;
+}
+
+double Mean(const std::vector<double>& v) {
+  if (v.empty()) return 0.0;
+  double sum = 0.0;
+  for (double x : v) sum += x;
+  return sum / static_cast<double>(v.size());
+}
+
+std::string Fmt(double v) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.1f", v);
+  return buf;
+}
+
+/// Vertices at `site` under the maintainer's current assignment whose
+/// names exist in the seed dataset (never a streamed migrant).
+std::vector<std::string> OwnedSeedVertices(const IncrementalMaintainer& m,
+                                           const rdf::RdfGraph& seed,
+                                           uint32_t site, size_t limit) {
+  std::vector<std::string> names;
+  const std::vector<uint32_t>& part = m.partitioning().assignment().part;
+  for (rdf::VertexId v = 0; v < m.graph().num_vertices() &&
+                            names.size() < limit;
+       ++v) {
+    if (part[v] != site) continue;
+    std::string name(m.graph().VertexName(v));
+    if (seed.vertex_dict().Lookup(name) == rdf::kInvalidVertex) continue;
+    names.push_back(std::move(name));
+  }
+  return names;
+}
+
+bool Check(bool ok, const std::string& what) {
+  std::cout << (ok ? "PASS  " : "FAIL  ") << what << "\n";
+  return ok;
+}
+
+}  // namespace
+}  // namespace mpc
+
+int main(int argc, char** argv) {
+  using namespace mpc;
+  const double scale = bench::ScaleFromArgs(argc, argv);
+  bench::ObsScope obs(argc, argv);
+
+  workload::LubmOptions lubm;
+  lubm.num_universities =
+      std::max<uint32_t>(2, static_cast<uint32_t>(10 * scale));
+  workload::GeneratedDataset dataset = workload::MakeLubm(lubm);
+  std::cout << "LUBM x" << lubm.num_universities << ": "
+            << dataset.graph.num_edges() << " triples, "
+            << dataset.graph.num_vertices() << " vertices, "
+            << dataset.graph.num_properties() << " properties\n";
+
+  core::MpcOptions mpc;
+  mpc.base.k = bench::kSites;
+  mpc.base.epsilon = bench::kEpsilon;
+  mpc.base.num_threads = 0;
+  partition::Partitioning seed =
+      core::MpcPartitioner(mpc).Partition(dataset.graph);
+
+  // Hot candidates: internal seed properties with some data behind them.
+  std::vector<rdf::PropertyId> candidates;
+  for (rdf::PropertyId p = 0;
+       p < dataset.graph.num_properties() && candidates.size() < 8; ++p) {
+    if (!seed.IsCrossingProperty(p) &&
+        dataset.graph.PropertyFrequency(p) >= 6) {
+      candidates.push_back(p);
+    }
+  }
+  if (candidates.size() < 2) {
+    std::cerr << "not enough internal properties to build a skewed log\n";
+    return 1;
+  }
+
+  // Skewed query log: 2-hop paths through consecutive hot candidates, 30
+  // repetitions each — the workload the weighted policy protects.
+  std::vector<sparql::QueryGraph> log_parsed;
+  std::vector<workload::NamedQuery> query_mix = dataset.benchmark_queries;
+  for (size_t i = 0; i < candidates.size(); ++i) {
+    const std::string p1(dataset.graph.PropertyName(candidates[i]));
+    const std::string p2(dataset.graph.PropertyName(
+        candidates[(i + 1) % candidates.size()]));
+    const std::string text =
+        "SELECT * WHERE { ?x " + p1 + " ?y . ?y " + p2 + " ?z . }";
+    workload::NamedQuery nq;
+    nq.name = "hot" + std::to_string(i);
+    nq.sparql = text;
+    query_mix.push_back(nq);
+    for (int rep = 0; rep < 30; ++rep) {
+      log_parsed.push_back(bench::MustParse(text));
+    }
+  }
+  std::vector<double> weights =
+      core::ComputeWorkloadPropertyWeights(log_parsed, dataset.graph);
+  for (double& w : weights) w += 1.0;  // CLI convention: 1 + query count
+
+  dynamic::MaintainerOptions base_options;
+  base_options.policy.kind = dynamic::RepartitionPolicy::Kind::kThreshold;
+  base_options.policy.max_lcross_growth = 0.05;
+  base_options.policy.min_lcross_slack = 5;
+  base_options.mpc.base.k = bench::kSites;
+  base_options.mpc.base.epsilon = bench::kEpsilon;
+  base_options.num_threads = 0;
+
+  dynamic::MaintainerOptions weighted_options = base_options;
+  weighted_options.property_weights = weights;
+  weighted_options.migration.enabled = true;
+  weighted_options.migration.max_moves = 8;
+
+  IncrementalMaintainer a(dataset.graph.Clone(), seed, base_options);
+  IncrementalMaintainer b(dataset.graph.Clone(), seed, weighted_options);
+  RunLog log_a, log_b;
+
+  std::cout << "policies: A = unweighted threshold, B = weighted + "
+               "migration (growth 0.05, slack 5, "
+            << candidates.size() << " hot properties, weight "
+            << Fmt(weights[candidates[0]]) << ")\n\n";
+  bench::LeftCell("batch", 16);
+  bench::Cell("A |Lx|", 8);
+  bench::Cell("A wLx", 8);
+  bench::Cell("A rep", 7);
+  bench::Cell("B |Lx|", 8);
+  bench::Cell("B wLx", 8);
+  bench::Cell("B mig", 7);
+  bench::Cell("B rep", 7);
+  std::cout << "\n";
+  auto report = [&](const std::string& label) {
+    bench::LeftCell(label, 16);
+    bench::Cell(std::to_string(a.partitioning().num_crossing_properties()),
+                8);
+    bench::Cell(Fmt(WeightedLcross(a, dataset.graph, weights)), 8);
+    bench::Cell(std::to_string(a.repartition_count()), 7);
+    bench::Cell(std::to_string(b.partitioning().num_crossing_properties()),
+                8);
+    bench::Cell(Fmt(WeightedLcross(b, dataset.graph, weights)), 8);
+    bench::Cell(std::to_string(b.migration_count()), 7);
+    bench::Cell(std::to_string(b.repartition_count()), 7);
+    std::cout << "\n";
+  };
+
+  // Phase 1 — cold drip: six fresh, never-queried properties across the
+  // cut between high-degree seed vertices. Migration cannot pay here
+  // (moving a high-degree endpoint drags its whole neighborhood across),
+  // so both runs take the full re-run.
+  std::vector<uint32_t> degree(dataset.graph.num_vertices(), 0);
+  for (const rdf::Triple& t : dataset.graph.triples()) {
+    ++degree[t.subject];
+    ++degree[t.object];
+  }
+  UpdateBatch cold;
+  {
+    const std::vector<uint32_t>& part = seed.assignment().part;
+    std::vector<std::string> site0, site1;
+    for (rdf::VertexId v = 0; v < dataset.graph.num_vertices() &&
+                              (site0.size() < 6 || site1.size() < 6);
+         ++v) {
+      if (degree[v] < 5) continue;
+      if (part[v] == 0 && site0.size() < 6) {
+        site0.emplace_back(dataset.graph.VertexName(v));
+      } else if (part[v] == 1 && site1.size() < 6) {
+        site1.emplace_back(dataset.graph.VertexName(v));
+      }
+    }
+    if (site0.size() < 6 || site1.size() < 6) {
+      std::cerr << "could not find high-degree vertices on sites 0/1\n";
+      return 1;
+    }
+    for (int i = 0; i < 6; ++i) {
+      cold.updates.push_back(
+          Ins(site0[i], "<bench:cold" + std::to_string(i) + ">", site1[i]));
+    }
+  }
+  Apply(a, cold, &log_a);
+  Apply(b, cold, &log_b);
+  report("cold drip");
+
+  // Phase 2 — migrants. Hot properties re-resolved against B's current
+  // graph (the cold repartition re-interned ids); targets picked from
+  // B's current assignment so each migrant's hot mass points at exactly
+  // one site.
+  std::vector<std::string> hot_names;
+  for (rdf::PropertyId p : candidates) {
+    const std::string name(dataset.graph.PropertyName(p));
+    const rdf::PropertyId cur = b.graph().property_dict().Lookup(name);
+    if (cur != rdf::kInvalidProperty &&
+        !b.partitioning().IsCrossingProperty(cur)) {
+      hot_names.push_back(name);
+    }
+    if (hot_names.size() == 5) break;
+  }
+  if (hot_names.size() < 2) {
+    std::cerr << "hot candidates did not survive the cold repartition\n";
+    return 1;
+  }
+
+  for (size_t i = 0; i < hot_names.size(); ++i) {
+    // Hot side: B's least-loaded site (so the balance cap never blocks
+    // the move); anchor side: its most-loaded.
+    uint32_t s0 = 0, s1 = 0;
+    for (uint32_t s = 1; s < b.partitioning().k(); ++s) {
+      if (b.partitioning().partition(s).num_owned_vertices <
+          b.partitioning().partition(s0).num_owned_vertices) {
+        s0 = s;
+      }
+      if (b.partitioning().partition(s).num_owned_vertices >
+          b.partitioning().partition(s1).num_owned_vertices) {
+        s1 = s;
+      }
+    }
+    if (s0 == s1) s1 = (s0 + 1) % b.partitioning().k();
+    const std::vector<std::string> targets =
+        OwnedSeedVertices(b, dataset.graph, s0, 6);
+    const std::vector<std::string> anchors =
+        OwnedSeedVertices(b, dataset.graph, s1, 1);
+    if (targets.size() < 6 || anchors.empty()) {
+      std::cerr << "not enough vertices on sites " << s0 << "/" << s1
+                << "\n";
+      return 1;
+    }
+    const std::string mig = "<bench:mig" + std::to_string(i) + ">";
+    UpdateBatch anchor_batch;
+    anchor_batch.updates.push_back(
+        Ins(mig, "<bench:anchor" + std::to_string(i) + ">", anchors[0]));
+    UpdateBatch hot_batch;
+    for (const std::string& target : targets) {
+      hot_batch.updates.push_back(Ins(mig, hot_names[i], target));
+    }
+    Apply(a, anchor_batch, &log_a);
+    Apply(b, anchor_batch, &log_b);
+    Apply(a, hot_batch, &log_a);
+    Apply(b, hot_batch, &log_b);
+    report("migrant " + std::to_string(i));
+  }
+
+  const double weighted_a = WeightedLcross(a, dataset.graph, weights);
+  const double weighted_b = WeightedLcross(b, dataset.graph, weights);
+  const double ieq_a = bench::IeqPercent(query_mix, a.CompactPartitioning(),
+                                         a.graph());
+  const double ieq_b = bench::IeqPercent(query_mix, b.CompactPartitioning(),
+                                         b.graph());
+  const double mig_ms = Mean(log_b.migration_batch_ms);
+  const double rep_ms =
+      Mean(log_a.repartition_batch_ms.empty() ? log_b.repartition_batch_ms
+                                              : log_a.repartition_batch_ms);
+
+  std::cout << "\nfinal: weighted |L_cross| A=" << Fmt(weighted_a)
+            << " B=" << Fmt(weighted_b) << "; IEQ% A=" << Fmt(ieq_a)
+            << " B=" << Fmt(ieq_b) << "; repartitions A="
+            << a.repartition_count() << " B=" << b.repartition_count()
+            << "; migrations B=" << b.migration_count() << "\n";
+  std::cout << "batch cost: migration " << Fmt(mig_ms)
+            << " ms vs repartition " << Fmt(rep_ms) << " ms\n\n";
+
+  bool ok = true;
+  ok &= Check(weighted_b < weighted_a,
+              "weighted |L_cross|: adaptive run strictly lower (" +
+                  Fmt(weighted_b) + " < " + Fmt(weighted_a) + ")");
+  ok &= Check(ieq_b >= ieq_a, "IEQ share of the query mix: no worse (" +
+                                  Fmt(ieq_b) + " >= " + Fmt(ieq_a) + ")");
+  ok &= Check(log_b.migration_only_batches >= 1,
+              "at least one batch resolved by migration alone (" +
+                  std::to_string(log_b.migration_only_batches) + ")");
+  ok &= Check(!log_b.migration_batch_ms.empty() && rep_ms > 0.0 &&
+                  mig_ms < rep_ms,
+              "migration batches cheaper than repartition batches (" +
+                  Fmt(mig_ms) + " ms < " + Fmt(rep_ms) + " ms)");
+  ok &= Check(b.repartition_count() <= a.repartition_count(),
+              "adaptive run repartitions no more often");
+  return ok ? 0 : 1;
+}

@@ -23,6 +23,9 @@
 #  - a live-introspection smoke drives `mpc top` / SIGUSR1 / the
 #    slow-query log against a chaos remote serve run and validates a
 #    retained per-query trace with `trace_check merged`;
+#  - an adaptive-serving smoke replays a skewed workload through
+#    `mpc serve --migrate` and checks that hot-vertex migration absorbs
+#    the induced drift without a single full repartition;
 #  - the tracer and metrics tests run under ThreadSanitizer, since their
 #    whole point is lock-free recording from concurrent pool threads.
 #
@@ -144,6 +147,61 @@ EOF
     serve.admitted serve.queries serve.result_cache.hits \
     serve.plan_cache.misses exec.queries
   echo "serving smoke passed"
+}
+
+# Adaptive-serving smoke: a skewed workload file makes one internal
+# property hot (weight 21 vs 1), then the update stream attaches a new
+# vertex whose edges all use that hot property into the other site. The
+# integer |L_cross| growth (2) stays under the slack (4), so only the
+# WEIGHTED threshold fires — and hot-vertex migration must absorb it by
+# moving the one misplaced vertex, with zero full repartitions. The
+# replay is qps-paced so both update batches land while queries are
+# still in flight (serve stops the updater once the replay drains).
+adaptive_smoke() {
+  local dir="$1"
+  echo "=== adaptive-serving smoke: ${dir} ==="
+  local tmp
+  tmp="$(mktemp -d)"
+  trap 'rm -rf "${tmp}"' RETURN
+  cat > "${tmp}/g.nt" <<'EOF'
+<s:a1> <p:p> <s:a2> .
+<s:a2> <p:p> <s:a3> .
+<s:a3> <p:p> <s:a1> .
+<s:b1> <p:p> <s:b2> .
+<s:b2> <p:p> <s:b3> .
+<s:b3> <p:p> <s:b1> .
+<s:b1> <p:hot> <s:b2> .
+EOF
+  cat > "${tmp}/q.txt" <<'EOF'
+SELECT * WHERE { ?x <p:hot> ?y . }
+SELECT * WHERE { ?x <p:p> ?y . }
+EOF
+  for _ in $(seq 1 20); do
+    echo 'SELECT * WHERE { ?x <p:hot> ?y . }'
+  done > "${tmp}/hot.workload"
+  cat > "${tmp}/updates.ulog" <<'EOF'
++ <s:mig> <p:anchor> <s:a1> .
+
++ <s:mig> <p:hot> <s:b1> .
++ <s:mig> <p:hot> <s:b2> .
++ <s:mig> <p:hot> <s:b3> .
+EOF
+  "${dir}/tools/mpc" partition "${tmp}/g.nt" "${tmp}/part" --k=2
+  local out
+  out="$("${dir}/tools/mpc" serve "${tmp}/g.nt" "${tmp}/part" \
+    --queries="${tmp}/q.txt" --concurrency=4 --repeat=25 --qps=200 \
+    --updates="${tmp}/updates.ulog" --update-interval-ms=1 \
+    --policy=threshold --min-lcross-slack=4 \
+    --workload="${tmp}/hot.workload" --migrate --epsilon=0.3)"
+  echo "${out}"
+  grep -q "^failed:   0$" <<< "${out}"
+  grep -q "(2 update batches published)" <<< "${out}"
+  # >= 1 hot-vertex move and zero repartitions: the cheaper escalation
+  # level absorbed the drift on its own.
+  grep -Eq "^migrated: [1-9][0-9,]* hot-vertex moves, 0 repartitions" \
+    <<< "${out}"
+  grep -q "weighted |L_cross| 1.00 (seed 0.00)" <<< "${out}"
+  echo "adaptive-serving smoke passed"
 }
 
 # Chaos smoke for the real multi-process runtime: `mpc serve --remote`
@@ -520,6 +578,7 @@ run_config build
 trace_smoke build
 recovery_smoke build
 serve_smoke build
+adaptive_smoke build
 segment_smoke build
 chaos_smoke build
 obs_smoke build
@@ -530,19 +589,25 @@ run_config build-asan -DMPC_SANITIZE=address
 run_config build-ubsan -DMPC_SANITIZE=undefined
 
 # The obs tests specifically under TSan: concurrent span recording and
-# counter updates are the code most at risk of a data race.
+# counter updates are the code most at risk of a data race. The dynamic
+# and migration tests join them: background repartition and hot-vertex
+# migration mutate the partitioning the serving snapshots capture.
 echo "=== configure+build: build-tsan (-DMPC_SANITIZE=thread) ==="
 cmake -B build-tsan -S . -DMPC_SANITIZE=thread >/dev/null
 cmake --build build-tsan -j "${JOBS}" \
   --target obs_trace_test obs_metrics_test obs_snapshot_test \
-  trace_context_test serve_test mpc_cli trace_check
+  trace_context_test serve_test dynamic_test migration_test \
+  mpc_cli trace_check
 echo "=== tracer/metrics/serving tests under tsan ==="
 ./build-tsan/tests/obs_trace_test
 ./build-tsan/tests/obs_metrics_test
 ./build-tsan/tests/obs_snapshot_test
 ./build-tsan/tests/trace_context_test
 ./build-tsan/tests/serve_test
+./build-tsan/tests/dynamic_test
+./build-tsan/tests/migration_test
 serve_smoke build-tsan
+adaptive_smoke build-tsan
 obs_smoke build-tsan
 
 echo "All checks passed (default + asan + ubsan + obs/serve/segment smoke + tsan)."

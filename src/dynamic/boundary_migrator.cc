@@ -1,0 +1,221 @@
+#include "dynamic/boundary_migrator.h"
+
+#include <algorithm>
+#include <cstdlib>
+#include <utility>
+
+#include "obs/trace.h"
+
+namespace mpc::dynamic {
+
+namespace {
+
+rdf::VertexId Other(const rdf::Triple& t, rdf::VertexId v) {
+  return t.subject == v ? t.object : t.subject;
+}
+
+/// One evaluated (vertex, target-site) move. dlcross / dweighted_edges
+/// are signed deltas: negative = improvement.
+struct MoveEval {
+  bool valid = false;
+  rdf::VertexId v = 0;
+  uint32_t to = 0;
+  double dlcross = 0.0;
+  double dweighted_edges = 0.0;
+  std::ptrdiff_t dedges = 0;
+  size_t retires = 0;
+};
+
+/// Strict "a beats b": larger weighted |L_cross| reduction first, then
+/// larger weighted edge reduction, then lower vertex id, lower site.
+bool Better(const MoveEval& a, const MoveEval& b) {
+  if (!a.valid) return false;
+  if (!b.valid) return true;
+  if (a.dlcross != b.dlcross) return a.dlcross < b.dlcross;
+  if (a.dweighted_edges != b.dweighted_edges) {
+    return a.dweighted_edges < b.dweighted_edges;
+  }
+  if (a.v != b.v) return a.v < b.v;
+  return a.to < b.to;
+}
+
+}  // namespace
+
+void BoundaryMigrator::Invalidate() {
+  index_built_ = false;
+  incident_.clear();
+}
+
+void BoundaryMigrator::OnInsert(const rdf::Triple& t, bool maybe_present) {
+  if (!index_built_) return;
+  const size_t need =
+      static_cast<size_t>(std::max(t.subject, t.object)) + 1;
+  if (incident_.size() < need) incident_.resize(need);
+  if (maybe_present) {
+    // A resurrected edge may pre-date the index build (absent) or have
+    // been deleted after it (present); only the former needs appending.
+    const std::vector<rdf::Triple>& row = incident_[t.subject];
+    if (std::find(row.begin(), row.end(), t) != row.end()) return;
+  }
+  incident_[t.subject].push_back(t);
+  if (t.object != t.subject) incident_[t.object].push_back(t);
+}
+
+void BoundaryMigrator::BuildIndex(const Context& ctx) {
+  MPC_TRACE_SPAN("dynamic.migrate.build_index");
+  incident_.assign(ctx.num_vertices, {});
+  for (const rdf::Triple& t : ctx.live_triples()) {
+    incident_[t.subject].push_back(t);
+    if (t.object != t.subject) incident_[t.object].push_back(t);
+  }
+  index_built_ = true;
+}
+
+MigrationReport BoundaryMigrator::Migrate(const Context& ctx) {
+  MPC_TRACE_SPAN("dynamic.migrate.event");
+  MigrationReport report;
+  if (!index_built_) BuildIndex(ctx);
+  if (incident_.size() < ctx.num_vertices) {
+    incident_.resize(ctx.num_vertices);
+  }
+
+  // Rank the boundary once per event: a cheap pre-cut by crossing
+  // degree bounds the exact (weighted-heat) pass to a few candidate
+  // rows, keeping the event at O(|V| + candidates x degree).
+  std::vector<rdf::VertexId> boundary;
+  for (size_t v = 0; v < ctx.crossing_degree->size(); ++v) {
+    if ((*ctx.crossing_degree)[v] > 0) {
+      boundary.push_back(static_cast<rdf::VertexId>(v));
+    }
+  }
+  const size_t precut = options_.max_candidates * 4;
+  if (boundary.size() > precut) {
+    std::partial_sort(
+        boundary.begin(), boundary.begin() + precut, boundary.end(),
+        [&](rdf::VertexId a, rdf::VertexId b) {
+          const uint32_t da = (*ctx.crossing_degree)[a];
+          const uint32_t db = (*ctx.crossing_degree)[b];
+          if (da != db) return da > db;
+          return a < b;
+        });
+    boundary.resize(precut);
+  }
+
+  // Liveness and property weight cannot change mid-event (moves touch
+  // only the assignment), so each candidate row is filtered ONCE into a
+  // flat (neighbor, property, weight) list here; the greedy rounds below
+  // then cost two array reads per edge instead of two hash probes plus a
+  // binary search per visit.
+  struct Edge {
+    rdf::VertexId u;
+    rdf::PropertyId p;
+    double w;
+  };
+  struct Hot {
+    double heat = 0.0;
+    rdf::VertexId v = 0;
+    std::vector<Edge> edges;
+  };
+  std::vector<Hot> hot;
+  hot.reserve(boundary.size());
+  for (rdf::VertexId v : boundary) {
+    Hot h;
+    h.v = v;
+    for (const rdf::Triple& t : incident_[v]) {
+      if (!ctx.is_live(t)) continue;
+      const rdf::VertexId u = Other(t, v);
+      if (u == v) continue;
+      const double w = ctx.weight_of(t.property);
+      if ((*ctx.part)[u] != (*ctx.part)[v]) h.heat += w;
+      h.edges.push_back({u, t.property, w});
+    }
+    if (h.heat > 0.0) hot.push_back(std::move(h));
+  }
+  std::sort(hot.begin(), hot.end(), [](const Hot& a, const Hot& b) {
+    if (a.heat != b.heat) return a.heat > b.heat;
+    return a.v < b.v;
+  });
+  if (hot.size() > options_.max_candidates) {
+    hot.resize(options_.max_candidates);
+  }
+
+  // Greedy: per round, the best strictly-improving move across all
+  // candidates x target sites; stop as soon as none improves. Gains are
+  // re-evaluated each round against the mutated part/crossing counters.
+  std::vector<double> mass(ctx.k, 0.0);
+  std::vector<std::pair<rdf::PropertyId, int>> dcount;
+  for (size_t round = 0; round < options_.max_moves; ++round) {
+    MoveEval best;
+    for (const Hot& h : hot) {
+      const rdf::VertexId v = h.v;
+      const uint32_t from = (*ctx.part)[v];
+      // Only sites already holding crossing weight of v are worth
+      // trying — moving toward anything else can only add crossings.
+      std::fill(mass.begin(), mass.end(), 0.0);
+      for (const Edge& e : h.edges) {
+        const uint32_t pu = (*ctx.part)[e.u];
+        if (pu != from) mass[pu] += e.w;
+      }
+      for (uint32_t to = 0; to < ctx.k; ++to) {
+        if (to == from || mass[to] <= 0.0) continue;
+        if (ctx.balance_cap > 0 && ctx.owned(to) + 1 > ctx.balance_cap) {
+          continue;
+        }
+        dcount.clear();
+        double dw = 0.0;
+        std::ptrdiff_t de = 0;
+        for (const Edge& e : h.edges) {
+          const uint32_t pu = (*ctx.part)[e.u];
+          const bool was_crossing = pu != from;
+          const bool now_crossing = pu != to;
+          if (was_crossing == now_crossing) continue;
+          const int d = now_crossing ? +1 : -1;
+          de += d;
+          dw += d * e.w;
+          dcount.emplace_back(e.p, d);
+        }
+        // Aggregate the per-edge deltas per property, then price the
+        // L_cross membership flips.
+        std::sort(dcount.begin(), dcount.end());
+        double dlcross = 0.0;
+        size_t retires = 0;
+        for (size_t i = 0; i < dcount.size();) {
+          const rdf::PropertyId p = dcount[i].first;
+          std::ptrdiff_t d = 0;
+          for (; i < dcount.size() && dcount[i].first == p; ++i) {
+            d += dcount[i].second;
+          }
+          const std::ptrdiff_t old =
+              static_cast<std::ptrdiff_t>((*ctx.crossing_count)[p]);
+          const bool was_in = old > 0;
+          const bool now_in = old + d > 0;
+          if (was_in && !now_in) {
+            dlcross -= ctx.weight_of(p);
+            ++retires;
+          } else if (!was_in && now_in) {
+            dlcross += ctx.weight_of(p);
+          }
+        }
+        if (!(dlcross < 0.0 || (dlcross == 0.0 && dw < 0.0))) continue;
+        MoveEval e;
+        e.valid = true;
+        e.v = v;
+        e.to = to;
+        e.dlcross = dlcross;
+        e.dweighted_edges = dw;
+        e.dedges = de;
+        e.retires = retires;
+        if (Better(e, best)) best = e;
+      }
+    }
+    if (!best.valid) break;
+    ctx.apply_move(best.v, best.to, incident_[best.v]);
+    ++report.moves;
+    report.properties_retired += best.retires;
+    report.edges_internalized -= best.dedges;
+    report.weighted_lcross_gain -= best.dlcross;
+  }
+  return report;
+}
+
+}  // namespace mpc::dynamic

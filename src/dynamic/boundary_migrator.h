@@ -1,0 +1,114 @@
+#ifndef MPC_DYNAMIC_BOUNDARY_MIGRATOR_H_
+#define MPC_DYNAMIC_BOUNDARY_MIGRATOR_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "rdf/graph.h"
+
+namespace mpc::dynamic {
+
+/// Knobs for the hot-vertex migration escalation (see BoundaryMigrator).
+struct MigrationOptions {
+  /// Run a migration event when the repartition policy fires, before
+  /// falling back to a full MPC re-run.
+  bool enabled = false;
+  /// Boundary vertices evaluated per event, taken from the top of the
+  /// heat ranking (query-weighted incident crossing mass).
+  size_t max_candidates = 32;
+  /// Moves applied per event; the greedy loop also stops as soon as no
+  /// strictly-improving move exists.
+  size_t max_moves = 16;
+};
+
+/// Outcome of one migration event.
+struct MigrationReport {
+  /// Vertices moved.
+  size_t moves = 0;
+  /// Crossing properties whose last crossing edge was internalized — the
+  /// |L_cross| wins.
+  size_t properties_retired = 0;
+  /// Formerly-crossing edges now internal (net of edges the moves pushed
+  /// across the cut).
+  std::ptrdiff_t edges_internalized = 0;
+  /// Total weighted |L_cross| reduction (positive = improved).
+  double weighted_lcross_gain = 0.0;
+};
+
+/// The escalation level below a full repartition: greedily moves hot
+/// boundary vertices (ranked by query-weighted incident crossing edges)
+/// to the site holding most of that weight, accepting only moves that
+/// strictly reduce weighted |L_cross| (primary) or, at equal |L_cross|,
+/// the weighted crossing-edge mass (secondary), under the (1+eps)|V|/k
+/// balance cap. When an event applies no move, migration has stopped
+/// paying and the caller falls back to full MPC.
+///
+/// The migrator owns a lazy incident-edge index over the live triples:
+/// built once per anchor (O(|E|)), appended on inserts, never filtered
+/// for deletes (liveness is checked through the caller's IsLive at use).
+/// Per-event cost is O(|V| + candidates x degree) — no MPC machinery
+/// (coarsening, METIS, selector) runs on this path.
+///
+/// The migrator plans; the owning IncrementalMaintainer applies each
+/// accepted move through Context::apply_move, keeping every derived
+/// counter (crossing counts, weighted sums, DSF, tracker slots) in one
+/// place. Single-writer contract, same as the maintainer.
+class BoundaryMigrator {
+ public:
+  explicit BoundaryMigrator(MigrationOptions options)
+      : options_(options) {}
+
+  /// Everything one event needs from the maintainer. The pointed-to
+  /// containers are re-read after every applied move (apply_move mutates
+  /// them); the callbacks must stay valid for the Migrate() call.
+  struct Context {
+    const std::vector<uint32_t>* part = nullptr;
+    const std::vector<uint32_t>* crossing_degree = nullptr;
+    const std::vector<size_t>* crossing_count = nullptr;
+    std::function<double(rdf::PropertyId)> weight_of;
+    std::function<bool(const rdf::Triple&)> is_live;
+    /// Lazy-index source: the live triple set (called at most once per
+    /// anchor, when the index is first built).
+    std::function<std::vector<rdf::Triple>()> live_triples;
+    std::function<size_t(uint32_t)> owned;
+    /// (1+eps)|V|/k; a move may not push the target site past it
+    /// (0 disables the cap).
+    size_t balance_cap = 0;
+    uint32_t k = 0;
+    size_t num_vertices = 0;
+    /// Applies one accepted move: all maintained counters must reflect
+    /// the move before this returns. The third argument is the moved
+    /// vertex's incident-edge list (may contain dead edges).
+    std::function<void(rdf::VertexId, uint32_t,
+                       const std::vector<rdf::Triple>&)>
+        apply_move;
+  };
+
+  /// Runs one greedy migration event. Deterministic: ties break by
+  /// lower vertex id, then lower target site.
+  MigrationReport Migrate(const Context& ctx);
+
+  /// Drops the incident index (call on every re-anchor — Attach or a
+  /// repartition swap — and on restore).
+  void Invalidate();
+
+  /// Keeps the index current under inserts; no-op until the index is
+  /// built. `maybe_present` marks resurrections, whose edge may already
+  /// sit in the index (checked, to avoid double counting).
+  void OnInsert(const rdf::Triple& t, bool maybe_present);
+
+ private:
+  void BuildIndex(const Context& ctx);
+
+  MigrationOptions options_;
+  bool index_built_ = false;
+  /// incident_[v] = edges touching v among live triples at build time
+  /// plus later inserts; dead edges linger (filtered via ctx.is_live).
+  std::vector<std::vector<rdf::Triple>> incident_;
+};
+
+}  // namespace mpc::dynamic
+
+#endif  // MPC_DYNAMIC_BOUNDARY_MIGRATOR_H_

@@ -11,6 +11,11 @@ size_t RepartitionPolicy::LcrossBound(size_t seed) const {
   return std::max(relative, seed + min_lcross_slack);
 }
 
+double RepartitionPolicy::WeightedLcrossBound(double seed) const {
+  return std::max(seed * (1.0 + max_lcross_growth),
+                  seed + static_cast<double>(min_lcross_slack));
+}
+
 std::string RepartitionPolicy::Evaluate(const DriftMetrics& m) const {
   switch (kind) {
     case Kind::kNever:
@@ -28,6 +33,16 @@ std::string RepartitionPolicy::Evaluate(const DriftMetrics& m) const {
         return "|L_cross| " + std::to_string(m.crossing_properties) +
                " exceeds bound " + std::to_string(bound) + " (seed " +
                std::to_string(m.seed_crossing_properties) + ")";
+      }
+      if (m.weighted_crossing_properties >
+          WeightedLcrossBound(m.seed_weighted_crossing_properties)) {
+        return "weighted |L_cross| " +
+               std::to_string(m.weighted_crossing_properties) +
+               " exceeds bound " +
+               std::to_string(WeightedLcrossBound(
+                   m.seed_weighted_crossing_properties)) +
+               " (seed " +
+               std::to_string(m.seed_weighted_crossing_properties) + ")";
       }
       if (m.tombstone_ratio > max_tombstone_ratio) {
         return "tombstone ratio " + std::to_string(m.tombstone_ratio) +

@@ -47,9 +47,22 @@ struct DriftMetrics {
   /// maintainer does not supply one.
   size_t internal_component_budget = 0;
 
+  /// Workload-weighted |L_cross|: sum of W(p) over p currently in
+  /// L_cross, where W(p) is the per-property query weight the maintainer
+  /// was given (1.0 for properties beyond the weight vector). 0 when no
+  /// weights are configured — the weighted threshold is then inert.
+  double weighted_crossing_properties = 0.0;
+  /// Weighted |L_cross| right after the last full (re)partition,
+  /// measured with the current weights.
+  double seed_weighted_crossing_properties = 0.0;
+  /// weighted_crossing_properties / seed - 1 (0 at or below the seed).
+  double weighted_lcross_growth = 0.0;
+
   size_t updates_applied = 0;
   size_t batches_applied = 0;
   size_t repartitions = 0;
+  /// Hot-vertex moves applied by the migration escalation (lifetime).
+  size_t migrations = 0;
 };
 
 /// When to abandon incremental maintenance and recompute the partitioning
@@ -88,6 +101,13 @@ struct RepartitionPolicy {
 
   /// |L_cross| ceiling the threshold policy enforces for a given seed.
   size_t LcrossBound(size_t seed) const;
+
+  /// Weighted analogue of LcrossBound: max(seed * (1 + max_lcross_growth),
+  /// seed + min_lcross_slack) in weight units. Under uniform weight 1.0
+  /// this fires at exactly the same points as the integer check; a hot
+  /// property (large W) going crossing eats the slack in one step and
+  /// fires sooner than a cold one.
+  double WeightedLcrossBound(double seed) const;
 
   /// Returns a human-readable trigger reason, or empty when the
   /// partitioning should be kept.
@@ -146,6 +166,22 @@ class DriftTracker {
   void OnUpdateApplied() { ++updates_applied_; }
   void OnBatchApplied() { ++batches_applied_; }
   void OnRepartition() { ++repartitions_; }
+
+  /// A hot-vertex migration flipped a live crossing edge internal. The
+  /// stale replica entry stays in the old site store until compaction,
+  /// so one of the edge's two slots turns into garbage.
+  void OnMigrateCrossingToInternal() {
+    --live_crossing_;
+    ++live_internal_;
+    dead_slots_ += 1;
+  }
+
+  /// A migration pushed a live internal edge across the cut. The second
+  /// replica slot is accounted logically (compaction materializes it).
+  void OnMigrateInternalToCrossing() {
+    --live_internal_;
+    ++live_crossing_;
+  }
 
   size_t live_triples() const {
     return live_internal_ + live_crossing_;

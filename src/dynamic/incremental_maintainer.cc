@@ -106,6 +106,25 @@ IncrementalMaintainer::IncrementalMaintainer(const MaintainerState& state,
   }
   tracker_.RestoreState(state.tracker);
   repartitions_ = state.tracker.repartitions;
+  migrations_ = state.migrations;
+
+  // The boundary set is derived, not checkpointed: one pass over the
+  // live triples under the restored assignment rebuilds it.
+  crossing_degree_.assign(graph_.num_vertices(), 0);
+  for (const rdf::Triple& t : LiveTriples()) {
+    if (part[t.subject] != part[t.object]) {
+      ++crossing_degree_[t.subject];
+      ++crossing_degree_[t.object];
+    }
+  }
+  // Weighted drift state: the checkpoint stores the seed L_cross
+  // membership; the weighted sums are re-derived under the (possibly
+  // new) weights in options.
+  seed_crossing_.assign(graph_.num_properties(), 0);
+  for (uint32_t p : state.seed_crossing) {
+    if (p < seed_crossing_.size()) seed_crossing_[p] = 1;
+  }
+  RecomputeWeightedLcross();
 }
 
 Result<std::unique_ptr<IncrementalMaintainer>>
@@ -182,8 +201,13 @@ void IncrementalMaintainer::Attach() {
 
   const std::vector<uint32_t>& part = partitioning_.assignment().part;
   crossing_count_.assign(graph_.num_properties(), 0);
+  crossing_degree_.assign(graph_.num_vertices(), 0);
   for (const rdf::Triple& t : graph_.triples()) {
-    if (part[t.subject] != part[t.object]) ++crossing_count_[t.property];
+    if (part[t.subject] != part[t.object]) {
+      ++crossing_count_[t.property];
+      ++crossing_degree_[t.subject];
+      ++crossing_degree_[t.object];
+    }
   }
 
   forest_ = dsf::DisjointSetForest(graph_.num_vertices());
@@ -196,8 +220,42 @@ void IncrementalMaintainer::Attach() {
   tracker_.Reset(graph_.num_edges() - partitioning_.num_crossing_edges(),
                  partitioning_.num_crossing_edges(),
                  partitioning_.num_crossing_properties());
+  // Re-anchor the weighted drift baseline alongside the unweighted one:
+  // the seed L_cross membership is frozen here so the weighted seed can
+  // be re-derived whenever the weights change.
+  seed_crossing_.assign(graph_.num_properties(), 0);
+  for (size_t p = 0; p < crossing_count_.size(); ++p) {
+    seed_crossing_[p] = crossing_count_[p] > 0 ? 1 : 0;
+  }
+  RecomputeWeightedLcross();
+  if (migrator_) migrator_->Invalidate();
   forest_stale_deletes_ = 0;
   ++generation_;
+}
+
+double IncrementalMaintainer::PropertyWeight(rdf::PropertyId p) const {
+  const std::vector<double>& w = options_.property_weights;
+  if (w.empty()) return 0.0;  // weighted drift disabled
+  return p < w.size() ? w[p] : 1.0;
+}
+
+void IncrementalMaintainer::RecomputeWeightedLcross() {
+  weighted_lcross_ = 0.0;
+  seed_weighted_lcross_ = 0.0;
+  if (options_.property_weights.empty()) return;
+  for (size_t p = 0; p < crossing_count_.size(); ++p) {
+    const rdf::PropertyId id = static_cast<rdf::PropertyId>(p);
+    if (crossing_count_[p] > 0) weighted_lcross_ += PropertyWeight(id);
+    if (p < seed_crossing_.size() && seed_crossing_[p]) {
+      seed_weighted_lcross_ += PropertyWeight(id);
+    }
+  }
+}
+
+void IncrementalMaintainer::SetPropertyWeights(std::vector<double> weights) {
+  if (weights == options_.property_weights) return;
+  options_.property_weights = std::move(weights);
+  RecomputeWeightedLcross();
 }
 
 bool IncrementalMaintainer::InBaseSnapshot(const rdf::Triple& t) const {
@@ -267,7 +325,10 @@ int IncrementalMaintainer::ApplyUpdate(const TripleUpdate& update) {
         // Last crossing edge of p died: p leaves L_cross and queries
         // over p become independently executable again.
         partitioning_.SetCrossingProperty(p, false);
+        weighted_lcross_ -= PropertyWeight(p);
       }
+      --crossing_degree_[s];
+      --crossing_degree_[o];
       tracker_.OnDeleteCrossing();
     }
     return -1;
@@ -301,6 +362,9 @@ int IncrementalMaintainer::ApplyUpdate(const TripleUpdate& update) {
     }
     forest_.Grow(graph_.num_vertices());
   }
+  if (crossing_degree_.size() < graph_.num_vertices()) {
+    crossing_degree_.resize(graph_.num_vertices(), 0);
+  }
 
   const rdf::Triple t(s, p, o);
   if (IsLive(t)) return 0;  // duplicate insert (RDF set semantics)
@@ -309,6 +373,7 @@ int IncrementalMaintainer::ApplyUpdate(const TripleUpdate& update) {
   const bool resurrected = deleted_.erase(t) > 0;
   const bool appended = !resurrected;
   if (appended) added_.insert(t);
+  if (migrator_) migrator_->OnInsert(t, resurrected);
 
   const uint32_t ps = part[s];
   const uint32_t po = part[o];
@@ -334,7 +399,10 @@ int IncrementalMaintainer::ApplyUpdate(const TripleUpdate& update) {
       // First crossing edge of p: a formerly-internal (or never-seen)
       // property enters L_cross — immediately visible to classification.
       partitioning_.SetCrossingProperty(p, true);
+      weighted_lcross_ += PropertyWeight(p);
     }
+    ++crossing_degree_[s];
+    ++crossing_degree_[o];
     tracker_.OnInsertCrossing(resurrected);
   }
   return 1;
@@ -395,6 +463,19 @@ ApplyResult IncrementalMaintainer::ApplyBatch(const UpdateBatch& batch) {
   DriftMetrics metrics = drift();
   if (!repartition_running_) {
     std::string reason = options_.policy.Evaluate(metrics);
+    // Escalation ladder: a fired policy first tries hot-vertex
+    // migration (cheap, incremental); only when the re-evaluated drift
+    // still exceeds its bound — migration stopped reducing weighted
+    // |L_cross| — does the full MPC re-run happen.
+    if (!reason.empty() && options_.migration.enabled) {
+      const MigrationReport migrated = TryMigrate();
+      result.migrated = migrated.moves;
+      result.migration_gain = migrated.weighted_lcross_gain;
+      if (migrated.moves > 0) {
+        metrics = drift();
+        reason = options_.policy.Evaluate(metrics);
+      }
+    }
     if (!reason.empty()) {
       result.repartition_triggered = true;
       result.trigger_reason = std::move(reason);
@@ -445,6 +526,10 @@ ApplyResult IncrementalMaintainer::ApplyBatch(const UpdateBatch& batch) {
   m.GaugeRef("dynamic.drift.crossing_properties")
       .Set(static_cast<double>(metrics.crossing_properties));
   m.GaugeRef("dynamic.drift.lcross_growth").Set(metrics.lcross_growth);
+  m.GaugeRef("dynamic.drift.weighted_crossing_properties")
+      .Set(metrics.weighted_crossing_properties);
+  m.GaugeRef("dynamic.drift.weighted_lcross_growth")
+      .Set(metrics.weighted_lcross_growth);
   m.GaugeRef("dynamic.drift.balance_ratio").Set(metrics.balance_ratio);
   m.GaugeRef("dynamic.drift.tombstone_ratio").Set(metrics.tombstone_ratio);
   m.GaugeRef("dynamic.drift.replication_ratio")
@@ -453,8 +538,17 @@ ApplyResult IncrementalMaintainer::ApplyBatch(const UpdateBatch& batch) {
 }
 
 DriftMetrics IncrementalMaintainer::drift() const {
-  return tracker_.Snapshot(partitioning_, forest_.max_component_size(),
-                           InternalComponentBudget());
+  DriftMetrics m =
+      tracker_.Snapshot(partitioning_, forest_.max_component_size(),
+                        InternalComponentBudget());
+  m.weighted_crossing_properties = weighted_lcross_;
+  m.seed_weighted_crossing_properties = seed_weighted_lcross_;
+  if (seed_weighted_lcross_ > 0.0 &&
+      weighted_lcross_ > seed_weighted_lcross_) {
+    m.weighted_lcross_growth = weighted_lcross_ / seed_weighted_lcross_ - 1.0;
+  }
+  m.migrations = migrations_;
+  return m;
 }
 
 size_t IncrementalMaintainer::InternalComponentBudget() const {
@@ -504,6 +598,12 @@ MaintainerState IncrementalMaintainer::ExportState() const {
   state.forest = forest_.ExportState();
   state.tracker = tracker_.ExportState();
   state.forest_stale_deletes = forest_stale_deletes_;
+  for (size_t p = 0; p < seed_crossing_.size(); ++p) {
+    if (seed_crossing_[p]) {
+      state.seed_crossing.push_back(static_cast<uint32_t>(p));
+    }
+  }
+  state.migrations = migrations_;
   return state;
 }
 
@@ -577,6 +677,95 @@ void IncrementalMaintainer::RepartitionNow() {
   partition::Partitioning repartitioned =
       core::MpcPartitioner(mpc).Partition(fresh);
   AdoptRepartition(std::move(fresh), std::move(repartitioned));
+}
+
+MigrationReport IncrementalMaintainer::TryMigrate() {
+  MPC_TRACE_SPAN("dynamic.migrate");
+  if (!migrator_) {
+    migrator_ = std::make_unique<BoundaryMigrator>(options_.migration);
+  }
+  BoundaryMigrator::Context ctx;
+  ctx.part = &partitioning_.assignment().part;
+  ctx.crossing_degree = &crossing_degree_;
+  ctx.crossing_count = &crossing_count_;
+  ctx.weight_of = [this](rdf::PropertyId p) { return PropertyWeight(p); };
+  ctx.is_live = [this](const rdf::Triple& t) { return IsLive(t); };
+  ctx.live_triples = [this]() { return LiveTriples(); };
+  ctx.owned = [this](uint32_t site) {
+    return partitioning_.partition(site).num_owned_vertices;
+  };
+  ctx.balance_cap = InternalComponentBudget();
+  ctx.k = partitioning_.k();
+  ctx.num_vertices = graph_.num_vertices();
+  ctx.apply_move = [this](rdf::VertexId v, uint32_t to,
+                          const std::vector<rdf::Triple>& incident) {
+    ApplyMigrationMove(v, to, incident);
+  };
+  const MigrationReport report = migrator_->Migrate(ctx);
+  if (report.moves > 0) {
+    // The live state changed after the batch's generation bump: bump
+    // again so result caches and serving captures see a new state.
+    ++generation_;
+  }
+  auto& m = obs::MetricsRegistry::Default();
+  m.CounterRef("dynamic.migrate.events").Inc();
+  m.CounterRef("dynamic.migrate.moves").Inc(report.moves);
+  m.CounterRef("dynamic.migrate.properties_retired")
+      .Inc(report.properties_retired);
+  return report;
+}
+
+void IncrementalMaintainer::ApplyMigrationMove(
+    rdf::VertexId v, uint32_t to,
+    const std::vector<rdf::Triple>& incident) {
+  std::vector<uint32_t>& part = partitioning_.mutable_assignment().part;
+  const uint32_t from = part[v];
+  for (const rdf::Triple& t : incident) {
+    if (!IsLive(t)) continue;
+    const rdf::VertexId u = t.subject == v ? t.object : t.subject;
+    if (u == v) continue;  // self-loop: internal at any site
+    const bool was_crossing = part[u] != from;
+    const bool now_crossing = part[u] != to;
+    if (was_crossing == now_crossing) continue;
+    if (was_crossing) {
+      partitioning_.BumpCrossingEdges(-1);
+      if (--crossing_count_[t.property] == 0) {
+        partitioning_.SetCrossingProperty(t.property, false);
+        weighted_lcross_ -= PropertyWeight(t.property);
+      }
+      --crossing_degree_[v];
+      --crossing_degree_[u];
+      tracker_.OnMigrateCrossingToInternal();
+    } else {
+      partitioning_.BumpCrossingEdges(+1);
+      if (crossing_count_[t.property]++ == 0) {
+        partitioning_.SetCrossingProperty(t.property, true);
+        weighted_lcross_ += PropertyWeight(t.property);
+      }
+      ++crossing_degree_[v];
+      ++crossing_degree_[u];
+      tracker_.OnMigrateInternalToCrossing();
+      // The forest may have unioned this edge while it was internal;
+      // it cannot split, so count the staleness toward the
+      // tombstone-triggered rebuild like an internal delete would.
+      ++forest_stale_deletes_;
+    }
+  }
+  part[v] = to;
+  --partitioning_.mutable_partition(from).num_owned_vertices;
+  ++partitioning_.mutable_partition(to).num_owned_vertices;
+  // Union the edges that landed internal with an internal property into
+  // the online forest (Def. 4.2 tracking; edges of a property still in
+  // L_cross stay out of G[L_in]).
+  for (const rdf::Triple& t : incident) {
+    if (!IsLive(t)) continue;
+    const rdf::VertexId u = t.subject == v ? t.object : t.subject;
+    if (u == v) continue;
+    if (part[u] == to && !partitioning_.IsCrossingProperty(t.property)) {
+      forest_.Union(v, u);
+    }
+  }
+  ++migrations_;
 }
 
 void IncrementalMaintainer::StartBackgroundRepartition() {
@@ -663,6 +852,21 @@ void IncrementalMaintainer::ApplyBackpressure() {
 
 void IncrementalMaintainer::AdoptRepartition(
     rdf::RdfGraph graph, partition::Partitioning partitioning) {
+  if (!options_.property_weights.empty()) {
+    // The adopted graph re-interns the live terms, so property ids can
+    // shift (a property whose last live edge died drops out of the
+    // dense id space). The id-indexed weights must follow their
+    // properties by name or the weighted drift starts charging the
+    // wrong properties. Properties the old vector never covered keep
+    // the default weight of 1.0.
+    std::vector<double> remapped(graph.num_properties(), 1.0);
+    for (rdf::PropertyId p = 0; p < graph.num_properties(); ++p) {
+      const rdf::PropertyId old =
+          graph_.property_dict().Lookup(graph.PropertyName(p));
+      if (old != rdf::kInvalidProperty) remapped[p] = PropertyWeight(old);
+    }
+    options_.property_weights = std::move(remapped);
+  }
   graph_ = std::move(graph);
   partitioning_ = std::move(partitioning);
   Attach();

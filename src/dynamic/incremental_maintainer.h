@@ -9,6 +9,7 @@
 #include <vector>
 
 #include "dsf/disjoint_set_forest.h"
+#include "dynamic/boundary_migrator.h"
 #include "dynamic/drift_tracker.h"
 #include "dynamic/update_journal.h"
 #include "dynamic/update_log.h"
@@ -72,6 +73,21 @@ struct MaintainerOptions {
   /// max component over-approximates the Def. 4.2 cost and would
   /// over-fire a budget-enforcing RepartitionPolicy (0 disables).
   double forest_rebuild_tombstone_ratio = 0.5;
+
+  /// Per-property query weights driving the *weighted* drift signal:
+  /// weighted |L_cross| = sum of W(p) over p in L_cross, with
+  /// W(p) = property_weights[p] when p is inside the vector and 1.0 for
+  /// properties beyond it (a never-queried property still counts like an
+  /// unweighted one). Empty (the default) disables weighted tracking —
+  /// the weighted metrics stay 0 and the weighted threshold is inert.
+  /// Derived from a query log via workload::ComputeWorkloadPropertyWeights
+  /// (the CLI maps count c to weight 1 + c) or fed live through
+  /// SetPropertyWeights().
+  std::vector<double> property_weights;
+
+  /// Hot-vertex migration: the escalation level below a full repartition
+  /// (see BoundaryMigrator). Off by default.
+  MigrationOptions migration;
 };
 
 /// Outcome of applying one batch.
@@ -84,6 +100,12 @@ struct ApplyResult {
   /// The policy fired after this batch.
   bool repartition_triggered = false;
   std::string trigger_reason;
+  /// Hot-vertex moves the migration escalation applied on this batch
+  /// (before any full repartition; when migration brought the drift back
+  /// under the policy bound, repartition_triggered stays false).
+  size_t migrated = 0;
+  /// Weighted |L_cross| reduction those moves achieved.
+  double migration_gain = 0.0;
   /// A full repartition completed and was swapped in (synchronous mode;
   /// in background mode the swap happens at a later integration point).
   bool repartitioned = false;
@@ -221,6 +243,18 @@ class IncrementalMaintainer {
 
   size_t repartition_count() const { return repartitions_; }
 
+  /// Hot-vertex moves applied over the maintainer's lifetime (survives
+  /// checkpoint/recovery). A serving capture may only reuse pack-time
+  /// segments while this is 0 — a migration changes ownership without
+  /// rewriting the site files.
+  size_t migration_count() const { return migrations_; }
+
+  /// Replaces the per-property query weights (see
+  /// MaintainerOptions::property_weights) and re-derives the weighted
+  /// |L_cross| and its seed under the new weights. No-op when the
+  /// weights are unchanged. Single-writer contract applies.
+  void SetPropertyWeights(std::vector<double> weights);
+
   /// The live-set delta relative to the loaded snapshot:
   /// live = (snapshot ∪ added_triples) \ deleted_triples. Reset by a
   /// repartition swap (the snapshot re-baselines). Exposed so a serving
@@ -287,6 +321,28 @@ class IncrementalMaintainer {
   /// The Def. 4.2 ceiling (1+eps)|V|/k over the maintained universe.
   size_t InternalComponentBudget() const;
 
+  /// W(p) under the current weights (0 when no weights are configured,
+  /// so the weighted drift stays inert).
+  double PropertyWeight(rdf::PropertyId p) const;
+
+  /// Recomputes weighted_lcross_ from crossing_count_ and
+  /// seed_weighted_lcross_ from seed_crossing_ (O(P); runs on anchor,
+  /// restore, and weight change — never per update).
+  void RecomputeWeightedLcross();
+
+  /// Runs one hot-vertex migration event (see BoundaryMigrator); bumps
+  /// the generation when any move was applied.
+  MigrationReport TryMigrate();
+
+  /// Moves vertex v to site `to`, flipping the crossing/internal state
+  /// of its live incident edges incrementally (counters, L_cross mask,
+  /// weighted sums, tracker slots, forest unions). Site triple vectors
+  /// are NOT relocated — compaction re-derives placement from the
+  /// assignment, and serving captures refuse the segment overlay once
+  /// migration_count() > 0.
+  void ApplyMigrationMove(rdf::VertexId v, uint32_t to,
+                          const std::vector<rdf::Triple>& incident);
+
   rdf::RdfGraph graph_;
   partition::Partitioning partitioning_;
   MaintainerOptions options_;
@@ -307,6 +363,23 @@ class IncrementalMaintainer {
 
   DriftTracker tracker_;
   size_t repartitions_ = 0;
+
+  /// L_cross membership at the last anchor (Attach), indexed by
+  /// property id — the weighted seed stays recomputable when weights
+  /// change mid-stream or after a checkpoint restore.
+  std::vector<uint8_t> seed_crossing_;
+  /// Weighted |L_cross| now and at the last anchor, under the current
+  /// weights (both 0 when no weights are configured).
+  double weighted_lcross_ = 0.0;
+  double seed_weighted_lcross_ = 0.0;
+
+  /// Live crossing edges incident to each vertex — the boundary set the
+  /// migrator ranks (crossing_degree_[v] > 0 means v sits on the cut).
+  std::vector<uint32_t> crossing_degree_;
+  /// Lifetime hot-vertex moves (checkpointed).
+  size_t migrations_ = 0;
+  /// Lazy: constructed at the first migration event.
+  std::unique_ptr<BoundaryMigrator> migrator_;
 
   /// Internal deletes since the forest was last rebuilt from live
   /// triples (Attach or RebuildForest); while 0 the forest is exact.

@@ -395,6 +395,14 @@ std::string SerializeCheckpoint(const MaintainerState& s,
           std::to_string(s.tracker.batches_applied) + " " +
           std::to_string(s.tracker.repartitions) + "\n";
   body += "stale-deletes " + std::to_string(s.forest_stale_deletes) + "\n";
+  // Count-prefixed: the run length is not derivable from another line.
+  body += "seed-crossing " + std::to_string(s.seed_crossing.size());
+  for (uint32_t id : s.seed_crossing) {
+    body += ' ';
+    body += std::to_string(id);
+  }
+  body += '\n';
+  body += "migrations " + std::to_string(s.migrations) + "\n";
   body += "vertex-terms\n";
   for (const std::string& term : s.vertex_terms) {
     body += term;
@@ -551,6 +559,25 @@ Result<MaintainerState> ParseCheckpoint(const std::string& path,
   p = r->data();
   if (!ParseU64(&p, &state.forest_stale_deletes)) {
     return CkptError(path, "bad stale-deletes");
+  }
+
+  r = next("seed-crossing");
+  if (!r.ok()) return r.status();
+  p = r->data();
+  if (!ParseU64(&p, &v)) return CkptError(path, "bad seed-crossing");
+  {
+    const std::string_view ids(p,
+                               static_cast<size_t>(r->data() + r->size() - p));
+    if (!ParseNumberRun(ids, v, &state.seed_crossing)) {
+      return CkptError(path, "bad seed-crossing ids");
+    }
+  }
+
+  r = next("migrations");
+  if (!r.ok()) return r.status();
+  p = r->data();
+  if (!ParseU64(&p, &state.migrations)) {
+    return CkptError(path, "bad migrations");
   }
 
   r = next("vertex-terms");

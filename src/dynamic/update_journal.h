@@ -111,6 +111,13 @@ struct MaintainerState {
   /// tombstone-triggered rebuild so recovery rebuilds at the same batch
   /// as an uninterrupted run.
   uint64_t forest_stale_deletes = 0;
+  /// Property ids in L_cross at the last anchor, sorted — the weighted
+  /// drift seed stays recomputable under whatever weights the restored
+  /// maintainer is given.
+  std::vector<uint32_t> seed_crossing;
+  /// Lifetime hot-vertex moves (a restored serving capture must keep
+  /// refusing the pack-time segment overlay once ownership moved).
+  uint64_t migrations = 0;
 
   bool operator==(const MaintainerState&) const = default;
 };

@@ -50,17 +50,36 @@ SelectionResult WeightedGreedySelector::Select(
   bool progress = true;
   while (progress) {
     progress = false;
+    // One commit per round: the first feasible property fixes the weight
+    // tier (the list is sorted weight-descending), then the rest of that
+    // tier competes on (trial cost, id) — the documented tie-break. Lower
+    // trial cost first keeps the budget roomy for later rounds.
+    size_t best = remaining.size();
+    size_t best_trial = 0;
     for (size_t i = 0; i < remaining.size(); ++i) {
       rdf::PropertyId p = remaining[i];
-      auto edges = graph.EdgesWithProperty(p);
+      if (best != remaining.size() &&
+          weight_of(p) != weight_of(remaining[best])) {
+        break;  // left the winning weight tier
+      }
       ++result.iterations;
-      if (dsf::TrialMergeMaxComponent(base, edges) > cap) continue;
-      base.AddEdges(edges);
+      const size_t trial =
+          dsf::TrialMergeMaxComponent(base, graph.EdgesWithProperty(p));
+      if (trial > cap) continue;
+      // Ids ascend within a tier, so strictly-smaller trial is the only
+      // way a later candidate wins.
+      if (best == remaining.size() || trial < best_trial) {
+        best = i;
+        best_trial = trial;
+      }
+    }
+    if (best != remaining.size()) {
+      rdf::PropertyId p = remaining[best];
+      base.AddEdges(graph.EdgesWithProperty(p));
       result.internal[p] = true;
       ++result.num_internal;
-      remaining.erase(remaining.begin() + i);
+      remaining.erase(remaining.begin() + best);
       progress = true;
-      break;  // restart the scan: feasibility of the rest changed
     }
   }
   result.final_cost =

@@ -160,13 +160,23 @@ void Snapshotter::Loop() {
 std::string Snapshotter::StatsJson() const {
   MetricsSnapshot cur = MetricsRegistry::Default().TakeSnapshot();
   MetricsSnapshot prev;
+  bool has_prev = false;
   double started_at_ms = 0.0;
   {
     std::lock_guard<std::mutex> lock(mutex_);
-    if (!window_.empty()) prev = window_.oldest();
+    if (!window_.empty()) {
+      prev = window_.oldest();
+      has_prev = true;
+    }
     started_at_ms = started_at_ms_;
   }
-  const double window_ms = std::max(0.0, cur.at_ms - prev.at_ms);
+  // No baseline sample yet (fresh or just-reset snapshotter): there is
+  // no window. A default-constructed prev would make window_ms the
+  // absolute trace-clock value and dress lifetime totals up as windowed
+  // deltas with garbage rates; report a zero-width window instead, with
+  // lifetime values and zero rates.
+  const double window_ms =
+      has_prev ? std::max(0.0, cur.at_ms - prev.at_ms) : 0.0;
   const double window_s = window_ms / 1000.0;
   std::string out = "{";
   out += "\"uptime_ms\":" + Num(std::max(0.0, cur.at_ms - started_at_ms));
@@ -178,7 +188,9 @@ std::string Snapshotter::StatsJson() const {
     first = false;
     auto it = prev.counters.find(name);
     const uint64_t delta =
-        CounterDelta(it == prev.counters.end() ? 0 : it->second, value);
+        has_prev ? CounterDelta(it == prev.counters.end() ? 0 : it->second,
+                                value)
+                 : 0;
     const double rate =
         window_s > 0.0 ? static_cast<double>(delta) / window_s : 0.0;
     out += EscapeName(name) + ":{\"value\":" + std::to_string(value) +
@@ -200,10 +212,13 @@ std::string Snapshotter::StatsJson() const {
     auto it = prev.histograms.find(name);
     const HistogramSnapshot delta =
         it == prev.histograms.end() ? hs : HistogramDelta(it->second, hs);
+    // Without a baseline the quantiles still summarize lifetime samples,
+    // but the window count and rate are honestly zero.
+    const uint64_t window_count = has_prev ? delta.count : 0;
     const double rate =
-        window_s > 0.0 ? static_cast<double>(delta.count) / window_s : 0.0;
+        window_s > 0.0 ? static_cast<double>(window_count) / window_s : 0.0;
     out += EscapeName(name) + ":{\"count\":" + std::to_string(hs.count) +
-           ",\"window_count\":" + std::to_string(delta.count) +
+           ",\"window_count\":" + std::to_string(window_count) +
            ",\"rate_per_s\":" + Num(rate) +
            ",\"p50\":" + Num(QuantileFromBuckets(delta.bounds, delta.buckets,
                                                  delta.count, 0.50)) +

@@ -105,6 +105,11 @@ class Snapshotter {
   ///  "histograms":{name:{"count":..,"window_count":..,"rate_per_s":..,
   ///                      "p50":..,"p95":..,"p99":..}}}
   /// Quantiles are over the window delta; "count" is the lifetime total.
+  /// With no sample in the window yet (never started, nor sampled),
+  /// there is no baseline to subtract: window_ms, every window_delta /
+  /// window_count and every rate_per_s are 0, while lifetime values
+  /// ("value", "count", gauges) and quantiles still reflect the live
+  /// registry.
   std::string StatsJson() const;
 
  private:

@@ -181,6 +181,9 @@ Result<exec::QueryResponse> QueryService::Run(
 
   Result<sparql::QueryGraph> query = exec::ResolveRequestQuery(request);
   if (!query.ok()) return query.status();
+  // Observe before the cache lookups: a cache hit is workload too, and
+  // the weight accumulation must see the real query mix.
+  if (options_.query_observer) options_.query_observer(*query);
 
   obs::TraceSpan span("serve.query");
   span.Attr("generation", state->generation());

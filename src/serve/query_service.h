@@ -54,6 +54,11 @@ struct QueryServiceOptions {
   /// Test-only: runs on the worker thread right before a query executes
   /// (after the deadline check; not called for rejected/expired queries).
   std::function<void(const exec::QueryRequest&)> pre_execute_hook;
+  /// Workload observation: called on a worker thread with every
+  /// successfully parsed query, before the cache lookups (cache hits
+  /// are traffic too). The adaptive-repartitioning path hangs its
+  /// per-property weight accumulation here. Must be thread-safe.
+  std::function<void(const sparql::QueryGraph&)> query_observer;
 };
 
 /// The concurrent front-end over the redesigned execution API: admits

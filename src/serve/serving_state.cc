@@ -29,9 +29,12 @@ std::shared_ptr<const ServingState> ServingState::Capture(
   // Out-of-core path: compose the pack-time bases with the maintainer's
   // delta instead of rebuilding indexes. Only sound while ownership is
   // exactly what the segments were packed for — any repartition (which
-  // re-baselines the delta sets too) forces the rebuild below.
+  // re-baselines the delta sets too) or hot-vertex migration (which
+  // moves ownership without rewriting the site files) forces the
+  // rebuild below.
   const partition::Partitioning& maintained = maintainer.partitioning();
   if (!options.base_sources.empty() && maintainer.repartition_count() == 0 &&
+      maintainer.migration_count() == 0 &&
       !maintainer.repartition_pending() &&
       maintained.kind() == partition::PartitioningKind::kVertexDisjoint &&
       options.base_sources.size() == maintained.k()) {

@@ -532,6 +532,122 @@ TEST(IncrementalMaintainerTest, BackgroundRepartitionIntegratesWithReplay) {
   EXPECT_FALSE(rows.count({T("b1"), T("b2")}));
 }
 
+TEST(IncrementalMaintainerTest, RepartitionReanchorsWeightedDriftBaseline) {
+  RdfGraph graph = TwoIslandGraph();
+  MaintainerOptions options;
+  options.policy.kind = RepartitionPolicy::Kind::kThreshold;
+  options.policy.max_lcross_growth = 0.0;
+  options.policy.min_lcross_slack = 1;  // bound = seed + 1
+  // Non-uniform weights: p (id 0) is hot. A stale weighted baseline is
+  // then loud — post-swap weighted |L_cross| is ~10 against a stale
+  // seed-of-0 bound of 1, so every later batch would re-fire.
+  options.property_weights = {10.0, 1.0};
+  IncrementalMaintainer m(graph.Clone(), MakeByName(graph, 2, IslandSites()),
+                          options);
+  ASSERT_EQ(m.drift().seed_weighted_crossing_properties, 0.0);
+
+  ApplyResult r = m.ApplyBatch(
+      Batch({Ins("a1", "p", "b1"), Ins("a2", "q", "b2")}));
+  EXPECT_TRUE(r.repartition_triggered) << r.trigger_reason;
+  ASSERT_TRUE(r.repartitioned);
+  // Both the integer and the weighted baseline re-anchor at the swap.
+  EXPECT_EQ(r.drift.seed_crossing_properties, r.drift.crossing_properties);
+  EXPECT_EQ(r.drift.seed_weighted_crossing_properties,
+            r.drift.weighted_crossing_properties);
+  EXPECT_EQ(r.drift.weighted_lcross_growth, 0.0);
+
+  // A quiet batch (a new vertex, no new crossing property) must not
+  // re-trigger; it does when seed_lcross / the weighted seed is stale.
+  ApplyResult quiet = m.ApplyBatch(Batch({Ins("a1", "p", "freshv")}));
+  EXPECT_FALSE(quiet.repartition_triggered) << quiet.trigger_reason;
+  EXPECT_EQ(m.repartition_count(), 1u);
+}
+
+TEST(IncrementalMaintainerTest, BackgroundRepartitionReanchorsWeightedBaseline) {
+  RdfGraph graph = TwoIslandGraph();
+  MaintainerOptions options;
+  options.policy.kind = RepartitionPolicy::Kind::kThreshold;
+  options.policy.max_lcross_growth = 0.0;
+  options.policy.min_lcross_slack = 1;
+  options.property_weights = {10.0, 1.0};
+  options.background_repartition = true;
+  IncrementalMaintainer m(graph.Clone(), MakeByName(graph, 2, IslandSites()),
+                          options);
+
+  ApplyResult r = m.ApplyBatch(
+      Batch({Ins("a1", "p", "b1"), Ins("a2", "q", "b2")}));
+  EXPECT_TRUE(r.repartition_triggered) << r.trigger_reason;
+  EXPECT_FALSE(r.repartitioned);  // runs in the background
+  m.WaitForRepartition();
+  EXPECT_EQ(m.repartition_count(), 1u);
+
+  // The swap happened at integration, not inside ApplyBatch: the seeds
+  // must still have re-anchored to the post-swap state.
+  DriftMetrics d = m.drift();
+  EXPECT_EQ(d.seed_crossing_properties, d.crossing_properties);
+  EXPECT_EQ(d.seed_weighted_crossing_properties,
+            d.weighted_crossing_properties);
+  EXPECT_EQ(d.weighted_lcross_growth, 0.0);
+
+  ApplyResult quiet = m.ApplyBatch(Batch({Ins("a1", "p", "freshv")}));
+  EXPECT_FALSE(quiet.repartition_triggered) << quiet.trigger_reason;
+  EXPECT_EQ(m.repartition_count(), 1u);
+}
+
+TEST(IncrementalMaintainerTest, RepartitionRemapsWeightsWhenPropertyIdsShift) {
+  // Properties: p = 0, q = 1, r = 2; r is the hot one.
+  RdfGraph graph = testutil::BuildGraph({{"a1", "p", "a2"},
+                                         {"a2", "p", "a3"},
+                                         {"b1", "p", "b2"},
+                                         {"a1", "q", "a2"},
+                                         {"b1", "r", "b2"}});
+  MaintainerOptions options = NoRepartition();
+  options.property_weights = {1.0, 1.0, 10.0};
+  IncrementalMaintainer m(
+      graph.Clone(),
+      MakeByName(graph, 2,
+                 {{"a1", 0}, {"a2", 0}, {"a3", 0}, {"b1", 1}, {"b2", 1}}),
+      options);
+
+  // q's only edge dies; the repartition re-interns the live terms and q
+  // drops out of the dense id space, shifting r from id 2 to id 1.
+  m.ApplyBatch(Batch({Del("a1", "q", "a2")}));
+  m.RepartitionNow();
+  rdf::PropertyId r = m.graph().property_dict().Lookup(T("r"));
+  ASSERT_NE(r, rdf::kInvalidProperty);
+  ASSERT_LT(r, 2u);  // ids actually shifted — the regression precondition
+
+  // Force r across the cut between two existing vertices on different
+  // sites of the fresh assignment.
+  const std::vector<uint32_t>& part = m.partitioning().assignment().part;
+  std::string u, w;
+  for (rdf::VertexId v = 1; v < m.graph().num_vertices(); ++v) {
+    if (part[v] != part[0]) {
+      u = std::string(m.graph().VertexName(0));
+      w = std::string(m.graph().VertexName(v));
+      break;
+    }
+  }
+  ASSERT_FALSE(w.empty());
+  UpdateBatch cross;
+  cross.updates.push_back(
+      TripleUpdate{UpdateKind::kInsert, u, std::string(T("r")), w});
+  ApplyResult res = m.ApplyBatch(cross);
+
+  // The weighted signal must charge each crossing property under its
+  // name's weight (r = 10), not whatever property now sits at its old
+  // id.
+  double expected = 0.0;
+  for (rdf::PropertyId p = 0; p < m.graph().num_properties(); ++p) {
+    if (m.partitioning().IsCrossingProperty(p)) {
+      expected += m.graph().PropertyName(p) == T("r") ? 10.0 : 1.0;
+    }
+  }
+  EXPECT_TRUE(m.partitioning().IsCrossingProperty(r));
+  EXPECT_DOUBLE_EQ(res.drift.weighted_crossing_properties, expected);
+  EXPECT_GE(res.drift.weighted_crossing_properties, 10.0);
+}
+
 TEST(IncrementalMaintainerTest, DictionaryGrowthKeepsGraphAccessorsValid) {
   RdfGraph graph = TwoIslandGraph();
   IncrementalMaintainer m(graph.Clone(), MakeByName(graph, 2, IslandSites()),

@@ -157,6 +157,56 @@ TEST_F(SnapshotTest, StatsJsonReportsWindowedCountersAndQuantiles) {
   EXPECT_GT(hist->Find("p50")->number, 10.0);
 }
 
+TEST_F(SnapshotTest, StatsJsonBeforeFirstSampleReportsZeroWindow) {
+  MetricsRegistry& reg = MetricsRegistry::Default();
+  reg.CounterRef("serve.queries").Inc(25);
+  Histogram& lat = reg.HistogramRef("serve.latency_ms",
+                                    DefaultLatencyBoundsMs());
+  for (int i = 0; i < 8; ++i) lat.Observe(5.0);
+
+  // Never started, never sampled: there is no baseline snapshot. The
+  // report must not treat the trace clock's absolute value as the window
+  // width and dress lifetime totals up as windowed deltas with
+  // made-up rates.
+  Snapshotter snapshotter;
+  Result<JsonValue> parsed = ParseJson(snapshotter.StatsJson());
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  EXPECT_EQ(parsed->Find("window_ms")->number, 0.0);
+
+  const JsonValue* queries = parsed->Find("counters")->Find("serve.queries");
+  ASSERT_NE(queries, nullptr);
+  EXPECT_EQ(queries->Find("value")->number, 25.0);  // lifetime survives
+  EXPECT_EQ(queries->Find("window_delta")->number, 0.0);
+  EXPECT_EQ(queries->Find("rate_per_s")->number, 0.0);
+
+  const JsonValue* hist = parsed->Find("histograms")->Find("serve.latency_ms");
+  ASSERT_NE(hist, nullptr);
+  EXPECT_EQ(hist->Find("count")->number, 8.0);
+  EXPECT_EQ(hist->Find("window_count")->number, 0.0);
+  EXPECT_EQ(hist->Find("rate_per_s")->number, 0.0);
+  // Quantiles still summarize the lifetime distribution.
+  EXPECT_GT(hist->Find("p50")->number, 0.0);
+}
+
+TEST_F(SnapshotTest, StatsJsonAfterRegistryResetReportsPostResetDelta) {
+  MetricsRegistry& reg = MetricsRegistry::Default();
+  reg.CounterRef("serve.queries").Inc(100);
+  Snapshotter snapshotter;
+  snapshotter.SampleNow();  // baseline holds the pre-reset 100
+
+  // A reset inside the window (worker respawn / test reset): the counter
+  // restarts below the baseline, and the delta must be everything the
+  // new incarnation counted — not an unsigned wraparound.
+  reg.ResetForTest();
+  reg.CounterRef("serve.queries").Inc(7);
+  Result<JsonValue> parsed = ParseJson(snapshotter.StatsJson());
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  const JsonValue* queries = parsed->Find("counters")->Find("serve.queries");
+  ASSERT_NE(queries, nullptr);
+  EXPECT_EQ(queries->Find("value")->number, 7.0);
+  EXPECT_EQ(queries->Find("window_delta")->number, 7.0);
+}
+
 TEST_F(SnapshotTest, SnapshotterStartStopIsCleanAndServesJson) {
   Snapshotter snapshotter(SnapshotterOptions{.interval_ms = 10.0});
   snapshotter.Start();

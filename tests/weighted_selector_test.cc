@@ -115,6 +115,71 @@ TEST(WeightedSelectorTest, InfeasiblePropertiesPruned) {
   EXPECT_EQ(result.pruned_properties, 1u);
 }
 
+/// Tie-break fixture: pX (id 0, WCC 5) and pY (id 1, WCC 4) are mutually
+/// exclusive under cap 6 (their union spans 8 vertices), pad (id 2) is 8
+/// disjoint pairs (WCC 2). |V| = 24, k=4, eps=0 -> cap 6.
+RdfGraph TieBreakGraph() {
+  rdf::GraphBuilder builder;
+  auto v = [](int i) { return "<t:v" + std::to_string(i) + ">"; };
+  for (int i = 0; i < 4; ++i) builder.Add(v(i), "<t:pX>", v(i + 1));
+  for (int i = 4; i < 7; ++i) builder.Add(v(i), "<t:pY>", v(i + 1));
+  for (int i = 0; i < 8; ++i) {
+    builder.Add("<t:w" + std::to_string(i) + "a>", "<t:pad>",
+                "<t:w" + std::to_string(i) + "b>");
+  }
+  return builder.Build();
+}
+
+TEST(WeightedSelectorTest, EqualWeightTieBreaksOnTrialCostThenId) {
+  RdfGraph g = TieBreakGraph();
+  SelectorOptions options{.base = {.k = 4, .epsilon = 0.0}};
+  ASSERT_EQ(BalanceCap(g, options.base.k, options.base.epsilon), 6u);
+  rdf::PropertyId pX = g.property_dict().Lookup("<t:pX>");
+  rdf::PropertyId pY = g.property_dict().Lookup("<t:pY>");
+  rdf::PropertyId pad = g.property_dict().Lookup("<t:pad>");
+
+  // All weights equal: the documented rule breaks the tie on trial cost,
+  // so pY (WCC 4) must beat pX (WCC 5) even though pX has the lower id —
+  // committing pX first would burn the budget and lock pY out.
+  std::vector<double> weights(g.num_properties(), 1.0);
+  SelectionResult result = WeightedGreedySelector(options, weights).Select(g);
+  EXPECT_TRUE(result.internal[pad]);  // cheapest, committed first
+  EXPECT_TRUE(result.internal[pY]);
+  EXPECT_FALSE(result.internal[pX]);  // mutually exclusive with pY
+  EXPECT_EQ(result.num_internal, 2u);
+}
+
+TEST(WeightedSelectorTest, TieBreakIsDeterministicAcrossThreadCounts) {
+  RdfGraph g = TieBreakGraph();
+  std::vector<double> weights(g.num_properties(), 1.0);
+  std::vector<std::vector<bool>> masks;
+  for (int threads : {1, 2, 8}) {
+    SelectorOptions options{
+        .base = {.k = 4, .epsilon = 0.0, .num_threads = threads}};
+    masks.push_back(WeightedGreedySelector(options, weights).Select(g).internal);
+  }
+  EXPECT_EQ(masks[0], masks[1]);
+  EXPECT_EQ(masks[0], masks[2]);
+}
+
+TEST(WeightedSelectorTest, UnseenPropertiesStillPickedUpAfterWeightedOnes) {
+  RdfGraph g = TieBreakGraph();
+  SelectorOptions options{.base = {.k = 4, .epsilon = 0.0}};
+  rdf::PropertyId pX = g.property_dict().Lookup("<t:pX>");
+  rdf::PropertyId pY = g.property_dict().Lookup("<t:pY>");
+  rdf::PropertyId pad = g.property_dict().Lookup("<t:pad>");
+
+  // The weight vector only covers pX (a one-entry workload): pY and pad
+  // fall back to default_weight 0 but must still be committed once the
+  // weighted property is in — data-only properties are not locked out.
+  std::vector<double> short_weights = {5.0};
+  SelectionResult result =
+      WeightedGreedySelector(options, short_weights).Select(g);
+  EXPECT_TRUE(result.internal[pX]);   // the only weighted property
+  EXPECT_FALSE(result.internal[pY]);  // now infeasible next to pX
+  EXPECT_TRUE(result.internal[pad]);  // unseen, still picked up
+}
+
 TEST(WorkloadWeightsTest, CountsQueriesNotPatterns) {
   Rng rng(67);
   RdfGraph g = testutil::RandomGraph(rng, 20, 60, 3);

@@ -13,7 +13,9 @@
 //       [--partial-results=fail|best-effort]
 //   mpc update <data.nt> <partition_dir> <updates.ulog>
 //       [--policy=threshold|periodic|never] [--period=N]
-//       [--max-lcross-growth=G] [--report-every=N]
+//       [--max-lcross-growth=G] [--min-lcross-slack=N]
+//       [--workload=FILE] [--migrate] [--max-moves=N]
+//       [--report-every=N]
 //       [--repartition=sync|background] [--out=DIR] [--threads=T]
 //       [--journal-dir=DIR] [--checkpoint-every=N] [--recover]
 //       [--max-replay=N] [--backpressure=block|reanchor]
@@ -21,6 +23,21 @@
 //       [--concurrency=N] [--qps=R] [--repeat=N] [--queue-cap=N]
 //       [--admission=reject|block] [--deadline-ms=D]
 //       [--updates=FILE] [--update-interval-ms=I]
+//       [--policy=...] [--workload=FILE] [--migrate]
+//
+// Workload-adaptive maintenance (update and serve): --workload=FILE
+// reads one SPARQL query per line and weighs each property by the
+// number of queries touching it (weight 1 + count, so unqueried
+// properties still count once); the threshold policy then fires on the
+// *weighted* |L_cross| too, reacting faster when hot properties start
+// crossing. --migrate arms the cheaper escalation level: before paying
+// for a full repartition the maintainer moves up to --max-moves hot
+// boundary vertices between sites, and only recomputes from scratch if
+// the drift is still over the bound afterwards. `serve` additionally
+// accumulates weights live from the queries it serves (under --updates,
+// re-fed to the maintainer before every batch) and defaults to
+// --policy=never, keeping its historical fixed-partition behavior
+// unless a policy is requested.
 //
 // `serve` replays a query file (one SPARQL query per line; blank lines
 // and lines starting with # are skipped) through the concurrent
@@ -73,6 +90,7 @@
 
 #include <unistd.h>
 
+#include <algorithm>
 #include <atomic>
 #include <chrono>
 #include <csignal>
@@ -81,9 +99,11 @@
 #include <future>
 #include <iostream>
 #include <memory>
+#include <mutex>
 #include <sstream>
 #include <string>
 #include <thread>
+#include <unordered_map>
 #include <vector>
 
 #include "common/crash_hook.h"
@@ -100,6 +120,7 @@
 #include "exec/remote_cluster.h"
 #include "exec/site_worker.h"
 #include "mpc/mpc_partitioner.h"
+#include "mpc/weighted_selector.h"
 #include "obs/json.h"
 #include "obs/metrics.h"
 #include "obs/snapshot.h"
@@ -137,7 +158,9 @@ int Usage() {
       [--fault-seed=S] [--partial-results=fail|best-effort]
   mpc update <data.nt> <partition_dir> <updates.ulog>
       [--policy=threshold|periodic|never] [--period=N]
-      [--max-lcross-growth=G] [--report-every=N]
+      [--max-lcross-growth=G] [--min-lcross-slack=N]
+      [--workload=FILE] [--migrate] [--max-moves=N]
+      [--report-every=N]
       [--repartition=sync|background] [--out=DIR] [--threads=T]
       [--journal-dir=DIR] [--checkpoint-every=N] [--recover]
       [--max-replay=N] [--backpressure=block|reanchor]
@@ -146,6 +169,8 @@ int Usage() {
       [--concurrency=N] [--qps=R] [--repeat=N]
       [--queue-cap=N] [--admission=reject|block] [--deadline-ms=D]
       [--updates=FILE] [--update-interval-ms=I]
+      [--policy=threshold|periodic|never] [--workload=FILE]
+      [--migrate] [--max-moves=N] [--min-lcross-slack=N]
       [--remote] [--socket-dir=DIR] [--worker-binary=PATH]
       [--max-restarts=N] [--kill-site=I] [--kill-after-queries=N]
       [--admin-socket=PATH] [--slow-query-ms=T] [--slow-log=FILE]
@@ -186,13 +211,25 @@ struct Flags {
   uint64_t fault_seed = 0;
   std::string partial_results = "fail";
 
-  // Streaming updates (update command).
-  std::string policy = "threshold";
+  // Streaming updates (update and serve commands). An empty policy means
+  // the command's default: update defaults to "threshold", serve to
+  // "never" (historically serve never repartitioned; adaptive serving is
+  // opt-in via --policy/--migrate).
+  std::string policy;
   uint32_t period = 64;
   double max_lcross_growth = 0.5;
+  uint64_t min_lcross_slack = 4;
   uint32_t report_every = 8;
   std::string repartition = "sync";
   std::string out_dir;
+
+  // Workload-adaptive repartitioning (update and serve commands):
+  // --workload seeds per-property weights from a query file (serve also
+  // accumulates them live from served queries), --migrate enables the
+  // hot-vertex migration escalation below a full repartition.
+  std::string workload_file;
+  bool migrate = false;
+  uint32_t max_moves = 16;
 
   // Durability (update command). checkpoint_every=0 checkpoints only
   // after repartitions; crash_after is a test hook that SIGKILLs the
@@ -286,6 +323,10 @@ struct Flags {
                      {"threshold", "periodic", "never"});
     parser.AddUint32("period", &flags.period);
     parser.AddDouble("max-lcross-growth", &flags.max_lcross_growth);
+    parser.AddUint64("min-lcross-slack", &flags.min_lcross_slack);
+    parser.AddString("workload", &flags.workload_file);
+    parser.AddBool("migrate", &flags.migrate);
+    parser.AddUint32("max-moves", &flags.max_moves);
     parser.AddUint32("report-every", &flags.report_every);
     parser.AddChoice("repartition", &flags.repartition,
                      {"sync", "background"});
@@ -368,6 +409,57 @@ std::string SelfExePath() {
   if (n <= 0) return "mpc";
   buf[n] = '\0';
   return std::string(buf);
+}
+
+/// Maps the shared drift-policy and migration flags onto maintainer
+/// options. `fallback` is the command's default policy: "threshold" for
+/// update, "never" for serve (whose historical behavior is a fixed
+/// partition).
+void ApplyPolicyFlags(const Flags& flags, const std::string& fallback,
+                      dynamic::MaintainerOptions* options) {
+  const std::string policy = flags.policy.empty() ? fallback : flags.policy;
+  if (policy == "never") {
+    options->policy.kind = dynamic::RepartitionPolicy::Kind::kNever;
+  } else if (policy == "periodic") {
+    options->policy.kind = dynamic::RepartitionPolicy::Kind::kPeriodic;
+    options->policy.period_batches = flags.period;
+  } else {
+    options->policy.kind = dynamic::RepartitionPolicy::Kind::kThreshold;
+    options->policy.max_lcross_growth = flags.max_lcross_growth;
+    options->policy.min_lcross_slack = flags.min_lcross_slack;
+  }
+  options->migration.enabled = flags.migrate;
+  options->migration.max_moves = flags.max_moves;
+}
+
+/// Loads a --workload file (one SPARQL query per line; blank lines and
+/// #-comments skipped) into per-property weights: 1 + number of queries
+/// touching the property, so unqueried properties still weigh as much
+/// as one fresh (beyond-vector) property does.
+Result<std::vector<double>> LoadWorkloadWeights(const std::string& path,
+                                                const rdf::RdfGraph& graph) {
+  std::ifstream in(path);
+  if (!in) {
+    return Status::NotFound("cannot open --workload file: " + path);
+  }
+  std::vector<sparql::QueryGraph> queries;
+  std::string line;
+  size_t lineno = 0;
+  while (std::getline(in, line)) {
+    ++lineno;
+    const size_t first = line.find_first_not_of(" \t\r");
+    if (first == std::string::npos || line[first] == '#') continue;
+    Result<sparql::QueryGraph> query = sparql::SparqlParser::Parse(line);
+    if (!query.ok()) {
+      return Status::InvalidArgument(path + ":" + std::to_string(lineno) +
+                                     ": " + query.status().message());
+    }
+    queries.push_back(std::move(*query));
+  }
+  std::vector<double> weights =
+      core::ComputeWorkloadPropertyWeights(queries, graph);
+  for (double& w : weights) w += 1.0;
+  return weights;
 }
 
 /// The argument is a file path if it exists on disk; otherwise inline
@@ -702,14 +794,20 @@ int CmdUpdate(const Flags& flags) {
   options.background_repartition = flags.repartition == "background";
   options.mpc.base = flags.PartitionerOpts();
   options.executor = flags.ExecutorOpts();
-  if (flags.policy == "never") {
-    options.policy.kind = dynamic::RepartitionPolicy::Kind::kNever;
-  } else if (flags.policy == "periodic") {
-    options.policy.kind = dynamic::RepartitionPolicy::Kind::kPeriodic;
-    options.policy.period_batches = flags.period;
-  } else {
-    options.policy.kind = dynamic::RepartitionPolicy::Kind::kThreshold;
-    options.policy.max_lcross_growth = flags.max_lcross_growth;
+  ApplyPolicyFlags(flags, /*fallback=*/"threshold", &options);
+  if (!flags.workload_file.empty()) {
+    Result<std::vector<double>> weights =
+        LoadWorkloadWeights(flags.workload_file, *graph);
+    if (!weights.ok()) {
+      std::cerr << weights.status().ToString() << "\n";
+      return 1;
+    }
+    size_t weighted = 0;
+    for (double w : *weights) weighted += w > 1.0 ? 1 : 0;
+    std::cout << "workload: " << FormatWithCommas(weighted)
+              << " queried properties (of "
+              << FormatWithCommas(weights->size()) << ")\n";
+    options.property_weights = std::move(*weights);
   }
 
   std::unique_ptr<dynamic::IncrementalMaintainer> maintainer;
@@ -786,6 +884,14 @@ int CmdUpdate(const Flags& flags) {
     inserts += r.inserts;
     deletes += r.deletes;
     noops += r.noops;
+    if (r.migrated > 0) {
+      std::cout << "batch " << b + 1 << ": migrated " << r.migrated
+                << " hot " << (r.migrated == 1 ? "vertex" : "vertices")
+                << " (weighted |L_cross| -"
+                << FormatDouble(r.migration_gain, 2) << ")"
+                << (r.repartition_triggered ? "" : ", repartition avoided")
+                << "\n";
+    }
     if (r.repartition_triggered) {
       std::cout << "batch " << b + 1 << ": repartition ("
                 << r.trigger_reason << ")"
@@ -821,11 +927,23 @@ int CmdUpdate(const Flags& flags) {
   std::cout << "applied: " << FormatWithCommas(inserts) << " inserts, "
             << FormatWithCommas(deletes) << " deletes, "
             << FormatWithCommas(noops) << " no-ops; "
-            << maintainer->repartition_count() << " repartitions\n"
-            << "final:   live " << FormatWithCommas(final_drift.live_triples)
+            << maintainer->repartition_count() << " repartitions\n";
+  if (flags.migrate) {
+    std::cout << "migrated: " << FormatWithCommas(final_drift.migrations)
+              << " hot-vertex moves\n";
+  }
+  std::cout << "final:   live " << FormatWithCommas(final_drift.live_triples)
             << ", |L_cross| " << final_drift.crossing_properties
-            << ", balance " << FormatDouble(final_drift.balance_ratio, 3)
-            << "\n";
+            << ", balance " << FormatDouble(final_drift.balance_ratio, 3);
+  if (!options.property_weights.empty()) {
+    std::cout << ", weighted |L_cross| "
+              << FormatDouble(final_drift.weighted_crossing_properties, 2)
+              << " (seed "
+              << FormatDouble(final_drift.seed_weighted_crossing_properties,
+                              2)
+              << ")";
+  }
+  std::cout << "\n";
 
   if (!flags.out_dir.empty()) {
     // Save a self-contained pair: the live graph as graph.nt plus a
@@ -955,6 +1073,16 @@ int CmdServe(const Flags& flags) {
   std::unique_ptr<dynamic::IncrementalMaintainer> maintainer;
   std::vector<dynamic::UpdateBatch> updates;
   std::shared_ptr<const serve::ServingState> state;
+  // Live workload accumulation (adaptive serving): the query observer
+  // bumps per-property counts as queries are served; the updater thread
+  // folds them into the maintainer's weights before each batch. The
+  // name→id map is frozen at the seed graph on purpose — the
+  // maintainer's dictionary grows concurrently, and properties born
+  // after the seed default to weight 1.0 anyway.
+  std::mutex workload_mutex;
+  std::vector<double> workload_counts;
+  std::unordered_map<std::string, rdf::PropertyId> seed_properties;
+  std::vector<double> base_weights;
   if (flags.remote) {
     exec::RemoteCluster::Options ropt;
     ropt.worker_binary =
@@ -1021,8 +1149,27 @@ int CmdServe(const Flags& flags) {
     }
     dynamic::MaintainerOptions moptions;
     moptions.num_threads = flags.threads;
-    moptions.policy.kind = dynamic::RepartitionPolicy::Kind::kNever;
+    moptions.mpc.base = flags.PartitionerOpts();
+    moptions.background_repartition = flags.repartition == "background";
+    ApplyPolicyFlags(flags, /*fallback=*/"never", &moptions);
     moptions.executor = state_options.executor;
+    if (!flags.workload_file.empty()) {
+      Result<std::vector<double>> weights =
+          LoadWorkloadWeights(flags.workload_file, *graph);
+      if (!weights.ok()) {
+        std::cerr << weights.status().ToString() << "\n";
+        return 1;
+      }
+      moptions.property_weights = std::move(*weights);
+    }
+    base_weights = moptions.property_weights;
+    seed_properties.reserve(graph->num_properties());
+    for (size_t p = 0; p < graph->num_properties(); ++p) {
+      seed_properties.emplace(graph->PropertyName(
+                                  static_cast<rdf::PropertyId>(p)),
+                              static_cast<rdf::PropertyId>(p));
+    }
+    workload_counts.assign(graph->num_properties(), 0.0);
     maintainer = std::make_unique<dynamic::IncrementalMaintainer>(
         std::move(*graph), std::move(*partitioning), moptions);
     state = serve::ServingState::Capture(*maintainer, state_options);
@@ -1055,6 +1202,25 @@ int CmdServe(const Flags& flags) {
     service_options.slow_query.threshold_ms = flags.slow_query_ms;
     service_options.slow_query.path =
         flags.slow_log.empty() ? "slow_queries.jsonl" : flags.slow_log;
+  }
+  if (maintainer != nullptr) {
+    service_options.query_observer = [&](const sparql::QueryGraph& query) {
+      // Each query counts a property once, mirroring
+      // ComputeWorkloadPropertyWeights.
+      std::vector<rdf::PropertyId> touched;
+      for (const sparql::TriplePattern& pattern : query.patterns()) {
+        if (pattern.predicate.is_variable()) continue;
+        auto it = seed_properties.find(pattern.predicate.text);
+        if (it == seed_properties.end()) continue;
+        if (std::find(touched.begin(), touched.end(), it->second) ==
+            touched.end()) {
+          touched.push_back(it->second);
+        }
+      }
+      if (touched.empty()) return;
+      std::lock_guard<std::mutex> lock(workload_mutex);
+      for (rdf::PropertyId p : touched) workload_counts[p] += 1.0;
+    };
   }
   serve::QueryService service(std::move(state), service_options);
 
@@ -1099,6 +1265,21 @@ int CmdServe(const Flags& flags) {
     updater = std::thread([&] {
       for (const dynamic::UpdateBatch& batch : updates) {
         if (stop_updates.load()) break;
+        {
+          // Fold the live query counts into the weights the drift
+          // threshold sees: base (--workload seed, default 1.0) + count.
+          std::lock_guard<std::mutex> lock(workload_mutex);
+          bool any = !base_weights.empty();
+          for (double c : workload_counts) any = any || c > 0.0;
+          if (any) {
+            std::vector<double> weights(workload_counts.size());
+            for (size_t p = 0; p < weights.size(); ++p) {
+              weights[p] = (p < base_weights.size() ? base_weights[p] : 1.0) +
+                           workload_counts[p];
+            }
+            maintainer->SetPropertyWeights(std::move(weights));
+          }
+        }
         maintainer->ApplyBatch(batch);
         service.Publish(serve::ServingState::Capture(*maintainer,
                                                      state_options));
@@ -1218,6 +1399,18 @@ int CmdServe(const Flags& flags) {
     std::cout << "gens:     " << min_generation << ".." << max_generation
               << " (" << batches_published.load()
               << " update batches published)\n";
+  }
+  if (maintainer != nullptr && flags.migrate) {
+    // Updater joined above: the maintainer is quiesced, so reading the
+    // drift here is race-free. The greppable adaptive-serving summary.
+    const dynamic::DriftMetrics adaptive = maintainer->drift();
+    std::cout << "migrated: " << FormatWithCommas(adaptive.migrations)
+              << " hot-vertex moves, " << maintainer->repartition_count()
+              << " repartitions, weighted |L_cross| "
+              << FormatDouble(adaptive.weighted_crossing_properties, 2)
+              << " (seed "
+              << FormatDouble(adaptive.seed_weighted_crossing_properties, 2)
+              << ")\n";
   }
   std::cout << "latency:  p50 " << FormatDouble(latency.Quantile(0.5), 2)
             << " ms, p95 " << FormatDouble(latency.Quantile(0.95), 2)
